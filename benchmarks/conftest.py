@@ -1,0 +1,51 @@
+"""Shared fixtures for the benchmark suite.
+
+Every paper figure has one module here.  Each module contains:
+
+* per-method micro-benchmarks at the figure's default configuration
+  (timed by pytest-benchmark), and
+* one ``test_<figure>_sweep_shape`` that runs the whole sweep once
+  (``benchmark.pedantic`` with a single round), prints the paper-style
+  table, writes it to ``benchmarks/results/`` and asserts the
+  *comparative shapes* the paper reports.
+
+Benchmarks run at :data:`repro.experiments.config.BENCH_SCALE` (1/5 of
+the paper's cardinalities, same ratios).  ``mindist sweep <fig>
+--scale 1.0`` reruns any figure at paper scale.
+"""
+
+from __future__ import annotations
+
+import pathlib
+
+import pytest
+
+from repro.core.workspace import Workspace
+from repro.experiments.config import bench_default
+from repro.experiments.report import format_sweep
+
+RESULTS_DIR = pathlib.Path(__file__).parent / "results"
+
+
+@pytest.fixture(scope="session")
+def default_workspace() -> Workspace:
+    """The Table IV default configuration at bench scale, with every
+    index pre-built so benchmarks time only query processing."""
+    ws = Workspace(bench_default().instance())
+    for attr in ("client_file", "potential_file", "r_c", "r_f", "r_p",
+                 "rnn_tree", "mnd_tree"):
+        getattr(ws, attr)
+    return ws
+
+
+def record_sweep(name: str, sweep) -> str:
+    """Format a sweep, write the table and SVG figures under
+    benchmarks/results/, return the table text."""
+    from repro.experiments.plot import save_sweep_figures
+
+    text = format_sweep(sweep)
+    RESULTS_DIR.mkdir(exist_ok=True)
+    (RESULTS_DIR / f"{name}.txt").write_text(text + "\n")
+    save_sweep_figures(sweep, RESULTS_DIR)
+    print("\n" + text)
+    return text

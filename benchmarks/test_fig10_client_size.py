@@ -1,0 +1,66 @@
+"""Fig. 10 — the effect of client set size.
+
+Paper claims to reproduce (at 1/5 scale):
+
+* (a)/(b) NFC and MND are the fastest / fewest-I/O methods at every
+  client count; SS and QVC are substantially more expensive, and SS's
+  I/O grows linearly until it approaches/overtakes QVC at the largest
+  client counts.
+* (c)/(d) MND's total index size is roughly 60-70 % of NFC's, and the
+  ratio shrinks as the client set grows.
+"""
+
+import pytest
+
+from repro.core import METHODS, make_selector
+from repro.experiments.sweeps import client_size_sweep
+from benchmarks.conftest import record_sweep
+
+
+@pytest.mark.parametrize("method", sorted(METHODS))
+def test_fig10_default_point(benchmark, default_workspace, method):
+    """Query time per method at the Table IV default configuration."""
+    selector = make_selector(default_workspace, method)
+    selector.prepare()
+    result = benchmark(selector.select)
+    assert result.dr > 0
+
+
+def test_fig10_sweep_shape(benchmark):
+    sweep = benchmark.pedantic(client_size_sweep, rounds=1, iterations=1)
+    record_sweep("fig10_client_size", sweep)
+
+    io = {m: sweep.series(m, "io_total") for m in sweep.methods()}
+    time = {m: sweep.series(m, "elapsed_s") for m in sweep.methods()}
+    idx = {m: sweep.series(m, "index_pages") for m in sweep.methods()}
+
+    for i in range(len(sweep.x_values)):
+        # NFC and MND always beat QVC on I/O and time.
+        for cheap in ("NFC", "MND"):
+            assert io[cheap][i] < io["QVC"][i]
+            assert time[cheap][i] < time["QVC"][i]
+        # NFC ~= MND (same order of magnitude, per Section VII-B).
+        assert 0.4 <= io["MND"][i] / io["NFC"][i] <= 2.5
+    # From the default configuration upward (the paper's regime at our
+    # 1/5 scale), NFC and MND also dominate SS; at the smallest scaled
+    # points tree depth is too low for pruning to matter, so only a
+    # bounded-factor claim holds there.
+    default_idx = 2  # x = scaled 100K default
+    for i in range(len(sweep.x_values)):
+        for cheap in ("NFC", "MND"):
+            if i >= default_idx:
+                assert io[cheap][i] < io["SS"][i]
+                assert time[cheap][i] < time["SS"][i]
+            else:
+                assert io[cheap][i] < 3 * io["SS"][i]
+
+    # SS's I/O grows linearly and closes the gap to QVC at large n_c.
+    assert io["SS"][-1] / io["SS"][0] > 20
+    assert io["SS"][-1] > 0.5 * io["QVC"][-1]
+    assert io["SS"][0] < 0.1 * io["QVC"][0]
+
+    # Index sizes: SS none; MND at 55-75% of NFC, shrinking with n_c.
+    assert all(v == 0 for v in idx["SS"])
+    ratios = [m / n for m, n in zip(idx["MND"], idx["NFC"])]
+    assert all(0.5 <= r <= 0.8 for r in ratios)
+    assert ratios[-1] <= ratios[0]

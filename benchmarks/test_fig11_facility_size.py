@@ -1,0 +1,54 @@
+"""Fig. 11 — the effect of existing facility set size.
+
+Paper claims to reproduce:
+
+* NFC and MND stay the most efficient methods at every |F|;
+* growing |F| shrinks dnn (hence NFCs / MND regions), improving the
+  joins' pruning power: their I/O *decreases* as facilities are added;
+* SS is entirely unaffected by |F| (no pruning, F never read);
+* only QVC's index size depends on |F| (it alone indexes F).
+"""
+
+import pytest
+
+from repro.core import make_selector
+from repro.core.workspace import Workspace
+from repro.experiments.config import ExperimentConfig
+from repro.experiments.sweeps import facility_size_sweep
+from benchmarks.conftest import record_sweep
+
+
+@pytest.mark.parametrize("n_f", [100, 1000, 2000])
+def test_fig11_mnd_vs_facilities(benchmark, n_f):
+    """MND query time at growing facility counts (fixed C and P)."""
+    config = ExperimentConfig(n_c=10_000, n_f=n_f, n_p=1_000)
+    ws = Workspace(config.instance())
+    selector = make_selector(ws, "MND")
+    selector.prepare()
+    result = benchmark(selector.select)
+    assert result.dr >= 0
+
+
+def test_fig11_sweep_shape(benchmark):
+    sweep = benchmark.pedantic(facility_size_sweep, rounds=1, iterations=1)
+    record_sweep("fig11_facility_size", sweep)
+
+    io = {m: sweep.series(m, "io_total") for m in sweep.methods()}
+    idx = {m: sweep.series(m, "index_pages") for m in sweep.methods()}
+
+    # Join methods get *cheaper* with more facilities (stronger pruning).
+    assert io["NFC"][-1] < io["NFC"][0]
+    assert io["MND"][-1] < io["MND"][0]
+
+    # SS is flat: it never reads F at query time.
+    assert len(set(io["SS"])) == 1
+
+    # NFC/MND beat SS and QVC at every point.
+    for i in range(len(sweep.x_values)):
+        for cheap in ("NFC", "MND"):
+            assert io[cheap][i] < io["QVC"][i]
+
+    # Only QVC's index grows with |F|; NFC/MND index sizes are flat.
+    assert idx["QVC"][-1] > idx["QVC"][0]
+    assert len(set(idx["NFC"])) == 1
+    assert len(set(idx["MND"])) == 1

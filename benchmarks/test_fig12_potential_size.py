@@ -1,0 +1,66 @@
+"""Fig. 12 — the effect of potential location set size.
+
+Paper claims to reproduce:
+
+* results mirror the client-size experiment: NFC/MND most efficient,
+  and their I/O advantage grows markedly once |P| is large (>= 10K at
+  paper scale);
+* SS's and QVC's index sizes do not change with |P| (neither indexes P);
+* every method's cost grows with |P|.
+"""
+
+import pytest
+
+from repro.core import make_selector
+from repro.core.workspace import Workspace
+from repro.experiments.config import ExperimentConfig
+from repro.experiments.sweeps import potential_size_sweep
+from benchmarks.conftest import record_sweep
+
+
+@pytest.mark.parametrize("method", ["NFC", "MND"])
+def test_fig12_join_methods_large_p(benchmark, method):
+    """Join-method query time at an enlarged potential set."""
+    config = ExperimentConfig(n_c=10_000, n_f=500, n_p=5_000)
+    ws = Workspace(config.instance())
+    selector = make_selector(ws, method)
+    selector.prepare()
+    result = benchmark(selector.select)
+    assert result.dr >= 0
+
+
+def test_fig12_sweep_shape(benchmark):
+    sweep = benchmark.pedantic(potential_size_sweep, rounds=1, iterations=1)
+    record_sweep("fig12_potential_size", sweep)
+
+    io = {m: sweep.series(m, "io_total") for m in sweep.methods()}
+    idx = {m: sweep.series(m, "index_pages") for m in sweep.methods()}
+
+    for m in sweep.methods():
+        # Growing |P| makes every method work more.
+        assert io[m][-1] > io[m][0]
+
+    default_idx = 1  # x = scaled 5K default
+    for i in range(len(sweep.x_values)):
+        for cheap in ("NFC", "MND"):
+            assert io[cheap][i] < io["QVC"][i]
+            if i >= default_idx:
+                assert io[cheap][i] < io["SS"][i]
+            else:
+                # Below the default |P| the trees are too shallow for
+                # pruning to beat a plain scan; bounded factor only.
+                assert io[cheap][i] < 3 * io["SS"][i]
+
+    # The join methods' advantage is much more significant at large |P|
+    # (paper: "when n_p >= 10K, the advantages ... become much
+    # significant").
+    gap_small = io["SS"][0] / io["MND"][0]
+    gap_large = io["SS"][-1] / io["MND"][-1]
+    assert gap_large > gap_small
+
+    # SS and QVC never index P: flat index sizes.
+    assert all(v == 0 for v in idx["SS"])
+    assert len(set(idx["QVC"])) == 1
+    # NFC/MND index P, so their index grows.
+    assert idx["MND"][-1] > idx["MND"][0]
+    assert idx["NFC"][-1] > idx["NFC"][0]

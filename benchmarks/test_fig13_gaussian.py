@@ -1,0 +1,46 @@
+"""Fig. 13 — Gaussian datasets, varying sigma^2.
+
+Paper claims to reproduce:
+
+* varying the clustering degree affects performance far less than the
+  cardinality sweeps do;
+* NFC and MND remain the two most efficient methods at every sigma^2.
+"""
+
+import pytest
+
+from repro.core import make_selector
+from repro.core.workspace import Workspace
+from repro.experiments.config import ExperimentConfig
+from repro.experiments.sweeps import gaussian_sweep
+from benchmarks.conftest import record_sweep
+
+
+@pytest.mark.parametrize("sigma_sq", [0.125, 2.0])
+def test_fig13_mnd_extreme_sigmas(benchmark, sigma_sq):
+    config = ExperimentConfig(
+        distribution="gaussian", sigma_sq=sigma_sq
+    ).scaled(0.1)
+    ws = Workspace(config.instance())
+    selector = make_selector(ws, "MND")
+    selector.prepare()
+    result = benchmark(selector.select)
+    assert result.dr >= 0
+
+
+def test_fig13_sweep_shape(benchmark):
+    sweep = benchmark.pedantic(gaussian_sweep, rounds=1, iterations=1)
+    record_sweep("fig13_gaussian", sweep)
+
+    io = {m: sweep.series(m, "io_total") for m in sweep.methods()}
+
+    for i in range(len(sweep.x_values)):
+        for cheap in ("NFC", "MND"):
+            assert io[cheap][i] < io["QVC"][i]
+            assert io[cheap][i] < io["SS"][i] * 1.5
+
+    # "Varying sigma^2 does not affect much of the algorithm
+    # performance": the joins' I/O varies far less across sigma^2 than
+    # across the 100x cardinality sweeps (well under one order).
+    for m in ("NFC", "MND", "SS"):
+        assert max(io[m]) <= 4 * min(io[m])

@@ -1,0 +1,41 @@
+"""Section VIII-C's Zipfian experiment.
+
+The paper states the Zipfian results "have similar behavior to the
+[Gaussian] results and are omitted"; this module reproduces the omitted
+sweep and asserts precisely that similarity claim.
+"""
+
+import pytest
+
+from repro.core import make_selector
+from repro.core.workspace import Workspace
+from repro.experiments.config import ExperimentConfig
+from repro.experiments.sweeps import zipfian_sweep
+from benchmarks.conftest import record_sweep
+
+
+@pytest.mark.parametrize("alpha", [0.1, 1.2])
+def test_zipfian_mnd_extreme_alphas(benchmark, alpha):
+    config = ExperimentConfig(distribution="zipfian", alpha=alpha).scaled(0.1)
+    ws = Workspace(config.instance())
+    selector = make_selector(ws, "MND")
+    selector.prepare()
+    result = benchmark(selector.select)
+    assert result.dr >= 0
+
+
+def test_zipfian_sweep_shape(benchmark):
+    sweep = benchmark.pedantic(zipfian_sweep, rounds=1, iterations=1)
+    record_sweep("fig13b_zipfian", sweep)
+
+    io = {m: sweep.series(m, "io_total") for m in sweep.methods()}
+
+    # Same comparative ordering as the Gaussian experiment.
+    for i in range(len(sweep.x_values)):
+        for cheap in ("NFC", "MND"):
+            assert io[cheap][i] < io["QVC"][i]
+            assert io[cheap][i] < io["SS"][i] * 1.5
+
+    # And the same distribution-insensitivity.
+    for m in ("NFC", "MND", "SS"):
+        assert max(io[m]) <= 4 * min(io[m])

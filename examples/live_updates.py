@@ -1,0 +1,64 @@
+"""Continuous selection over a live city (dynamic + incremental APIs).
+
+A delivery company keeps a standing answer to "where should the next
+depot go?" while the world changes underneath: customers sign up and
+churn, competitor-driven depots open and close.  ``ContinuousSelection``
+maintains the full distance-reduction vector under each update, so the
+current best site is always an O(|P|) lookup away — no re-evaluation.
+
+Run:  python examples/live_updates.py
+"""
+
+import random
+
+from repro.core.continuous import ContinuousSelection
+from repro.core.dynamic import DynamicWorkspace
+from repro.datasets import make_instance
+from repro.geometry.point import Point
+
+EVENTS = 30
+
+
+def main() -> None:
+    rng = random.Random(24)
+    ws = DynamicWorkspace(make_instance(n_c=3000, n_f=40, n_p=80, rng=rng))
+    monitor = ContinuousSelection(ws)
+
+    site, dr = monitor.best()
+    print(f"initial best site: p{site.sid} (dr={dr:.1f})\n")
+
+    changes = 0
+    for event in range(1, EVENTS + 1):
+        roll = rng.random()
+        if roll < 0.5:
+            monitor.add_client(
+                Point(rng.uniform(0, 1000), rng.uniform(0, 1000))
+            )
+            kind = "customer signup   "
+        elif roll < 0.75:
+            monitor.remove_client(rng.choice(ws.clients))
+            kind = "customer churn    "
+        elif roll < 0.9 or len(ws.facilities) <= 3:
+            monitor.add_facility(
+                Point(rng.uniform(0, 1000), rng.uniform(0, 1000))
+            )
+            kind = "depot opened      "
+        else:
+            monitor.remove_facility(rng.choice(ws.facilities))
+            kind = "depot closed      "
+
+        new_site, new_dr = monitor.best()
+        marker = ""
+        if new_site.sid != site.sid:
+            changes += 1
+            marker = f"  <- best site moved p{site.sid} -> p{new_site.sid}"
+        site, dr = new_site, new_dr
+        print(f"event {event:2d}: {kind} best=p{site.sid} dr={dr:9.1f}{marker}")
+
+    assert monitor.verify(), "incremental dr maintenance drifted"
+    print(f"\n{EVENTS} updates, best site changed {changes} times; "
+          f"maintained vector verified against a fresh evaluation")
+
+
+if __name__ == "__main__":
+    main()

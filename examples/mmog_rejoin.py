@@ -1,0 +1,86 @@
+"""MMOG rejoin-point selection (the paper's second motivating application).
+
+A raid group is spread across a quest region fighting mobs.  A player
+who rejoins mid-quest should spawn at the preset rejoin location that
+minimises the average distance between a mob and its nearest player —
+so the team covers the mobs best once she arrives.
+
+Mobs are the clients, currently online teammates are the existing
+facilities, and the game's preset rejoin points are the potential
+locations.  The quest moves across the map in waves; the query is run
+at every rejoin event, demonstrating repeated selection over a changing
+world (the reason the paper formulates the problem as a *query*).
+
+Run:  python examples/mmog_rejoin.py
+"""
+
+import random
+
+from repro.core import Workspace
+from repro.core.mnd import MaximumNFCDistance
+from repro.core.naive import objective_sum
+from repro.datasets.generators import DOMAIN, SpatialInstance
+from repro.geometry.point import Point
+
+REJOIN_POINTS = 24
+TEAM_SIZE = 12
+WAVES = 4
+MOBS_PER_CAMP = 60
+
+
+def _camp(center: Point, spread: float, n: int, rng: random.Random) -> list[Point]:
+    return [
+        Point(rng.gauss(center[0], spread), rng.gauss(center[1], spread))
+        for _ in range(n)
+    ]
+
+
+def main() -> None:
+    rng = random.Random(70)  # level 70, naturally
+
+    # Preset rejoin locations: a fixed grid of graveyards/flight points.
+    rejoin_points = [
+        Point(x * DOMAIN.width / 5 + 100, y * DOMAIN.height / 5 + 100)
+        for x in range(5)
+        for y in range(5)
+    ][:REJOIN_POINTS]
+
+    # The quest path: camps the raid clears in order.
+    path = [Point(150, 150), Point(450, 300), Point(700, 550), Point(850, 850)]
+
+    for wave, camp_center in enumerate(path, start=1):
+        # Mobs: mostly at the current camp, stragglers at the next one.
+        mobs = _camp(camp_center, 60.0, MOBS_PER_CAMP, rng)
+        if wave < len(path):
+            mobs += _camp(path[wave], 90.0, MOBS_PER_CAMP // 3, rng)
+        # Teammates: scattered around the current camp.
+        team = _camp(camp_center, 120.0, TEAM_SIZE, rng)
+
+        instance = SpatialInstance(
+            name=f"wave-{wave}",
+            clients=mobs,
+            facilities=team,
+            potentials=rejoin_points,
+        )
+        ws = Workspace(instance)
+        result = MaximumNFCDistance(ws).select()
+
+        avg_before = objective_sum(ws) / len(mobs)
+        avg_after = objective_sum(ws, result.location) / len(mobs)
+        print(
+            f"wave {wave}: camp at ({camp_center[0]:.0f},{camp_center[1]:.0f})  "
+            f"-> rejoin at ({result.location.x:.0f},{result.location.y:.0f})  "
+            f"avg mob distance {avg_before:6.1f} -> {avg_after:6.1f}  "
+            f"({result.io_total} I/Os)"
+        )
+
+        # Sanity: the chosen rejoin point is optimal among all presets.
+        best = min(rejoin_points, key=lambda p: objective_sum(ws, p))
+        assert objective_sum(ws, best) >= avg_after * len(mobs) - 1e-6
+
+    print("\nall waves answered; the chosen spawn always minimised the "
+          "average mob-to-player distance")
+
+
+if __name__ == "__main__":
+    main()

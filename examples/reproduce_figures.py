@@ -1,0 +1,53 @@
+"""Regenerate the paper's evaluation tables from the library API.
+
+Runs each figure's sweep at a configurable scale and prints the series
+the paper plots (running time, number of I/Os, index size per method).
+At ``--scale 1.0`` this reruns the paper's exact cardinalities (slow in
+pure Python); the default 0.2 preserves every cardinality ratio.
+
+Run:  python examples/reproduce_figures.py [--scale 0.2] [--figures fig11,fig14]
+"""
+
+import argparse
+
+from repro.experiments import format_sweep
+from repro.experiments.sweeps import (
+    client_size_sweep,
+    facility_size_sweep,
+    gaussian_sweep,
+    potential_size_sweep,
+    real_dataset_runs,
+    zipfian_sweep,
+)
+
+FIGURES = {
+    "fig10": ("Fig. 10 — effect of client set size", client_size_sweep),
+    "fig11": ("Fig. 11 — effect of existing facility set size", facility_size_sweep),
+    "fig12": ("Fig. 12 — effect of potential location set size", potential_size_sweep),
+    "fig13": ("Fig. 13 — effect of sigma^2 (Gaussian)", gaussian_sweep),
+    "fig13b": ("Sec. VIII-C — effect of alpha (Zipfian)", zipfian_sweep),
+    "fig14": ("Fig. 14 — real datasets (US / NA substitutes)", real_dataset_runs),
+}
+
+
+def main() -> None:
+    parser = argparse.ArgumentParser()
+    parser.add_argument("--scale", type=float, default=0.2)
+    parser.add_argument(
+        "--figures", default="fig11,fig14", help="comma-separated; 'all' for everything"
+    )
+    args = parser.parse_args()
+
+    names = list(FIGURES) if args.figures == "all" else args.figures.split(",")
+    for name in names:
+        title, sweep_fn = FIGURES[name]
+        print("=" * 72)
+        print(title)
+        print("=" * 72)
+        sweep = sweep_fn(scale=args.scale)
+        print(format_sweep(sweep))
+        print()
+
+
+if __name__ == "__main__":
+    main()

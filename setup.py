@@ -1,0 +1,10 @@
+"""Thin setup.py shim.
+
+The environment has no network access and no `wheel` package, so PEP 517
+editable installs (which build a wheel) fail.  This shim lets
+`pip install -e . --no-build-isolation` fall back to the legacy
+`setup.py develop` path; all metadata lives in pyproject.toml.
+"""
+from setuptools import setup
+
+setup()

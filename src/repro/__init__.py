@@ -1,0 +1,44 @@
+"""Reproduction of "The Min-dist Location Selection Query" (ICDE 2012).
+
+Given clients ``C``, existing facilities ``F`` and candidate locations
+``P`` in the plane, select the candidate that minimises the average
+distance between a client and its nearest facility.  The package
+provides the paper's four query-processing methods (SS, QVC, NFC, MND)
+over a simulated disk with exact I/O accounting, plus every substrate
+they need: a from-scratch R-tree with RNN-tree and MND-augmented
+variants, NN-join precomputation, dataset generators and the full
+experiment harness regenerating the paper's figures.
+
+Entry points:
+
+* :func:`repro.core.select_location` — one-call query answering.
+* :class:`repro.core.Workspace` + the method classes — full control.
+* :mod:`repro.experiments` — the paper's evaluation, figure by figure.
+"""
+
+from repro.core import (
+    METHODS,
+    MaximumNFCDistance,
+    NearestFacilityCircle,
+    QuasiVoronoiCell,
+    SelectionResult,
+    SequentialScan,
+    Workspace,
+    make_selector,
+    select_location,
+)
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "METHODS",
+    "MaximumNFCDistance",
+    "NearestFacilityCircle",
+    "QuasiVoronoiCell",
+    "SelectionResult",
+    "SequentialScan",
+    "Workspace",
+    "__version__",
+    "make_selector",
+    "select_location",
+]

@@ -1,0 +1,5 @@
+"""Analytical cost models from Section VII of the paper."""
+
+from repro.analysis.cost_model import CostModel
+
+__all__ = ["CostModel"]

@@ -1,0 +1,110 @@
+"""The I/O cost model of Table III.
+
+Section VII derives per-method I/O costs from page capacities:
+
+=======  ==========================================================
+SS       ``n_p * n_c / C_m^2``
+QVC      ``n_p/C_m + k * n_p*n_f/(C_e - 1) + n_p*(1 - w_q)*log_Ce(n_c)/C_m``
+NFC      ``(1 - w_n) * n_c*n_p / (C_e - 1)^2``
+MND      ``(1 - w_m) * n_c*n_p / (C_e - 1)^2``
+=======  ==========================================================
+
+with ``C_m`` the block capacity, ``C_e`` the effective R-tree fanout,
+``k`` the fraction of ``R_F`` nodes a NN query touches and ``w`` the
+pruning power of the joins.  The model exposes:
+
+* forward prediction given assumed ``k`` / ``w`` values,
+* inversion of measured I/O counts into empirical pruning powers,
+* the paper's crossover condition ``IO_q > IO_s`` iff
+  ``C_m^2 * IO_nn > n_c`` (Section VII-B).
+
+The reproduction uses the layouts' real capacities (the client file
+holds 28-byte records, points 20-byte ones), so predictions are made
+with the per-dataset ``C_m`` rather than the paper's single symbol.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+from repro.storage.records import (
+    CLIENT_RECORD,
+    PAGE_SIZE,
+    POINT_RECORD,
+    RTREE_ENTRY,
+)
+
+
+@dataclass(frozen=True)
+class CostModel:
+    """Table III's formulas, parameterised by page geometry."""
+
+    page_size: int = PAGE_SIZE
+    #: Block capacity of the client file (``C_m`` for C).
+    cm_client: int = CLIENT_RECORD.capacity(PAGE_SIZE)
+    #: Block capacity of the potential-location file (``C_m`` for P).
+    cm_point: int = POINT_RECORD.capacity(PAGE_SIZE)
+    #: Effective R-tree fanout ``C_e`` (~70 % of max entries).
+    ce: int = RTREE_ENTRY.effective_capacity(PAGE_SIZE)
+
+    # ------------------------------------------------------------------
+    # Structure sizes
+    # ------------------------------------------------------------------
+    def rtree_nodes(self, n: int) -> float:
+        """Expected node count ``n / (C_e - 1)`` of an R-tree over ``n``
+        entries (Section VII, geometric series approximation)."""
+        return n / (self.ce - 1)
+
+    def rtree_height(self, n: int) -> int:
+        """Average height ``ceil(log_Ce n)``."""
+        if n <= 1:
+            return 1
+        return max(1, math.ceil(math.log(n, self.ce)))
+
+    # ------------------------------------------------------------------
+    # Per-method I/O predictions
+    # ------------------------------------------------------------------
+    def io_ss(self, n_c: int, n_p: int) -> float:
+        """``IO_s``: every client block re-read per potential block."""
+        p_blocks = math.ceil(n_p / self.cm_point)
+        c_blocks = math.ceil(n_c / self.cm_client)
+        return p_blocks * c_blocks + p_blocks
+
+    def io_nn_query(self, n_f: int, k: float) -> float:
+        """``IO_nn``: one best-first NN query touching a fraction ``k``
+        of the facility tree's nodes."""
+        return k * self.rtree_nodes(n_f)
+
+    def io_qvc(self, n_c: int, n_f: int, n_p: int, k: float, w_q: float) -> float:
+        """``IO_q = IO_q1 + IO_q2 + IO_q3`` (Section VII-B)."""
+        io_q1 = math.ceil(n_p / self.cm_point)
+        io_q2 = n_p * self.io_nn_query(n_f, k)
+        io_q3 = io_q1 * (1.0 - w_q) * self.rtree_height(n_c)
+        return io_q1 + io_q2 + io_q3
+
+    def io_join_worst_case(self, n_c: int, n_p: int) -> float:
+        """The un-pruned join bound ``n_c * n_p / (C_e - 1)^2`` shared by
+        NFC and MND."""
+        return self.rtree_nodes(n_c) * self.rtree_nodes(n_p)
+
+    def io_nfc(self, n_c: int, n_p: int, w_n: float) -> float:
+        return (1.0 - w_n) * self.io_join_worst_case(n_c, n_p)
+
+    def io_mnd(self, n_c: int, n_p: int, w_m: float) -> float:
+        return (1.0 - w_m) * self.io_join_worst_case(n_c, n_p)
+
+    # ------------------------------------------------------------------
+    # Inversion and relations
+    # ------------------------------------------------------------------
+    def pruning_power(self, measured_io: int, n_c: int, n_p: int) -> float:
+        """Empirical ``w`` from a measured NFC/MND join I/O count."""
+        bound = self.io_join_worst_case(n_c, n_p)
+        if bound <= 0:
+            return 0.0
+        return 1.0 - measured_io / bound
+
+    def qvc_exceeds_ss(self, n_c: int, io_nn: float) -> bool:
+        """The paper's crossover condition: ``IO_q > IO_s`` whenever
+        ``C_m^2 * IO_nn > n_c`` (using the client-file ``C_m``)."""
+        return self.cm_client ** 2 * io_nn > n_c

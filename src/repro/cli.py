@@ -1,0 +1,339 @@
+"""Command-line interface.
+
+Subcommands::
+
+    mindist query    --clients c.csv --facilities f.csv --potentials p.csv
+    mindist query    --random 10000 500 500 --method MND
+    mindist compare  --random 5000 250 250
+    mindist sweep    fig10 --scale 0.2 --csv out.csv --svg-dir figs/
+    mindist plan     --random 5000 100 200 -k 5
+    mindist close    --random 5000 100 1
+    mindist evaluate --random 5000 100 50 --ids 0,1,2
+    mindist simulate city --periods 6
+    mindist simulate game --ticks 120
+    mindist reproduce --out results/ --scale 0.2
+
+``query`` answers one min-dist location selection query; ``compare``
+runs all four methods side by side; ``sweep`` reruns one of the paper's
+figure experiments; ``plan`` selects k locations greedily; ``close``
+finds the cheapest facility to shut down; ``evaluate`` reports what
+specific candidates would achieve; ``simulate`` drives the motivating
+application simulators; ``reproduce`` regenerates the *entire*
+evaluation (tables, CSVs and SVG figures) in one call.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import Optional, Sequence
+
+from repro.core import METHODS, Workspace, make_selector
+from repro.datasets.generators import SpatialInstance, make_instance
+from repro.datasets.io import load_points_csv
+from repro.experiments import format_sweep, sweep_to_csv
+from repro.experiments.sweeps import (
+    client_size_sweep,
+    facility_size_sweep,
+    gaussian_sweep,
+    potential_size_sweep,
+    real_dataset_runs,
+    zipfian_sweep,
+)
+
+_SWEEPS = {
+    "fig10": client_size_sweep,
+    "fig11": facility_size_sweep,
+    "fig12": potential_size_sweep,
+    "fig13": gaussian_sweep,
+    "fig13b": zipfian_sweep,
+    "fig14": real_dataset_runs,
+}
+
+
+def _instance_from_args(args: argparse.Namespace) -> SpatialInstance:
+    if args.random is not None:
+        n_c, n_f, n_p = args.random
+        return make_instance(
+            n_c, n_f, n_p, distribution=args.distribution, rng=args.seed
+        )
+    if not (args.clients and args.facilities and args.potentials):
+        raise SystemExit(
+            "either --random N_C N_F N_P or all of --clients/--facilities/"
+            "--potentials CSV paths are required"
+        )
+    return SpatialInstance(
+        name="cli",
+        clients=load_points_csv(args.clients),
+        facilities=load_points_csv(args.facilities),
+        potentials=load_points_csv(args.potentials),
+    )
+
+
+def _add_instance_args(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument("--clients", help="CSV of client points (x,y)")
+    parser.add_argument("--facilities", help="CSV of existing facility points")
+    parser.add_argument("--potentials", help="CSV of potential locations")
+    parser.add_argument(
+        "--random",
+        nargs=3,
+        type=int,
+        metavar=("N_C", "N_F", "N_P"),
+        help="generate a random instance instead of reading CSVs",
+    )
+    parser.add_argument(
+        "--distribution",
+        default="uniform",
+        choices=["uniform", "gaussian", "zipfian"],
+    )
+    parser.add_argument("--seed", type=int, default=7)
+
+
+def _cmd_query(args: argparse.Namespace) -> int:
+    ws = Workspace(_instance_from_args(args))
+    result = make_selector(ws, args.method).select()
+    print(
+        f"best location: p{result.location.sid} at "
+        f"({result.location.x:.4f}, {result.location.y:.4f})"
+    )
+    print(f"distance reduction: {result.dr:.4f}")
+    print(
+        f"method={result.method}  I/Os={result.io_total}  "
+        f"time={result.elapsed_s:.4f}s (cpu {result.cpu_s:.4f}s)  "
+        f"index={result.index_pages} pages"
+    )
+    return 0
+
+
+def _cmd_compare(args: argparse.Namespace) -> int:
+    ws = Workspace(_instance_from_args(args))
+    header = f"{'method':>6}  {'location':>9}  {'dr':>12}  {'I/Os':>8}  {'time(s)':>9}  {'cpu(s)':>8}  {'index(p)':>8}"
+    print(header)
+    print("-" * len(header))
+    for name in METHODS:
+        result = make_selector(ws, name).select()
+        print(
+            f"{name:>6}  p{result.location.sid:>8}  {result.dr:>12.4f}  "
+            f"{result.io_total:>8}  {result.elapsed_s:>9.4f}  "
+            f"{result.cpu_s:>8.4f}  {result.index_pages:>8}"
+        )
+    return 0
+
+
+def _cmd_sweep(args: argparse.Namespace) -> int:
+    sweep_fn = _SWEEPS[args.figure]
+    methods = args.methods.split(",") if args.methods else ("SS", "QVC", "NFC", "MND")
+    sweep = sweep_fn(scale=args.scale, methods=methods)
+    print(format_sweep(sweep))
+    if args.csv:
+        with open(args.csv, "w") as f:
+            f.write(sweep_to_csv(sweep))
+        print(f"\nwrote {args.csv}")
+    if args.svg_dir:
+        from repro.experiments.plot import save_sweep_figures
+
+        for path in save_sweep_figures(sweep, args.svg_dir):
+            print(f"wrote {path}")
+    return 0
+
+
+def _cmd_plan(args: argparse.Namespace) -> int:
+    from repro.core import select_sequence
+    from repro.core.greedy import coverage_curve
+
+    instance = _instance_from_args(args)
+    results = select_sequence(instance, k=args.k, method=args.method)
+    for rank, step in enumerate(results, start=1):
+        print(
+            f"#{rank}: p{step.location.sid} at "
+            f"({step.location.x:.4f}, {step.location.y:.4f})  "
+            f"dr={step.dr:.4f}  io={step.io_total}"
+        )
+    curve = coverage_curve(results)
+    print("cumulative distance saved: " + " -> ".join(f"{v:.2f}" for v in curve))
+    return 0
+
+
+def _cmd_close(args: argparse.Namespace) -> int:
+    from repro.core import select_closure
+
+    instance = _instance_from_args(args)
+    site, damage = select_closure(instance.clients, instance.facilities)
+    print(
+        f"close facility f{site.sid} at ({site.x:.4f}, {site.y:.4f}): "
+        f"total distance rises by only {damage:.4f}"
+    )
+    return 0
+
+
+def _cmd_evaluate(args: argparse.Namespace) -> int:
+    from repro.core.evaluate import compare_locations
+
+    ws = Workspace(_instance_from_args(args))
+    ids = (
+        [int(v) for v in args.ids.split(",")]
+        if args.ids
+        else list(range(min(5, ws.n_p)))
+    )
+    for report in compare_locations(ws, ids):
+        print(report.format())
+        print()
+    return 0
+
+
+def _cmd_simulate(args: argparse.Namespace) -> int:
+    if args.world == "city":
+        from repro.simulation.city import CityConfig, UrbanGrowthSimulation
+
+        sim = UrbanGrowthSimulation(CityConfig(seed=args.seed, method=args.method))
+        for record in sim.run(args.periods):
+            built = record.built
+            print(
+                f"period {record.period}: build at "
+                f"({built.location.x:7.2f}, {built.location.y:7.2f})  "
+                f"residents={record.residents}  helped={record.residents_helped}  "
+                f"avg NFD={record.avg_nfd:.2f}"
+            )
+        return 0
+
+    from repro.simulation.game import GameConfig, QuestSimulation
+
+    sim = QuestSimulation(GameConfig(seed=args.seed, method=args.method))
+    records = sim.run(args.ticks)
+    for r in records:
+        loc = r.selection.location
+        print(
+            f"tick {r.tick:3d} (camp {r.camp_index}): rejoin at "
+            f"({loc.x:.0f},{loc.y:.0f})  avg mob distance "
+            f"{r.avg_mob_distance_before:6.1f} -> {r.avg_mob_distance_after:6.1f}"
+        )
+    print(
+        f"{len(records)} rejoins over {sim.tick} ticks; "
+        f"quest {'complete' if sim.quest_complete else 'in progress'}"
+    )
+    return 0
+
+
+def _cmd_stats(args: argparse.Namespace) -> int:
+    import numpy as np
+
+    from repro.analysis.cost_model import CostModel
+    from repro.analysis.pruning import profile_mnd_join, profile_nfc_join
+    from repro.analysis.selectivity import (
+        expected_dnn,
+        expected_dr,
+        expected_influence_size,
+    )
+
+    ws = Workspace(_instance_from_args(args))
+    dnn = ws.client_xyd[:, 2]
+    model = CostModel()
+    print(f"instance: n_c={ws.n_c}  n_f={ws.n_f}  n_p={ws.n_p}")
+    print("\nnearest-facility distances (dnn):")
+    print(f"  mean={dnn.mean():.3f}  median={np.median(dnn):.3f}  "
+          f"p95={np.percentile(dnn, 95):.3f}  max={dnn.max():.3f}")
+    print(f"  Poisson-model prediction E[dnn] = {expected_dnn(ws.n_f):.3f}")
+    print("\nselectivity:")
+    print(f"  predicted E[|IS(p)|] = n_c/n_f = "
+          f"{expected_influence_size(ws.n_c, ws.n_f):.2f}")
+    print(f"  predicted E[dr(p)]   = {expected_dr(ws.n_c, ws.n_f):.2f}")
+    print("\nindex sizes (pages): "
+          f"R_C={ws.r_c.size_pages}  R_F={ws.r_f.size_pages}  "
+          f"R_P={ws.r_p.size_pages}  R_C^n={ws.rnn_tree.size_pages}  "
+          f"R_C^m={ws.mnd_tree.size_pages}")
+    print("\njoin pruning profiles:")
+    for profile in (profile_nfc_join(ws), profile_mnd_join(ws)):
+        print("  " + profile.format().replace("\n", "\n  "))
+    print("\ncost model (Table III):")
+    print(f"  predicted IO_s = {model.io_ss(ws.n_c, ws.n_p)}")
+    print(f"  join worst case = {model.io_join_worst_case(ws.n_c, ws.n_p):.0f}")
+    return 0
+
+
+def _cmd_reproduce(args: argparse.Namespace) -> int:
+    from repro.experiments.full_run import run_full_evaluation
+
+    figures = args.figures.split(",") if args.figures else None
+    run_full_evaluation(args.out, scale=args.scale, figures=figures)
+    return 0
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="mindist",
+        description="The min-dist location selection query (ICDE 2012 reproduction)",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    p_query = sub.add_parser("query", help="answer one query")
+    _add_instance_args(p_query)
+    p_query.add_argument(
+        "--method", default="MND", choices=sorted(METHODS), help="query method"
+    )
+    p_query.set_defaults(func=_cmd_query)
+
+    p_compare = sub.add_parser("compare", help="run all methods side by side")
+    _add_instance_args(p_compare)
+    p_compare.set_defaults(func=_cmd_compare)
+
+    p_sweep = sub.add_parser("sweep", help="rerun one of the paper's experiments")
+    p_sweep.add_argument("figure", choices=sorted(_SWEEPS))
+    p_sweep.add_argument(
+        "--scale",
+        type=float,
+        default=0.2,
+        help="cardinality scale (1.0 = paper scale)",
+    )
+    p_sweep.add_argument("--methods", help="comma-separated subset, e.g. NFC,MND")
+    p_sweep.add_argument("--csv", help="also write all runs to this CSV file")
+    p_sweep.add_argument(
+        "--svg-dir", help="also render SVG figures (one per metric) here"
+    )
+    p_sweep.set_defaults(func=_cmd_sweep)
+
+    p_plan = sub.add_parser("plan", help="greedy multi-facility selection")
+    _add_instance_args(p_plan)
+    p_plan.add_argument("-k", type=int, default=3, help="locations to select")
+    p_plan.add_argument("--method", default="MND", choices=sorted(METHODS))
+    p_plan.set_defaults(func=_cmd_plan)
+
+    p_close = sub.add_parser("close", help="min-damage facility closure")
+    _add_instance_args(p_close)
+    p_close.set_defaults(func=_cmd_close)
+
+    p_eval = sub.add_parser("evaluate", help="report on specific candidates")
+    _add_instance_args(p_eval)
+    p_eval.add_argument("--ids", help="comma-separated candidate ids")
+    p_eval.set_defaults(func=_cmd_evaluate)
+
+    p_sim = sub.add_parser("simulate", help="run a motivating-application simulator")
+    p_sim.add_argument("world", choices=["city", "game"])
+    p_sim.add_argument("--periods", type=int, default=6, help="city budget periods")
+    p_sim.add_argument("--ticks", type=int, default=120, help="game ticks")
+    p_sim.add_argument("--method", default="MND", choices=sorted(METHODS))
+    p_sim.add_argument("--seed", type=int, default=7)
+    p_sim.set_defaults(func=_cmd_simulate)
+
+    p_repro = sub.add_parser(
+        "reproduce", help="regenerate the paper's whole evaluation"
+    )
+    p_repro.add_argument("--out", default="reproduction", help="output directory")
+    p_repro.add_argument("--scale", type=float, default=0.2)
+    p_repro.add_argument("--figures", help="comma-separated subset, e.g. fig11,fig14")
+    p_repro.set_defaults(func=_cmd_reproduce)
+
+    p_stats = sub.add_parser(
+        "stats", help="workspace diagnostics: dnn stats, selectivity, pruning"
+    )
+    _add_instance_args(p_stats)
+    p_stats.set_defaults(func=_cmd_stats)
+    return parser
+
+
+def main(argv: Optional[Sequence[str]] = None) -> int:
+    args = build_parser().parse_args(argv)
+    return args.func(args)
+
+
+if __name__ == "__main__":
+    sys.exit(main())

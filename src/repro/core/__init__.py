@@ -1,0 +1,101 @@
+"""The min-dist location selection query — public API.
+
+Quick one-call usage::
+
+    from repro.core import select_location
+    result = select_location(clients, facilities, potentials)  # MND method
+    print(result.location, result.dr)
+
+Full control::
+
+    from repro.core import Workspace, MaximumNFCDistance
+    from repro.datasets import make_instance
+    ws = Workspace(make_instance(10_000, 500, 500, rng=7))
+    result = MaximumNFCDistance(ws).select()
+
+All four methods of the paper are exposed; they answer the same query
+and differ in cost and in which indexes they require:
+
+==========  ==============================  =======================
+method      class                           indexes
+==========  ==============================  =======================
+``"SS"``    :class:`SequentialScan`         none
+``"QVC"``   :class:`QuasiVoronoiCell`       ``R_C``, ``R_F``
+``"NFC"``   :class:`NearestFacilityCircle`  ``R_C``, ``R_C^n``, ``R_P``
+``"MND"``   :class:`MaximumNFCDistance`     ``R_C^m``, ``R_P``
+==========  ==============================  =======================
+"""
+
+from __future__ import annotations
+
+from typing import Iterable
+
+from repro.core.base import LocationSelector
+from repro.core.closure import closure_damages, select_closure
+from repro.core.continuous import ContinuousSelection
+from repro.core.maxinf import MaxInfSelection
+from repro.core.diskmode import DiskWorkspace, persist_indexes
+from repro.core.dynamic import DynamicWorkspace
+from repro.core.evaluate import compare_locations, evaluate_location
+from repro.core.greedy import coverage_curve, select_sequence
+from repro.core.mnd import MaximumNFCDistance
+from repro.core.nfc import NearestFacilityCircle
+from repro.core.qvc import QuasiVoronoiCell
+from repro.core.ss import SequentialScan
+from repro.core.types import Client, SelectionResult, Site
+from repro.core.workspace import Workspace
+from repro.datasets.generators import SpatialInstance
+from repro.geometry.point import Point
+
+from repro.core.registry import METHODS, make_selector
+
+
+def select_location(
+    clients: Iterable[tuple[float, float]],
+    facilities: Iterable[tuple[float, float]],
+    potentials: Iterable[tuple[float, float]],
+    method: str = "MND",
+    client_weights: Iterable[float] | None = None,
+) -> SelectionResult:
+    """Answer one min-dist location selection query in a single call.
+
+    Builds a throwaway workspace around plain ``(x, y)`` coordinate
+    iterables and runs the chosen method (MND, the paper's recommended
+    method, by default).  ``client_weights`` optionally scales each
+    client's contribution (default: unweighted).
+    """
+    instance = SpatialInstance(
+        name="adhoc",
+        clients=[Point(*c) for c in clients],
+        facilities=[Point(*f) for f in facilities],
+        potentials=[Point(*p) for p in potentials],
+        client_weights=list(client_weights) if client_weights is not None else None,
+    )
+    return make_selector(Workspace(instance), method).select()
+
+
+__all__ = [
+    "Client",
+    "closure_damages",
+    "ContinuousSelection",
+    "MaxInfSelection",
+    "compare_locations",
+    "DiskWorkspace",
+    "DynamicWorkspace",
+    "evaluate_location",
+    "persist_indexes",
+    "coverage_curve",
+    "select_closure",
+    "select_sequence",
+    "LocationSelector",
+    "METHODS",
+    "MaximumNFCDistance",
+    "NearestFacilityCircle",
+    "QuasiVoronoiCell",
+    "SelectionResult",
+    "SequentialScan",
+    "Site",
+    "Workspace",
+    "make_selector",
+    "select_location",
+]

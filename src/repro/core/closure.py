@@ -1,0 +1,87 @@
+"""The min-dist facility closure query — the mirror extension.
+
+The paper selects where to *open* a facility; planners equally often
+must decide which facility to *close* (budget cuts, lease expiry) while
+hurting clients the least.  Closing facility ``f`` increases the NFD of
+exactly the clients whose nearest facility is ``f``; each such client
+falls back to its *second*-nearest facility.  The damage of closing
+``f`` is therefore
+
+    ``damage(f) = sum over {c : NN(c) = f} ( dnn2(c) - dnn(c) )``
+
+where ``dnn2`` is the distance to the second-nearest facility, and the
+query returns the facility with minimum damage.  The machinery mirrors
+the selection query: a 2-NN join plays the role of the ``dnn``
+precomputation, and the same argmin-over-aggregates framework applies.
+
+Requires at least two facilities (closing the last one leaves clients
+stranded with infinite NFD).
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+import numpy as np
+
+from repro.core.types import Site
+from repro.geometry.point import Point
+from repro.knnjoin.grid import FacilityGrid
+
+
+def second_nearest_distances(
+    clients: Sequence[Point], facilities: Sequence[Point]
+) -> tuple[list[int], list[float], list[float]]:
+    """Per client: index of its nearest facility, ``dnn`` and ``dnn2``.
+
+    The 2-NN join is computed with the facility grid: the nearest
+    facility comes from the ring search; removing it from consideration
+    and re-querying yields the runner-up exactly.
+    """
+    if len(facilities) < 2:
+        raise ValueError("the closure query requires at least two facilities")
+    points = [Point(*f) for f in facilities]
+    index_of: dict[Point, list[int]] = {}
+    for i, f in enumerate(points):
+        index_of.setdefault(f, []).append(i)
+    grid = FacilityGrid(points)
+
+    nearest_idx: list[int] = []
+    dnn: list[float] = []
+    dnn2: list[float] = []
+    for c in clients:
+        c = Point(*c)
+        (d1, f1), (d2, __) = grid.nearest_two(c)
+        twins = index_of[f1]
+        if len(twins) > 1:
+            # A co-located duplicate serves as the runner-up at the
+            # same distance: closing either does no damage.
+            d2 = d1
+        nearest_idx.append(twins[0])
+        dnn.append(d1)
+        dnn2.append(d2)
+    return nearest_idx, dnn, dnn2
+
+
+def closure_damages(
+    clients: Sequence[Point], facilities: Sequence[Point]
+) -> np.ndarray:
+    """``damage(f)`` for every facility."""
+    nearest_idx, dnn, dnn2 = second_nearest_distances(clients, facilities)
+    damages = np.zeros(len(facilities), dtype=np.float64)
+    for f_idx, d1, d2 in zip(nearest_idx, dnn, dnn2):
+        damages[f_idx] += d2 - d1
+    return damages
+
+
+def select_closure(
+    clients: Sequence[Point], facilities: Sequence[Point]
+) -> tuple[Site, float]:
+    """The facility whose closure raises the total NFD the least.
+
+    Ties break toward the smallest facility id.
+    """
+    damages = closure_damages(clients, facilities)
+    best = int(np.argmin(damages))
+    f = Point(*facilities[best])
+    return Site(best, f[0], f[1]), float(damages[best])

@@ -1,0 +1,117 @@
+"""Running queries against persisted (on-disk) indexes.
+
+``persist_indexes`` freezes a workspace's MND-method structures
+(``R_C^m`` and ``R_P``) into binary page files; ``DiskWorkspace``
+reopens them read-only and duck-types just enough of
+:class:`~repro.core.workspace.Workspace` for the MND method to run
+unmodified — every node fetched is decoded from real file bytes and
+counted as an I/O, making this the closest simulation of the paper's
+disk-resident setting.
+
+Typical flow::
+
+    paths = persist_indexes(ws, directory)
+    frozen = DiskWorkspace(paths, stats=IOStats())
+    result = MaximumNFCDistance(frozen).select()   # answers from disk
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from pathlib import Path
+from typing import Optional
+
+from repro.core.types import Site
+from repro.core.workspace import Workspace
+from repro.rtree.persist import DiskRTree, save_rtree
+from repro.storage.buffer import LRUBufferPool
+from repro.storage.codecs import ClientCodec, SiteCodec
+from repro.storage.stats import IOStats
+
+
+@dataclass(frozen=True)
+class PersistedIndexes:
+    """File locations of a frozen query workspace."""
+
+    directory: Path
+    mnd_tree_path: Path
+    r_p_path: Path
+    n_p: int
+
+
+def persist_indexes(ws: Workspace, directory: str | Path) -> PersistedIndexes:
+    """Serialise the MND method's indexes to ``directory``."""
+    directory = Path(directory)
+    directory.mkdir(parents=True, exist_ok=True)
+    mnd_path = directory / "r_c_m.pages"
+    r_p_path = directory / "r_p.pages"
+    save_rtree(ws.mnd_tree, mnd_path, ClientCodec())
+    save_rtree(ws.r_p, r_p_path, SiteCodec())
+    return PersistedIndexes(
+        directory=directory,
+        mnd_tree_path=mnd_path,
+        r_p_path=r_p_path,
+        n_p=ws.n_p,
+    )
+
+
+class DiskWorkspace:
+    """A read-only workspace view over persisted indexes.
+
+    Exposes the attributes the MND method touches: ``mnd_tree``,
+    ``r_p``, ``potentials``, ``n_p``, ``stats``, ``io_latency_s`` and
+    ``reset_stats``.  Mutating accessors do not exist; building other
+    methods' structures is deliberately unsupported (persist those
+    separately if needed).
+    """
+
+    def __init__(
+        self,
+        indexes: PersistedIndexes,
+        stats: Optional[IOStats] = None,
+        buffer_pool: Optional[LRUBufferPool] = None,
+        io_latency_s: float = Workspace.DEFAULT_IO_LATENCY_S,
+    ):
+        self.stats = stats or IOStats()
+        self.buffer_pool = buffer_pool
+        self.io_latency_s = io_latency_s
+        self.mnd_tree = DiskRTree(
+            "R_C^m",
+            indexes.mnd_tree_path,
+            ClientCodec(),
+            self.stats,
+            buffer_pool,
+            radius_of=lambda c: c.dnn,
+        )
+        self.r_p = DiskRTree(
+            "R_P", indexes.r_p_path, SiteCodec(), self.stats, buffer_pool
+        )
+        # Rebuild the candidate table from the R_P leaves (ids are the
+        # original candidate ids, so ordering by id restores it).
+        sites = [entry.payload for entry in self.r_p.iter_leaf_entries()]
+        sites.sort(key=lambda s: s.sid)
+        self.potentials: list[Site] = sites
+        if len(self.potentials) != indexes.n_p:
+            raise ValueError(
+                f"persisted R_P holds {len(self.potentials)} candidates, "
+                f"metadata promises {indexes.n_p}"
+            )
+
+    @property
+    def n_p(self) -> int:
+        return len(self.potentials)
+
+    def reset_stats(self) -> None:
+        self.stats.reset()
+        if self.buffer_pool is not None:
+            self.buffer_pool.clear()
+
+    def close(self) -> None:
+        self.mnd_tree.close()
+        self.r_p.close()
+
+    def __enter__(self) -> "DiskWorkspace":
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.close()

@@ -1,0 +1,187 @@
+"""Dynamic workspace updates.
+
+Section VI motivates the MND method with dynamic environments: "In
+dynamic environments, insertions and deletions on data occur
+frequently.  Maintaining two indexes on the dataset C makes database
+management ... more complicated".  ``DynamicWorkspace`` extends
+:class:`~repro.core.workspace.Workspace` with live updates that keep
+every materialised structure consistent:
+
+* **client arrival/departure** — the point enters/leaves ``R_C``, the
+  RNN-tree (with its NFC square) and the MND tree (whose augmentation
+  is maintained by the tree's own hooks);
+* **facility opening/closing** — the ``dnn`` of affected clients
+  changes, which *moves their NFCs*: those clients are deleted and
+  reinserted in the RNN- and MND-trees with their new radii, and ``R_F``
+  is updated.
+
+Flat files and dense arrays are rebuilt lazily (they are scan
+structures; rebuilding is exactly what a real system's extent map does
+on append).  After any update sequence, all four methods answer the
+refreshed query correctly — the test-suite checks this against the
+brute-force oracle, and the MND tree passes full validation.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.core.types import Client, Site
+from repro.core.workspace import Workspace
+from repro.geometry.circle import Circle
+from repro.geometry.point import Point
+from repro.geometry.rect import Rect
+
+
+class DynamicWorkspace(Workspace):
+    """A workspace supporting client and facility updates."""
+
+    # Structures rebuilt lazily after any mutation (cheap scans/arrays).
+    _LAZY = ("client_file", "potential_file", "data_bounds")
+
+    # ------------------------------------------------------------------
+    # Cache plumbing
+    # ------------------------------------------------------------------
+    def _invalidate(self, *names: str) -> None:
+        for name in names:
+            self.__dict__.pop(name, None)
+
+    def _refresh_client_arrays(self) -> None:
+        self.client_xyd = np.array(
+            [(c.x, c.y, c.dnn) for c in self.clients], dtype=np.float64
+        ).reshape(len(self.clients), 3)
+        self.client_w = np.array(
+            [c.weight for c in self.clients], dtype=np.float64
+        )
+        self._invalidate("client_file", "data_bounds")
+
+    # ------------------------------------------------------------------
+    # Client updates
+    # ------------------------------------------------------------------
+    def _take_client_id(self) -> int:
+        """A fresh, never-reused client id (removals leave holes)."""
+        counter = self.__dict__.get("_cid_counter")
+        if counter is None:
+            counter = max((c.cid for c in self.clients), default=-1) + 1
+        self.__dict__["_cid_counter"] = counter + 1
+        return counter
+
+    def add_client(
+        self, point: Point | tuple[float, float], weight: float = 1.0
+    ) -> Client:
+        """A new client arrives; returns its record (with fresh dnn)."""
+        if weight < 0:
+            raise ValueError("client weights must be non-negative")
+        p = Point(*point)
+        dnn = min(
+            p.distance_to(Point(f.x, f.y)) for f in self.facilities
+        )
+        client = Client(self._take_client_id(), p[0], p[1], dnn, weight)
+        self.clients.append(client)
+        self.instance.clients.append(p)
+        self._refresh_client_arrays()
+
+        point_rect = Rect(client.x, client.y, client.x, client.y)
+        if "r_c" in self.__dict__:
+            self.r_c.insert(point_rect, client)
+        if "rnn_tree" in self.__dict__:
+            self.rnn_tree.insert(Circle(p, client.dnn).mbr(), client)
+        if "mnd_tree" in self.__dict__:
+            self.mnd_tree.insert(point_rect, client)
+        return client
+
+    def remove_client(self, client: Client) -> None:
+        """A client departs; all client structures drop it."""
+        try:
+            index = self.clients.index(client)
+        except ValueError:
+            raise ValueError(f"unknown client {client!r}") from None
+        del self.clients[index]
+        del self.instance.clients[index]
+        self._refresh_client_arrays()
+
+        point_rect = Rect(client.x, client.y, client.x, client.y)
+        if "r_c" in self.__dict__:
+            assert self.r_c.delete(point_rect, client)
+        if "rnn_tree" in self.__dict__:
+            nfc_mbr = Circle(Point(client.x, client.y), client.dnn).mbr()
+            assert self.rnn_tree.delete(nfc_mbr, client)
+        if "mnd_tree" in self.__dict__:
+            assert self.mnd_tree.delete(point_rect, client)
+
+    # ------------------------------------------------------------------
+    # Facility updates
+    # ------------------------------------------------------------------
+    def add_facility(self, point: Point | tuple[float, float]) -> Site:
+        """A facility opens: affected clients' dnn (and NFCs) shrink."""
+        p = Point(*point)
+        site = Site(len(self.facilities), p[0], p[1])
+        self.facilities.append(site)
+        self.instance.facilities.append(p)
+        self._invalidate("data_bounds")
+        if "r_f" in self.__dict__:
+            self.r_f.insert(Rect(p[0], p[1], p[0], p[1]), site)
+
+        affected = [
+            c
+            for c in self.clients
+            if Point(c.x, c.y).distance_to(p) < c.dnn
+        ]
+        self._update_client_radii(
+            affected, [Point(c.x, c.y).distance_to(p) for c in affected]
+        )
+        return site
+
+    def remove_facility(self, site: Site) -> None:
+        """A facility closes: its clients fall back to the runner-up."""
+        if len(self.facilities) <= 1:
+            raise ValueError("cannot remove the last facility")
+        try:
+            index = self.facilities.index(site)
+        except ValueError:
+            raise ValueError(f"unknown facility {site!r}") from None
+        del self.facilities[index]
+        del self.instance.facilities[index]
+        # Re-number to keep Site ids == list positions.
+        self.facilities = [
+            Site(i, s.x, s.y) for i, s in enumerate(self.facilities)
+        ]
+        self._invalidate("r_f", "data_bounds")
+
+        closed = Point(site.x, site.y)
+        affected: list[Client] = []
+        new_radii: list[float] = []
+        for c in self.clients:
+            if abs(Point(c.x, c.y).distance_to(closed) - c.dnn) <= 1e-9:
+                affected.append(c)
+                new_radii.append(
+                    min(
+                        Point(c.x, c.y).distance_to(Point(f.x, f.y))
+                        for f in self.facilities
+                    )
+                )
+        self._update_client_radii(affected, new_radii)
+
+    def _update_client_radii(
+        self, clients: list[Client], new_radii: list[float]
+    ) -> None:
+        """Move the given clients' NFCs to their new radii, keeping the
+        radius-dependent indexes consistent."""
+        for client, radius in zip(clients, new_radii):
+            point = Point(client.x, client.y)
+            point_rect = Rect(client.x, client.y, client.x, client.y)
+            if "rnn_tree" in self.__dict__:
+                old_mbr = Circle(point, client.dnn).mbr()
+                assert self.rnn_tree.delete(old_mbr, client)
+            if "mnd_tree" in self.__dict__:
+                # Delete while the old radius is still in effect so the
+                # condense step recomputes consistent MNDs, then update
+                # and reinsert.
+                assert self.mnd_tree.delete(point_rect, client)
+            client.dnn = radius
+            if "rnn_tree" in self.__dict__:
+                self.rnn_tree.insert(Circle(point, radius).mbr(), client)
+            if "mnd_tree" in self.__dict__:
+                self.mnd_tree.insert(point_rect, client)
+        if clients:
+            self._refresh_client_arrays()

@@ -1,0 +1,174 @@
+"""MND — the maximum NFC distance method (Section VI, Algorithm 5).
+
+The paper's contribution: the pruning power of the NFC method without
+its extra index.  The client tree ``R_C^m`` stores, in each parent
+entry, one value — the node's *maximum NFC distance* — delimiting a
+rounded-rectangular region guaranteed to enclose the NFCs of every
+client in the subtree.  Theorem 1 then prunes a node pair
+``(N_P, N_C)`` whenever ``minDist(N_C, N_P) >= MND(N_C)``: no potential
+location under ``N_P`` can influence any client under ``N_C``.
+
+The traversal mirrors the NFC join exactly, with the intersection
+predicate replaced by the MND test; each client-side node carries the
+MND stored in its parent entry (the root's MND is derived from its
+resident entries at no I/O cost, since roots have no parent entry).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.core.base import LocationSelector
+from repro.rtree.node import Node
+
+
+class MaximumNFCDistance(LocationSelector):
+    """The MND method: MND-pruned join between ``R_P`` and ``R_C^m``."""
+
+    name = "MND"
+
+    def prepare(self) -> None:
+        __ = self.ws.mnd_tree
+        __ = self.ws.r_p
+
+    def index_pages(self) -> int:
+        return self.ws.mnd_tree.size_pages + self.ws.r_p.size_pages
+
+    # ------------------------------------------------------------------
+    def _compute_distance_reductions(self) -> np.ndarray:
+        ws = self.ws
+        dr = np.zeros(ws.n_p, dtype=np.float64)
+        self._leaf_cache: dict[
+            int, tuple[np.ndarray, np.ndarray, np.ndarray, np.ndarray]
+        ] = {}
+        if ws.mnd_tree.num_entries == 0:
+            return dr
+        node_p = ws.r_p.read_node(ws.r_p.root_id)
+        node_c = ws.mnd_tree.read_node(ws.mnd_tree.root_id)
+        self._join(node_p, node_c, ws.mnd_tree.compute_mnd(node_c), dr)
+        return dr
+
+    def _join(
+        self, node_p: Node, node_c: Node, mnd_c: float, dr: np.ndarray
+    ) -> None:
+        """Algorithm 5: descend where ``minDist < MND`` (Theorem 1)."""
+        ws = self.ws
+        if node_p.is_leaf and node_c.is_leaf:
+            cx, cy, dnn, w = self._leaf_arrays(node_c)
+            for e_p in node_p.entries:
+                site = e_p.payload
+                # For point entries minDist(e_c, e_p) is the exact
+                # distance, and the leaf-level MND of a client is its
+                # dnn — so the paper's line-11 test collapses to the
+                # exact influence test dist < dnn.
+                reduction = dnn - np.hypot(cx - site.x, cy - site.y)
+                positive = reduction > 0.0
+                if positive.any():
+                    dr[site.sid] += float(
+                        (reduction[positive] * w[positive]).sum()
+                    )
+        elif node_p.is_leaf:
+            mbr_p = node_p.mbr()
+            for e_c in node_c.entries:
+                if e_c.mbr.min_dist_rect(mbr_p) < e_c.mnd:
+                    self._join(
+                        node_p, ws.mnd_tree.read_node(e_c.child_id), e_c.mnd, dr
+                    )
+        elif node_c.is_leaf:
+            mbr_c = node_c.mbr()
+            for e_p in node_p.entries:
+                if mbr_c.min_dist_rect(e_p.mbr) < mnd_c:
+                    self._join(ws.r_p.read_node(e_p.child_id), node_c, mnd_c, dr)
+        else:
+            for e_p in node_p.entries:
+                for e_c in node_c.entries:
+                    if e_c.mbr.min_dist_rect(e_p.mbr) < e_c.mnd:
+                        self._join(
+                            ws.r_p.read_node(e_p.child_id),
+                            ws.mnd_tree.read_node(e_c.child_id),
+                            e_c.mnd,
+                            dr,
+                        )
+
+    def _leaf_arrays(
+        self, node: Node
+    ) -> tuple[np.ndarray, np.ndarray, np.ndarray, np.ndarray]:
+        cached = self._leaf_cache.get(node.node_id)
+        if cached is None:
+            clients = [e.payload for e in node.entries]
+            n = len(clients)
+            cached = (
+                np.fromiter((c.x for c in clients), np.float64, n),
+                np.fromiter((c.y for c in clients), np.float64, n),
+                np.fromiter((c.dnn for c in clients), np.float64, n),
+                np.fromiter((c.weight for c in clients), np.float64, n),
+            )
+            self._leaf_cache[node.node_id] = cached
+        return cached
+
+    # ------------------------------------------------------------------
+    # Influence-set materialisation (library extension)
+    # ------------------------------------------------------------------
+    def influence_sets(self) -> dict[int, list[int]]:
+        """``IS(p)`` for every potential location, as client-id lists.
+
+        Runs the same MND-pruned join but collects the influenced
+        clients instead of only their aggregate reduction; ids are
+        sorted for determinism.  Step 1 of the Section III-B framework
+        exposed directly — useful when callers need to *notify* the
+        affected clients, not just score candidates.
+        """
+        ws = self.ws
+        out: dict[int, list[int]] = {p.sid: [] for p in ws.potentials}
+        if ws.mnd_tree.num_entries == 0:
+            return out
+        self._leaf_cache = {}
+        node_p = ws.r_p.read_node(ws.r_p.root_id)
+        node_c = ws.mnd_tree.read_node(ws.mnd_tree.root_id)
+        self._collect_join(node_p, node_c, ws.mnd_tree.compute_mnd(node_c), out)
+        for members in out.values():
+            members.sort()
+        return out
+
+    def _collect_join(
+        self,
+        node_p: Node,
+        node_c: Node,
+        mnd_c: float,
+        out: dict[int, list[int]],
+    ) -> None:
+        ws = self.ws
+        if node_p.is_leaf and node_c.is_leaf:
+            cx, cy, dnn, __w = self._leaf_arrays(node_c)
+            ids = [e.payload.cid for e in node_c.entries]
+            for e_p in node_p.entries:
+                site = e_p.payload
+                influenced = np.nonzero(
+                    np.hypot(cx - site.x, cy - site.y) < dnn
+                )[0]
+                if len(influenced):
+                    out[site.sid].extend(ids[i] for i in influenced)
+        elif node_p.is_leaf:
+            mbr_p = node_p.mbr()
+            for e_c in node_c.entries:
+                if e_c.mbr.min_dist_rect(mbr_p) < e_c.mnd:
+                    self._collect_join(
+                        node_p, ws.mnd_tree.read_node(e_c.child_id), e_c.mnd, out
+                    )
+        elif node_c.is_leaf:
+            mbr_c = node_c.mbr()
+            for e_p in node_p.entries:
+                if mbr_c.min_dist_rect(e_p.mbr) < mnd_c:
+                    self._collect_join(
+                        ws.r_p.read_node(e_p.child_id), node_c, mnd_c, out
+                    )
+        else:
+            for e_p in node_p.entries:
+                for e_c in node_c.entries:
+                    if e_c.mbr.min_dist_rect(e_p.mbr) < e_c.mnd:
+                        self._collect_join(
+                            ws.r_p.read_node(e_p.child_id),
+                            ws.mnd_tree.read_node(e_c.child_id),
+                            e_c.mnd,
+                            out,
+                        )

@@ -1,0 +1,154 @@
+"""QVC — the quasi-Voronoi cell method (Section IV, Algorithms 2–3).
+
+For every potential location ``p``:
+
+1. find the nearest facility in each of the four quadrants around ``p``
+   with one incremental best-first NN stream over ``R_F``;
+2. intersect the bisector half-planes (clipped to the data space) to
+   obtain the quasi-Voronoi cell ``QVC(p)``, whose MBR is the
+   *approximate influence region* ``AIR(p)``;
+3. batch the ``AIR``s of one potential-location block into a single
+   simultaneous window query on ``R_C`` (Algorithm 3), testing
+   ``dist(p, c) < dnn(c, F)`` at the leaves.
+
+Any client satisfying the leaf test is genuinely in ``IS(p)`` (it lies
+in ``p``'s Voronoi cell over ``F ∪ {p}`` which the QVC encloses), so no
+AIR containment re-check is needed — exactly the paper's Algorithm 3.
+
+Edge cases the pseudocode leaves implicit:
+
+* a quadrant with no facility contributes no bisector; the cell is then
+  bounded by the data-space rectangle on that side;
+* a facility coincident with ``p`` makes ``IS(p)`` empty (no client can
+  be strictly closer to ``p`` than to that facility), so ``p`` is
+  skipped with ``dr(p) = 0``.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+import numpy as np
+
+from repro.core.base import LocationSelector
+from repro.core.types import Site
+from repro.geometry.halfplane import bisector_halfplane
+from repro.geometry.point import Point
+from repro.geometry.polygon import ConvexPolygon
+from repro.geometry.rect import Rect
+from repro.rtree.nn import incremental_nearest
+from repro.rtree.node import Node
+
+
+class QuasiVoronoiCell(LocationSelector):
+    """The QVC method: quadrant NNs + batched window queries."""
+
+    name = "QVC"
+
+    def prepare(self) -> None:
+        __ = self.ws.r_c
+        __ = self.ws.r_f
+        __ = self.ws.potential_file
+
+    def index_pages(self) -> int:
+        return self.ws.r_c.size_pages + self.ws.r_f.size_pages
+
+    # ------------------------------------------------------------------
+    def quadrant_nearest_facilities(self, p: Point) -> list[Optional[Site]]:
+        """The NN facility per quadrant around ``p`` (None when empty).
+
+        A single best-first stream serves all four quadrants: facilities
+        arrive in distance order and fill their quadrant's slot; the
+        stream stops once every quadrant is served (Section IV: "retrieve
+        the NNs until each quadrant has one").
+        """
+        found: list[Optional[Site]] = [None, None, None, None]
+        missing = 4
+        for __, site in incremental_nearest(self.ws.r_f, p):
+            quad = Point(site.x, site.y).quadrant_relative_to(p)
+            if found[quad] is None:
+                found[quad] = site
+                missing -= 1
+                if missing == 0:
+                    break
+        return found
+
+    def air(self, p: Point) -> Optional[Rect]:
+        """``AIR(p)``: the MBR of the quasi-Voronoi cell of ``p``.
+
+        Returns None when ``IS(p)`` is provably empty (a facility sits
+        exactly on ``p``).
+        """
+        halfplanes = []
+        for site in self.quadrant_nearest_facilities(p):
+            if site is None:
+                continue
+            f = Point(site.x, site.y)
+            if f == p:
+                return None
+            halfplanes.append(bisector_halfplane(p, f))
+        # Clip against the effective data bounds, not the nominal domain:
+        # clients outside the declared domain must stay coverable.
+        cell = ConvexPolygon.from_rect(self.ws.data_bounds).clip_all(halfplanes)
+        if cell.is_empty():  # numerically degenerate cell
+            return Rect.from_point(p)
+        return cell.mbr()
+
+    # ------------------------------------------------------------------
+    def _compute_distance_reductions(self) -> np.ndarray:
+        ws = self.ws
+        dr = np.zeros(ws.n_p, dtype=np.float64)
+        self._leaf_cache: dict[
+            int, tuple[np.ndarray, np.ndarray, np.ndarray, np.ndarray]
+        ] = {}
+        root_id = ws.r_c.root_id
+        offset = 0
+        # Algorithm 2: process P block by block; each block's AIRs run as
+        # one simultaneous window query down R_C.
+        for p_block in ws.potential_file.iter_blocks():
+            group: list[tuple[int, float, float, Rect]] = []
+            for row, (px, py) in enumerate(p_block):
+                air = self.air(Point(float(px), float(py)))
+                if air is not None:
+                    group.append((offset + row, float(px), float(py), air))
+            if group:
+                self._window_query(root_id, group, dr)
+            offset += len(p_block)
+        return dr
+
+    def _window_query(
+        self,
+        node_id: int,
+        group: list[tuple[int, float, float, Rect]],
+        dr: np.ndarray,
+    ) -> None:
+        """Algorithm 3: one traversal of ``R_C`` shared by a whole block."""
+        node = self.ws.r_c.read_node(node_id)
+        if node.is_leaf:
+            cx, cy, dnn, w = self._leaf_arrays(node)
+            for pid, px, py, __ in group:
+                reduction = dnn - np.hypot(cx - px, cy - py)
+                positive = reduction > 0.0
+                if positive.any():
+                    dr[pid] += float((reduction[positive] * w[positive]).sum())
+            return
+        for entry in node.entries:
+            surviving = [g for g in group if g[3].intersects(entry.mbr)]
+            if surviving:
+                self._window_query(entry.child_id, surviving, dr)
+
+    def _leaf_arrays(
+        self, node: Node
+    ) -> tuple[np.ndarray, np.ndarray, np.ndarray, np.ndarray]:
+        cached = self._leaf_cache.get(node.node_id)
+        if cached is None:
+            clients = [e.payload for e in node.entries]
+            n = len(clients)
+            cached = (
+                np.fromiter((c.x for c in clients), np.float64, n),
+                np.fromiter((c.y for c in clients), np.float64, n),
+                np.fromiter((c.dnn for c in clients), np.float64, n),
+                np.fromiter((c.weight for c in clients), np.float64, n),
+            )
+            self._leaf_cache[node.node_id] = cached
+        return cached

@@ -1,0 +1,30 @@
+"""Method registry: paper names to selector classes."""
+
+from __future__ import annotations
+
+from typing import Type
+
+from repro.core.base import LocationSelector
+from repro.core.mnd import MaximumNFCDistance
+from repro.core.nfc import NearestFacilityCircle
+from repro.core.qvc import QuasiVoronoiCell
+from repro.core.ss import SequentialScan
+from repro.core.workspace import Workspace
+
+#: All methods by their paper names.
+METHODS: dict[str, Type[LocationSelector]] = {
+    "SS": SequentialScan,
+    "QVC": QuasiVoronoiCell,
+    "NFC": NearestFacilityCircle,
+    "MND": MaximumNFCDistance,
+}
+
+
+def make_selector(workspace: Workspace, method: str) -> LocationSelector:
+    """Instantiate a method by its paper name (case-insensitive)."""
+    cls = METHODS.get(method.upper())
+    if cls is None:
+        raise ValueError(
+            f"unknown method {method!r}; expected one of {sorted(METHODS)}"
+        )
+    return cls(workspace)

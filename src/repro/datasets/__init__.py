@@ -1,0 +1,34 @@
+"""Dataset generation for the experimental study (Section VIII).
+
+Synthetic data follows Table IV of the paper: a 1000x1000 space domain
+with uniform, Gaussian and Zipfian point distributions.  The real DCW
+datasets (Digital Chart of the World populated places / cultural
+landmarks) are not redistributable and the hosting site is offline, so
+:mod:`repro.datasets.real` substitutes calibrated cluster processes with
+the paper's exact cardinalities — see DESIGN.md §4.
+"""
+
+from repro.datasets.generators import (
+    DOMAIN,
+    SpatialInstance,
+    gaussian_points,
+    make_instance,
+    uniform_points,
+    zipfian_points,
+)
+from repro.datasets.real import real_instance
+from repro.datasets.io import load_points_csv, save_points_csv
+from repro.datasets.zipf import ZipfSampler
+
+__all__ = [
+    "DOMAIN",
+    "SpatialInstance",
+    "ZipfSampler",
+    "gaussian_points",
+    "load_points_csv",
+    "make_instance",
+    "real_instance",
+    "save_points_csv",
+    "uniform_points",
+    "zipfian_points",
+]

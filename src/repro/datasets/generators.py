@@ -1,0 +1,183 @@
+"""Synthetic point generators (Table IV).
+
+All generators emit points inside the paper's 1000x1000 space domain and
+take an explicit ``random.Random`` or seed, so every experiment is
+reproducible.
+
+Interpretation notes for under-specified parameters:
+
+* *Gaussian*: the paper lists mu = 0 and sigma^2 in {0.125 .. 2} for a
+  1000-wide domain, so the parameters are clearly in normalised units.
+  We map a standard-normal draw ``z ~ N(0, sigma^2)`` to
+  ``center + z * DOMAIN_SCALE`` with ``DOMAIN_SCALE = 250`` and reject
+  draws outside the domain.  Small sigma^2 concentrates points at the
+  centre; sigma^2 = 2 approaches a broad spread — matching the paper's
+  observation that "increasing sigma^2 leads to less dense data points
+  at the center".
+* *Zipfian*: ranks from a ``ZipfSampler(N=1000, alpha)`` choose one of
+  ``N`` equal-width bins per axis (independently), with uniform jitter
+  inside the bin.  Larger alpha skews mass toward the low-coordinate
+  corner.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass, field
+from typing import Callable, Sequence
+
+from repro.geometry.point import Point
+from repro.geometry.rect import Rect
+from repro.datasets.zipf import ZipfSampler
+
+#: The paper's space domain ("generated with a space domain of 1000x1000").
+DOMAIN = Rect(0.0, 0.0, 1000.0, 1000.0)
+
+#: Standard deviation multiplier mapping normalised Gaussian units to
+#: domain units (see module docstring).
+DOMAIN_SCALE = 250.0
+
+
+def _resolve_rng(rng: random.Random | int | None) -> random.Random:
+    if isinstance(rng, random.Random):
+        return rng
+    return random.Random(rng)
+
+
+def uniform_points(
+    n: int, rng: random.Random | int | None = None, domain: Rect = DOMAIN
+) -> list[Point]:
+    """``n`` points uniformly distributed over ``domain``."""
+    r = _resolve_rng(rng)
+    return [
+        Point(r.uniform(domain.xmin, domain.xmax), r.uniform(domain.ymin, domain.ymax))
+        for _ in range(n)
+    ]
+
+
+def gaussian_points(
+    n: int,
+    sigma_sq: float = 1.0,
+    rng: random.Random | int | None = None,
+    domain: Rect = DOMAIN,
+) -> list[Point]:
+    """``n`` points from a centred Gaussian with variance ``sigma_sq``
+    (normalised units; see module docstring), rejected to ``domain``."""
+    if sigma_sq <= 0:
+        raise ValueError("sigma_sq must be positive")
+    r = _resolve_rng(rng)
+    sigma = sigma_sq ** 0.5 * DOMAIN_SCALE
+    cx, cy = domain.center
+    out: list[Point] = []
+    while len(out) < n:
+        p = Point(r.gauss(cx, sigma), r.gauss(cy, sigma))
+        if domain.contains_point(p):
+            out.append(p)
+    return out
+
+
+def zipfian_points(
+    n: int,
+    alpha: float = 0.9,
+    n_ranks: int = 1000,
+    rng: random.Random | int | None = None,
+    domain: Rect = DOMAIN,
+) -> list[Point]:
+    """``n`` points with Zipf-distributed per-axis bin choices
+    (Table IV: N = 1000 bins, skew ``alpha``)."""
+    r = _resolve_rng(rng)
+    sampler = ZipfSampler(n_ranks, alpha, r)
+    bin_w = domain.width / n_ranks
+    bin_h = domain.height / n_ranks
+    out: list[Point] = []
+    for _ in range(n):
+        bx = sampler.sample() - 1
+        by = sampler.sample() - 1
+        out.append(
+            Point(
+                domain.xmin + (bx + r.random()) * bin_w,
+                domain.ymin + (by + r.random()) * bin_h,
+            )
+        )
+    return out
+
+
+@dataclass
+class SpatialInstance:
+    """One query instance: clients, facilities and potential locations.
+
+    ``client_weights`` (optional, aligned with ``clients``) scales each
+    client's contribution to the objective; ``None`` means the paper's
+    unweighted setting (all 1.0).
+    """
+
+    name: str
+    clients: list[Point]
+    facilities: list[Point]
+    potentials: list[Point]
+    domain: Rect = field(default=DOMAIN)
+    client_weights: list[float] | None = None
+
+    def __post_init__(self) -> None:
+        if self.client_weights is not None:
+            if len(self.client_weights) != len(self.clients):
+                raise ValueError(
+                    "client_weights must align with clients "
+                    f"({len(self.client_weights)} != {len(self.clients)})"
+                )
+            if any(w < 0 for w in self.client_weights):
+                raise ValueError("client weights must be non-negative")
+
+    @property
+    def n_c(self) -> int:
+        return len(self.clients)
+
+    @property
+    def n_f(self) -> int:
+        return len(self.facilities)
+
+    @property
+    def n_p(self) -> int:
+        return len(self.potentials)
+
+    def __repr__(self) -> str:
+        return (
+            f"SpatialInstance({self.name!r}, n_c={self.n_c}, n_f={self.n_f}, "
+            f"n_p={self.n_p})"
+        )
+
+
+def make_instance(
+    n_c: int,
+    n_f: int,
+    n_p: int,
+    distribution: str = "uniform",
+    rng: random.Random | int | None = None,
+    name: str | None = None,
+    **dist_params,
+) -> SpatialInstance:
+    """Generate a full query instance with one distribution for all sets.
+
+    ``distribution`` is ``"uniform"``, ``"gaussian"`` (accepts
+    ``sigma_sq``) or ``"zipfian"`` (accepts ``alpha`` and ``n_ranks``).
+    All three datasets are drawn independently from the same
+    distribution, following the paper's synthetic setup.
+    """
+    r = _resolve_rng(rng)
+    generators: dict[str, Callable[..., Sequence[Point]]] = {
+        "uniform": uniform_points,
+        "gaussian": gaussian_points,
+        "zipfian": zipfian_points,
+    }
+    if distribution not in generators:
+        raise ValueError(
+            f"unknown distribution {distribution!r}; "
+            f"expected one of {sorted(generators)}"
+        )
+    gen = generators[distribution]
+    return SpatialInstance(
+        name=name or f"{distribution}(n_c={n_c},n_f={n_f},n_p={n_p})",
+        clients=list(gen(n_c, rng=r, **dist_params)),
+        facilities=list(gen(n_f, rng=r, **dist_params)),
+        potentials=list(gen(n_p, rng=r, **dist_params)),
+    )

@@ -1,0 +1,41 @@
+"""Point-set persistence.
+
+Simple CSV import/export so generated instances can be saved, inspected
+or swapped for externally obtained files (e.g. the original DCW extracts
+if a user has them) without touching the experiment code.
+"""
+
+from __future__ import annotations
+
+import csv
+from pathlib import Path
+from typing import Iterable
+
+from repro.geometry.point import Point
+
+
+def save_points_csv(path: str | Path, points: Iterable[Point]) -> int:
+    """Write ``x,y`` rows; returns the number of points written."""
+    count = 0
+    with open(path, "w", newline="") as f:
+        writer = csv.writer(f)
+        writer.writerow(["x", "y"])
+        for p in points:
+            writer.writerow([repr(float(p[0])), repr(float(p[1]))])
+            count += 1
+    return count
+
+
+def load_points_csv(path: str | Path) -> list[Point]:
+    """Read points written by :func:`save_points_csv` (header required)."""
+    out: list[Point] = []
+    with open(path, newline="") as f:
+        reader = csv.reader(f)
+        header = next(reader, None)
+        if header is None or [h.strip().lower() for h in header[:2]] != ["x", "y"]:
+            raise ValueError(f"{path}: expected a CSV with an 'x,y' header")
+        for row in reader:
+            if not row:
+                continue
+            out.append(Point(float(row[0]), float(row[1])))
+    return out

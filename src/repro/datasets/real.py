@@ -1,0 +1,118 @@
+"""Substitutes for the Digital Chart of the World real datasets.
+
+The paper's real-data experiments (Fig. 14) use two dataset groups from
+rtreeportal.org's Digital Chart of the World extracts:
+
+* **US**: populated places as clients (15 206) and cultural landmarks
+  split randomly in half into facilities (3 008) and potential
+  locations (3 009);
+* **NA**: the same for North America (24 493 / 4 601 / 4 602).
+
+Those files are no longer distributable offline, so this module builds a
+*calibrated substitute*: a two-level Neyman–Scott (Thomas) cluster
+process.  Real populated-place data is strongly clustered at two scales
+(metro regions, towns within regions) with a thin uniform background —
+exactly what a parent/child cluster process produces.  The experiments
+only depend on cardinalities and on this clustering (which drives NFC
+radii and R-tree overlap), so the substitution preserves the comparative
+behaviour the figure reports; see DESIGN.md §4.
+
+Landmarks are generated as one point set and split 50/50 at random into
+``F`` and ``P``, mirroring the paper's procedure; landmark parents are
+correlated with the client parents because real landmarks concentrate
+where people live.
+"""
+
+from __future__ import annotations
+
+import random
+
+from repro.datasets.generators import DOMAIN, SpatialInstance, _resolve_rng
+from repro.geometry.point import Point
+from repro.geometry.rect import Rect
+
+#: Cardinalities quoted in Section VIII-A of the paper.
+REAL_GROUPS: dict[str, tuple[int, int, int]] = {
+    "US": (15206, 3008, 3009),
+    "NA": (24493, 4601, 4602),
+}
+
+
+def _thomas_process(
+    n: int,
+    parents: list[Point],
+    child_sigma: float,
+    background_fraction: float,
+    rng: random.Random,
+    domain: Rect,
+) -> list[Point]:
+    """``n`` points: Gaussian offspring around ``parents`` plus a thin
+    uniform background, rejected to ``domain``."""
+    out: list[Point] = []
+    while len(out) < n:
+        if rng.random() < background_fraction:
+            p = Point(
+                rng.uniform(domain.xmin, domain.xmax),
+                rng.uniform(domain.ymin, domain.ymax),
+            )
+        else:
+            px, py = rng.choice(parents)
+            p = Point(rng.gauss(px, child_sigma), rng.gauss(py, child_sigma))
+            if not domain.contains_point(p):
+                continue
+        out.append(p)
+    return out
+
+
+def real_instance(
+    group: str,
+    rng: random.Random | int | None = None,
+    domain: Rect = DOMAIN,
+    scale: float = 1.0,
+) -> SpatialInstance:
+    """A substitute for the paper's ``US`` or ``NA`` dataset group.
+
+    ``scale`` < 1 shrinks all three cardinalities proportionally (used
+    by the fast benchmark suite); ``scale = 1`` reproduces the paper's
+    exact sizes.
+    """
+    if group not in REAL_GROUPS:
+        raise ValueError(f"unknown real group {group!r}; expected US or NA")
+    n_c, n_f, n_p = (max(1, int(round(v * scale))) for v in REAL_GROUPS[group])
+    r = _resolve_rng(rng)
+
+    # Level 1: metro-region parents; level 2: town parents around them.
+    n_regions = max(4, n_c // 1500)
+    regions = [
+        Point(r.uniform(domain.xmin, domain.xmax), r.uniform(domain.ymin, domain.ymax))
+        for _ in range(n_regions)
+    ]
+    towns: list[Point] = []
+    region_sigma = min(domain.width, domain.height) * 0.08
+    for _ in range(max(8, n_c // 150)):
+        rx, ry = r.choice(regions)
+        towns.append(Point(r.gauss(rx, region_sigma), r.gauss(ry, region_sigma)))
+
+    town_sigma = min(domain.width, domain.height) * 0.015
+    clients = _thomas_process(
+        n_c, towns, town_sigma, background_fraction=0.05, rng=r, domain=domain
+    )
+    # Landmarks cluster around the same towns but more loosely.
+    landmarks = _thomas_process(
+        n_f + n_p,
+        towns,
+        town_sigma * 2.0,
+        background_fraction=0.10,
+        rng=r,
+        domain=domain,
+    )
+    r.shuffle(landmarks)
+    facilities = landmarks[:n_f]
+    potentials = landmarks[n_f:]
+    return SpatialInstance(
+        name=f"real-{group}" + (f"@{scale:g}" if scale != 1.0 else ""),
+        clients=clients,
+        facilities=facilities,
+        potentials=potentials,
+        domain=domain,
+    )

@@ -1,0 +1,45 @@
+"""Zipfian sampling.
+
+Table IV uses a Zipfian distribution with ``N = 1000`` ranks and skew
+``alpha`` in {0.1, 0.3, 0.6, 0.9, 1.2}.  ``ZipfSampler`` draws ranks
+``i`` in ``1..N`` with probability proportional to ``1 / i^alpha`` by
+inverting the precomputed CDF (O(log N) per draw).
+"""
+
+from __future__ import annotations
+
+import bisect
+import random
+
+
+class ZipfSampler:
+    """Draws Zipf-distributed ranks in ``1..n`` with exponent ``alpha``."""
+
+    def __init__(self, n: int, alpha: float, rng: random.Random):
+        if n < 1:
+            raise ValueError("ZipfSampler needs n >= 1")
+        if alpha < 0:
+            raise ValueError("ZipfSampler needs alpha >= 0")
+        self.n = n
+        self.alpha = alpha
+        self._rng = rng
+        weights = [1.0 / (i ** alpha) for i in range(1, n + 1)]
+        total = sum(weights)
+        acc = 0.0
+        self._cdf: list[float] = []
+        for w in weights:
+            acc += w / total
+            self._cdf.append(acc)
+        self._cdf[-1] = 1.0  # guard against round-off
+
+    def sample(self) -> int:
+        """One rank in ``1..n`` (rank 1 is the most probable)."""
+        u = self._rng.random()
+        return bisect.bisect_left(self._cdf, u) + 1
+
+    def probability(self, rank: int) -> float:
+        """P(rank); ranks outside ``1..n`` have probability 0."""
+        if rank < 1 or rank > self.n:
+            return 0.0
+        lo = self._cdf[rank - 2] if rank >= 2 else 0.0
+        return self._cdf[rank - 1] - lo

@@ -1,0 +1,58 @@
+"""The experimental study of Section VIII, figure by figure.
+
+Usage::
+
+    from repro.experiments import client_size_sweep, format_sweep
+    sweep = client_size_sweep(scale=0.05)   # Fig. 10 at 1/20 scale
+    print(format_sweep(sweep))
+
+Every sweep runs all four methods on freshly generated datasets,
+verifies they agree on the answer, and reports the three paper metrics.
+"""
+
+from repro.experiments.config import (
+    BENCH_SCALE,
+    PAPER_DEFAULTS,
+    PAPER_SWEEPS,
+    ExperimentConfig,
+    bench_default,
+    bench_sweep_values,
+)
+from repro.experiments.full_run import FIGURES, run_full_evaluation
+from repro.experiments.metrics import MeasuredRun, SweepResult
+from repro.experiments.plot import render_sweep_svg, save_sweep_figures
+from repro.experiments.report import format_sweep, sweep_to_csv
+from repro.experiments.runner import DEFAULT_METHODS, run_config
+from repro.experiments.sweeps import (
+    client_size_sweep,
+    facility_size_sweep,
+    gaussian_sweep,
+    potential_size_sweep,
+    real_dataset_runs,
+    zipfian_sweep,
+)
+
+__all__ = [
+    "BENCH_SCALE",
+    "DEFAULT_METHODS",
+    "ExperimentConfig",
+    "FIGURES",
+    "run_full_evaluation",
+    "MeasuredRun",
+    "PAPER_DEFAULTS",
+    "PAPER_SWEEPS",
+    "SweepResult",
+    "bench_default",
+    "bench_sweep_values",
+    "client_size_sweep",
+    "facility_size_sweep",
+    "format_sweep",
+    "gaussian_sweep",
+    "potential_size_sweep",
+    "real_dataset_runs",
+    "render_sweep_svg",
+    "save_sweep_figures",
+    "run_config",
+    "sweep_to_csv",
+    "zipfian_sweep",
+]

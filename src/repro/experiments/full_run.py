@@ -1,0 +1,88 @@
+"""One-call regeneration of the paper's whole evaluation.
+
+``run_full_evaluation`` executes every figure sweep at a chosen scale
+and writes, per figure: the paper-style text table, the raw CSV, and
+one SVG per metric.  A summary index lands in ``SUMMARY.md``.  This is
+what ``mindist reproduce`` runs.
+"""
+
+from __future__ import annotations
+
+import time
+from pathlib import Path
+from typing import Callable, Optional, Sequence
+
+from repro.experiments.metrics import SweepResult
+from repro.experiments.plot import save_sweep_figures
+from repro.experiments.report import format_sweep, sweep_to_csv
+from repro.experiments.sweeps import (
+    client_size_sweep,
+    facility_size_sweep,
+    gaussian_sweep,
+    potential_size_sweep,
+    real_dataset_runs,
+    zipfian_sweep,
+)
+
+#: figure id -> (title, sweep callable).
+FIGURES: dict[str, tuple[str, Callable[..., SweepResult]]] = {
+    "fig10": ("Fig. 10 — effect of client set size", client_size_sweep),
+    "fig11": ("Fig. 11 — effect of existing facility set size", facility_size_sweep),
+    "fig12": ("Fig. 12 — effect of potential location set size", potential_size_sweep),
+    "fig13": ("Fig. 13 — Gaussian datasets, varying sigma^2", gaussian_sweep),
+    "fig13b": ("Sec. VIII-C — Zipfian datasets, varying alpha", zipfian_sweep),
+    "fig14": ("Fig. 14 — real dataset groups (US/NA substitutes)", real_dataset_runs),
+}
+
+
+def run_full_evaluation(
+    out_dir: str | Path,
+    scale: float = 0.2,
+    figures: Optional[Sequence[str]] = None,
+    methods: Sequence[str] = ("SS", "QVC", "NFC", "MND"),
+    echo: Callable[[str], None] = print,
+) -> dict[str, SweepResult]:
+    """Run the selected figures; returns their sweeps.
+
+    ``out_dir`` receives ``<figure>.txt`` / ``.csv`` / ``.<metric>.svg``
+    files plus a ``SUMMARY.md`` index.  Figure 14 always runs at the
+    paper's real-dataset cardinalities scaled by ``scale``.
+    """
+    wanted = list(figures) if figures else list(FIGURES)
+    unknown = [f for f in wanted if f not in FIGURES]
+    if unknown:
+        raise ValueError(f"unknown figures: {unknown}; have {sorted(FIGURES)}")
+
+    out_dir = Path(out_dir)
+    out_dir.mkdir(parents=True, exist_ok=True)
+    results: dict[str, SweepResult] = {}
+    summary = [
+        "# Reproduced evaluation",
+        "",
+        f"scale = {scale:g} (1.0 = the paper's cardinalities)",
+        "",
+    ]
+    for fig in wanted:
+        title, sweep_fn = FIGURES[fig]
+        echo(f"running {fig}: {title} ...")
+        started = time.perf_counter()
+        sweep = sweep_fn(scale=scale, methods=methods)
+        elapsed = time.perf_counter() - started
+        results[fig] = sweep
+
+        text = format_sweep(sweep)
+        (out_dir / f"{fig}.txt").write_text(text + "\n")
+        (out_dir / f"{fig}.csv").write_text(sweep_to_csv(sweep))
+        svg_paths = save_sweep_figures(sweep, out_dir)
+        echo(f"  done in {elapsed:.1f}s -> {fig}.txt, {fig}.csv, "
+             f"{len(svg_paths)} SVGs")
+
+        summary.append(f"## {title}")
+        summary.append("")
+        summary.append("```")
+        summary.append(text)
+        summary.append("```")
+        summary.append("")
+    (out_dir / "SUMMARY.md").write_text("\n".join(summary))
+    echo(f"summary written to {out_dir / 'SUMMARY.md'}")
+    return results

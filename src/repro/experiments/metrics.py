@@ -1,0 +1,45 @@
+"""Measurement records produced by the experiment harness."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+
+@dataclass
+class MeasuredRun:
+    """One (configuration, method) measurement."""
+
+    config_label: str
+    method: str
+    x: float  # the swept parameter value this run belongs to
+    elapsed_s: float
+    io_total: int
+    index_pages: int
+    dr: float
+    location_id: int
+    io_breakdown: dict[str, int] = field(default_factory=dict)
+
+
+@dataclass
+class SweepResult:
+    """All measurements of one parameter sweep (one paper figure)."""
+
+    name: str
+    parameter: str
+    x_values: list[float]
+    runs: list[MeasuredRun] = field(default_factory=list)
+
+    def series(self, method: str, metric: str) -> list[float]:
+        """The per-x series of ``metric`` for ``method``, in x order.
+
+        ``metric`` is one of ``elapsed_s``, ``io_total``, ``index_pages``.
+        """
+        by_x = {run.x: run for run in self.runs if run.method == method}
+        return [getattr(by_x[x], metric) for x in self.x_values]
+
+    def methods(self) -> list[str]:
+        seen: list[str] = []
+        for run in self.runs:
+            if run.method not in seen:
+                seen.append(run.method)
+        return seen

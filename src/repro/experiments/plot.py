@@ -1,0 +1,224 @@
+"""Figure rendering: pure-Python SVG line charts.
+
+The paper's evaluation is presented as log-scale line plots with one
+series per method; this module renders a
+:class:`~repro.experiments.metrics.SweepResult` into the same kind of
+figure as a standalone SVG file, with no plotting dependency.  Axis
+ticks, legend and per-method markers follow the paper's layout closely
+enough that a reproduced figure reads side-by-side with the original.
+"""
+
+from __future__ import annotations
+
+import math
+from pathlib import Path
+from typing import Optional, Sequence
+
+from repro.experiments.metrics import SweepResult
+
+#: Method -> (stroke colour, marker shape). Colour-blind-safe palette.
+_SERIES_STYLE = {
+    "SS": ("#888888", "square"),
+    "QVC": ("#d62728", "triangle"),
+    "NFC": ("#1f77b4", "circle"),
+    "MND": ("#2ca02c", "diamond"),
+}
+_DEFAULT_STYLE = ("#9467bd", "circle")
+
+_WIDTH, _HEIGHT = 480, 360
+_MARGIN_L, _MARGIN_R, _MARGIN_T, _MARGIN_B = 64, 16, 28, 48
+
+_METRIC_LABEL = {
+    "elapsed_s": "running time (s)",
+    "io_total": "number of I/Os",
+    "index_pages": "index size (pages)",
+}
+
+
+def _nice_log_ticks(lo: float, hi: float) -> list[float]:
+    """Powers of ten covering [lo, hi]."""
+    first = math.floor(math.log10(lo)) if lo > 0 else 0
+    last = math.ceil(math.log10(hi)) if hi > 0 else 1
+    return [10.0 ** e for e in range(first, last + 1)]
+
+
+def _nice_linear_ticks(lo: float, hi: float, count: int = 5) -> list[float]:
+    if hi <= lo:
+        return [lo]
+    raw = (hi - lo) / count
+    magnitude = 10 ** math.floor(math.log10(raw))
+    step = min(
+        (m * magnitude for m in (1, 2, 5, 10) if m * magnitude >= raw),
+        default=magnitude,
+    )
+    start = math.floor(lo / step) * step
+    ticks = []
+    t = start
+    while t <= hi + step / 2:
+        ticks.append(round(t, 10))
+        t += step
+    return ticks
+
+
+def _marker(shape: str, x: float, y: float, color: str) -> str:
+    if shape == "square":
+        return (
+            f'<rect x="{x - 3.5:.1f}" y="{y - 3.5:.1f}" width="7" height="7" '
+            f'fill="{color}"/>'
+        )
+    if shape == "triangle":
+        return (
+            f'<polygon points="{x:.1f},{y - 4:.1f} {x - 4:.1f},{y + 3.5:.1f} '
+            f'{x + 4:.1f},{y + 3.5:.1f}" fill="{color}"/>'
+        )
+    if shape == "diamond":
+        return (
+            f'<polygon points="{x:.1f},{y - 4.5:.1f} {x + 4.5:.1f},{y:.1f} '
+            f'{x:.1f},{y + 4.5:.1f} {x - 4.5:.1f},{y:.1f}" fill="{color}"/>'
+        )
+    return f'<circle cx="{x:.1f}" cy="{y:.1f}" r="3.5" fill="{color}"/>'
+
+
+def render_sweep_svg(
+    sweep: SweepResult,
+    metric: str = "io_total",
+    log_x: bool = True,
+    log_y: bool = True,
+    title: Optional[str] = None,
+) -> str:
+    """Render one metric of a sweep as an SVG document (a string)."""
+    if metric not in _METRIC_LABEL:
+        raise ValueError(f"unknown metric {metric!r}")
+    methods = sweep.methods()
+    if not methods or not sweep.x_values:
+        raise ValueError("cannot render an empty sweep")
+
+    xs = list(sweep.x_values)
+    series = {m: sweep.series(m, metric) for m in methods}
+    all_y = [v for values in series.values() for v in values]
+
+    # Zero values break a log axis; fall back to linear when present.
+    if log_y and min(all_y) <= 0:
+        log_y = False
+    if log_x and min(xs) <= 0:
+        log_x = False
+
+    def x_pos(x: float) -> float:
+        lo, hi = min(xs), max(xs)
+        if hi == lo:
+            frac = 0.5
+        elif log_x:
+            frac = (math.log10(x) - math.log10(lo)) / (
+                math.log10(hi) - math.log10(lo)
+            )
+        else:
+            frac = (x - lo) / (hi - lo)
+        return _MARGIN_L + frac * (_WIDTH - _MARGIN_L - _MARGIN_R)
+
+    y_lo, y_hi = min(all_y), max(all_y)
+    if log_y:
+        ticks_y = _nice_log_ticks(y_lo, y_hi)
+        y_lo, y_hi = ticks_y[0], ticks_y[-1]
+    else:
+        ticks_y = _nice_linear_ticks(0.0 if y_lo > 0 else y_lo, y_hi)
+        y_lo, y_hi = ticks_y[0], ticks_y[-1]
+
+    def y_pos(y: float) -> float:
+        if y_hi == y_lo:
+            frac = 0.5
+        elif log_y:
+            frac = (math.log10(max(y, 1e-12)) - math.log10(y_lo)) / (
+                math.log10(y_hi) - math.log10(y_lo)
+            )
+        else:
+            frac = (y - y_lo) / (y_hi - y_lo)
+        return _HEIGHT - _MARGIN_B - frac * (_HEIGHT - _MARGIN_T - _MARGIN_B)
+
+    parts = [
+        f'<svg xmlns="http://www.w3.org/2000/svg" width="{_WIDTH}" '
+        f'height="{_HEIGHT}" viewBox="0 0 {_WIDTH} {_HEIGHT}" '
+        f'font-family="sans-serif" font-size="11">',
+        f'<rect width="{_WIDTH}" height="{_HEIGHT}" fill="white"/>',
+        f'<text x="{_WIDTH / 2:.0f}" y="16" text-anchor="middle" '
+        f'font-size="13">{title or sweep.name}</text>',
+    ]
+
+    # Axes frame.
+    x0, x1 = _MARGIN_L, _WIDTH - _MARGIN_R
+    y0, y1 = _HEIGHT - _MARGIN_B, _MARGIN_T
+    parts.append(
+        f'<rect x="{x0}" y="{y1}" width="{x1 - x0}" height="{y0 - y1}" '
+        f'fill="none" stroke="#333"/>'
+    )
+
+    # Y ticks and grid lines.
+    for tick in ticks_y:
+        y = y_pos(tick)
+        if not (y1 - 1 <= y <= y0 + 1):
+            continue
+        label = f"{tick:g}"
+        parts.append(
+            f'<line x1="{x0}" y1="{y:.1f}" x2="{x1}" y2="{y:.1f}" '
+            f'stroke="#ddd"/>'
+        )
+        parts.append(
+            f'<text x="{x0 - 6}" y="{y + 3.5:.1f}" text-anchor="end">{label}</text>'
+        )
+
+    # X ticks: the swept values themselves (paper style).
+    for x in xs:
+        px = x_pos(x)
+        parts.append(
+            f'<line x1="{px:.1f}" y1="{y0}" x2="{px:.1f}" y2="{y0 + 4}" '
+            f'stroke="#333"/>'
+        )
+        parts.append(
+            f'<text x="{px:.1f}" y="{y0 + 16}" text-anchor="middle">{x:g}</text>'
+        )
+    parts.append(
+        f'<text x="{(x0 + x1) / 2:.0f}" y="{_HEIGHT - 10}" '
+        f'text-anchor="middle">{sweep.parameter}</text>'
+    )
+    parts.append(
+        f'<text x="14" y="{(y0 + y1) / 2:.0f}" text-anchor="middle" '
+        f'transform="rotate(-90 14 {(y0 + y1) / 2:.0f})">'
+        f"{_METRIC_LABEL[metric]}</text>"
+    )
+
+    # Series.
+    for m in methods:
+        color, shape = _SERIES_STYLE.get(m, _DEFAULT_STYLE)
+        pts = [(x_pos(x), y_pos(v)) for x, v in zip(xs, series[m])]
+        path = " ".join(f"{px:.1f},{py:.1f}" for px, py in pts)
+        parts.append(
+            f'<polyline points="{path}" fill="none" stroke="{color}" '
+            f'stroke-width="1.8"/>'
+        )
+        for px, py in pts:
+            parts.append(_marker(shape, px, py, color))
+
+    # Legend (top-left inside the frame).
+    for i, m in enumerate(methods):
+        color, shape = _SERIES_STYLE.get(m, _DEFAULT_STYLE)
+        ly = y1 + 14 + i * 15
+        parts.append(_marker(shape, x0 + 12, ly - 3, color))
+        parts.append(f'<text x="{x0 + 22}" y="{ly}">{m}</text>')
+
+    parts.append("</svg>")
+    return "\n".join(parts)
+
+
+def save_sweep_figures(
+    sweep: SweepResult,
+    directory: str | Path,
+    metrics: Sequence[str] = ("elapsed_s", "io_total", "index_pages"),
+) -> list[Path]:
+    """Write one SVG per metric into ``directory``; returns the paths."""
+    directory = Path(directory)
+    directory.mkdir(parents=True, exist_ok=True)
+    written: list[Path] = []
+    for metric in metrics:
+        path = directory / f"{sweep.name}.{metric}.svg"
+        path.write_text(render_sweep_svg(sweep, metric))
+        written.append(path)
+    return written

@@ -1,0 +1,85 @@
+"""Plain-text and CSV reporting of sweep results.
+
+The paper presents its evaluation as line plots; in a terminal the same
+series read best as aligned tables with one row per swept value and one
+column per method — that is what ``format_sweep`` emits, one table per
+metric (running time, #I/Os, index size).
+"""
+
+from __future__ import annotations
+
+import csv
+import io
+from typing import Sequence
+
+from repro.experiments.metrics import SweepResult
+
+#: metric key -> (table title, value formatter)
+METRICS: dict[str, tuple[str, str]] = {
+    "elapsed_s": ("running time (s)", "{:.4f}"),
+    "io_total": ("number of I/Os", "{:d}"),
+    "index_pages": ("index size (pages)", "{:d}"),
+}
+
+
+def format_sweep(
+    sweep: SweepResult, metrics: Sequence[str] = ("elapsed_s", "io_total", "index_pages")
+) -> str:
+    """Aligned tables for the requested metrics, paper-figure style."""
+    methods = sweep.methods()
+    blocks: list[str] = []
+    for metric in metrics:
+        title, fmt = METRICS[metric]
+        header = [sweep.parameter] + methods
+        rows: list[list[str]] = []
+        for i, x in enumerate(sweep.x_values):
+            row = [f"{x:g}"]
+            for m in methods:
+                value = sweep.series(m, metric)[i]
+                row.append(fmt.format(int(value) if metric != "elapsed_s" else value))
+            rows.append(row)
+        widths = [
+            max(len(header[c]), *(len(r[c]) for r in rows))
+            for c in range(len(header))
+        ]
+        lines = [f"{sweep.name} — {title}"]
+        lines.append("  ".join(h.rjust(w) for h, w in zip(header, widths)))
+        lines.append("  ".join("-" * w for w in widths))
+        for r in rows:
+            lines.append("  ".join(v.rjust(w) for v, w in zip(r, widths)))
+        blocks.append("\n".join(lines))
+    return "\n\n".join(blocks)
+
+
+def sweep_to_csv(sweep: SweepResult) -> str:
+    """All runs of a sweep as CSV (one row per run)."""
+    buf = io.StringIO()
+    writer = csv.writer(buf)
+    writer.writerow(
+        [
+            "sweep",
+            "parameter",
+            "x",
+            "method",
+            "elapsed_s",
+            "io_total",
+            "index_pages",
+            "dr",
+            "location_id",
+        ]
+    )
+    for run in sweep.runs:
+        writer.writerow(
+            [
+                sweep.name,
+                sweep.parameter,
+                run.x,
+                run.method,
+                f"{run.elapsed_s:.6f}",
+                run.io_total,
+                run.index_pages,
+                f"{run.dr:.6f}",
+                run.location_id,
+            ]
+        )
+    return buf.getvalue()

@@ -1,0 +1,66 @@
+"""Running methods over configurations.
+
+``run_config`` materialises one dataset, builds the shared workspace,
+prepares each requested method's indexes *outside* the measured window,
+runs the queries, and cross-checks that every method returned the same
+answer (they answer the same well-defined query; disagreement would be
+a bug, and the harness refuses to report numbers for wrong answers).
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Optional, Sequence
+
+from repro.core import METHODS, Workspace, make_selector
+from repro.experiments.config import ExperimentConfig
+from repro.experiments.metrics import MeasuredRun
+
+DEFAULT_METHODS: tuple[str, ...] = ("SS", "QVC", "NFC", "MND")
+
+
+def run_config(
+    config: ExperimentConfig,
+    methods: Sequence[str] = DEFAULT_METHODS,
+    x: Optional[float] = None,
+    workspace: Optional[Workspace] = None,
+) -> list[MeasuredRun]:
+    """Run ``methods`` on one configuration; returns their measurements.
+
+    ``x`` tags the runs with the swept parameter value (for sweeps);
+    ``workspace`` lets callers reuse an already-built workspace.
+    """
+    unknown = [m for m in methods if m.upper() not in METHODS]
+    if unknown:
+        raise ValueError(f"unknown methods: {unknown}")
+    ws = workspace if workspace is not None else Workspace(config.instance())
+
+    results = []
+    for name in methods:
+        selector = make_selector(ws, name)
+        selector.prepare()
+        results.append((name, selector.select()))
+
+    # Consistency gate: all methods must report the same optimum value.
+    drs = [r.dr for __, r in results]
+    if drs and (max(drs) - min(drs)) > 1e-6 * max(1.0, max(drs)):
+        raise AssertionError(
+            f"methods disagree on {config.label()}: "
+            + ", ".join(f"{n}={r.dr:.6f}" for n, r in results)
+        )
+
+    label = config.label()
+    return [
+        MeasuredRun(
+            config_label=label,
+            method=name,
+            x=float(x) if x is not None else math.nan,
+            elapsed_s=r.elapsed_s,
+            io_total=r.io_total,
+            index_pages=r.index_pages,
+            dr=r.dr,
+            location_id=r.location.sid,
+            io_breakdown=dict(r.io_reads),
+        )
+        for name, r in results
+    ]

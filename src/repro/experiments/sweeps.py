@@ -1,0 +1,109 @@
+"""The paper's experiments, figure by figure (Section VIII).
+
+Each function reproduces one figure's sweep and returns a
+:class:`~repro.experiments.metrics.SweepResult` holding, per method,
+the three reported metrics: running time, number of I/Os, index size.
+Scale 1.0 reruns the paper's exact cardinalities; the benchmark suite
+uses :data:`~repro.experiments.config.BENCH_SCALE`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import replace
+from typing import Optional, Sequence
+
+from repro.experiments.config import (
+    BENCH_SCALE,
+    PAPER_SWEEPS,
+    ExperimentConfig,
+)
+from repro.experiments.metrics import SweepResult
+from repro.experiments.runner import DEFAULT_METHODS, run_config
+
+
+def _cardinality_sweep(
+    name: str,
+    parameter: str,
+    scale: float,
+    methods: Sequence[str],
+    base: Optional[ExperimentConfig] = None,
+) -> SweepResult:
+    base = base if base is not None else ExperimentConfig()
+    values = (
+        PAPER_SWEEPS[parameter]
+        if scale == 1.0
+        else [max(2, int(v * scale)) for v in PAPER_SWEEPS[parameter]]
+    )
+    sweep = SweepResult(name=name, parameter=parameter, x_values=[float(v) for v in values])
+    for value in values:
+        config = replace(base.scaled(scale), **{parameter: value})
+        sweep.runs.extend(run_config(config, methods, x=value))
+    return sweep
+
+
+def client_size_sweep(
+    scale: float = BENCH_SCALE, methods: Sequence[str] = DEFAULT_METHODS
+) -> SweepResult:
+    """Fig. 10: vary |C| with |F|, |P| at their defaults (uniform data)."""
+    return _cardinality_sweep("fig10-client-size", "n_c", scale, methods)
+
+
+def facility_size_sweep(
+    scale: float = BENCH_SCALE, methods: Sequence[str] = DEFAULT_METHODS
+) -> SweepResult:
+    """Fig. 11: vary |F| (uniform data)."""
+    return _cardinality_sweep("fig11-facility-size", "n_f", scale, methods)
+
+
+def potential_size_sweep(
+    scale: float = BENCH_SCALE, methods: Sequence[str] = DEFAULT_METHODS
+) -> SweepResult:
+    """Fig. 12: vary |P| (uniform data)."""
+    return _cardinality_sweep("fig12-potential-size", "n_p", scale, methods)
+
+
+def gaussian_sweep(
+    scale: float = BENCH_SCALE, methods: Sequence[str] = DEFAULT_METHODS
+) -> SweepResult:
+    """Fig. 13: Gaussian datasets, vary sigma^2 (Table IV values)."""
+    base = ExperimentConfig(distribution="gaussian")
+    sweep = SweepResult(
+        name="fig13-gaussian",
+        parameter="sigma_sq",
+        x_values=[float(v) for v in PAPER_SWEEPS["sigma_sq"]],
+    )
+    for sigma_sq in PAPER_SWEEPS["sigma_sq"]:
+        config = replace(base.scaled(scale), sigma_sq=sigma_sq)
+        sweep.runs.extend(run_config(config, methods, x=sigma_sq))
+    return sweep
+
+
+def zipfian_sweep(
+    scale: float = BENCH_SCALE, methods: Sequence[str] = DEFAULT_METHODS
+) -> SweepResult:
+    """Section VIII-C's Zipfian experiment ("similar behavior ...
+    omitted" in the paper), vary the skew alpha."""
+    base = ExperimentConfig(distribution="zipfian")
+    sweep = SweepResult(
+        name="fig13b-zipfian",
+        parameter="alpha",
+        x_values=[float(v) for v in PAPER_SWEEPS["alpha"]],
+    )
+    for alpha in PAPER_SWEEPS["alpha"]:
+        config = replace(base.scaled(scale), alpha=alpha)
+        sweep.runs.extend(run_config(config, methods, x=alpha))
+    return sweep
+
+
+def real_dataset_runs(
+    scale: float = 1.0, methods: Sequence[str] = DEFAULT_METHODS
+) -> SweepResult:
+    """Fig. 14: the US and NA real dataset groups (substitute data, see
+    DESIGN.md §4); the x axis indexes the group (0 = US, 1 = NA)."""
+    sweep = SweepResult(
+        name="fig14-real", parameter="group", x_values=[0.0, 1.0]
+    )
+    for x, group in enumerate(("US", "NA")):
+        config = ExperimentConfig(real_group=group, scale=scale)
+        sweep.runs.extend(run_config(config, methods, x=float(x)))
+    return sweep

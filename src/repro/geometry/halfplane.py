@@ -1,0 +1,52 @@
+"""Half-planes and perpendicular bisectors.
+
+The quasi-Voronoi cell of a potential location ``p`` (Section IV) is the
+intersection of at most four half-planes, each bounded by the perpendicular
+bisector between ``p`` and the nearest facility in one quadrant, and each
+containing ``p``.  A half-plane is stored in implicit form
+
+    ``a*x + b*y <= c``
+
+with ``(a, b)`` the outward direction (pointing away from the kept side).
+"""
+
+from __future__ import annotations
+
+from typing import NamedTuple
+
+from repro.geometry.point import Point
+
+
+class HalfPlane(NamedTuple):
+    """The closed half-plane ``a*x + b*y <= c``."""
+
+    a: float
+    b: float
+    c: float
+
+    def contains(self, p: Point, eps: float = 1e-9) -> bool:
+        """Whether ``p`` lies in the half-plane (with tolerance ``eps``)."""
+        return self.a * p[0] + self.b * p[1] <= self.c + eps
+
+    def signed_violation(self, p: Point) -> float:
+        """``a*x + b*y - c``: negative inside, positive outside.
+
+        Not a Euclidean distance unless ``(a, b)`` is a unit vector; used
+        only for sign tests and for interpolation during clipping.
+        """
+        return self.a * p[0] + self.b * p[1] - self.c
+
+
+def bisector_halfplane(p: Point, f: Point) -> HalfPlane:
+    """The half-plane of points at least as close to ``p`` as to ``f``.
+
+    ``dist(x, p) <= dist(x, f)`` expands to the linear constraint
+    ``2*(f - p) . x <= |f|^2 - |p|^2``.  Raises ``ValueError`` for
+    coincident points, for which the bisector is undefined.
+    """
+    if p == f:
+        raise ValueError("bisector undefined for coincident points")
+    a = 2.0 * (f[0] - p[0])
+    b = 2.0 * (f[1] - p[1])
+    c = f[0] * f[0] + f[1] * f[1] - p[0] * p[0] - p[1] * p[1]
+    return HalfPlane(a, b, c)

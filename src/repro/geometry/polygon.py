@@ -1,0 +1,117 @@
+"""Convex polygons via half-plane clipping (Sutherland–Hodgman).
+
+The QVC method needs one polygon operation: start from the data-space
+rectangle and clip it successively with the bisector half-planes.  The
+result is always convex, so a simple Sutherland–Hodgman clip against each
+half-plane suffices.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+from repro.geometry.halfplane import HalfPlane
+from repro.geometry.point import Point
+from repro.geometry.rect import Rect
+
+
+class ConvexPolygon:
+    """A convex polygon given by its vertices in order.
+
+    May be *empty* (no vertices) after clipping with incompatible
+    half-planes; degenerate polygons (segments/points) are representable
+    and behave consistently for MBR computation.
+    """
+
+    __slots__ = ("vertices",)
+
+    def __init__(self, vertices: Sequence[Point]):
+        self.vertices: tuple[Point, ...] = tuple(Point(*v) for v in vertices)
+
+    @classmethod
+    def from_rect(cls, rect: Rect) -> "ConvexPolygon":
+        return cls(rect.corners())
+
+    def is_empty(self) -> bool:
+        return not self.vertices
+
+    def clip(self, hp: HalfPlane) -> "ConvexPolygon":
+        """The polygon intersected with the half-plane ``hp``."""
+        if not self.vertices:
+            return self
+        kept: list[Point] = []
+        n = len(self.vertices)
+        for i in range(n):
+            cur = self.vertices[i]
+            nxt = self.vertices[(i + 1) % n]
+            cur_v = hp.signed_violation(cur)
+            nxt_v = hp.signed_violation(nxt)
+            cur_in = cur_v <= 1e-12
+            nxt_in = nxt_v <= 1e-12
+            if cur_in:
+                kept.append(cur)
+            if cur_in != nxt_in:
+                # The edge crosses the boundary: add the intersection point.
+                t = cur_v / (cur_v - nxt_v)
+                kept.append(
+                    Point(
+                        cur[0] + t * (nxt[0] - cur[0]),
+                        cur[1] + t * (nxt[1] - cur[1]),
+                    )
+                )
+        return ConvexPolygon(kept)
+
+    def clip_all(self, halfplanes: Sequence[HalfPlane]) -> "ConvexPolygon":
+        poly = self
+        for hp in halfplanes:
+            poly = poly.clip(hp)
+            if poly.is_empty():
+                break
+        return poly
+
+    def mbr(self) -> Rect:
+        """The MBR of the polygon; raises ``ValueError`` when empty."""
+        if not self.vertices:
+            raise ValueError("empty polygon has no MBR")
+        return Rect.from_points(self.vertices)
+
+    def contains_point(self, p: Point, eps: float = 1e-9) -> bool:
+        """Point-in-convex-polygon test (boundary counts as inside).
+
+        Works for vertices in either orientation by checking that the
+        point is on a consistent side of every edge.
+        """
+        n = len(self.vertices)
+        if n == 0:
+            return False
+        if n == 1:
+            return (
+                abs(p[0] - self.vertices[0][0]) <= eps
+                and abs(p[1] - self.vertices[0][1]) <= eps
+            )
+        sign = 0
+        for i in range(n):
+            ax, ay = self.vertices[i]
+            bx, by = self.vertices[(i + 1) % n]
+            cross = (bx - ax) * (p[1] - ay) - (by - ay) * (p[0] - ax)
+            if cross > eps:
+                if sign < 0:
+                    return False
+                sign = 1
+            elif cross < -eps:
+                if sign > 0:
+                    return False
+                sign = -1
+        return True
+
+    def area(self) -> float:
+        """Unsigned polygon area (shoelace formula)."""
+        n = len(self.vertices)
+        if n < 3:
+            return 0.0
+        acc = 0.0
+        for i in range(n):
+            ax, ay = self.vertices[i]
+            bx, by = self.vertices[(i + 1) % n]
+            acc += ax * by - bx * ay
+        return abs(acc) / 2.0

@@ -1,0 +1,32 @@
+"""Nearest-facility-distance (``dnn``) precomputation and maintenance.
+
+Every method in the paper — including the sequential-scan baseline —
+relies on ``dnn(c, F)``, each client's distance to its nearest existing
+facility, being precomputed and stored with the client record
+(Section III-B).  This package provides three ways to compute the NN
+join and one to maintain it under facility updates:
+
+* :func:`~repro.knnjoin.nested_loop.nn_join_nested_loop` — the exact
+  O(n_c * n_f) baseline the paper describes first.
+* :func:`~repro.knnjoin.grid.nn_join_grid` — a uniform-grid join with
+  expanding ring search; the default for experiment setup.
+* :func:`~repro.knnjoin.rtree_join.nn_join_rtree` — per-client best-first
+  NN on an R-tree over the facilities.
+* :class:`~repro.knnjoin.incremental.DnnMaintainer` — incremental
+  maintenance of the join result when facilities are inserted or removed
+  (the paper: "KNN-join algorithms can do this more efficiently and
+  maintain the results dynamically").
+"""
+
+from repro.knnjoin.grid import FacilityGrid, nn_join_grid
+from repro.knnjoin.incremental import DnnMaintainer
+from repro.knnjoin.nested_loop import nn_join_nested_loop
+from repro.knnjoin.rtree_join import nn_join_rtree
+
+__all__ = [
+    "DnnMaintainer",
+    "FacilityGrid",
+    "nn_join_grid",
+    "nn_join_nested_loop",
+    "nn_join_rtree",
+]

@@ -1,0 +1,109 @@
+"""Incremental maintenance of the NN-join result.
+
+The paper assumes ``dnn(c, F)`` is "incrementally maintained and
+therefore the cost is amortized" (Section VII-A).  ``DnnMaintainer``
+implements that contract:
+
+* inserting a facility can only *shrink* NFDs — one vectorised pass
+  updates exactly the clients whose NFC contains the new facility;
+* removing a facility invalidates only the clients it served — those are
+  detected by distance equality and recomputed against the remaining
+  facilities via the grid join.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Iterable, Sequence
+
+import numpy as np
+
+from repro.geometry.point import Point
+from repro.knnjoin.grid import FacilityGrid
+
+_EPS = 1e-9
+
+
+class DnnMaintainer:
+    """Owns the ``dnn(c, F)`` vector and keeps it exact under updates."""
+
+    def __init__(self, clients: Sequence[Point], facilities: Iterable[Point]):
+        self._cx = np.fromiter((c[0] for c in clients), dtype=np.float64)
+        self._cy = np.fromiter((c[1] for c in clients), dtype=np.float64)
+        self._facilities: list[Point] = [Point(*f) for f in facilities]
+        if not self._facilities:
+            raise ValueError("DnnMaintainer requires at least one facility")
+        grid = FacilityGrid(self._facilities)
+        self._dnn = np.fromiter(
+            (
+                grid.nearest_distance(Point(x, y))
+                for x, y in zip(self._cx, self._cy)
+            ),
+            dtype=np.float64,
+            count=len(self._cx),
+        )
+
+    # ------------------------------------------------------------------
+    @property
+    def facilities(self) -> tuple[Point, ...]:
+        return tuple(self._facilities)
+
+    @property
+    def distances(self) -> np.ndarray:
+        """The current ``dnn`` vector (read-only view)."""
+        view = self._dnn.view()
+        view.flags.writeable = False
+        return view
+
+    def dnn_of(self, client_index: int) -> float:
+        return float(self._dnn[client_index])
+
+    def __len__(self) -> int:
+        return len(self._dnn)
+
+    # ------------------------------------------------------------------
+    def add_facility(self, f: Point) -> int:
+        """Insert a facility; returns how many clients' NFD shrank."""
+        f = Point(*f)
+        self._facilities.append(f)
+        dist = np.hypot(self._cx - f[0], self._cy - f[1])
+        affected = dist < self._dnn
+        self._dnn[affected] = dist[affected]
+        return int(affected.sum())
+
+    def remove_facility(self, f: Point) -> int:
+        """Remove one occurrence of a facility; returns how many clients
+        had to be recomputed.  Raises if it is the last facility or not
+        present."""
+        f = Point(*f)
+        try:
+            self._facilities.remove(f)
+        except ValueError:
+            raise ValueError(f"facility {f} is not in the set") from None
+        if not self._facilities:
+            self._facilities.append(f)
+            raise ValueError("cannot remove the last facility")
+        dist = np.hypot(self._cx - f[0], self._cy - f[1])
+        # Clients whose NFD was realised by the removed facility.  A
+        # duplicate facility at the same spot keeps serving them, which
+        # the recomputation handles naturally.
+        stale = np.abs(dist - self._dnn) <= _EPS
+        if stale.any():
+            grid = FacilityGrid(self._facilities)
+            for idx in np.nonzero(stale)[0]:
+                self._dnn[idx] = grid.nearest_distance(
+                    Point(float(self._cx[idx]), float(self._cy[idx]))
+                )
+        return int(stale.sum())
+
+    # ------------------------------------------------------------------
+    def verify(self) -> bool:
+        """Recompute everything from scratch and compare (for tests)."""
+        grid = FacilityGrid(self._facilities)
+        for i in range(len(self._dnn)):
+            expect = grid.nearest_distance(
+                Point(float(self._cx[i]), float(self._cy[i]))
+            )
+            if not math.isclose(expect, float(self._dnn[i]), abs_tol=1e-9):
+                return False
+        return True

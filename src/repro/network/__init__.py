@@ -1,0 +1,30 @@
+"""Road-network variant of the min-dist location selection query.
+
+The paper studies the Euclidean setting; its closest min-dist relative,
+Xiao et al. [17] (ICDE 2011), works on road networks.  This package
+carries the paper's *discrete candidate set* formulation over to
+networks: clients, facilities and potential locations sit on the nodes
+of a road graph, distances are shortest-path lengths, and the query
+still maximises the total nearest-facility-distance reduction.
+
+Provided substrates:
+
+* :mod:`~repro.network.roadnet` — road-network construction: perturbed
+  grids and Delaunay-based random planar networks with Euclidean edge
+  weights.
+* :mod:`~repro.network.query` — ``dnn`` precomputation via multi-source
+  Dijkstra, a per-candidate Dijkstra baseline, and a pruned expansion
+  that stops at the largest remaining NFD (the network analogue of the
+  NFC insight: a candidate only influences clients within NFD radius).
+"""
+
+from repro.network.query import NetworkMindistQuery, network_dnn
+from repro.network.roadnet import RoadNetwork, delaunay_network, grid_network
+
+__all__ = [
+    "NetworkMindistQuery",
+    "RoadNetwork",
+    "delaunay_network",
+    "grid_network",
+    "network_dnn",
+]

@@ -1,0 +1,160 @@
+"""Road networks: graphs with embedded nodes and length-weighted edges.
+
+Two generators cover the usual evaluation settings:
+
+* ``grid_network`` — a Manhattan-style lattice with positional jitter
+  and random edge dropout (kept connected), resembling planned cities;
+* ``delaunay_network`` — the Delaunay triangulation of random sites,
+  resembling organically grown road systems (planar, well connected,
+  realistic degree distribution).
+"""
+
+from __future__ import annotations
+
+import math
+import random
+import networkx as nx
+
+from repro.geometry.point import Point
+from repro.geometry.rect import Rect
+from repro.datasets.generators import DOMAIN
+
+
+class RoadNetwork:
+    """A connected, undirected road graph embedded in the plane.
+
+    Nodes are integers with a ``pos`` attribute; edge weights are the
+    Euclidean length of the segment (the common road-network model).
+    """
+
+    def __init__(self, graph: nx.Graph):
+        if graph.number_of_nodes() == 0:
+            raise ValueError("a road network needs at least one node")
+        if not nx.is_connected(graph):
+            raise ValueError("road networks must be connected")
+        for __, data in graph.nodes(data=True):
+            if "pos" not in data:
+                raise ValueError("every node needs a 'pos' attribute")
+        self.graph = graph
+
+    # ------------------------------------------------------------------
+    @property
+    def num_nodes(self) -> int:
+        return self.graph.number_of_nodes()
+
+    @property
+    def num_edges(self) -> int:
+        return self.graph.number_of_edges()
+
+    def position(self, node: int) -> Point:
+        return Point(*self.graph.nodes[node]["pos"])
+
+    def nodes(self) -> list[int]:
+        return list(self.graph.nodes)
+
+    def nearest_node(self, p: Point) -> int:
+        """The node closest (Euclidean) to an arbitrary point — used to
+        snap off-network objects onto the network."""
+        return min(
+            self.graph.nodes,
+            key=lambda n: p.distance_sq_to(self.position(n)),
+        )
+
+    def shortest_path_length(self, a: int, b: int) -> float:
+        return nx.dijkstra_path_length(self.graph, a, b, weight="weight")
+
+    def total_length(self) -> float:
+        return sum(d["weight"] for __, __, d in self.graph.edges(data=True))
+
+    def __repr__(self) -> str:
+        return f"RoadNetwork(nodes={self.num_nodes}, edges={self.num_edges})"
+
+
+def _euclidean_weight(graph: nx.Graph) -> None:
+    for a, b in graph.edges:
+        pa = graph.nodes[a]["pos"]
+        pb = graph.nodes[b]["pos"]
+        graph.edges[a, b]["weight"] = math.dist(pa, pb)
+
+
+def grid_network(
+    rows: int,
+    cols: int,
+    rng: random.Random | int | None = None,
+    jitter: float = 0.2,
+    dropout: float = 0.1,
+    domain: Rect = DOMAIN,
+) -> RoadNetwork:
+    """A jittered ``rows x cols`` lattice with random edge dropout.
+
+    ``jitter`` displaces intersections by up to that fraction of the
+    cell size; ``dropout`` removes that fraction of edges, skipping any
+    removal that would disconnect the network.
+    """
+    if rows < 2 or cols < 2:
+        raise ValueError("grid networks need at least 2x2 intersections")
+    r = rng if isinstance(rng, random.Random) else random.Random(rng)
+    graph = nx.Graph()
+    cell_w = domain.width / (cols - 1)
+    cell_h = domain.height / (rows - 1)
+
+    def node_id(i: int, j: int) -> int:
+        return i * cols + j
+
+    for i in range(rows):
+        for j in range(cols):
+            x = domain.xmin + j * cell_w + r.uniform(-jitter, jitter) * cell_w
+            y = domain.ymin + i * cell_h + r.uniform(-jitter, jitter) * cell_h
+            graph.add_node(node_id(i, j), pos=(x, y))
+    for i in range(rows):
+        for j in range(cols):
+            if j + 1 < cols:
+                graph.add_edge(node_id(i, j), node_id(i, j + 1))
+            if i + 1 < rows:
+                graph.add_edge(node_id(i, j), node_id(i + 1, j))
+
+    edges = list(graph.edges)
+    r.shuffle(edges)
+    to_drop = int(len(edges) * dropout)
+    for edge in edges[:to_drop]:
+        graph.remove_edge(*edge)
+        if not nx.is_connected(graph):
+            graph.add_edge(*edge)
+
+    _euclidean_weight(graph)
+    return RoadNetwork(graph)
+
+
+def delaunay_network(
+    n_nodes: int,
+    rng: random.Random | int | None = None,
+    domain: Rect = DOMAIN,
+) -> RoadNetwork:
+    """The Delaunay triangulation of ``n_nodes`` random sites.
+
+    Requires at least 3 non-collinear sites; the triangulation of random
+    points is connected and planar, a standard synthetic road model.
+    """
+    if n_nodes < 3:
+        raise ValueError("a Delaunay network needs at least 3 nodes")
+    import numpy as np
+    from scipy.spatial import Delaunay
+
+    r = rng if isinstance(rng, random.Random) else random.Random(rng)
+    sites = np.array(
+        [
+            (r.uniform(domain.xmin, domain.xmax), r.uniform(domain.ymin, domain.ymax))
+            for __ in range(n_nodes)
+        ]
+    )
+    triangulation = Delaunay(sites)
+    graph = nx.Graph()
+    for i, (x, y) in enumerate(sites):
+        graph.add_node(i, pos=(float(x), float(y)))
+    for simplex in triangulation.simplices:
+        a, b, c = (int(v) for v in simplex)
+        graph.add_edge(a, b)
+        graph.add_edge(b, c)
+        graph.add_edge(c, a)
+    _euclidean_weight(graph)
+    return RoadNetwork(graph)

@@ -1,0 +1,48 @@
+"""R-tree entries.
+
+Two entry kinds exist:
+
+* :class:`LeafEntry` — an MBR plus the data payload it bounds.  For point
+  trees the MBR is degenerate; for the RNN-tree it is the square MBR of a
+  nearest-facility circle.
+* :class:`BranchEntry` — an MBR plus the page id of a child node.  The
+  optional ``mnd`` field carries the maximum-NFC-distance augmentation of
+  Section VI; it stays ``None`` in plain R-trees.
+
+Entries are mutable (their MBRs are adjusted during inserts) but simple;
+all tree logic lives in :mod:`repro.rtree.rtree`.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Optional
+
+from repro.geometry.rect import Rect
+
+
+class LeafEntry:
+    """A data entry: ``mbr`` bounds ``payload``."""
+
+    __slots__ = ("mbr", "payload")
+
+    def __init__(self, mbr: Rect, payload: Any):
+        self.mbr = mbr
+        self.payload = payload
+
+    def __repr__(self) -> str:
+        return f"LeafEntry({self.mbr}, {self.payload!r})"
+
+
+class BranchEntry:
+    """A directory entry: ``mbr`` bounds the subtree under ``child_id``."""
+
+    __slots__ = ("mbr", "child_id", "mnd")
+
+    def __init__(self, mbr: Rect, child_id: int, mnd: Optional[float] = None):
+        self.mbr = mbr
+        self.child_id = child_id
+        self.mnd = mnd
+
+    def __repr__(self) -> str:
+        suffix = f", mnd={self.mnd:.4f}" if self.mnd is not None else ""
+        return f"BranchEntry({self.mbr}, child={self.child_id}{suffix})"

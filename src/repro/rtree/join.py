@@ -1,0 +1,55 @@
+"""R-tree spatial join (Brinkhoff, Kriegel & Seeger, SIGMOD 1993).
+
+A synchronized depth-first traversal of two R-trees that reports all
+pairs of data entries with intersecting MBRs.  The NFC method
+(Algorithm 4) is exactly this join between ``R_P`` and the RNN-tree; the
+MND method replaces the intersection predicate with its MND-based test.
+This module provides the general intersection join for the public API;
+the method-specific joins in :mod:`repro.core` reuse the same traversal
+shape with their own predicates and accumulation.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Iterator
+
+from repro.rtree.node import Node
+from repro.rtree.rtree import RTree
+
+
+def intersection_join(tree_a: RTree, tree_b: RTree) -> Iterator[tuple[Any, Any]]:
+    """Yield ``(payload_a, payload_b)`` for all intersecting entry pairs."""
+    if tree_a.num_entries == 0 or tree_b.num_entries == 0:
+        return
+    root_a = tree_a.read_node(tree_a.root_id)
+    root_b = tree_b.read_node(tree_b.root_id)
+    yield from _join(tree_a, root_a, tree_b, root_b)
+
+
+def _join(
+    tree_a: RTree, node_a: Node, tree_b: RTree, node_b: Node
+) -> Iterator[tuple[Any, Any]]:
+    if node_a.is_leaf and node_b.is_leaf:
+        for ea in node_a.entries:
+            for eb in node_b.entries:
+                if ea.mbr.intersects(eb.mbr):
+                    yield ea.payload, eb.payload
+    elif node_a.is_leaf:
+        # Descend the taller tree until levels align.
+        for eb in node_b.entries:
+            if eb.mbr.intersects(node_a.mbr()):
+                yield from _join(tree_a, node_a, tree_b, tree_b.read_node(eb.child_id))
+    elif node_b.is_leaf:
+        for ea in node_a.entries:
+            if ea.mbr.intersects(node_b.mbr()):
+                yield from _join(tree_a, tree_a.read_node(ea.child_id), tree_b, node_b)
+    else:
+        for ea in node_a.entries:
+            for eb in node_b.entries:
+                if ea.mbr.intersects(eb.mbr):
+                    yield from _join(
+                        tree_a,
+                        tree_a.read_node(ea.child_id),
+                        tree_b,
+                        tree_b.read_node(eb.child_id),
+                    )

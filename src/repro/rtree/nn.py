@@ -1,0 +1,128 @@
+"""Best-first nearest-neighbour search (Hjaltason & Samet, SSD 1995).
+
+The QVC method needs the NN facility in *each quadrant* around a
+potential location (Section IV); ``nearest_in_quadrant`` runs the same
+best-first search restricted to one quadrant's quarter-plane.  Results
+are retrieved incrementally, so callers stop as soon as every quadrant
+is served.
+
+All node fetches go through ``tree.read_node`` and are therefore counted
+as I/Os.
+"""
+
+from __future__ import annotations
+
+import heapq
+import itertools
+from typing import Any, Callable, Iterator, Optional
+
+from repro.geometry.point import Point
+from repro.geometry.rect import Rect
+from repro.rtree.rtree import RTree
+
+
+def incremental_nearest(
+    tree: RTree,
+    query: Point,
+    mbr_filter: Optional[Callable[[Rect], bool]] = None,
+    payload_filter: Optional[Callable[[Any], bool]] = None,
+) -> Iterator[tuple[float, Any]]:
+    """Yield ``(distance, payload)`` pairs in increasing distance order.
+
+    ``mbr_filter`` prunes subtrees (it must be *conservative*: return
+    True whenever the subtree could hold a qualifying object), while
+    ``payload_filter`` is the exact final test on data entries.
+    """
+    if tree.num_entries == 0:
+        return
+    counter = itertools.count()  # tie-breaker: heap items are never compared
+    # Heap items: (min possible distance, seq, is_data, object)
+    heap: list[tuple[float, int, bool, Any]] = [(0.0, next(counter), False, None)]
+    while heap:
+        dist, _, is_data, obj = heapq.heappop(heap)
+        if is_data:
+            yield dist, obj
+            continue
+        node = (
+            tree.read_node(tree.root_id) if obj is None else tree.read_node(obj)
+        )
+        if node.is_leaf:
+            for entry in node.entries:
+                if mbr_filter is not None and not mbr_filter(entry.mbr):
+                    continue
+                if payload_filter is not None and not payload_filter(entry.payload):
+                    continue
+                d = entry.mbr.min_dist_point(query)
+                heapq.heappush(heap, (d, next(counter), True, entry.payload))
+        else:
+            for entry in node.entries:
+                if mbr_filter is not None and not mbr_filter(entry.mbr):
+                    continue
+                d = entry.mbr.min_dist_point(query)
+                heapq.heappush(heap, (d, next(counter), False, entry.child_id))
+
+
+def nearest_neighbor(tree: RTree, query: Point) -> Optional[tuple[float, Any]]:
+    """The single nearest data entry to ``query`` (or None if empty)."""
+    for result in incremental_nearest(tree, query):
+        return result
+    return None
+
+
+def _quadrant_mbr_filter(origin: Point, quadrant: int) -> Callable[[Rect], bool]:
+    """A conservative test for 'this MBR touches quadrant ``quadrant``'.
+
+    Uses closed quarter-planes so boundary MBRs are never pruned; exact
+    membership of points is re-checked by the payload filter.
+    """
+    ox, oy = origin
+    if quadrant == 0:
+        return lambda r: r.xmax >= ox and r.ymax >= oy
+    if quadrant == 1:
+        return lambda r: r.xmin <= ox and r.ymax >= oy
+    if quadrant == 2:
+        return lambda r: r.xmin <= ox and r.ymin <= oy
+    if quadrant == 3:
+        return lambda r: r.xmax >= ox and r.ymin <= oy
+    raise ValueError(f"quadrant must be 0..3, got {quadrant}")
+
+
+def nearest_in_quadrant(
+    tree: RTree,
+    origin: Point,
+    quadrant: int,
+    point_of: Callable[[Any], Point] = lambda payload: payload,
+) -> Optional[tuple[float, Any]]:
+    """The nearest data point lying in ``quadrant`` relative to ``origin``.
+
+    Quadrants follow :meth:`repro.geometry.point.Point.quadrant_relative_to`.
+    ``point_of`` extracts the coordinates from a payload (identity for
+    trees storing bare points).  Returns None when the quadrant is empty.
+    """
+    results = incremental_nearest(
+        tree,
+        origin,
+        mbr_filter=_quadrant_mbr_filter(origin, quadrant),
+        payload_filter=lambda payload: Point(*point_of(payload)).quadrant_relative_to(
+            origin
+        )
+        == quadrant,
+    )
+    for result in results:
+        return result
+    return None
+
+
+def k_nearest(tree: RTree, query: Point, k: int) -> list[tuple[float, Any]]:
+    """The ``k`` nearest data entries to ``query`` in distance order.
+
+    Fewer than ``k`` results are returned when the tree is smaller.
+    """
+    if k < 1:
+        raise ValueError("k must be >= 1")
+    out: list[tuple[float, Any]] = []
+    for result in incremental_nearest(tree, query):
+        out.append(result)
+        if len(out) == k:
+            break
+    return out

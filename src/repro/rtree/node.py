@@ -1,0 +1,43 @@
+"""R-tree nodes.
+
+A node is one simulated disk page holding a list of entries.  ``level``
+counts from 0 at the leaves; ``level >= 1`` nodes hold
+:class:`~repro.rtree.entry.BranchEntry` children.
+"""
+
+from __future__ import annotations
+
+from typing import Union
+
+from repro.geometry.rect import Rect
+from repro.rtree.entry import BranchEntry, LeafEntry
+
+Entry = Union[LeafEntry, BranchEntry]
+
+
+class Node:
+    """One R-tree node (== one disk page)."""
+
+    __slots__ = ("node_id", "level", "entries")
+
+    def __init__(self, node_id: int, level: int, entries: list[Entry] | None = None):
+        self.node_id = node_id
+        self.level = level
+        self.entries: list[Entry] = entries if entries is not None else []
+
+    @property
+    def is_leaf(self) -> bool:
+        return self.level == 0
+
+    def mbr(self) -> Rect:
+        """The tight MBR of all entries; raises for an empty node."""
+        if not self.entries:
+            raise ValueError(f"node {self.node_id} has no entries")
+        return Rect.union_all(e.mbr for e in self.entries)
+
+    def __len__(self) -> int:
+        return len(self.entries)
+
+    def __repr__(self) -> str:
+        kind = "leaf" if self.is_leaf else f"branch(level={self.level})"
+        return f"Node(id={self.node_id}, {kind}, entries={len(self.entries)})"

@@ -1,0 +1,61 @@
+"""The RNN-tree ``R_C^n`` (Korn & Muthukrishnan, SIGMOD 2000).
+
+The *extra* index required by the NFC method: a plain R-tree whose data
+entries are the square MBRs of the clients' nearest-facility circles.
+A potential location ``p`` influences client ``c`` iff ``p`` falls
+strictly inside ``NFC(c)``; the tree retrieves candidate circles by MBR,
+and the exact circle test runs on the stored client record.
+
+Because the NFC of ``c`` is centred at ``c`` with radius ``dnn(c, F)``,
+the square MBR encodes both: the centre is the client position and half
+the edge length is the NFD — the reconstruction Algorithm 4 performs at
+the leaves.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Callable, Iterable, Optional
+
+from repro.geometry.circle import Circle
+from repro.geometry.point import Point
+from repro.rtree.bulk import bulk_load
+from repro.rtree.rtree import RTree
+from repro.storage.buffer import LRUBufferPool
+from repro.storage.records import PAGE_SIZE, RNN_ENTRY
+from repro.storage.stats import IOStats
+
+
+def build_rnn_tree(
+    name: str,
+    stats: IOStats,
+    clients: Iterable[Any],
+    point_of: Callable[[Any], Point],
+    dnn_of: Callable[[Any], float],
+    buffer_pool: Optional[LRUBufferPool] = None,
+    page_size: int = PAGE_SIZE,
+    use_bulk_load: bool = True,
+) -> RTree:
+    """Build the RNN-tree over the clients' nearest-facility circles.
+
+    ``point_of`` / ``dnn_of`` extract position and precomputed NFD from a
+    client record.  With ``use_bulk_load`` (default) the tree is packed
+    via STR; otherwise it is built by repeated insertion, exercising the
+    dynamic maintenance path.
+    """
+    tree = RTree(
+        name,
+        stats,
+        leaf_layout=RNN_ENTRY,
+        branch_layout=RNN_ENTRY,
+        buffer_pool=buffer_pool,
+        page_size=page_size,
+    )
+    items = [
+        (Circle(Point(*point_of(c)), dnn_of(c)).mbr(), c) for c in clients
+    ]
+    if use_bulk_load:
+        bulk_load(tree, items)
+    else:
+        for mbr, client in items:
+            tree.insert(mbr, client)
+    return tree

@@ -1,0 +1,172 @@
+"""The R*-tree (Beckmann, Kriegel, Schneider & Seeger, SIGMOD 1990).
+
+The paper uses a Guttman R-tree but notes that "any hierarchical spatial
+index could be used"; this variant substantiates that claim for the
+ablation study.  It differs from the base tree in three classic ways:
+
+* **ChooseSubtree** — at the level above the leaves, the child is picked
+  by least *overlap* enlargement (restricted to the 32 least-area-
+  enlargement candidates, the standard heuristic); higher levels keep
+  the least-area-enlargement rule.
+* **Split** — axis chosen by minimum total margin over all valid
+  distributions; the distribution on that axis chosen by minimum
+  overlap, then minimum total area.
+* **Forced reinsertion** — on the first overflow of each level per
+  insertion, the 30 % of entries farthest from the node centre are
+  removed and reinserted instead of splitting, which tightens the tree
+  over time.
+
+Deletion and bulk loading are inherited unchanged (STR packing makes the
+insertion policy irrelevant for bulk-loaded trees).
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from repro.geometry.rect import Rect
+from repro.rtree.entry import BranchEntry, LeafEntry
+from repro.rtree.node import Node
+from repro.rtree.rtree import RTree
+
+#: Fraction of entries evicted by forced reinsertion.
+REINSERT_FRACTION = 0.3
+#: ChooseSubtree considers at most this many least-enlargement children.
+CHOOSE_SUBTREE_CANDIDATES = 32
+
+
+class RStarTree(RTree):
+    """An R-tree with R* insertion heuristics."""
+
+    def __init__(self, *args, **kwargs):
+        super().__init__(*args, **kwargs)
+        self._reinserted_levels: set[int] = set()
+        self._pending: list[tuple[LeafEntry | BranchEntry, int]] = []
+        self._op_active = False
+
+    # ------------------------------------------------------------------
+    # Insertion protocol with deferred reinsertions
+    # ------------------------------------------------------------------
+    def _insert_at_level(self, entry: LeafEntry | BranchEntry, level: int) -> None:
+        """Wrap every top-level placement (fresh inserts *and* the
+        orphan reinsertions performed by delete's condense step) in one
+        forced-reinsertion episode, draining the pending queue before
+        returning."""
+        if self._op_active:
+            super()._insert_at_level(entry, level)
+            return
+        self._op_active = True
+        self._reinserted_levels = set()
+        self._pending = []
+        try:
+            super()._insert_at_level(entry, level)
+            while self._pending:
+                deferred, deferred_level = self._pending.pop()
+                super()._insert_at_level(deferred, deferred_level)
+        finally:
+            self._op_active = False
+
+    def _handle_overflow(self, node: Node) -> Optional[BranchEntry]:
+        # Forced reinsertion: once per level per insertion, never on the
+        # root (the root has no parent entry to shrink).
+        if node.level not in self._reinserted_levels and node.node_id != self.root_id:
+            self._reinserted_levels.add(node.level)
+            self._force_reinsert(node)
+            return None
+        return self._split_node(node)
+
+    def _force_reinsert(self, node: Node) -> None:
+        count = max(1, int(len(node.entries) * REINSERT_FRACTION))
+        center = node.mbr().center
+        # Evict the entries whose centres are farthest from the node
+        # centre (the R* "far reinsert" policy).
+        node.entries.sort(
+            key=lambda e: e.mbr.center.distance_sq_to(center), reverse=True
+        )
+        evicted = node.entries[:count]
+        node.entries = node.entries[count:]
+        self._pending.extend((entry, node.level) for entry in evicted)
+
+    # ------------------------------------------------------------------
+    # ChooseSubtree
+    # ------------------------------------------------------------------
+    def _choose_subtree(self, node: Node, mbr: Rect) -> BranchEntry:
+        if node.level != 1:
+            return super()._choose_subtree(node, mbr)
+        # Children are leaves: minimise overlap enlargement among the
+        # least-area-enlargement candidates.
+        ranked = sorted(node.entries, key=lambda e: e.mbr.enlargement(mbr))
+        candidates = ranked[:CHOOSE_SUBTREE_CANDIDATES]
+        best = candidates[0]
+        best_key = (float("inf"), float("inf"), float("inf"))
+        for entry in candidates:
+            grown = entry.mbr.union(mbr)
+            overlap_delta = 0.0
+            for other in node.entries:
+                if other is entry:
+                    continue
+                before = entry.mbr.intersection(other.mbr)
+                after = grown.intersection(other.mbr)
+                overlap_delta += (after.area if after else 0.0) - (
+                    before.area if before else 0.0
+                )
+            key = (overlap_delta, entry.mbr.enlargement(mbr), entry.mbr.area)
+            if key < best_key:
+                best_key = key
+                best = entry
+        return best
+
+    # ------------------------------------------------------------------
+    # R* split
+    # ------------------------------------------------------------------
+    def _split_node(self, node: Node) -> BranchEntry:
+        group1, group2 = _rstar_split(node.entries, self._min_entries(node))
+        node.entries = group1
+        sibling = self._alloc_node(node.level)
+        sibling.entries = group2
+        return self._entry_for_child(sibling)
+
+
+def _distributions(entries: list, m: int):
+    """All R* distributions of a sorted entry list: the first ``k``
+    entries versus the rest, for k in m .. len-m."""
+    for k in range(m, len(entries) - m + 1):
+        yield entries[:k], entries[k:]
+
+
+def _rstar_split(entries: list, min_entries: int) -> tuple[list, list]:
+    """Axis by minimum margin sum, distribution by minimum overlap then
+    minimum combined area."""
+    if len(entries) < 2 * min_entries:
+        raise ValueError(
+            f"cannot split {len(entries)} entries with min fill {min_entries}"
+        )
+    best_axis_sorts = None
+    best_margin_sum = float("inf")
+    for axis in (0, 1):  # x, y
+        lower = sorted(entries, key=lambda e: (e.mbr[axis], e.mbr[axis + 2]))
+        upper = sorted(entries, key=lambda e: (e.mbr[axis + 2], e.mbr[axis]))
+        margin_sum = 0.0
+        for ordering in (lower, upper):
+            for g1, g2 in _distributions(ordering, min_entries):
+                bb1 = Rect.union_all(e.mbr for e in g1)
+                bb2 = Rect.union_all(e.mbr for e in g2)
+                margin_sum += bb1.margin + bb2.margin
+        if margin_sum < best_margin_sum:
+            best_margin_sum = margin_sum
+            best_axis_sorts = (lower, upper)
+
+    assert best_axis_sorts is not None
+    best_split = None
+    best_key = (float("inf"), float("inf"))
+    for ordering in best_axis_sorts:
+        for g1, g2 in _distributions(ordering, min_entries):
+            bb1 = Rect.union_all(e.mbr for e in g1)
+            bb2 = Rect.union_all(e.mbr for e in g2)
+            overlap = bb1.intersection(bb2)
+            key = (overlap.area if overlap else 0.0, bb1.area + bb2.area)
+            if key < best_key:
+                best_key = key
+                best_split = (list(g1), list(g2))
+    assert best_split is not None
+    return best_split

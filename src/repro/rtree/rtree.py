@@ -1,0 +1,294 @@
+"""The R-tree proper (Guttman, SIGMOD 1984).
+
+One node == one simulated disk page, so the page-read counter of the
+underlying :class:`~repro.storage.pager.Pager` measures exactly the
+"number of I/Os" the paper reports.  Query code must access nodes through
+:meth:`RTree.read_node` (counted); construction and maintenance use the
+uncounted :meth:`RTree.node` accessor, because the paper excludes index
+building from query costs.
+
+Subclasses customise the directory entries through two hooks —
+:meth:`RTree._entry_for_child` and :meth:`RTree._refresh_entry` — which is
+all the MND variant needs to keep its augmentation consistent during
+inserts, deletes and bulk loading.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Iterator, Optional
+
+from repro.geometry.rect import Rect
+from repro.rtree.entry import BranchEntry, LeafEntry
+from repro.rtree.node import Node
+from repro.rtree.split import quadratic_split
+from repro.storage.buffer import LRUBufferPool
+from repro.storage.pager import Pager
+from repro.storage.records import PAGE_SIZE, RTREE_ENTRY, RecordLayout
+from repro.storage.stats import IOStats
+
+
+class RTree:
+    """A disk-based R-tree over ``(Rect, payload)`` data entries."""
+
+    def __init__(
+        self,
+        name: str,
+        stats: IOStats,
+        leaf_layout: RecordLayout = RTREE_ENTRY,
+        branch_layout: RecordLayout = RTREE_ENTRY,
+        buffer_pool: Optional[LRUBufferPool] = None,
+        page_size: int = PAGE_SIZE,
+        max_leaf_entries: Optional[int] = None,
+        max_branch_entries: Optional[int] = None,
+        min_fill: float = 0.4,
+    ):
+        self.name = name
+        self._pager = Pager(name, branch_layout, stats, buffer_pool, page_size)
+        self.max_leaf = max_leaf_entries or leaf_layout.capacity(page_size)
+        self.max_branch = max_branch_entries or branch_layout.capacity(page_size)
+        if self.max_leaf < 2 or self.max_branch < 2:
+            raise ValueError("R-tree nodes must hold at least two entries")
+        # Guttman's m <= M/2 bound; rounding (not truncating) keeps small
+        # test trees honest (max=4 -> min=2), which matters for condense.
+        self.min_leaf = min(max(1, round(self.max_leaf * min_fill)), self.max_leaf // 2)
+        self.min_branch = min(
+            max(1, round(self.max_branch * min_fill)), self.max_branch // 2
+        )
+        self.min_leaf = max(1, self.min_leaf)
+        self.min_branch = max(1, self.min_branch)
+        self._free_pages: list[int] = []
+        root = Node(0, 0)
+        self.root_id = self._pager.allocate(root)
+        root.node_id = self.root_id
+        self.height = 1
+        self.num_entries = 0
+
+    # ------------------------------------------------------------------
+    # Page plumbing
+    # ------------------------------------------------------------------
+    def read_node(self, node_id: int) -> Node:
+        """Fetch a node with I/O accounting — the query-time accessor."""
+        return self._pager.read(node_id)
+
+    def node(self, node_id: int) -> Node:
+        """Fetch a node without accounting (construction/maintenance)."""
+        return self._pager.peek(node_id)
+
+    @property
+    def root(self) -> Node:
+        return self._pager.peek(self.root_id)
+
+    def _alloc_node(self, level: int) -> Node:
+        if self._free_pages:
+            node_id = self._free_pages.pop()
+            node = Node(node_id, level, [])
+            self._pager._pages[node_id] = node
+        else:
+            node = Node(-1, level, [])
+            node.node_id = self._pager.allocate(node)
+        return node
+
+    def _free_node(self, node_id: int) -> None:
+        self._pager._pages[node_id] = None
+        self._free_pages.append(node_id)
+
+    @property
+    def num_nodes(self) -> int:
+        return self._pager.num_pages - len(self._free_pages)
+
+    @property
+    def size_pages(self) -> int:
+        """Index size in pages — the paper's index-size metric."""
+        return self.num_nodes
+
+    @property
+    def size_bytes(self) -> int:
+        return self.num_nodes * self._pager.page_size
+
+    @property
+    def stats(self) -> IOStats:
+        return self._pager.stats
+
+    def __len__(self) -> int:
+        return self.num_entries
+
+    # ------------------------------------------------------------------
+    # Augmentation hooks (overridden by MNDTree)
+    # ------------------------------------------------------------------
+    def _entry_for_child(self, child: Node) -> BranchEntry:
+        """A parent entry describing ``child`` (MBR only by default)."""
+        return BranchEntry(child.mbr(), child.node_id)
+
+    def _refresh_entry(self, entry: BranchEntry, child: Node) -> None:
+        """Recompute a parent entry after ``child`` changed."""
+        entry.mbr = child.mbr()
+
+    # ------------------------------------------------------------------
+    # Insertion
+    # ------------------------------------------------------------------
+    def insert(self, mbr: Rect, payload: Any) -> None:
+        """Insert one data entry (Guttman insert with quadratic splits)."""
+        self._insert_at_level(LeafEntry(mbr, payload), 0)
+        self.num_entries += 1
+
+    def _insert_at_level(self, entry: LeafEntry | BranchEntry, level: int) -> None:
+        split = self._insert_rec(self.root_id, entry, level)
+        if split is not None:
+            self._grow_root(split)
+
+    def _insert_rec(
+        self, node_id: int, entry: LeafEntry | BranchEntry, target_level: int
+    ) -> Optional[BranchEntry]:
+        node = self.node(node_id)
+        if node.level == target_level:
+            node.entries.append(entry)
+        else:
+            choice = self._choose_subtree(node, entry.mbr)
+            split = self._insert_rec(choice.child_id, entry, target_level)
+            self._refresh_entry(choice, self.node(choice.child_id))
+            if split is not None:
+                node.entries.append(split)
+        if len(node.entries) > self._max_entries(node):
+            return self._handle_overflow(node)
+        return None
+
+    def _handle_overflow(self, node: Node) -> Optional[BranchEntry]:
+        """Resolve an overflowing node; returns the new sibling's parent
+        entry when the resolution was a split.  The Guttman tree always
+        splits; the R*-tree overrides this with forced reinsertion."""
+        return self._split_node(node)
+
+    def _choose_subtree(self, node: Node, mbr: Rect) -> BranchEntry:
+        """Least-enlargement child, ties broken by smaller area."""
+        best: Optional[BranchEntry] = None
+        best_enlargement = float("inf")
+        best_area = float("inf")
+        for entry in node.entries:
+            enlargement = entry.mbr.enlargement(mbr)
+            area = entry.mbr.area
+            if enlargement < best_enlargement or (
+                enlargement == best_enlargement and area < best_area
+            ):
+                best = entry
+                best_enlargement = enlargement
+                best_area = area
+        assert best is not None, "choose_subtree on empty node"
+        return best
+
+    def _max_entries(self, node: Node) -> int:
+        return self.max_leaf if node.is_leaf else self.max_branch
+
+    def _min_entries(self, node: Node) -> int:
+        return self.min_leaf if node.is_leaf else self.min_branch
+
+    def _split_node(self, node: Node) -> BranchEntry:
+        """Split an overflowing node in place; returns the new sibling's
+        parent entry."""
+        group1, group2 = quadratic_split(node.entries, self._min_entries(node))
+        node.entries = group1
+        sibling = self._alloc_node(node.level)
+        sibling.entries = group2
+        return self._entry_for_child(sibling)
+
+    def _grow_root(self, sibling_entry: BranchEntry) -> None:
+        old_root = self.node(self.root_id)
+        new_root = self._alloc_node(old_root.level + 1)
+        new_root.entries = [self._entry_for_child(old_root), sibling_entry]
+        self.root_id = new_root.node_id
+        self.height += 1
+
+    # ------------------------------------------------------------------
+    # Deletion
+    # ------------------------------------------------------------------
+    def delete(self, mbr: Rect, payload: Any) -> bool:
+        """Remove the data entry with this exact ``(mbr, payload)``.
+
+        Underflowing nodes are dissolved and their data entries
+        reinserted (the condense-tree step).  Returns False when no
+        matching entry exists.
+        """
+        orphans: list[LeafEntry] = []
+        found = self._delete_rec(self.root_id, mbr, payload, orphans)
+        if not found:
+            return False
+        self.num_entries -= 1
+        # Shrink the root while it is a single-child branch node.
+        root = self.node(self.root_id)
+        while not root.is_leaf and len(root.entries) == 1:
+            child_id = root.entries[0].child_id
+            self._free_node(self.root_id)
+            self.root_id = child_id
+            self.height -= 1
+            root = self.node(self.root_id)
+        for orphan in orphans:
+            self._insert_at_level(orphan, 0)
+        return True
+
+    def _delete_rec(
+        self, node_id: int, mbr: Rect, payload: Any, orphans: list[LeafEntry]
+    ) -> bool:
+        node = self.node(node_id)
+        if node.is_leaf:
+            for idx, entry in enumerate(node.entries):
+                if entry.mbr == mbr and entry.payload == payload:
+                    del node.entries[idx]
+                    return True
+            return False
+        for idx, entry in enumerate(node.entries):
+            if not entry.mbr.contains_rect(mbr):
+                continue
+            if not self._delete_rec(entry.child_id, mbr, payload, orphans):
+                continue
+            child = self.node(entry.child_id)
+            if len(child.entries) < self._min_entries(child):
+                # Dissolve the underflowing child: salvage its data
+                # entries for reinsertion and drop it from the directory.
+                self._collect_leaf_entries(child, orphans)
+                self._free_subtree(entry.child_id)
+                del node.entries[idx]
+            else:
+                self._refresh_entry(entry, child)
+            return True
+        return False
+
+    def _collect_leaf_entries(self, node: Node, out: list[LeafEntry]) -> None:
+        if node.is_leaf:
+            out.extend(node.entries)  # type: ignore[arg-type]
+            return
+        for entry in node.entries:
+            self._collect_leaf_entries(self.node(entry.child_id), out)
+
+    def _free_subtree(self, node_id: int) -> None:
+        node = self.node(node_id)
+        if not node.is_leaf:
+            for entry in node.entries:
+                self._free_subtree(entry.child_id)
+        self._free_node(node_id)
+
+    # ------------------------------------------------------------------
+    # Traversal helpers
+    # ------------------------------------------------------------------
+    def iter_leaf_entries(self) -> Iterator[LeafEntry]:
+        """All data entries, without I/O accounting (for tests/tools)."""
+        stack = [self.root_id]
+        while stack:
+            node = self.node(stack.pop())
+            if node.is_leaf:
+                yield from node.entries  # type: ignore[misc]
+            else:
+                stack.extend(e.child_id for e in node.entries)
+
+    def iter_nodes(self) -> Iterator[Node]:
+        """All nodes, without I/O accounting (for tests/tools)."""
+        stack = [self.root_id]
+        while stack:
+            node = self.node(stack.pop())
+            yield node
+            if not node.is_leaf:
+                stack.extend(e.child_id for e in node.entries)
+
+    def __repr__(self) -> str:
+        return (
+            f"{type(self).__name__}(name={self.name!r}, entries={self.num_entries}, "
+            f"height={self.height}, nodes={self.num_nodes})"
+        )

@@ -1,0 +1,93 @@
+"""Guttman's quadratic node split.
+
+When a node overflows, its entries are partitioned into two groups:
+``pick_seeds`` chooses the pair of entries whose combined MBR wastes the
+most area, then the remaining entries are assigned one by one to the
+group whose MBR they enlarge least, while guaranteeing each group ends
+with at least ``min_entries`` members.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence, TypeVar
+
+from repro.geometry.rect import Rect
+from repro.rtree.entry import BranchEntry, LeafEntry
+
+E = TypeVar("E", LeafEntry, BranchEntry)
+
+
+def pick_seeds(entries: Sequence[E]) -> tuple[int, int]:
+    """Indices of the two entries that waste the most area together."""
+    worst = -1.0
+    seeds = (0, 1)
+    for i in range(len(entries)):
+        mbr_i = entries[i].mbr
+        area_i = mbr_i.area
+        for j in range(i + 1, len(entries)):
+            mbr_j = entries[j].mbr
+            waste = mbr_i.union(mbr_j).area - area_i - mbr_j.area
+            if waste > worst:
+                worst = waste
+                seeds = (i, j)
+    return seeds
+
+
+def quadratic_split(entries: list[E], min_entries: int) -> tuple[list[E], list[E]]:
+    """Partition ``entries`` into two groups per Guttman's quadratic split.
+
+    Returns ``(group1, group2)``; both have at least ``min_entries``
+    entries (the input must therefore have at least ``2 * min_entries``).
+    """
+    if len(entries) < 2 * min_entries:
+        raise ValueError(
+            f"cannot split {len(entries)} entries with min fill {min_entries}"
+        )
+    seed1, seed2 = pick_seeds(entries)
+    group1: list[E] = [entries[seed1]]
+    group2: list[E] = [entries[seed2]]
+    mbr1: Rect = entries[seed1].mbr
+    mbr2: Rect = entries[seed2].mbr
+    remaining = [e for k, e in enumerate(entries) if k not in (seed1, seed2)]
+
+    while remaining:
+        # If one group must absorb all the rest to reach its minimum, do so.
+        if len(group1) + len(remaining) <= min_entries:
+            group1.extend(remaining)
+            break
+        if len(group2) + len(remaining) <= min_entries:
+            group2.extend(remaining)
+            break
+
+        # PickNext: the entry with the strongest preference either way.
+        best_idx = 0
+        best_pref = -1.0
+        best_d1 = best_d2 = 0.0
+        for idx, entry in enumerate(remaining):
+            d1 = mbr1.enlargement(entry.mbr)
+            d2 = mbr2.enlargement(entry.mbr)
+            pref = abs(d1 - d2)
+            if pref > best_pref:
+                best_pref = pref
+                best_idx = idx
+                best_d1, best_d2 = d1, d2
+        entry = remaining.pop(best_idx)
+
+        # Resolve ties by smaller area, then by fewer entries.
+        if best_d1 < best_d2:
+            into_first = True
+        elif best_d2 < best_d1:
+            into_first = False
+        elif mbr1.area != mbr2.area:
+            into_first = mbr1.area < mbr2.area
+        else:
+            into_first = len(group1) <= len(group2)
+
+        if into_first:
+            group1.append(entry)
+            mbr1 = mbr1.union(entry.mbr)
+        else:
+            group2.append(entry)
+            mbr2 = mbr2.union(entry.mbr)
+
+    return group1, group2

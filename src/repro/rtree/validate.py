@@ -1,0 +1,100 @@
+"""Structural invariant checking for R-trees and their variants.
+
+Used throughout the test-suite (including property-based tests) to
+assert that inserts, deletes and bulk loads leave the tree in a
+consistent state:
+
+* every directory entry's MBR is exactly the tight MBR of its child;
+* levels decrease by one on the way down and leaves sit at level 0;
+* no node overflows; optionally, no non-root node underflows;
+* the leaf-entry count matches ``tree.num_entries``;
+* for :class:`~repro.rtree.mnd_tree.MNDTree`, every stored MND equals
+  the recomputed value.
+"""
+
+from __future__ import annotations
+
+from repro.rtree.mnd_tree import MNDTree
+from repro.rtree.node import Node
+from repro.rtree.rtree import RTree
+
+_EPS = 1e-9
+
+
+class RTreeInvariantError(AssertionError):
+    """Raised when a structural invariant is violated."""
+
+
+def validate_rtree(tree: RTree, check_min_fill: bool = False) -> int:
+    """Validate all invariants; returns the number of data entries seen.
+
+    ``check_min_fill`` additionally enforces the minimum-fill bound on
+    non-root nodes — valid after pure insert workloads, but deliberately
+    not after STR bulk loading, whose final tile per level may be small.
+    """
+    if tree.num_entries == 0:
+        root = tree.node(tree.root_id)
+        if not root.is_leaf or root.entries:
+            raise RTreeInvariantError("empty tree must be a bare leaf root")
+        return 0
+    root = tree.node(tree.root_id)
+    if root.level != tree.height - 1:
+        raise RTreeInvariantError(
+            f"root level {root.level} inconsistent with height {tree.height}"
+        )
+    seen = _validate_node(tree, root, is_root=True, check_min_fill=check_min_fill)
+    if seen != tree.num_entries:
+        raise RTreeInvariantError(
+            f"tree reports {tree.num_entries} entries but leaves hold {seen}"
+        )
+    return seen
+
+
+def _validate_node(
+    tree: RTree, node: Node, is_root: bool, check_min_fill: bool
+) -> int:
+    max_entries = tree._max_entries(node)
+    if len(node.entries) > max_entries:
+        raise RTreeInvariantError(
+            f"node {node.node_id} overflows: {len(node.entries)} > {max_entries}"
+        )
+    if not is_root:
+        lower = tree._min_entries(node) if check_min_fill else 1
+        if len(node.entries) < lower:
+            raise RTreeInvariantError(
+                f"node {node.node_id} underflows: {len(node.entries)} < {lower}"
+            )
+    if is_root and not node.is_leaf and len(node.entries) < 2:
+        raise RTreeInvariantError("a non-leaf root must have at least 2 entries")
+
+    if node.is_leaf:
+        return len(node.entries)
+
+    count = 0
+    for entry in node.entries:
+        child = tree.node(entry.child_id)
+        if child.level != node.level - 1:
+            raise RTreeInvariantError(
+                f"child {child.node_id} level {child.level} under node "
+                f"{node.node_id} level {node.level}"
+            )
+        tight = child.mbr()
+        if (
+            abs(entry.mbr.xmin - tight.xmin) > _EPS
+            or abs(entry.mbr.ymin - tight.ymin) > _EPS
+            or abs(entry.mbr.xmax - tight.xmax) > _EPS
+            or abs(entry.mbr.ymax - tight.ymax) > _EPS
+        ):
+            raise RTreeInvariantError(
+                f"entry MBR {entry.mbr} is not the tight MBR {tight} of child "
+                f"{child.node_id}"
+            )
+        if isinstance(tree, MNDTree):
+            expected = tree.compute_mnd(child)
+            if entry.mnd is None or abs(entry.mnd - expected) > _EPS:
+                raise RTreeInvariantError(
+                    f"entry MND {entry.mnd} != recomputed {expected} for child "
+                    f"{child.node_id}"
+                )
+        count += _validate_node(tree, child, is_root=False, check_min_fill=check_min_fill)
+    return count

@@ -1,0 +1,46 @@
+"""Window (range) queries.
+
+The QVC method issues a window query per approximate influence region;
+the public API also exposes plain range search.  Node accesses are
+counted as I/Os via ``tree.read_node``.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Callable, Iterator, Optional
+
+from repro.geometry.rect import Rect
+from repro.rtree.rtree import RTree
+
+
+def window_query(
+    tree: RTree,
+    window: Rect,
+    payload_filter: Optional[Callable[[Any], bool]] = None,
+) -> Iterator[Any]:
+    """Yield payloads whose entry MBR intersects ``window``.
+
+    ``payload_filter`` optionally refines leaf hits (e.g. exact
+    point-in-polygon tests after the MBR filter).
+    """
+    if tree.num_entries == 0:
+        return
+    stack = [tree.root_id]
+    while stack:
+        node = tree.read_node(stack.pop())
+        if node.is_leaf:
+            for entry in node.entries:
+                if not window.intersects(entry.mbr):
+                    continue
+                if payload_filter is not None and not payload_filter(entry.payload):
+                    continue
+                yield entry.payload
+        else:
+            for entry in node.entries:
+                if window.intersects(entry.mbr):
+                    stack.append(entry.child_id)
+
+
+def count_in_window(tree: RTree, window: Rect) -> int:
+    """Number of data entries whose MBR intersects ``window``."""
+    return sum(1 for _ in window_query(tree, window))

@@ -1,0 +1,29 @@
+"""Simulation substrates for the paper's motivating applications.
+
+The introduction motivates the min-dist location selection *query* (as
+opposed to a one-off optimisation) with two workloads where it is asked
+repeatedly against changing data:
+
+* **urban development simulation** — a growing city builds one public
+  facility per budget period (:mod:`repro.simulation.city`);
+* **massively multiplayer online games** — players rejoin a running
+  quest at preset locations while the world moves
+  (:mod:`repro.simulation.game`).
+
+Both simulators drive the real query machinery (workspaces, indexes,
+incremental ``dnn`` maintenance) and produce per-step measurement
+records, so they double as long-running integration workloads for the
+library.
+"""
+
+from repro.simulation.city import CityConfig, CityStepRecord, UrbanGrowthSimulation
+from repro.simulation.game import GameConfig, QuestSimulation, RejoinRecord
+
+__all__ = [
+    "CityConfig",
+    "CityStepRecord",
+    "GameConfig",
+    "QuestSimulation",
+    "RejoinRecord",
+    "UrbanGrowthSimulation",
+]

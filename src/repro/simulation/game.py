@@ -1,0 +1,206 @@
+"""MMOG quest simulation.
+
+A raid team works through a quest path of mob camps.  Each tick:
+
+* players random-walk toward the current camp (with jitter),
+* mobs within any player's engagement range take damage and die,
+* when a camp is cleared the quest advances and the next camp spawns,
+* with some probability a player rejoins the game — triggering a
+  min-dist location selection query over the preset rejoin locations,
+  with the *mobs* as clients and the *online players* as facilities
+  (Section I's second motivating application).
+
+Every rejoin is recorded with the query's measurements and the average
+mob-to-nearest-player distance before and after the spawn choice.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass
+
+from repro.core.naive import objective_sum
+from repro.core.registry import make_selector
+from repro.core.types import SelectionResult
+from repro.core.workspace import Workspace
+from repro.datasets.generators import DOMAIN, SpatialInstance
+from repro.geometry.point import Point
+from repro.geometry.rect import Rect
+
+
+@dataclass(frozen=True)
+class GameConfig:
+    """World parameters."""
+
+    team_size: int = 10
+    mobs_per_camp: int = 50
+    camps: int = 4
+    camp_spread: float = 60.0
+    player_speed: float = 25.0
+    engagement_range: float = 30.0
+    kills_per_tick: int = 6
+    rejoin_probability: float = 0.15
+    rejoin_grid: int = 5  # rejoin points form a grid x grid lattice
+    method: str = "MND"
+    seed: int = 70
+    domain: Rect = DOMAIN
+
+
+@dataclass
+class RejoinRecord:
+    """One rejoin event and its query measurements."""
+
+    tick: int
+    camp_index: int
+    mobs_alive: int
+    selection: SelectionResult
+    avg_mob_distance_before: float
+    avg_mob_distance_after: float
+
+
+class QuestSimulation:
+    """Drives the quest world and the rejoin queries."""
+
+    def __init__(self, config: GameConfig | None = None):
+        self.config = config or GameConfig()
+        self._rng = random.Random(self.config.seed)
+        d = self.config.domain
+        # Quest path: camps on a rough diagonal across the map.
+        self.camps: list[Point] = [
+            Point(
+                d.xmin + (i + 0.5) / self.config.camps * d.width,
+                d.ymin
+                + (i + 0.5) / self.config.camps * d.height
+                + self._rng.uniform(-d.height * 0.1, d.height * 0.1),
+            )
+            for i in range(self.config.camps)
+        ]
+        grid = self.config.rejoin_grid
+        self.rejoin_points: list[Point] = [
+            Point(
+                d.xmin + (i + 0.5) * d.width / grid,
+                d.ymin + (j + 0.5) * d.height / grid,
+            )
+            for i in range(grid)
+            for j in range(grid)
+        ]
+        self.camp_index = 0
+        self.players: list[Point] = self._spawn_cluster(
+            self.camps[0], self.config.team_size, self.config.camp_spread * 2
+        )
+        self.mobs: list[Point] = self._spawn_cluster(
+            self.camps[0], self.config.mobs_per_camp, self.config.camp_spread
+        )
+        self.tick = 0
+        self.rejoins: list[RejoinRecord] = []
+        self.total_kills = 0
+
+    # ------------------------------------------------------------------
+    def _spawn_cluster(self, center: Point, n: int, spread: float) -> list[Point]:
+        d = self.config.domain
+        out: list[Point] = []
+        while len(out) < n:
+            p = Point(
+                self._rng.gauss(center[0], spread),
+                self._rng.gauss(center[1], spread),
+            )
+            if d.contains_point(p):
+                out.append(p)
+        return out
+
+    def _move_players(self) -> None:
+        speed = self.config.player_speed
+        moved: list[Point] = []
+        for p in self.players:
+            # Hunt the nearest living mob; fall back to the camp while
+            # the next wave spawns.
+            if self.mobs:
+                target = min(self.mobs, key=lambda m: p.distance_sq_to(m))
+            else:
+                target = self.camps[self.camp_index]
+            dx, dy = target[0] - p[0], target[1] - p[1]
+            norm = max(1e-9, (dx * dx + dy * dy) ** 0.5)
+            step = min(speed, norm)
+            moved.append(
+                Point(
+                    p[0] + dx / norm * step + self._rng.uniform(-5, 5),
+                    p[1] + dy / norm * step + self._rng.uniform(-5, 5),
+                )
+            )
+        self.players = moved
+
+    def _fight(self) -> None:
+        """Kill up to ``kills_per_tick`` mobs within engagement range."""
+        rng_sq = self.config.engagement_range ** 2
+        kills = 0
+        survivors: list[Point] = []
+        for mob in self.mobs:
+            engaged = any(
+                (mob[0] - p[0]) ** 2 + (mob[1] - p[1]) ** 2 <= rng_sq
+                for p in self.players
+            )
+            if engaged and kills < self.config.kills_per_tick:
+                kills += 1
+            else:
+                survivors.append(mob)
+        self.mobs = survivors
+        self.total_kills += kills
+
+    def _advance_quest(self) -> None:
+        if self.mobs or self.camp_index >= self.config.camps - 1:
+            return
+        self.camp_index += 1
+        self.mobs = self._spawn_cluster(
+            self.camps[self.camp_index],
+            self.config.mobs_per_camp,
+            self.config.camp_spread,
+        )
+
+    def _maybe_rejoin(self) -> RejoinRecord | None:
+        if not self.mobs or self._rng.random() >= self.config.rejoin_probability:
+            return None
+        instance = SpatialInstance(
+            name=f"rejoin-tick-{self.tick}",
+            clients=list(self.mobs),
+            facilities=list(self.players),
+            potentials=list(self.rejoin_points),
+            domain=self.config.domain,
+        )
+        ws = Workspace(instance)
+        result = make_selector(ws, self.config.method).select()
+        before = objective_sum(ws) / len(self.mobs)
+        after = objective_sum(ws, result.location) / len(self.mobs)
+        # The rejoining player materialises at the chosen point.
+        self.players.append(Point(result.location.x, result.location.y))
+        record = RejoinRecord(
+            tick=self.tick,
+            camp_index=self.camp_index,
+            mobs_alive=len(self.mobs),
+            selection=result,
+            avg_mob_distance_before=before,
+            avg_mob_distance_after=after,
+        )
+        self.rejoins.append(record)
+        return record
+
+    # ------------------------------------------------------------------
+    def step(self) -> RejoinRecord | None:
+        """One game tick; returns the rejoin record when one occurred."""
+        self.tick += 1
+        self._move_players()
+        self._fight()
+        self._advance_quest()
+        return self._maybe_rejoin()
+
+    def run(self, ticks: int) -> list[RejoinRecord]:
+        """Run several ticks; returns all rejoin records produced."""
+        produced: list[RejoinRecord] = []
+        for __ in range(ticks):
+            record = self.step()
+            if record is not None:
+                produced.append(record)
+        return produced
+
+    @property
+    def quest_complete(self) -> bool:
+        return self.camp_index == self.config.camps - 1 and not self.mobs

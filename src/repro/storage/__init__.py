@@ -1,0 +1,44 @@
+"""Simulated disk storage with explicit I/O accounting.
+
+The paper evaluates its methods on disk-resident data and reports the
+*number of I/Os* — page reads — as a primary metric.  This package
+reproduces that environment in memory:
+
+* :mod:`~repro.storage.records` — byte-accurate record and entry layouts;
+  page capacities (the paper's ``C_m``) are derived from them.
+* :mod:`~repro.storage.stats` — hierarchical I/O counters.
+* :mod:`~repro.storage.pager` — a paged "disk" whose every page read is
+  counted, with an optional buffer pool in front of it.
+* :mod:`~repro.storage.blockfile` — sequential files read one block at a
+  time, used by the SS and QVC methods to scan the flat datasets.
+* :mod:`~repro.storage.buffer` — an LRU buffer pool (disabled by default
+  to match the paper's raw-I/O counting; enabling it is an ablation).
+"""
+
+from repro.storage.blockfile import BlockFile
+from repro.storage.buffer import LRUBufferPool
+from repro.storage.pager import Pager
+from repro.storage.records import (
+    CLIENT_RECORD,
+    MND_ENTRY,
+    PAGE_SIZE,
+    POINT_RECORD,
+    RTREE_ENTRY,
+    RNN_ENTRY,
+    RecordLayout,
+)
+from repro.storage.stats import IOStats
+
+__all__ = [
+    "BlockFile",
+    "CLIENT_RECORD",
+    "IOStats",
+    "LRUBufferPool",
+    "MND_ENTRY",
+    "PAGE_SIZE",
+    "POINT_RECORD",
+    "Pager",
+    "RNN_ENTRY",
+    "RTREE_ENTRY",
+    "RecordLayout",
+]

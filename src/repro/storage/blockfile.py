@@ -1,0 +1,75 @@
+"""Sequential block files.
+
+The SS method scans the client and potential-location datasets as flat
+files, one block at a time (``ReadBlock`` in Algorithm 1); the QVC method
+likewise reads ``P`` in blocks.  ``BlockFile`` chunks a record list into
+pages on a :class:`~repro.storage.pager.Pager` and yields them back with
+one counted I/O per block.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Iterator, Optional, Sequence
+
+from repro.storage.buffer import LRUBufferPool
+from repro.storage.pager import Pager
+from repro.storage.records import PAGE_SIZE, RecordLayout
+from repro.storage.stats import IOStats
+
+
+class BlockFile:
+    """A read-only sequential file of fixed-size records."""
+
+    def __init__(
+        self,
+        name: str,
+        records: Sequence[Any],
+        layout: RecordLayout,
+        stats: IOStats,
+        buffer_pool: Optional[LRUBufferPool] = None,
+        page_size: int = PAGE_SIZE,
+    ):
+        self._pager = Pager(name, layout, stats, buffer_pool, page_size)
+        capacity = self._pager.capacity
+        # Blocks are stored as slices of the input sequence so that both
+        # plain lists and numpy arrays (used by the vectorised SS scan)
+        # work; callers must treat blocks as read-only.
+        for start in range(0, len(records), capacity):
+            self._pager.allocate(records[start : start + capacity])
+        self._num_records = len(records)
+
+    # ------------------------------------------------------------------
+    @property
+    def name(self) -> str:
+        return self._pager.name
+
+    @property
+    def num_records(self) -> int:
+        return self._num_records
+
+    @property
+    def num_blocks(self) -> int:
+        return self._pager.num_pages
+
+    @property
+    def records_per_block(self) -> int:
+        return self._pager.capacity
+
+    @property
+    def size_bytes(self) -> int:
+        return self._pager.size_bytes
+
+    # ------------------------------------------------------------------
+    def read_block(self, block_id: int) -> list[Any]:
+        """Read one block (one counted I/O)."""
+        return self._pager.read(block_id)
+
+    def iter_blocks(self) -> Iterator[list[Any]]:
+        """Scan the file front to back, one I/O per block."""
+        for block_id in range(self._pager.num_pages):
+            yield self._pager.read(block_id)
+
+    def iter_records(self) -> Iterator[Any]:
+        """Scan all records (I/O still counted per block, not per record)."""
+        for block in self.iter_blocks():
+            yield from block

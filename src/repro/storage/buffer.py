@@ -1,0 +1,47 @@
+"""An LRU buffer pool.
+
+The paper counts raw page accesses, i.e. it assumes a cold buffer; the
+pool is therefore *off by default*.  It exists for the ablation study
+(E8 in DESIGN.md): with a warm buffer the I/O gap between methods narrows
+but their ordering is preserved.
+"""
+
+from __future__ import annotations
+
+from collections import OrderedDict
+
+
+class LRUBufferPool:
+    """Tracks which pages are resident, evicting least-recently-used."""
+
+    __slots__ = ("capacity", "_resident", "hits", "misses")
+
+    def __init__(self, capacity: int):
+        if capacity < 1:
+            raise ValueError("buffer pool capacity must be >= 1")
+        self.capacity = capacity
+        self._resident: OrderedDict[tuple[str, int], None] = OrderedDict()
+        self.hits = 0
+        self.misses = 0
+
+    def access(self, file_name: str, page_id: int) -> bool:
+        """Register an access; returns True on a buffer hit (no disk I/O)."""
+        key = (file_name, page_id)
+        if key in self._resident:
+            self._resident.move_to_end(key)
+            self.hits += 1
+            return True
+        self.misses += 1
+        self._resident[key] = None
+        if len(self._resident) > self.capacity:
+            self._resident.popitem(last=False)
+        return False
+
+    def invalidate(self, file_name: str, page_id: int) -> None:
+        self._resident.pop((file_name, page_id), None)
+
+    def clear(self) -> None:
+        self._resident.clear()
+
+    def __len__(self) -> int:
+        return len(self._resident)

@@ -1,0 +1,110 @@
+"""Binary codecs for records and index entries.
+
+The in-memory simulation enforces page *capacities* from the record
+layouts; this module makes the byte story real: every payload and entry
+kind can be packed to/from the exact byte strings the layouts describe,
+which is what the on-disk persistence of :mod:`repro.rtree.persist`
+writes.  All values are little-endian; ids are unsigned 32-bit,
+coordinates and distances are IEEE-754 doubles — matching the field
+sizes in :mod:`repro.storage.records`.
+"""
+
+from __future__ import annotations
+
+import struct
+from typing import Any, Protocol, TypeVar
+
+from repro.geometry.point import Point
+from repro.geometry.rect import Rect
+
+T = TypeVar("T")
+
+
+class PayloadCodec(Protocol[T]):
+    """Fixed-size binary codec for leaf payloads."""
+
+    size: int
+
+    def encode(self, payload: T) -> bytes: ...
+
+    def decode(self, data: bytes) -> T: ...
+
+
+class PointCodec:
+    """``(x, y)`` — 16 bytes."""
+
+    _fmt = struct.Struct("<dd")
+    size = _fmt.size
+
+    def encode(self, payload: Point) -> bytes:
+        return self._fmt.pack(payload[0], payload[1])
+
+    def decode(self, data: bytes) -> Point:
+        x, y = self._fmt.unpack(data)
+        return Point(x, y)
+
+
+class SiteCodec:
+    """``(id, x, y)`` — 20 bytes, the paper's point record."""
+
+    _fmt = struct.Struct("<Idd")
+    size = _fmt.size
+
+    def encode(self, payload: Any) -> bytes:
+        return self._fmt.pack(payload.sid, payload.x, payload.y)
+
+    def decode(self, data: bytes) -> Any:
+        from repro.core.types import Site
+
+        sid, x, y = self._fmt.unpack(data)
+        return Site(sid, x, y)
+
+
+class ClientCodec:
+    """``(id, x, y, dnn)`` — 28 bytes, the client record."""
+
+    _fmt = struct.Struct("<Iddd")
+    size = _fmt.size
+
+    def encode(self, payload: Any) -> bytes:
+        return self._fmt.pack(payload.cid, payload.x, payload.y, payload.dnn)
+
+    def decode(self, data: bytes) -> Any:
+        from repro.core.types import Client
+
+        cid, x, y, dnn = self._fmt.unpack(data)
+        return Client(cid, x, y, dnn)
+
+
+_RECT = struct.Struct("<dddd")
+
+
+def encode_rect(rect: Rect) -> bytes:
+    return _RECT.pack(rect.xmin, rect.ymin, rect.xmax, rect.ymax)
+
+
+def decode_rect(data: bytes) -> Rect:
+    return Rect(*_RECT.unpack(data))
+
+
+RECT_SIZE = _RECT.size
+
+#: Branch entry: MBR + child page id (+ optional 8-byte MND).
+_BRANCH = struct.Struct("<ddddI")
+_BRANCH_MND = struct.Struct("<ddddId")
+BRANCH_SIZE = _BRANCH.size
+BRANCH_MND_SIZE = _BRANCH_MND.size
+
+
+def encode_branch(mbr: Rect, child_id: int, mnd: float | None) -> bytes:
+    if mnd is None:
+        return _BRANCH.pack(mbr.xmin, mbr.ymin, mbr.xmax, mbr.ymax, child_id)
+    return _BRANCH_MND.pack(mbr.xmin, mbr.ymin, mbr.xmax, mbr.ymax, child_id, mnd)
+
+
+def decode_branch(data: bytes, with_mnd: bool) -> tuple[Rect, int, float | None]:
+    if with_mnd:
+        x1, y1, x2, y2, child, mnd = _BRANCH_MND.unpack(data)
+        return Rect(x1, y1, x2, y2), child, mnd
+    x1, y1, x2, y2, child = _BRANCH.unpack(data)
+    return Rect(x1, y1, x2, y2), child, None

@@ -1,0 +1,141 @@
+"""Real on-disk page files.
+
+``PageFile`` is a plain file of fixed-size pages with a small header,
+giving the simulation's storage layer an actual byte-level backing:
+indexes serialized through :mod:`repro.rtree.persist` can be closed,
+reopened (by another process, even) and queried, with every page read
+counted exactly as in the in-memory pager.
+"""
+
+from __future__ import annotations
+
+import os
+import struct
+from pathlib import Path
+from typing import Optional
+
+from repro.storage.buffer import LRUBufferPool
+from repro.storage.records import PAGE_SIZE
+from repro.storage.stats import IOStats
+
+#: File magic + format version.
+_MAGIC = b"MDLS"
+_HEADER = struct.Struct("<4sIIII")  # magic, version, page_size, num_pages, root
+HEADER_SIZE = _HEADER.size
+FORMAT_VERSION = 1
+
+
+class PageFileError(RuntimeError):
+    """Raised for malformed or mismatched page files."""
+
+
+class PageFile:
+    """A header plus ``num_pages`` fixed-size binary pages."""
+
+    def __init__(self, path: str | Path, page_size: int = PAGE_SIZE):
+        self.path = Path(path)
+        self.page_size = page_size
+        self.num_pages = 0
+        self.root_page = 0
+        self._fh: Optional[object] = None
+
+    # ------------------------------------------------------------------
+    # Writing
+    # ------------------------------------------------------------------
+    def create(self, pages: list[bytes], root_page: int) -> None:
+        """Write a fresh file with the given page images."""
+        for i, page in enumerate(pages):
+            if len(page) > self.page_size:
+                raise PageFileError(
+                    f"page {i} is {len(page)} bytes > page size {self.page_size}"
+                )
+        with open(self.path, "wb") as f:
+            f.write(
+                _HEADER.pack(
+                    _MAGIC, FORMAT_VERSION, self.page_size, len(pages), root_page
+                )
+            )
+            for page in pages:
+                f.write(page.ljust(self.page_size, b"\x00"))
+        self.num_pages = len(pages)
+        self.root_page = root_page
+
+    # ------------------------------------------------------------------
+    # Reading
+    # ------------------------------------------------------------------
+    def open(self) -> "PageFile":
+        """Open an existing file and validate its header."""
+        if not self.path.exists():
+            raise PageFileError(f"{self.path}: no such page file")
+        self._fh = open(self.path, "rb")
+        header = self._fh.read(HEADER_SIZE)
+        if len(header) < HEADER_SIZE:
+            raise PageFileError(f"{self.path}: truncated header")
+        magic, version, page_size, num_pages, root = _HEADER.unpack(header)
+        if magic != _MAGIC:
+            raise PageFileError(f"{self.path}: bad magic {magic!r}")
+        if version != FORMAT_VERSION:
+            raise PageFileError(f"{self.path}: unsupported version {version}")
+        expected = HEADER_SIZE + num_pages * page_size
+        actual = os.path.getsize(self.path)
+        if actual < expected:
+            raise PageFileError(
+                f"{self.path}: file is {actual} bytes, header promises {expected}"
+            )
+        self.page_size = page_size
+        self.num_pages = num_pages
+        self.root_page = root
+        return self
+
+    def read_page(self, page_id: int) -> bytes:
+        if self._fh is None:
+            raise PageFileError("page file is not open")
+        if not 0 <= page_id < self.num_pages:
+            raise PageFileError(f"page {page_id} out of range 0..{self.num_pages - 1}")
+        self._fh.seek(HEADER_SIZE + page_id * self.page_size)
+        return self._fh.read(self.page_size)
+
+    def close(self) -> None:
+        if self._fh is not None:
+            self._fh.close()
+            self._fh = None
+
+    def __enter__(self) -> "PageFile":
+        return self.open()
+
+    def __exit__(self, *exc) -> None:
+        self.close()
+
+
+class DiskPager:
+    """A read-only pager over a :class:`PageFile` with I/O accounting.
+
+    Decoding from bytes to node objects is the caller's job (see
+    :mod:`repro.rtree.persist`); the pager only counts and serves raw
+    pages, optionally through a buffer pool.
+    """
+
+    def __init__(
+        self,
+        name: str,
+        page_file: PageFile,
+        stats: IOStats,
+        buffer_pool: Optional[LRUBufferPool] = None,
+    ):
+        self.name = name
+        self.file = page_file
+        self.stats = stats
+        self.buffer_pool = buffer_pool
+        self._cache: dict[int, bytes] = {}
+
+    def read(self, page_id: int) -> bytes:
+        """Read a page, charging one I/O on a buffer miss."""
+        if self.buffer_pool is None or not self.buffer_pool.access(
+            self.name, page_id
+        ):
+            self.stats.record_read(self.name)
+        return self.file.read_page(page_id)
+
+    def peek(self, page_id: int) -> bytes:
+        """Uncounted read (validation and tooling)."""
+        return self.file.read_page(page_id)

@@ -1,0 +1,81 @@
+"""The simulated paged disk.
+
+A :class:`Pager` is a named collection of pages.  Pages hold arbitrary
+Python objects (we simulate the *access pattern*, not the byte encoding),
+but callers declare a :class:`~repro.storage.records.RecordLayout` so the
+pager can enforce capacity — a page can never hold more records than
+would physically fit in ``PAGE_SIZE`` bytes.
+
+Every ``read`` is charged to a shared :class:`~repro.storage.stats.IOStats`
+instance unless an attached buffer pool reports a hit.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Optional
+
+from repro.storage.buffer import LRUBufferPool
+from repro.storage.records import PAGE_SIZE, RecordLayout
+from repro.storage.stats import IOStats
+
+
+class Pager:
+    """A paged file with read accounting."""
+
+    __slots__ = ("name", "layout", "stats", "buffer_pool", "_pages", "page_size")
+
+    def __init__(
+        self,
+        name: str,
+        layout: RecordLayout,
+        stats: IOStats,
+        buffer_pool: Optional[LRUBufferPool] = None,
+        page_size: int = PAGE_SIZE,
+    ):
+        self.name = name
+        self.layout = layout
+        self.stats = stats
+        self.buffer_pool = buffer_pool
+        self.page_size = page_size
+        self._pages: list[Any] = []
+
+    # ------------------------------------------------------------------
+    @property
+    def capacity(self) -> int:
+        """Records (entries) per page for this pager's layout."""
+        return self.layout.capacity(self.page_size)
+
+    @property
+    def num_pages(self) -> int:
+        return len(self._pages)
+
+    @property
+    def size_bytes(self) -> int:
+        return self.num_pages * self.page_size
+
+    # ------------------------------------------------------------------
+    def allocate(self, payload: Any = None) -> int:
+        """Allocate a fresh page holding ``payload``; returns its id."""
+        self._pages.append(payload)
+        return len(self._pages) - 1
+
+    def write(self, page_id: int, payload: Any) -> None:
+        """Overwrite a page in place (counted as a page write)."""
+        self._pages[page_id] = payload
+        self.stats.record_write(self.name)
+
+    def read(self, page_id: int) -> Any:
+        """Read a page, charging one I/O unless the buffer pool hits."""
+        if self.buffer_pool is None or not self.buffer_pool.access(
+            self.name, page_id
+        ):
+            self.stats.record_read(self.name)
+        return self._pages[page_id]
+
+    def peek(self, page_id: int) -> Any:
+        """Read a page *without* I/O accounting.
+
+        Reserved for index construction and validation, which the paper
+        excludes from query-time I/O counts.
+        """
+        return self._pages[page_id]

@@ -1,0 +1,53 @@
+"""I/O accounting.
+
+A single :class:`IOStats` instance is shared by all simulated files and
+trees taking part in a query; every page read is recorded against the
+owning structure's name so experiments can report both the total I/O
+count (the paper's headline metric) and a per-structure breakdown.
+"""
+
+from __future__ import annotations
+
+from collections import Counter
+
+
+class IOStats:
+    """Counts page reads and writes, grouped by structure name."""
+
+    __slots__ = ("reads", "writes")
+
+    def __init__(self) -> None:
+        self.reads: Counter[str] = Counter()
+        self.writes: Counter[str] = Counter()
+
+    # ------------------------------------------------------------------
+    def record_read(self, source: str, pages: int = 1) -> None:
+        self.reads[source] += pages
+
+    def record_write(self, source: str, pages: int = 1) -> None:
+        self.writes[source] += pages
+
+    # ------------------------------------------------------------------
+    @property
+    def total_reads(self) -> int:
+        return sum(self.reads.values())
+
+    @property
+    def total_writes(self) -> int:
+        return sum(self.writes.values())
+
+    @property
+    def total(self) -> int:
+        return self.total_reads + self.total_writes
+
+    def reset(self) -> None:
+        self.reads.clear()
+        self.writes.clear()
+
+    def snapshot(self) -> dict[str, int]:
+        """A plain-dict copy of the read counters (for reports/tests)."""
+        return dict(self.reads)
+
+    def __repr__(self) -> str:
+        parts = ", ".join(f"{k}={v}" for k, v in sorted(self.reads.items()))
+        return f"IOStats(reads={self.total_reads} [{parts}])"

@@ -1,0 +1,79 @@
+"""Tests for the Table III cost model."""
+
+import math
+
+import pytest
+
+from repro.analysis.cost_model import CostModel
+from repro.core.mnd import MaximumNFCDistance
+from repro.core.nfc import NearestFacilityCircle
+from repro.core.ss import SequentialScan
+from repro.core.workspace import Workspace
+from repro.datasets.generators import make_instance
+
+
+@pytest.fixture(scope="module")
+def model():
+    return CostModel()
+
+
+class TestFormulas:
+    def test_defaults_match_layouts(self, model):
+        assert model.cm_point == 204  # the paper's quoted C_m
+        assert model.cm_client == 146
+        assert model.ce == 79
+
+    def test_ss_formula(self, model):
+        # 2 potential blocks x 7 client blocks + 2 reads of P itself.
+        assert model.io_ss(n_c=1000, n_p=400) == 2 * 7 + 2
+
+    def test_join_worst_case_shape(self, model):
+        assert model.io_join_worst_case(7800, 780) == pytest.approx(
+            (7800 / 78) * (780 / 78)
+        )
+
+    def test_qvc_formula_parts(self, model):
+        io = model.io_qvc(n_c=100_000, n_f=5000, n_p=5000, k=0.05, w_q=0.9)
+        io_q1 = math.ceil(5000 / 204)
+        io_q2 = 5000 * 0.05 * 5000 / 78
+        io_q3 = io_q1 * 0.1 * model.rtree_height(100_000)
+        assert io == pytest.approx(io_q1 + io_q2 + io_q3)
+
+    def test_heights(self, model):
+        assert model.rtree_height(1) == 1
+        assert model.rtree_height(79) == 1
+        assert model.rtree_height(80) == 2
+        assert model.rtree_height(100_000) == 3
+
+    def test_pruning_power_inversion(self, model):
+        w = 0.9
+        io = model.io_nfc(50_000, 5_000, w)
+        assert model.pruning_power(int(io), 50_000, 5_000) == pytest.approx(
+            w, abs=0.01
+        )
+
+    def test_crossover_condition(self, model):
+        """Section VII-B: with n_c = 10K and C_m ~ 146-204, IO_q exceeds
+        IO_s already for tiny NN costs."""
+        assert model.qvc_exceeds_ss(n_c=10_000, io_nn=2.4)
+        assert not model.qvc_exceeds_ss(n_c=10_000_000_000, io_nn=0.1)
+
+
+class TestAgainstMeasurements:
+    def test_ss_prediction_is_exact(self):
+        ws = Workspace(make_instance(3000, 50, 500, rng=61))
+        measured = SequentialScan(ws).select().io_total
+        assert measured == CostModel().io_ss(3000, 500)
+
+    def test_join_pruning_powers_are_high_and_similar(self):
+        """Back-derived w_n and w_m should be in (0, 1) and close —
+        the w_m ~= w_n claim of Section VII-B."""
+        ws = Workspace(make_instance(20_000, 1000, 1000, rng=62))
+        model = CostModel()
+        io_n = NearestFacilityCircle(ws).select().io_total
+        io_m = MaximumNFCDistance(ws).select().io_total
+        w_n = model.pruning_power(io_n, 20_000, 1000)
+        w_m = model.pruning_power(io_m, 20_000, 1000)
+        assert 0.5 < w_n < 1.0
+        assert 0.5 < w_m < 1.0
+        assert abs(w_n - w_m) < 0.2

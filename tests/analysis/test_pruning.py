@@ -1,0 +1,52 @@
+"""Tests for the join pruning profiler."""
+
+import pytest
+
+from repro.analysis.pruning import profile_mnd_join, profile_nfc_join
+from repro.core import Workspace, make_selector
+from repro.datasets.generators import make_instance
+
+
+@pytest.fixture(scope="module")
+def ws():
+    return Workspace(make_instance(8000, 400, 400, rng=91))
+
+
+class TestProfiles:
+    def test_profile_reads_match_join_io_exactly(self, ws):
+        """The profiler's implied read count must equal the real join's
+        measured I/O — the profile is a faithful dry run."""
+        for profile_fn, method in (
+            (profile_nfc_join, "NFC"),
+            (profile_mnd_join, "MND"),
+        ):
+            profile = profile_fn(ws)
+            measured = make_selector(ws, method).select().io_total
+            assert profile.total_reads == measured
+
+    def test_pruning_powers_positive_and_similar(self, ws):
+        nfc = profile_nfc_join(ws)
+        mnd = profile_mnd_join(ws)
+        assert 0.3 < nfc.pruning_power < 1.0
+        assert 0.3 < mnd.pruning_power < 1.0
+        # Section VII-B's w_m ~= w_n, now measured structurally.
+        assert abs(nfc.pruning_power - mnd.pruning_power) < 0.15
+
+    def test_mnd_survivors_superset_factor(self, ws):
+        """The MND region is slightly looser than the exact NFC MBRs, so
+        it can only keep the same or more pairs — within a small factor."""
+        nfc = profile_nfc_join(ws)
+        mnd = profile_mnd_join(ws)
+        assert mnd.survived >= 0
+        assert mnd.survived <= 2.0 * max(1, nfc.survived)
+
+    def test_format_mentions_levels(self, ws):
+        text = profile_mnd_join(ws).format()
+        assert "MND join profile" in text
+        assert "P-level" in text
+
+    def test_empty_workspace_profile(self):
+        ws = Workspace(make_instance(0, 2, 2, rng=92))
+        profile = profile_mnd_join(ws)
+        assert profile.considered == 0
+        assert profile.pruning_power == 0.0

@@ -1,0 +1,83 @@
+"""Tests validating the analytic selectivity model empirically."""
+
+import math
+
+import numpy as np
+import pytest
+
+from repro.analysis.selectivity import (
+    expected_dnn,
+    expected_dnn_moment,
+    expected_dr,
+    expected_influence_size,
+    expected_nfc_area,
+)
+from repro.core import Workspace
+from repro.core import naive
+from repro.datasets.generators import DOMAIN, make_instance
+
+
+@pytest.fixture(scope="module")
+def big_uniform_ws():
+    # Large enough for the Poisson approximation; facilities dense
+    # enough that boundary effects stay small.
+    return Workspace(make_instance(20_000, 800, 400, rng=121))
+
+
+class TestClosedForms:
+    def test_expected_dnn_formula(self):
+        # 400 facilities on 1000x1000: lambda = 4e-4, sqrt = 0.02,
+        # E[dnn] = 1 / (2 * 0.02) = 25.
+        assert expected_dnn(400) == pytest.approx(25.0)
+
+    def test_first_moment_consistency(self):
+        assert expected_dnn_moment(400, 1) == pytest.approx(expected_dnn(400))
+
+    def test_second_moment_equals_area_over_nf_pi(self):
+        # E[dnn^2] = A / (pi * n_f).
+        assert expected_dnn_moment(250, 2) == pytest.approx(
+            DOMAIN.area / (math.pi * 250)
+        )
+
+    def test_nfc_area_is_domain_over_nf(self):
+        assert expected_nfc_area(500) == pytest.approx(DOMAIN.area / 500)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            expected_dnn(0)
+        with pytest.raises(ValueError):
+            expected_dnn_moment(5, 0)
+        with pytest.raises(ValueError):
+            expected_influence_size(10, 0)
+
+
+class TestEmpiricalAgreement:
+    def test_mean_dnn(self, big_uniform_ws):
+        ws = big_uniform_ws
+        empirical = float(ws.client_xyd[:, 2].mean())
+        predicted = expected_dnn(ws.n_f)
+        assert empirical == pytest.approx(predicted, rel=0.10)
+
+    def test_mean_influence_size(self, big_uniform_ws):
+        ws = big_uniform_ws
+        sizes = [
+            len(naive.influence_set(ws, p)) for p in ws.potentials[:100]
+        ]
+        empirical = float(np.mean(sizes))
+        predicted = expected_influence_size(ws.n_c, ws.n_f)
+        assert empirical == pytest.approx(predicted, rel=0.30)
+
+    def test_mean_dr(self, big_uniform_ws):
+        ws = big_uniform_ws
+        empirical = float(naive.distance_reductions(ws).mean())
+        predicted = expected_dr(ws.n_c, ws.n_f)
+        assert empirical == pytest.approx(predicted, rel=0.30)
+
+    def test_influence_scaling_in_nf(self):
+        """Doubling facilities should roughly halve mean |IS(p)|."""
+        means = []
+        for n_f in (200, 400):
+            ws = Workspace(make_instance(8_000, n_f, 150, rng=122))
+            sizes = [len(naive.influence_set(ws, p)) for p in ws.potentials]
+            means.append(float(np.mean(sizes)))
+        assert means[0] / means[1] == pytest.approx(2.0, rel=0.35)

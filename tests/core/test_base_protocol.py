@@ -1,0 +1,62 @@
+"""Tests for the LocationSelector protocol (the measurement contract)."""
+
+import pytest
+
+from repro.core import METHODS, Workspace, make_selector
+from repro.datasets.generators import make_instance
+
+
+@pytest.fixture(scope="module")
+def ws():
+    return Workspace(make_instance(400, 20, 30, rng=191))
+
+
+class TestSelectProtocol:
+    @pytest.mark.parametrize("method", sorted(METHODS))
+    def test_repeated_select_is_idempotent(self, ws, method):
+        selector = make_selector(ws, method)
+        first = selector.select()
+        second = selector.select()
+        assert first.location == second.location
+        assert first.dr == second.dr
+        assert first.io_total == second.io_total  # stats reset per run
+
+    @pytest.mark.parametrize("method", sorted(METHODS))
+    def test_elapsed_includes_io_latency(self, ws, method):
+        result = make_selector(ws, method).select()
+        assert result.elapsed_s >= result.cpu_s
+        assert result.elapsed_s == pytest.approx(
+            result.cpu_s + result.io_total * ws.io_latency_s
+        )
+
+    @pytest.mark.parametrize("method", sorted(METHODS))
+    def test_io_breakdown_sums_to_total(self, ws, method):
+        result = make_selector(ws, method).select()
+        assert sum(result.io_reads.values()) == result.io_total
+
+    def test_selects_do_not_pollute_each_other(self, ws):
+        """Running one method must not leak I/O into the next one's
+        measurement."""
+        io = {}
+        for name in sorted(METHODS):
+            io[name] = make_selector(ws, name).select().io_total
+        again = {
+            name: make_selector(ws, name).select().io_total
+            for name in sorted(METHODS)
+        }
+        assert io == again
+
+    def test_distance_reductions_lazily_runs_select(self, ws):
+        selector = make_selector(ws, "MND")
+        vec = selector.distance_reductions()  # no prior select()
+        assert len(vec) == ws.n_p
+
+    def test_distance_reductions_returns_a_copy(self, ws):
+        selector = make_selector(ws, "MND")
+        vec = selector.distance_reductions()
+        vec[:] = -1
+        assert selector.distance_reductions()[0] != -1
+
+    def test_method_names_match_registry(self, ws):
+        for name, cls in METHODS.items():
+            assert cls.name == name

@@ -1,0 +1,125 @@
+"""Tests for the facility-closure extension and the 2-NN machinery."""
+
+import math
+import random
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.closure import (
+    closure_damages,
+    second_nearest_distances,
+    select_closure,
+)
+from repro.geometry.point import Point
+from repro.knnjoin.grid import FacilityGrid
+
+
+def random_points(n, seed=0):
+    rng = random.Random(seed)
+    return [Point(rng.uniform(0, 1000), rng.uniform(0, 1000)) for __ in range(n)]
+
+
+def brute_force_damages(clients, facilities):
+    damages = [0.0] * len(facilities)
+    for c in clients:
+        dists = sorted(
+            (c.distance_to(Point(*f)), i) for i, f in enumerate(facilities)
+        )
+        (d1, i1), (d2, __) = dists[0], dists[1]
+        damages[i1] += d2 - d1
+    return damages
+
+
+class TestNearestTwo:
+    def test_matches_sorted_scan(self):
+        facilities = random_points(60, seed=1)
+        grid = FacilityGrid(facilities)
+        for q in random_points(30, seed=2):
+            got = grid.nearest_two(q)
+            expected = sorted(q.distance_to(f) for f in facilities)[:2]
+            assert [d for d, __ in got] == pytest.approx(expected, abs=1e-9)
+
+    def test_single_point_grid(self):
+        grid = FacilityGrid([Point(5, 5)])
+        assert len(grid.nearest_two(Point(0, 0))) == 1
+
+    def test_duplicates_count_twice(self):
+        grid = FacilityGrid([Point(5, 5), Point(5, 5), Point(100, 100)])
+        (d1, __), (d2, __) = grid.nearest_two(Point(5, 6))
+        assert d1 == pytest.approx(1.0)
+        assert d2 == pytest.approx(1.0)
+
+    @settings(max_examples=40, deadline=None)
+    @given(st.integers(min_value=0, max_value=5000))
+    def test_nearest_two_property(self, seed):
+        rng = random.Random(seed)
+        n = rng.randint(2, 40)
+        facilities = random_points(n, seed=seed)
+        grid = FacilityGrid(facilities)
+        q = Point(rng.uniform(-100, 1100), rng.uniform(-100, 1100))
+        got = [d for d, __ in grid.nearest_two(q)]
+        expected = sorted(q.distance_to(f) for f in facilities)[:2]
+        assert got == pytest.approx(expected, abs=1e-9)
+
+
+class TestClosureQuery:
+    def test_damages_match_brute_force(self):
+        clients = random_points(200, seed=3)
+        facilities = random_points(15, seed=4)
+        got = closure_damages(clients, facilities)
+        expected = brute_force_damages(clients, facilities)
+        np.testing.assert_allclose(got, expected, atol=1e-9)
+
+    def test_select_minimises_damage(self):
+        clients = random_points(300, seed=5)
+        facilities = random_points(12, seed=6)
+        site, damage = select_closure(clients, facilities)
+        expected = brute_force_damages(clients, facilities)
+        assert damage == pytest.approx(min(expected), abs=1e-9)
+        assert expected[site.sid] == pytest.approx(min(expected), abs=1e-9)
+
+    def test_unused_facility_has_zero_damage(self):
+        clients = [Point(0, 0), Point(1, 0)]
+        facilities = [Point(0, 1), Point(500, 500)]
+        damages = closure_damages(clients, facilities)
+        assert damages[1] == 0.0
+        site, damage = select_closure(clients, facilities)
+        assert site.sid == 1
+        assert damage == 0.0
+
+    def test_duplicate_facility_closure_is_free(self):
+        clients = random_points(50, seed=7)
+        f = Point(500, 500)
+        facilities = [f, f, Point(10, 10)]
+        damages = closure_damages(clients, facilities)
+        assert damages[0] == pytest.approx(0.0, abs=1e-9)
+
+    def test_requires_two_facilities(self):
+        with pytest.raises(ValueError):
+            select_closure([Point(0, 0)], [Point(1, 1)])
+
+    def test_closure_is_inverse_of_selection(self):
+        """Opening a facility then closing it must be a no-op in damage
+        terms: closing the just-opened facility costs exactly the dr it
+        provided."""
+        clients = random_points(150, seed=8)
+        facilities = random_points(8, seed=9)
+        candidate = Point(444, 333)
+        from repro.core import select_location
+
+        opened = select_location(clients, facilities, [candidate])
+        damages = closure_damages(clients, facilities + [candidate])
+        assert damages[-1] == pytest.approx(opened.dr, abs=1e-6)
+
+    def test_second_nearest_invariants(self):
+        clients = random_points(80, seed=10)
+        facilities = random_points(9, seed=11)
+        nearest_idx, dnn, dnn2 = second_nearest_distances(clients, facilities)
+        for c, i1, d1, d2 in zip(clients, nearest_idx, dnn, dnn2):
+            assert d1 <= d2
+            assert c.distance_to(Point(*facilities[i1])) == pytest.approx(
+                d1, abs=1e-9
+            )

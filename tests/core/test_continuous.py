@@ -1,0 +1,97 @@
+"""Tests for continuous (incrementally maintained) selection."""
+
+import random
+
+import numpy as np
+import pytest
+
+from repro.core import naive
+from repro.core.continuous import ContinuousSelection
+from repro.core.dynamic import DynamicWorkspace
+from repro.datasets.generators import make_instance
+from repro.geometry.point import Point
+
+
+def fresh(seed=171, n_c=300, n_f=15, n_p=40) -> ContinuousSelection:
+    return ContinuousSelection(
+        DynamicWorkspace(make_instance(n_c, n_f, n_p, rng=seed))
+    )
+
+
+class TestIncrementalMaintenance:
+    def test_initial_vector_matches_oracle(self):
+        cs = fresh()
+        np.testing.assert_allclose(
+            cs.distance_reductions(), naive.distance_reductions(cs.ws)
+        )
+
+    def test_client_arrival(self):
+        cs = fresh()
+        cs.add_client(Point(333, 777))
+        assert cs.verify()
+
+    def test_client_departure(self):
+        cs = fresh()
+        cs.remove_client(cs.ws.clients[7])
+        assert cs.verify()
+
+    def test_facility_opening(self):
+        cs = fresh()
+        cs.add_facility(Point(250, 250))
+        assert cs.verify()
+
+    def test_facility_closing(self):
+        cs = fresh()
+        cs.remove_facility(cs.ws.facilities[2])
+        assert cs.verify()
+
+    def test_update_storm_stays_exact(self):
+        rng = random.Random(181)
+        cs = fresh(n_c=120, n_f=8, n_p=25)
+        for __ in range(50):
+            roll = rng.random()
+            if roll < 0.35:
+                cs.add_client(
+                    Point(rng.uniform(0, 1000), rng.uniform(0, 1000))
+                )
+            elif roll < 0.6 and len(cs.ws.clients) > 10:
+                cs.remove_client(rng.choice(cs.ws.clients))
+            elif roll < 0.85:
+                cs.add_facility(
+                    Point(rng.uniform(0, 1000), rng.uniform(0, 1000))
+                )
+            elif len(cs.ws.facilities) > 2:
+                cs.remove_facility(rng.choice(cs.ws.facilities))
+        assert cs.updates_applied == 50
+        assert cs.verify()
+
+
+class TestContinuousQueries:
+    def test_best_matches_oracle_after_updates(self):
+        cs = fresh(seed=172)
+        cs.add_facility(Point(500, 500))
+        cs.add_client(Point(10, 990))
+        site, dr = cs.best()
+        oracle_site, oracle_dr = naive.select(cs.ws)
+        assert site.sid == oracle_site.sid
+        assert dr == pytest.approx(oracle_dr, abs=1e-6)
+
+    def test_top_k_order(self):
+        cs = fresh(seed=173)
+        cs.add_client(Point(700, 300))
+        top = cs.top(5)
+        drs = [v for __, v in top]
+        assert drs == sorted(drs, reverse=True)
+
+    def test_top_invalid_k(self):
+        with pytest.raises(ValueError):
+            fresh().top(0)
+
+    def test_winner_dethroned_by_facility_on_top_of_it(self):
+        cs = fresh(seed=174)
+        site, dr = cs.best()
+        assert dr > 0
+        cs.add_facility(Point(site.x, site.y))
+        vec = cs.distance_reductions()
+        assert vec[site.sid] == pytest.approx(0.0, abs=1e-9)
+        assert cs.verify()

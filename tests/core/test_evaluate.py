@@ -1,0 +1,84 @@
+"""Tests for single-location evaluation reports."""
+
+import pytest
+
+from repro.core import Workspace
+from repro.core import naive
+from repro.core.evaluate import compare_locations, evaluate_location
+from repro.datasets.generators import SpatialInstance, make_instance
+from repro.geometry.point import Point
+
+
+@pytest.fixture
+def ws():
+    return Workspace(make_instance(300, 15, 20, rng=101))
+
+
+class TestEvaluateLocation:
+    def test_matches_oracle(self, ws):
+        for p in ws.potentials[:8]:
+            report = evaluate_location(ws, p)
+            assert list(report.influenced_clients) == naive.influence_set(ws, p)
+            assert report.dr == pytest.approx(
+                naive.distance_reductions(ws)[p.sid], abs=1e-9
+            )
+
+    def test_lookup_by_id(self, ws):
+        by_site = evaluate_location(ws, ws.potentials[3])
+        by_id = evaluate_location(ws, 3)
+        assert by_id == by_site
+
+    def test_invalid_id(self, ws):
+        with pytest.raises(ValueError, match="no potential location"):
+            evaluate_location(ws, 10_000)
+
+    def test_averages_are_consistent(self, ws):
+        report = evaluate_location(ws, 0)
+        assert report.avg_nfd_after <= report.avg_nfd_before
+        # before - after == dr / n_c
+        assert report.avg_nfd_before - report.avg_nfd_after == pytest.approx(
+            report.dr / ws.n_c, abs=1e-9
+        )
+
+    def test_before_matches_objective(self, ws):
+        report = evaluate_location(ws, 0)
+        assert report.avg_nfd_before == pytest.approx(
+            naive.objective_sum(ws) / ws.n_c, abs=1e-6
+        )
+
+    def test_max_client_gain(self):
+        inst = SpatialInstance(
+            "t",
+            [Point(0, 0), Point(100, 100)],
+            [Point(10, 0)],
+            [Point(2, 0)],
+        )
+        ws2 = Workspace(inst)
+        report = evaluate_location(ws2, 0)
+        assert report.max_client_gain == pytest.approx(8.0)
+        assert report.influence_count == 1
+
+    def test_no_clients(self):
+        inst = SpatialInstance("t", [], [Point(0, 0)], [Point(1, 1)])
+        report = evaluate_location(Workspace(inst), 0)
+        assert report.dr == 0.0
+        assert report.influence_count == 0
+
+    def test_format_readable(self, ws):
+        text = evaluate_location(ws, 0).format()
+        assert "clients influenced" in text
+        assert "avg NFD" in text
+
+
+class TestCompareLocations:
+    def test_sorted_best_first(self, ws):
+        reports = compare_locations(ws, list(range(10)))
+        drs = [r.dr for r in reports]
+        assert drs == sorted(drs, reverse=True)
+
+    def test_ties_by_id(self):
+        inst = SpatialInstance(
+            "t", [Point(0, 0)], [Point(10, 0)], [Point(0, 3), Point(0, -3)]
+        )
+        reports = compare_locations(Workspace(inst), [1, 0])
+        assert [r.location.sid for r in reports] == [0, 1]

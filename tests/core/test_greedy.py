@@ -1,0 +1,90 @@
+"""Tests for greedy multi-facility selection."""
+
+import numpy as np
+import pytest
+
+from repro.core import Workspace
+from repro.core import naive
+from repro.core.greedy import coverage_curve, select_sequence
+from repro.datasets.generators import SpatialInstance, make_instance
+from repro.geometry.point import Point
+from repro.knnjoin.incremental import DnnMaintainer
+
+
+@pytest.fixture
+def instance():
+    return make_instance(400, 10, 25, rng=71)
+
+
+class TestSelectSequence:
+    def test_first_step_matches_single_query(self, instance):
+        ws = Workspace(instance)
+        single, __ = naive.select(ws)
+        results = select_sequence(instance, k=1)
+        assert len(results) == 1
+        assert results[0].location.sid == single.sid
+
+    def test_each_step_is_greedy_optimal(self, instance):
+        """Every step's choice must maximise dr against the then-current
+        facility set."""
+        results = select_sequence(instance, k=4)
+        maintainer = DnnMaintainer(instance.clients, instance.facilities)
+        chosen_ids = set()
+        for step in results:
+            # Recompute dr for all remaining candidates by brute force.
+            best_dr = -1.0
+            for i, p in enumerate(instance.potentials):
+                if i in chosen_ids:
+                    continue
+                d = np.hypot(
+                    np.array([c[0] for c in instance.clients]) - p[0],
+                    np.array([c[1] for c in instance.clients]) - p[1],
+                )
+                dr = float(np.clip(maintainer.distances - d, 0, None).sum())
+                best_dr = max(best_dr, dr)
+            assert step.dr == pytest.approx(best_dr, abs=1e-6)
+            chosen_ids.add(step.location.sid)
+            maintainer.add_facility(Point(step.location.x, step.location.y))
+
+    def test_no_candidate_selected_twice(self, instance):
+        results = select_sequence(instance, k=10)
+        ids = [r.location.sid for r in results]
+        assert len(ids) == len(set(ids))
+
+    def test_ids_refer_to_original_list(self, instance):
+        results = select_sequence(instance, k=5)
+        for r in results:
+            original = instance.potentials[r.location.sid]
+            assert (r.location.x, r.location.y) == (original[0], original[1])
+
+    def test_k_clamped_to_pool_size(self):
+        inst = SpatialInstance(
+            "t", [Point(0, 0)], [Point(9, 9)], [Point(1, 1), Point(2, 2)]
+        )
+        assert len(select_sequence(inst, k=10)) == 2
+
+    def test_invalid_k(self, instance):
+        with pytest.raises(ValueError):
+            select_sequence(instance, k=0)
+
+    def test_marginal_gains_shrink_on_average(self, instance):
+        """The objective is monotone; with a submodular-like landscape
+        the first pick dominates the last."""
+        results = select_sequence(instance, k=8)
+        assert results[0].dr >= results[-1].dr
+
+    def test_all_methods_agree_on_sequence(self, instance):
+        by_method = {
+            m: [r.location.sid for r in select_sequence(instance, 3, method=m)]
+            for m in ("SS", "QVC", "NFC", "MND")
+        }
+        assert len({tuple(v) for v in by_method.values()}) == 1
+
+
+class TestCoverageCurve:
+    def test_curve_is_cumulative(self, instance):
+        results = select_sequence(instance, k=5)
+        curve = coverage_curve(results)
+        assert len(curve) == 5
+        assert curve == sorted(curve)
+        assert curve[-1] == pytest.approx(sum(r.dr for r in results))

@@ -1,0 +1,52 @@
+"""Tests for influence-set materialisation via the MND join."""
+
+import pytest
+
+from repro.core import Workspace
+from repro.core import naive
+from repro.core.mnd import MaximumNFCDistance
+from repro.datasets.generators import SpatialInstance, make_instance
+from repro.geometry.point import Point
+
+
+class TestInfluenceSets:
+    def test_matches_oracle(self):
+        ws = Workspace(make_instance(500, 25, 40, rng=81))
+        got = MaximumNFCDistance(ws).influence_sets()
+        for p in ws.potentials:
+            assert got[p.sid] == naive.influence_set(ws, p)
+
+    def test_every_candidate_has_an_entry(self):
+        ws = Workspace(make_instance(100, 5, 12, rng=82))
+        got = MaximumNFCDistance(ws).influence_sets()
+        assert set(got) == {p.sid for p in ws.potentials}
+
+    def test_empty_influence_sets(self):
+        """Candidates far from all clients influence nobody."""
+        inst = SpatialInstance(
+            "t",
+            [Point(0, 0)],
+            [Point(1, 0)],
+            [Point(900, 900), Point(0.5, 0)],
+        )
+        ws = Workspace(inst)
+        got = MaximumNFCDistance(ws).influence_sets()
+        assert got[0] == []
+        assert got[1] == [0]
+
+    def test_consistent_with_dr(self):
+        """Summing (dnn - dist) over the materialised sets reproduces
+        the dr vector."""
+        ws = Workspace(make_instance(300, 15, 20, rng=83))
+        selector = MaximumNFCDistance(ws)
+        sets = selector.influence_sets()
+        dr = selector.distance_reductions()
+        for p in ws.potentials:
+            expected = sum(
+                ws.clients[i].dnn
+                - Point(ws.clients[i].x, ws.clients[i].y).distance_to(
+                    Point(p.x, p.y)
+                )
+                for i in sets[p.sid]
+            )
+            assert dr[p.sid] == pytest.approx(expected, abs=1e-9)

@@ -1,0 +1,70 @@
+"""Cross-checks between the method joins and independent machinery.
+
+The NFC join is a specialised intersection join; the MND join must
+visit a superset-compatible answer set.  These tests rebuild influence
+sets from completely different code paths and demand agreement.
+"""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core import Workspace, make_selector
+from repro.core import naive
+from repro.datasets.generators import make_instance
+from repro.geometry.circle import Circle
+from repro.geometry.point import Point
+from repro.rtree.join import intersection_join
+
+
+class TestNFCAgainstGenericJoin:
+    def test_influence_pairs_match_generic_intersection_join(self):
+        """Joining R_P with the RNN-tree via the *generic* library join
+        and refining by the exact circle test must reproduce the oracle
+        influence pairs — an independent derivation of the NFC method."""
+        ws = Workspace(make_instance(400, 20, 40, rng=201))
+        pairs = set()
+        for site, client in intersection_join(ws.r_p, ws.rnn_tree):
+            p = Point(site.x, site.y)
+            if Circle(Point(client.x, client.y), client.dnn).contains_point(p):
+                pairs.add((site.sid, client.cid))
+        expected = set()
+        for p in ws.potentials:
+            for cid in naive.influence_set(ws, p):
+                expected.add((p.sid, ws.clients[cid].cid))
+        assert pairs == expected
+
+    def test_dr_rebuilt_from_generic_join(self):
+        ws = Workspace(make_instance(300, 15, 25, rng=202))
+        dr = np.zeros(ws.n_p)
+        for site, client in intersection_join(ws.r_p, ws.rnn_tree):
+            d = Point(site.x, site.y).distance_to(Point(client.x, client.y))
+            if d < client.dnn:
+                dr[site.sid] += client.weight * (client.dnn - d)
+        np.testing.assert_allclose(
+            dr, naive.distance_reductions(ws), atol=1e-9
+        )
+
+
+class TestJoinEquivalenceProperty:
+    @settings(max_examples=15, deadline=None)
+    @given(st.integers(min_value=0, max_value=3000))
+    def test_nfc_equals_mnd_on_random_instances(self, seed):
+        """The two join methods must produce bitwise-comparable vectors
+        (same arithmetic on the same clients, different pruning)."""
+        ws = Workspace(make_instance(120, 8, 15, rng=seed))
+        nfc = make_selector(ws, "NFC").distance_reductions()
+        mnd = make_selector(ws, "MND").distance_reductions()
+        np.testing.assert_allclose(nfc, mnd, atol=1e-9)
+
+    @settings(max_examples=15, deadline=None)
+    @given(st.integers(min_value=0, max_value=3000))
+    def test_mnd_io_bounded_by_fanout_ratio(self, seed):
+        """MND may read more pages than NFC (lower fanout) but never
+        wildly more: the node count ratio bounds the overhead."""
+        ws = Workspace(make_instance(2000, 100, 100, rng=seed))
+        io_n = make_selector(ws, "NFC").select().io_total
+        io_m = make_selector(ws, "MND").select().io_total
+        node_ratio = ws.mnd_tree.num_nodes / max(1, ws.rnn_tree.num_nodes)
+        assert io_m <= max(io_n * max(2.0, 2 * node_ratio), io_n + 16)

@@ -1,0 +1,74 @@
+"""Tests for the max-inf counterpart query."""
+
+import numpy as np
+import pytest
+
+from repro.core import Workspace
+from repro.core.maxinf import MaxInfSelection, influence_counts
+from repro.core import naive
+from repro.datasets.generators import SpatialInstance, make_instance
+from repro.geometry.point import Point
+
+
+@pytest.fixture
+def ws():
+    return Workspace(make_instance(400, 20, 30, rng=211))
+
+
+class TestMaxInf:
+    def test_join_counts_match_oracle(self, ws):
+        got = MaxInfSelection(ws).influence_counts()
+        np.testing.assert_allclose(got, influence_counts(ws), atol=1e-9)
+
+    def test_oracle_counts_match_influence_sets(self, ws):
+        counts = influence_counts(ws)
+        for p in ws.potentials[:10]:
+            assert counts[p.sid] == len(naive.influence_set(ws, p))
+
+    def test_select_maximises_count(self, ws):
+        site, count = MaxInfSelection(ws).select()
+        oracle = influence_counts(ws)
+        assert count == pytest.approx(oracle.max())
+        assert oracle[site.sid] == pytest.approx(oracle.max())
+
+    def test_weights_respected(self):
+        inst = SpatialInstance(
+            "w",
+            [Point(0, 0), Point(100, 100)],
+            [Point(20, 0), Point(120, 100)],
+            [Point(1, 0), Point(101, 100)],
+            client_weights=[1.0, 7.0],
+        )
+        ws = Workspace(inst)
+        site, count = MaxInfSelection(ws).select()
+        assert site.sid == 1
+        assert count == pytest.approx(7.0)
+
+    def test_objectives_can_disagree(self):
+        """The distinction Table I draws: many close-by clients beat one
+        far-away client on *count*, but a single client with a huge NFD
+        can dominate on *distance reduction*."""
+        # Three clients 1 unit from their facility near the west
+        # candidate; one client 100 units from any facility at the east.
+        clients = [
+            Point(10, 0), Point(10, 2), Point(10, 4),   # west cluster
+            Point(500, 0),                              # east loner
+        ]
+        facilities = [Point(11, 2), Point(600, 0)]
+        candidates = [Point(10, 2), Point(501, 0)]      # west vs east
+        ws = Workspace(SpatialInstance("d", clients, facilities, candidates))
+
+        maxinf_site, __ = MaxInfSelection(ws).select()
+        mindist_site, __dr = naive.select(ws)
+        assert maxinf_site.sid == 0   # west: influences 3 clients
+        assert mindist_site.sid == 1  # east: saves ~99 units for one
+
+    def test_empty_influence_everywhere(self):
+        ws = Workspace(
+            SpatialInstance(
+                "e", [Point(0, 0)], [Point(0, 0)], [Point(5, 5), Point(6, 6)]
+            )
+        )
+        site, count = MaxInfSelection(ws).select()
+        assert count == 0.0
+        assert site.sid == 0  # deterministic tie-break

@@ -1,0 +1,79 @@
+"""Tests for the brute-force oracle — including the Definition 1 ==
+Definition 2 equivalence the whole framework rests on."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core import Workspace
+from repro.core import naive
+from repro.datasets.generators import SpatialInstance, make_instance
+from repro.geometry.point import Point
+
+
+class TestDistanceReduction:
+    def test_hand_computed_example(self):
+        # One client at origin, nearest facility at distance 10,
+        # candidate at distance 4 -> dr = 6.
+        inst = SpatialInstance("t", [Point(0, 0)], [Point(10, 0)], [Point(4, 0)])
+        ws = Workspace(inst)
+        assert naive.distance_reductions(ws)[0] == pytest.approx(6.0)
+
+    def test_no_reduction_beyond_dnn(self):
+        inst = SpatialInstance("t", [Point(0, 0)], [Point(2, 0)], [Point(50, 0)])
+        ws = Workspace(inst)
+        assert naive.distance_reductions(ws)[0] == 0.0
+
+    def test_influence_set_strictness(self):
+        # Candidate exactly at distance dnn: NOT influenced (strict <).
+        inst = SpatialInstance("t", [Point(0, 0)], [Point(4, 0)], [Point(-4, 0)])
+        ws = Workspace(inst)
+        assert naive.influence_set(ws, ws.potentials[0]) == []
+
+    def test_influence_set_members(self, small_workspace):
+        ws = small_workspace
+        p = ws.potentials[0]
+        members = naive.influence_set(ws, p)
+        for i in members:
+            c = ws.clients[i]
+            assert Point(c.x, c.y).distance_to(Point(p.x, p.y)) < c.dnn
+
+    def test_dr_equals_sum_over_influence_set(self, small_workspace):
+        ws = small_workspace
+        dr = naive.distance_reductions(ws)
+        for p in ws.potentials[:10]:
+            members = naive.influence_set(ws, p)
+            expected = sum(
+                ws.clients[i].dnn
+                - Point(ws.clients[i].x, ws.clients[i].y).distance_to(
+                    Point(p.x, p.y)
+                )
+                for i in members
+            )
+            assert dr[p.sid] == pytest.approx(expected, abs=1e-9)
+
+
+class TestDefinitionEquivalence:
+    """Definition 1 (min sum of NFDs) and Definition 2 (max dr) pick the
+    same location — Section III-A."""
+
+    @settings(max_examples=20, deadline=None)
+    @given(st.integers(min_value=0, max_value=5000))
+    def test_argmax_dr_equals_argmin_objective(self, seed):
+        inst = make_instance(80, 6, 10, rng=seed)
+        ws = Workspace(inst)
+        best_by_dr, dr_value = naive.select(ws)
+        objective_values = [naive.objective_sum(ws, p) for p in ws.potentials]
+        assert min(objective_values) == pytest.approx(
+            naive.objective_sum(ws, best_by_dr), abs=1e-6
+        )
+
+    def test_dr_is_objective_difference(self, small_workspace):
+        ws = small_workspace
+        base = naive.objective_sum(ws)
+        dr = naive.distance_reductions(ws)
+        for p in ws.potentials[:8]:
+            assert dr[p.sid] == pytest.approx(
+                base - naive.objective_sum(ws, p), abs=1e-6
+            )

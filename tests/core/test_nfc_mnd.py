@@ -1,0 +1,109 @@
+"""Tests specific to the NFC and MND join methods."""
+
+import pytest
+
+from repro.core.mnd import MaximumNFCDistance
+from repro.core.nfc import NearestFacilityCircle
+from repro.core.workspace import Workspace
+from repro.datasets.generators import make_instance
+
+
+@pytest.fixture
+def join_workspace():
+    return Workspace(make_instance(3000, 150, 300, rng=31))
+
+
+class TestIndexAccounting:
+    def test_nfc_requires_three_indexes(self, join_workspace):
+        ws = join_workspace
+        result = NearestFacilityCircle(ws).select()
+        expected = ws.r_c.size_pages + ws.rnn_tree.size_pages + ws.r_p.size_pages
+        assert result.index_pages == expected
+
+    def test_mnd_requires_two_indexes(self, join_workspace):
+        ws = join_workspace
+        result = MaximumNFCDistance(ws).select()
+        assert result.index_pages == ws.mnd_tree.size_pages + ws.r_p.size_pages
+
+    def test_mnd_index_is_smaller_than_nfc(self, join_workspace):
+        """The headline of Fig. 10(c)/(d): no extra index for MND."""
+        ws = join_workspace
+        nfc = NearestFacilityCircle(ws).select()
+        mnd = MaximumNFCDistance(ws).select()
+        assert mnd.index_pages < nfc.index_pages
+        # The ratio the paper reports is 60-70%.
+        assert 0.4 <= mnd.index_pages / nfc.index_pages <= 0.8
+
+    def test_io_touches_only_query_structures(self, join_workspace):
+        ws = join_workspace
+        nfc = NearestFacilityCircle(ws).select()
+        assert set(nfc.io_reads) == {"R_P", "R_C^n"}
+        mnd = MaximumNFCDistance(ws).select()
+        assert set(mnd.io_reads) == {"R_P", "R_C^m"}
+
+
+def _exhaustive_join_reads(tree_p, tree_c) -> int:
+    """Page reads an *unpruned* synchronized join would perform — the
+    Table III worst case, computed by simulating the same recursion with
+    an always-true predicate (without touching the I/O counters)."""
+    reads = 2  # both roots
+
+    def recurse(node_p, node_c):
+        nonlocal reads
+        if node_p.is_leaf and node_c.is_leaf:
+            return
+        if node_p.is_leaf:
+            for e_c in node_c.entries:
+                reads += 1
+                recurse(node_p, tree_c.node(e_c.child_id))
+        elif node_c.is_leaf:
+            for e_p in node_p.entries:
+                reads += 1
+                recurse(tree_p.node(e_p.child_id), node_c)
+        else:
+            for e_p in node_p.entries:
+                for e_c in node_c.entries:
+                    reads += 2
+                    recurse(
+                        tree_p.node(e_p.child_id), tree_c.node(e_c.child_id)
+                    )
+
+    recurse(tree_p.node(tree_p.root_id), tree_c.node(tree_c.root_id))
+    return reads
+
+
+class TestPruningBehaviour:
+    def test_join_io_is_far_below_worst_case(self, join_workspace):
+        """Both joins must prune the quadratic node-pair space."""
+        ws = join_workspace
+        nfc_worst = _exhaustive_join_reads(ws.r_p, ws.rnn_tree)
+        mnd_worst = _exhaustive_join_reads(ws.r_p, ws.mnd_tree)
+        assert NearestFacilityCircle(ws).select().io_total < nfc_worst / 2
+        assert MaximumNFCDistance(ws).select().io_total < mnd_worst / 2
+
+    def test_more_facilities_shrink_join_io(self):
+        """Fig. 11(b): dnn falls with |F|, so NFCs/MND regions shrink and
+        pruning improves."""
+        io = {"NFC": [], "MND": []}
+        for n_f in (30, 1500):
+            ws = Workspace(make_instance(8000, n_f, 400, rng=32))
+            io["NFC"].append(NearestFacilityCircle(ws).select().io_total)
+            io["MND"].append(MaximumNFCDistance(ws).select().io_total)
+        assert io["NFC"][1] < io["NFC"][0]
+        assert io["MND"][1] < io["MND"][0]
+
+    def test_nfc_and_mnd_io_are_comparable(self, join_workspace):
+        """Section VII-B: w_m ~= w_n, hence IO_m ~= IO_n."""
+        ws = join_workspace
+        nfc = NearestFacilityCircle(ws).select()
+        mnd = MaximumNFCDistance(ws).select()
+        ratio = mnd.io_total / nfc.io_total
+        assert 0.5 <= ratio <= 2.0
+
+    def test_tiny_radius_maximises_pruning(self):
+        """With a dense facility set every NFC is tiny; the pruned join
+        must cost a small fraction of the exhaustive traversal."""
+        ws = Workspace(make_instance(4000, 3500, 1200, rng=33))
+        worst = _exhaustive_join_reads(ws.r_p, ws.mnd_tree)
+        result = MaximumNFCDistance(ws).select()
+        assert result.io_total < worst / 3

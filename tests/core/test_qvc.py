@@ -1,0 +1,141 @@
+"""Tests specific to the QVC (quasi-Voronoi cell) method."""
+
+import random
+
+import pytest
+
+from repro.core.qvc import QuasiVoronoiCell
+from repro.core.workspace import Workspace
+from repro.core import naive
+from repro.datasets.generators import SpatialInstance, make_instance
+from repro.geometry.point import Point
+
+
+@pytest.fixture
+def qvc_workspace():
+    return Workspace(make_instance(500, 25, 40, rng=21))
+
+
+class TestQuadrantNNs:
+    def test_matches_bruteforce_per_quadrant(self, qvc_workspace):
+        ws = qvc_workspace
+        qvc = QuasiVoronoiCell(ws)
+        qvc.prepare()
+        rng = random.Random(1)
+        for __ in range(10):
+            p = Point(rng.uniform(0, 1000), rng.uniform(0, 1000))
+            found = qvc.quadrant_nearest_facilities(p)
+            for quad in range(4):
+                candidates = [
+                    f
+                    for f in ws.facilities
+                    if Point(f.x, f.y).quadrant_relative_to(p) == quad
+                ]
+                if not candidates:
+                    assert found[quad] is None
+                else:
+                    best = min(
+                        candidates, key=lambda f: Point(f.x, f.y).distance_to(p)
+                    )
+                    assert found[quad] is not None
+                    got = Point(found[quad].x, found[quad].y).distance_to(p)
+                    want = Point(best.x, best.y).distance_to(p)
+                    assert got == pytest.approx(want, abs=1e-9)
+
+
+class TestAIR:
+    def test_air_encloses_influence_set(self, qvc_workspace):
+        """AIR(p) must contain every client of IS(p) — the superset
+        guarantee of Section IV."""
+        ws = qvc_workspace
+        qvc = QuasiVoronoiCell(ws)
+        qvc.prepare()
+        for p in ws.potentials[:15]:
+            air = qvc.air(Point(p.x, p.y))
+            assert air is not None
+            for i in naive.influence_set(ws, p):
+                c = ws.clients[i]
+                assert air.contains_point(Point(c.x, c.y)), (p, c)
+
+    def test_air_none_when_facility_on_candidate(self):
+        inst = SpatialInstance(
+            "t", [Point(0, 0)], [Point(5, 5)], [Point(5, 5)]
+        )
+        ws = Workspace(inst)
+        qvc = QuasiVoronoiCell(ws)
+        qvc.prepare()
+        assert qvc.air(Point(5, 5)) is None
+
+    def test_air_with_empty_quadrants_clipped_by_domain(self):
+        """A candidate in a corner with all facilities in one quadrant:
+        the cell extends to the domain boundary on the empty sides."""
+        inst = SpatialInstance(
+            "t",
+            [Point(5, 5)],
+            [Point(900, 900)],
+            [Point(10, 10)],
+        )
+        ws = Workspace(inst)
+        qvc = QuasiVoronoiCell(ws)
+        qvc.prepare()
+        air = qvc.air(Point(10, 10))
+        assert air is not None
+        assert air.xmin == 0.0 and air.ymin == 0.0  # domain-bounded
+
+
+class TestQVCResult:
+    def test_index_pages_counts_rc_and_rf(self, qvc_workspace):
+        ws = qvc_workspace
+        result = QuasiVoronoiCell(ws).select()
+        assert result.index_pages == ws.r_c.size_pages + ws.r_f.size_pages
+
+    def test_io_breakdown_structures(self, qvc_workspace):
+        result = QuasiVoronoiCell(qvc_workspace).select()
+        assert set(result.io_reads) == {"file.P", "R_F", "R_C"}
+
+    def test_more_facilities_cost_more_nn_io(self):
+        """QVC's R_F traffic grows with the facility count (IO_q2)."""
+        io_rf = []
+        for n_f in (20, 2000):
+            ws = Workspace(make_instance(300, n_f, 150, rng=22))
+            result = QuasiVoronoiCell(ws).select()
+            io_rf.append(result.io_reads["R_F"])
+        assert io_rf[1] > io_rf[0]
+
+
+class TestOutOfDomainData:
+    def test_clients_outside_declared_domain_still_found(self):
+        """User data may lie outside the nominal 1000x1000 domain; the
+        QVC cell clipping must never exclude such clients (regression
+        test for clipping against the declared rather than effective
+        bounds)."""
+        import numpy as np
+
+        from repro.core import METHODS, make_selector
+        from repro.core import naive
+
+        inst = SpatialInstance(
+            "offmap",
+            clients=[Point(5000, 5000), Point(-2000, 300), Point(100, 100)],
+            facilities=[Point(0, 0)],
+            potentials=[Point(4000, 4000), Point(50, 50)],
+        )
+        ws = Workspace(inst)
+        oracle = naive.distance_reductions(ws)
+        assert oracle[0] > 0  # the far candidate helps the far client
+        for name in METHODS:
+            vec = make_selector(ws, name).distance_reductions()
+            np.testing.assert_allclose(vec, oracle, atol=1e-6, err_msg=name)
+
+    def test_data_bounds_covers_everything(self):
+        inst = SpatialInstance(
+            "offmap2",
+            clients=[Point(-500, 2000)],
+            facilities=[Point(10, 10)],
+            potentials=[Point(1500, -300)],
+        )
+        ws = Workspace(inst)
+        bounds = ws.data_bounds
+        for pts in (inst.clients, inst.facilities, inst.potentials):
+            for p in pts:
+                assert bounds.contains_point(p)

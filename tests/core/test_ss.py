@@ -1,0 +1,47 @@
+"""Tests specific to the SS (sequential scan) method."""
+
+import math
+
+import pytest
+
+from repro.core.ss import SequentialScan
+from repro.core.workspace import Workspace
+from repro.datasets.generators import make_instance
+
+
+class TestSSIOModel:
+    def test_io_count_is_exactly_block_nested_loop(self):
+        """SS must read each client block once per potential block plus
+        the potential file itself — Table III's IO_s."""
+        inst = make_instance(2000, 50, 700, rng=1)
+        ws = Workspace(inst)
+        result = SequentialScan(ws).select()
+        p_blocks = math.ceil(700 / 204)
+        c_blocks = math.ceil(2000 / 146)
+        assert result.io_total == p_blocks * c_blocks + p_blocks
+
+    def test_io_breakdown_names_files(self):
+        ws = Workspace(make_instance(300, 10, 50, rng=2))
+        result = SequentialScan(ws).select()
+        assert set(result.io_reads) == {"file.C", "file.P"}
+
+    def test_no_index(self):
+        ws = Workspace(make_instance(100, 5, 10, rng=3))
+        assert SequentialScan(ws).select().index_pages == 0
+
+    def test_io_grows_linearly_in_clients(self):
+        """No pruning: doubling |C| doubles SS's client-file reads."""
+        io = []
+        for n_c in (2000, 4000):
+            ws = Workspace(make_instance(n_c, 20, 300, rng=4))
+            result = SequentialScan(ws).select()
+            io.append(result.io_reads["file.C"])
+        assert io[1] == pytest.approx(2 * io[0], rel=0.05)
+
+    def test_io_unaffected_by_facility_count(self):
+        """SS never touches F at query time (dnn is precomputed)."""
+        io = []
+        for n_f in (5, 500):
+            ws = Workspace(make_instance(1000, n_f, 200, rng=5))
+            io.append(SequentialScan(ws).select().io_total)
+        assert io[0] == io[1]

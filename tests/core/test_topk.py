@@ -1,0 +1,53 @@
+"""Tests for the top-k extension."""
+
+import numpy as np
+import pytest
+
+from repro.core import METHODS, Workspace, make_selector
+from repro.core import naive
+from repro.datasets.generators import SpatialInstance, make_instance
+from repro.geometry.point import Point
+
+
+@pytest.fixture
+def ws():
+    return Workspace(make_instance(400, 20, 30, rng=41))
+
+
+class TestTopK:
+    def test_matches_oracle_ranking(self, ws):
+        oracle = naive.distance_reductions(ws)
+        order = np.lexsort((np.arange(len(oracle)), -oracle))
+        for name in METHODS:
+            top5 = make_selector(ws, name).select_topk(5)
+            assert [site.sid for site, __ in top5] == [int(i) for i in order[:5]]
+
+    def test_k1_equals_select(self, ws):
+        for name in METHODS:
+            selector = make_selector(ws, name)
+            result = selector.select()
+            (site, dr), = selector.select_topk(1)
+            assert site.sid == result.location.sid
+            assert dr == pytest.approx(result.dr)
+
+    def test_k_larger_than_np_is_clamped(self, ws):
+        top = make_selector(ws, "MND").select_topk(10_000)
+        assert len(top) == ws.n_p
+
+    def test_descending_order(self, ws):
+        top = make_selector(ws, "NFC").select_topk(10)
+        drs = [dr for __, dr in top]
+        assert drs == sorted(drs, reverse=True)
+
+    def test_invalid_k(self, ws):
+        with pytest.raises(ValueError):
+            make_selector(ws, "SS").select_topk(0)
+
+    def test_ties_resolved_by_id(self):
+        """Equal-dr candidates rank by ascending id."""
+        inst = SpatialInstance(
+            "t", [Point(0, 0)], [Point(10, 0)], [Point(0, 3), Point(0, -3), Point(3, 0)]
+        )
+        ws2 = Workspace(inst)
+        top = make_selector(ws2, "MND").select_topk(3)
+        assert [s.sid for s, __ in top] == [0, 1, 2]

@@ -1,0 +1,102 @@
+"""Tests for the Workspace."""
+
+import numpy as np
+import pytest
+
+from repro.core.workspace import Workspace
+from repro.datasets.generators import SpatialInstance, make_instance
+from repro.geometry.point import Point
+from repro.rtree.validate import validate_rtree
+
+
+class TestValidation:
+    def test_no_facilities_rejected(self):
+        inst = SpatialInstance("t", [Point(0, 0)], [], [Point(1, 1)])
+        with pytest.raises(ValueError, match="facility"):
+            Workspace(inst)
+
+    def test_no_potentials_rejected(self):
+        inst = SpatialInstance("t", [Point(0, 0)], [Point(1, 1)], [])
+        with pytest.raises(ValueError, match="potential"):
+            Workspace(inst)
+
+    def test_no_clients_is_legal(self):
+        """With no clients every dr is 0 — odd but well defined."""
+        inst = SpatialInstance("t", [], [Point(1, 1)], [Point(2, 2)])
+        ws = Workspace(inst)
+        assert ws.n_c == 0
+
+    def test_unknown_join_method(self):
+        inst = make_instance(10, 2, 2, rng=0)
+        with pytest.raises(ValueError, match="join"):
+            Workspace(inst, join_method="quantum")
+
+
+class TestPrecomputation:
+    def test_dnn_values_are_exact(self, small_workspace):
+        ws = small_workspace
+        for c in ws.clients[:50]:
+            expected = min(
+                Point(c.x, c.y).distance_to(Point(f.x, f.y)) for f in ws.facilities
+            )
+            assert c.dnn == pytest.approx(expected, abs=1e-9)
+
+    def test_arrays_mirror_records(self, small_workspace):
+        ws = small_workspace
+        assert ws.client_xyd.shape == (ws.n_c, 3)
+        idx = 17
+        c = ws.clients[idx]
+        assert tuple(ws.client_xyd[idx]) == (c.x, c.y, c.dnn)
+
+    def test_join_methods_agree(self):
+        inst = make_instance(200, 15, 10, rng=1)
+        a = Workspace(inst, join_method="grid")
+        b = Workspace(inst, join_method="nested_loop")
+        c = Workspace(inst, join_method="rtree")
+        np.testing.assert_allclose(a.client_xyd[:, 2], b.client_xyd[:, 2], atol=1e-9)
+        np.testing.assert_allclose(a.client_xyd[:, 2], c.client_xyd[:, 2], atol=1e-9)
+
+
+class TestLazyStructures:
+    def test_indexes_built_on_demand_and_cached(self, small_workspace):
+        ws = small_workspace
+        t1 = ws.r_c
+        t2 = ws.r_c
+        assert t1 is t2
+        assert t1.num_entries == ws.n_c
+
+    def test_all_trees_are_valid(self, small_workspace):
+        ws = small_workspace
+        for tree in (ws.r_c, ws.r_f, ws.r_p, ws.rnn_tree, ws.mnd_tree):
+            validate_rtree(tree)
+
+    def test_construction_does_not_count_io(self, small_workspace):
+        ws = small_workspace
+        ws.reset_stats()
+        __ = ws.r_c
+        __ = ws.mnd_tree
+        __ = ws.client_file
+        assert ws.stats.total_reads == 0
+
+    def test_block_file_shapes(self, small_workspace):
+        ws = small_workspace
+        assert ws.client_file.num_records == ws.n_c
+        assert ws.client_file.records_per_block == 146  # 28-byte records
+        assert ws.potential_file.records_per_block == 204  # 20-byte records
+
+    def test_reset_stats_clears_buffer_too(self):
+        inst = make_instance(100, 5, 5, rng=2)
+        ws = Workspace(inst, buffer_pool_pages=16)
+        ws.client_file.read_block(0)
+        assert len(ws.buffer_pool) == 1
+        ws.reset_stats()
+        assert len(ws.buffer_pool) == 0
+        assert ws.stats.total == 0
+
+
+class TestMNDTreeIntegration:
+    def test_mnd_radius_uses_dnn(self, small_workspace):
+        ws = small_workspace
+        tree = ws.mnd_tree
+        # The root's MND can never exceed the largest client dnn.
+        assert tree.root_mnd() <= max(c.dnn for c in ws.clients) + 1e-9

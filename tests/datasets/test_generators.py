@@ -1,0 +1,89 @@
+"""Tests for synthetic dataset generators (Table IV)."""
+
+import math
+import statistics
+
+import pytest
+
+from repro.datasets.generators import (
+    DOMAIN,
+    SpatialInstance,
+    gaussian_points,
+    make_instance,
+    uniform_points,
+    zipfian_points,
+)
+from repro.geometry.point import Point
+
+
+class TestUniform:
+    def test_count_and_domain(self):
+        pts = uniform_points(500, rng=1)
+        assert len(pts) == 500
+        assert all(DOMAIN.contains_point(p) for p in pts)
+
+    def test_seed_reproducibility(self):
+        assert uniform_points(50, rng=7) == uniform_points(50, rng=7)
+        assert uniform_points(50, rng=7) != uniform_points(50, rng=8)
+
+    def test_roughly_uniform_quadrant_split(self):
+        pts = uniform_points(4000, rng=2)
+        in_q1 = sum(1 for p in pts if p[0] < 500 and p[1] < 500)
+        assert 800 <= in_q1 <= 1200  # ~1000 expected
+
+
+class TestGaussian:
+    def test_count_and_domain(self):
+        pts = gaussian_points(400, sigma_sq=0.5, rng=3)
+        assert len(pts) == 400
+        assert all(DOMAIN.contains_point(p) for p in pts)
+
+    def test_smaller_sigma_concentrates_at_center(self):
+        center = DOMAIN.center
+        tight = gaussian_points(1000, sigma_sq=0.125, rng=4)
+        loose = gaussian_points(1000, sigma_sq=2.0, rng=4)
+        mean_tight = statistics.mean(p.distance_to(center) for p in tight)
+        mean_loose = statistics.mean(p.distance_to(center) for p in loose)
+        assert mean_tight < mean_loose
+
+    def test_invalid_sigma(self):
+        with pytest.raises(ValueError):
+            gaussian_points(10, sigma_sq=0.0)
+
+
+class TestZipfian:
+    def test_count_and_domain(self):
+        pts = zipfian_points(300, alpha=0.9, rng=5)
+        assert len(pts) == 300
+        assert all(DOMAIN.contains_point(p) for p in pts)
+
+    def test_larger_alpha_skews_to_low_corner(self):
+        near_uniform = zipfian_points(2000, alpha=0.1, rng=6)
+        skewed = zipfian_points(2000, alpha=1.2, rng=6)
+        mean_uniform = statistics.mean(p[0] + p[1] for p in near_uniform)
+        mean_skewed = statistics.mean(p[0] + p[1] for p in skewed)
+        assert mean_skewed < mean_uniform
+
+
+class TestMakeInstance:
+    def test_cardinalities(self):
+        inst = make_instance(100, 10, 20, rng=7)
+        assert (inst.n_c, inst.n_f, inst.n_p) == (100, 10, 20)
+
+    def test_distribution_params_forwarded(self):
+        inst = make_instance(
+            50, 5, 5, distribution="gaussian", sigma_sq=0.125, rng=8
+        )
+        assert inst.n_c == 50
+
+    def test_unknown_distribution(self):
+        with pytest.raises(ValueError):
+            make_instance(10, 1, 1, distribution="pareto")
+
+    def test_default_name_mentions_sizes(self):
+        inst = make_instance(10, 2, 3, rng=9)
+        assert "n_c=10" in inst.name
+
+    def test_instance_repr(self):
+        inst = SpatialInstance("x", [Point(0, 0)], [Point(1, 1)], [Point(2, 2)])
+        assert "n_c=1" in repr(inst)

@@ -1,0 +1,36 @@
+"""Tests for CSV point persistence."""
+
+import pytest
+
+from repro.datasets.io import load_points_csv, save_points_csv
+from repro.geometry.point import Point
+
+
+class TestRoundTrip:
+    def test_save_and_load(self, tmp_path):
+        pts = [Point(1.5, 2.25), Point(-3.125, 0.0), Point(1e-9, 1e9)]
+        path = tmp_path / "pts.csv"
+        assert save_points_csv(path, pts) == 3
+        assert load_points_csv(path) == pts
+
+    def test_empty_set(self, tmp_path):
+        path = tmp_path / "empty.csv"
+        assert save_points_csv(path, []) == 0
+        assert load_points_csv(path) == []
+
+    def test_full_precision_roundtrip(self, tmp_path):
+        p = Point(0.1 + 0.2, 1 / 3)  # repr round-trips float64 exactly
+        path = tmp_path / "precise.csv"
+        save_points_csv(path, [p])
+        assert load_points_csv(path)[0] == p
+
+    def test_missing_header_rejected(self, tmp_path):
+        path = tmp_path / "bad.csv"
+        path.write_text("1.0,2.0\n")
+        with pytest.raises(ValueError):
+            load_points_csv(path)
+
+    def test_blank_lines_skipped(self, tmp_path):
+        path = tmp_path / "gaps.csv"
+        path.write_text("x,y\n1.0,2.0\n\n3.0,4.0\n")
+        assert load_points_csv(path) == [Point(1, 2), Point(3, 4)]

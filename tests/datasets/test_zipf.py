@@ -1,0 +1,52 @@
+"""Tests for the Zipf sampler."""
+
+import math
+import random
+from collections import Counter
+
+import pytest
+
+from repro.datasets.zipf import ZipfSampler
+
+
+class TestZipfSampler:
+    def test_probabilities_sum_to_one(self):
+        s = ZipfSampler(100, 0.9, random.Random(0))
+        total = sum(s.probability(i) for i in range(1, 101))
+        assert math.isclose(total, 1.0, abs_tol=1e-9)
+
+    def test_probabilities_monotone_decreasing(self):
+        s = ZipfSampler(50, 1.2, random.Random(0))
+        probs = [s.probability(i) for i in range(1, 51)]
+        assert all(a >= b for a, b in zip(probs, probs[1:]))
+
+    def test_alpha_zero_is_uniform(self):
+        s = ZipfSampler(10, 0.0, random.Random(0))
+        for i in range(1, 11):
+            assert math.isclose(s.probability(i), 0.1, abs_tol=1e-12)
+
+    def test_out_of_range_probability_is_zero(self):
+        s = ZipfSampler(10, 1.0, random.Random(0))
+        assert s.probability(0) == 0.0
+        assert s.probability(11) == 0.0
+
+    def test_samples_in_range(self):
+        s = ZipfSampler(20, 0.9, random.Random(1))
+        for __ in range(500):
+            assert 1 <= s.sample() <= 20
+
+    def test_empirical_skew(self):
+        s = ZipfSampler(100, 1.0, random.Random(2))
+        counts = Counter(s.sample() for __ in range(5000))
+        # Rank 1 should be sampled far more than rank 50.
+        assert counts[1] > counts.get(50, 0) * 5
+
+    def test_n_one_always_returns_one(self):
+        s = ZipfSampler(1, 0.9, random.Random(3))
+        assert all(s.sample() == 1 for __ in range(20))
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            ZipfSampler(0, 0.9, random.Random(0))
+        with pytest.raises(ValueError):
+            ZipfSampler(5, -0.1, random.Random(0))

@@ -1,0 +1,106 @@
+"""End-to-end tests of the command-line interface."""
+
+import pytest
+
+from repro.cli import main
+from repro.datasets.io import save_points_csv
+from repro.geometry.point import Point
+
+
+class TestQuery:
+    def test_random_query(self, capsys):
+        assert main(["query", "--random", "200", "10", "10", "--seed", "3"]) == 0
+        out = capsys.readouterr().out
+        assert "best location" in out
+        assert "distance reduction" in out
+
+    def test_csv_query(self, capsys, tmp_path):
+        c, f, p = tmp_path / "c.csv", tmp_path / "f.csv", tmp_path / "p.csv"
+        save_points_csv(c, [Point(0, 0), Point(1, 1)])
+        save_points_csv(f, [Point(10, 10)])
+        save_points_csv(p, [Point(0, 1), Point(50, 50)])
+        assert main(
+            ["query", "--clients", str(c), "--facilities", str(f),
+             "--potentials", str(p), "--method", "NFC"]
+        ) == 0
+        out = capsys.readouterr().out
+        assert "p0" in out
+
+    def test_missing_inputs_exit(self):
+        with pytest.raises(SystemExit):
+            main(["query"])
+
+
+class TestCompare:
+    def test_compare_lists_all_methods(self, capsys):
+        assert main(["compare", "--random", "200", "10", "10"]) == 0
+        out = capsys.readouterr().out
+        for name in ("SS", "QVC", "NFC", "MND"):
+            assert name in out
+
+
+class TestSweep:
+    def test_sweep_with_csv_export(self, capsys, tmp_path):
+        out_csv = tmp_path / "sweep.csv"
+        assert main(
+            ["sweep", "fig11", "--scale", "0.004", "--methods", "NFC,MND",
+             "--csv", str(out_csv)]
+        ) == 0
+        out = capsys.readouterr().out
+        assert "number of I/Os" in out
+        content = out_csv.read_text()
+        assert "fig11-facility-size" in content
+
+    def test_unknown_figure_rejected(self):
+        with pytest.raises(SystemExit):
+            main(["sweep", "fig99"])
+
+
+class TestExtensions:
+    def test_plan(self, capsys):
+        assert main(["plan", "--random", "300", "10", "20", "-k", "2"]) == 0
+        out = capsys.readouterr().out
+        assert "#1:" in out and "#2:" in out
+        assert "cumulative distance saved" in out
+
+    def test_close(self, capsys):
+        assert main(["close", "--random", "300", "10", "1"]) == 0
+        assert "close facility f" in capsys.readouterr().out
+
+    def test_evaluate_default_ids(self, capsys):
+        assert main(["evaluate", "--random", "300", "10", "8"]) == 0
+        out = capsys.readouterr().out
+        assert "clients influenced" in out
+
+    def test_evaluate_explicit_ids(self, capsys):
+        assert main(
+            ["evaluate", "--random", "300", "10", "8", "--ids", "2,5"]
+        ) == 0
+        out = capsys.readouterr().out
+        assert "candidate p2" in out and "candidate p5" in out
+
+    def test_simulate_city(self, capsys):
+        assert main(["simulate", "city", "--periods", "2"]) == 0
+        out = capsys.readouterr().out
+        assert "period 1" in out and "period 2" in out
+
+    def test_simulate_game(self, capsys):
+        assert main(["simulate", "game", "--ticks", "40"]) == 0
+        assert "rejoins over" in capsys.readouterr().out
+
+
+class TestDiagnostics:
+    def test_stats(self, capsys):
+        assert main(["stats", "--random", "400", "20", "20"]) == 0
+        out = capsys.readouterr().out
+        assert "nearest-facility distances" in out
+        assert "join pruning profiles" in out
+        assert "cost model" in out
+
+    def test_reproduce_subset(self, capsys, tmp_path):
+        assert main(
+            ["reproduce", "--out", str(tmp_path), "--scale", "0.004",
+             "--figures", "fig13"]
+        ) == 0
+        assert (tmp_path / "fig13.txt").exists()
+        assert (tmp_path / "SUMMARY.md").exists()

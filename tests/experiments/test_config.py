@@ -1,0 +1,65 @@
+"""Tests for experiment configuration."""
+
+import pytest
+
+from repro.experiments.config import (
+    BENCH_SCALE,
+    PAPER_DEFAULTS,
+    PAPER_SWEEPS,
+    ExperimentConfig,
+    bench_default,
+    bench_sweep_values,
+)
+
+
+class TestTableIV:
+    def test_paper_defaults_are_the_bold_values(self):
+        assert PAPER_DEFAULTS == {"n_c": 100_000, "n_f": 5_000, "n_p": 5_000}
+
+    def test_sweep_grids_match_table_iv(self):
+        assert PAPER_SWEEPS["n_c"] == [10_000, 50_000, 100_000, 500_000, 1_000_000]
+        assert PAPER_SWEEPS["n_f"] == [100, 500, 1_000, 5_000, 10_000]
+        assert PAPER_SWEEPS["n_p"] == [1_000, 5_000, 10_000, 50_000, 100_000]
+        assert PAPER_SWEEPS["sigma_sq"] == [0.125, 0.25, 0.5, 1.0, 2.0]
+        assert PAPER_SWEEPS["alpha"] == [0.1, 0.3, 0.6, 0.9, 1.2]
+
+
+class TestConfig:
+    def test_scaled_preserves_ratios(self):
+        config = ExperimentConfig().scaled(0.1)
+        assert config.n_c == 10_000
+        assert config.n_f == 500
+        assert config.n_p == 500
+
+    def test_scaled_floors(self):
+        config = ExperimentConfig(n_c=20, n_f=3, n_p=3).scaled(0.01)
+        assert config.n_c >= 10 and config.n_f >= 2 and config.n_p >= 2
+
+    def test_instance_materialisation(self):
+        config = ExperimentConfig(n_c=50, n_f=5, n_p=5)
+        inst = config.instance()
+        assert (inst.n_c, inst.n_f, inst.n_p) == (50, 5, 5)
+
+    def test_instance_is_deterministic(self):
+        config = ExperimentConfig(n_c=30, n_f=3, n_p=3)
+        assert config.instance().clients == config.instance().clients
+
+    def test_real_group_override(self):
+        config = ExperimentConfig(real_group="US", scale=0.02)
+        inst = config.instance()
+        assert inst.name.startswith("real-US")
+
+    def test_labels(self):
+        assert "nc=100000" in ExperimentConfig().label()
+        assert "s2=0.5" in ExperimentConfig(
+            distribution="gaussian", sigma_sq=0.5
+        ).label()
+        assert "a=0.9" in ExperimentConfig(distribution="zipfian").label()
+        assert ExperimentConfig(real_group="NA").label() == "real-NA"
+
+    def test_bench_helpers(self):
+        d = bench_default()
+        assert d.n_c == int(100_000 * BENCH_SCALE)
+        values = bench_sweep_values("n_f")
+        assert values == [max(2, int(v * BENCH_SCALE)) for v in PAPER_SWEEPS["n_f"]]
+        assert bench_sweep_values("alpha") == PAPER_SWEEPS["alpha"]

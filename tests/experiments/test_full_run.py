@@ -1,0 +1,57 @@
+"""Tests for the one-call evaluation orchestrator."""
+
+import csv
+
+import pytest
+
+from repro.experiments.full_run import FIGURES, run_full_evaluation
+
+
+class TestFullRun:
+    def test_selected_figures_produce_all_artifacts(self, tmp_path):
+        results = run_full_evaluation(
+            tmp_path,
+            scale=0.004,
+            figures=["fig11"],
+            methods=("NFC", "MND"),
+            echo=lambda msg: None,
+        )
+        assert set(results) == {"fig11"}
+        assert (tmp_path / "fig11.txt").exists()
+        assert (tmp_path / "fig11.csv").exists()
+        assert (tmp_path / "fig11-facility-size.io_total.svg").exists()
+        assert "Fig. 11" in (tmp_path / "SUMMARY.md").read_text()
+
+    def test_csv_is_parseable(self, tmp_path):
+        run_full_evaluation(
+            tmp_path,
+            scale=0.004,
+            figures=["fig13"],
+            methods=("MND",),
+            echo=lambda msg: None,
+        )
+        with open(tmp_path / "fig13.csv") as f:
+            rows = list(csv.DictReader(f))
+        assert len(rows) == 5  # five sigma^2 values, one method
+        assert all(r["method"] == "MND" for r in rows)
+
+    def test_unknown_figure_rejected(self, tmp_path):
+        with pytest.raises(ValueError, match="unknown figures"):
+            run_full_evaluation(tmp_path, figures=["fig99"])
+
+    def test_figure_registry_is_complete(self):
+        assert set(FIGURES) == {
+            "fig10", "fig11", "fig12", "fig13", "fig13b", "fig14"
+        }
+
+    def test_echo_receives_progress(self, tmp_path):
+        lines = []
+        run_full_evaluation(
+            tmp_path,
+            scale=0.004,
+            figures=["fig11"],
+            methods=("MND",),
+            echo=lines.append,
+        )
+        assert any("running fig11" in line for line in lines)
+        assert any("SUMMARY.md" in line for line in lines)

@@ -1,0 +1,71 @@
+"""Tests for sweep reporting."""
+
+import csv
+import io
+
+import pytest
+
+from repro.experiments.metrics import MeasuredRun, SweepResult
+from repro.experiments.report import format_sweep, sweep_to_csv
+
+
+@pytest.fixture
+def sweep():
+    s = SweepResult("fig-test", "n_c", x_values=[10.0, 20.0])
+    for x in (10.0, 20.0):
+        for method, io in (("SS", int(x) * 3), ("MND", int(x))):
+            s.runs.append(
+                MeasuredRun(
+                    config_label="t",
+                    method=method,
+                    x=x,
+                    elapsed_s=x / 1000,
+                    io_total=io,
+                    index_pages=7,
+                    dr=5.5,
+                    location_id=2,
+                )
+            )
+    return s
+
+
+class TestFormat:
+    def test_contains_all_methods_and_values(self, sweep):
+        text = format_sweep(sweep)
+        assert "SS" in text and "MND" in text
+        assert "number of I/Os" in text
+        assert "30" in text and "60" in text  # SS series
+
+    def test_metric_subset(self, sweep):
+        text = format_sweep(sweep, metrics=["io_total"])
+        assert "number of I/Os" in text
+        assert "running time" not in text
+
+    def test_rows_are_aligned(self, sweep):
+        text = format_sweep(sweep, metrics=["io_total"])
+        lines = text.splitlines()
+        widths = {len(line) for line in lines[1:]}
+        assert len(widths) == 1  # header, rule and rows share one width
+
+
+class TestCSV:
+    def test_round_trips_through_csv_reader(self, sweep):
+        rows = list(csv.DictReader(io.StringIO(sweep_to_csv(sweep))))
+        assert len(rows) == 4
+        assert rows[0]["sweep"] == "fig-test"
+        assert {r["method"] for r in rows} == {"SS", "MND"}
+        assert int(rows[0]["io_total"]) == 30
+
+    def test_header_fields(self, sweep):
+        header = sweep_to_csv(sweep).splitlines()[0].split(",")
+        assert header == [
+            "sweep",
+            "parameter",
+            "x",
+            "method",
+            "elapsed_s",
+            "io_total",
+            "index_pages",
+            "dr",
+            "location_id",
+        ]

@@ -1,0 +1,86 @@
+"""Tests for the experiment runner and the figure sweeps."""
+
+import math
+
+import pytest
+
+from repro.experiments.config import ExperimentConfig
+from repro.experiments.metrics import MeasuredRun, SweepResult
+from repro.experiments.runner import run_config
+from repro.experiments.sweeps import (
+    client_size_sweep,
+    facility_size_sweep,
+    gaussian_sweep,
+    real_dataset_runs,
+    zipfian_sweep,
+)
+
+TINY = 0.004  # keeps harness tests fast: n_c=400, n_f=20, n_p=20
+
+
+class TestRunner:
+    def test_run_config_produces_one_run_per_method(self):
+        runs = run_config(ExperimentConfig().scaled(TINY))
+        assert [r.method for r in runs] == ["SS", "QVC", "NFC", "MND"]
+        labels = {r.config_label for r in runs}
+        assert len(labels) == 1
+
+    def test_runs_agree_on_answer(self):
+        runs = run_config(ExperimentConfig().scaled(TINY))
+        drs = {round(r.dr, 6) for r in runs}
+        assert len(drs) == 1
+
+    def test_method_subset(self):
+        runs = run_config(ExperimentConfig().scaled(TINY), methods=("MND",))
+        assert [r.method for r in runs] == ["MND"]
+
+    def test_unknown_method_rejected(self):
+        with pytest.raises(ValueError):
+            run_config(ExperimentConfig().scaled(TINY), methods=("FOO",))
+
+    def test_x_tagging(self):
+        runs = run_config(ExperimentConfig().scaled(TINY), x=42.0)
+        assert all(r.x == 42.0 for r in runs)
+        untagged = run_config(ExperimentConfig().scaled(TINY))
+        assert all(math.isnan(r.x) for r in untagged)
+
+
+class TestSweeps:
+    def test_sweep_structure(self):
+        sweep = facility_size_sweep(scale=TINY, methods=("NFC", "MND"))
+        assert sweep.parameter == "n_f"
+        assert len(sweep.x_values) == 5
+        assert len(sweep.runs) == 10
+        assert sweep.methods() == ["NFC", "MND"]
+
+    def test_series_extraction(self):
+        sweep = client_size_sweep(scale=TINY, methods=("SS",))
+        series = sweep.series("SS", "io_total")
+        assert len(series) == 5
+        assert all(isinstance(v, int) for v in series)
+        # SS I/O grows monotonically with the client count.
+        assert series == sorted(series)
+
+    def test_gaussian_sweep_uses_sigma_values(self):
+        sweep = gaussian_sweep(scale=TINY, methods=("MND",))
+        assert sweep.x_values == [0.125, 0.25, 0.5, 1.0, 2.0]
+
+    def test_zipfian_sweep_uses_alpha_values(self):
+        sweep = zipfian_sweep(scale=TINY, methods=("MND",))
+        assert sweep.x_values == [0.1, 0.3, 0.6, 0.9, 1.2]
+
+    def test_real_dataset_runs_cover_both_groups(self):
+        sweep = real_dataset_runs(scale=0.02, methods=("NFC", "MND"))
+        assert sweep.x_values == [0.0, 1.0]
+        labels = {r.config_label for r in sweep.runs}
+        assert labels == {"real-US", "real-NA"}
+
+
+class TestSeriesAPI:
+    def test_missing_x_raises(self):
+        sweep = SweepResult("s", "n_c", x_values=[1.0])
+        sweep.runs.append(
+            MeasuredRun("l", "MND", 2.0, 0.1, 5, 3, 1.0, 0)
+        )
+        with pytest.raises(KeyError):
+            sweep.series("MND", "io_total")

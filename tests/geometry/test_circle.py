@@ -1,0 +1,80 @@
+"""Tests for circles (nearest facility circles)."""
+
+import math
+
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.geometry.circle import Circle
+from repro.geometry.point import Point
+from repro.geometry.rect import Rect
+from tests.conftest import points
+
+radii = st.floats(min_value=0.0, max_value=500.0, allow_nan=False)
+
+
+class TestMBR:
+    def test_mbr_is_square(self):
+        c = Circle(Point(5, 5), 2)
+        assert c.mbr() == Rect(3, 3, 7, 7)
+
+    def test_zero_radius_mbr_degenerates(self):
+        c = Circle(Point(1, 1), 0)
+        assert c.mbr() == Rect(1, 1, 1, 1)
+
+    @given(points(), radii)
+    def test_mbr_reconstruction_identity(self, center, r):
+        """The NFC method recovers centre and radius from the square MBR
+        (Algorithm 4, lines 12-13); the round trip must be exact-ish."""
+        mbr = Circle(center, r).mbr()
+        assert math.isclose((mbr.xmin + mbr.xmax) / 2, center[0], abs_tol=1e-9)
+        assert math.isclose((mbr.ymin + mbr.ymax) / 2, center[1], abs_tol=1e-9)
+        assert math.isclose((mbr.xmax - mbr.xmin) / 2, r, abs_tol=1e-9)
+
+
+class TestContainment:
+    def test_strict_excludes_boundary(self):
+        c = Circle(Point(0, 0), 5)
+        assert c.contains_point(Point(3, 3.99))
+        assert not c.contains_point(Point(3, 4))  # exactly on boundary
+        assert c.contains_point(Point(3, 4), strict=False)
+
+    def test_outside(self):
+        assert not Circle(Point(0, 0), 1).contains_point(Point(2, 0))
+
+    @given(points(), radii, points())
+    def test_containment_matches_distance(self, center, r, p):
+        c = Circle(center, r)
+        d = center.distance_to(p)
+        if d < r - 1e-9:
+            assert c.contains_point(p)
+        if d > r + 1e-9:
+            assert not c.contains_point(p, strict=False)
+
+
+class TestIntersectsRect:
+    def test_circle_through_edge(self):
+        assert Circle(Point(0, 0), 2).intersects_rect(Rect(1, -1, 5, 1))
+
+    def test_disjoint(self):
+        assert not Circle(Point(0, 0), 1).intersects_rect(Rect(5, 5, 6, 6))
+
+    def test_circle_inside_rect(self):
+        assert Circle(Point(5, 5), 1).intersects_rect(Rect(0, 0, 10, 10))
+
+
+class TestCFPs:
+    def test_cfp_positions(self):
+        cfps = Circle(Point(2, 3), 1).candidate_furthest_points()
+        assert set(cfps) == {Point(1, 3), Point(3, 3), Point(2, 4), Point(2, 2)}
+
+    @given(points(), radii)
+    def test_cfps_lie_on_boundary(self, center, r):
+        for cfp in Circle(center, r).candidate_furthest_points():
+            assert math.isclose(center.distance_to(cfp), r, abs_tol=1e-6)
+
+    def test_point_at_angle(self):
+        c = Circle(Point(0, 0), 2)
+        p = c.point_at_angle(math.pi / 2)
+        assert math.isclose(p[0], 0, abs_tol=1e-12)
+        assert math.isclose(p[1], 2, abs_tol=1e-12)

@@ -1,0 +1,58 @@
+"""Tests for half-planes and perpendicular bisectors."""
+
+import pytest
+from hypothesis import assume, given
+
+from repro.geometry.halfplane import HalfPlane, bisector_halfplane
+from repro.geometry.point import Point, dist
+from tests.conftest import points
+
+
+class TestHalfPlane:
+    def test_contains(self):
+        hp = HalfPlane(1, 0, 5)  # x <= 5
+        assert hp.contains(Point(4, 100))
+        assert hp.contains(Point(5, 0))
+        assert not hp.contains(Point(5.1, 0))
+
+    def test_signed_violation_sign(self):
+        hp = HalfPlane(0, 1, 2)  # y <= 2
+        assert hp.signed_violation(Point(0, 1)) < 0
+        assert hp.signed_violation(Point(0, 3)) > 0
+        assert hp.signed_violation(Point(0, 2)) == 0
+
+
+class TestBisector:
+    def test_coincident_points_raise(self):
+        with pytest.raises(ValueError):
+            bisector_halfplane(Point(1, 1), Point(1, 1))
+
+    def test_vertical_bisector(self):
+        hp = bisector_halfplane(Point(0, 0), Point(4, 0))
+        # Kept side: x <= 2.
+        assert hp.contains(Point(1.9, 7))
+        assert not hp.contains(Point(2.1, -3))
+
+    def test_p_always_kept(self):
+        p, f = Point(1, 2), Point(5, 6)
+        assert bisector_halfplane(p, f).contains(p)
+
+    @given(points(), points(), points())
+    def test_halfplane_is_exactly_the_closer_region(self, p, f, q):
+        assume(p != f)
+        # The implicit-form violation is (d_f - d_p)(d_f + d_p); keep q
+        # far enough from the bisector *relative to that scale* that the
+        # fixed containment epsilon cannot flip the answer.
+        assume(abs(dist(q, p) - dist(q, f)) > 1e-6)
+        assume(dist(q, p) + dist(q, f) > 1e-2)
+        hp = bisector_halfplane(p, f)
+        assert hp.contains(q) == (dist(q, p) < dist(q, f))
+
+    @given(points(), points())
+    def test_midpoint_on_boundary(self, p, f):
+        assume(p != f)
+        hp = bisector_halfplane(p, f)
+        mid = Point((p[0] + f[0]) / 2, (p[1] + f[1]) / 2)
+        # Violation at the midpoint is ~0 relative to the coefficients.
+        scale = max(1.0, abs(hp.a), abs(hp.b), abs(hp.c))
+        assert abs(hp.signed_violation(mid)) <= 1e-6 * scale

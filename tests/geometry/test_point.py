@@ -1,0 +1,81 @@
+"""Tests for points and distances."""
+
+import math
+
+from hypothesis import given
+
+from repro.geometry.point import Point, dist, dist_sq
+from tests.conftest import points
+
+
+class TestDistances:
+    def test_distance_to_known(self):
+        assert Point(0, 0).distance_to(Point(3, 4)) == 5.0
+
+    def test_distance_to_self_is_zero(self):
+        p = Point(7.5, -2.25)
+        assert p.distance_to(p) == 0.0
+
+    def test_free_function_matches_method(self):
+        a, b = Point(1, 2), Point(-3, 9)
+        assert dist(a, b) == a.distance_to(b)
+
+    def test_dist_sq_is_square_of_dist(self):
+        a, b = Point(0, 0), Point(3, 4)
+        assert dist_sq(a, b) == 25.0
+        assert a.distance_sq_to(b) == 25.0
+
+    @given(points(), points())
+    def test_symmetry(self, a, b):
+        assert dist(a, b) == dist(b, a)
+
+    @given(points(), points(), points())
+    def test_triangle_inequality(self, a, b, c):
+        assert dist(a, c) <= dist(a, b) + dist(b, c) + 1e-9
+
+    @given(points(), points())
+    def test_dist_consistent_with_dist_sq(self, a, b):
+        assert math.isclose(dist(a, b) ** 2, dist_sq(a, b), abs_tol=1e-6)
+
+
+class TestPointOps:
+    def test_translated(self):
+        assert Point(1, 2).translated(3, -5) == Point(4, -3)
+
+    def test_is_a_tuple(self):
+        x, y = Point(3, 4)
+        assert (x, y) == (3, 4)
+        assert Point(3, 4) == (3, 4)
+
+
+class TestQuadrants:
+    def test_four_quadrants(self):
+        origin = Point(0, 0)
+        assert Point(1, 1).quadrant_relative_to(origin) == 0
+        assert Point(-1, 1).quadrant_relative_to(origin) == 1
+        assert Point(-1, -1).quadrant_relative_to(origin) == 2
+        assert Point(1, -1).quadrant_relative_to(origin) == 3
+
+    def test_axis_convention(self):
+        """Points on positive axes belong to the lower adjacent quadrant."""
+        origin = Point(0, 0)
+        assert Point(1, 0).quadrant_relative_to(origin) == 0
+        assert Point(0, 1).quadrant_relative_to(origin) == 0
+        assert Point(-1, 0).quadrant_relative_to(origin) == 1
+        assert Point(0, -1).quadrant_relative_to(origin) == 3
+
+    def test_origin_maps_to_quadrant_zero(self):
+        p = Point(5, 5)
+        assert p.quadrant_relative_to(p) == 0
+
+    def test_nonzero_origin(self):
+        origin = Point(10, 10)
+        assert Point(11, 9).quadrant_relative_to(origin) == 3
+
+    @given(points(), points())
+    def test_always_a_valid_quadrant(self, p, origin):
+        assert p.quadrant_relative_to(origin) in (0, 1, 2, 3)
+
+    @given(points(), points())
+    def test_quadrant_partition_is_deterministic(self, p, origin):
+        assert p.quadrant_relative_to(origin) == p.quadrant_relative_to(origin)

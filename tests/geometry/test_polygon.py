@@ -1,0 +1,96 @@
+"""Tests for convex polygons and half-plane clipping."""
+
+import math
+
+from hypothesis import assume, given
+from hypothesis import strategies as st
+
+from repro.geometry.halfplane import HalfPlane, bisector_halfplane
+from repro.geometry.point import Point
+from repro.geometry.polygon import ConvexPolygon
+from repro.geometry.rect import Rect
+from tests.conftest import domain_points
+
+
+class TestClipping:
+    def test_clip_square_in_half(self):
+        poly = ConvexPolygon.from_rect(Rect(0, 0, 2, 2))
+        clipped = poly.clip(HalfPlane(1, 0, 1))  # x <= 1
+        assert clipped.mbr() == Rect(0, 0, 1, 2)
+        assert math.isclose(clipped.area(), 2.0)
+
+    def test_clip_away_everything(self):
+        poly = ConvexPolygon.from_rect(Rect(0, 0, 1, 1))
+        clipped = poly.clip(HalfPlane(1, 0, -5))  # x <= -5
+        assert clipped.is_empty()
+
+    def test_clip_no_effect(self):
+        poly = ConvexPolygon.from_rect(Rect(0, 0, 1, 1))
+        clipped = poly.clip(HalfPlane(1, 0, 100))
+        assert math.isclose(clipped.area(), 1.0)
+
+    def test_clip_all_short_circuits_on_empty(self):
+        poly = ConvexPolygon.from_rect(Rect(0, 0, 1, 1))
+        out = poly.clip_all([HalfPlane(1, 0, -5), HalfPlane(0, 1, 100)])
+        assert out.is_empty()
+
+    def test_diagonal_clip_makes_triangle(self):
+        poly = ConvexPolygon.from_rect(Rect(0, 0, 1, 1))
+        clipped = poly.clip(HalfPlane(1, 1, 1))  # x + y <= 1
+        assert math.isclose(clipped.area(), 0.5)
+
+    def test_empty_polygon_mbr_raises(self):
+        import pytest
+
+        with pytest.raises(ValueError):
+            ConvexPolygon([]).mbr()
+
+
+class TestContainsPoint:
+    def test_inside_outside(self):
+        poly = ConvexPolygon.from_rect(Rect(0, 0, 2, 2))
+        assert poly.contains_point(Point(1, 1))
+        assert poly.contains_point(Point(0, 0))  # vertex
+        assert not poly.contains_point(Point(3, 1))
+
+    def test_single_point_polygon(self):
+        poly = ConvexPolygon([Point(1, 1)])
+        assert poly.contains_point(Point(1, 1))
+        assert not poly.contains_point(Point(1.1, 1))
+
+    def test_empty_contains_nothing(self):
+        assert not ConvexPolygon([]).contains_point(Point(0, 0))
+
+
+class TestQuasiVoronoiProperty:
+    """The property the QVC method relies on (Section IV): clipping the
+    domain by bisectors keeps exactly the region at least as close to p
+    as to each clipping facility."""
+
+    @given(domain_points(), domain_points(), domain_points(), domain_points())
+    def test_cell_is_superset_of_closer_region(self, p, f1, f2, q):
+        """Every in-domain point strictly closer to p than to both
+        facilities must stay in the clipped cell — the containment QVC
+        correctness rests on."""
+        assume(f1 != p and f2 != p)
+        cell = ConvexPolygon.from_rect(Rect(0, 0, 1000, 1000)).clip_all(
+            [bisector_halfplane(p, f1), bisector_halfplane(p, f2)]
+        )
+        dp = q.distance_to(p)
+        df = min(q.distance_to(f1), q.distance_to(f2))
+        if dp < df - 1e-6:
+            assert cell.contains_point(q, eps=1e-6)
+
+    def test_cell_excludes_clearly_closer_to_facility(self):
+        p, f = Point(100, 100), Point(900, 100)
+        cell = ConvexPolygon.from_rect(Rect(0, 0, 1000, 1000)).clip_all(
+            [bisector_halfplane(p, f)]
+        )
+        assert cell.contains_point(Point(200, 500))
+        assert not cell.contains_point(Point(800, 500))
+
+    @given(domain_points(), st.lists(domain_points(), min_size=1, max_size=4))
+    def test_p_always_in_its_cell(self, p, facilities):
+        halfplanes = [bisector_halfplane(p, f) for f in facilities if f != p]
+        cell = ConvexPolygon.from_rect(Rect(0, 0, 1000, 1000)).clip_all(halfplanes)
+        assert cell.contains_point(p, eps=1e-6)

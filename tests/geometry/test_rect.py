@@ -1,0 +1,153 @@
+"""Tests for rectangles (MBRs)."""
+
+import math
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.geometry.point import Point
+from repro.geometry.rect import Rect
+from tests.conftest import points, rects
+
+
+class TestConstructors:
+    def test_from_point_is_degenerate(self):
+        r = Rect.from_point(Point(3, 4))
+        assert r == Rect(3, 4, 3, 4)
+        assert r.area == 0.0
+
+    def test_from_points(self):
+        r = Rect.from_points([Point(1, 5), Point(4, 2), Point(3, 3)])
+        assert r == Rect(1, 2, 4, 5)
+
+    def test_from_points_empty_raises(self):
+        with pytest.raises(ValueError):
+            Rect.from_points([])
+
+    def test_union_all(self):
+        r = Rect.union_all([Rect(0, 0, 1, 1), Rect(5, -2, 6, 0)])
+        assert r == Rect(0, -2, 6, 1)
+
+    def test_union_all_empty_raises(self):
+        with pytest.raises(ValueError):
+            Rect.union_all([])
+
+
+class TestMeasures:
+    def test_basic_measures(self):
+        r = Rect(0, 0, 4, 3)
+        assert r.width == 4 and r.height == 3
+        assert r.area == 12
+        assert r.margin == 7
+        assert r.center == Point(2, 1.5)
+
+    def test_validity(self):
+        assert Rect(0, 0, 1, 1).is_valid()
+        assert not Rect(1, 0, 0, 1).is_valid()
+
+
+class TestPredicates:
+    def test_contains_point_boundary(self):
+        r = Rect(0, 0, 2, 2)
+        assert r.contains_point(Point(0, 0))
+        assert r.contains_point(Point(2, 2))
+        assert not r.contains_point(Point(2.0001, 1))
+
+    def test_contains_rect(self):
+        assert Rect(0, 0, 10, 10).contains_rect(Rect(1, 1, 2, 2))
+        assert not Rect(0, 0, 10, 10).contains_rect(Rect(1, 1, 11, 2))
+        assert Rect(0, 0, 1, 1).contains_rect(Rect(0, 0, 1, 1))
+
+    def test_intersects_touching_edges(self):
+        assert Rect(0, 0, 1, 1).intersects(Rect(1, 0, 2, 1))
+        assert Rect(0, 0, 1, 1).intersects(Rect(1, 1, 2, 2))  # corner touch
+        assert not Rect(0, 0, 1, 1).intersects(Rect(1.01, 0, 2, 1))
+
+    @given(rects(), rects())
+    def test_intersects_symmetric(self, a, b):
+        assert a.intersects(b) == b.intersects(a)
+
+    @given(rects(), rects())
+    def test_intersection_consistent_with_intersects(self, a, b):
+        overlap = a.intersection(b)
+        assert (overlap is not None) == a.intersects(b)
+        if overlap is not None:
+            assert a.contains_rect(overlap)
+            assert b.contains_rect(overlap)
+
+
+class TestCombinations:
+    def test_union(self):
+        assert Rect(0, 0, 1, 1).union(Rect(2, 2, 3, 3)) == Rect(0, 0, 3, 3)
+
+    def test_union_point(self):
+        assert Rect(0, 0, 1, 1).union_point(Point(5, -1)) == Rect(0, -1, 5, 1)
+
+    def test_enlargement(self):
+        base = Rect(0, 0, 2, 2)
+        assert base.enlargement(Rect(0, 0, 1, 1)) == 0.0
+        assert base.enlargement(Rect(0, 0, 4, 2)) == 4.0
+
+    def test_expanded(self):
+        assert Rect(1, 1, 2, 2).expanded(1) == Rect(0, 0, 3, 3)
+
+    @given(rects(), rects())
+    def test_union_contains_both(self, a, b):
+        u = a.union(b)
+        assert u.contains_rect(a) and u.contains_rect(b)
+
+
+class TestDistances:
+    def test_min_dist_point_inside_is_zero(self):
+        assert Rect(0, 0, 4, 4).min_dist_point(Point(2, 2)) == 0.0
+
+    def test_min_dist_point_axis_aligned(self):
+        r = Rect(0, 0, 4, 4)
+        assert r.min_dist_point(Point(6, 2)) == 2.0
+        assert r.min_dist_point(Point(2, -3)) == 3.0
+
+    def test_min_dist_point_diagonal(self):
+        assert Rect(0, 0, 4, 4).min_dist_point(Point(7, 8)) == 5.0
+
+    def test_min_dist_rect_overlapping_is_zero(self):
+        assert Rect(0, 0, 4, 4).min_dist_rect(Rect(3, 3, 5, 5)) == 0.0
+
+    def test_min_dist_rect_axis_and_diagonal(self):
+        a = Rect(0, 0, 1, 1)
+        assert a.min_dist_rect(Rect(3, 0, 4, 1)) == 2.0
+        assert a.min_dist_rect(Rect(4, 5, 6, 7)) == 5.0
+
+    def test_max_dist_point(self):
+        assert Rect(0, 0, 3, 4).max_dist_point(Point(0, 0)) == 5.0
+
+    @given(rects(), points())
+    def test_min_dist_point_matches_sampled_lower_bound(self, r, p):
+        """minDist is a lower bound of distances to corners and the
+        clamped projection realises it."""
+        clamped = Point(
+            min(max(p[0], r.xmin), r.xmax), min(max(p[1], r.ymin), r.ymax)
+        )
+        assert math.isclose(
+            r.min_dist_point(p), p.distance_to(clamped), rel_tol=1e-12, abs_tol=1e-12
+        )
+
+    @given(rects(), points())
+    def test_min_le_max_dist(self, r, p):
+        assert r.min_dist_point(p) <= r.max_dist_point(p) + 1e-12
+
+    @given(rects(), points())
+    def test_min_dist_sq_matches(self, r, p):
+        assert math.isclose(
+            r.min_dist_sq_point(p), r.min_dist_point(p) ** 2, abs_tol=1e-6
+        )
+
+    @given(rects(), rects(), st.floats(min_value=0, max_value=1), st.floats(min_value=0, max_value=1))
+    def test_min_dist_rect_is_lower_bound(self, a, b, tx, ty):
+        """Any point of b is at least min_dist_rect away from a."""
+        p = Point(b.xmin + tx * b.width, b.ymin + ty * b.height)
+        assert a.min_dist_rect(b) <= a.min_dist_point(p) + 1e-9
+
+    def test_corners_order(self):
+        c = Rect(0, 0, 1, 2).corners()
+        assert c == (Point(0, 0), Point(1, 0), Point(1, 2), Point(0, 2))

@@ -1,0 +1,114 @@
+"""Tests for the three NN-join implementations."""
+
+import math
+import random
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.geometry.point import Point
+from repro.knnjoin.grid import FacilityGrid, nn_join_grid
+from repro.knnjoin.nested_loop import nn_join_nested_loop
+from repro.knnjoin.rtree_join import nn_join_rtree
+
+
+def random_points(n, seed=0, lo=0.0, hi=1000.0):
+    rng = random.Random(seed)
+    return [Point(rng.uniform(lo, hi), rng.uniform(lo, hi)) for __ in range(n)]
+
+
+class TestAgreement:
+    def test_three_joins_agree(self):
+        clients = random_points(300, seed=1)
+        facilities = random_points(40, seed=2)
+        a = nn_join_nested_loop(clients, facilities)
+        b = nn_join_grid(clients, facilities)
+        c = nn_join_rtree(clients, facilities)
+        for da, db, dc in zip(a, b, c):
+            assert math.isclose(da, db, abs_tol=1e-9)
+            assert math.isclose(da, dc, abs_tol=1e-9)
+
+    def test_single_facility(self):
+        clients = random_points(50, seed=3)
+        f = Point(500, 500)
+        expected = [c.distance_to(f) for c in clients]
+        for join in (nn_join_nested_loop, nn_join_grid, nn_join_rtree):
+            got = join(clients, [f])
+            assert all(
+                math.isclose(g, e, abs_tol=1e-9) for g, e in zip(got, expected)
+            )
+
+    def test_client_on_facility_has_zero_dnn(self):
+        facilities = random_points(10, seed=4)
+        clients = [facilities[3]]
+        for join in (nn_join_nested_loop, nn_join_grid, nn_join_rtree):
+            assert join(clients, facilities)[0] == 0.0
+
+    def test_empty_facilities_raise(self):
+        clients = random_points(5, seed=5)
+        for join in (nn_join_nested_loop, nn_join_grid, nn_join_rtree):
+            with pytest.raises(ValueError):
+                join(clients, [])
+
+    def test_empty_clients_give_empty_result(self):
+        facilities = random_points(5, seed=6)
+        for join in (nn_join_nested_loop, nn_join_grid, nn_join_rtree):
+            assert join([], facilities) == []
+
+    def test_duplicate_facilities(self):
+        facilities = [Point(1, 1)] * 5 + [Point(9, 9)]
+        clients = [Point(0, 0), Point(10, 10)]
+        got = nn_join_grid(clients, facilities)
+        assert math.isclose(got[0], math.sqrt(2), abs_tol=1e-9)
+        assert math.isclose(got[1], math.sqrt(2), abs_tol=1e-9)
+
+    @settings(max_examples=50, deadline=None)
+    @given(st.integers(min_value=0, max_value=10_000))
+    def test_grid_matches_nested_loop_property(self, seed):
+        rng = random.Random(seed)
+        n_c = rng.randint(1, 40)
+        n_f = rng.randint(1, 25)
+        clients = random_points(n_c, seed=seed, lo=-50, hi=50)
+        facilities = random_points(n_f, seed=seed + 1, lo=-50, hi=50)
+        a = nn_join_nested_loop(clients, facilities)
+        b = nn_join_grid(clients, facilities)
+        assert all(math.isclose(x, y, abs_tol=1e-9) for x, y in zip(a, b))
+
+
+class TestFacilityGrid:
+    def test_nearest_returns_point(self):
+        facilities = random_points(30, seed=7)
+        grid = FacilityGrid(facilities)
+        q = Point(123, 456)
+        d, f = grid.nearest(q)
+        assert f in facilities
+        assert math.isclose(d, q.distance_to(f), abs_tol=1e-12)
+        assert math.isclose(
+            d, min(q.distance_to(p) for p in facilities), abs_tol=1e-9
+        )
+
+    def test_query_far_outside_grid_bounds(self):
+        facilities = random_points(20, seed=8, lo=400, hi=600)
+        grid = FacilityGrid(facilities)
+        q = Point(-5000, 9000)
+        d, __ = grid.nearest(q)
+        assert math.isclose(
+            d, min(q.distance_to(p) for p in facilities), abs_tol=1e-9
+        )
+
+    def test_degenerate_all_same_point(self):
+        grid = FacilityGrid([Point(5, 5)] * 7)
+        assert grid.nearest_distance(Point(8, 9)) == 5.0
+
+    def test_collinear_facilities(self):
+        facilities = [Point(float(i), 0.0) for i in range(10)]
+        grid = FacilityGrid(facilities)
+        assert grid.nearest_distance(Point(4.4, 3)) == math.hypot(0.4, 3)
+
+    def test_empty_raises(self):
+        with pytest.raises(ValueError):
+            FacilityGrid([])
+
+    def test_len(self):
+        assert len(FacilityGrid(random_points(9, seed=9))) == 9

@@ -1,0 +1,132 @@
+"""Tests for the network min-dist location selection query."""
+
+import random
+
+import networkx as nx
+import pytest
+
+from repro.network.query import NetworkMindistQuery, network_dnn
+from repro.network.roadnet import delaunay_network, grid_network
+
+
+def sample_instance(net, n_c, n_f, n_p, seed):
+    rng = random.Random(seed)
+    nodes = net.nodes()
+    return (
+        [rng.choice(nodes) for __ in range(n_c)],
+        rng.sample(nodes, n_f),
+        rng.sample(nodes, n_p),
+    )
+
+
+class TestNetworkDnn:
+    def test_matches_per_client_dijkstra(self):
+        net = grid_network(6, 6, rng=1)
+        facilities = [0, 20, 35]
+        dnn = network_dnn(net, facilities)
+        for node in net.nodes():
+            expected = min(
+                net.shortest_path_length(node, f) for f in facilities
+            )
+            assert dnn[node] == pytest.approx(expected)
+
+    def test_facility_nodes_have_zero(self):
+        net = grid_network(4, 4, rng=2)
+        dnn = network_dnn(net, [5])
+        assert dnn[5] == 0.0
+
+    def test_requires_facilities(self):
+        net = grid_network(3, 3, rng=3)
+        with pytest.raises(ValueError):
+            network_dnn(net, [])
+
+
+class TestQueryCorrectness:
+    def _oracle(self, net, clients, facilities, candidates):
+        dnn = network_dnn(net, facilities)
+        best, best_dr = None, -1.0
+        for p in sorted(set(candidates)):
+            lengths = nx.single_source_dijkstra_path_length(
+                net.graph, p, weight="weight"
+            )
+            dr = sum(max(dnn[c] - lengths[c], 0.0) for c in clients)
+            if dr > best_dr:
+                best, best_dr = p, dr
+        return best, best_dr
+
+    @pytest.mark.parametrize("pruned", [False, True])
+    def test_matches_oracle_on_grid(self, pruned):
+        net = grid_network(7, 7, rng=4)
+        clients, facilities, candidates = sample_instance(net, 60, 4, 8, seed=5)
+        query = NetworkMindistQuery(net, clients, facilities, candidates)
+        result = query.select(pruned=pruned)
+        oracle_node, oracle_dr = self._oracle(net, clients, facilities, candidates)
+        assert result.candidate_node == oracle_node
+        assert result.dr == pytest.approx(oracle_dr, abs=1e-9)
+
+    @pytest.mark.parametrize("pruned", [False, True])
+    def test_matches_oracle_on_delaunay(self, pruned):
+        net = delaunay_network(120, rng=6)
+        clients, facilities, candidates = sample_instance(net, 80, 6, 10, seed=7)
+        query = NetworkMindistQuery(net, clients, facilities, candidates)
+        result = query.select(pruned=pruned)
+        oracle_node, oracle_dr = self._oracle(net, clients, facilities, candidates)
+        assert result.candidate_node == oracle_node
+        assert result.dr == pytest.approx(oracle_dr, abs=1e-9)
+
+    def test_pruned_and_full_agree_everywhere(self):
+        net = delaunay_network(100, rng=8)
+        clients, facilities, candidates = sample_instance(net, 50, 5, 12, seed=9)
+        query = NetworkMindistQuery(net, clients, facilities, candidates)
+        full = query.select(pruned=False)
+        pruned = query.select(pruned=True)
+        assert full.dr_by_candidate == pytest.approx(pruned.dr_by_candidate)
+
+    def test_candidate_on_facility_reduces_nothing(self):
+        net = grid_network(5, 5, rng=10)
+        facilities = [12]
+        query = NetworkMindistQuery(net, net.nodes(), facilities, [12, 0])
+        result = query.select()
+        assert result.dr_by_candidate[12] == 0.0
+
+    def test_clients_sharing_a_node_count_multiply(self):
+        net = grid_network(4, 4, rng=11)
+        query = NetworkMindistQuery(net, [5, 5, 5], [15], [5])
+        result = query.select()
+        single = NetworkMindistQuery(net, [5], [15], [5]).select()
+        assert result.dr == pytest.approx(3 * single.dr)
+
+    def test_no_candidates_rejected(self):
+        net = grid_network(3, 3, rng=12)
+        with pytest.raises(ValueError):
+            NetworkMindistQuery(net, [0], [1], [])
+
+
+class TestPruningEfficiency:
+    def test_pruned_settles_fewer_nodes(self):
+        """With plenty of facilities, NFDs are short, so the bounded
+        expansion touches a small neighbourhood."""
+        net = delaunay_network(600, rng=13)
+        clients, facilities, candidates = sample_instance(
+            net, 300, 60, 15, seed=14
+        )
+        query = NetworkMindistQuery(net, clients, facilities, candidates)
+        full = query.select(pruned=False)
+        pruned = query.select(pruned=True)
+        assert pruned.settled_nodes < full.settled_nodes / 3
+        assert pruned.dr == pytest.approx(full.dr)
+
+    def test_more_facilities_means_stronger_pruning(self):
+        """The network mirror of Fig. 11: more facilities -> shorter
+        NFDs -> smaller expansions."""
+        net = delaunay_network(500, rng=15)
+        rng = random.Random(16)
+        nodes = net.nodes()
+        clients = [rng.choice(nodes) for __ in range(200)]
+        candidates = rng.sample(nodes, 10)
+        settled = []
+        for n_f in (5, 100):
+            facilities = rng.sample(nodes, n_f)
+            query = NetworkMindistQuery(net, clients, facilities, candidates)
+            settled.append(query.select(pruned=True).settled_nodes)
+        assert settled[1] < settled[0]

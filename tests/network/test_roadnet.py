@@ -1,0 +1,91 @@
+"""Tests for road-network construction."""
+
+import math
+import random
+
+import networkx as nx
+import pytest
+
+from repro.geometry.point import Point
+from repro.network.roadnet import RoadNetwork, delaunay_network, grid_network
+
+
+class TestGridNetwork:
+    def test_node_and_edge_counts(self):
+        net = grid_network(5, 6, rng=1, dropout=0.0, jitter=0.0)
+        assert net.num_nodes == 30
+        # Full lattice: 5*(6-1) horizontal + 6*(5-1) vertical edges.
+        assert net.num_edges == 5 * 5 + 6 * 4
+
+    def test_dropout_removes_edges_but_keeps_connectivity(self):
+        full = grid_network(6, 6, rng=2, dropout=0.0)
+        dropped = grid_network(6, 6, rng=2, dropout=0.3)
+        assert dropped.num_edges < full.num_edges
+        assert nx.is_connected(dropped.graph)
+
+    def test_weights_are_euclidean(self):
+        net = grid_network(4, 4, rng=3)
+        for a, b, data in net.graph.edges(data=True):
+            expected = net.position(a).distance_to(net.position(b))
+            assert data["weight"] == pytest.approx(expected)
+
+    def test_too_small_grid_rejected(self):
+        with pytest.raises(ValueError):
+            grid_network(1, 5)
+
+    def test_deterministic(self):
+        a = grid_network(5, 5, rng=4)
+        b = grid_network(5, 5, rng=4)
+        assert sorted(a.graph.edges) == sorted(b.graph.edges)
+
+
+class TestDelaunayNetwork:
+    def test_connected_and_planar_sized(self):
+        net = delaunay_network(80, rng=5)
+        assert net.num_nodes == 80
+        assert nx.is_connected(net.graph)
+        # Planar graphs have at most 3n - 6 edges.
+        assert net.num_edges <= 3 * 80 - 6
+
+    def test_minimum_nodes(self):
+        with pytest.raises(ValueError):
+            delaunay_network(2)
+
+    def test_weights_are_euclidean(self):
+        net = delaunay_network(30, rng=6)
+        for a, b, data in net.graph.edges(data=True):
+            expected = net.position(a).distance_to(net.position(b))
+            assert data["weight"] == pytest.approx(expected)
+
+
+class TestRoadNetworkAPI:
+    def test_rejects_disconnected_graph(self):
+        g = nx.Graph()
+        g.add_node(0, pos=(0, 0))
+        g.add_node(1, pos=(1, 1))
+        with pytest.raises(ValueError, match="connected"):
+            RoadNetwork(g)
+
+    def test_rejects_missing_positions(self):
+        g = nx.Graph()
+        g.add_node(0)
+        with pytest.raises(ValueError, match="pos"):
+            RoadNetwork(g)
+
+    def test_nearest_node_snapping(self):
+        net = grid_network(4, 4, rng=7, jitter=0.0)
+        corner = net.nearest_node(Point(-50, -50))
+        assert net.position(corner) == net.position(0)
+
+    def test_shortest_path_at_least_euclidean(self):
+        net = grid_network(6, 6, rng=8)
+        rng = random.Random(9)
+        nodes = net.nodes()
+        for __ in range(10):
+            a, b = rng.sample(nodes, 2)
+            network_d = net.shortest_path_length(a, b)
+            euclid_d = net.position(a).distance_to(net.position(b))
+            assert network_d >= euclid_d - 1e-9
+
+    def test_total_length_positive(self):
+        assert grid_network(3, 3, rng=10).total_length() > 0

@@ -1,0 +1,93 @@
+"""Tests for STR bulk loading."""
+
+import random
+
+import pytest
+
+from repro.geometry.point import Point
+from repro.geometry.rect import Rect
+from repro.rtree.bulk import bulk_load
+from repro.rtree.rtree import RTree
+from repro.rtree.validate import validate_rtree
+from repro.storage.stats import IOStats
+
+
+def random_items(n, seed=0):
+    rng = random.Random(seed)
+    return [
+        (Rect.from_point(Point(rng.uniform(0, 1000), rng.uniform(0, 1000))), i)
+        for i in range(n)
+    ]
+
+
+class TestBulkLoad:
+    def test_empty(self):
+        tree = RTree("t", IOStats(), max_leaf_entries=8, max_branch_entries=8)
+        bulk_load(tree, [])
+        assert len(tree) == 0
+        validate_rtree(tree)
+
+    def test_single_leaf(self):
+        tree = RTree("t", IOStats(), max_leaf_entries=8, max_branch_entries=8)
+        bulk_load(tree, random_items(5))
+        assert tree.height == 1
+        assert len(tree) == 5
+        validate_rtree(tree)
+
+    def test_multi_level(self):
+        tree = RTree("t", IOStats(), max_leaf_entries=8, max_branch_entries=8)
+        bulk_load(tree, random_items(500))
+        assert tree.height >= 3
+        validate_rtree(tree)
+
+    def test_all_payloads_present(self):
+        tree = RTree("t", IOStats(), max_leaf_entries=10, max_branch_entries=10)
+        bulk_load(tree, random_items(333, seed=2))
+        got = sorted(e.payload for e in tree.iter_leaf_entries())
+        assert got == list(range(333))
+
+    def test_rejects_nonempty_tree(self):
+        tree = RTree("t", IOStats(), max_leaf_entries=8, max_branch_entries=8)
+        tree.insert(Rect(0, 0, 1, 1), "x")
+        with pytest.raises(ValueError):
+            bulk_load(tree, random_items(10))
+
+    def test_packing_matches_effective_capacity(self):
+        """STR packs leaves at the configured fill factor (the paper's
+        ~70 % effective capacity), and never worse than insert-building."""
+        items = random_items(2000, seed=3)
+        bulk_tree = RTree("b", IOStats(), max_leaf_entries=16, max_branch_entries=16)
+        bulk_load(bulk_tree, items)
+        insert_tree = RTree("i", IOStats(), max_leaf_entries=16, max_branch_entries=16)
+        for mbr, payload in items:
+            insert_tree.insert(mbr, payload)
+        assert bulk_tree.num_nodes <= insert_tree.num_nodes
+        leaves = [n for n in bulk_tree.iter_nodes() if n.is_leaf]
+        avg = sum(len(n) for n in leaves) / len(leaves)
+        assert 0.6 * 16 <= avg <= 0.8 * 16
+
+    def test_fill_factor_controls_leaf_occupancy(self):
+        items = random_items(1000, seed=4)
+        tree = RTree("t", IOStats(), max_leaf_entries=20, max_branch_entries=20)
+        bulk_load(tree, items, fill=0.5)
+        leaves = [n for n in tree.iter_nodes() if n.is_leaf]
+        # Average occupancy should be near 10 entries (= 20 * 0.5).
+        avg = sum(len(n) for n in leaves) / len(leaves)
+        assert 8 <= avg <= 12
+
+    def test_insert_after_bulk_load(self):
+        tree = RTree("t", IOStats(), max_leaf_entries=8, max_branch_entries=8)
+        bulk_load(tree, random_items(200, seed=5))
+        for i in range(50):
+            tree.insert(Rect(float(i), float(i), float(i), float(i)), 1000 + i)
+        assert len(tree) == 250
+        validate_rtree(tree)
+
+    def test_delete_after_bulk_load(self):
+        items = random_items(200, seed=6)
+        tree = RTree("t", IOStats(), max_leaf_entries=8, max_branch_entries=8)
+        bulk_load(tree, items)
+        for mbr, payload in items[:100]:
+            assert tree.delete(mbr, payload)
+        assert len(tree) == 100
+        validate_rtree(tree)

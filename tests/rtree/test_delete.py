@@ -1,0 +1,96 @@
+"""Tests for R-tree deletion (condense-tree with reinsertion)."""
+
+import random
+
+from repro.geometry.point import Point
+from repro.geometry.rect import Rect
+from repro.rtree.rtree import RTree
+from repro.rtree.validate import validate_rtree
+from repro.storage.stats import IOStats
+
+
+def build(points, max_entries=4) -> RTree:
+    tree = RTree(
+        "t", IOStats(), max_leaf_entries=max_entries, max_branch_entries=max_entries
+    )
+    for i, p in enumerate(points):
+        tree.insert(Rect.from_point(p), i)
+    return tree
+
+
+def random_points(n, seed=0):
+    rng = random.Random(seed)
+    return [Point(rng.uniform(0, 1000), rng.uniform(0, 1000)) for _ in range(n)]
+
+
+class TestDelete:
+    def test_delete_existing(self):
+        pts = random_points(50)
+        tree = build(pts)
+        assert tree.delete(Rect.from_point(pts[7]), 7)
+        assert len(tree) == 49
+        validate_rtree(tree)
+        assert 7 not in {e.payload for e in tree.iter_leaf_entries()}
+
+    def test_delete_missing_returns_false(self):
+        tree = build(random_points(10))
+        assert not tree.delete(Rect(5000, 5000, 5000, 5000), 99)
+        assert len(tree) == 10
+
+    def test_delete_matches_payload_not_just_mbr(self):
+        tree = build([Point(1, 1), Point(1, 1)])
+        assert not tree.delete(Rect(1, 1, 1, 1), 99)
+        assert tree.delete(Rect(1, 1, 1, 1), 0)
+        remaining = [e.payload for e in tree.iter_leaf_entries()]
+        assert remaining == [1]
+
+    def test_delete_all(self):
+        pts = random_points(120, seed=5)
+        tree = build(pts, max_entries=5)
+        for i, p in enumerate(pts):
+            assert tree.delete(Rect.from_point(p), i)
+            validate_rtree(tree)
+        assert len(tree) == 0
+        assert tree.height == 1
+
+    def test_root_shrinks_after_mass_delete(self):
+        pts = random_points(200, seed=2)
+        tree = build(pts, max_entries=4)
+        height_before = tree.height
+        for i, p in enumerate(pts[:190]):
+            tree.delete(Rect.from_point(p), i)
+        validate_rtree(tree)
+        assert tree.height < height_before
+        remaining = sorted(e.payload for e in tree.iter_leaf_entries())
+        assert remaining == list(range(190, 200))
+
+    def test_interleaved_insert_delete(self):
+        rng = random.Random(9)
+        tree = RTree("t", IOStats(), max_leaf_entries=4, max_branch_entries=4)
+        live: dict[int, Point] = {}
+        next_id = 0
+        for step in range(600):
+            if live and rng.random() < 0.45:
+                victim = rng.choice(list(live))
+                assert tree.delete(Rect.from_point(live[victim]), victim)
+                del live[victim]
+            else:
+                p = Point(rng.uniform(0, 1000), rng.uniform(0, 1000))
+                tree.insert(Rect.from_point(p), next_id)
+                live[next_id] = p
+                next_id += 1
+            if step % 50 == 0:
+                validate_rtree(tree)
+        validate_rtree(tree)
+        assert {e.payload for e in tree.iter_leaf_entries()} == set(live)
+
+    def test_freed_pages_are_reused(self):
+        pts = random_points(100, seed=4)
+        tree = build(pts, max_entries=4)
+        for i, p in enumerate(pts[:80]):
+            tree.delete(Rect.from_point(p), i)
+        pages_after_delete = tree._pager.num_pages
+        for i, p in enumerate(pts[:40]):
+            tree.insert(Rect.from_point(p), 1000 + i)
+        # Reinsertion should mostly reuse freed pages, not balloon the file.
+        assert tree._pager.num_pages <= pages_after_delete + 2

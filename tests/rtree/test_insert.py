@@ -1,0 +1,120 @@
+"""Tests for R-tree insertion (Guttman insert + quadratic split)."""
+
+import random
+
+import pytest
+
+from repro.geometry.point import Point
+from repro.geometry.rect import Rect
+from repro.rtree.rtree import RTree
+from repro.rtree.validate import RTreeInvariantError, validate_rtree
+from repro.storage.stats import IOStats
+
+
+def make_tree(max_entries=4) -> RTree:
+    return RTree(
+        "t", IOStats(), max_leaf_entries=max_entries, max_branch_entries=max_entries
+    )
+
+
+def random_points(n, seed=0):
+    rng = random.Random(seed)
+    return [Point(rng.uniform(0, 1000), rng.uniform(0, 1000)) for _ in range(n)]
+
+
+class TestBasicInsert:
+    def test_empty_tree(self):
+        tree = make_tree()
+        assert len(tree) == 0
+        assert tree.height == 1
+        validate_rtree(tree)
+
+    def test_single_insert(self):
+        tree = make_tree()
+        tree.insert(Rect(1, 1, 2, 2), "a")
+        assert len(tree) == 1
+        validate_rtree(tree)
+
+    def test_root_split_grows_height(self):
+        tree = make_tree(max_entries=2)
+        for i, p in enumerate(random_points(3)):
+            tree.insert(Rect.from_point(p), i)
+        assert tree.height == 2
+        validate_rtree(tree)
+
+    def test_many_inserts_keep_invariants(self):
+        tree = make_tree(max_entries=6)
+        for i, p in enumerate(random_points(500)):
+            tree.insert(Rect.from_point(p), i)
+        assert len(tree) == 500
+        validate_rtree(tree, check_min_fill=True)
+
+    def test_duplicate_points_allowed(self):
+        tree = make_tree(max_entries=3)
+        for i in range(20):
+            tree.insert(Rect(5, 5, 5, 5), i)
+        assert len(tree) == 20
+        validate_rtree(tree)
+        payloads = sorted(e.payload for e in tree.iter_leaf_entries())
+        assert payloads == list(range(20))
+
+    def test_collinear_points(self):
+        tree = make_tree(max_entries=3)
+        for i in range(50):
+            tree.insert(Rect(float(i), 0, float(i), 0), i)
+        validate_rtree(tree, check_min_fill=True)
+
+    def test_all_entries_retrievable(self):
+        tree = make_tree(max_entries=5)
+        pts = random_points(200, seed=3)
+        for i, p in enumerate(pts):
+            tree.insert(Rect.from_point(p), i)
+        got = sorted(e.payload for e in tree.iter_leaf_entries())
+        assert got == list(range(200))
+
+    def test_rect_entries(self):
+        """Entries may be true rectangles, not just points."""
+        tree = make_tree(max_entries=4)
+        rng = random.Random(1)
+        rects = []
+        for i in range(100):
+            x, y = rng.uniform(0, 900), rng.uniform(0, 900)
+            rects.append(Rect(x, y, x + rng.uniform(0, 100), y + rng.uniform(0, 100)))
+            tree.insert(rects[-1], i)
+        validate_rtree(tree, check_min_fill=True)
+
+
+class TestConfiguration:
+    def test_too_small_capacity_rejected(self):
+        with pytest.raises(ValueError):
+            RTree("t", IOStats(), max_leaf_entries=1)
+
+    def test_layout_driven_capacity(self):
+        tree = RTree("t", IOStats())
+        assert tree.max_branch == 113  # RTREE_ENTRY on 4K pages
+
+    def test_size_pages_counts_nodes(self):
+        tree = make_tree(max_entries=2)
+        for i, p in enumerate(random_points(10)):
+            tree.insert(Rect.from_point(p), i)
+        assert tree.size_pages == tree.num_nodes
+        assert tree.size_bytes == tree.num_nodes * 4096
+
+
+class TestValidator:
+    def test_validator_detects_corrupt_mbr(self):
+        tree = make_tree(max_entries=2)
+        for i, p in enumerate(random_points(10)):
+            tree.insert(Rect.from_point(p), i)
+        root = tree.root
+        assert not root.is_leaf
+        root.entries[0].mbr = Rect(-999, -999, -998, -998)
+        with pytest.raises(RTreeInvariantError):
+            validate_rtree(tree)
+
+    def test_validator_detects_wrong_count(self):
+        tree = make_tree()
+        tree.insert(Rect(0, 0, 1, 1), "a")
+        tree.num_entries = 5
+        with pytest.raises(RTreeInvariantError):
+            validate_rtree(tree)

@@ -1,0 +1,233 @@
+"""Tests for R-tree persistence (binary page files)."""
+
+import random
+import struct
+
+import pytest
+
+from repro.core.types import Client, Site
+from repro.geometry.point import Point
+from repro.geometry.rect import Rect
+from repro.rtree.bulk import bulk_load
+from repro.rtree.mnd_tree import MNDTree
+from repro.rtree.nn import nearest_neighbor
+from repro.rtree.persist import DiskRTree, ReadOnlyTreeError, save_rtree
+from repro.rtree.rtree import RTree
+from repro.rtree.window import window_query
+from repro.storage.codecs import ClientCodec, PointCodec, SiteCodec
+from repro.storage.diskfile import PageFile, PageFileError
+from repro.storage.stats import IOStats
+
+
+def random_points(n, seed=0):
+    rng = random.Random(seed)
+    return [Point(rng.uniform(0, 1000), rng.uniform(0, 1000)) for __ in range(n)]
+
+
+def build_point_tree(points, max_entries=8):
+    tree = RTree(
+        "t", IOStats(), max_leaf_entries=max_entries, max_branch_entries=max_entries
+    )
+    bulk_load(tree, [(Rect.from_point(p), p) for p in points])
+    return tree
+
+
+class TestRoundTrip:
+    def test_leaf_payloads_survive(self, tmp_path):
+        pts = random_points(300)
+        tree = build_point_tree(pts)
+        path = tmp_path / "tree.pages"
+        save_rtree(tree, path, PointCodec())
+        disk = DiskRTree("d", path, PointCodec(), IOStats())
+        assert len(disk) == 300
+        assert disk.height == tree.height
+        assert sorted(e.payload for e in disk.iter_leaf_entries()) == sorted(pts)
+        disk.close()
+
+    def test_queries_match_memory_tree(self, tmp_path):
+        pts = random_points(400, seed=1)
+        tree = build_point_tree(pts)
+        path = tmp_path / "tree.pages"
+        save_rtree(tree, path, PointCodec())
+        with DiskRTree("d", path, PointCodec(), IOStats()) as disk:
+            w = Rect(100, 100, 400, 400)
+            assert sorted(window_query(disk, w)) == sorted(window_query(tree, w))
+            q = Point(777, 333)
+            assert nearest_neighbor(disk, q) == nearest_neighbor(tree, q)
+
+    def test_site_codec_round_trip(self, tmp_path):
+        sites = [Site(i, *p) for i, p in enumerate(random_points(50, seed=2))]
+        tree = RTree("t", IOStats(), max_leaf_entries=4, max_branch_entries=4)
+        bulk_load(tree, [(Rect(s.x, s.y, s.x, s.y), s) for s in sites])
+        path = tmp_path / "sites.pages"
+        save_rtree(tree, path, SiteCodec())
+        with DiskRTree("d", path, SiteCodec(), IOStats()) as disk:
+            got = sorted(e.payload for e in disk.iter_leaf_entries())
+            assert got == sorted(sites)
+
+    def test_mnd_tree_round_trip(self, tmp_path):
+        rng = random.Random(3)
+        clients = [
+            Client(i, rng.uniform(0, 1000), rng.uniform(0, 1000), rng.uniform(0, 40))
+            for i in range(200)
+        ]
+        tree = MNDTree(
+            "m",
+            IOStats(),
+            radius_of=lambda c: c.dnn,
+            max_leaf_entries=8,
+            max_branch_entries=8,
+        )
+        bulk_load(tree, [(Rect(c.x, c.y, c.x, c.y), c) for c in clients])
+        path = tmp_path / "mnd.pages"
+        save_rtree(tree, path, ClientCodec())
+        with DiskRTree(
+            "d", path, ClientCodec(), IOStats(), radius_of=lambda c: c.dnn
+        ) as disk:
+            assert disk.has_mnd
+            # Stored MND values equal the in-memory ones, node by node.
+            mem_root = tree.root
+            disk_root = disk.root
+            mem_mnds = sorted(e.mnd for e in mem_root.entries)
+            disk_mnds = sorted(e.mnd for e in disk_root.entries)
+            assert mem_mnds == pytest.approx(disk_mnds)
+            assert disk.root_mnd() == pytest.approx(tree.root_mnd())
+
+    def test_empty_tree_round_trip(self, tmp_path):
+        tree = RTree("t", IOStats(), max_leaf_entries=4, max_branch_entries=4)
+        path = tmp_path / "empty.pages"
+        save_rtree(tree, path, PointCodec())
+        with DiskRTree("d", path, PointCodec(), IOStats()) as disk:
+            assert len(disk) == 0
+            assert list(disk.iter_leaf_entries()) == []
+
+
+class TestIOAccounting:
+    def test_disk_reads_are_counted(self, tmp_path):
+        tree = build_point_tree(random_points(500, seed=4))
+        path = tmp_path / "tree.pages"
+        save_rtree(tree, path, PointCodec())
+        stats = IOStats()
+        with DiskRTree("d", path, PointCodec(), stats) as disk:
+            list(window_query(disk, Rect(0, 0, 1000, 1000)))
+            assert stats.reads["d"] == disk.num_nodes
+
+    def test_disk_io_count_matches_memory_io_count(self, tmp_path):
+        """The same query must cost the same I/Os on disk and in memory."""
+        mem_stats = IOStats()
+        tree = RTree("t", mem_stats, max_leaf_entries=8, max_branch_entries=8)
+        bulk_load(tree, [(Rect.from_point(p), p) for p in random_points(500, seed=5)])
+        path = tmp_path / "tree.pages"
+        save_rtree(tree, path, PointCodec())
+
+        w = Rect(200, 200, 380, 420)
+        mem_stats.reset()
+        list(window_query(tree, w))
+        mem_io = mem_stats.total_reads
+
+        disk_stats = IOStats()
+        with DiskRTree("d", path, PointCodec(), disk_stats) as disk:
+            list(window_query(disk, w))
+        assert disk_stats.total_reads == mem_io
+
+
+class TestReadOnly:
+    def test_mutations_rejected(self, tmp_path):
+        tree = build_point_tree(random_points(20, seed=6))
+        path = tmp_path / "tree.pages"
+        save_rtree(tree, path, PointCodec())
+        with DiskRTree("d", path, PointCodec(), IOStats()) as disk:
+            with pytest.raises(ReadOnlyTreeError):
+                disk.insert(Rect(0, 0, 1, 1), Point(0, 0))
+            with pytest.raises(ReadOnlyTreeError):
+                disk.delete(Rect(0, 0, 1, 1), Point(0, 0))
+
+    def test_mnd_on_plain_tree_rejected(self, tmp_path):
+        tree = build_point_tree(random_points(20, seed=7))
+        path = tmp_path / "tree.pages"
+        save_rtree(tree, path, PointCodec())
+        with DiskRTree("d", path, PointCodec(), IOStats()) as disk:
+            with pytest.raises(ReadOnlyTreeError):
+                disk.root_mnd()
+
+
+class TestFileFormat:
+    def test_missing_file(self, tmp_path):
+        with pytest.raises(PageFileError, match="no such"):
+            PageFile(tmp_path / "nope.pages").open()
+
+    def test_bad_magic(self, tmp_path):
+        path = tmp_path / "bad.pages"
+        path.write_bytes(b"XXXX" + b"\x00" * 100)
+        with pytest.raises(PageFileError, match="magic"):
+            PageFile(path).open()
+
+    def test_truncated_file(self, tmp_path):
+        tree = build_point_tree(random_points(100, seed=8))
+        path = tmp_path / "trunc.pages"
+        save_rtree(tree, path, PointCodec())
+        data = path.read_bytes()
+        path.write_bytes(data[: len(data) // 2])
+        with pytest.raises(PageFileError, match="promises"):
+            PageFile(path).open()
+
+    def test_unsupported_version(self, tmp_path):
+        path = tmp_path / "version.pages"
+        header = struct.pack("<4sIIII", b"MDLS", 99, 4096, 0, 0)
+        path.write_bytes(header)
+        with pytest.raises(PageFileError, match="version"):
+            PageFile(path).open()
+
+    def test_out_of_range_page(self, tmp_path):
+        tree = build_point_tree(random_points(10, seed=9))
+        path = tmp_path / "range.pages"
+        save_rtree(tree, path, PointCodec())
+        pf = PageFile(path).open()
+        with pytest.raises(PageFileError, match="out of range"):
+            pf.read_page(999)
+        pf.close()
+
+    def test_node_capacity_respects_page_size(self, tmp_path):
+        """Pages written with the layout-derived fanout always fit in
+        4 KiB: 113 branch entries x 36 B + header < 4096."""
+        tree = build_point_tree(random_points(3000, seed=10), max_entries=113)
+        path = tmp_path / "full.pages"
+        save_rtree(tree, path, PointCodec())
+        pf = PageFile(path).open()
+        assert pf.page_size == 4096
+        pf.close()
+
+
+class TestRNNTreeOnDisk:
+    def test_rnn_tree_round_trip_with_derived_square_mbrs(self, tmp_path):
+        """An RNN-tree reopens from disk with its NFC squares rebuilt
+        from the client records (centre = client, half-edge = dnn)."""
+        from repro.geometry.circle import Circle
+        from repro.rtree.rnn_tree import build_rnn_tree
+
+        rng = random.Random(11)
+        clients = [
+            Client(i, rng.uniform(0, 1000), rng.uniform(0, 1000), rng.uniform(0, 50))
+            for i in range(150)
+        ]
+        tree = build_rnn_tree(
+            "rnn",
+            IOStats(),
+            clients,
+            point_of=lambda c: Point(c.x, c.y),
+            dnn_of=lambda c: c.dnn,
+        )
+        path = tmp_path / "rnn.pages"
+        save_rtree(tree, path, ClientCodec())
+        leaf_mbr = lambda c: Circle(Point(c.x, c.y), c.dnn).mbr()
+        with DiskRTree(
+            "d", path, ClientCodec(), IOStats(), leaf_mbr=leaf_mbr
+        ) as disk:
+            mem = {(e.payload.cid, e.mbr) for e in tree.iter_leaf_entries()}
+            got = {(e.payload.cid, e.mbr) for e in disk.iter_leaf_entries()}
+            assert got == mem
+            # Point queries match too.
+            q = Rect.from_point(Point(500, 500))
+            mem_hits = sorted(c.cid for c in window_query(tree, q))
+            disk_hits = sorted(c.cid for c in window_query(disk, q))
+            assert disk_hits == mem_hits

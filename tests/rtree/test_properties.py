@@ -1,0 +1,95 @@
+"""Property-based tests: random operation sequences keep R-tree and
+MND-tree invariants, and queries stay consistent with a mirror dict."""
+
+import random
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.geometry.point import Point
+from repro.geometry.rect import Rect
+from repro.rtree.mnd_tree import MNDTree
+from repro.rtree.rtree import RTree
+from repro.rtree.validate import validate_rtree
+from repro.rtree.window import window_query
+from repro.storage.stats import IOStats
+
+# An op is (kind, x, y): kind 0 = insert, 1 = delete-some-existing.
+ops = st.lists(
+    st.tuples(
+        st.integers(min_value=0, max_value=2),
+        st.floats(min_value=0, max_value=100, allow_nan=False),
+        st.floats(min_value=0, max_value=100, allow_nan=False),
+    ),
+    min_size=1,
+    max_size=120,
+)
+
+
+@settings(max_examples=60, deadline=None)
+@given(ops, st.integers(min_value=2, max_value=8))
+def test_rtree_mirrors_reference_dict(op_list, max_entries):
+    tree = RTree(
+        "t", IOStats(), max_leaf_entries=max_entries, max_branch_entries=max_entries
+    )
+    live: dict[int, Point] = {}
+    next_id = 0
+    for kind, x, y in op_list:
+        if kind == 1 and live:
+            victim = sorted(live)[0]
+            assert tree.delete(Rect.from_point(live[victim]), victim)
+            del live[victim]
+        else:
+            p = Point(x, y)
+            tree.insert(Rect.from_point(p), next_id)
+            live[next_id] = p
+            next_id += 1
+    validate_rtree(tree)
+    assert {e.payload for e in tree.iter_leaf_entries()} == set(live)
+    # Full-domain window query returns everything alive.
+    everything = {
+        payload for payload in window_query(tree, Rect(-1, -1, 101, 101))
+    }
+    assert everything == set(live)
+
+
+@settings(max_examples=40, deadline=None)
+@given(ops, st.integers(min_value=2, max_value=6))
+def test_mnd_tree_augmentation_invariant(op_list, max_entries):
+    """MND values stay exact under arbitrary insert/delete interleavings."""
+    rng = random.Random(42)
+    radius: dict[int, float] = {}
+
+    class Payload:
+        __slots__ = ("pid",)
+
+        def __init__(self, pid):
+            self.pid = pid
+
+        def __eq__(self, other):
+            return isinstance(other, Payload) and other.pid == self.pid
+
+        def __hash__(self):
+            return hash(self.pid)
+
+    tree = MNDTree(
+        "m",
+        IOStats(),
+        radius_of=lambda payload: radius[payload.pid],
+        max_leaf_entries=max_entries,
+        max_branch_entries=max_entries,
+    )
+    live: dict[int, Point] = {}
+    next_id = 0
+    for kind, x, y in op_list:
+        if kind == 1 and live:
+            victim = sorted(live)[0]
+            assert tree.delete(Rect.from_point(live[victim]), Payload(victim))
+            del live[victim]
+        else:
+            p = Point(x, y)
+            radius[next_id] = rng.uniform(0, 20)
+            tree.insert(Rect.from_point(p), Payload(next_id))
+            live[next_id] = p
+            next_id += 1
+    validate_rtree(tree)

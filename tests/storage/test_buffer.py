@@ -1,0 +1,44 @@
+"""Tests for the LRU buffer pool."""
+
+import pytest
+
+from repro.storage.buffer import LRUBufferPool
+
+
+class TestLRU:
+    def test_miss_then_hit(self):
+        pool = LRUBufferPool(2)
+        assert pool.access("f", 1) is False
+        assert pool.access("f", 1) is True
+        assert pool.hits == 1 and pool.misses == 1
+
+    def test_lru_eviction_order(self):
+        pool = LRUBufferPool(2)
+        pool.access("f", 1)
+        pool.access("f", 2)
+        pool.access("f", 1)     # 1 becomes most recent
+        pool.access("f", 3)     # evicts 2
+        assert pool.access("f", 1) is True
+        assert pool.access("f", 2) is False
+
+    def test_distinct_files_do_not_collide(self):
+        pool = LRUBufferPool(4)
+        pool.access("a", 1)
+        assert pool.access("b", 1) is False
+
+    def test_invalidate(self):
+        pool = LRUBufferPool(2)
+        pool.access("f", 1)
+        pool.invalidate("f", 1)
+        assert pool.access("f", 1) is False
+
+    def test_clear(self):
+        pool = LRUBufferPool(2)
+        pool.access("f", 1)
+        pool.clear()
+        assert len(pool) == 0
+        assert pool.access("f", 1) is False
+
+    def test_capacity_validation(self):
+        with pytest.raises(ValueError):
+            LRUBufferPool(0)

@@ -1,0 +1,85 @@
+"""Tests for the binary record/entry codecs."""
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.core.types import Client, Site
+from repro.geometry.point import Point
+from repro.geometry.rect import Rect
+from repro.storage.codecs import (
+    BRANCH_MND_SIZE,
+    BRANCH_SIZE,
+    RECT_SIZE,
+    ClientCodec,
+    PointCodec,
+    SiteCodec,
+    decode_branch,
+    decode_rect,
+    encode_branch,
+    encode_rect,
+)
+
+finite = st.floats(allow_nan=False, allow_infinity=False, width=64)
+
+
+class TestSizes:
+    def test_declared_sizes_match_struct(self):
+        assert PointCodec.size == 16
+        assert SiteCodec.size == 20  # the paper's 20-byte point record
+        assert ClientCodec.size == 28  # the 28-byte client record
+        assert RECT_SIZE == 32
+        assert BRANCH_SIZE == 36  # RTREE_ENTRY layout
+        assert BRANCH_MND_SIZE == 44  # MND_ENTRY layout
+
+    def test_encoded_lengths(self):
+        assert len(PointCodec().encode(Point(1, 2))) == 16
+        assert len(SiteCodec().encode(Site(1, 2.0, 3.0))) == 20
+        assert len(ClientCodec().encode(Client(1, 2.0, 3.0, 4.0))) == 28
+
+
+class TestRoundTrips:
+    @given(finite, finite)
+    def test_point_roundtrip(self, x, y):
+        codec = PointCodec()
+        assert codec.decode(codec.encode(Point(x, y))) == Point(x, y)
+
+    @given(st.integers(min_value=0, max_value=2**32 - 1), finite, finite)
+    def test_site_roundtrip(self, sid, x, y):
+        codec = SiteCodec()
+        site = codec.decode(codec.encode(Site(sid, x, y)))
+        assert site == Site(sid, x, y)
+
+    @given(
+        st.integers(min_value=0, max_value=2**32 - 1), finite, finite, finite
+    )
+    def test_client_roundtrip(self, cid, x, y, dnn):
+        codec = ClientCodec()
+        client = codec.decode(codec.encode(Client(cid, x, y, dnn)))
+        assert (client.cid, client.x, client.y, client.dnn) == (cid, x, y, dnn)
+
+    @given(finite, finite, finite, finite)
+    def test_rect_roundtrip(self, a, b, c, d):
+        rect = Rect(a, b, c, d)
+        assert decode_rect(encode_rect(rect)) == rect
+
+    @given(
+        st.integers(min_value=0, max_value=2**32 - 1),
+        st.floats(min_value=0, max_value=1e9, allow_nan=False),
+    )
+    def test_branch_roundtrip_with_and_without_mnd(self, child, mnd):
+        rect = Rect(1.5, 2.5, 3.5, 4.5)
+        plain = decode_branch(encode_branch(rect, child, None), with_mnd=False)
+        assert plain == (rect, child, None)
+        augmented = decode_branch(
+            encode_branch(rect, child, mnd), with_mnd=True
+        )
+        assert augmented[0] == rect
+        assert augmented[1] == child
+        assert augmented[2] == mnd
+
+    def test_nan_free_exact_floats(self):
+        """Binary codecs must be bit-exact (no text round-off)."""
+        codec = PointCodec()
+        p = Point(0.1 + 0.2, 1 / 3)
+        assert codec.decode(codec.encode(p)) == p

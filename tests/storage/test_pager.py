@@ -1,0 +1,64 @@
+"""Tests for the paged disk simulation."""
+
+from repro.storage.buffer import LRUBufferPool
+from repro.storage.pager import Pager
+from repro.storage.records import POINT_RECORD, RTREE_ENTRY
+from repro.storage.stats import IOStats
+
+
+class TestPagerBasics:
+    def test_allocate_and_read(self):
+        stats = IOStats()
+        pager = Pager("f", POINT_RECORD, stats)
+        pid = pager.allocate("payload")
+        assert pager.read(pid) == "payload"
+        assert stats.reads["f"] == 1
+
+    def test_peek_is_not_counted(self):
+        stats = IOStats()
+        pager = Pager("f", POINT_RECORD, stats)
+        pid = pager.allocate(42)
+        assert pager.peek(pid) == 42
+        assert stats.total_reads == 0
+
+    def test_write_counts_as_write(self):
+        stats = IOStats()
+        pager = Pager("f", POINT_RECORD, stats)
+        pid = pager.allocate(None)
+        pager.write(pid, "new")
+        assert stats.writes["f"] == 1
+        assert pager.peek(pid) == "new"
+
+    def test_capacity_follows_layout(self):
+        pager = Pager("f", RTREE_ENTRY, IOStats())
+        assert pager.capacity == 113
+
+    def test_size_accounting(self):
+        pager = Pager("f", POINT_RECORD, IOStats(), page_size=4096)
+        for i in range(3):
+            pager.allocate(i)
+        assert pager.num_pages == 3
+        assert pager.size_bytes == 3 * 4096
+
+
+class TestPagerWithBuffer:
+    def test_repeated_read_hits_buffer(self):
+        stats = IOStats()
+        pool = LRUBufferPool(4)
+        pager = Pager("f", POINT_RECORD, stats, buffer_pool=pool)
+        pid = pager.allocate("x")
+        pager.read(pid)
+        pager.read(pid)
+        pager.read(pid)
+        assert stats.reads["f"] == 1  # only the cold miss
+        assert pool.hits == 2
+
+    def test_eviction_causes_reread(self):
+        stats = IOStats()
+        pool = LRUBufferPool(2)
+        pager = Pager("f", POINT_RECORD, stats, buffer_pool=pool)
+        ids = [pager.allocate(i) for i in range(3)]
+        for pid in ids:       # fills and overflows the pool
+            pager.read(pid)
+        pager.read(ids[0])    # evicted by now -> one more miss
+        assert stats.reads["f"] == 4

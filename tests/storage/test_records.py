@@ -1,0 +1,53 @@
+"""Tests for record layouts and page capacities."""
+
+import pytest
+
+from repro.storage.records import (
+    CLIENT_RECORD,
+    MND_ENTRY,
+    PAGE_SIZE,
+    POINT_RECORD,
+    RNN_ENTRY,
+    RTREE_ENTRY,
+    RecordLayout,
+)
+
+
+class TestSizes:
+    def test_point_record_is_20_bytes(self):
+        assert POINT_RECORD.record_size == 20
+
+    def test_client_record_adds_dnn(self):
+        assert CLIENT_RECORD.record_size == POINT_RECORD.record_size + 8
+
+    def test_mnd_entry_is_8_bytes_wider_than_rtree_entry(self):
+        """The whole storage overhead of the MND method (Section VI)."""
+        assert MND_ENTRY.record_size == RTREE_ENTRY.record_size + 8
+
+    def test_rnn_entry_matches_rtree_entry(self):
+        assert RNN_ENTRY.record_size == RTREE_ENTRY.record_size
+
+
+class TestCapacities:
+    def test_paper_quoted_cm(self):
+        """Section VII-B quotes C_m = 204 for 4K pages and point records."""
+        assert POINT_RECORD.capacity(PAGE_SIZE) == 204
+
+    def test_rtree_fanouts(self):
+        assert RTREE_ENTRY.capacity(PAGE_SIZE) == 113
+        assert MND_ENTRY.capacity(PAGE_SIZE) == 93
+
+    def test_effective_capacity_is_70_percent(self):
+        assert RTREE_ENTRY.effective_capacity(PAGE_SIZE) == int(113 * 0.7)
+
+    def test_effective_capacity_floor(self):
+        tiny = RecordLayout("huge", {"blob": 2000})
+        assert tiny.effective_capacity(PAGE_SIZE) == 2  # floor of 2
+
+    def test_oversized_record_raises(self):
+        huge = RecordLayout("huge", {"blob": 5000})
+        with pytest.raises(ValueError):
+            huge.capacity(PAGE_SIZE)
+
+    def test_custom_page_size(self):
+        assert POINT_RECORD.capacity(1024) == 51

@@ -1,0 +1,35 @@
+"""Tests for I/O accounting."""
+
+from repro.storage.stats import IOStats
+
+
+class TestIOStats:
+    def test_counts_by_source(self):
+        s = IOStats()
+        s.record_read("R_C", 3)
+        s.record_read("R_P")
+        s.record_write("R_C")
+        assert s.reads["R_C"] == 3
+        assert s.reads["R_P"] == 1
+        assert s.total_reads == 4
+        assert s.total_writes == 1
+        assert s.total == 5
+
+    def test_reset(self):
+        s = IOStats()
+        s.record_read("x")
+        s.reset()
+        assert s.total == 0
+        assert s.snapshot() == {}
+
+    def test_snapshot_is_a_copy(self):
+        s = IOStats()
+        s.record_read("x")
+        snap = s.snapshot()
+        snap["x"] = 999
+        assert s.reads["x"] == 1
+
+    def test_repr_mentions_sources(self):
+        s = IOStats()
+        s.record_read("file.C", 2)
+        assert "file.C=2" in repr(s)
