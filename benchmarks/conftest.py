@@ -32,8 +32,15 @@ def default_workspace() -> Workspace:
     """The Table IV default configuration at bench scale, with every
     index pre-built so benchmarks time only query processing."""
     ws = Workspace(bench_default().instance())
-    for attr in ("client_file", "potential_file", "r_c", "r_f", "r_p",
-                 "rnn_tree", "mnd_tree"):
+    for attr in (
+        "client_file",
+        "potential_file",
+        "r_c",
+        "r_f",
+        "r_p",
+        "rnn_tree",
+        "mnd_tree",
+    ):
         getattr(ws, attr)
     return ws
 

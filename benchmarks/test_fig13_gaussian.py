@@ -18,9 +18,7 @@ from benchmarks.conftest import record_sweep
 
 @pytest.mark.parametrize("sigma_sq", [0.125, 2.0])
 def test_fig13_mnd_extreme_sigmas(benchmark, sigma_sq):
-    config = ExperimentConfig(
-        distribution="gaussian", sigma_sq=sigma_sq
-    ).scaled(0.1)
+    config = ExperimentConfig(distribution="gaussian", sigma_sq=sigma_sq).scaled(0.1)
     ws = Workspace(config.instance())
     selector = make_selector(ws, "MND")
     selector.prepare()

@@ -20,7 +20,6 @@ from pathlib import Path
 
 from repro.core import Workspace, select_closure, select_sequence
 from repro.core.greedy import coverage_curve
-from repro.core.mnd import MaximumNFCDistance
 from repro.core.naive import objective_sum
 from repro.datasets import make_instance
 from repro.rtree.persist import DiskRTree, save_rtree
@@ -33,39 +32,46 @@ def main() -> None:
     instance = make_instance(n_c=8_000, n_f=60, n_p=120, rng=404)
     ws = Workspace(instance)
     print(f"{ws.n_c} customers, {ws.n_f} stores, {ws.n_p} candidate sites")
-    print(f"average distance to nearest store: "
-          f"{objective_sum(ws) / ws.n_c:.2f}\n")
+    print(f"average distance to nearest store: {objective_sum(ws) / ws.n_c:.2f}\n")
 
     # --- 1. greedy expansion ------------------------------------------------
     print("expansion: five new stores, greedy min-dist selection")
     steps = select_sequence(instance, k=5, method="MND")
     for rank, step in enumerate(steps, start=1):
-        print(f"  #{rank}: site p{step.location.sid} at "
-              f"({step.location.x:7.2f}, {step.location.y:7.2f})  "
-              f"dr={step.dr:9.2f}  ({step.io_total} I/Os)")
+        print(
+            f"  #{rank}: site p{step.location.sid} at "
+            f"({step.location.x:7.2f}, {step.location.y:7.2f})  "
+            f"dr={step.dr:9.2f}  ({step.io_total} I/Os)"
+        )
     curve = coverage_curve(steps)
-    print(f"  cumulative distance saved: "
-          + " -> ".join(f"{v:.0f}" for v in curve))
+    print("  cumulative distance saved: " + " -> ".join(f"{v:.0f}" for v in curve))
 
     # --- 2. consolidation ---------------------------------------------------
     facilities = list(instance.facilities) + [
         (s.location.x, s.location.y) for s in steps
     ]
     victim, damage = select_closure(instance.clients, facilities)
-    print(f"\nconsolidation: closing store f{victim.sid} at "
-          f"({victim.x:.2f}, {victim.y:.2f}) costs only {damage:.2f} "
-          f"total distance")
+    print(
+        f"\nconsolidation: closing store f{victim.sid} at "
+        f"({victim.x:.2f}, {victim.y:.2f}) costs only {damage:.2f} "
+        "total distance"
+    )
 
     # --- 3. cold on-disk index ----------------------------------------------
     with tempfile.TemporaryDirectory() as tmp:
         path = Path(tmp) / "clients.mnd.pages"
         pages = save_rtree(ws.mnd_tree, path, ClientCodec())
-        print(f"\nserialised R_C^m: {pages} pages "
-              f"({path.stat().st_size / 1024:.0f} KiB on disk)")
+        print(
+            f"\nserialised R_C^m: {pages} pages "
+            f"({path.stat().st_size / 1024:.0f} KiB on disk)"
+        )
 
         disk_stats = IOStats()
         disk_tree = DiskRTree(
-            "R_C^m(disk)", path, ClientCodec(), disk_stats,
+            "R_C^m(disk)",
+            path,
+            ClientCodec(),
+            disk_stats,
             radius_of=lambda c: c.dnn,
         )
         # Run a point query on both copies and compare I/O costs.
@@ -75,8 +81,10 @@ def main() -> None:
         mem_hits = sorted(c.cid for c in window_query(ws.mnd_tree, window))
         disk_hits = sorted(c.cid for c in window_query(disk_tree, window))
         assert mem_hits == disk_hits
-        print(f"window query over the disk index: {len(disk_hits)} clients, "
-              f"{disk_stats.total_reads} page reads — identical to memory")
+        print(
+            f"window query over the disk index: {len(disk_hits)} clients, "
+            f"{disk_stats.total_reads} page reads — identical to memory"
+        )
         disk_tree.close()
 
 

@@ -31,17 +31,13 @@ def main() -> None:
     for event in range(1, EVENTS + 1):
         roll = rng.random()
         if roll < 0.5:
-            monitor.add_client(
-                Point(rng.uniform(0, 1000), rng.uniform(0, 1000))
-            )
+            monitor.add_client(Point(rng.uniform(0, 1000), rng.uniform(0, 1000)))
             kind = "customer signup   "
         elif roll < 0.75:
             monitor.remove_client(rng.choice(ws.clients))
             kind = "customer churn    "
         elif roll < 0.9 or len(ws.facilities) <= 3:
-            monitor.add_facility(
-                Point(rng.uniform(0, 1000), rng.uniform(0, 1000))
-            )
+            monitor.add_facility(Point(rng.uniform(0, 1000), rng.uniform(0, 1000)))
             kind = "depot opened      "
         else:
             monitor.remove_facility(rng.choice(ws.facilities))
@@ -56,8 +52,10 @@ def main() -> None:
         print(f"event {event:2d}: {kind} best=p{site.sid} dr={dr:9.1f}{marker}")
 
     assert monitor.verify(), "incremental dr maintenance drifted"
-    print(f"\n{EVENTS} updates, best site changed {changes} times; "
-          f"maintained vector verified against a fresh evaluation")
+    print(
+        f"\n{EVENTS} updates, best site changed {changes} times; "
+        "maintained vector verified against a fresh evaluation"
+    )
 
 
 if __name__ == "__main__":

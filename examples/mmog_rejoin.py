@@ -78,8 +78,10 @@ def main() -> None:
         best = min(rejoin_points, key=lambda p: objective_sum(ws, p))
         assert objective_sum(ws, best) >= avg_after * len(mobs) - 1e-6
 
-    print("\nall waves answered; the chosen spawn always minimised the "
-          "average mob-to-player distance")
+    print(
+        "\nall waves answered; the chosen spawn always minimised the "
+        "average mob-to-player distance"
+    )
 
 
 if __name__ == "__main__":

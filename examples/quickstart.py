@@ -20,8 +20,10 @@ def main() -> None:
     potentials = [(11, 10), (90, 93), (50, 55)]
     result = select_location(clients, facilities, potentials)
     print("tiny example:")
-    print(f"  establish the new facility at potential location "
-          f"p{result.location.sid} = ({result.location.x}, {result.location.y})")
+    print(
+        "  establish the new facility at potential location "
+        f"p{result.location.sid} = ({result.location.x}, {result.location.y})"
+    )
     print(f"  total client travel distance drops by {result.dr:.2f}\n")
 
     # --- full workspace API ----------------------------------------------
@@ -29,23 +31,31 @@ def main() -> None:
     ws = Workspace(instance)
 
     before = naive.objective_sum(ws) / ws.n_c
-    print(f"synthetic city: {ws.n_c} clients, {ws.n_f} facilities, "
-          f"{ws.n_p} candidate sites")
+    print(
+        f"synthetic city: {ws.n_c} clients, {ws.n_f} facilities, "
+        f"{ws.n_p} candidate sites"
+    )
     print(f"average distance to nearest facility before: {before:.3f}\n")
 
-    print(f"{'method':>6} {'answer':>8} {'dr':>12} {'I/Os':>7} "
-          f"{'time(s)':>8} {'index pages':>12}")
+    print(
+        f"{'method':>6} {'answer':>8} {'dr':>12} {'I/Os':>7} "
+        f"{'time(s)':>8} {'index pages':>12}"
+    )
     best = None
     for name in METHODS:
         r = make_selector(ws, name).select()
-        print(f"{name:>6} {'p%d' % r.location.sid:>8} {r.dr:>12.2f} "
-              f"{r.io_total:>7} {r.elapsed_s:>8.3f} {r.index_pages:>12}")
+        print(
+            f"{name:>6} {'p%d' % r.location.sid:>8} {r.dr:>12.2f} "
+            f"{r.io_total:>7} {r.elapsed_s:>8.3f} {r.index_pages:>12}"
+        )
         best = r
 
     assert best is not None
     after = naive.objective_sum(ws, best.location) / ws.n_c
-    print(f"\naverage distance after establishing p{best.location.sid}: "
-          f"{after:.3f}  ({before - after:.3f} saved per client)")
+    print(
+        f"\naverage distance after establishing p{best.location.sid}: "
+        f"{after:.3f}  ({before - after:.3f} saved per client)"
+    )
 
 
 if __name__ == "__main__":

@@ -23,7 +23,10 @@ from repro.experiments.sweeps import (
 FIGURES = {
     "fig10": ("Fig. 10 — effect of client set size", client_size_sweep),
     "fig11": ("Fig. 11 — effect of existing facility set size", facility_size_sweep),
-    "fig12": ("Fig. 12 — effect of potential location set size", potential_size_sweep),
+    "fig12": (
+        "Fig. 12 — effect of potential location set size",
+        potential_size_sweep,
+    ),
     "fig13": ("Fig. 13 — effect of sigma^2 (Gaussian)", gaussian_sweep),
     "fig13b": ("Sec. VIII-C — effect of alpha (Zipfian)", zipfian_sweep),
     "fig14": ("Fig. 14 — real datasets (US / NA substitutes)", real_dataset_runs),

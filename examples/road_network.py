@@ -33,15 +33,19 @@ def main() -> None:
         [n for n in nodes if n not in facility_nodes], N_CANDIDATES
     )
     print(f"road network: {net.num_nodes} intersections, {net.num_edges} roads")
-    print(f"{N_CLIENTS} households, {N_FACILITIES} stations, "
-          f"{N_CANDIDATES} candidate sites\n")
+    print(
+        f"{N_CLIENTS} households, {N_FACILITIES} stations, "
+        f"{N_CANDIDATES} candidate sites\n"
+    )
 
     # --- network-aware selection -----------------------------------------
     query = NetworkMindistQuery(net, client_nodes, facility_nodes, candidate_nodes)
     network_result = query.select(pruned=True)
-    print(f"network query: build at intersection {network_result.candidate_node} "
-          f"(network dr = {network_result.dr:.1f}, "
-          f"{network_result.settled_nodes} nodes settled)")
+    print(
+        f"network query: build at intersection {network_result.candidate_node} "
+        f"(network dr = {network_result.dr:.1f}, "
+        f"{network_result.settled_nodes} nodes settled)"
+    )
 
     # --- Euclidean selection over the same objects ------------------------
     instance = SpatialInstance(
@@ -52,8 +56,10 @@ def main() -> None:
     )
     euclid_result = MaximumNFCDistance(Workspace(instance)).select()
     euclid_node = candidate_nodes[euclid_result.location.sid]
-    print(f"euclidean query: build at intersection {euclid_node} "
-          f"(euclidean dr = {euclid_result.dr:.1f})")
+    print(
+        f"euclidean query: build at intersection {euclid_node} "
+        f"(euclidean dr = {euclid_result.dr:.1f})"
+    )
 
     # --- judge both answers by actual road distances -----------------------
     dnn = network_dnn(net, facility_nodes)
@@ -61,7 +67,8 @@ def main() -> None:
     by_candidate = network_result.dr_by_candidate
     print("\nevaluated on the road network (total household->station metres):")
     print(f"  today                : {base:12.1f}")
-    print(f"  network choice       : {base - by_candidate[network_result.candidate_node]:12.1f}")
+    network_gain = base - by_candidate[network_result.candidate_node]
+    print(f"  network choice       : {network_gain:12.1f}")
     print(f"  euclidean choice     : {base - by_candidate[euclid_node]:12.1f}")
     loss = by_candidate[network_result.candidate_node] - by_candidate[euclid_node]
     if loss > 1e-9:

@@ -5,6 +5,7 @@ Subcommands::
     mindist query    --clients c.csv --facilities f.csv --potentials p.csv
     mindist query    --random 10000 500 500 --method MND
     mindist compare  --random 5000 250 250
+    mindist profile  --random 5000 250 250 --method MND
     mindist sweep    fig10 --scale 0.2 --csv out.csv --svg-dir figs/
     mindist plan     --random 5000 100 200 -k 5
     mindist close    --random 5000 100 1
@@ -14,7 +15,9 @@ Subcommands::
     mindist reproduce --out results/ --scale 0.2
 
 ``query`` answers one min-dist location selection query; ``compare``
-runs all four methods side by side; ``sweep`` reruns one of the paper's
+runs all four methods side by side; ``profile`` runs a query under the
+observability tracer and prints the per-phase span tree (wall time,
+page reads, counters); ``sweep`` reruns one of the paper's
 figure experiments; ``plan`` selects k locations greedily; ``close``
 finds the cheapest facility to shut down; ``evaluate`` reports what
 specific candidates would achieve; ``simulate`` drives the motivating
@@ -105,9 +108,71 @@ def _cmd_query(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_profile(args: argparse.Namespace) -> int:
+    from repro.obs import (
+        InMemorySink,
+        JsonLinesSink,
+        Tracer,
+        format_span_tree,
+        phase_breakdown,
+    )
+
+    jsonl_sink = jsonl_stream = None
+    if args.jsonl:
+        try:
+            jsonl_stream = open(args.jsonl, "a", encoding="utf-8")
+        except OSError as exc:
+            print(f"error: cannot open {args.jsonl}: {exc}", file=sys.stderr)
+            return 2
+        jsonl_sink = JsonLinesSink(jsonl_stream)
+    ws = Workspace(_instance_from_args(args))
+    methods = list(METHODS) if args.method == "all" else [args.method]
+    status = 0
+    try:
+        for index, name in enumerate(methods):
+            selector = make_selector(ws, name)
+            selector.prepare()  # keep index construction out of the profile
+            sink = InMemorySink()
+            tracer = Tracer([sink])
+            if jsonl_sink is not None:
+                tracer.add_sink(jsonl_sink)
+            ws.attach_tracer(tracer)
+            try:
+                result = selector.select()
+            finally:
+                ws.detach_tracer()
+            root = sink.last
+            if index:
+                print()
+            print(format_span_tree(root, show_counters=not args.no_counters))
+            phase_reads = sum(
+                row["page_reads"] for row in phase_breakdown(root).values()
+            )
+            print(
+                f"{name}: best p{result.location.sid}  dr={result.dr:.4f}  "
+                f"time={result.elapsed_s:.4f}s (cpu {result.cpu_s:.4f}s)"
+            )
+            print(
+                f"{name}: {result.io_total} I/Os total; "
+                f"{int(phase_reads)} attributed across phases"
+            )
+            if int(phase_reads) != result.io_total:
+                print(f"{name}: WARNING: phase reads do not sum to the I/O total")
+                status = 1
+    finally:
+        if jsonl_stream is not None:
+            jsonl_stream.close()
+    if args.jsonl:
+        print(f"\nwrote span trees to {args.jsonl}")
+    return status
+
+
 def _cmd_compare(args: argparse.Namespace) -> int:
     ws = Workspace(_instance_from_args(args))
-    header = f"{'method':>6}  {'location':>9}  {'dr':>12}  {'I/Os':>8}  {'time(s)':>9}  {'cpu(s)':>8}  {'index(p)':>8}"
+    header = (
+        f"{'method':>6}  {'location':>9}  {'dr':>12}  {'I/Os':>8}  "
+        f"{'time(s)':>9}  {'cpu(s)':>8}  {'index(p)':>8}"
+    )
     print(header)
     print("-" * len(header))
     for name in METHODS:
@@ -230,17 +295,23 @@ def _cmd_stats(args: argparse.Namespace) -> int:
     model = CostModel()
     print(f"instance: n_c={ws.n_c}  n_f={ws.n_f}  n_p={ws.n_p}")
     print("\nnearest-facility distances (dnn):")
-    print(f"  mean={dnn.mean():.3f}  median={np.median(dnn):.3f}  "
-          f"p95={np.percentile(dnn, 95):.3f}  max={dnn.max():.3f}")
+    print(
+        f"  mean={dnn.mean():.3f}  median={np.median(dnn):.3f}  "
+        f"p95={np.percentile(dnn, 95):.3f}  max={dnn.max():.3f}"
+    )
     print(f"  Poisson-model prediction E[dnn] = {expected_dnn(ws.n_f):.3f}")
     print("\nselectivity:")
-    print(f"  predicted E[|IS(p)|] = n_c/n_f = "
-          f"{expected_influence_size(ws.n_c, ws.n_f):.2f}")
+    print(
+        f"  predicted E[|IS(p)|] = n_c/n_f = "
+        f"{expected_influence_size(ws.n_c, ws.n_f):.2f}"
+    )
     print(f"  predicted E[dr(p)]   = {expected_dr(ws.n_c, ws.n_f):.2f}")
-    print("\nindex sizes (pages): "
-          f"R_C={ws.r_c.size_pages}  R_F={ws.r_f.size_pages}  "
-          f"R_P={ws.r_p.size_pages}  R_C^n={ws.rnn_tree.size_pages}  "
-          f"R_C^m={ws.mnd_tree.size_pages}")
+    print(
+        "\nindex sizes (pages): "
+        f"R_C={ws.r_c.size_pages}  R_F={ws.r_f.size_pages}  "
+        f"R_P={ws.r_p.size_pages}  R_C^n={ws.rnn_tree.size_pages}  "
+        f"R_C^m={ws.mnd_tree.size_pages}"
+    )
     print("\njoin pruning profiles:")
     for profile in (profile_nfc_join(ws), profile_mnd_join(ws)):
         print("  " + profile.format().replace("\n", "\n  "))
@@ -275,6 +346,26 @@ def build_parser() -> argparse.ArgumentParser:
     p_compare = sub.add_parser("compare", help="run all methods side by side")
     _add_instance_args(p_compare)
     p_compare.set_defaults(func=_cmd_compare)
+
+    p_profile = sub.add_parser(
+        "profile", help="run a query under the tracer and print the span tree"
+    )
+    _add_instance_args(p_profile)
+    p_profile.add_argument(
+        "--method",
+        default="MND",
+        choices=sorted(METHODS) + ["all"],
+        help="query method to profile ('all' profiles every method)",
+    )
+    p_profile.add_argument(
+        "--jsonl", help="also append each span tree to this JSON-lines file"
+    )
+    p_profile.add_argument(
+        "--no-counters",
+        action="store_true",
+        help="hide custom counters in the span tree",
+    )
+    p_profile.set_defaults(func=_cmd_profile)
 
     p_sweep = sub.add_parser("sweep", help="rerun one of the paper's experiments")
     p_sweep.add_argument("figure", choices=sorted(_SWEEPS))

@@ -63,7 +63,8 @@ class LocationSelector(ABC):
         self.prepare()
         self.ws.reset_stats()
         started = time.perf_counter()
-        dr = self._compute_distance_reductions()
+        with self.ws.tracer.span(f"query.{self.name}"):
+            dr = self._compute_distance_reductions()
         cpu = time.perf_counter() - started
         self._dr = dr
         best = int(np.argmax(dr))  # ties resolve to the smallest id

@@ -57,17 +57,13 @@ class ContinuousSelection:
         self, point: Point | tuple[float, float], weight: float = 1.0
     ) -> Client:
         client = self.ws.add_client(point, weight)
-        self._dr += self._contribution(
-            client.x, client.y, client.dnn, client.weight
-        )
+        self._dr += self._contribution(client.x, client.y, client.dnn, client.weight)
         self.updates_applied += 1
         return client
 
     def remove_client(self, client: Client) -> None:
         self.ws.remove_client(client)
-        self._dr -= self._contribution(
-            client.x, client.y, client.dnn, client.weight
-        )
+        self._dr -= self._contribution(client.x, client.y, client.dnn, client.weight)
         self.updates_applied += 1
 
     def add_facility(self, point: Point | tuple[float, float]) -> Site:
@@ -106,9 +102,7 @@ class ContinuousSelection:
             raise ValueError("k must be >= 1")
         k = min(k, len(self._dr))
         order = np.lexsort((np.arange(len(self._dr)), -self._dr))[:k]
-        return [
-            (self.ws.potentials[int(i)], float(self._dr[int(i)])) for i in order
-        ]
+        return [(self.ws.potentials[int(i)], float(self._dr[int(i)])) for i in order]
 
     def verify(self, atol: float = 1e-6) -> bool:
         """Compare the maintained vector against a fresh evaluation."""

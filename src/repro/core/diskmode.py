@@ -23,6 +23,7 @@ from typing import Optional
 
 from repro.core.types import Site
 from repro.core.workspace import Workspace
+from repro.obs.trace import NOOP_TRACER, Tracer
 from repro.rtree.persist import DiskRTree, save_rtree
 from repro.storage.buffer import LRUBufferPool
 from repro.storage.codecs import ClientCodec, SiteCodec
@@ -73,6 +74,7 @@ class DiskWorkspace:
         io_latency_s: float = Workspace.DEFAULT_IO_LATENCY_S,
     ):
         self.stats = stats or IOStats()
+        self.tracer = NOOP_TRACER
         self.buffer_pool = buffer_pool
         self.io_latency_s = io_latency_s
         self.mnd_tree = DiskRTree(
@@ -105,6 +107,14 @@ class DiskWorkspace:
         self.stats.reset()
         if self.buffer_pool is not None:
             self.buffer_pool.clear()
+
+    def attach_tracer(self, tracer: Tracer) -> None:
+        self.tracer = tracer
+        self.stats.bind_tracer(tracer)
+
+    def detach_tracer(self) -> None:
+        self.tracer = NOOP_TRACER
+        self.stats.bind_tracer(None)
 
     def close(self) -> None:
         self.mnd_tree.close()

@@ -50,9 +50,7 @@ class DynamicWorkspace(Workspace):
         self.client_xyd = np.array(
             [(c.x, c.y, c.dnn) for c in self.clients], dtype=np.float64
         ).reshape(len(self.clients), 3)
-        self.client_w = np.array(
-            [c.weight for c in self.clients], dtype=np.float64
-        )
+        self.client_w = np.array([c.weight for c in self.clients], dtype=np.float64)
         self._invalidate("client_file", "data_bounds")
 
     # ------------------------------------------------------------------
@@ -73,9 +71,7 @@ class DynamicWorkspace(Workspace):
         if weight < 0:
             raise ValueError("client weights must be non-negative")
         p = Point(*point)
-        dnn = min(
-            p.distance_to(Point(f.x, f.y)) for f in self.facilities
-        )
+        dnn = min(p.distance_to(Point(f.x, f.y)) for f in self.facilities)
         client = Client(self._take_client_id(), p[0], p[1], dnn, weight)
         self.clients.append(client)
         self.instance.clients.append(p)
@@ -122,11 +118,7 @@ class DynamicWorkspace(Workspace):
         if "r_f" in self.__dict__:
             self.r_f.insert(Rect(p[0], p[1], p[0], p[1]), site)
 
-        affected = [
-            c
-            for c in self.clients
-            if Point(c.x, c.y).distance_to(p) < c.dnn
-        ]
+        affected = [c for c in self.clients if Point(c.x, c.y).distance_to(p) < c.dnn]
         self._update_client_radii(
             affected, [Point(c.x, c.y).distance_to(p) for c in affected]
         )
@@ -143,9 +135,7 @@ class DynamicWorkspace(Workspace):
         del self.facilities[index]
         del self.instance.facilities[index]
         # Re-number to keep Site ids == list positions.
-        self.facilities = [
-            Site(i, s.x, s.y) for i, s in enumerate(self.facilities)
-        ]
+        self.facilities = [Site(i, s.x, s.y) for i, s in enumerate(self.facilities)]
         self._invalidate("r_f", "data_bounds")
 
         closed = Point(site.x, site.y)

@@ -43,43 +43,45 @@ class MaximumNFCDistance(LocationSelector):
         ] = {}
         if ws.mnd_tree.num_entries == 0:
             return dr
-        node_p = ws.r_p.read_node(ws.r_p.root_id)
-        node_c = ws.mnd_tree.read_node(ws.mnd_tree.root_id)
-        self._join(node_p, node_c, ws.mnd_tree.compute_mnd(node_c), dr)
+        with ws.tracer.span("mnd.join"):
+            node_p = ws.r_p.read_node(ws.r_p.root_id)
+            node_c = ws.mnd_tree.read_node(ws.mnd_tree.root_id)
+            self._join(node_p, node_c, ws.mnd_tree.compute_mnd(node_c), dr)
         return dr
 
-    def _join(
-        self, node_p: Node, node_c: Node, mnd_c: float, dr: np.ndarray
-    ) -> None:
+    def _join(self, node_p: Node, node_c: Node, mnd_c: float, dr: np.ndarray) -> None:
         """Algorithm 5: descend where ``minDist < MND`` (Theorem 1)."""
         ws = self.ws
+        trace = ws.tracer
+        trace.count("join.node_pairs")
         if node_p.is_leaf and node_c.is_leaf:
-            cx, cy, dnn, w = self._leaf_arrays(node_c)
-            for e_p in node_p.entries:
-                site = e_p.payload
-                # For point entries minDist(e_c, e_p) is the exact
-                # distance, and the leaf-level MND of a client is its
-                # dnn — so the paper's line-11 test collapses to the
-                # exact influence test dist < dnn.
-                reduction = dnn - np.hypot(cx - site.x, cy - site.y)
-                positive = reduction > 0.0
-                if positive.any():
-                    dr[site.sid] += float(
-                        (reduction[positive] * w[positive]).sum()
-                    )
+            # Pure-CPU candidate evaluation; the leaf page reads remain
+            # attributed to the enclosing descent span.
+            with trace.span("mnd.leaf_eval") as sp:
+                sp.count("candidates", len(node_p.entries))
+                cx, cy, dnn, w = self._leaf_arrays(node_c)
+                for e_p in node_p.entries:
+                    site = e_p.payload
+                    # For point entries minDist(e_c, e_p) is the exact
+                    # distance, and the leaf-level MND of a client is its
+                    # dnn — so the paper's line-11 test collapses to the
+                    # exact influence test dist < dnn.
+                    reduction = dnn - np.hypot(cx - site.x, cy - site.y)
+                    positive = reduction > 0.0
+                    if positive.any():
+                        dr[site.sid] += float((reduction[positive] * w[positive]).sum())
         elif node_p.is_leaf:
             mbr_p = node_p.mbr()
             for e_c in node_c.entries:
                 if e_c.mbr.min_dist_rect(mbr_p) < e_c.mnd:
-                    self._join(
-                        node_p, ws.mnd_tree.read_node(e_c.child_id), e_c.mnd, dr
-                    )
+                    self._join(node_p, ws.mnd_tree.read_node(e_c.child_id), e_c.mnd, dr)
         elif node_c.is_leaf:
             mbr_c = node_c.mbr()
             for e_p in node_p.entries:
                 if mbr_c.min_dist_rect(e_p.mbr) < mnd_c:
                     self._join(ws.r_p.read_node(e_p.child_id), node_c, mnd_c, dr)
         else:
+            pruned = 0
             for e_p in node_p.entries:
                 for e_c in node_c.entries:
                     if e_c.mbr.min_dist_rect(e_p.mbr) < e_c.mnd:
@@ -89,6 +91,10 @@ class MaximumNFCDistance(LocationSelector):
                             e_c.mnd,
                             dr,
                         )
+                    else:
+                        pruned += 1
+            if pruned:
+                trace.count("join.pruned_pairs", pruned)
 
     def _leaf_arrays(
         self, node: Node
@@ -143,9 +149,7 @@ class MaximumNFCDistance(LocationSelector):
             ids = [e.payload.cid for e in node_c.entries]
             for e_p in node_p.entries:
                 site = e_p.payload
-                influenced = np.nonzero(
-                    np.hypot(cx - site.x, cy - site.y) < dnn
-                )[0]
+                influenced = np.nonzero(np.hypot(cx - site.x, cy - site.y) < dnn)[0]
                 if len(influenced):
                     out[site.sid].extend(ids[i] for i in influenced)
         elif node_p.is_leaf:

@@ -47,24 +47,30 @@ class NearestFacilityCircle(LocationSelector):
         ] = {}
         if ws.rnn_tree.num_entries == 0:
             return dr
-        node_p = ws.r_p.read_node(ws.r_p.root_id)
-        node_c = ws.rnn_tree.read_node(ws.rnn_tree.root_id)
-        self._join(node_p, node_c, dr)
+        with ws.tracer.span("nfc.join"):
+            node_p = ws.r_p.read_node(ws.r_p.root_id)
+            node_c = ws.rnn_tree.read_node(ws.rnn_tree.root_id)
+            self._join(node_p, node_c, dr)
         return dr
 
     def _join(self, node_p: Node, node_c: Node, dr: np.ndarray) -> None:
         """Algorithm 4: descend into intersecting node pairs."""
         ws = self.ws
+        trace = ws.tracer
+        trace.count("join.node_pairs")
         if node_p.is_leaf and node_c.is_leaf:
-            cx, cy, radius, w = self._leaf_arrays(node_c)
-            for e_p in node_p.entries:
-                site = e_p.payload
-                reduction = radius - np.hypot(cx - site.x, cy - site.y)
-                positive = reduction > 0.0
-                if positive.any():
-                    dr[site.sid] += float(
-                        (reduction[positive] * w[positive]).sum()
-                    )
+            # Candidate evaluation is pure CPU (both leaves are already
+            # in memory), so it gets its own span; the page reads stay
+            # attributed to the enclosing descent.
+            with trace.span("nfc.leaf_eval") as sp:
+                sp.count("candidates", len(node_p.entries))
+                cx, cy, radius, w = self._leaf_arrays(node_c)
+                for e_p in node_p.entries:
+                    site = e_p.payload
+                    reduction = radius - np.hypot(cx - site.x, cy - site.y)
+                    positive = reduction > 0.0
+                    if positive.any():
+                        dr[site.sid] += float((reduction[positive] * w[positive]).sum())
         elif node_p.is_leaf:
             mbr_p = node_p.mbr()
             for e_c in node_c.entries:
@@ -76,6 +82,7 @@ class NearestFacilityCircle(LocationSelector):
                 if e_p.mbr.intersects(mbr_c):
                     self._join(ws.r_p.read_node(e_p.child_id), node_c, dr)
         else:
+            pruned = 0
             for e_p in node_p.entries:
                 for e_c in node_c.entries:
                     if e_p.mbr.intersects(e_c.mbr):
@@ -84,6 +91,10 @@ class NearestFacilityCircle(LocationSelector):
                             ws.rnn_tree.read_node(e_c.child_id),
                             dr,
                         )
+                    else:
+                        pruned += 1
+            if pruned:
+                trace.count("join.pruned_pairs", pruned)
 
     def _leaf_arrays(
         self, node: Node
@@ -103,9 +114,7 @@ class NearestFacilityCircle(LocationSelector):
             radius = np.fromiter(
                 ((e.mbr.xmax - e.mbr.xmin) / 2.0 for e in node.entries), np.float64, n
             )
-            w = np.fromiter(
-                (e.payload.weight for e in node.entries), np.float64, n
-            )
+            w = np.fromiter((e.payload.weight for e in node.entries), np.float64, n)
             cached = (cx, cy, radius, w)
             self._leaf_cache[node.node_id] = cached
         return cached

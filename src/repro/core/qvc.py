@@ -102,18 +102,28 @@ class QuasiVoronoiCell(LocationSelector):
             int, tuple[np.ndarray, np.ndarray, np.ndarray, np.ndarray]
         ] = {}
         root_id = ws.r_c.root_id
+        trace = ws.tracer
         offset = 0
         # Algorithm 2: process P block by block; each block's AIRs run as
-        # one simultaneous window query down R_C.
-        for p_block in ws.potential_file.iter_blocks():
-            group: list[tuple[int, float, float, Rect]] = []
-            for row, (px, py) in enumerate(p_block):
-                air = self.air(Point(float(px), float(py)))
-                if air is not None:
-                    group.append((offset + row, float(px), float(py), air))
-            if group:
-                self._window_query(root_id, group, dr)
-            offset += len(p_block)
+        # one simultaneous window query down R_C.  Phases per block:
+        # "qvc.air" (quadrant NNs over R_F + cell clipping) and
+        # "qvc.window" (the batched window query over R_C); file.P block
+        # reads land on the enclosing "qvc.blocks" span.
+        with trace.span("qvc.blocks"):
+            for p_block in ws.potential_file.iter_blocks():
+                group: list[tuple[int, float, float, Rect]] = []
+                with trace.span("qvc.air") as sp:
+                    for row, (px, py) in enumerate(p_block):
+                        air = self.air(Point(float(px), float(py)))
+                        if air is not None:
+                            group.append((offset + row, float(px), float(py), air))
+                        else:
+                            sp.count("empty_cells")
+                    sp.count("cells", len(group))
+                if group:
+                    with trace.span("qvc.window"):
+                        self._window_query(root_id, group, dr)
+                offset += len(p_block)
         return dr
 
     def _window_query(
@@ -124,7 +134,10 @@ class QuasiVoronoiCell(LocationSelector):
     ) -> None:
         """Algorithm 3: one traversal of ``R_C`` shared by a whole block."""
         node = self.ws.r_c.read_node(node_id)
+        trace = self.ws.tracer
+        trace.count("window.nodes")
         if node.is_leaf:
+            trace.count("window.leaf_evals", len(group))
             cx, cy, dnn, w = self._leaf_arrays(node)
             for pid, px, py, __ in group:
                 reduction = dnn - np.hypot(cx - px, cy - py)

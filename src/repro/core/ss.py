@@ -33,20 +33,32 @@ class SequentialScan(LocationSelector):
 
     def _compute_distance_reductions(self) -> np.ndarray:
         ws = self.ws
+        trace = ws.tracer
         dr = np.zeros(ws.n_p, dtype=np.float64)
         offset = 0
-        for p_block in ws.potential_file.iter_blocks():
-            px = p_block[:, 0]
-            py = p_block[:, 1]
-            acc = np.zeros(len(p_block), dtype=np.float64)
-            for c_block in ws.client_file.iter_blocks():
-                cx = c_block[:, 0]
-                cy = c_block[:, 1]
-                dnn = c_block[:, 2]
-                w = c_block[:, 3]
-                # (block of P) x (block of C) pairwise distances.
-                d = np.hypot(px[:, None] - cx[None, :], py[:, None] - cy[None, :])
-                acc += (np.clip(dnn[None, :] - d, 0.0, None) * w[None, :]).sum(axis=1)
-            dr[offset : offset + len(p_block)] = acc
-            offset += len(p_block)
+        # Phases: reads of file.P land on "ss.scan" (the blocks arrive
+        # through the outer iterator); each full client pass is its own
+        # child span, so the profile shows file.C reads per pass.
+        with trace.span("ss.scan") as scan:
+            for p_block in ws.potential_file.iter_blocks():
+                scan.count("potential_blocks")
+                px = p_block[:, 0]
+                py = p_block[:, 1]
+                acc = np.zeros(len(p_block), dtype=np.float64)
+                with trace.span("ss.client_pass") as sp:
+                    for c_block in ws.client_file.iter_blocks():
+                        sp.count("client_blocks")
+                        cx = c_block[:, 0]
+                        cy = c_block[:, 1]
+                        dnn = c_block[:, 2]
+                        w = c_block[:, 3]
+                        # (block of P) x (block of C) pairwise distances.
+                        d = np.hypot(
+                            px[:, None] - cx[None, :], py[:, None] - cy[None, :]
+                        )
+                        acc += (
+                            np.clip(dnn[None, :] - d, 0.0, None) * w[None, :]
+                        ).sum(axis=1)
+                dr[offset : offset + len(p_block)] = acc
+                offset += len(p_block)
         return dr

@@ -35,9 +35,7 @@ class Client:
 
     __slots__ = ("cid", "x", "y", "dnn", "weight")
 
-    def __init__(
-        self, cid: int, x: float, y: float, dnn: float, weight: float = 1.0
-    ):
+    def __init__(self, cid: int, x: float, y: float, dnn: float, weight: float = 1.0):
         self.cid = cid
         self.x = x
         self.y = y

@@ -34,6 +34,7 @@ from repro.geometry.rect import Rect
 from repro.knnjoin.grid import nn_join_grid
 from repro.knnjoin.nested_loop import nn_join_nested_loop
 from repro.knnjoin.rtree_join import nn_join_rtree
+from repro.obs.trace import NOOP_TRACER, NoopTracer, Tracer
 from repro.rtree.bulk import bulk_load
 from repro.rtree.mnd_tree import MNDTree
 from repro.rtree.rnn_tree import build_rnn_tree
@@ -68,6 +69,7 @@ class Workspace:
         join_method: str = "grid",
         io_latency_s: float = DEFAULT_IO_LATENCY_S,
         precomputed_dnn: Optional[Sequence[float]] = None,
+        tracer: Optional[Tracer] = None,
     ):
         if instance.n_f < 1:
             raise ValueError(
@@ -86,6 +88,9 @@ class Workspace:
         self.use_bulk_load = use_bulk_load
         self.io_latency_s = io_latency_s
         self.stats = IOStats()
+        self.tracer: Tracer | NoopTracer = NOOP_TRACER
+        if tracer is not None:
+            self.attach_tracer(tracer)
         self.buffer_pool = (
             LRUBufferPool(buffer_pool_pages) if buffer_pool_pages else None
         )
@@ -121,9 +126,7 @@ class Workspace:
         self.client_xyd = np.array(
             [(c.x, c.y, c.dnn) for c in self.clients], dtype=np.float64
         ).reshape(len(self.clients), 3)
-        self.client_w = np.array(
-            [c.weight for c in self.clients], dtype=np.float64
-        )
+        self.client_w = np.array([c.weight for c in self.clients], dtype=np.float64)
         self.potential_xy = np.array(
             [(s.x, s.y) for s in self.potentials], dtype=np.float64
         ).reshape(len(self.potentials), 2)
@@ -148,6 +151,23 @@ class Workspace:
         self.stats.reset()
         if self.buffer_pool is not None:
             self.buffer_pool.clear()
+
+    # ------------------------------------------------------------------
+    # Observability
+    # ------------------------------------------------------------------
+    def attach_tracer(self, tracer: Tracer) -> None:
+        """Route spans and per-span I/O attribution through ``tracer``.
+
+        Every structure charges the shared :class:`IOStats`, so binding
+        the tracer there is enough for all files and trees at once.
+        """
+        self.tracer = tracer
+        self.stats.bind_tracer(tracer)
+
+    def detach_tracer(self) -> None:
+        """Restore the zero-overhead no-op tracer."""
+        self.tracer = NOOP_TRACER
+        self.stats.bind_tracer(None)
 
     @cached_property
     def data_bounds(self) -> "Rect":

@@ -28,7 +28,10 @@ from repro.experiments.sweeps import (
 FIGURES: dict[str, tuple[str, Callable[..., SweepResult]]] = {
     "fig10": ("Fig. 10 — effect of client set size", client_size_sweep),
     "fig11": ("Fig. 11 — effect of existing facility set size", facility_size_sweep),
-    "fig12": ("Fig. 12 — effect of potential location set size", potential_size_sweep),
+    "fig12": (
+        "Fig. 12 — effect of potential location set size",
+        potential_size_sweep,
+    ),
     "fig13": ("Fig. 13 — Gaussian datasets, varying sigma^2", gaussian_sweep),
     "fig13b": ("Sec. VIII-C — Zipfian datasets, varying alpha", zipfian_sweep),
     "fig14": ("Fig. 14 — real dataset groups (US/NA substitutes)", real_dataset_runs),
@@ -74,8 +77,10 @@ def run_full_evaluation(
         (out_dir / f"{fig}.txt").write_text(text + "\n")
         (out_dir / f"{fig}.csv").write_text(sweep_to_csv(sweep))
         svg_paths = save_sweep_figures(sweep, out_dir)
-        echo(f"  done in {elapsed:.1f}s -> {fig}.txt, {fig}.csv, "
-             f"{len(svg_paths)} SVGs")
+        echo(
+            f"  done in {elapsed:.1f}s -> {fig}.txt, {fig}.csv, "
+            f"{len(svg_paths)} SVGs"
+        )
 
         summary.append(f"## {title}")
         summary.append("")

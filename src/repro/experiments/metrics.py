@@ -7,7 +7,12 @@ from dataclasses import dataclass, field
 
 @dataclass
 class MeasuredRun:
-    """One (configuration, method) measurement."""
+    """One (configuration, method) measurement.
+
+    ``phases`` is the per-phase observability breakdown (span name ->
+    ``{elapsed_s, self_s, page_reads, calls}``) captured by the runner's
+    tracer; empty when the run was executed without profiling.
+    """
 
     config_label: str
     method: str
@@ -18,6 +23,12 @@ class MeasuredRun:
     dr: float
     location_id: int
     io_breakdown: dict[str, int] = field(default_factory=dict)
+    phases: dict[str, dict[str, float]] = field(default_factory=dict)
+
+    def phase_reads(self) -> int:
+        """Total page reads across phases (equals ``io_total`` when the
+        run was profiled — the smoke benchmark's invariant)."""
+        return int(sum(row["page_reads"] for row in self.phases.values()))
 
 
 @dataclass

@@ -108,9 +108,7 @@ def render_sweep_svg(
         if hi == lo:
             frac = 0.5
         elif log_x:
-            frac = (math.log10(x) - math.log10(lo)) / (
-                math.log10(hi) - math.log10(lo)
-            )
+            frac = (math.log10(x) - math.log10(lo)) / (math.log10(hi) - math.log10(lo))
         else:
             frac = (x - lo) / (hi - lo)
         return _MARGIN_L + frac * (_WIDTH - _MARGIN_L - _MARGIN_R)

@@ -23,7 +23,8 @@ METRICS: dict[str, tuple[str, str]] = {
 
 
 def format_sweep(
-    sweep: SweepResult, metrics: Sequence[str] = ("elapsed_s", "io_total", "index_pages")
+    sweep: SweepResult,
+    metrics: Sequence[str] = ("elapsed_s", "io_total", "index_pages"),
 ) -> str:
     """Aligned tables for the requested metrics, paper-figure style."""
     methods = sweep.methods()

@@ -15,6 +15,7 @@ from typing import Optional, Sequence
 from repro.core import METHODS, Workspace, make_selector
 from repro.experiments.config import ExperimentConfig
 from repro.experiments.metrics import MeasuredRun
+from repro.obs import InMemorySink, Tracer, phase_breakdown
 
 DEFAULT_METHODS: tuple[str, ...] = ("SS", "QVC", "NFC", "MND")
 
@@ -24,11 +25,15 @@ def run_config(
     methods: Sequence[str] = DEFAULT_METHODS,
     x: Optional[float] = None,
     workspace: Optional[Workspace] = None,
+    profile: bool = True,
 ) -> list[MeasuredRun]:
     """Run ``methods`` on one configuration; returns their measurements.
 
     ``x`` tags the runs with the swept parameter value (for sweeps);
-    ``workspace`` lets callers reuse an already-built workspace.
+    ``workspace`` lets callers reuse an already-built workspace.  With
+    ``profile`` (the default) each run executes under a tracer and its
+    row carries the per-phase time/IO breakdown; pass False to measure
+    with instrumentation fully in no-op mode.
     """
     unknown = [m for m in methods if m.upper() not in METHODS]
     if unknown:
@@ -36,10 +41,21 @@ def run_config(
     ws = workspace if workspace is not None else Workspace(config.instance())
 
     results = []
+    phases_by_method: dict[str, dict[str, dict[str, float]]] = {}
     for name in methods:
         selector = make_selector(ws, name)
         selector.prepare()
-        results.append((name, selector.select()))
+        if profile:
+            sink = InMemorySink()
+            ws.attach_tracer(Tracer([sink]))
+            try:
+                results.append((name, selector.select()))
+            finally:
+                ws.detach_tracer()
+            if sink.last is not None:
+                phases_by_method[name] = phase_breakdown(sink.last)
+        else:
+            results.append((name, selector.select()))
 
     # Consistency gate: all methods must report the same optimum value.
     drs = [r.dr for __, r in results]
@@ -61,6 +77,7 @@ def run_config(
             dr=r.dr,
             location_id=r.location.sid,
             io_breakdown=dict(r.io_reads),
+            phases=phases_by_method.get(name, {}),
         )
         for name, r in results
     ]

@@ -1,0 +1,79 @@
+"""CI smoke benchmark: a tiny Fig.-10-style run with hard assertions.
+
+Runs one small client-size configuration (the shape of the paper's
+Fig. 10) through the profiled experiment runner and asserts the
+invariants CI must keep honest:
+
+1. **paper ordering** — MND performs fewer page reads than the SS
+   baseline (the paper's headline comparison; at very small scales the
+   ordering genuinely inverts, so the configuration below is the
+   smallest one where the paper's regime holds);
+2. **instrumentation consistency** — every method's per-phase page-read
+   attribution sums exactly to its ``IOStats`` total, so a silent
+   tracing regression cannot creep in;
+3. **agreement** — all methods return the same optimum (enforced inside
+   :func:`~repro.experiments.runner.run_config`).
+
+Run it directly::
+
+    PYTHONPATH=src python -m repro.experiments.smoke
+"""
+
+from __future__ import annotations
+
+import sys
+
+from repro.experiments.config import ExperimentConfig
+from repro.experiments.metrics import MeasuredRun
+from repro.experiments.runner import run_config
+
+#: Small enough for a CI minute, large enough for MND's pruning to beat
+#: the sequential scan (cf. Fig. 10: the gap widens with |C| and |P|).
+SMOKE_CONFIG = ExperimentConfig(n_c=20_000, n_f=1_000, n_p=1_000)
+
+SMOKE_METHODS = ("SS", "QVC", "NFC", "MND")
+
+
+def run_smoke(config: ExperimentConfig = SMOKE_CONFIG) -> list[MeasuredRun]:
+    """Run the smoke configuration profiled; raises on any violation."""
+    runs = run_config(config, methods=SMOKE_METHODS, profile=True)
+    by_method = {run.method: run for run in runs}
+
+    for run in runs:
+        if not run.phases:
+            raise AssertionError(f"{run.method}: no phase breakdown captured")
+        if run.phase_reads() != run.io_total:
+            raise AssertionError(
+                f"{run.method}: phase reads {run.phase_reads()} != "
+                f"I/O total {run.io_total}"
+            )
+
+    mnd, ss = by_method["MND"], by_method["SS"]
+    if mnd.io_total >= ss.io_total:
+        raise AssertionError(
+            f"MND I/O ({mnd.io_total}) is not below SS I/O ({ss.io_total}); "
+            "the paper's Fig. 10 ordering regressed"
+        )
+    return runs
+
+
+def main() -> int:
+    runs = run_smoke()
+    width = max(len(run.method) for run in runs)
+    print(f"smoke config: {SMOKE_CONFIG.label()}")
+    for run in runs:
+        phases = ", ".join(
+            f"{name}={int(row['page_reads'])}"
+            for name, row in sorted(run.phases.items())
+            if row["page_reads"]
+        )
+        print(
+            f"{run.method:>{width}}  io={run.io_total:>5}  "
+            f"elapsed={run.elapsed_s:.3f}s  [{phases}]"
+        )
+    print("smoke ok: MND < SS on I/O and all phase breakdowns are consistent")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

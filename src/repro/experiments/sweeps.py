@@ -34,7 +34,9 @@ def _cardinality_sweep(
         if scale == 1.0
         else [max(2, int(v * scale)) for v in PAPER_SWEEPS[parameter]]
     )
-    sweep = SweepResult(name=name, parameter=parameter, x_values=[float(v) for v in values])
+    sweep = SweepResult(
+        name=name, parameter=parameter, x_values=[float(v) for v in values]
+    )
     for value in values:
         config = replace(base.scaled(scale), **{parameter: value})
         sweep.runs.extend(run_config(config, methods, x=value))
@@ -100,9 +102,7 @@ def real_dataset_runs(
 ) -> SweepResult:
     """Fig. 14: the US and NA real dataset groups (substitute data, see
     DESIGN.md §4); the x axis indexes the group (0 = US, 1 = NA)."""
-    sweep = SweepResult(
-        name="fig14-real", parameter="group", x_values=[0.0, 1.0]
-    )
+    sweep = SweepResult(name="fig14-real", parameter="group", x_values=[0.0, 1.0])
     for x, group in enumerate(("US", "NA")):
         config = ExperimentConfig(real_group=group, scale=scale)
         sweep.runs.extend(run_config(config, methods, x=float(x)))

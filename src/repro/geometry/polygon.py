@@ -41,18 +41,28 @@ class ConvexPolygon:
             return self
         kept: list[Point] = []
         n = len(self.vertices)
+        violations = [hp.signed_violation(v) for v in self.vertices]
+        # Inside-tolerance scaled to the constraint terms: vertices
+        # produced by an earlier clip sit *on* the boundary with rounding
+        # noise proportional to |a*x| + |b*y| + |c|, which for
+        # domain-sized coordinates dwarfs any fixed absolute epsilon.
+        tolerances = [
+            1e-9 * (abs(hp.a * v[0]) + abs(hp.b * v[1]) + abs(hp.c) + 1.0)
+            for v in self.vertices
+        ]
         for i in range(n):
-            cur = self.vertices[i]
-            nxt = self.vertices[(i + 1) % n]
-            cur_v = hp.signed_violation(cur)
-            nxt_v = hp.signed_violation(nxt)
-            cur_in = cur_v <= 1e-12
-            nxt_in = nxt_v <= 1e-12
+            j = (i + 1) % n
+            cur, nxt = self.vertices[i], self.vertices[j]
+            cur_v, nxt_v = violations[i], violations[j]
+            cur_in = cur_v <= tolerances[i]
+            nxt_in = nxt_v <= tolerances[j]
             if cur_in:
                 kept.append(cur)
             if cur_in != nxt_in:
-                # The edge crosses the boundary: add the intersection point.
-                t = cur_v / (cur_v - nxt_v)
+                # The edge crosses the boundary: add the intersection
+                # point, clamped to the segment so a near-parallel edge
+                # cannot extrapolate to a far-away spurious vertex.
+                t = min(1.0, max(0.0, cur_v / (cur_v - nxt_v)))
                 kept.append(
                     Point(
                         cur[0] + t * (nxt[0] - cur[0]),

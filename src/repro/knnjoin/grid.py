@@ -123,9 +123,7 @@ class FacilityGrid:
                     yield (i, j)
 
 
-def nn_join_grid(
-    clients: Sequence[Point], facilities: Sequence[Point]
-) -> list[float]:
+def nn_join_grid(clients: Sequence[Point], facilities: Sequence[Point]) -> list[float]:
     """``dnn(c, F)`` for every client via a uniform-grid join."""
     grid = FacilityGrid(facilities)
     return [grid.nearest_distance(Point(*c)) for c in clients]

@@ -35,10 +35,7 @@ class DnnMaintainer:
             raise ValueError("DnnMaintainer requires at least one facility")
         grid = FacilityGrid(self._facilities)
         self._dnn = np.fromiter(
-            (
-                grid.nearest_distance(Point(x, y))
-                for x, y in zip(self._cx, self._cy)
-            ),
+            (grid.nearest_distance(Point(x, y)) for x, y in zip(self._cx, self._cy)),
             dtype=np.float64,
             count=len(self._cx),
         )

@@ -88,9 +88,7 @@ class NetworkMindistQuery:
         """Precomputed network NFD per node (clients read theirs here)."""
         return self._node_dnn
 
-    def _expand_from(
-        self, source: int, radius: float | None
-    ) -> tuple[float, int]:
+    def _expand_from(self, source: int, radius: float | None) -> tuple[float, int]:
         """Dijkstra from ``source``; returns ``(dr, settled_count)``.
 
         ``radius`` bounds the expansion: nodes beyond it cannot contain

@@ -1,0 +1,49 @@
+"""Observability: hierarchical tracing, metrics and sinks.
+
+Profiling a query takes three lines::
+
+    from repro.obs import InMemorySink, Tracer, format_span_tree
+
+    sink = InMemorySink()
+    ws.attach_tracer(Tracer([sink]))
+    result = MaximumNFCDistance(ws).select()
+    print(format_span_tree(sink.last))
+
+Every workspace defaults to :data:`NOOP_TRACER`, whose spans are inert
+singletons — instrumentation costs effectively nothing until a real
+tracer is attached.  Process-lifetime totals (pager reads, buffer hit
+rates, node fetches) accumulate in :data:`REGISTRY` regardless.
+"""
+
+from __future__ import annotations
+
+from repro.obs.registry import (
+    Counter,
+    Gauge,
+    Histogram,
+    MetricsRegistry,
+    REGISTRY,
+)
+from repro.obs.report import format_span_tree, merge_spans, phase_breakdown
+from repro.obs.sinks import CallbackSink, InMemorySink, JsonLinesSink, read_jsonl
+from repro.obs.trace import NOOP_SPAN, NOOP_TRACER, NoopTracer, Span, Tracer
+
+__all__ = [
+    "CallbackSink",
+    "Counter",
+    "Gauge",
+    "Histogram",
+    "InMemorySink",
+    "JsonLinesSink",
+    "MetricsRegistry",
+    "NOOP_SPAN",
+    "NOOP_TRACER",
+    "NoopTracer",
+    "REGISTRY",
+    "Span",
+    "Tracer",
+    "format_span_tree",
+    "merge_spans",
+    "phase_breakdown",
+    "read_jsonl",
+]

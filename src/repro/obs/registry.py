@@ -1,0 +1,207 @@
+"""Process-wide named metrics: counters, gauges and histograms.
+
+Where spans (:mod:`repro.obs.trace`) attribute cost to *one query's
+phases*, the registry accumulates *process-lifetime* totals: how many
+pages the pager served, how often the buffer pool hit, how many R-tree
+nodes were fetched.  The storage layer reports into the default
+:data:`REGISTRY` while remaining fully backward compatible with the
+per-workspace :class:`~repro.storage.stats.IOStats` counters the
+experiments are denominated in.
+
+Metric handles are get-or-create and cached by the hot callers at
+construction time, so the steady-state cost of reporting is one bound
+method call and an integer add.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Optional, Union
+
+
+class Counter:
+    """A monotonically increasing count."""
+
+    __slots__ = ("name", "value")
+
+    kind = "counter"
+
+    def __init__(self, name: str):
+        self.name = name
+        self.value = 0
+
+    def inc(self, amount: int = 1) -> None:
+        self.value += amount
+
+    def reset(self) -> None:
+        self.value = 0
+
+    def __repr__(self) -> str:
+        return f"Counter({self.name!r}, {self.value})"
+
+
+class Gauge:
+    """A value that can go up and down (e.g. resident buffer pages)."""
+
+    __slots__ = ("name", "value")
+
+    kind = "gauge"
+
+    def __init__(self, name: str):
+        self.name = name
+        self.value = 0.0
+
+    def set(self, value: float) -> None:
+        self.value = float(value)
+
+    def inc(self, amount: float = 1.0) -> None:
+        self.value += amount
+
+    def dec(self, amount: float = 1.0) -> None:
+        self.value -= amount
+
+    def reset(self) -> None:
+        self.value = 0.0
+
+    def __repr__(self) -> str:
+        return f"Gauge({self.name!r}, {self.value})"
+
+
+class Histogram:
+    """Aggregated observations (count/sum/min/max + bounded samples).
+
+    Keeps the most recent ``max_samples`` observations for quantile
+    estimates; the scalar aggregates always cover every observation.
+    """
+
+    __slots__ = ("name", "count", "sum", "min", "max", "_samples", "_max_samples")
+
+    kind = "histogram"
+
+    def __init__(self, name: str, max_samples: int = 4096):
+        self.name = name
+        self._max_samples = max_samples
+        self.count = 0
+        self.sum = 0.0
+        self.min = float("inf")
+        self.max = float("-inf")
+        self._samples: list[float] = []
+
+    def observe(self, value: float) -> None:
+        value = float(value)
+        self.count += 1
+        self.sum += value
+        if value < self.min:
+            self.min = value
+        if value > self.max:
+            self.max = value
+        if len(self._samples) >= self._max_samples:
+            # Ring-buffer overwrite keeps the window recent and bounded.
+            self._samples[self.count % self._max_samples] = value
+        else:
+            self._samples.append(value)
+
+    @property
+    def mean(self) -> float:
+        return self.sum / self.count if self.count else 0.0
+
+    def quantile(self, q: float) -> float:
+        """Approximate ``q``-quantile over the retained sample window."""
+        if not 0.0 <= q <= 1.0:
+            raise ValueError("quantile must be in [0, 1]")
+        if not self._samples:
+            return 0.0
+        ordered = sorted(self._samples)
+        index = min(len(ordered) - 1, int(q * len(ordered)))
+        return ordered[index]
+
+    def reset(self) -> None:
+        self.count = 0
+        self.sum = 0.0
+        self.min = float("inf")
+        self.max = float("-inf")
+        self._samples.clear()
+
+    def __repr__(self) -> str:
+        return (
+            f"Histogram({self.name!r}, n={self.count}, mean={self.mean:.4g})"
+        )
+
+
+Metric = Union[Counter, Gauge, Histogram]
+
+
+class MetricsRegistry:
+    """A flat namespace of metrics, get-or-create by name."""
+
+    __slots__ = ("_metrics",)
+
+    def __init__(self) -> None:
+        self._metrics: dict[str, Metric] = {}
+
+    # ------------------------------------------------------------------
+    def _get_or_create(self, name: str, factory) -> Metric:
+        metric = self._metrics.get(name)
+        if metric is None:
+            metric = factory(name)
+            self._metrics[name] = metric
+        elif not isinstance(metric, factory):
+            raise TypeError(
+                f"metric {name!r} already registered as {metric.kind}, "
+                f"not {factory.kind}"
+            )
+        return metric
+
+    def counter(self, name: str) -> Counter:
+        return self._get_or_create(name, Counter)
+
+    def gauge(self, name: str) -> Gauge:
+        return self._get_or_create(name, Gauge)
+
+    def histogram(self, name: str) -> Histogram:
+        return self._get_or_create(name, Histogram)
+
+    # ------------------------------------------------------------------
+    def get(self, name: str) -> Optional[Metric]:
+        return self._metrics.get(name)
+
+    def names(self) -> list[str]:
+        return sorted(self._metrics)
+
+    def __contains__(self, name: str) -> bool:
+        return name in self._metrics
+
+    def __len__(self) -> int:
+        return len(self._metrics)
+
+    def snapshot(self, prefix: str = "") -> dict[str, float]:
+        """Scalar values of every metric whose name has ``prefix``.
+
+        Histograms contribute ``<name>.count``/``.sum``/``.mean``.
+        """
+        out: dict[str, float] = {}
+        for name in sorted(self._metrics):
+            if not name.startswith(prefix):
+                continue
+            metric = self._metrics[name]
+            if isinstance(metric, Histogram):
+                out[f"{name}.count"] = float(metric.count)
+                out[f"{name}.sum"] = metric.sum
+                out[f"{name}.mean"] = metric.mean
+            else:
+                out[name] = float(metric.value)
+        return out
+
+    def reset(self, names: Optional[Iterable[str]] = None) -> None:
+        """Zero the named metrics (all of them by default)."""
+        targets = self._metrics.keys() if names is None else names
+        for name in list(targets):
+            metric = self._metrics.get(name)
+            if metric is not None:
+                metric.reset()
+
+    def __repr__(self) -> str:
+        return f"MetricsRegistry({len(self._metrics)} metrics)"
+
+
+#: The process-wide default registry the storage layer reports into.
+REGISTRY = MetricsRegistry()

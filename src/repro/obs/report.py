@@ -1,0 +1,142 @@
+"""Human-readable span-tree reports and flat phase breakdowns.
+
+``format_span_tree`` renders a finished root span as an indented tree
+(the ``mindist profile`` output); sibling spans with the same name are
+merged by default, so a loop that opens ``qvc.window`` once per block
+reads as one aggregated line with a call count.  ``phase_breakdown``
+flattens the same tree into ``{phase name: {...}}`` rows for CSV/JSON
+consumers (the experiment runner attaches these to every benchmark
+row).
+"""
+
+from __future__ import annotations
+
+from repro.obs.trace import Span
+
+
+def merge_spans(span: Span) -> Span:
+    """A copy of ``span``'s subtree with same-named siblings merged.
+
+    Merged spans sum elapsed time, I/O and counters; the merged call
+    count is kept in the ``calls`` counter.
+    """
+    merged = Span(span.name)
+    merged.elapsed_s = span.elapsed_s
+    merged.reads = dict(span.reads)
+    merged.writes = dict(span.writes)
+    merged.counters = dict(span.counters)
+    merged.counters["calls"] = span.counters.get("calls", 1)
+    by_name: dict[str, Span] = {}
+    for child in span.children:
+        folded = merge_spans(child)
+        existing = by_name.get(child.name)
+        if existing is None:
+            by_name[child.name] = folded
+            folded.parent = merged
+            merged.children.append(folded)
+        else:
+            _fold_into(existing, folded)
+    return merged
+
+
+def _fold_into(target: Span, other: Span) -> None:
+    target.elapsed_s += other.elapsed_s
+    for source, pages in other.reads.items():
+        target.reads[source] = target.reads.get(source, 0) + pages
+    for source, pages in other.writes.items():
+        target.writes[source] = target.writes.get(source, 0) + pages
+    for name, value in other.counters.items():
+        target.counters[name] = target.counters.get(name, 0) + value
+    for child in other.children:
+        existing = next(
+            (c for c in target.children if c.name == child.name), None
+        )
+        if existing is None:
+            child.parent = target
+            target.children.append(child)
+        else:
+            _fold_into(existing, child)
+
+
+def format_span_tree(
+    root: Span,
+    merge_siblings: bool = True,
+    show_counters: bool = True,
+) -> str:
+    """An aligned, indented rendering of a span tree."""
+    span = merge_spans(root) if merge_siblings else root
+    rows: list[tuple[str, str, str, str]] = []
+    _collect_rows(span, "", True, True, rows, show_counters)
+    name_w = max(len(r[0]) for r in rows)
+    time_w = max(len(r[1]) for r in rows)
+    read_w = max(len(r[2]) for r in rows)
+    lines = []
+    for name, elapsed, reads, extra in rows:
+        line = f"{name.ljust(name_w)}  {elapsed.rjust(time_w)}  {reads.rjust(read_w)}"
+        if extra:
+            line += f"  {extra}"
+        lines.append(line.rstrip())
+    return "\n".join(lines)
+
+
+def _collect_rows(
+    span: Span,
+    prefix: str,
+    is_last: bool,
+    is_root: bool,
+    rows: list[tuple[str, str, str, str]],
+    show_counters: bool,
+) -> None:
+    if is_root:
+        label = span.name
+        child_prefix = ""
+    else:
+        connector = "`- " if is_last else "|- "
+        label = prefix + connector + span.name
+        child_prefix = prefix + ("   " if is_last else "|  ")
+    calls = span.counters.get("calls", 1)
+    if calls > 1:
+        label += f" x{calls}"
+    elapsed = f"{span.elapsed_s * 1000:.2f} ms"
+    reads = f"{span.page_reads} rd"
+    if span.page_writes:
+        reads += f" {span.page_writes} wr"
+    extra = ""
+    if show_counters:
+        parts = [
+            f"{name}={value}"
+            for name, value in sorted(span.counters.items())
+            if name != "calls"
+        ]
+        if parts:
+            extra = "[" + " ".join(parts) + "]"
+    rows.append((label, elapsed, reads, extra))
+    for index, child in enumerate(span.children):
+        _collect_rows(
+            child,
+            child_prefix,
+            index == len(span.children) - 1,
+            False,
+            rows,
+            show_counters,
+        )
+
+
+def phase_breakdown(root: Span) -> dict[str, dict[str, float]]:
+    """Flat per-phase rows: ``{name: {elapsed_s, page_reads, calls}}``.
+
+    Phases are span names aggregated over the whole tree (so the sum of
+    ``page_reads`` across phases equals the run's total page reads, the
+    invariant the CI smoke benchmark asserts).
+    """
+    out: dict[str, dict[str, float]] = {}
+    for span in root.walk():
+        row = out.setdefault(
+            span.name,
+            {"elapsed_s": 0.0, "self_s": 0.0, "page_reads": 0, "calls": 0},
+        )
+        row["elapsed_s"] += span.elapsed_s
+        row["self_s"] += span.self_s
+        row["page_reads"] += span.page_reads
+        row["calls"] += 1
+    return out

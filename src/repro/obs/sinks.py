@@ -1,0 +1,106 @@
+"""Span sinks: where finished trace trees go.
+
+A sink is any object with ``emit(root_span)``; the tracer calls it once
+per *root* span, after the whole tree is finished.  Three sinks cover
+the repo's needs:
+
+- :class:`InMemorySink` — collects roots in a list (tests, the profile
+  CLI, the experiment runner's per-run breakdown);
+- :class:`JsonLinesSink` — appends one JSON object per root span to a
+  file or stream (benchmark post-processing);
+- :class:`CallbackSink` — adapts a plain function.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+from typing import Callable, IO, Optional, Union
+
+from repro.obs.trace import Span
+
+
+class InMemorySink:
+    """Keeps every finished root span, newest last."""
+
+    __slots__ = ("roots",)
+
+    def __init__(self) -> None:
+        self.roots: list[Span] = []
+
+    def emit(self, root: Span) -> None:
+        self.roots.append(root)
+
+    @property
+    def last(self) -> Optional[Span]:
+        return self.roots[-1] if self.roots else None
+
+    def clear(self) -> None:
+        self.roots.clear()
+
+    def __len__(self) -> int:
+        return len(self.roots)
+
+
+class JsonLinesSink:
+    """Writes each root span tree as one JSON line.
+
+    Accepts a path (opened lazily, append mode) or an open text stream.
+    Each line is the nested :meth:`~repro.obs.trace.Span.to_dict` form;
+    :func:`read_jsonl` round-trips it back into :class:`Span` trees.
+    """
+
+    __slots__ = ("_path", "_stream", "_owns_stream")
+
+    def __init__(self, target: Union[str, Path, IO[str]]):
+        if isinstance(target, (str, Path)):
+            self._path: Optional[Path] = Path(target)
+            self._stream: Optional[IO[str]] = None
+            self._owns_stream = True
+        else:
+            self._path = None
+            self._stream = target
+            self._owns_stream = False
+
+    def emit(self, root: Span) -> None:
+        if self._stream is None:
+            assert self._path is not None
+            self._stream = self._path.open("a", encoding="utf-8")
+        json.dump(root.to_dict(), self._stream, separators=(",", ":"))
+        self._stream.write("\n")
+        self._stream.flush()
+
+    def close(self) -> None:
+        if self._owns_stream and self._stream is not None:
+            self._stream.close()
+            self._stream = None
+
+    def __enter__(self) -> "JsonLinesSink":
+        return self
+
+    def __exit__(self, *exc: object) -> None:
+        self.close()
+
+
+class CallbackSink:
+    """Invokes ``fn(root_span)`` for every finished root."""
+
+    __slots__ = ("_fn",)
+
+    def __init__(self, fn: Callable[[Span], None]):
+        self._fn = fn
+
+    def emit(self, root: Span) -> None:
+        self._fn(root)
+
+
+def read_jsonl(source: Union[str, Path, IO[str]]) -> list[Span]:
+    """Load every span tree from a JSON-lines file or stream."""
+    if isinstance(source, (str, Path)):
+        with Path(source).open("r", encoding="utf-8") as stream:
+            return [
+                Span.from_dict(json.loads(line))
+                for line in stream
+                if line.strip()
+            ]
+    return [Span.from_dict(json.loads(line)) for line in source if line.strip()]

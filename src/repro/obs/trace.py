@@ -1,0 +1,264 @@
+"""Hierarchical tracing: spans with wall time, page I/O and counters.
+
+A :class:`Tracer` maintains a stack of open :class:`Span` objects; the
+innermost open span absorbs every event reported while it is active —
+page reads/writes forwarded by :class:`~repro.storage.stats.IOStats`
+and custom counters (node visits, pruned pairs, heap pops, ...).  When
+a root span closes, the finished tree is handed to every attached sink
+(see :mod:`repro.obs.sinks`).
+
+Cost discipline: instrumented code never checks "is tracing on?".  It
+calls ``tracer.span(...)`` / ``tracer.count(...)`` unconditionally, and
+the *tracer object itself* is either a real :class:`Tracer` or the
+module singleton :data:`NOOP_TRACER` whose methods do nothing and whose
+``span`` returns a shared, stateless context manager.  The no-op path
+is therefore one attribute lookup and one call — verified near-zero by
+``benchmarks/test_obs_overhead.py``.
+
+Tracers are deliberately not thread-safe: one tracer traces one query
+at a time (the repo's query engine is single-threaded per workspace).
+"""
+
+from __future__ import annotations
+
+import time
+from typing import Any, Iterator, Optional
+
+
+class Span:
+    """One timed phase of a query, with I/O and counter attribution.
+
+    ``reads``/``writes`` hold *self* page counts by structure name —
+    pages charged while this span was innermost, excluding descendants.
+    ``counters`` holds custom counts reported the same way.
+    """
+
+    __slots__ = (
+        "name",
+        "parent",
+        "children",
+        "reads",
+        "writes",
+        "counters",
+        "elapsed_s",
+        "_started",
+    )
+
+    def __init__(self, name: str, parent: Optional["Span"] = None):
+        self.name = name
+        self.parent = parent
+        self.children: list[Span] = []
+        self.reads: dict[str, int] = {}
+        self.writes: dict[str, int] = {}
+        self.counters: dict[str, int] = {}
+        self.elapsed_s = 0.0
+        self._started = 0.0
+
+    # ------------------------------------------------------------------
+    def count(self, name: str, value: int = 1) -> None:
+        """Add ``value`` to this span's counter ``name``."""
+        self.counters[name] = self.counters.get(name, 0) + value
+
+    # ------------------------------------------------------------------
+    @property
+    def page_reads(self) -> int:
+        """Self page reads (all structures), excluding child spans."""
+        return sum(self.reads.values())
+
+    @property
+    def page_writes(self) -> int:
+        return sum(self.writes.values())
+
+    @property
+    def total_reads(self) -> int:
+        """Cumulative page reads of this span's whole subtree."""
+        return self.page_reads + sum(c.total_reads for c in self.children)
+
+    @property
+    def total_writes(self) -> int:
+        return self.page_writes + sum(c.total_writes for c in self.children)
+
+    @property
+    def self_s(self) -> float:
+        """Wall time spent in this span excluding child spans."""
+        return max(0.0, self.elapsed_s - sum(c.elapsed_s for c in self.children))
+
+    # ------------------------------------------------------------------
+    def walk(self) -> Iterator["Span"]:
+        """This span and every descendant, depth-first."""
+        yield self
+        for child in self.children:
+            yield from child.walk()
+
+    def find(self, name: str) -> Optional["Span"]:
+        """First span named ``name`` in this subtree (depth-first)."""
+        for span in self.walk():
+            if span.name == name:
+                return span
+        return None
+
+    # ------------------------------------------------------------------
+    def to_dict(self) -> dict[str, Any]:
+        """A JSON-serialisable nested representation of the subtree."""
+        return {
+            "name": self.name,
+            "elapsed_s": self.elapsed_s,
+            "reads": dict(self.reads),
+            "writes": dict(self.writes),
+            "counters": dict(self.counters),
+            "children": [c.to_dict() for c in self.children],
+        }
+
+    @classmethod
+    def from_dict(cls, data: dict[str, Any]) -> "Span":
+        """Rebuild a span tree produced by :meth:`to_dict`."""
+        span = cls(str(data["name"]))
+        span.elapsed_s = float(data.get("elapsed_s", 0.0))
+        span.reads = {str(k): int(v) for k, v in data.get("reads", {}).items()}
+        span.writes = {str(k): int(v) for k, v in data.get("writes", {}).items()}
+        span.counters = {
+            str(k): int(v) for k, v in data.get("counters", {}).items()
+        }
+        for child_data in data.get("children", []):
+            child = cls.from_dict(child_data)
+            child.parent = span
+            span.children.append(child)
+        return span
+
+    def __repr__(self) -> str:
+        return (
+            f"Span({self.name!r}, {self.elapsed_s * 1000:.2f}ms, "
+            f"reads={self.page_reads}, children={len(self.children)})"
+        )
+
+
+class _ActiveSpan:
+    """Context manager pairing one :class:`Span` with its tracer."""
+
+    __slots__ = ("_tracer", "span")
+
+    def __init__(self, tracer: "Tracer", span: Span):
+        self._tracer = tracer
+        self.span = span
+
+    def __enter__(self) -> Span:
+        self._tracer._push(self.span)
+        self.span._started = time.perf_counter()
+        return self.span
+
+    def __exit__(self, *exc: object) -> None:
+        self.span.elapsed_s = time.perf_counter() - self.span._started
+        self._tracer._pop(self.span)
+
+
+class Tracer:
+    """Collects span trees and forwards finished roots to sinks."""
+
+    __slots__ = ("_stack", "_sinks")
+
+    #: Real tracers record; the no-op twin advertises False so code that
+    #: genuinely must branch (e.g. report assembly) can check cheaply.
+    enabled = True
+
+    def __init__(self, sinks: Optional[list] = None):
+        self._stack: list[Span] = []
+        self._sinks = list(sinks) if sinks else []
+
+    # ------------------------------------------------------------------
+    @property
+    def current(self) -> Optional[Span]:
+        """The innermost open span, or None outside any span."""
+        return self._stack[-1] if self._stack else None
+
+    def add_sink(self, sink) -> None:
+        self._sinks.append(sink)
+
+    # ------------------------------------------------------------------
+    def span(self, name: str) -> _ActiveSpan:
+        """A context manager opening span ``name`` under the current one."""
+        return _ActiveSpan(self, Span(name, parent=self.current))
+
+    def count(self, name: str, value: int = 1) -> None:
+        """Add to counter ``name`` on the innermost open span (if any)."""
+        if self._stack:
+            span = self._stack[-1]
+            span.counters[name] = span.counters.get(name, 0) + value
+
+    # ------------------------------------------------------------------
+    # Event hooks (called by IOStats and index accessors)
+    # ------------------------------------------------------------------
+    def on_page_read(self, source: str, pages: int) -> None:
+        if self._stack:
+            reads = self._stack[-1].reads
+            reads[source] = reads.get(source, 0) + pages
+
+    def on_page_write(self, source: str, pages: int) -> None:
+        if self._stack:
+            writes = self._stack[-1].writes
+            writes[source] = writes.get(source, 0) + pages
+
+    # ------------------------------------------------------------------
+    def _push(self, span: Span) -> None:
+        span.parent = self.current
+        if span.parent is not None:
+            span.parent.children.append(span)
+        self._stack.append(span)
+
+    def _pop(self, span: Span) -> None:
+        # Tolerate exception-driven unwinding: pop through to our span.
+        while self._stack:
+            top = self._stack.pop()
+            if top is span:
+                break
+        if span.parent is None:
+            for sink in self._sinks:
+                sink.emit(span)
+
+
+class _NoopSpan:
+    """A stateless, reusable stand-in for :class:`Span`."""
+
+    __slots__ = ()
+
+    def __enter__(self) -> "_NoopSpan":
+        return self
+
+    def __exit__(self, *exc: object) -> None:
+        return None
+
+    def count(self, name: str, value: int = 1) -> None:
+        return None
+
+
+#: Shared inert span; ``NOOP_TRACER.span(...)`` always returns this.
+NOOP_SPAN = _NoopSpan()
+
+
+class NoopTracer:
+    """The do-nothing twin of :class:`Tracer` (see module docstring)."""
+
+    __slots__ = ()
+
+    enabled = False
+    current = None
+
+    def span(self, name: str) -> _NoopSpan:
+        return NOOP_SPAN
+
+    def count(self, name: str, value: int = 1) -> None:
+        return None
+
+    def on_page_read(self, source: str, pages: int) -> None:
+        return None
+
+    def on_page_write(self, source: str, pages: int) -> None:
+        return None
+
+    def add_sink(self, sink) -> None:
+        raise TypeError(
+            "cannot attach a sink to the no-op tracer; create a real Tracer"
+        )
+
+
+#: Process-wide inert tracer: the default for every workspace.
+NOOP_TRACER = NoopTracer()

@@ -30,9 +30,11 @@ def _join(
     tree_a: RTree, node_a: Node, tree_b: RTree, node_b: Node
 ) -> Iterator[tuple[Any, Any]]:
     if node_a.is_leaf and node_b.is_leaf:
+        tracer = tree_a.stats.tracer
         for ea in node_a.entries:
             for eb in node_b.entries:
                 if ea.mbr.intersects(eb.mbr):
+                    tracer.count("join.result_pairs")
                     yield ea.payload, eb.payload
     elif node_a.is_leaf:
         # Descend the taller tree until levels align.

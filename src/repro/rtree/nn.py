@@ -35,17 +35,18 @@ def incremental_nearest(
     """
     if tree.num_entries == 0:
         return
+    tracer = tree.stats.tracer
     counter = itertools.count()  # tie-breaker: heap items are never compared
     # Heap items: (min possible distance, seq, is_data, object)
     heap: list[tuple[float, int, bool, Any]] = [(0.0, next(counter), False, None)]
     while heap:
         dist, _, is_data, obj = heapq.heappop(heap)
         if is_data:
+            tracer.count("nn.results")
             yield dist, obj
             continue
-        node = (
-            tree.read_node(tree.root_id) if obj is None else tree.read_node(obj)
-        )
+        tracer.count("nn.nodes")
+        node = (tree.read_node(tree.root_id) if obj is None else tree.read_node(obj))
         if node.is_leaf:
             for entry in node.entries:
                 if mbr_filter is not None and not mbr_filter(entry.mbr):

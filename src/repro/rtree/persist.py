@@ -37,6 +37,7 @@ from repro.geometry.maxmindist import max_min_dist_region_rect
 from repro.geometry.rect import Rect
 from repro.rtree.entry import BranchEntry, LeafEntry
 from repro.rtree.mnd_tree import MNDTree
+from repro.obs.registry import REGISTRY
 from repro.rtree.node import Node
 from repro.rtree.rtree import RTree
 from repro.storage.buffer import LRUBufferPool
@@ -75,9 +76,7 @@ def save_rtree(tree: RTree, path: str | Path, codec: PayloadCodec) -> int:
     has_mnd = isinstance(tree, MNDTree)
     # Assign page ids in DFS order; page 0 is metadata, root gets page 1.
     order: list[Node] = list(tree.iter_nodes())
-    page_of: dict[int, int] = {
-        node.node_id: i + 1 for i, node in enumerate(order)
-    }
+    page_of: dict[int, int] = {node.node_id: i + 1 for i, node in enumerate(order)}
 
     page_file = PageFile(path, page_size=tree._pager.page_size)
     pages = [_META.pack(tree.num_entries, tree.height, _FLAG_MND if has_mnd else 0)]
@@ -137,6 +136,9 @@ class DiskRTree:
         self._file = PageFile(path).open()
         self._pager = DiskPager(name, self._file, stats, buffer_pool)
         self.name = name
+        self._reg_node_reads = REGISTRY.counter("rtree.node_reads")
+        self._leaf_read_key = f"reads.{name}.leaf"
+        self._branch_read_key = f"reads.{name}.branch"
         self._codec = codec
         self._radius_of = radius_of
         self._leaf_mbr = leaf_mbr if leaf_mbr is not None else _point_mbr
@@ -172,7 +174,12 @@ class DiskRTree:
     # RTree-compatible query interface
     # ------------------------------------------------------------------
     def read_node(self, node_id: int) -> Node:
-        return self._decode(node_id, self._pager.read(node_id))
+        node = self._decode(node_id, self._pager.read(node_id))
+        self._reg_node_reads.inc()
+        tracer = self._pager.stats._tracer
+        if tracer is not None:
+            tracer.count(self._leaf_read_key if node.is_leaf else self._branch_read_key)
+        return node
 
     def node(self, node_id: int) -> Node:
         return self._decode(node_id, self._pager.peek(node_id))

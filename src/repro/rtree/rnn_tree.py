@@ -50,9 +50,7 @@ def build_rnn_tree(
         buffer_pool=buffer_pool,
         page_size=page_size,
     )
-    items = [
-        (Circle(Point(*point_of(c)), dnn_of(c)).mbr(), c) for c in clients
-    ]
+    items = [(Circle(Point(*point_of(c)), dnn_of(c)).mbr(), c) for c in clients]
     if use_bulk_load:
         bulk_load(tree, items)
     else:

@@ -18,6 +18,7 @@ from __future__ import annotations
 from typing import Any, Iterator, Optional
 
 from repro.geometry.rect import Rect
+from repro.obs.registry import REGISTRY
 from repro.rtree.entry import BranchEntry, LeafEntry
 from repro.rtree.node import Node
 from repro.rtree.split import quadratic_split
@@ -44,6 +45,9 @@ class RTree:
     ):
         self.name = name
         self._pager = Pager(name, branch_layout, stats, buffer_pool, page_size)
+        self._reg_node_reads = REGISTRY.counter("rtree.node_reads")
+        self._leaf_read_key = f"reads.{name}.leaf"
+        self._branch_read_key = f"reads.{name}.branch"
         self.max_leaf = max_leaf_entries or leaf_layout.capacity(page_size)
         self.max_branch = max_branch_entries or branch_layout.capacity(page_size)
         if self.max_leaf < 2 or self.max_branch < 2:
@@ -67,8 +71,19 @@ class RTree:
     # Page plumbing
     # ------------------------------------------------------------------
     def read_node(self, node_id: int) -> Node:
-        """Fetch a node with I/O accounting — the query-time accessor."""
-        return self._pager.read(node_id)
+        """Fetch a node with I/O accounting — the query-time accessor.
+
+        Besides the per-query :class:`IOStats` charge (made by the
+        pager), the fetch bumps the process-wide ``rtree.node_reads``
+        metric and — when a tracer is bound — a per-span leaf/branch
+        counter, so profiles separate directory descent from leaf scans.
+        """
+        node = self._pager.read(node_id)
+        self._reg_node_reads.inc()
+        tracer = self._pager.stats._tracer
+        if tracer is not None:
+            tracer.count(self._leaf_read_key if node.is_leaf else self._branch_read_key)
+        return node
 
     def node(self, node_id: int) -> Node:
         """Fetch a node without accounting (construction/maintenance)."""

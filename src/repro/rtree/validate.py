@@ -50,9 +50,7 @@ def validate_rtree(tree: RTree, check_min_fill: bool = False) -> int:
     return seen
 
 
-def _validate_node(
-    tree: RTree, node: Node, is_root: bool, check_min_fill: bool
-) -> int:
+def _validate_node(tree: RTree, node: Node, is_root: bool, check_min_fill: bool) -> int:
     max_entries = tree._max_entries(node)
     if len(node.entries) > max_entries:
         raise RTreeInvariantError(
@@ -96,5 +94,7 @@ def _validate_node(
                     f"entry MND {entry.mnd} != recomputed {expected} for child "
                     f"{child.node_id}"
                 )
-        count += _validate_node(tree, child, is_root=False, check_min_fill=check_min_fill)
+        count += _validate_node(
+            tree, child, is_root=False, check_min_fill=check_min_fill
+        )
     return count

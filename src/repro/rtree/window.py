@@ -25,15 +25,18 @@ def window_query(
     """
     if tree.num_entries == 0:
         return
+    tracer = tree.stats.tracer
     stack = [tree.root_id]
     while stack:
         node = tree.read_node(stack.pop())
+        tracer.count("window.nodes")
         if node.is_leaf:
             for entry in node.entries:
                 if not window.intersects(entry.mbr):
                     continue
                 if payload_filter is not None and not payload_filter(entry.payload):
                     continue
+                tracer.count("window.hits")
                 yield entry.payload
         else:
             for entry in node.entries:

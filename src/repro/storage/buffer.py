@@ -10,11 +10,20 @@ from __future__ import annotations
 
 from collections import OrderedDict
 
+from repro.obs.registry import REGISTRY
+
 
 class LRUBufferPool:
     """Tracks which pages are resident, evicting least-recently-used."""
 
-    __slots__ = ("capacity", "_resident", "hits", "misses")
+    __slots__ = (
+        "capacity",
+        "_resident",
+        "hits",
+        "misses",
+        "_reg_hits",
+        "_reg_misses",
+    )
 
     def __init__(self, capacity: int):
         if capacity < 1:
@@ -23,6 +32,10 @@ class LRUBufferPool:
         self._resident: OrderedDict[tuple[str, int], None] = OrderedDict()
         self.hits = 0
         self.misses = 0
+        # Process-lifetime hit/miss totals live in the metrics registry;
+        # the instance attributes keep the per-pool, per-run view.
+        self._reg_hits = REGISTRY.counter("storage.buffer.hits")
+        self._reg_misses = REGISTRY.counter("storage.buffer.misses")
 
     def access(self, file_name: str, page_id: int) -> bool:
         """Register an access; returns True on a buffer hit (no disk I/O)."""
@@ -30,8 +43,10 @@ class LRUBufferPool:
         if key in self._resident:
             self._resident.move_to_end(key)
             self.hits += 1
+            self._reg_hits.inc()
             return True
         self.misses += 1
+        self._reg_misses.inc()
         self._resident[key] = None
         if len(self._resident) > self.capacity:
             self._resident.popitem(last=False)

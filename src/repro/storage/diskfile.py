@@ -130,9 +130,7 @@ class DiskPager:
 
     def read(self, page_id: int) -> bytes:
         """Read a page, charging one I/O on a buffer miss."""
-        if self.buffer_pool is None or not self.buffer_pool.access(
-            self.name, page_id
-        ):
+        if self.buffer_pool is None or not self.buffer_pool.access(self.name, page_id):
             self.stats.record_read(self.name)
         return self.file.read_page(page_id)
 

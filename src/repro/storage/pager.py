@@ -7,16 +7,22 @@ pager can enforce capacity — a page can never hold more records than
 would physically fit in ``PAGE_SIZE`` bytes.
 
 Every ``read`` is charged to a shared :class:`~repro.storage.stats.IOStats`
-instance unless an attached buffer pool reports a hit.
+instance unless an attached buffer pool reports a hit.  Allocation
+volume additionally feeds the process-wide ``storage.pages_allocated``
+metric (:mod:`repro.obs.registry`); read/write totals flow into the
+registry through :class:`IOStats` itself.
 """
 
 from __future__ import annotations
 
 from typing import Any, Optional
 
+from repro.obs.registry import REGISTRY
 from repro.storage.buffer import LRUBufferPool
 from repro.storage.records import PAGE_SIZE, RecordLayout
 from repro.storage.stats import IOStats
+
+_PAGES_ALLOCATED = REGISTRY.counter("storage.pages_allocated")
 
 
 class Pager:
@@ -57,6 +63,7 @@ class Pager:
     def allocate(self, payload: Any = None) -> int:
         """Allocate a fresh page holding ``payload``; returns its id."""
         self._pages.append(payload)
+        _PAGES_ALLOCATED.inc()
         return len(self._pages) - 1
 
     def write(self, page_id: int, payload: Any) -> None:
@@ -66,9 +73,7 @@ class Pager:
 
     def read(self, page_id: int) -> Any:
         """Read a page, charging one I/O unless the buffer pool hits."""
-        if self.buffer_pool is None or not self.buffer_pool.access(
-            self.name, page_id
-        ):
+        if self.buffer_pool is None or not self.buffer_pool.access(self.name, page_id):
             self.stats.record_read(self.name)
         return self._pages[page_id]
 

@@ -4,28 +4,72 @@ A single :class:`IOStats` instance is shared by all simulated files and
 trees taking part in a query; every page read is recorded against the
 owning structure's name so experiments can report both the total I/O
 count (the paper's headline metric) and a per-structure breakdown.
+
+Two observability integrations ride on top of the per-query counters
+(:mod:`repro.obs`):
+
+- process-lifetime totals accumulate in the metrics registry
+  (``storage.page_reads`` / ``storage.page_writes``), surviving
+  :meth:`IOStats.reset` — the registry answers "what has this process
+  done", the counters answer "what did this query cost";
+- when a tracer is bound (:meth:`bind_tracer`), every read/write is
+  also attributed to the tracer's innermost open span, giving queries a
+  per-phase I/O breakdown.  Unbound (the default), the cost is a single
+  ``is None`` check.
 """
 
 from __future__ import annotations
 
 from collections import Counter
+from typing import Optional
+
+from repro.obs.registry import REGISTRY
+from repro.obs.trace import NOOP_TRACER, Tracer
 
 
 class IOStats:
     """Counts page reads and writes, grouped by structure name."""
 
-    __slots__ = ("reads", "writes")
+    __slots__ = ("reads", "writes", "_tracer", "_reg_reads", "_reg_writes")
 
     def __init__(self) -> None:
         self.reads: Counter[str] = Counter()
         self.writes: Counter[str] = Counter()
+        self._tracer: Optional[Tracer] = None
+        self._reg_reads = REGISTRY.counter("storage.page_reads")
+        self._reg_writes = REGISTRY.counter("storage.page_writes")
+
+    # ------------------------------------------------------------------
+    def bind_tracer(self, tracer: Optional[Tracer]) -> None:
+        """Attribute subsequent I/O to ``tracer``'s open spans.
+
+        Passing None (or the no-op tracer) unbinds, restoring the
+        zero-overhead fast path.
+        """
+        if tracer is None or not tracer.enabled:
+            self._tracer = None
+        else:
+            self._tracer = tracer
+
+    @property
+    def tracer(self) -> Tracer:
+        """The bound tracer, or the process no-op tracer when unbound."""
+        return self._tracer if self._tracer is not None else NOOP_TRACER
 
     # ------------------------------------------------------------------
     def record_read(self, source: str, pages: int = 1) -> None:
         self.reads[source] += pages
+        self._reg_reads.inc(pages)
+        tracer = self._tracer
+        if tracer is not None:
+            tracer.on_page_read(source, pages)
 
     def record_write(self, source: str, pages: int = 1) -> None:
         self.writes[source] += pages
+        self._reg_writes.inc(pages)
+        tracer = self._tracer
+        if tracer is not None:
+            tracer.on_page_write(source, pages)
 
     # ------------------------------------------------------------------
     @property

@@ -48,9 +48,7 @@ class TestFormulas:
     def test_pruning_power_inversion(self, model):
         w = 0.9
         io = model.io_nfc(50_000, 5_000, w)
-        assert model.pruning_power(int(io), 50_000, 5_000) == pytest.approx(
-            w, abs=0.01
-        )
+        assert model.pruning_power(int(io), 50_000, 5_000) == pytest.approx(w, abs=0.01)
 
     def test_crossover_condition(self, model):
         """Section VII-B: with n_c = 10K and C_m ~ 146-204, IO_q exceeds

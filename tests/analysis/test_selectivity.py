@@ -60,9 +60,7 @@ class TestEmpiricalAgreement:
 
     def test_mean_influence_size(self, big_uniform_ws):
         ws = big_uniform_ws
-        sizes = [
-            len(naive.influence_set(ws, p)) for p in ws.potentials[:100]
-        ]
+        sizes = [len(naive.influence_set(ws, p)) for p in ws.potentials[:100]]
         empirical = float(np.mean(sizes))
         predicted = expected_influence_size(ws.n_c, ws.n_f)
         assert empirical == pytest.approx(predicted, rel=0.30)

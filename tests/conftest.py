@@ -8,7 +8,7 @@ import pytest
 from hypothesis import strategies as st
 
 from repro.core.workspace import Workspace
-from repro.datasets.generators import DOMAIN, SpatialInstance, make_instance
+from repro.datasets.generators import SpatialInstance, make_instance
 from repro.geometry.point import Point
 from repro.geometry.rect import Rect
 

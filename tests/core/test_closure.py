@@ -1,6 +1,5 @@
 """Tests for the facility-closure extension and the 2-NN machinery."""
 
-import math
 import random
 
 import numpy as np
@@ -25,9 +24,7 @@ def random_points(n, seed=0):
 def brute_force_damages(clients, facilities):
     damages = [0.0] * len(facilities)
     for c in clients:
-        dists = sorted(
-            (c.distance_to(Point(*f)), i) for i, f in enumerate(facilities)
-        )
+        dists = sorted((c.distance_to(Point(*f)), i) for i, f in enumerate(facilities))
         (d1, i1), (d2, __) = dists[0], dists[1]
         damages[i1] += d2 - d1
     return damages
@@ -120,6 +117,4 @@ class TestClosureQuery:
         nearest_idx, dnn, dnn2 = second_nearest_distances(clients, facilities)
         for c, i1, d1, d2 in zip(clients, nearest_idx, dnn, dnn2):
             assert d1 <= d2
-            assert c.distance_to(Point(*facilities[i1])) == pytest.approx(
-                d1, abs=1e-9
-            )
+            assert c.distance_to(Point(*facilities[i1])) == pytest.approx(d1, abs=1e-9)

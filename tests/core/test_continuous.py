@@ -13,9 +13,7 @@ from repro.geometry.point import Point
 
 
 def fresh(seed=171, n_c=300, n_f=15, n_p=40) -> ContinuousSelection:
-    return ContinuousSelection(
-        DynamicWorkspace(make_instance(n_c, n_f, n_p, rng=seed))
-    )
+    return ContinuousSelection(DynamicWorkspace(make_instance(n_c, n_f, n_p, rng=seed)))
 
 
 class TestIncrementalMaintenance:
@@ -51,15 +49,11 @@ class TestIncrementalMaintenance:
         for __ in range(50):
             roll = rng.random()
             if roll < 0.35:
-                cs.add_client(
-                    Point(rng.uniform(0, 1000), rng.uniform(0, 1000))
-                )
+                cs.add_client(Point(rng.uniform(0, 1000), rng.uniform(0, 1000)))
             elif roll < 0.6 and len(cs.ws.clients) > 10:
                 cs.remove_client(rng.choice(cs.ws.clients))
             elif roll < 0.85:
-                cs.add_facility(
-                    Point(rng.uniform(0, 1000), rng.uniform(0, 1000))
-                )
+                cs.add_facility(Point(rng.uniform(0, 1000), rng.uniform(0, 1000)))
             elif len(cs.ws.facilities) > 2:
                 cs.remove_facility(rng.choice(cs.ws.facilities))
         assert cs.updates_applied == 50

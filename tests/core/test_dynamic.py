@@ -36,10 +36,7 @@ class TestClientUpdates:
         client = ws.add_client(Point(123.4, 567.8))
         assert ws.n_c == n_before + 1
         assert client.dnn == pytest.approx(
-            min(
-                Point(123.4, 567.8).distance_to(Point(f.x, f.y))
-                for f in ws.facilities
-            )
+            min(Point(123.4, 567.8).distance_to(Point(f.x, f.y)) for f in ws.facilities)
         )
         assert_consistent(ws)
 
@@ -126,15 +123,11 @@ class TestUpdateStorms:
         for step in range(60):
             roll = rng.random()
             if roll < 0.35:
-                ws.add_client(
-                    Point(rng.uniform(0, 1000), rng.uniform(0, 1000))
-                )
+                ws.add_client(Point(rng.uniform(0, 1000), rng.uniform(0, 1000)))
             elif roll < 0.6 and ws.n_c > 10:
                 ws.remove_client(rng.choice(ws.clients))
             elif roll < 0.85:
-                ws.add_facility(
-                    Point(rng.uniform(0, 1000), rng.uniform(0, 1000))
-                )
+                ws.add_facility(Point(rng.uniform(0, 1000), rng.uniform(0, 1000)))
             elif ws.n_f > 2:
                 ws.remove_facility(rng.choice(ws.facilities))
         assert_consistent(ws)

@@ -44,9 +44,7 @@ class TestInfluenceSets:
         for p in ws.potentials:
             expected = sum(
                 ws.clients[i].dnn
-                - Point(ws.clients[i].x, ws.clients[i].y).distance_to(
-                    Point(p.x, p.y)
-                )
+                - Point(ws.clients[i].x, ws.clients[i].y).distance_to(Point(p.x, p.y))
                 for i in sets[p.sid]
             )
             assert dr[p.sid] == pytest.approx(expected, abs=1e-9)

@@ -6,7 +6,6 @@ sets from completely different code paths and demand agreement.
 """
 
 import numpy as np
-import pytest
 from hypothesis import given, settings
 from hypothesis import strategies as st
 
@@ -42,9 +41,7 @@ class TestNFCAgainstGenericJoin:
             d = Point(site.x, site.y).distance_to(Point(client.x, client.y))
             if d < client.dnn:
                 dr[site.sid] += client.weight * (client.dnn - d)
-        np.testing.assert_allclose(
-            dr, naive.distance_reductions(ws), atol=1e-9
-        )
+        np.testing.assert_allclose(dr, naive.distance_reductions(ws), atol=1e-9)
 
 
 class TestJoinEquivalenceProperty:

@@ -73,9 +73,7 @@ class TestPaperExample:
 
 class TestDegenerateInputs:
     def test_single_client_single_potential(self):
-        inst = SpatialInstance(
-            "t", [Point(0, 0)], [Point(10, 0)], [Point(1, 0)]
-        )
+        inst = SpatialInstance("t", [Point(0, 0)], [Point(10, 0)], [Point(1, 0)])
         ws = Workspace(inst)
         assert_all_methods_match_oracle(ws)
         result = make_selector(ws, "MND").select()
@@ -96,9 +94,7 @@ class TestDegenerateInputs:
             assert vec[0] == pytest.approx(0.0, abs=1e-9)
 
     def test_potential_coincides_with_client(self):
-        inst = SpatialInstance(
-            "t", [Point(3, 3)], [Point(10, 10)], [Point(3, 3)]
-        )
+        inst = SpatialInstance("t", [Point(3, 3)], [Point(10, 10)], [Point(3, 3)])
         ws = Workspace(inst)
         assert_all_methods_match_oracle(ws)
         vec = make_selector(ws, "NFC").distance_reductions()
@@ -118,18 +114,14 @@ class TestDegenerateInputs:
             assert result.location.sid == 0  # smallest-id tie-break
 
     def test_duplicate_clients_count_multiply(self):
-        inst = SpatialInstance(
-            "t", [Point(0, 0)] * 4, [Point(10, 0)], [Point(0, 1)]
-        )
+        inst = SpatialInstance("t", [Point(0, 0)] * 4, [Point(10, 0)], [Point(0, 1)])
         ws = Workspace(inst)
         assert_all_methods_match_oracle(ws)
         vec = make_selector(ws, "MND").distance_reductions()
         assert vec[0] == pytest.approx(4 * 9.0)
 
     def test_duplicate_potentials_tie_to_smallest_id(self):
-        inst = SpatialInstance(
-            "t", [Point(0, 0)], [Point(10, 0)], [Point(1, 0)] * 3
-        )
+        inst = SpatialInstance("t", [Point(0, 0)], [Point(10, 0)], [Point(1, 0)] * 3)
         ws = Workspace(inst)
         for name in ALL_METHODS:
             assert make_selector(ws, name).select().location.sid == 0

@@ -1,7 +1,6 @@
 """Tests for the brute-force oracle — including the Definition 1 ==
 Definition 2 equivalence the whole framework rests on."""
 
-import numpy as np
 import pytest
 from hypothesis import given, settings
 from hypothesis import strategies as st
@@ -46,9 +45,7 @@ class TestDistanceReduction:
             members = naive.influence_set(ws, p)
             expected = sum(
                 ws.clients[i].dnn
-                - Point(ws.clients[i].x, ws.clients[i].y).distance_to(
-                    Point(p.x, p.y)
-                )
+                - Point(ws.clients[i].x, ws.clients[i].y).distance_to(Point(p.x, p.y))
                 for i in members
             )
             assert dr[p.sid] == pytest.approx(expected, abs=1e-9)

@@ -64,9 +64,7 @@ def _exhaustive_join_reads(tree_p, tree_c) -> int:
             for e_p in node_p.entries:
                 for e_c in node_c.entries:
                     reads += 2
-                    recurse(
-                        tree_p.node(e_p.child_id), tree_c.node(e_c.child_id)
-                    )
+                    recurse(tree_p.node(e_p.child_id), tree_c.node(e_c.child_id))
 
     recurse(tree_p.node(tree_p.root_id), tree_c.node(tree_c.root_id))
     return reads

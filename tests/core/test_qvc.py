@@ -34,9 +34,7 @@ class TestQuadrantNNs:
                 if not candidates:
                     assert found[quad] is None
                 else:
-                    best = min(
-                        candidates, key=lambda f: Point(f.x, f.y).distance_to(p)
-                    )
+                    best = min(candidates, key=lambda f: Point(f.x, f.y).distance_to(p))
                     assert found[quad] is not None
                     got = Point(found[quad].x, found[quad].y).distance_to(p)
                     want = Point(best.x, best.y).distance_to(p)
@@ -58,9 +56,7 @@ class TestAIR:
                 assert air.contains_point(Point(c.x, c.y)), (p, c)
 
     def test_air_none_when_facility_on_candidate(self):
-        inst = SpatialInstance(
-            "t", [Point(0, 0)], [Point(5, 5)], [Point(5, 5)]
-        )
+        inst = SpatialInstance("t", [Point(0, 0)], [Point(5, 5)], [Point(5, 5)])
         ws = Workspace(inst)
         qvc = QuasiVoronoiCell(ws)
         qvc.prepare()

@@ -41,17 +41,13 @@ class TestTypes:
 
 class TestOneCallAPI:
     def test_select_location_defaults_to_mnd(self):
-        result = select_location(
-            [(0, 0), (1, 1)], [(10, 10)], [(0, 1), (20, 20)]
-        )
+        result = select_location([(0, 0), (1, 1)], [(10, 10)], [(0, 1), (20, 20)])
         assert result.method == "MND"
         assert result.location.sid == 0
 
     def test_select_location_other_methods(self):
         for name in METHODS:
-            result = select_location(
-                [(0, 0)], [(5, 0)], [(1, 0)], method=name.lower()
-            )
+            result = select_location([(0, 0)], [(5, 0)], [(1, 0)], method=name.lower())
             assert result.location.sid == 0
             assert result.dr == pytest.approx(4.0)
 

@@ -32,9 +32,7 @@ class TestWeightedQuery:
     def test_all_methods_match_weighted_oracle(self):
         ws = weighted_ws()
         oracle = brute_force_weighted(ws)
-        np.testing.assert_allclose(
-            naive.distance_reductions(ws), oracle, atol=1e-6
-        )
+        np.testing.assert_allclose(naive.distance_reductions(ws), oracle, atol=1e-6)
         for name in METHODS:
             vec = make_selector(ws, name).distance_reductions()
             np.testing.assert_allclose(vec, oracle, atol=1e-6, err_msg=name)
@@ -45,9 +43,7 @@ class TestWeightedQuery:
         assert all(c.weight == 1.0 for c in ws.clients)
 
     def test_double_weight_doubles_contribution(self):
-        base = SpatialInstance(
-            "w1", [Point(0, 0)], [Point(10, 0)], [Point(1, 0)]
-        )
+        base = SpatialInstance("w1", [Point(0, 0)], [Point(10, 0)], [Point(1, 0)])
         doubled = SpatialInstance(
             "w2",
             [Point(0, 0)],
@@ -120,9 +116,7 @@ class TestWeightedDynamics:
         from repro.core.continuous import ContinuousSelection
         from repro.core.dynamic import DynamicWorkspace
 
-        cs = ContinuousSelection(
-            DynamicWorkspace(make_instance(150, 8, 20, rng=164))
-        )
+        cs = ContinuousSelection(DynamicWorkspace(make_instance(150, 8, 20, rng=164)))
         heavy = cs.add_client(Point(500, 500), weight=25.0)
         assert heavy.weight == 25.0
         assert cs.verify()

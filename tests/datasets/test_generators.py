@@ -1,6 +1,5 @@
 """Tests for synthetic dataset generators (Table IV)."""
 
-import math
 import statistics
 
 import pytest
@@ -71,9 +70,7 @@ class TestMakeInstance:
         assert (inst.n_c, inst.n_f, inst.n_p) == (100, 10, 20)
 
     def test_distribution_params_forwarded(self):
-        inst = make_instance(
-            50, 5, 5, distribution="gaussian", sigma_sq=0.125, rng=8
-        )
+        inst = make_instance(50, 5, 5, distribution="gaussian", sigma_sq=0.125, rng=8)
         assert inst.n_c == 50
 
     def test_unknown_distribution(self):

@@ -73,9 +73,7 @@ class TestExtensions:
         assert "clients influenced" in out
 
     def test_evaluate_explicit_ids(self, capsys):
-        assert main(
-            ["evaluate", "--random", "300", "10", "8", "--ids", "2,5"]
-        ) == 0
+        assert main(["evaluate", "--random", "300", "10", "8", "--ids", "2,5"]) == 0
         out = capsys.readouterr().out
         assert "candidate p2" in out and "candidate p5" in out
 

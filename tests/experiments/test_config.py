@@ -1,6 +1,5 @@
 """Tests for experiment configuration."""
 
-import pytest
 
 from repro.experiments.config import (
     BENCH_SCALE,

@@ -40,9 +40,7 @@ class TestFullRun:
             run_full_evaluation(tmp_path, figures=["fig99"])
 
     def test_figure_registry_is_complete(self):
-        assert set(FIGURES) == {
-            "fig10", "fig11", "fig12", "fig13", "fig13b", "fig14"
-        }
+        assert set(FIGURES) == {"fig10", "fig11", "fig12", "fig13", "fig13b", "fig14"}
 
     def test_echo_receives_progress(self, tmp_path):
         lines = []

@@ -79,8 +79,6 @@ class TestSweeps:
 class TestSeriesAPI:
     def test_missing_x_raises(self):
         sweep = SweepResult("s", "n_c", x_values=[1.0])
-        sweep.runs.append(
-            MeasuredRun("l", "MND", 2.0, 0.1, 5, 3, 1.0, 0)
-        )
+        sweep.runs.append(MeasuredRun("l", "MND", 2.0, 0.1, 5, 3, 1.0, 0))
         with pytest.raises(KeyError):
             sweep.series("MND", "io_total")

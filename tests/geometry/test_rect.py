@@ -125,9 +125,7 @@ class TestDistances:
     def test_min_dist_point_matches_sampled_lower_bound(self, r, p):
         """minDist is a lower bound of distances to corners and the
         clamped projection realises it."""
-        clamped = Point(
-            min(max(p[0], r.xmin), r.xmax), min(max(p[1], r.ymin), r.ymax)
-        )
+        clamped = Point(min(max(p[0], r.xmin), r.xmax), min(max(p[1], r.ymin), r.ymax))
         assert math.isclose(
             r.min_dist_point(p), p.distance_to(clamped), rel_tol=1e-12, abs_tol=1e-12
         )
@@ -142,7 +140,12 @@ class TestDistances:
             r.min_dist_sq_point(p), r.min_dist_point(p) ** 2, abs_tol=1e-6
         )
 
-    @given(rects(), rects(), st.floats(min_value=0, max_value=1), st.floats(min_value=0, max_value=1))
+    @given(
+        rects(),
+        rects(),
+        st.floats(min_value=0, max_value=1),
+        st.floats(min_value=0, max_value=1),
+    )
     def test_min_dist_rect_is_lower_bound(self, a, b, tx, ty):
         """Any point of b is at least min_dist_rect away from a."""
         p = Point(b.xmin + tx * b.width, b.ymin + ty * b.height)

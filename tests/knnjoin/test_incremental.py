@@ -90,9 +90,7 @@ class TestOpSequences:
         )
     )
     def test_random_sequences_stay_exact(self, op_list):
-        m = DnnMaintainer(
-            random_points(25, seed=8), [Point(50, 50), Point(10, 90)]
-        )
+        m = DnnMaintainer(random_points(25, seed=8), [Point(50, 50), Point(10, 90)])
         added: list[Point] = []
         for is_add, x, y in op_list:
             if is_add or not added:

@@ -35,9 +35,7 @@ class TestAgreement:
         expected = [c.distance_to(f) for c in clients]
         for join in (nn_join_nested_loop, nn_join_grid, nn_join_rtree):
             got = join(clients, [f])
-            assert all(
-                math.isclose(g, e, abs_tol=1e-9) for g, e in zip(got, expected)
-            )
+            assert all(math.isclose(g, e, abs_tol=1e-9) for g, e in zip(got, expected))
 
     def test_client_on_facility_has_zero_dnn(self):
         facilities = random_points(10, seed=4)
@@ -84,18 +82,14 @@ class TestFacilityGrid:
         d, f = grid.nearest(q)
         assert f in facilities
         assert math.isclose(d, q.distance_to(f), abs_tol=1e-12)
-        assert math.isclose(
-            d, min(q.distance_to(p) for p in facilities), abs_tol=1e-9
-        )
+        assert math.isclose(d, min(q.distance_to(p) for p in facilities), abs_tol=1e-9)
 
     def test_query_far_outside_grid_bounds(self):
         facilities = random_points(20, seed=8, lo=400, hi=600)
         grid = FacilityGrid(facilities)
         q = Point(-5000, 9000)
         d, __ = grid.nearest(q)
-        assert math.isclose(
-            d, min(q.distance_to(p) for p in facilities), abs_tol=1e-9
-        )
+        assert math.isclose(d, min(q.distance_to(p) for p in facilities), abs_tol=1e-9)
 
     def test_degenerate_all_same_point(self):
         grid = FacilityGrid([Point(5, 5)] * 7)

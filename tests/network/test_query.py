@@ -25,9 +25,7 @@ class TestNetworkDnn:
         facilities = [0, 20, 35]
         dnn = network_dnn(net, facilities)
         for node in net.nodes():
-            expected = min(
-                net.shortest_path_length(node, f) for f in facilities
-            )
+            expected = min(net.shortest_path_length(node, f) for f in facilities)
             assert dnn[node] == pytest.approx(expected)
 
     def test_facility_nodes_have_zero(self):
@@ -107,9 +105,7 @@ class TestPruningEfficiency:
         """With plenty of facilities, NFDs are short, so the bounded
         expansion touches a small neighbourhood."""
         net = delaunay_network(600, rng=13)
-        clients, facilities, candidates = sample_instance(
-            net, 300, 60, 15, seed=14
-        )
+        clients, facilities, candidates = sample_instance(net, 300, 60, 15, seed=14)
         query = NetworkMindistQuery(net, clients, facilities, candidates)
         full = query.select(pruned=False)
         pruned = query.select(pruned=True)

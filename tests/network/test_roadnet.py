@@ -1,6 +1,5 @@
 """Tests for road-network construction."""
 
-import math
 import random
 
 import networkx as nx

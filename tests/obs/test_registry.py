@@ -1,0 +1,136 @@
+"""Metrics registry: counters, gauges, histograms, snapshots."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.obs import REGISTRY, Counter, Gauge, Histogram, MetricsRegistry
+from repro.storage.stats import IOStats
+
+
+class TestCounter:
+    def test_inc_and_reset(self):
+        c = Counter("c")
+        assert c.value == 0
+        c.inc()
+        c.inc(9)
+        assert c.value == 10
+        c.reset()
+        assert c.value == 0
+
+
+class TestGauge:
+    def test_set_inc_dec(self):
+        g = Gauge("g")
+        g.set(5)
+        g.inc(2.5)
+        g.dec()
+        assert g.value == pytest.approx(6.5)
+        g.reset()
+        assert g.value == 0.0
+
+
+class TestHistogram:
+    def test_aggregates(self):
+        h = Histogram("h")
+        for v in (1.0, 2.0, 3.0, 4.0):
+            h.observe(v)
+        assert h.count == 4
+        assert h.sum == pytest.approx(10.0)
+        assert h.mean == pytest.approx(2.5)
+        assert h.min == 1.0
+        assert h.max == 4.0
+        assert h.quantile(0.0) == 1.0
+        assert h.quantile(1.0) == 4.0
+
+    def test_empty(self):
+        h = Histogram("h")
+        assert h.mean == 0.0
+        assert h.quantile(0.5) == 0.0
+
+    def test_quantile_bounds(self):
+        h = Histogram("h")
+        with pytest.raises(ValueError):
+            h.quantile(1.5)
+
+    def test_sample_window_is_bounded(self):
+        h = Histogram("h", max_samples=8)
+        for v in range(100):
+            h.observe(float(v))
+        assert h.count == 100
+        assert len(h._samples) == 8
+        assert h.max == 99.0  # scalar aggregates still cover everything
+
+
+class TestRegistry:
+    def test_get_or_create_returns_same_object(self):
+        reg = MetricsRegistry()
+        a = reg.counter("x")
+        b = reg.counter("x")
+        assert a is b
+        assert len(reg) == 1
+        assert "x" in reg
+        assert reg.get("x") is a
+        assert reg.get("missing") is None
+
+    def test_kind_mismatch_raises(self):
+        reg = MetricsRegistry()
+        reg.counter("x")
+        with pytest.raises(TypeError, match="already registered"):
+            reg.gauge("x")
+
+    def test_names_sorted(self):
+        reg = MetricsRegistry()
+        reg.counter("b")
+        reg.gauge("a")
+        assert reg.names() == ["a", "b"]
+
+    def test_snapshot_with_prefix_and_histogram_expansion(self):
+        reg = MetricsRegistry()
+        reg.counter("storage.reads").inc(3)
+        reg.gauge("storage.resident").set(1.5)
+        reg.histogram("query.latency").observe(0.25)
+        reg.counter("other").inc()
+        snap = reg.snapshot("storage.")
+        assert snap == {"storage.reads": 3.0, "storage.resident": 1.5}
+        snap = reg.snapshot("query.")
+        assert snap == {
+            "query.latency.count": 1.0,
+            "query.latency.sum": 0.25,
+            "query.latency.mean": 0.25,
+        }
+
+    def test_reset_selected_and_all(self):
+        reg = MetricsRegistry()
+        reg.counter("a").inc(5)
+        reg.counter("b").inc(5)
+        reg.reset(["a", "nonexistent"])
+        assert reg.counter("a").value == 0
+        assert reg.counter("b").value == 5
+        reg.reset()
+        assert reg.counter("b").value == 0
+
+
+class TestStorageReporting:
+    def test_iostats_reports_into_default_registry(self):
+        reads = REGISTRY.counter("storage.page_reads")
+        writes = REGISTRY.counter("storage.page_writes")
+        before_r, before_w = reads.value, writes.value
+        stats = IOStats()
+        stats.record_read("file.C", 3)
+        stats.record_write("file.C", 2)
+        stats.record_read("R_C")
+        assert reads.value - before_r == 4
+        assert writes.value - before_w == 2
+        # Per-workspace accounting unchanged by the registry.
+        assert stats.total_reads == 4
+        assert stats.total_writes == 2
+
+    def test_iostats_reset_leaves_registry_totals(self):
+        reads = REGISTRY.counter("storage.page_reads")
+        stats = IOStats()
+        stats.record_read("file.C", 5)
+        before = reads.value
+        stats.reset()
+        assert stats.total_reads == 0
+        assert reads.value == before  # process-lifetime total survives

@@ -1,0 +1,86 @@
+"""Span-tree reports: sibling merging, tree rendering, breakdowns."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.obs import (
+    Tracer,
+    format_span_tree,
+    merge_spans,
+    phase_breakdown,
+)
+
+
+def _loop_trace():
+    """A root with three same-named loop iterations and one odd child."""
+    tracer = Tracer()
+    with tracer.span("query.qvc") as root:
+        tracer.on_page_read("R_P", 1)
+        for _ in range(3):
+            with tracer.span("qvc.window"):
+                tracer.on_page_read("R_C", 2)
+                tracer.count("window.nodes", 5)
+        with tracer.span("qvc.air"):
+            tracer.count("cells", 1)
+    return root
+
+
+class TestMergeSpans:
+    def test_same_named_siblings_fold_into_one(self):
+        merged = merge_spans(_loop_trace())
+        assert [c.name for c in merged.children] == ["qvc.window", "qvc.air"]
+        window = merged.children[0]
+        assert window.counters["calls"] == 3
+        assert window.reads == {"R_C": 6}
+        assert window.counters["window.nodes"] == 15
+        assert merged.children[1].counters["calls"] == 1
+
+    def test_merge_preserves_totals(self):
+        root = _loop_trace()
+        merged = merge_spans(root)
+        assert merged.total_reads == root.total_reads == 7
+        total_elapsed = sum(c.elapsed_s for c in root.children)
+        merged_elapsed = sum(c.elapsed_s for c in merged.children)
+        assert merged_elapsed == pytest.approx(total_elapsed)
+
+    def test_original_tree_untouched(self):
+        root = _loop_trace()
+        merge_spans(root)
+        assert len(root.children) == 4
+        assert "calls" not in root.counters
+
+
+class TestFormatSpanTree:
+    def test_renders_merged_tree(self):
+        text = format_span_tree(_loop_trace())
+        lines = text.splitlines()
+        assert lines[0].startswith("query.qvc")
+        assert any("qvc.window x3" in line for line in lines)
+        assert any("`- qvc.air" in line for line in lines)
+        assert any("6 rd" in line for line in lines)
+        assert any("window.nodes=15" in line for line in lines)
+
+    def test_counters_can_be_hidden(self):
+        text = format_span_tree(_loop_trace(), show_counters=False)
+        assert "window.nodes" not in text
+        assert "qvc.window x3" in text
+
+    def test_unmerged_rendering(self):
+        text = format_span_tree(_loop_trace(), merge_siblings=False)
+        assert text.count("qvc.window") == 3
+        assert "x3" not in text
+
+
+class TestPhaseBreakdown:
+    def test_rows_aggregate_by_name(self):
+        rows = phase_breakdown(_loop_trace())
+        assert set(rows) == {"query.qvc", "qvc.window", "qvc.air"}
+        assert rows["qvc.window"]["calls"] == 3
+        assert rows["qvc.window"]["page_reads"] == 6
+        assert rows["query.qvc"]["page_reads"] == 1
+
+    def test_page_reads_sum_to_tree_total(self):
+        root = _loop_trace()
+        rows = phase_breakdown(root)
+        assert sum(r["page_reads"] for r in rows.values()) == root.total_reads

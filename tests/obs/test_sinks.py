@@ -1,0 +1,87 @@
+"""Sinks: in-memory collection, JSON-lines round-trip, callbacks."""
+
+from __future__ import annotations
+
+import io
+import json
+
+from repro.obs import (
+    CallbackSink,
+    InMemorySink,
+    JsonLinesSink,
+    Tracer,
+    read_jsonl,
+)
+
+
+def _trace_two_roots(tracer: Tracer) -> None:
+    with tracer.span("first"):
+        tracer.on_page_read("R_C", 2)
+        with tracer.span("inner"):
+            tracer.count("nodes", 3)
+    with tracer.span("second"):
+        tracer.on_page_write("file.P", 1)
+
+
+class TestInMemorySink:
+    def test_collects_roots_in_order(self):
+        sink = InMemorySink()
+        _trace_two_roots(Tracer([sink]))
+        assert [r.name for r in sink.roots] == ["first", "second"]
+        assert sink.last.name == "second"
+        sink.clear()
+        assert len(sink) == 0
+        assert sink.last is None
+
+
+class TestCallbackSink:
+    def test_invokes_function_per_root(self):
+        seen = []
+        _trace_two_roots(Tracer([CallbackSink(lambda root: seen.append(root.name))]))
+        assert seen == ["first", "second"]
+
+
+class TestJsonLinesSink:
+    def test_stream_round_trip(self):
+        stream = io.StringIO()
+        _trace_two_roots(Tracer([JsonLinesSink(stream)]))
+        lines = stream.getvalue().strip().splitlines()
+        assert len(lines) == 2
+        # Each line is a standalone JSON object.
+        first = json.loads(lines[0])
+        assert first["name"] == "first"
+        assert first["reads"] == {"R_C": 2}
+        assert first["children"][0]["counters"] == {"nodes": 3}
+
+        stream.seek(0)
+        roots = read_jsonl(stream)
+        assert [r.name for r in roots] == ["first", "second"]
+        assert roots[0].reads == {"R_C": 2}
+        assert roots[0].children[0].counters == {"nodes": 3}
+        assert roots[1].writes == {"file.P": 1}
+
+    def test_file_round_trip(self, tmp_path):
+        path = tmp_path / "trace.jsonl"
+        with JsonLinesSink(path) as sink:
+            _trace_two_roots(Tracer([sink]))
+        roots = read_jsonl(path)
+        assert [r.name for r in roots] == ["first", "second"]
+        assert roots[0].children[0].name == "inner"
+
+    def test_file_appends_across_sinks(self, tmp_path):
+        path = tmp_path / "trace.jsonl"
+        for _ in range(2):
+            with JsonLinesSink(path) as sink:
+                tracer = Tracer([sink])
+                with tracer.span("run"):
+                    pass
+        assert len(read_jsonl(path)) == 2
+
+    def test_multiple_sinks_all_receive(self):
+        memory = InMemorySink()
+        stream = io.StringIO()
+        tracer = Tracer([memory, JsonLinesSink(stream)])
+        with tracer.span("root"):
+            pass
+        assert memory.last.name == "root"
+        assert json.loads(stream.getvalue())["name"] == "root"

@@ -1,0 +1,176 @@
+"""Span/tracer mechanics: nesting, attribution, no-op mode."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.obs import (
+    NOOP_SPAN,
+    NOOP_TRACER,
+    InMemorySink,
+    NoopTracer,
+    Span,
+    Tracer,
+)
+
+
+class TestSpanNesting:
+    def test_nested_spans_form_a_tree(self):
+        sink = InMemorySink()
+        tracer = Tracer([sink])
+        with tracer.span("root"):
+            with tracer.span("child-a"):
+                with tracer.span("grandchild"):
+                    pass
+            with tracer.span("child-b"):
+                pass
+        root = sink.last
+        assert root is not None
+        assert root.name == "root"
+        assert [c.name for c in root.children] == ["child-a", "child-b"]
+        assert [c.name for c in root.children[0].children] == ["grandchild"]
+        assert root.children[0].parent is root
+
+    def test_only_root_spans_are_emitted(self):
+        sink = InMemorySink()
+        tracer = Tracer([sink])
+        with tracer.span("root"):
+            with tracer.span("inner"):
+                pass
+            assert len(sink) == 0
+        assert len(sink) == 1
+        with tracer.span("another-root"):
+            pass
+        assert [r.name for r in sink.roots] == ["root", "another-root"]
+
+    def test_current_tracks_innermost(self):
+        tracer = Tracer()
+        assert tracer.current is None
+        with tracer.span("outer") as outer:
+            assert tracer.current is outer
+            with tracer.span("inner") as inner:
+                assert tracer.current is inner
+            assert tracer.current is outer
+        assert tracer.current is None
+
+    def test_elapsed_time_recorded_and_nested(self):
+        tracer = Tracer()
+        with tracer.span("root") as root:
+            with tracer.span("child") as child:
+                pass
+        assert root.elapsed_s > 0.0
+        assert child.elapsed_s > 0.0
+        assert root.elapsed_s >= child.elapsed_s
+        assert root.self_s == pytest.approx(root.elapsed_s - child.elapsed_s)
+
+    def test_exception_unwinding_closes_spans(self):
+        sink = InMemorySink()
+        tracer = Tracer([sink])
+        with pytest.raises(RuntimeError):
+            with tracer.span("root"):
+                with tracer.span("inner"):
+                    raise RuntimeError("boom")
+        # Both spans closed, the root reached the sink, stack is clean.
+        assert tracer.current is None
+        assert sink.last is not None and sink.last.name == "root"
+        assert [c.name for c in sink.last.children] == ["inner"]
+
+    def test_walk_and_find(self):
+        tracer = Tracer()
+        with tracer.span("a") as a:
+            with tracer.span("b"):
+                with tracer.span("c"):
+                    pass
+            with tracer.span("b"):
+                pass
+        assert [s.name for s in a.walk()] == ["a", "b", "c", "b"]
+        found = a.find("c")
+        assert found is not None and found.name == "c"
+        assert a.find("missing") is None
+
+
+class TestAttribution:
+    def test_counters_attach_to_innermost_span(self):
+        tracer = Tracer()
+        with tracer.span("outer") as outer:
+            tracer.count("widgets", 2)
+            with tracer.span("inner") as inner:
+                tracer.count("widgets", 5)
+            tracer.count("widgets")
+        assert outer.counters == {"widgets": 3}
+        assert inner.counters == {"widgets": 5}
+
+    def test_page_reads_attach_to_innermost_span(self):
+        tracer = Tracer()
+        with tracer.span("outer") as outer:
+            tracer.on_page_read("file.C", 3)
+            with tracer.span("inner") as inner:
+                tracer.on_page_read("file.C", 4)
+                tracer.on_page_read("R_C", 1)
+            tracer.on_page_write("file.C", 2)
+        assert outer.reads == {"file.C": 3}
+        assert outer.writes == {"file.C": 2}
+        assert inner.reads == {"file.C": 4, "R_C": 1}
+        assert outer.page_reads == 3
+        assert inner.page_reads == 5
+        assert outer.total_reads == 8  # subtree cumulative
+        assert outer.total_writes == 2
+
+    def test_events_outside_any_span_are_dropped(self):
+        tracer = Tracer()
+        tracer.count("orphan")
+        tracer.on_page_read("file.C", 1)
+        tracer.on_page_write("file.C", 1)
+        assert tracer.current is None  # nothing blew up, nothing recorded
+
+    def test_span_count_method(self):
+        tracer = Tracer()
+        with tracer.span("s") as s:
+            s.count("hits")
+            s.count("hits", 4)
+        assert s.counters == {"hits": 5}
+
+
+class TestNoopMode:
+    def test_singletons(self):
+        assert NOOP_TRACER.span("anything") is NOOP_SPAN
+        assert isinstance(NOOP_TRACER, NoopTracer)
+        assert NOOP_TRACER.enabled is False
+        assert Tracer.enabled is True
+
+    def test_noop_span_is_a_context_manager(self):
+        with NOOP_TRACER.span("phase") as span:
+            span.count("anything", 7)
+        # Stateless: no attributes were created.
+        assert not hasattr(span, "counters")
+
+    def test_noop_absorbs_all_events(self):
+        NOOP_TRACER.count("c", 10)
+        NOOP_TRACER.on_page_read("file.C", 10)
+        NOOP_TRACER.on_page_write("file.C", 10)
+        assert NOOP_TRACER.current is None
+
+    def test_noop_rejects_sinks(self):
+        with pytest.raises(TypeError):
+            NOOP_TRACER.add_sink(InMemorySink())
+
+
+class TestSerialisation:
+    def test_to_dict_from_dict_round_trip(self):
+        tracer = Tracer()
+        with tracer.span("root") as root:
+            tracer.on_page_read("R_C", 7)
+            tracer.count("nodes", 3)
+            with tracer.span("leaf"):
+                tracer.on_page_write("file.P", 2)
+        data = root.to_dict()
+        rebuilt = Span.from_dict(data)
+        assert rebuilt.name == "root"
+        assert rebuilt.reads == {"R_C": 7}
+        assert rebuilt.counters == {"nodes": 3}
+        assert rebuilt.elapsed_s == pytest.approx(root.elapsed_s)
+        (leaf,) = rebuilt.children
+        assert leaf.name == "leaf"
+        assert leaf.writes == {"file.P": 2}
+        assert leaf.parent is rebuilt
+        assert rebuilt.to_dict() == data

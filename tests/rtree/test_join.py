@@ -30,12 +30,7 @@ class TestIntersectionJoin:
         a = random_rects(80, seed=1)
         b = random_rects(120, seed=2)
         got = sorted(intersection_join(build(a, "a"), build(b, "b")))
-        expected = sorted(
-            (ia, ib)
-            for ra, ia in a
-            for rb, ib in b
-            if ra.intersects(rb)
-        )
+        expected = sorted((ia, ib) for ra, ia in a for rb, ib in b if ra.intersects(rb))
         assert got == expected
 
     def test_empty_side_yields_nothing(self):
@@ -50,9 +45,7 @@ class TestIntersectionJoin:
         a = random_rects(5, seed=4)
         b = random_rects(800, seed=5)
         got = sorted(intersection_join(build(a, "a"), build(b, "b")))
-        expected = sorted(
-            (ia, ib) for ra, ia in a for rb, ib in b if ra.intersects(rb)
-        )
+        expected = sorted((ia, ib) for ra, ia in a for rb, ib in b if ra.intersects(rb))
         assert got == expected
 
     def test_point_in_region_join(self):

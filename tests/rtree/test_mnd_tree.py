@@ -123,9 +123,7 @@ class TestTheorem1Semantics:
             node, mnd = stack.pop()
             self._check_node(tree, node, mnd, rect, lambda p: radius[p])
             if not node.is_leaf:
-                stack.extend(
-                    (tree.node(e.child_id), e.mnd) for e in node.entries
-                )
+                stack.extend((tree.node(e.child_id), e.mnd) for e in node.entries)
 
     def test_explicit_counterexample_shape(self):
         """A far-away rect is pruned at the root; a rect inside a big NFC

@@ -76,11 +76,7 @@ class TestNearestNeighbor:
         tree = build_tree(pts)
         q = Point(500, 500)
         d, nn = next(
-            iter(
-                incremental_nearest(
-                    tree, q, payload_filter=lambda p: p[0] > 800
-                )
-            )
+            iter(incremental_nearest(tree, q, payload_filter=lambda p: p[0] > 800))
         )
         candidates = [p for p in pts if p[0] > 800]
         assert nn == min(candidates, key=lambda p: p.distance_to(q))
@@ -93,9 +89,7 @@ class TestQuadrantNN:
         for q in random_points(10, seed=6):
             for quad in range(4):
                 result = nearest_in_quadrant(tree, q, quad)
-                candidates = [
-                    p for p in pts if p.quadrant_relative_to(q) == quad
-                ]
+                candidates = [p for p in pts if p.quadrant_relative_to(q) == quad]
                 if not candidates:
                     assert result is None
                 else:
@@ -120,12 +114,13 @@ class TestQuadrantNN:
             nearest_in_quadrant(tree, Point(0, 0), 4)
 
     @settings(max_examples=40, deadline=None)
-    @given(st.integers(min_value=0, max_value=3), st.integers(min_value=0, max_value=10_000))
+    @given(
+        st.integers(min_value=0, max_value=3),
+        st.integers(min_value=0, max_value=10_000),
+    )
     def test_quadrant_nn_property(self, quad, seed):
         rng = random.Random(seed)
-        pts = [
-            Point(rng.uniform(0, 100), rng.uniform(0, 100)) for __ in range(30)
-        ]
+        pts = [Point(rng.uniform(0, 100), rng.uniform(0, 100)) for __ in range(30)]
         tree = build_tree(pts, max_entries=4)
         q = Point(rng.uniform(0, 100), rng.uniform(0, 100))
         result = nearest_in_quadrant(tree, q, quad)

@@ -220,9 +220,7 @@ class TestRNNTreeOnDisk:
         path = tmp_path / "rnn.pages"
         save_rtree(tree, path, ClientCodec())
         leaf_mbr = lambda c: Circle(Point(c.x, c.y), c.dnn).mbr()
-        with DiskRTree(
-            "d", path, ClientCodec(), IOStats(), leaf_mbr=leaf_mbr
-        ) as disk:
+        with DiskRTree("d", path, ClientCodec(), IOStats(), leaf_mbr=leaf_mbr) as disk:
             mem = {(e.payload.cid, e.mbr) for e in tree.iter_leaf_entries()}
             got = {(e.payload.cid, e.mbr) for e in disk.iter_leaf_entries()}
             assert got == mem

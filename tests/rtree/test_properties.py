@@ -47,9 +47,7 @@ def test_rtree_mirrors_reference_dict(op_list, max_entries):
     validate_rtree(tree)
     assert {e.payload for e in tree.iter_leaf_entries()} == set(live)
     # Full-domain window query returns everything alive.
-    everything = {
-        payload for payload in window_query(tree, Rect(-1, -1, 101, 101))
-    }
+    everything = {payload for payload in window_query(tree, Rect(-1, -1, 101, 101))}
     assert everything == set(live)
 
 

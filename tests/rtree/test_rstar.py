@@ -61,7 +61,10 @@ class TestRStarStructure:
         assert pts[idx] == min(pts, key=lambda p: p.distance_to(q))
 
     @settings(max_examples=25, deadline=None)
-    @given(st.integers(min_value=0, max_value=5000), st.integers(min_value=4, max_value=10))
+    @given(
+        st.integers(min_value=0, max_value=5000),
+        st.integers(min_value=4, max_value=10),
+    )
     def test_random_inserts_property(self, seed, max_entries):
         pts = random_points(120, seed=seed)
         tree = build_rstar(pts, max_entries=max_entries)
@@ -78,9 +81,7 @@ class TestRStarQuality:
         pts = []
         for __ in range(40):  # clustered data: where R* shines
             cx, cy = rng.uniform(0, 900), rng.uniform(0, 900)
-            pts.extend(
-                Point(rng.gauss(cx, 12), rng.gauss(cy, 12)) for __ in range(25)
-            )
+            pts.extend(Point(rng.gauss(cx, 12), rng.gauss(cy, 12)) for __ in range(25))
         g_stats, r_stats = IOStats(), IOStats()
         guttman = RTree("g", g_stats, max_leaf_entries=8, max_branch_entries=8)
         rstar = RStarTree("r", r_stats, max_leaf_entries=8, max_branch_entries=8)

@@ -32,9 +32,7 @@ class TestGrowth:
     def test_deterministic_under_seed(self, small_config):
         a = UrbanGrowthSimulation(small_config).run(3)
         b = UrbanGrowthSimulation(small_config).run(3)
-        assert [r.built.location.sid for r in a] == [
-            r.built.location.sid for r in b
-        ]
+        assert [r.built.location.sid for r in a] == [r.built.location.sid for r in b]
         assert [r.avg_nfd for r in a] == [r.avg_nfd for r in b]
 
 
@@ -62,9 +60,7 @@ class TestQueryIntegration:
                 "check",
                 clients=sim.residents,
                 facilities=facilities_before,
-                potentials=[
-                    p if isinstance(p, tuple) else p for p in market_before
-                ],
+                potentials=[p if isinstance(p, tuple) else p for p in market_before],
             )
             __site, best_dr = naive.select(Workspace(inst))
             assert record.built.dr == pytest.approx(best_dr, abs=1e-6)

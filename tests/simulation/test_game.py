@@ -83,15 +83,9 @@ class TestRejoinQueries:
         for r in records:
             assert r.selection.dr >= 0
             # after = before - dr / mobs
-            expected_after = (
-                r.avg_mob_distance_before - r.selection.dr / r.mobs_alive
-            )
-            assert r.avg_mob_distance_after == pytest.approx(
-                expected_after, abs=1e-6
-            )
+            expected_after = (r.avg_mob_distance_before - r.selection.dr / r.mobs_alive)
+            assert r.avg_mob_distance_after == pytest.approx(expected_after, abs=1e-6)
 
     def test_no_rejoins_when_probability_zero(self):
-        sim = QuestSimulation(
-            GameConfig(rejoin_probability=0.0, camps=2, seed=1)
-        )
+        sim = QuestSimulation(GameConfig(rejoin_probability=0.0, camps=2, seed=1))
         assert sim.run(50) == []

@@ -1,7 +1,6 @@
 """Tests for sequential block files."""
 
 import numpy as np
-import pytest
 
 from repro.storage.blockfile import BlockFile
 from repro.storage.records import POINT_RECORD, RecordLayout

@@ -1,6 +1,5 @@
 """Tests for the binary record/entry codecs."""
 
-import pytest
 from hypothesis import given
 from hypothesis import strategies as st
 
@@ -50,9 +49,7 @@ class TestRoundTrips:
         site = codec.decode(codec.encode(Site(sid, x, y)))
         assert site == Site(sid, x, y)
 
-    @given(
-        st.integers(min_value=0, max_value=2**32 - 1), finite, finite, finite
-    )
+    @given(st.integers(min_value=0, max_value=2**32 - 1), finite, finite, finite)
     def test_client_roundtrip(self, cid, x, y, dnn):
         codec = ClientCodec()
         client = codec.decode(codec.encode(Client(cid, x, y, dnn)))
@@ -71,9 +68,7 @@ class TestRoundTrips:
         rect = Rect(1.5, 2.5, 3.5, 4.5)
         plain = decode_branch(encode_branch(rect, child, None), with_mnd=False)
         assert plain == (rect, child, None)
-        augmented = decode_branch(
-            encode_branch(rect, child, mnd), with_mnd=True
-        )
+        augmented = decode_branch(encode_branch(rect, child, mnd), with_mnd=True)
         assert augmented[0] == rect
         assert augmented[1] == child
         assert augmented[2] == mnd
