@@ -1,0 +1,101 @@
+"""Benchmark recording, regression gating and history (`repro.bench`).
+
+The paper's contribution is a set of comparative cost curves; this
+package keeps the reproduction honest about its own curves over time.
+It layers on the observability of :mod:`repro.obs` and the experiment
+harness of :mod:`repro.experiments`:
+
+* :mod:`repro.bench.record` — the schema-versioned measurement record
+  (``BENCH_<suite>.json``): per method/config I/O totals, index vs.
+  data page splits, per-phase breakdowns, median-of-k wall times, and
+  an environment fingerprint;
+* :mod:`repro.bench.suites` — named suites (``smoke``, ``micro``,
+  ``fig10``/``fig11``/``fig12``) and the recorder that runs them;
+* :mod:`repro.bench.compare` — noise-aware comparison: exact-match
+  policy for deterministic page counts, relative tolerance for wall
+  times, structured improved/unchanged/regressed verdicts;
+* :mod:`repro.bench.history` — the append-only JSON-lines trajectory
+  (``benchmarks/history.jsonl``) and its sparkline/markdown reports.
+
+Recording and gating in three lines::
+
+    from repro.bench import run_suite, compare_records, BenchRecord
+
+    baseline = BenchRecord.read("BENCH_smoke.json")
+    report = compare_records(baseline, run_suite("smoke"))
+    assert report.ok(), report.format()
+
+The CLI front end is ``mindist bench run|compare|report|suites``.
+"""
+
+from __future__ import annotations
+
+from repro.bench.compare import (
+    DEFAULT_TIME_TOLERANCE,
+    IMPROVED,
+    MISSING,
+    NEW,
+    REGRESSED,
+    UNCHANGED,
+    ComparisonReport,
+    Verdict,
+    compare_records,
+)
+from repro.bench.history import (
+    DEFAULT_HISTORY_PATH,
+    append_history,
+    history_row,
+    load_history,
+    markdown_summary,
+    sparkline,
+    trend_report,
+)
+from repro.bench.record import (
+    DETERMINISTIC_METRICS,
+    SCHEMA_VERSION,
+    TIMING_METRICS,
+    BenchEntry,
+    BenchRecord,
+    environment_fingerprint,
+    git_sha,
+)
+from repro.bench.suites import (
+    DEFAULT_REPEATS,
+    SUITES,
+    Suite,
+    get_suite,
+    run_suite,
+    suite_names,
+)
+
+__all__ = [
+    "BenchEntry",
+    "BenchRecord",
+    "ComparisonReport",
+    "DEFAULT_HISTORY_PATH",
+    "DEFAULT_REPEATS",
+    "DEFAULT_TIME_TOLERANCE",
+    "DETERMINISTIC_METRICS",
+    "IMPROVED",
+    "MISSING",
+    "NEW",
+    "REGRESSED",
+    "SCHEMA_VERSION",
+    "SUITES",
+    "Suite",
+    "TIMING_METRICS",
+    "UNCHANGED",
+    "Verdict",
+    "append_history",
+    "compare_records",
+    "environment_fingerprint",
+    "get_suite",
+    "git_sha",
+    "history_row",
+    "load_history",
+    "markdown_summary",
+    "run_suite",
+    "sparkline",
+    "suite_names",
+    "trend_report",
+]

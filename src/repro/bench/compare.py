@@ -1,0 +1,310 @@
+"""Noise-aware comparison of two benchmark records.
+
+Two policies, chosen per metric:
+
+* **exact** — page-read counts and index sizes are fully deterministic
+  given the dataset seed, so *any* increase is a regression and any
+  decrease an improvement; there is no tolerance to hide behind.
+* **relative tolerance** — wall times are noisy even after the
+  recorder's median-of-k smoothing, so they compare under a relative
+  tolerance (default ±25 %) and, by default, do not gate: a timing
+  verdict outside the tolerance is reported as improved/regressed but
+  only fails the comparison when the caller opts in (``gate_time``),
+  because CI machines differ from the baseline recorder's machine.
+
+The result is a structured verdict per (configuration, method, metric),
+an overall pass/fail, and renderers for terminals and CI logs.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Optional
+
+from repro.bench.record import (
+    DETERMINISTIC_METRICS,
+    TIMING_METRICS,
+    BenchRecord,
+)
+
+#: Default relative tolerance for wall-time metrics.
+DEFAULT_TIME_TOLERANCE = 0.25
+
+IMPROVED = "improved"
+UNCHANGED = "unchanged"
+REGRESSED = "regressed"
+MISSING = "missing"  # in the baseline, absent from the current run
+NEW = "new"  # in the current run, absent from the baseline
+
+
+@dataclass(frozen=True)
+class Verdict:
+    """The comparison outcome for one (config, method, metric)."""
+
+    config: str
+    method: str
+    metric: str
+    status: str
+    baseline: Optional[float] = None
+    current: Optional[float] = None
+    gating: bool = True  # does this verdict participate in pass/fail?
+    note: str = ""
+
+    @property
+    def delta(self) -> Optional[float]:
+        if self.baseline is None or self.current is None:
+            return None
+        return self.current - self.baseline
+
+    @property
+    def relative_delta(self) -> Optional[float]:
+        if self.baseline is None or self.current is None or not self.baseline:
+            return None
+        return (self.current - self.baseline) / self.baseline
+
+    def format(self) -> str:
+        if self.baseline is None or self.current is None:
+            return (
+                f"{self.config} {self.method:>4} {self.metric:<12} "
+                f"{self.status.upper()}  {self.note}".rstrip()
+            )
+        rel = self.relative_delta
+        rel_text = f" ({rel:+.1%})" if rel is not None else ""
+        return (
+            f"{self.config} {self.method:>4} {self.metric:<12} "
+            f"{self.baseline:g} -> {self.current:g}{rel_text}  "
+            f"{self.status.upper()}"
+        )
+
+    def to_dict(self) -> dict:
+        return {
+            "config": self.config,
+            "method": self.method,
+            "metric": self.metric,
+            "status": self.status,
+            "baseline": self.baseline,
+            "current": self.current,
+            "gating": self.gating,
+            "note": self.note,
+        }
+
+
+@dataclass
+class ComparisonReport:
+    """All verdicts of one baseline-vs-current comparison."""
+
+    suite: str
+    baseline_env: dict = field(default_factory=dict)
+    current_env: dict = field(default_factory=dict)
+    verdicts: list[Verdict] = field(default_factory=list)
+
+    @property
+    def regressions(self) -> list[Verdict]:
+        return [
+            v
+            for v in self.verdicts
+            if v.gating and v.status in (REGRESSED, MISSING)
+        ]
+
+    @property
+    def improvements(self) -> list[Verdict]:
+        return [v for v in self.verdicts if v.status == IMPROVED]
+
+    def ok(self) -> bool:
+        return not self.regressions
+
+    def counts(self) -> dict[str, int]:
+        out: dict[str, int] = {}
+        for verdict in self.verdicts:
+            out[verdict.status] = out.get(verdict.status, 0) + 1
+        return out
+
+    def format(self, verbose: bool = False) -> str:
+        """Human-readable summary; ``verbose`` lists unchanged rows too."""
+        lines = [f"suite: {self.suite}"]
+        base_sha = self.baseline_env.get("git_sha", "?")
+        cur_sha = self.current_env.get("git_sha", "?")
+        lines.append(f"baseline {base_sha} vs current {cur_sha}")
+        shown = [
+            v
+            for v in self.verdicts
+            if verbose or v.status not in (UNCHANGED,)
+        ]
+        if shown:
+            lines.append("")
+            lines.extend(v.format() for v in shown)
+        counts = self.counts()
+        lines.append("")
+        lines.append(
+            "verdicts: "
+            + ", ".join(f"{counts[k]} {k}" for k in sorted(counts))
+        )
+        if self.ok():
+            lines.append("PASS: no gated regressions")
+        else:
+            lines.append(
+                f"FAIL: {len(self.regressions)} gated regression(s)"
+            )
+        return "\n".join(lines)
+
+    def to_dict(self) -> dict:
+        return {
+            "suite": self.suite,
+            "ok": self.ok(),
+            "verdicts": [v.to_dict() for v in self.verdicts],
+        }
+
+
+def _timing_comparable(baseline_env: dict, current_env: dict) -> str:
+    """A note when wall times were recorded on observably different
+    environments (platform or Python build)."""
+    keys = ("platform", "python")
+    diffs = [
+        k
+        for k in keys
+        if baseline_env.get(k) != current_env.get(k)
+        and baseline_env.get(k) is not None
+    ]
+    if diffs:
+        return "environments differ: " + ", ".join(diffs)
+    return ""
+
+
+def compare_records(
+    baseline: BenchRecord,
+    current: BenchRecord,
+    time_tolerance: float = DEFAULT_TIME_TOLERANCE,
+    gate_time: bool = False,
+) -> ComparisonReport:
+    """Compare ``current`` against ``baseline``, metric by metric.
+
+    Raises ``ValueError`` when the records are not comparable at all
+    (different suites — the configurations would not line up).
+    """
+    if baseline.suite != current.suite:
+        raise ValueError(
+            f"cannot compare suite {current.suite!r} against baseline "
+            f"suite {baseline.suite!r}"
+        )
+    if time_tolerance < 0:
+        raise ValueError("time_tolerance must be >= 0")
+
+    report = ComparisonReport(
+        suite=baseline.suite,
+        baseline_env=dict(baseline.environment),
+        current_env=dict(current.environment),
+    )
+    env_note = _timing_comparable(baseline.environment, current.environment)
+
+    base_entries = baseline.by_key()
+    cur_entries = current.by_key()
+
+    for key, base in base_entries.items():
+        cur = cur_entries.get(key)
+        config, method = key
+        if cur is None:
+            report.verdicts.append(
+                Verdict(
+                    config=config,
+                    method=method,
+                    metric="*",
+                    status=MISSING,
+                    note="entry absent from the current run",
+                )
+            )
+            continue
+        # Deterministic metrics: exact-match policy, gating.
+        for metric in DETERMINISTIC_METRICS:
+            b, c = base.metrics.get(metric), cur.metrics.get(metric)
+            if b is None or c is None:
+                continue
+            if c == b:
+                status = UNCHANGED
+            elif c < b:
+                status = IMPROVED
+            else:
+                status = REGRESSED
+            report.verdicts.append(
+                Verdict(
+                    config=config,
+                    method=method,
+                    metric=metric,
+                    status=status,
+                    baseline=b,
+                    current=c,
+                )
+            )
+        # Timing metrics: relative tolerance, advisory unless opted in.
+        for metric in TIMING_METRICS:
+            b, c = base.metrics.get(metric), cur.metrics.get(metric)
+            if b is None or c is None:
+                continue
+            rel = (c - b) / b if b else 0.0
+            if abs(rel) <= time_tolerance:
+                status = UNCHANGED
+            elif rel < 0:
+                status = IMPROVED
+            else:
+                status = REGRESSED
+            report.verdicts.append(
+                Verdict(
+                    config=config,
+                    method=method,
+                    metric=metric,
+                    status=status,
+                    baseline=b,
+                    current=c,
+                    gating=gate_time,
+                    note=env_note,
+                )
+            )
+        # Per-phase page reads: informational (phase names legitimately
+        # change when code is restructured; io_total already gates).
+        for phase, row in base.phases.items():
+            cur_row = cur.phases.get(phase)
+            b_reads = float(row.get("page_reads", 0.0))
+            if cur_row is None:
+                report.verdicts.append(
+                    Verdict(
+                        config=config,
+                        method=method,
+                        metric=f"phase[{phase}]",
+                        status=MISSING,
+                        baseline=b_reads,
+                        gating=False,
+                        note="phase absent from the current run",
+                    )
+                )
+                continue
+            c_reads = float(cur_row.get("page_reads", 0.0))
+            if c_reads == b_reads:
+                status = UNCHANGED
+            elif c_reads < b_reads:
+                status = IMPROVED
+            else:
+                status = REGRESSED
+            report.verdicts.append(
+                Verdict(
+                    config=config,
+                    method=method,
+                    metric=f"phase[{phase}]",
+                    status=status,
+                    baseline=b_reads,
+                    current=c_reads,
+                    gating=False,
+                )
+            )
+
+    for key, cur in cur_entries.items():
+        if key not in base_entries:
+            report.verdicts.append(
+                Verdict(
+                    config=key[0],
+                    method=key[1],
+                    metric="*",
+                    status=NEW,
+                    gating=False,
+                    note="entry not in the baseline",
+                )
+            )
+    return report

@@ -1,0 +1,200 @@
+"""The benchmark history: an append-only JSON-lines trajectory.
+
+Every recorded suite execution appends one compact line to
+``benchmarks/history.jsonl`` — suite, timestamp, git SHA and the
+per-method totals of each tracked metric (summed across the suite's
+configurations, so multi-config sweeps contribute one scalar per
+method per metric).  The renderers turn that trajectory into an ASCII
+sparkline table (terminals) or a markdown summary (CI artifacts), so
+the repo's performance history is inspectable without external tooling.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+from typing import Optional, Sequence, Union
+
+from repro.bench.record import BenchRecord
+
+#: Default history location, relative to the repo root.
+DEFAULT_HISTORY_PATH = Path("benchmarks") / "history.jsonl"
+
+#: Metrics tracked in history rows (per-method totals across configs).
+HISTORY_METRICS = ("io_total", "index_reads", "data_reads", "elapsed_s")
+
+_SPARK_CHARS = "▁▂▃▄▅▆▇█"
+
+
+def history_row(record: BenchRecord) -> dict:
+    """Flatten a record to the one-line shape stored in the history."""
+    return {
+        "schema_version": record.schema_version,
+        "suite": record.suite,
+        "date_utc": record.environment.get("date_utc"),
+        "git_sha": record.environment.get("git_sha"),
+        "python": record.environment.get("python"),
+        "repeats": record.repeats,
+        "methods": {
+            method: {
+                metric: record.totals(metric).get(method, 0.0)
+                for metric in HISTORY_METRICS
+            }
+            for method in record.methods()
+        },
+    }
+
+
+def append_history(
+    record: BenchRecord, path: Union[str, Path] = DEFAULT_HISTORY_PATH
+) -> Path:
+    """Append ``record``'s history row; creates the file if absent."""
+    path = Path(path)
+    path.parent.mkdir(parents=True, exist_ok=True)
+    with path.open("a", encoding="utf-8") as stream:
+        stream.write(json.dumps(history_row(record), sort_keys=True) + "\n")
+    return path
+
+
+def load_history(
+    path: Union[str, Path] = DEFAULT_HISTORY_PATH,
+    suite: Optional[str] = None,
+) -> list[dict]:
+    """All history rows (oldest first), optionally for one suite.
+
+    Unparseable lines are skipped rather than fatal: the history is
+    append-only across many tool versions and a single corrupt line
+    must not take down trend reporting.
+    """
+    path = Path(path)
+    if not path.exists():
+        return []
+    rows: list[dict] = []
+    for line in path.read_text(encoding="utf-8").splitlines():
+        line = line.strip()
+        if not line:
+            continue
+        try:
+            row = json.loads(line)
+        except json.JSONDecodeError:
+            continue
+        if not isinstance(row, dict):
+            continue
+        if suite is not None and row.get("suite") != suite:
+            continue
+        rows.append(row)
+    return rows
+
+
+def sparkline(values: Sequence[float]) -> str:
+    """Render ``values`` as a fixed-height unicode sparkline."""
+    if not values:
+        return ""
+    lo, hi = min(values), max(values)
+    if hi == lo:
+        return _SPARK_CHARS[0] * len(values)
+    span = hi - lo
+    top = len(_SPARK_CHARS) - 1
+    return "".join(
+        _SPARK_CHARS[min(top, int((v - lo) / span * top))] for v in values
+    )
+
+
+def _series(
+    rows: Sequence[dict], method: str, metric: str
+) -> list[Optional[float]]:
+    out: list[Optional[float]] = []
+    for row in rows:
+        value = row.get("methods", {}).get(method, {}).get(metric)
+        out.append(float(value) if value is not None else None)
+    return out
+
+
+def _methods_in(rows: Sequence[dict]) -> list[str]:
+    seen: list[str] = []
+    for row in rows:
+        for method in row.get("methods", {}):
+            if method not in seen:
+                seen.append(method)
+    return seen
+
+
+def _fmt(value: Optional[float], metric: str) -> str:
+    if value is None:
+        return "-"
+    if metric.startswith(("io_", "index_", "data_")):
+        return f"{value:g}"
+    return f"{value:.3f}"
+
+
+def trend_report(
+    rows: Sequence[dict],
+    metrics: Sequence[str] = ("io_total", "elapsed_s"),
+    last: int = 20,
+) -> str:
+    """An ASCII trend table: one sparkline per method x metric.
+
+    ``rows`` is the output of :func:`load_history` (one suite); the
+    report covers the most recent ``last`` entries.
+    """
+    if not rows:
+        return "history is empty — record a run with `mindist bench run`"
+    rows = list(rows)[-last:]
+    suite = rows[-1].get("suite", "?")
+    lines = [
+        f"suite {suite}: {len(rows)} run(s), "
+        f"{rows[0].get('git_sha', '?')} .. {rows[-1].get('git_sha', '?')}"
+    ]
+    width = max(len(m) for m in _methods_in(rows)) if _methods_in(rows) else 4
+    for metric in metrics:
+        lines.append("")
+        lines.append(f"{metric}:")
+        for method in _methods_in(rows):
+            series = _series(rows, method, metric)
+            present = [v for v in series if v is not None]
+            if not present:
+                continue
+            first, latest = present[0], present[-1]
+            change = ""
+            if first:
+                change = f" ({(latest - first) / first:+.1%})"
+            lines.append(
+                f"  {method:>{width}}  {sparkline(present)}  "
+                f"{_fmt(first, metric)} -> {_fmt(latest, metric)}{change}"
+            )
+    return "\n".join(lines)
+
+
+def markdown_summary(
+    rows: Sequence[dict],
+    metrics: Sequence[str] = ("io_total", "elapsed_s"),
+    last: int = 20,
+) -> str:
+    """The same trajectory as a markdown table (for CI artifacts)."""
+    if not rows:
+        return "_history is empty_\n"
+    rows = list(rows)[-last:]
+    suite = rows[-1].get("suite", "?")
+    out = [
+        f"## Benchmark trend — suite `{suite}`",
+        "",
+        f"{len(rows)} run(s), `{rows[0].get('git_sha', '?')}` .. "
+        f"`{rows[-1].get('git_sha', '?')}` "
+        f"(latest: {rows[-1].get('date_utc', '?')})",
+        "",
+        "| method | metric | trend | first | latest | change |",
+        "|---|---|---|---:|---:|---:|",
+    ]
+    for metric in metrics:
+        for method in _methods_in(rows):
+            series = [v for v in _series(rows, method, metric) if v is not None]
+            if not series:
+                continue
+            first, latest = series[0], series[-1]
+            change = f"{(latest - first) / first:+.1%}" if first else "n/a"
+            out.append(
+                f"| {method} | {metric} | `{sparkline(series)}` | "
+                f"{_fmt(first, metric)} | {_fmt(latest, metric)} | {change} |"
+            )
+    out.append("")
+    return "\n".join(out)

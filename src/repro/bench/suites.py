@@ -1,0 +1,154 @@
+"""Named benchmark suites and the recorder that runs them.
+
+A suite is a fixed list of (x, configuration) pairs plus the methods to
+measure — the unit the regression gate operates on.  The registry holds:
+
+* ``smoke`` — the CI gate: the single configuration of
+  :mod:`repro.experiments.smoke`, where the paper's Fig. 10 ordering
+  (MND I/O < SS I/O) already holds;
+* ``micro`` — a seconds-fast single configuration for tests and quick
+  local sanity checks (too small for the paper's ordering regime);
+* ``fig10`` / ``fig11`` / ``fig12`` — scaled-down versions of the
+  paper's cardinality sweeps (vary |C| / |F| / |P|), for tracking the
+  comparative *curves* rather than one point.
+
+:func:`run_suite` executes a suite through the profiled experiment
+runner with median-of-k repeats, verifies the observability invariant
+(per-phase reads sum to the I/O total) on every run, and returns a
+schema-versioned :class:`~repro.bench.record.BenchRecord`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, replace
+from typing import Callable, Optional, Sequence, Union
+
+from repro.bench.record import BenchEntry, BenchRecord, environment_fingerprint
+from repro.core import Workspace
+from repro.experiments.config import PAPER_SWEEPS, ExperimentConfig
+from repro.experiments.runner import run_config
+from repro.experiments.smoke import (
+    SMOKE_CONFIG,
+    SMOKE_METHODS,
+    check_phase_attribution,
+)
+
+#: Default number of repeats per (config, method): page reads are
+#: deterministic, so the repeats exist purely to median-smooth wall
+#: times; three is enough to drop one outlier.
+DEFAULT_REPEATS = 3
+
+#: Scale applied to the paper's Table IV sweep values for the fig*
+#: suites — small enough that a whole sweep records in a couple of
+#: minutes of pure Python, large enough that the trees have depth and
+#: the comparative shapes survive.
+SWEEP_SUITE_SCALE = 0.02
+
+
+@dataclass(frozen=True)
+class Suite:
+    """A named, fixed list of configurations to measure."""
+
+    name: str
+    description: str
+    configs: tuple[tuple[Optional[float], ExperimentConfig], ...]
+    methods: tuple[str, ...] = SMOKE_METHODS
+
+    def seed(self) -> Optional[int]:
+        """The dataset seed, when every configuration shares one."""
+        seeds = {config.seed for _, config in self.configs}
+        return seeds.pop() if len(seeds) == 1 else None
+
+
+def _sweep_suite(
+    name: str, description: str, parameter: str, scale: float = SWEEP_SUITE_SCALE
+) -> Suite:
+    base = ExperimentConfig().scaled(scale)
+    configs = []
+    for value in PAPER_SWEEPS[parameter]:
+        scaled_value = max(2, int(value * scale))
+        configs.append(
+            (float(scaled_value), replace(base, **{parameter: scaled_value}))
+        )
+    return Suite(name=name, description=description, configs=tuple(configs))
+
+
+def _builtin_suites() -> dict[str, Suite]:
+    return {
+        "smoke": Suite(
+            name="smoke",
+            description="CI regression gate: the smoke config "
+            "(Fig. 10 regime, all four methods)",
+            configs=((None, SMOKE_CONFIG),),
+        ),
+        "micro": Suite(
+            name="micro",
+            description="seconds-fast single config for tests and quick checks",
+            configs=((None, ExperimentConfig(n_c=2_000, n_f=100, n_p=100)),),
+        ),
+        "fig10": _sweep_suite(
+            "fig10", "scaled-down Fig. 10 sweep (vary |C|)", "n_c"
+        ),
+        "fig11": _sweep_suite(
+            "fig11", "scaled-down Fig. 11 sweep (vary |F|)", "n_f"
+        ),
+        "fig12": _sweep_suite(
+            "fig12", "scaled-down Fig. 12 sweep (vary |P|)", "n_p"
+        ),
+    }
+
+
+SUITES: dict[str, Suite] = _builtin_suites()
+
+
+def suite_names() -> list[str]:
+    return sorted(SUITES)
+
+
+def get_suite(name: str) -> Suite:
+    try:
+        return SUITES[name]
+    except KeyError:
+        raise ValueError(
+            f"unknown suite {name!r}; available: {', '.join(suite_names())}"
+        ) from None
+
+
+def run_suite(
+    suite: Union[str, Suite],
+    repeats: int = DEFAULT_REPEATS,
+    methods: Optional[Sequence[str]] = None,
+    progress: Optional[Callable[[str], None]] = None,
+) -> BenchRecord:
+    """Record one execution of ``suite``.
+
+    Each configuration's workspace is built once (dataset generation and
+    index construction stay out of the measured window) and every method
+    is run ``repeats`` times on it; per-phase I/O attribution is checked
+    against the I/O totals so a tracing regression can never produce a
+    plausible-looking record.
+    """
+    if isinstance(suite, str):
+        suite = get_suite(suite)
+    chosen = tuple(methods) if methods is not None else suite.methods
+
+    record = BenchRecord(
+        suite=suite.name,
+        repeats=repeats,
+        environment=environment_fingerprint(dataset_seed=suite.seed()),
+    )
+    for x, config in suite.configs:
+        if progress is not None:
+            progress(f"running {config.label()} ({', '.join(chosen)}) ...")
+        workspace = Workspace(config.instance())
+        runs = run_config(
+            config,
+            methods=chosen,
+            x=x,
+            workspace=workspace,
+            profile=True,
+            repeats=repeats,
+        )
+        check_phase_attribution(runs)
+        record.entries.extend(BenchEntry.from_run(run) for run in runs)
+    return record

@@ -13,6 +13,9 @@ Subcommands::
     mindist simulate city --periods 6
     mindist simulate game --ticks 120
     mindist reproduce --out results/ --scale 0.2
+    mindist bench run smoke --out BENCH_smoke.json
+    mindist bench compare BENCH_smoke.json
+    mindist bench report --last 20
 
 ``query`` answers one min-dist location selection query; ``compare``
 runs all four methods side by side; ``profile`` runs a query under the
@@ -22,7 +25,9 @@ figure experiments; ``plan`` selects k locations greedily; ``close``
 finds the cheapest facility to shut down; ``evaluate`` reports what
 specific candidates would achieve; ``simulate`` drives the motivating
 application simulators; ``reproduce`` regenerates the *entire*
-evaluation (tables, CSVs and SVG figures) in one call.
+evaluation (tables, CSVs and SVG figures) in one call; ``bench``
+records named benchmark suites, gates against committed baselines and
+renders the performance trajectory (see :mod:`repro.bench`).
 """
 
 from __future__ import annotations
@@ -329,6 +334,177 @@ def _cmd_reproduce(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_bench_run(args: argparse.Namespace) -> int:
+    from repro.bench import append_history, run_suite
+
+    methods = args.methods.split(",") if args.methods else None
+    record = run_suite(
+        args.suite,
+        repeats=args.repeats,
+        methods=methods,
+        progress=lambda line: print(line, file=sys.stderr),
+    )
+    out = args.out or f"BENCH_{record.suite}.json"
+    record.write(out)
+    print(f"wrote {out} ({len(record.entries)} entries)")
+    if not args.no_history:
+        path = append_history(record, args.history)
+        print(f"appended to {path}")
+    for method, total in sorted(record.totals("io_total").items()):
+        elapsed = record.totals("elapsed_s").get(method, 0.0)
+        print(f"  {method:>4}  io={int(total):>7}  elapsed={elapsed:.3f}s")
+    return 0
+
+
+def _cmd_bench_compare(args: argparse.Namespace) -> int:
+    import json as _json
+
+    from repro.bench import BenchRecord, compare_records, run_suite
+
+    try:
+        baseline = BenchRecord.read(args.baseline)
+    except (OSError, ValueError, KeyError) as exc:
+        print(f"error: cannot read baseline {args.baseline}: {exc}", file=sys.stderr)
+        return 2
+    if args.current:
+        try:
+            current = BenchRecord.read(args.current)
+        except (OSError, ValueError, KeyError) as exc:
+            print(
+                f"error: cannot read current {args.current}: {exc}", file=sys.stderr
+            )
+            return 2
+    else:
+        current = run_suite(
+            baseline.suite,
+            repeats=args.repeats if args.repeats else baseline.repeats,
+            progress=lambda line: print(line, file=sys.stderr),
+        )
+    report = compare_records(
+        baseline,
+        current,
+        time_tolerance=args.time_tolerance,
+        gate_time=args.gate_time,
+    )
+    print(report.format(verbose=args.verbose))
+    if args.json:
+        with open(args.json, "w", encoding="utf-8") as stream:
+            _json.dump(report.to_dict(), stream, indent=2)
+            stream.write("\n")
+        print(f"wrote {args.json}")
+    return 0 if report.ok() else 1
+
+
+def _cmd_bench_report(args: argparse.Namespace) -> int:
+    from repro.bench import load_history, markdown_summary, trend_report
+
+    rows = load_history(args.history, suite=args.suite)
+    if not rows:
+        print(
+            f"no history rows in {args.history}"
+            + (f" for suite {args.suite!r}" if args.suite else "")
+        )
+        return 1
+    metrics = args.metrics.split(",") if args.metrics else ("io_total", "elapsed_s")
+    render = markdown_summary if args.markdown else trend_report
+    print(render(rows, metrics=metrics, last=args.last))
+    return 0
+
+
+def _cmd_bench_suites(args: argparse.Namespace) -> int:
+    from repro.bench import SUITES, suite_names
+
+    for name in suite_names():
+        suite = SUITES[name]
+        print(
+            f"{name:>6}  {len(suite.configs)} config(s), "
+            f"methods {','.join(suite.methods)} — {suite.description}"
+        )
+    return 0
+
+
+def _add_bench_parser(sub: argparse._SubParsersAction) -> None:
+    p_bench = sub.add_parser(
+        "bench", help="record benchmark suites and gate against baselines"
+    )
+    bench_sub = p_bench.add_subparsers(dest="bench_command", required=True)
+
+    p_run = bench_sub.add_parser("run", help="record one suite execution")
+    p_run.add_argument("suite", help="suite name (see `mindist bench suites`)")
+    p_run.add_argument(
+        "--repeats",
+        type=int,
+        default=3,
+        help="wall-time samples per method (median reported)",
+    )
+    p_run.add_argument("--methods", help="comma-separated subset, e.g. NFC,MND")
+    p_run.add_argument(
+        "--out", help="output JSON path (default BENCH_<suite>.json)"
+    )
+    p_run.add_argument(
+        "--history",
+        default="benchmarks/history.jsonl",
+        help="history JSONL to append to",
+    )
+    p_run.add_argument(
+        "--no-history",
+        action="store_true",
+        help="do not append this run to the history",
+    )
+    p_run.set_defaults(func=_cmd_bench_run)
+
+    p_cmp = bench_sub.add_parser(
+        "compare", help="compare a fresh (or saved) run against a baseline"
+    )
+    p_cmp.add_argument("baseline", help="baseline BENCH_<suite>.json")
+    p_cmp.add_argument(
+        "--current",
+        help="compare this saved record instead of re-running the suite",
+    )
+    p_cmp.add_argument(
+        "--repeats",
+        type=int,
+        default=0,
+        help="repeats for the fresh run (default: the baseline's)",
+    )
+    p_cmp.add_argument(
+        "--time-tolerance",
+        type=float,
+        default=0.25,
+        help="relative tolerance for wall-time metrics",
+    )
+    p_cmp.add_argument(
+        "--gate-time",
+        action="store_true",
+        help="fail on wall-time regressions too (deterministic I/O "
+        "metrics always gate)",
+    )
+    p_cmp.add_argument(
+        "--verbose", action="store_true", help="list unchanged verdicts too"
+    )
+    p_cmp.add_argument("--json", help="also write the structured verdicts here")
+    p_cmp.set_defaults(func=_cmd_bench_compare)
+
+    p_rep = bench_sub.add_parser("report", help="render the history trend")
+    p_rep.add_argument(
+        "--history",
+        default="benchmarks/history.jsonl",
+        help="history JSONL to read",
+    )
+    p_rep.add_argument("--suite", help="restrict to one suite")
+    p_rep.add_argument("--last", type=int, default=20, help="runs to include")
+    p_rep.add_argument(
+        "--metrics", help="comma-separated metrics (default io_total,elapsed_s)"
+    )
+    p_rep.add_argument(
+        "--markdown", action="store_true", help="markdown instead of ASCII"
+    )
+    p_rep.set_defaults(func=_cmd_bench_report)
+
+    p_suites = bench_sub.add_parser("suites", help="list the available suites")
+    p_suites.set_defaults(func=_cmd_bench_suites)
+
+
 def build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="mindist",
@@ -418,6 +594,8 @@ def build_parser() -> argparse.ArgumentParser:
     )
     _add_instance_args(p_stats)
     p_stats.set_defaults(func=_cmd_stats)
+
+    _add_bench_parser(sub)
     return parser
 
 

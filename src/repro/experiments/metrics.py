@@ -12,6 +12,10 @@ class MeasuredRun:
     ``phases`` is the per-phase observability breakdown (span name ->
     ``{elapsed_s, self_s, page_reads, calls}``) captured by the runner's
     tracer; empty when the run was executed without profiling.
+
+    ``elapsed_s`` is the median over ``elapsed_samples`` when the runner
+    executed the query more than once (``repeats > 1``); the raw samples
+    are kept so the benchmark recorder can serialise them.
     """
 
     config_label: str
@@ -24,11 +28,24 @@ class MeasuredRun:
     location_id: int
     io_breakdown: dict[str, int] = field(default_factory=dict)
     phases: dict[str, dict[str, float]] = field(default_factory=dict)
+    elapsed_samples: list[float] = field(default_factory=list)
 
     def phase_reads(self) -> int:
         """Total page reads across phases (equals ``io_total`` when the
         run was profiled — the smoke benchmark's invariant)."""
         return int(sum(row["page_reads"] for row in self.phases.values()))
+
+    def index_reads(self) -> int:
+        """Page reads served by index structures (``R_*`` sources)."""
+        return sum(
+            pages
+            for source, pages in self.io_breakdown.items()
+            if source.startswith("R_")
+        )
+
+    def data_reads(self) -> int:
+        """Page reads served by plain data files (non-index sources)."""
+        return self.io_total - self.index_reads()
 
 
 @dataclass

@@ -1,0 +1,23 @@
+"""Shared fixtures: one recorded micro-suite run for the whole package.
+
+Recording even the micro suite costs a second or so, and most tests
+only need *a* valid record — so it is session-scoped and copied via
+round-trip where mutation is needed.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.bench import BenchRecord, run_suite
+
+
+@pytest.fixture(scope="session")
+def micro_record() -> BenchRecord:
+    return run_suite("micro", repeats=2)
+
+
+@pytest.fixture
+def record_copy(micro_record) -> BenchRecord:
+    """A deep, independently mutable copy of the session record."""
+    return BenchRecord.loads(micro_record.dumps())

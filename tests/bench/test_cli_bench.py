@@ -1,0 +1,163 @@
+"""End-to-end tests of `mindist bench run|compare|report|suites`."""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro.bench import BenchRecord
+from repro.cli import main
+
+
+@pytest.fixture
+def recorded(tmp_path, micro_record):
+    """A baseline JSON + matching history file under tmp_path."""
+    baseline = tmp_path / "BENCH_micro.json"
+    micro_record.write(baseline)
+    return baseline
+
+
+class TestRun:
+    def test_run_writes_record_and_history(self, tmp_path, capsys):
+        out = tmp_path / "BENCH_micro.json"
+        history = tmp_path / "history.jsonl"
+        code = main(
+            [
+                "bench", "run", "micro",
+                "--repeats", "1",
+                "--out", str(out),
+                "--history", str(history),
+            ]
+        )
+        assert code == 0
+        assert "wrote" in capsys.readouterr().out
+        record = BenchRecord.read(out)
+        assert record.suite == "micro"
+        assert history.exists()
+
+    def test_run_no_history(self, tmp_path):
+        out = tmp_path / "b.json"
+        history = tmp_path / "history.jsonl"
+        assert main(
+            [
+                "bench", "run", "micro",
+                "--repeats", "1",
+                "--out", str(out),
+                "--history", str(history),
+                "--no-history",
+            ]
+        ) == 0
+        assert not history.exists()
+
+    def test_run_method_subset(self, tmp_path):
+        out = tmp_path / "b.json"
+        assert main(
+            [
+                "bench", "run", "micro",
+                "--repeats", "1",
+                "--methods", "SS,MND",
+                "--out", str(out),
+                "--no-history",
+            ]
+        ) == 0
+        assert BenchRecord.read(out).methods() == ["SS", "MND"]
+
+    def test_unknown_suite_fails(self):
+        with pytest.raises(ValueError):
+            main(["bench", "run", "nope", "--no-history"])
+
+
+class TestCompare:
+    def test_unchanged_tree_exits_zero(self, recorded, tmp_path, capsys):
+        # Acceptance criterion: compare against the committed baseline
+        # on an unchanged tree succeeds (fresh re-run of the suite).
+        code = main(
+            ["bench", "compare", str(recorded), "--repeats", "1"]
+        )
+        assert code == 0
+        assert "PASS" in capsys.readouterr().out
+
+    def test_injected_regression_exits_nonzero(self, recorded, tmp_path, capsys):
+        # Acceptance criterion: +1 page read on the current run over the
+        # baseline -> non-zero exit and a per-method/per-metric verdict.
+        data = json.loads(recorded.read_text())
+        current = tmp_path / "current.json"
+        current.write_text(json.dumps(data))
+        for entry in data["entries"]:
+            if entry["method"] == "MND":
+                entry["metrics"]["io_total"] -= 1  # baseline was 1 page cheaper
+        recorded.write_text(json.dumps(data))
+        code = main(
+            ["bench", "compare", str(recorded), "--current", str(current)]
+        )
+        assert code == 1
+        out = capsys.readouterr().out
+        assert "FAIL" in out
+        assert "MND" in out
+        assert "io_total" in out
+        assert "REGRESSED" in out
+
+    def test_saved_current_record_short_circuits_rerun(self, recorded, capsys):
+        code = main(
+            ["bench", "compare", str(recorded), "--current", str(recorded)]
+        )
+        assert code == 0
+        assert "PASS" in capsys.readouterr().out
+
+    def test_json_verdicts_written(self, recorded, tmp_path):
+        out = tmp_path / "verdicts.json"
+        assert main(
+            [
+                "bench", "compare", str(recorded),
+                "--current", str(recorded),
+                "--json", str(out),
+            ]
+        ) == 0
+        payload = json.loads(out.read_text())
+        assert payload["ok"] is True
+        assert payload["suite"] == "micro"
+
+    def test_missing_baseline_is_a_usage_error(self, tmp_path, capsys):
+        code = main(["bench", "compare", str(tmp_path / "absent.json")])
+        assert code == 2
+        assert "cannot read baseline" in capsys.readouterr().err
+
+
+class TestReport:
+    def test_report_renders_trend(self, tmp_path, micro_record, capsys):
+        from repro.bench import append_history
+
+        history = tmp_path / "history.jsonl"
+        append_history(micro_record, history)
+        append_history(micro_record, history)
+        code = main(["bench", "report", "--history", str(history)])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "2 run(s)" in out
+        assert "io_total" in out
+
+    def test_report_markdown(self, tmp_path, micro_record, capsys):
+        from repro.bench import append_history
+
+        history = tmp_path / "history.jsonl"
+        append_history(micro_record, history)
+        assert main(
+            ["bench", "report", "--history", str(history), "--markdown"]
+        ) == 0
+        assert "| method | metric |" in capsys.readouterr().out
+
+    def test_empty_history_exits_nonzero(self, tmp_path, capsys):
+        code = main(
+            ["bench", "report", "--history", str(tmp_path / "none.jsonl")]
+        )
+        assert code == 1
+        assert "no history rows" in capsys.readouterr().out
+
+
+class TestSuites:
+    def test_lists_all_suites(self, capsys):
+        assert main(["bench", "suites"]) == 0
+        out = capsys.readouterr().out
+        for name in ("smoke", "micro", "fig10", "fig11", "fig12"):
+            assert name in out

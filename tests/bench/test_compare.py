@@ -1,0 +1,213 @@
+"""Comparator policies: exact I/O gating, timing tolerance, verdicts."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.bench import (
+    IMPROVED,
+    MISSING,
+    NEW,
+    REGRESSED,
+    UNCHANGED,
+    BenchRecord,
+    compare_records,
+)
+
+
+def _entry_dict(method="MND", config="c1", io=100.0, elapsed=0.5, phases=None):
+    return {
+        "config": config,
+        "method": method,
+        "x": None,
+        "metrics": {
+            "io_total": io,
+            "index_reads": io * 0.7,
+            "data_reads": io * 0.3,
+            "index_pages": 12.0,
+            "elapsed_s": elapsed,
+        },
+        "io_breakdown": {},
+        "phases": phases or {"join": {"page_reads": io}},
+        "elapsed_samples": [elapsed],
+    }
+
+
+def _record(entries) -> BenchRecord:
+    return BenchRecord.from_dict(
+        {
+            "schema_version": 1,
+            "suite": "unit",
+            "repeats": 1,
+            "environment": {"git_sha": "abc"},
+            "entries": entries,
+        }
+    )
+
+
+def _verdict(report, method, metric):
+    for v in report.verdicts:
+        if v.method == method and v.metric == metric:
+            return v
+    raise AssertionError(f"no verdict for {method}/{metric}")
+
+
+class TestExactPolicy:
+    def test_unchanged_tree_passes(self):
+        report = compare_records(
+            _record([_entry_dict()]), _record([_entry_dict()])
+        )
+        assert report.ok()
+        assert all(v.status == UNCHANGED for v in report.verdicts)
+
+    def test_injected_page_read_regression_fails(self):
+        # The acceptance scenario: the current run reads one more page
+        # than the committed baseline -> a gated, per-method/per-metric
+        # REGRESSED verdict and a failing comparison.
+        baseline = _record([_entry_dict(io=100.0)])
+        current = _record([_entry_dict(io=101.0)])
+        report = compare_records(baseline, current)
+        assert not report.ok()
+        verdict = _verdict(report, "MND", "io_total")
+        assert verdict.status == REGRESSED
+        assert verdict.gating
+        assert verdict.delta == 1.0
+
+    def test_single_page_improvement_is_reported(self):
+        report = compare_records(
+            _record([_entry_dict(io=100.0)]), _record([_entry_dict(io=99.0)])
+        )
+        assert report.ok()
+        assert _verdict(report, "MND", "io_total").status == IMPROVED
+
+    def test_index_data_split_gates_even_when_total_unchanged(self):
+        base = _entry_dict(io=100.0)
+        cur = _entry_dict(io=100.0)
+        cur["metrics"]["index_reads"] += 5
+        cur["metrics"]["data_reads"] -= 5
+        report = compare_records(_record([base]), _record([cur]))
+        assert not report.ok()
+        assert _verdict(report, "MND", "index_reads").status == REGRESSED
+        assert _verdict(report, "MND", "data_reads").status == IMPROVED
+
+
+class TestTimingPolicy:
+    def test_within_tolerance_is_unchanged(self):
+        report = compare_records(
+            _record([_entry_dict(elapsed=1.0)]),
+            _record([_entry_dict(elapsed=1.2)]),
+            time_tolerance=0.25,
+        )
+        assert _verdict(report, "MND", "elapsed_s").status == UNCHANGED
+
+    def test_beyond_tolerance_is_advisory_by_default(self):
+        report = compare_records(
+            _record([_entry_dict(elapsed=1.0)]),
+            _record([_entry_dict(elapsed=2.0)]),
+            time_tolerance=0.25,
+        )
+        verdict = _verdict(report, "MND", "elapsed_s")
+        assert verdict.status == REGRESSED
+        assert not verdict.gating
+        assert report.ok()  # wall-time noise never breaks the build alone
+
+    def test_gate_time_opts_into_failure(self):
+        report = compare_records(
+            _record([_entry_dict(elapsed=1.0)]),
+            _record([_entry_dict(elapsed=2.0)]),
+            time_tolerance=0.25,
+            gate_time=True,
+        )
+        assert not report.ok()
+
+    def test_faster_beyond_tolerance_is_improved(self):
+        report = compare_records(
+            _record([_entry_dict(elapsed=1.0)]),
+            _record([_entry_dict(elapsed=0.5)]),
+        )
+        assert _verdict(report, "MND", "elapsed_s").status == IMPROVED
+
+    def test_negative_tolerance_rejected(self):
+        with pytest.raises(ValueError):
+            compare_records(
+                _record([_entry_dict()]),
+                _record([_entry_dict()]),
+                time_tolerance=-0.1,
+            )
+
+
+class TestStructuralVerdicts:
+    def test_suite_mismatch_is_an_error(self):
+        other = BenchRecord(suite="other", repeats=1)
+        with pytest.raises(ValueError, match="suite"):
+            compare_records(_record([]), other)
+
+    def test_missing_method_gates(self):
+        report = compare_records(
+            _record([_entry_dict("MND"), _entry_dict("SS")]),
+            _record([_entry_dict("MND")]),
+        )
+        assert not report.ok()
+        assert _verdict(report, "SS", "*").status == MISSING
+
+    def test_new_method_is_advisory(self):
+        report = compare_records(
+            _record([_entry_dict("MND")]),
+            _record([_entry_dict("MND"), _entry_dict("NFC")]),
+        )
+        assert report.ok()
+        assert _verdict(report, "NFC", "*").status == NEW
+
+    def test_phase_drift_is_advisory(self):
+        base = _entry_dict(phases={"join": {"page_reads": 80.0}})
+        cur = _entry_dict(phases={"scan": {"page_reads": 80.0}})
+        report = compare_records(_record([base]), _record([cur]))
+        assert report.ok()
+        assert _verdict(report, "MND", "phase[join]").status == MISSING
+
+
+class TestReportRendering:
+    def test_format_mentions_pass_and_counts(self):
+        report = compare_records(
+            _record([_entry_dict()]), _record([_entry_dict()])
+        )
+        text = report.format()
+        assert "PASS" in text
+        assert "unchanged" in text
+
+    def test_format_lists_regressions(self):
+        report = compare_records(
+            _record([_entry_dict(io=100.0)]), _record([_entry_dict(io=101.0)])
+        )
+        text = report.format()
+        assert "FAIL" in text
+        assert "REGRESSED" in text
+        assert "io_total" in text
+
+    def test_to_dict_is_structured(self):
+        report = compare_records(
+            _record([_entry_dict(io=100.0)]), _record([_entry_dict(io=101.0)])
+        )
+        payload = report.to_dict()
+        assert payload["ok"] is False
+        assert any(
+            v["metric"] == "io_total" and v["status"] == REGRESSED
+            for v in payload["verdicts"]
+        )
+
+
+class TestOnRealRecord:
+    def test_identical_records_pass(self, micro_record, record_copy):
+        report = compare_records(micro_record, record_copy)
+        assert report.ok()
+
+    def test_injected_regression_on_real_record(self, micro_record, record_copy):
+        for entry in record_copy.entries:
+            if entry.method == "MND":
+                entry.metrics["io_total"] += 1
+        report = compare_records(micro_record, record_copy)
+        assert not report.ok()
+        assert any(
+            v.method == "MND" and v.metric == "io_total" and v.status == REGRESSED
+            for v in report.regressions
+        )

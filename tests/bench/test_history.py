@@ -1,0 +1,135 @@
+"""History: JSONL append/load, sparklines, trend and markdown reports."""
+
+from __future__ import annotations
+
+import json
+
+from repro.bench import (
+    BenchRecord,
+    append_history,
+    history_row,
+    load_history,
+    markdown_summary,
+    sparkline,
+    trend_report,
+)
+
+
+def _record(io=100.0, elapsed=1.0, sha="aaa") -> BenchRecord:
+    return BenchRecord.from_dict(
+        {
+            "schema_version": 1,
+            "suite": "unit",
+            "repeats": 1,
+            "environment": {
+                "git_sha": sha,
+                "date_utc": "2026-08-06T00:00:00+00:00",
+                "python": "3.12.0",
+            },
+            "entries": [
+                {
+                    "config": "c1",
+                    "method": "MND",
+                    "x": None,
+                    "metrics": {
+                        "io_total": io,
+                        "index_reads": io,
+                        "data_reads": 0.0,
+                        "index_pages": 3.0,
+                        "elapsed_s": elapsed,
+                    },
+                    "io_breakdown": {},
+                    "phases": {},
+                    "elapsed_samples": [elapsed],
+                }
+            ],
+        }
+    )
+
+
+class TestRows:
+    def test_history_row_flattens_per_method_totals(self):
+        row = history_row(_record(io=42.0, elapsed=0.5, sha="abc"))
+        assert row["suite"] == "unit"
+        assert row["git_sha"] == "abc"
+        assert row["methods"]["MND"]["io_total"] == 42.0
+        assert row["methods"]["MND"]["elapsed_s"] == 0.5
+
+    def test_append_and_load_round_trip(self, tmp_path):
+        path = tmp_path / "history.jsonl"
+        append_history(_record(io=10.0, sha="a"), path)
+        append_history(_record(io=20.0, sha="b"), path)
+        rows = load_history(path)
+        assert [r["git_sha"] for r in rows] == ["a", "b"]
+        assert path.read_text().count("\n") == 2
+
+    def test_append_creates_parent_directories(self, tmp_path):
+        path = tmp_path / "nested" / "dir" / "history.jsonl"
+        append_history(_record(), path)
+        assert load_history(path)
+
+    def test_load_filters_by_suite_and_skips_garbage(self, tmp_path):
+        path = tmp_path / "history.jsonl"
+        append_history(_record(sha="keep"), path)
+        with path.open("a") as stream:
+            stream.write("not json at all\n")
+            stream.write(json.dumps({"suite": "other"}) + "\n")
+            stream.write("[1, 2, 3]\n")
+        rows = load_history(path, suite="unit")
+        assert len(rows) == 1
+        assert rows[0]["git_sha"] == "keep"
+
+    def test_missing_file_is_empty(self, tmp_path):
+        assert load_history(tmp_path / "absent.jsonl") == []
+
+
+class TestSparkline:
+    def test_monotone_series_uses_full_range(self):
+        line = sparkline([1.0, 2.0, 3.0, 4.0])
+        assert len(line) == 4
+        assert line[0] == "▁"
+        assert line[-1] == "█"
+
+    def test_flat_series_is_flat(self):
+        assert sparkline([5.0, 5.0, 5.0]) == "▁▁▁"
+
+    def test_empty(self):
+        assert sparkline([]) == ""
+
+
+class TestReports:
+    def _rows(self, tmp_path):
+        path = tmp_path / "history.jsonl"
+        for sha, io, elapsed in (("a", 100.0, 1.0), ("b", 90.0, 0.9), ("c", 80.0, 0.8)):
+            append_history(_record(io=io, elapsed=elapsed, sha=sha), path)
+        return load_history(path)
+
+    def test_trend_report_has_sparkline_and_change(self, tmp_path):
+        text = trend_report(self._rows(tmp_path))
+        assert "suite unit: 3 run(s)" in text
+        assert "MND" in text
+        assert "100 -> 80" in text
+        assert "-20.0%" in text
+
+    def test_trend_report_respects_last(self, tmp_path):
+        text = trend_report(self._rows(tmp_path), last=2)
+        assert "2 run(s)" in text
+        assert "90 -> 80" in text
+
+    def test_empty_history_message(self):
+        assert "history is empty" in trend_report([])
+        assert "empty" in markdown_summary([])
+
+    def test_markdown_summary_is_a_table(self, tmp_path):
+        text = markdown_summary(self._rows(tmp_path))
+        assert "| method | metric |" in text
+        assert "| MND | io_total |" in text
+        assert "-20.0%" in text
+
+    def test_real_record_round_trips_through_history(self, micro_record, tmp_path):
+        path = append_history(micro_record, tmp_path / "h.jsonl")
+        rows = load_history(path, suite="micro")
+        assert rows
+        text = trend_report(rows)
+        for method in micro_record.methods():
+            assert method in text

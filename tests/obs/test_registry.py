@@ -61,6 +61,47 @@ class TestHistogram:
         assert len(h._samples) == 8
         assert h.max == 99.0  # scalar aggregates still cover everything
 
+    def test_quantile_empty_histogram_is_zero(self):
+        h = Histogram("h")
+        for q in (0.0, 0.25, 0.5, 1.0):
+            assert h.quantile(q) == 0.0
+
+    def test_quantile_endpoints(self):
+        h = Histogram("h")
+        for v in (7.0, -3.0, 2.0):
+            h.observe(v)
+        assert h.quantile(0.0) == -3.0  # q=0 is the minimum sample
+        assert h.quantile(1.0) == 7.0  # q=1 is the maximum sample
+
+    def test_quantile_endpoints_single_observation(self):
+        h = Histogram("h")
+        h.observe(42.0)
+        assert h.quantile(0.0) == 42.0
+        assert h.quantile(0.5) == 42.0
+        assert h.quantile(1.0) == 42.0
+
+    def test_quantile_after_window_eviction(self):
+        # After count exceeds max_samples the window holds only recent
+        # observations: quantiles must follow the window, not history.
+        h = Histogram("h", max_samples=4)
+        for v in (1.0, 2.0, 3.0, 4.0):
+            h.observe(v)
+        for v in (100.0, 200.0, 300.0, 400.0):
+            h.observe(v)
+        assert len(h._samples) == 4
+        assert set(h._samples) == {100.0, 200.0, 300.0, 400.0}
+        assert h.quantile(0.0) == 100.0
+        assert h.quantile(1.0) == 400.0
+        # Scalar aggregates still cover the evicted observations.
+        assert h.min == 1.0
+        assert h.count == 8
+
+    def test_quantile_bounds_lower(self):
+        h = Histogram("h")
+        h.observe(1.0)
+        with pytest.raises(ValueError):
+            h.quantile(-0.1)
+
 
 class TestRegistry:
     def test_get_or_create_returns_same_object(self):
