@@ -50,6 +50,13 @@ from repro.bench.history import (
     sparkline,
     trend_report,
 )
+from repro.bench.parallel import (
+    DEFAULT_WORKER_LADDER,
+    PARALLEL_CONFIG,
+    PARALLEL_IO_LATENCY_S,
+    PARALLEL_TASK_TARGET,
+    run_parallel_suite,
+)
 from repro.bench.record import (
     DETERMINISTIC_METRICS,
     SCHEMA_VERSION,
@@ -75,10 +82,14 @@ __all__ = [
     "DEFAULT_HISTORY_PATH",
     "DEFAULT_REPEATS",
     "DEFAULT_TIME_TOLERANCE",
+    "DEFAULT_WORKER_LADDER",
     "DETERMINISTIC_METRICS",
     "IMPROVED",
     "MISSING",
     "NEW",
+    "PARALLEL_CONFIG",
+    "PARALLEL_IO_LATENCY_S",
+    "PARALLEL_TASK_TARGET",
     "REGRESSED",
     "SCHEMA_VERSION",
     "SUITES",
@@ -94,6 +105,7 @@ __all__ = [
     "history_row",
     "load_history",
     "markdown_summary",
+    "run_parallel_suite",
     "run_suite",
     "sparkline",
     "suite_names",

@@ -47,12 +47,19 @@ SWEEP_SUITE_SCALE = 0.02
 
 @dataclass(frozen=True)
 class Suite:
-    """A named, fixed list of configurations to measure."""
+    """A named, fixed list of configurations to measure.
+
+    A suite with a ``runner`` is self-recording: :func:`run_suite`
+    delegates to it instead of the generic per-config loop (used by the
+    ``parallel`` suite, whose unit of measurement is a worker count, not
+    a configuration).
+    """
 
     name: str
     description: str
     configs: tuple[tuple[Optional[float], ExperimentConfig], ...]
     methods: tuple[str, ...] = SMOKE_METHODS
+    runner: Optional[Callable[..., BenchRecord]] = None
 
     def seed(self) -> Optional[int]:
         """The dataset seed, when every configuration shares one."""
@@ -74,7 +81,16 @@ def _sweep_suite(
 
 
 def _builtin_suites() -> dict[str, Suite]:
+    from repro.bench.parallel import PARALLEL_CONFIG, run_parallel_suite
+
     return {
+        "parallel": Suite(
+            name="parallel",
+            description="execution-engine scaling: every method at a "
+            "ladder of worker counts, determinism enforced",
+            configs=((None, PARALLEL_CONFIG),),
+            runner=run_parallel_suite,
+        ),
         "smoke": Suite(
             name="smoke",
             description="CI regression gate: the smoke config "
@@ -119,6 +135,7 @@ def run_suite(
     repeats: int = DEFAULT_REPEATS,
     methods: Optional[Sequence[str]] = None,
     progress: Optional[Callable[[str], None]] = None,
+    workers: Optional[int] = None,
 ) -> BenchRecord:
     """Record one execution of ``suite``.
 
@@ -127,9 +144,18 @@ def run_suite(
     is run ``repeats`` times on it; per-phase I/O attribution is checked
     against the I/O totals so a tracing regression can never produce a
     plausible-looking record.
+
+    ``workers`` is only meaningful for suites with their own runner
+    (``parallel``, where it stretches the worker ladder).
     """
     if isinstance(suite, str):
         suite = get_suite(suite)
+    if suite.runner is not None:
+        return suite.runner(
+            repeats=repeats, methods=methods, progress=progress, workers=workers
+        )
+    if workers is not None:
+        raise ValueError(f"suite {suite.name!r} does not take a worker count")
     chosen = tuple(methods) if methods is not None else suite.methods
 
     record = BenchRecord(

@@ -78,6 +78,22 @@ def _instance_from_args(args: argparse.Namespace) -> SpatialInstance:
     )
 
 
+def _add_worker_args(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument(
+        "--workers",
+        type=int,
+        default=1,
+        help="parallel workers for query execution (results and I/O "
+        "accounting are identical at any count)",
+    )
+    parser.add_argument(
+        "--executor",
+        default="thread",
+        choices=["thread", "process"],
+        help="worker pool kind when --workers > 1",
+    )
+
+
 def _add_instance_args(parser: argparse.ArgumentParser) -> None:
     parser.add_argument("--clients", help="CSV of client points (x,y)")
     parser.add_argument("--facilities", help="CSV of existing facility points")
@@ -99,7 +115,14 @@ def _add_instance_args(parser: argparse.ArgumentParser) -> None:
 
 def _cmd_query(args: argparse.Namespace) -> int:
     ws = Workspace(_instance_from_args(args))
-    result = make_selector(ws, args.method).select()
+    if args.workers > 1:
+        from repro.exec import run_query
+
+        result = run_query(
+            ws, args.method, workers=args.workers, executor=args.executor
+        )
+    else:
+        result = make_selector(ws, args.method).select()
     print(
         f"best location: p{result.location.sid} at "
         f"({result.location.x:.4f}, {result.location.y:.4f})"
@@ -143,7 +166,14 @@ def _cmd_profile(args: argparse.Namespace) -> int:
                 tracer.add_sink(jsonl_sink)
             ws.attach_tracer(tracer)
             try:
-                result = selector.select()
+                if args.workers > 1:
+                    from repro.exec import run_query
+
+                    result = run_query(
+                        ws, selector, workers=args.workers, executor=args.executor
+                    )
+                else:
+                    result = selector.select()
             finally:
                 ws.detach_tracer()
             root = sink.last
@@ -343,6 +373,7 @@ def _cmd_bench_run(args: argparse.Namespace) -> int:
         repeats=args.repeats,
         methods=methods,
         progress=lambda line: print(line, file=sys.stderr),
+        workers=args.workers,
     )
     out = args.out or f"BENCH_{record.suite}.json"
     record.write(out)
@@ -451,6 +482,13 @@ def _add_bench_parser(sub: argparse._SubParsersAction) -> None:
         action="store_true",
         help="do not append this run to the history",
     )
+    p_run.add_argument(
+        "--workers",
+        type=int,
+        default=None,
+        help="stretch the worker ladder (suites with a runner, "
+        "e.g. parallel)",
+    )
     p_run.set_defaults(func=_cmd_bench_run)
 
     p_cmp = bench_sub.add_parser(
@@ -517,6 +555,7 @@ def build_parser() -> argparse.ArgumentParser:
     p_query.add_argument(
         "--method", default="MND", choices=sorted(METHODS), help="query method"
     )
+    _add_worker_args(p_query)
     p_query.set_defaults(func=_cmd_query)
 
     p_compare = sub.add_parser("compare", help="run all methods side by side")
@@ -541,6 +580,7 @@ def build_parser() -> argparse.ArgumentParser:
         action="store_true",
         help="hide custom counters in the span tree",
     )
+    _add_worker_args(p_profile)
     p_profile.set_defaults(func=_cmd_profile)
 
     p_sweep = sub.add_parser("sweep", help="rerun one of the paper's experiments")

@@ -40,6 +40,7 @@ from repro.core.evaluate import compare_locations, evaluate_location
 from repro.core.greedy import coverage_curve, select_sequence
 from repro.core.mnd import MaximumNFCDistance
 from repro.core.nfc import NearestFacilityCircle
+from repro.core.plan import StageSpec
 from repro.core.qvc import QuasiVoronoiCell
 from repro.core.ss import SequentialScan
 from repro.core.types import Client, SelectionResult, Site
@@ -95,6 +96,7 @@ __all__ = [
     "SelectionResult",
     "SequentialScan",
     "Site",
+    "StageSpec",
     "Workspace",
     "make_selector",
     "select_location",

@@ -17,12 +17,16 @@ from __future__ import annotations
 
 import time
 from abc import ABC, abstractmethod
-from typing import ClassVar
+from typing import TYPE_CHECKING, ClassVar
 
 import numpy as np
 
 from repro.core.types import SelectionResult, Site
 from repro.core.workspace import Workspace
+from repro.rtree.frontier import DEFAULT_TASK_TARGET
+
+if TYPE_CHECKING:
+    from repro.core.plan import StageSpec
 
 
 class LocationSelector(ABC):
@@ -30,6 +34,12 @@ class LocationSelector(ABC):
 
     #: Method name as used in the paper's figures.
     name: ClassVar[str] = "?"
+
+    #: How many tasks the parallel plan aims to split a traversal into.
+    #: Changing it regroups the ordered float reduction (still
+    #: deterministic per value, and I/O totals are unaffected), so the
+    #: engine keeps it fixed across worker counts.
+    task_target: int = DEFAULT_TASK_TARGET
 
     def __init__(self, workspace: Workspace):
         self.ws = workspace
@@ -41,6 +51,17 @@ class LocationSelector(ABC):
     @abstractmethod
     def _compute_distance_reductions(self) -> np.ndarray:
         """``dr(p)`` for every potential location (the method's core)."""
+
+    def execution_plan(self) -> list["StageSpec"]:
+        """The method's traversal as task-splittable stages.
+
+        Consumed by :mod:`repro.exec`; the serial :meth:`select` path
+        does not require it, so auxiliary selectors may leave it
+        unimplemented.
+        """
+        raise NotImplementedError(
+            f"{self.name} does not expose a parallel execution plan"
+        )
 
     def prepare(self) -> None:
         """Materialise the structures this method queries.

@@ -27,6 +27,7 @@ from repro.obs.trace import NOOP_TRACER, Tracer
 from repro.rtree.persist import DiskRTree, save_rtree
 from repro.storage.buffer import LRUBufferPool
 from repro.storage.codecs import ClientCodec, SiteCodec
+from repro.storage.leafcache import DecodedLeafCache
 from repro.storage.stats import IOStats
 
 
@@ -77,6 +78,7 @@ class DiskWorkspace:
         self.tracer = NOOP_TRACER
         self.buffer_pool = buffer_pool
         self.io_latency_s = io_latency_s
+        self.leaf_cache = DecodedLeafCache()
         self.mnd_tree = DiskRTree(
             "R_C^m",
             indexes.mnd_tree_path,
@@ -107,6 +109,9 @@ class DiskWorkspace:
         self.stats.reset()
         if self.buffer_pool is not None:
             self.buffer_pool.clear()
+
+    def invalidate_leaf_cache(self) -> None:
+        self.leaf_cache.clear()
 
     def attach_tracer(self, tracer: Tracer) -> None:
         self.tracer = tracer

@@ -52,6 +52,12 @@ class DynamicWorkspace(Workspace):
         ).reshape(len(self.clients), 3)
         self.client_w = np.array([c.weight for c in self.clients], dtype=np.float64)
         self._invalidate("client_file", "data_bounds")
+        # Every client mutation funnels through here.  Structural tree
+        # changes already invalidate decoded leaves via tree versioning,
+        # but in-place ``client.dnn`` updates do not touch ``R_C`` — the
+        # explicit clear covers that path (and is cheap: decodes rebuild
+        # lazily, costing CPU only, never I/O).
+        self.invalidate_leaf_cache()
 
     # ------------------------------------------------------------------
     # Client updates

@@ -12,14 +12,25 @@ The traversal mirrors the NFC join exactly, with the intersection
 predicate replaced by the MND test; each client-side node carries the
 MND stored in its parent entry (the root's MND is derived from its
 resident entries at no I/O cost, since roots have no parent entry).
+Parallel execution splits the join at a node-pair frontier exactly like
+NFC (:mod:`repro.rtree.frontier`), with the carried MND travelling in
+the task tuple.
 """
 
 from __future__ import annotations
 
+from typing import Optional
+
 import numpy as np
 
 from repro.core.base import LocationSelector
+from repro.core.plan import StageSpec
+from repro.rtree.frontier import expand_frontier
 from repro.rtree.node import Node
+from repro.storage.stats import IOStats
+
+#: A join task: (R_P node id, R_C^m node id, MND of the client node).
+JoinTask = tuple[int, int, float]
 
 
 class MaximumNFCDistance(LocationSelector):
@@ -35,24 +46,118 @@ class MaximumNFCDistance(LocationSelector):
         return self.ws.mnd_tree.size_pages + self.ws.r_p.size_pages
 
     # ------------------------------------------------------------------
-    def _compute_distance_reductions(self) -> np.ndarray:
+    # Parallel execution protocol
+    # ------------------------------------------------------------------
+    def execution_plan(self) -> list[StageSpec]:
+        return [
+            StageSpec(
+                name="mnd.join",
+                plan=self._plan_join,
+                kernel="run_join_task",
+                reduce=self._reduce_join,
+            )
+        ]
+
+    def _plan_join(self, stats: IOStats, carry: object = None) -> list[JoinTask]:
+        """The node-pair frontier; charges root + expansion reads."""
         ws = self.ws
+        if ws.mnd_tree.num_entries == 0:
+            return []
+        root_p = ws.r_p.read_node(ws.r_p.root_id, stats=stats)
+        root_c = ws.mnd_tree.read_node(ws.mnd_tree.root_id, stats=stats)
+        root_mnd = ws.mnd_tree.compute_mnd(root_c)
+        return expand_frontier(
+            [(root_p.node_id, root_c.node_id, root_mnd)],
+            lambda task: self._expand_pair(task, stats),
+            target=self.task_target,
+        )
+
+    def _expand_pair(
+        self, task: JoinTask, stats: IOStats
+    ) -> Optional[list[JoinTask]]:
+        """One level of Algorithm 5 at ``task`` (None = leaf-leaf)."""
+        ws = self.ws
+        p_id, c_id, mnd_c = task
+        node_p = ws.r_p.node(p_id)  # already charged when the pair was made
+        node_c = ws.mnd_tree.node(c_id)
+        if node_p.is_leaf and node_c.is_leaf:
+            return None
+        trace = stats.tracer
+        trace.count("join.node_pairs")
+        out: list[JoinTask] = []
+        if node_p.is_leaf:
+            mbr_p = node_p.mbr()
+            for e_c in node_c.entries:
+                if e_c.mbr.min_dist_rect(mbr_p) < e_c.mnd:
+                    ws.mnd_tree.read_node(e_c.child_id, stats=stats)
+                    out.append((p_id, e_c.child_id, e_c.mnd))
+        elif node_c.is_leaf:
+            mbr_c = node_c.mbr()
+            for e_p in node_p.entries:
+                if mbr_c.min_dist_rect(e_p.mbr) < mnd_c:
+                    ws.r_p.read_node(e_p.child_id, stats=stats)
+                    out.append((e_p.child_id, c_id, mnd_c))
+        else:
+            pruned = 0
+            for e_p in node_p.entries:
+                for e_c in node_c.entries:
+                    if e_c.mbr.min_dist_rect(e_p.mbr) < e_c.mnd:
+                        ws.r_p.read_node(e_p.child_id, stats=stats)
+                        ws.mnd_tree.read_node(e_c.child_id, stats=stats)
+                        out.append((e_p.child_id, e_c.child_id, e_c.mnd))
+                    else:
+                        pruned += 1
+            if pruned:
+                trace.count("join.pruned_pairs", pruned)
+        return out
+
+    def run_join_task(
+        self, task: JoinTask, stats: IOStats
+    ) -> tuple[np.ndarray, np.ndarray]:
+        """The serial join below one frontier pair, into a private partial."""
+        ws = self.ws
+        p_id, c_id, mnd_c = task
+        node_p = ws.r_p.node(p_id)  # pair reads charged by the planner
+        node_c = ws.mnd_tree.node(c_id)
+        local = np.zeros(ws.n_p, dtype=np.float64)
+        self._join(node_p, node_c, mnd_c, local, stats)
+        idx = np.flatnonzero(local)
+        return idx, local[idx]
+
+    def _reduce_join(
+        self, outs: list[tuple[np.ndarray, np.ndarray]], dr: np.ndarray
+    ) -> Optional[object]:
+        for idx, vals in outs:
+            dr[idx] += vals
+        return None
+
+    # ------------------------------------------------------------------
+    def _compute_distance_reductions(self) -> np.ndarray:
+        """The serial path: frontier + inline kernels (same grouping)."""
+        ws = self.ws
+        stats = ws.stats
         dr = np.zeros(ws.n_p, dtype=np.float64)
-        self._leaf_cache: dict[
-            int, tuple[np.ndarray, np.ndarray, np.ndarray, np.ndarray]
-        ] = {}
         if ws.mnd_tree.num_entries == 0:
             return dr
-        with ws.tracer.span("mnd.join"):
-            node_p = ws.r_p.read_node(ws.r_p.root_id)
-            node_c = ws.mnd_tree.read_node(ws.mnd_tree.root_id)
-            self._join(node_p, node_c, ws.mnd_tree.compute_mnd(node_c), dr)
+        with stats.tracer.span("mnd.join"):
+            tasks = self._plan_join(stats)
+            outs = [self.run_join_task(task, stats) for task in tasks]
+            self._reduce_join(outs, dr)
         return dr
 
-    def _join(self, node_p: Node, node_c: Node, mnd_c: float, dr: np.ndarray) -> None:
+    def _join(
+        self,
+        node_p: Node,
+        node_c: Node,
+        mnd_c: float,
+        dr: np.ndarray,
+        stats: Optional[IOStats] = None,
+    ) -> None:
         """Algorithm 5: descend where ``minDist < MND`` (Theorem 1)."""
         ws = self.ws
-        trace = ws.tracer
+        if stats is None:
+            stats = ws.stats
+        trace = stats.tracer
         trace.count("join.node_pairs")
         if node_p.is_leaf and node_c.is_leaf:
             # Pure-CPU candidate evaluation; the leaf page reads remain
@@ -74,22 +179,35 @@ class MaximumNFCDistance(LocationSelector):
             mbr_p = node_p.mbr()
             for e_c in node_c.entries:
                 if e_c.mbr.min_dist_rect(mbr_p) < e_c.mnd:
-                    self._join(node_p, ws.mnd_tree.read_node(e_c.child_id), e_c.mnd, dr)
+                    self._join(
+                        node_p,
+                        ws.mnd_tree.read_node(e_c.child_id, stats=stats),
+                        e_c.mnd,
+                        dr,
+                        stats,
+                    )
         elif node_c.is_leaf:
             mbr_c = node_c.mbr()
             for e_p in node_p.entries:
                 if mbr_c.min_dist_rect(e_p.mbr) < mnd_c:
-                    self._join(ws.r_p.read_node(e_p.child_id), node_c, mnd_c, dr)
+                    self._join(
+                        ws.r_p.read_node(e_p.child_id, stats=stats),
+                        node_c,
+                        mnd_c,
+                        dr,
+                        stats,
+                    )
         else:
             pruned = 0
             for e_p in node_p.entries:
                 for e_c in node_c.entries:
                     if e_c.mbr.min_dist_rect(e_p.mbr) < e_c.mnd:
                         self._join(
-                            ws.r_p.read_node(e_p.child_id),
-                            ws.mnd_tree.read_node(e_c.child_id),
+                            ws.r_p.read_node(e_p.child_id, stats=stats),
+                            ws.mnd_tree.read_node(e_c.child_id, stats=stats),
                             e_c.mnd,
                             dr,
+                            stats,
                         )
                     else:
                         pruned += 1
@@ -99,18 +217,19 @@ class MaximumNFCDistance(LocationSelector):
     def _leaf_arrays(
         self, node: Node
     ) -> tuple[np.ndarray, np.ndarray, np.ndarray, np.ndarray]:
-        cached = self._leaf_cache.get(node.node_id)
-        if cached is None:
+        tree = self.ws.mnd_tree
+
+        def decode():
             clients = [e.payload for e in node.entries]
             n = len(clients)
-            cached = (
+            return (
                 np.fromiter((c.x for c in clients), np.float64, n),
                 np.fromiter((c.y for c in clients), np.float64, n),
                 np.fromiter((c.dnn for c in clients), np.float64, n),
                 np.fromiter((c.weight for c in clients), np.float64, n),
             )
-            self._leaf_cache[node.node_id] = cached
-        return cached
+
+        return self.ws.leaf_cache.get(tree.name, tree.version, node.node_id, decode)
 
     # ------------------------------------------------------------------
     # Influence-set materialisation (library extension)
@@ -128,7 +247,6 @@ class MaximumNFCDistance(LocationSelector):
         out: dict[int, list[int]] = {p.sid: [] for p in ws.potentials}
         if ws.mnd_tree.num_entries == 0:
             return out
-        self._leaf_cache = {}
         node_p = ws.r_p.read_node(ws.r_p.root_id)
         node_c = ws.mnd_tree.read_node(ws.mnd_tree.root_id)
         self._collect_join(node_p, node_c, ws.mnd_tree.compute_mnd(node_c), out)

@@ -11,14 +11,32 @@ to test ``dist(c, p) < dnn(c, F)`` and accumulate the reduction.
 
 The price of this efficiency is the *extra index*: ``R_C^n`` must be
 maintained alongside ``R_C``, the drawback that motivates the MND method.
+
+For the execution engine the join splits at a node-pair frontier
+(:mod:`repro.rtree.frontier`): the driver expands the top of the
+synchronized traversal — charging child reads exactly where the serial
+recursion would — and each frontier pair becomes an independent task
+running the ordinary recursion below it.  Frontier order equals serial
+DFS order, so the ordered reduction reproduces serial float grouping
+bit for bit.
 """
 
 from __future__ import annotations
 
+from typing import Optional
+
 import numpy as np
 
 from repro.core.base import LocationSelector
+from repro.core.plan import StageSpec
+from repro.rtree.frontier import expand_frontier
 from repro.rtree.node import Node
+from repro.storage.stats import IOStats
+
+#: A join task: (R_P node id, client-tree node id).  Both nodes' reads
+#: are charged by whoever materialised the pair (the planner for
+#: frontier pairs, the kernel recursion below).
+JoinTask = tuple[int, int]
 
 
 class NearestFacilityCircle(LocationSelector):
@@ -39,24 +57,120 @@ class NearestFacilityCircle(LocationSelector):
         )
 
     # ------------------------------------------------------------------
-    def _compute_distance_reductions(self) -> np.ndarray:
+    # Parallel execution protocol
+    # ------------------------------------------------------------------
+    def execution_plan(self) -> list[StageSpec]:
+        return [
+            StageSpec(
+                name="nfc.join",
+                plan=self._plan_join,
+                kernel="run_join_task",
+                reduce=self._reduce_join,
+            )
+        ]
+
+    def _plan_join(self, stats: IOStats, carry: object = None) -> list[JoinTask]:
+        """The node-pair frontier; charges root + expansion reads."""
         ws = self.ws
+        if ws.rnn_tree.num_entries == 0:
+            return []
+        root_p = ws.r_p.read_node(ws.r_p.root_id, stats=stats)
+        root_c = ws.rnn_tree.read_node(ws.rnn_tree.root_id, stats=stats)
+        return expand_frontier(
+            [(root_p.node_id, root_c.node_id)],
+            lambda pair: self._expand_pair(pair, stats),
+            target=self.task_target,
+        )
+
+    def _expand_pair(
+        self, pair: JoinTask, stats: IOStats
+    ) -> Optional[list[JoinTask]]:
+        """One level of Algorithm 4 at ``pair``, as child pairs.
+
+        Mirrors :meth:`_join` exactly: the same predicate tests in the
+        same order, the same child reads (charged per qualifying pair,
+        as the serial recursion re-reads them), the same counters.
+        Returns None for leaf-leaf pairs, which stay frontier tasks.
+        """
+        ws = self.ws
+        node_p = ws.r_p.node(pair[0])  # already charged when pair was made
+        node_c = ws.rnn_tree.node(pair[1])
+        if node_p.is_leaf and node_c.is_leaf:
+            return None
+        trace = stats.tracer
+        trace.count("join.node_pairs")
+        out: list[JoinTask] = []
+        if node_p.is_leaf:
+            mbr_p = node_p.mbr()
+            for e_c in node_c.entries:
+                if e_c.mbr.intersects(mbr_p):
+                    ws.rnn_tree.read_node(e_c.child_id, stats=stats)
+                    out.append((pair[0], e_c.child_id))
+        elif node_c.is_leaf:
+            mbr_c = node_c.mbr()
+            for e_p in node_p.entries:
+                if e_p.mbr.intersects(mbr_c):
+                    ws.r_p.read_node(e_p.child_id, stats=stats)
+                    out.append((e_p.child_id, pair[1]))
+        else:
+            pruned = 0
+            for e_p in node_p.entries:
+                for e_c in node_c.entries:
+                    if e_p.mbr.intersects(e_c.mbr):
+                        ws.r_p.read_node(e_p.child_id, stats=stats)
+                        ws.rnn_tree.read_node(e_c.child_id, stats=stats)
+                        out.append((e_p.child_id, e_c.child_id))
+                    else:
+                        pruned += 1
+            if pruned:
+                trace.count("join.pruned_pairs", pruned)
+        return out
+
+    def run_join_task(
+        self, task: JoinTask, stats: IOStats
+    ) -> tuple[np.ndarray, np.ndarray]:
+        """The serial join below one frontier pair, into a private partial."""
+        ws = self.ws
+        node_p = ws.r_p.node(task[0])  # pair reads charged by the planner
+        node_c = ws.rnn_tree.node(task[1])
+        local = np.zeros(ws.n_p, dtype=np.float64)
+        self._join(node_p, node_c, local, stats)
+        idx = np.flatnonzero(local)
+        return idx, local[idx]
+
+    def _reduce_join(
+        self, outs: list[tuple[np.ndarray, np.ndarray]], dr: np.ndarray
+    ) -> Optional[object]:
+        for idx, vals in outs:
+            dr[idx] += vals
+        return None
+
+    # ------------------------------------------------------------------
+    def _compute_distance_reductions(self) -> np.ndarray:
+        """The serial path: frontier + inline kernels (same grouping)."""
+        ws = self.ws
+        stats = ws.stats
         dr = np.zeros(ws.n_p, dtype=np.float64)
-        self._leaf_cache: dict[
-            int, tuple[np.ndarray, np.ndarray, np.ndarray, np.ndarray]
-        ] = {}
         if ws.rnn_tree.num_entries == 0:
             return dr
-        with ws.tracer.span("nfc.join"):
-            node_p = ws.r_p.read_node(ws.r_p.root_id)
-            node_c = ws.rnn_tree.read_node(ws.rnn_tree.root_id)
-            self._join(node_p, node_c, dr)
+        with stats.tracer.span("nfc.join"):
+            tasks = self._plan_join(stats)
+            outs = [self.run_join_task(task, stats) for task in tasks]
+            self._reduce_join(outs, dr)
         return dr
 
-    def _join(self, node_p: Node, node_c: Node, dr: np.ndarray) -> None:
+    def _join(
+        self,
+        node_p: Node,
+        node_c: Node,
+        dr: np.ndarray,
+        stats: Optional[IOStats] = None,
+    ) -> None:
         """Algorithm 4: descend into intersecting node pairs."""
         ws = self.ws
-        trace = ws.tracer
+        if stats is None:
+            stats = ws.stats
+        trace = stats.tracer
         trace.count("join.node_pairs")
         if node_p.is_leaf and node_c.is_leaf:
             # Candidate evaluation is pure CPU (both leaves are already
@@ -75,21 +189,25 @@ class NearestFacilityCircle(LocationSelector):
             mbr_p = node_p.mbr()
             for e_c in node_c.entries:
                 if e_c.mbr.intersects(mbr_p):
-                    self._join(node_p, ws.rnn_tree.read_node(e_c.child_id), dr)
+                    child = ws.rnn_tree.read_node(e_c.child_id, stats=stats)
+                    self._join(node_p, child, dr, stats)
         elif node_c.is_leaf:
             mbr_c = node_c.mbr()
             for e_p in node_p.entries:
                 if e_p.mbr.intersects(mbr_c):
-                    self._join(ws.r_p.read_node(e_p.child_id), node_c, dr)
+                    self._join(
+                        ws.r_p.read_node(e_p.child_id, stats=stats), node_c, dr, stats
+                    )
         else:
             pruned = 0
             for e_p in node_p.entries:
                 for e_c in node_c.entries:
                     if e_p.mbr.intersects(e_c.mbr):
                         self._join(
-                            ws.r_p.read_node(e_p.child_id),
-                            ws.rnn_tree.read_node(e_c.child_id),
+                            ws.r_p.read_node(e_p.child_id, stats=stats),
+                            ws.rnn_tree.read_node(e_c.child_id, stats=stats),
                             dr,
+                            stats,
                         )
                     else:
                         pruned += 1
@@ -102,8 +220,9 @@ class NearestFacilityCircle(LocationSelector):
         """Centres and radii of the NFCs in a leaf, reconstructed from
         their square MBRs (lines 12–13 of Algorithm 4), plus the client
         weights read from the records."""
-        cached = self._leaf_cache.get(node.node_id)
-        if cached is None:
+        tree = self.ws.rnn_tree
+
+        def decode():
             n = len(node.entries)
             cx = np.fromiter(
                 ((e.mbr.xmin + e.mbr.xmax) / 2.0 for e in node.entries), np.float64, n
@@ -115,6 +234,6 @@ class NearestFacilityCircle(LocationSelector):
                 ((e.mbr.xmax - e.mbr.xmin) / 2.0 for e in node.entries), np.float64, n
             )
             w = np.fromiter((e.payload.weight for e in node.entries), np.float64, n)
-            cached = (cx, cy, radius, w)
-            self._leaf_cache[node.node_id] = cached
-        return cached
+            return (cx, cy, radius, w)
+
+        return self.ws.leaf_cache.get(tree.name, tree.version, node.node_id, decode)

@@ -1,0 +1,56 @@
+"""The task-splittable execution protocol of the query methods.
+
+Each method exposes its traversal as a list of :class:`StageSpec`
+stages.  A stage is planned on the driver (``plan`` charges the reads
+the serial code performs *before* fanning out — potential-file blocks,
+join roots, frontier expansion), executed as independent tasks (the
+``kernel`` selector method, which charges every deeper read to a
+task-private :class:`~repro.storage.stats.IOStats`), and folded back in
+task order (``reduce``, which also threads a carry value between
+stages — QVC's AIR groups feed its window stage).
+
+The contract that keeps results byte-identical at any worker count:
+
+* **task lists are deterministic** — planning depends only on the
+  workspace and the task-target, never on workers or timing;
+* **kernels are pure** w.r.t. shared state — they write only their own
+  partials and charge only their own stats;
+* **reduction is ordered** — partials merge in task order, and because
+  each partial starts from zero while serial accumulation visits the
+  same contributions in the same grouping, IEEE-754 addition produces
+  bit-identical ``dr`` values;
+* **I/O is placement-invariant** — a page is charged by whoever the
+  *serial* code had read it: moving work between driver and tasks never
+  creates or removes a charge, so merged totals equal serial totals
+  exactly.
+
+Kernels are referenced by *method name* (a string) so a process pool
+can look them up on its own unpickled selector instead of pickling
+bound methods.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any, Callable, Optional
+
+from repro.rtree.frontier import DEFAULT_TASK_TARGET
+
+__all__ = ["DEFAULT_TASK_TARGET", "StageSpec"]
+
+
+@dataclass(frozen=True)
+class StageSpec:
+    """One stage of a method's parallel execution plan.
+
+    ``plan(stats, carry) -> list[task]`` runs on the driver; tasks must
+    be plain picklable data (node ids, coordinates, offsets).
+    ``kernel`` names a selector method ``(task, stats) -> out``.
+    ``reduce(outs, dr) -> carry`` folds task outputs (in task order)
+    into the shared ``dr`` vector and returns the next stage's carry.
+    """
+
+    name: str
+    plan: Callable[[Any, Any], list]
+    kernel: str
+    reduce: Optional[Callable[[list, Any], Any]] = None

@@ -22,6 +22,13 @@ Edge cases the pseudocode leaves implicit:
 * a facility coincident with ``p`` makes ``IS(p)`` empty (no client can
   be strictly closer to ``p`` than to that facility), so ``p`` is
   skipped with ``dr(p) = 0``.
+
+For the execution engine the method splits into two stages: AIR
+construction (chunks of potential locations; independent best-first NN
+streams over ``R_F``) and the batched window queries (one task per
+potential block; blocks touch disjoint ``p`` ids, so windows commute
+exactly).  Both the I/O multiset and each ``p``'s accumulation order
+match the serial interleaving, keeping results byte-identical.
 """
 
 from __future__ import annotations
@@ -31,6 +38,7 @@ from typing import Optional
 import numpy as np
 
 from repro.core.base import LocationSelector
+from repro.core.plan import StageSpec
 from repro.core.types import Site
 from repro.geometry.halfplane import bisector_halfplane
 from repro.geometry.point import Point
@@ -38,6 +46,11 @@ from repro.geometry.polygon import ConvexPolygon
 from repro.geometry.rect import Rect
 from repro.rtree.nn import incremental_nearest
 from repro.rtree.node import Node
+from repro.storage.stats import IOStats
+
+#: Potential locations per AIR task.  Fixed (worker-independent) so the
+#: task list — and with it the merged trace shape — is deterministic.
+AIR_CHUNK = 16
 
 
 class QuasiVoronoiCell(LocationSelector):
@@ -54,7 +67,9 @@ class QuasiVoronoiCell(LocationSelector):
         return self.ws.r_c.size_pages + self.ws.r_f.size_pages
 
     # ------------------------------------------------------------------
-    def quadrant_nearest_facilities(self, p: Point) -> list[Optional[Site]]:
+    def quadrant_nearest_facilities(
+        self, p: Point, stats: Optional[IOStats] = None
+    ) -> list[Optional[Site]]:
         """The NN facility per quadrant around ``p`` (None when empty).
 
         A single best-first stream serves all four quadrants: facilities
@@ -64,7 +79,7 @@ class QuasiVoronoiCell(LocationSelector):
         """
         found: list[Optional[Site]] = [None, None, None, None]
         missing = 4
-        for __, site in incremental_nearest(self.ws.r_f, p):
+        for __, site in incremental_nearest(self.ws.r_f, p, stats=stats):
             quad = Point(site.x, site.y).quadrant_relative_to(p)
             if found[quad] is None:
                 found[quad] = site
@@ -73,14 +88,14 @@ class QuasiVoronoiCell(LocationSelector):
                     break
         return found
 
-    def air(self, p: Point) -> Optional[Rect]:
+    def air(self, p: Point, stats: Optional[IOStats] = None) -> Optional[Rect]:
         """``AIR(p)``: the MBR of the quasi-Voronoi cell of ``p``.
 
         Returns None when ``IS(p)`` is provably empty (a facility sits
         exactly on ``p``).
         """
         halfplanes = []
-        for site in self.quadrant_nearest_facilities(p):
+        for site in self.quadrant_nearest_facilities(p, stats=stats):
             if site is None:
                 continue
             f = Point(site.x, site.y)
@@ -95,35 +110,115 @@ class QuasiVoronoiCell(LocationSelector):
         return cell.mbr()
 
     # ------------------------------------------------------------------
-    def _compute_distance_reductions(self) -> np.ndarray:
+    # Parallel execution protocol
+    # ------------------------------------------------------------------
+    def execution_plan(self) -> list[StageSpec]:
+        return [
+            StageSpec(
+                name="qvc.blocks",
+                plan=self._plan_air,
+                kernel="run_air_task",
+                reduce=self._reduce_air,
+            ),
+            StageSpec(
+                name="qvc.window",
+                plan=self._plan_windows,
+                kernel="run_window_task",
+                reduce=self._reduce_windows,
+            ),
+        ]
+
+    def _plan_air(self, stats: IOStats, carry: object = None) -> list[tuple]:
+        """Chunked AIR tasks; charges the potential-file block reads."""
         ws = self.ws
-        dr = np.zeros(ws.n_p, dtype=np.float64)
-        self._leaf_cache: dict[
-            int, tuple[np.ndarray, np.ndarray, np.ndarray, np.ndarray]
-        ] = {}
-        root_id = ws.r_c.root_id
-        trace = ws.tracer
+        tasks: list[tuple[int, list[tuple[int, float, float]]]] = []
         offset = 0
-        # Algorithm 2: process P block by block; each block's AIRs run as
-        # one simultaneous window query down R_C.  Phases per block:
-        # "qvc.air" (quadrant NNs over R_F + cell clipping) and
-        # "qvc.window" (the batched window query over R_C); file.P block
-        # reads land on the enclosing "qvc.blocks" span.
-        with trace.span("qvc.blocks"):
-            for p_block in ws.potential_file.iter_blocks():
-                group: list[tuple[int, float, float, Rect]] = []
-                with trace.span("qvc.air") as sp:
-                    for row, (px, py) in enumerate(p_block):
-                        air = self.air(Point(float(px), float(py)))
-                        if air is not None:
-                            group.append((offset + row, float(px), float(py), air))
-                        else:
-                            sp.count("empty_cells")
-                    sp.count("cells", len(group))
-                if group:
-                    with trace.span("qvc.window"):
-                        self._window_query(root_id, group, dr)
-                offset += len(p_block)
+        for block_id in range(ws.potential_file.num_blocks):
+            p_block = ws.potential_file.read_block(block_id, stats=stats)
+            for start in range(0, len(p_block), AIR_CHUNK):
+                rows = [
+                    (offset + start + i, float(px), float(py))
+                    for i, (px, py) in enumerate(p_block[start : start + AIR_CHUNK])
+                ]
+                tasks.append((block_id, rows))
+            offset += len(p_block)
+        return tasks
+
+    def run_air_task(
+        self, task: tuple[int, list[tuple[int, float, float]]], stats: IOStats
+    ) -> tuple[int, list[tuple[int, float, float, Rect]]]:
+        """AIR construction for one chunk of potential locations."""
+        block_id, rows = task
+        group: list[tuple[int, float, float, Rect]] = []
+        with stats.tracer.span("qvc.air") as sp:
+            for pid, px, py in rows:
+                air = self.air(Point(px, py), stats=stats)
+                if air is not None:
+                    group.append((pid, px, py, air))
+                else:
+                    sp.count("empty_cells")
+            sp.count("cells", len(group))
+        return block_id, group
+
+    def _reduce_air(
+        self, outs: list[tuple[int, list]], dr: np.ndarray
+    ) -> dict[int, list]:
+        """Reassemble per-block AIR groups (tasks arrive in chunk order)."""
+        groups: dict[int, list[tuple[int, float, float, Rect]]] = {}
+        for block_id, group in outs:
+            groups.setdefault(block_id, []).extend(group)
+        return groups
+
+    def _plan_windows(
+        self, stats: IOStats, carry: dict[int, list]
+    ) -> list[tuple[int, list]]:
+        """One window-query task per non-empty potential block."""
+        return [
+            (block_id, carry[block_id])
+            for block_id in sorted(carry)
+            if carry[block_id]
+        ]
+
+    def run_window_task(
+        self, task: tuple[int, list], stats: IOStats
+    ) -> tuple[np.ndarray, np.ndarray]:
+        """The batched window query of one block (Algorithm 3)."""
+        __, group = task
+        local = np.zeros(self.ws.n_p, dtype=np.float64)
+        with stats.tracer.span("qvc.window"):
+            self._window_query(self.ws.r_c.root_id, group, local, stats)
+        idx = np.flatnonzero(local)
+        return idx, local[idx]
+
+    def _reduce_windows(
+        self, outs: list[tuple[np.ndarray, np.ndarray]], dr: np.ndarray
+    ) -> Optional[object]:
+        for idx, vals in outs:
+            dr[idx] += vals
+        return None
+
+    # ------------------------------------------------------------------
+    def _compute_distance_reductions(self) -> np.ndarray:
+        """The serial path: the same plan/kernels, run inline.
+
+        The serial loop interleaved AIR construction and window queries
+        per block; running all AIRs first is charge- and value-identical
+        (blocks touch disjoint ``p`` ids, and the best-first NN streams
+        are independent per ``p``).
+        """
+        ws = self.ws
+        stats = ws.stats
+        dr = np.zeros(ws.n_p, dtype=np.float64)
+        # Phases per block: "qvc.air" (quadrant NNs over R_F + cell
+        # clipping) and "qvc.window" (the batched window query over R_C);
+        # file.P block reads land on the enclosing "qvc.blocks" span.
+        with stats.tracer.span("qvc.blocks"):
+            air_tasks = self._plan_air(stats)
+            air_outs = [self.run_air_task(task, stats) for task in air_tasks]
+            groups = self._reduce_air(air_outs, dr)
+            window_tasks = self._plan_windows(stats, groups)
+            window_outs = [self.run_window_task(task, stats) for task in window_tasks]
+            self._reduce_windows(window_outs, dr)
         return dr
 
     def _window_query(
@@ -131,10 +226,11 @@ class QuasiVoronoiCell(LocationSelector):
         node_id: int,
         group: list[tuple[int, float, float, Rect]],
         dr: np.ndarray,
+        stats: Optional[IOStats] = None,
     ) -> None:
         """Algorithm 3: one traversal of ``R_C`` shared by a whole block."""
-        node = self.ws.r_c.read_node(node_id)
-        trace = self.ws.tracer
+        node = self.ws.r_c.read_node(node_id, stats=stats)
+        trace = (stats if stats is not None else self.ws.stats).tracer
         trace.count("window.nodes")
         if node.is_leaf:
             trace.count("window.leaf_evals", len(group))
@@ -148,20 +244,21 @@ class QuasiVoronoiCell(LocationSelector):
         for entry in node.entries:
             surviving = [g for g in group if g[3].intersects(entry.mbr)]
             if surviving:
-                self._window_query(entry.child_id, surviving, dr)
+                self._window_query(entry.child_id, surviving, dr, stats)
 
     def _leaf_arrays(
         self, node: Node
     ) -> tuple[np.ndarray, np.ndarray, np.ndarray, np.ndarray]:
-        cached = self._leaf_cache.get(node.node_id)
-        if cached is None:
+        tree = self.ws.r_c
+
+        def decode():
             clients = [e.payload for e in node.entries]
             n = len(clients)
-            cached = (
+            return (
                 np.fromiter((c.x for c in clients), np.float64, n),
                 np.fromiter((c.y for c in clients), np.float64, n),
                 np.fromiter((c.dnn for c in clients), np.float64, n),
                 np.fromiter((c.weight for c in clients), np.float64, n),
             )
-            self._leaf_cache[node.node_id] = cached
-        return cached
+
+        return self.ws.leaf_cache.get(tree.name, tree.version, node.node_id, decode)

@@ -10,13 +10,25 @@ reads the client dataset ``n_p / C_m`` times — the I/O cost
 The per-block-pair distance computation is vectorised with numpy; this
 changes constants, not the I/O pattern or the asymptotic CPU cost, both
 of which the paper analyses.
+
+The scan decomposes naturally for the execution engine: one task per
+``(P-block, C-block)`` pair.  The driver charges each potential block
+once at planning time (the serial loop holds it in memory across the
+inner scan); each task re-fetches it for free via ``peek_block`` and
+charges only its own client-block read.  Per-``p`` accumulation order
+across tasks equals the serial inner-loop order, so the reduced ``dr``
+is bit-identical to the serial scan.
 """
 
 from __future__ import annotations
 
+from typing import Optional
+
 import numpy as np
 
 from repro.core.base import LocationSelector
+from repro.core.plan import StageSpec
+from repro.storage.stats import IOStats
 
 
 class SequentialScan(LocationSelector):
@@ -31,34 +43,72 @@ class SequentialScan(LocationSelector):
     def index_pages(self) -> int:
         return 0  # SS maintains no index (data files are not indexes).
 
-    def _compute_distance_reductions(self) -> np.ndarray:
+    # ------------------------------------------------------------------
+    # Parallel execution protocol
+    # ------------------------------------------------------------------
+    def execution_plan(self) -> list[StageSpec]:
+        return [
+            StageSpec(
+                name="ss.scan",
+                plan=self._plan_scan,
+                kernel="run_scan_task",
+                reduce=self._reduce_scan,
+            )
+        ]
+
+    def _plan_scan(self, stats: IOStats, carry: object = None) -> list[tuple]:
+        """One task per (P-block, C-block) pair; charges the P reads."""
         ws = self.ws
-        trace = ws.tracer
-        dr = np.zeros(ws.n_p, dtype=np.float64)
+        tasks: list[tuple[int, int, int]] = []
+        n_c_blocks = ws.client_file.num_blocks
         offset = 0
-        # Phases: reads of file.P land on "ss.scan" (the blocks arrive
-        # through the outer iterator); each full client pass is its own
-        # child span, so the profile shows file.C reads per pass.
-        with trace.span("ss.scan") as scan:
-            for p_block in ws.potential_file.iter_blocks():
-                scan.count("potential_blocks")
-                px = p_block[:, 0]
-                py = p_block[:, 1]
-                acc = np.zeros(len(p_block), dtype=np.float64)
-                with trace.span("ss.client_pass") as sp:
-                    for c_block in ws.client_file.iter_blocks():
-                        sp.count("client_blocks")
-                        cx = c_block[:, 0]
-                        cy = c_block[:, 1]
-                        dnn = c_block[:, 2]
-                        w = c_block[:, 3]
-                        # (block of P) x (block of C) pairwise distances.
-                        d = np.hypot(
-                            px[:, None] - cx[None, :], py[:, None] - cy[None, :]
-                        )
-                        acc += (
-                            np.clip(dnn[None, :] - d, 0.0, None) * w[None, :]
-                        ).sum(axis=1)
-                dr[offset : offset + len(p_block)] = acc
-                offset += len(p_block)
+        for p_id in range(ws.potential_file.num_blocks):
+            p_block = ws.potential_file.read_block(p_id, stats=stats)
+            stats.tracer.count("potential_blocks")
+            for c_id in range(n_c_blocks):
+                tasks.append((p_id, offset, c_id))
+            offset += len(p_block)
+        return tasks
+
+    def run_scan_task(
+        self, task: tuple[int, int, int], stats: IOStats
+    ) -> tuple[int, np.ndarray]:
+        """One (P-block, C-block) pairwise evaluation (Algorithm 1 core)."""
+        p_id, offset, c_id = task
+        ws = self.ws
+        p_block = ws.potential_file.peek_block(p_id)  # charged at planning
+        px = p_block[:, 0]
+        py = p_block[:, 1]
+        with stats.tracer.span("ss.client_pass") as sp:
+            c_block = ws.client_file.read_block(c_id, stats=stats)
+            sp.count("client_blocks")
+            cx = c_block[:, 0]
+            cy = c_block[:, 1]
+            dnn = c_block[:, 2]
+            w = c_block[:, 3]
+            # (block of P) x (block of C) pairwise distances.
+            d = np.hypot(px[:, None] - cx[None, :], py[:, None] - cy[None, :])
+            acc = (np.clip(dnn[None, :] - d, 0.0, None) * w[None, :]).sum(axis=1)
+        return offset, acc
+
+    def _reduce_scan(
+        self, outs: list[tuple[int, np.ndarray]], dr: np.ndarray
+    ) -> Optional[object]:
+        for offset, acc in outs:
+            dr[offset : offset + len(acc)] += acc
+        return None
+
+    # ------------------------------------------------------------------
+    def _compute_distance_reductions(self) -> np.ndarray:
+        """The serial path: the same plan/kernel/reduce, run inline."""
+        ws = self.ws
+        stats = ws.stats
+        dr = np.zeros(ws.n_p, dtype=np.float64)
+        # Phases: reads of file.P land on "ss.scan" (charged while
+        # planning); each (P-block, C-block) evaluation opens its own
+        # "ss.client_pass" child span carrying the file.C read.
+        with stats.tracer.span("ss.scan"):
+            tasks = self._plan_scan(stats)
+            outs = [self.run_scan_task(task, stats) for task in tasks]
+            self._reduce_scan(outs, dr)
         return dr

@@ -41,6 +41,7 @@ from repro.rtree.rnn_tree import build_rnn_tree
 from repro.rtree.rtree import RTree
 from repro.storage.blockfile import BlockFile
 from repro.storage.buffer import LRUBufferPool
+from repro.storage.leafcache import DecodedLeafCache
 from repro.storage.records import CLIENT_RECORD, PAGE_SIZE, POINT_RECORD, RTREE_ENTRY
 from repro.storage.stats import IOStats
 
@@ -94,6 +95,11 @@ class Workspace:
         self.buffer_pool = (
             LRUBufferPool(buffer_pool_pages) if buffer_pool_pages else None
         )
+        # Decoded leaf arrays, shared by all methods and all queries over
+        # this workspace (the decode is CPU-only; page reads are charged
+        # by the caller before consulting the cache, so io_total never
+        # depends on cache state).
+        self.leaf_cache = DecodedLeafCache()
 
         # Precompute dnn(c, F) — shared by every method, including SS.
         # Callers maintaining the join incrementally (e.g. greedy
@@ -147,10 +153,19 @@ class Workspace:
         return len(self.potentials)
 
     def reset_stats(self) -> None:
-        """Clear I/O counters (and cold-start the buffer pool, if any)."""
+        """Clear I/O counters (and cold-start the buffer pool, if any).
+
+        The decoded-leaf cache deliberately survives: it caches a CPU
+        artefact, never a charge, so keeping it warm across queries
+        cannot perturb I/O accounting.
+        """
         self.stats.reset()
         if self.buffer_pool is not None:
             self.buffer_pool.clear()
+
+    def invalidate_leaf_cache(self) -> None:
+        """Drop every decoded leaf array (after any data mutation)."""
+        self.leaf_cache.clear()
 
     # ------------------------------------------------------------------
     # Observability

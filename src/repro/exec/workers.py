@@ -1,0 +1,89 @@
+"""Process-pool side of the execution engine.
+
+Process workers are created with the ``fork`` start method *after* the
+driver has prepared the query's structures, so every child inherits the
+built workspace as a copy-on-write snapshot through :data:`_FORK_STATE`
+— no pickling of trees or files ever happens.  Task payloads therefore
+carry only small picklable tuples (method name, stage index, the task
+itself), and results return as plain dicts/arrays plus a serialised
+span tree.
+
+I/O accounting across the process boundary: each task records into a
+private :class:`~repro.storage.stats.IOStats` whose counters return to
+the driver as plain dicts; the driver folds them in task order with
+:meth:`IOStats.merge_counts`, which also replays the page counts into
+the *driver's* metrics registry (the child's registry died with the
+child).
+"""
+
+from __future__ import annotations
+
+import time
+from typing import Any, Optional
+
+from repro.obs.trace import Tracer
+from repro.storage.stats import IOStats
+
+#: Fork-inherited state: the engine assigns the workspace here in the
+#: parent immediately before creating the pool; forked children see the
+#: assignment, spawn-started children would not (hence the engine
+#: requires the fork start method).
+_FORK_STATE: dict[str, Any] = {"workspace": None}
+
+#: Per-child selector cache (one workspace per child, keyed by method).
+_SELECTORS: dict[str, Any] = {}
+
+
+def _set_fork_workspace(workspace) -> None:
+    """Stage ``workspace`` for inheritance by soon-to-fork children."""
+    _FORK_STATE["workspace"] = workspace
+    _SELECTORS.clear()
+
+
+def _child_selector(method: str):
+    selector = _SELECTORS.get(method)
+    if selector is None:
+        from repro.core.registry import make_selector
+
+        workspace = _FORK_STATE["workspace"]
+        if workspace is None:
+            raise RuntimeError(
+                "worker process has no forked workspace; the process "
+                "executor requires the fork start method"
+            )
+        selector = make_selector(workspace, method)
+        # Structures the parent built before forking were inherited; any
+        # the parent prepared later are rebuilt here (uncounted, and
+        # deterministic, so node ids match the parent's tree exactly).
+        selector.prepare()
+        _SELECTORS[method] = selector
+    return selector
+
+
+def run_stage_task(
+    payload: tuple[str, int, Any, bool, float],
+) -> tuple[Any, dict[str, int], dict[str, int], Optional[dict]]:
+    """Run one kernel invocation in a worker process.
+
+    Returns ``(kernel output, read counts, write counts, task span as a
+    dict or None)`` — everything the driver needs for its stable merge.
+    """
+    method, stage_index, task, trace_enabled, latency = payload
+    selector = _child_selector(method)
+    stage = selector.execution_plan()[stage_index]
+    kernel = getattr(selector, stage.kernel)
+    tstats = IOStats()
+    span_dict: Optional[dict] = None
+    if trace_enabled:
+        ttracer = Tracer()  # private, sinkless: the root is shipped home
+        tstats.bind_tracer(ttracer)
+        with ttracer.span(f"{stage.name}.task") as span:
+            out = kernel(task, tstats)
+        span_dict = span.to_dict()
+    else:
+        out = kernel(task, tstats)
+    if latency:
+        # Realise the simulated disk latency of this task's page reads
+        # inside the worker, so wall-clock time reflects the overlap.
+        time.sleep(tstats.total_reads * latency)
+    return out, dict(tstats.reads), dict(tstats.writes), span_dict

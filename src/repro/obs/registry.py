@@ -15,25 +15,35 @@ method call and an integer add.
 
 from __future__ import annotations
 
+import threading
 from typing import Iterable, Optional, Union
 
 
 class Counter:
-    """A monotonically increasing count."""
+    """A monotonically increasing count.
 
-    __slots__ = ("name", "value")
+    ``inc`` is locked: the read-modify-write of ``self.value`` is not
+    atomic in CPython, so unlocked concurrent increments lose counts.
+    Reads of ``value`` stay lock-free (a torn read of an int cannot
+    occur; callers sample a point-in-time value).
+    """
+
+    __slots__ = ("name", "value", "_lock")
 
     kind = "counter"
 
     def __init__(self, name: str):
         self.name = name
         self.value = 0
+        self._lock = threading.Lock()
 
     def inc(self, amount: int = 1) -> None:
-        self.value += amount
+        with self._lock:
+            self.value += amount
 
     def reset(self) -> None:
-        self.value = 0
+        with self._lock:
+            self.value = 0
 
     def __repr__(self) -> str:
         return f"Counter({self.name!r}, {self.value})"
@@ -42,25 +52,30 @@ class Counter:
 class Gauge:
     """A value that can go up and down (e.g. resident buffer pages)."""
 
-    __slots__ = ("name", "value")
+    __slots__ = ("name", "value", "_lock")
 
     kind = "gauge"
 
     def __init__(self, name: str):
         self.name = name
         self.value = 0.0
+        self._lock = threading.Lock()
 
     def set(self, value: float) -> None:
-        self.value = float(value)
+        with self._lock:
+            self.value = float(value)
 
     def inc(self, amount: float = 1.0) -> None:
-        self.value += amount
+        with self._lock:
+            self.value += amount
 
     def dec(self, amount: float = 1.0) -> None:
-        self.value -= amount
+        with self._lock:
+            self.value -= amount
 
     def reset(self) -> None:
-        self.value = 0.0
+        with self._lock:
+            self.value = 0.0
 
     def __repr__(self) -> str:
         return f"Gauge({self.name!r}, {self.value})"
@@ -73,7 +88,16 @@ class Histogram:
     estimates; the scalar aggregates always cover every observation.
     """
 
-    __slots__ = ("name", "count", "sum", "min", "max", "_samples", "_max_samples")
+    __slots__ = (
+        "name",
+        "count",
+        "sum",
+        "min",
+        "max",
+        "_samples",
+        "_max_samples",
+        "_lock",
+    )
 
     kind = "histogram"
 
@@ -85,20 +109,22 @@ class Histogram:
         self.min = float("inf")
         self.max = float("-inf")
         self._samples: list[float] = []
+        self._lock = threading.Lock()
 
     def observe(self, value: float) -> None:
         value = float(value)
-        self.count += 1
-        self.sum += value
-        if value < self.min:
-            self.min = value
-        if value > self.max:
-            self.max = value
-        if len(self._samples) >= self._max_samples:
-            # Ring-buffer overwrite keeps the window recent and bounded.
-            self._samples[self.count % self._max_samples] = value
-        else:
-            self._samples.append(value)
+        with self._lock:
+            self.count += 1
+            self.sum += value
+            if value < self.min:
+                self.min = value
+            if value > self.max:
+                self.max = value
+            if len(self._samples) >= self._max_samples:
+                # Ring-buffer overwrite keeps the window recent and bounded.
+                self._samples[self.count % self._max_samples] = value
+            else:
+                self._samples.append(value)
 
     @property
     def mean(self) -> float:
@@ -108,18 +134,21 @@ class Histogram:
         """Approximate ``q``-quantile over the retained sample window."""
         if not 0.0 <= q <= 1.0:
             raise ValueError("quantile must be in [0, 1]")
-        if not self._samples:
+        with self._lock:
+            samples = list(self._samples)
+        if not samples:
             return 0.0
-        ordered = sorted(self._samples)
+        ordered = sorted(samples)
         index = min(len(ordered) - 1, int(q * len(ordered)))
         return ordered[index]
 
     def reset(self) -> None:
-        self.count = 0
-        self.sum = 0.0
-        self.min = float("inf")
-        self.max = float("-inf")
-        self._samples.clear()
+        with self._lock:
+            self.count = 0
+            self.sum = 0.0
+            self.min = float("inf")
+            self.max = float("-inf")
+            self._samples.clear()
 
     def __repr__(self) -> str:
         return (
@@ -133,18 +162,20 @@ Metric = Union[Counter, Gauge, Histogram]
 class MetricsRegistry:
     """A flat namespace of metrics, get-or-create by name."""
 
-    __slots__ = ("_metrics",)
+    __slots__ = ("_metrics", "_lock")
 
     def __init__(self) -> None:
         self._metrics: dict[str, Metric] = {}
+        self._lock = threading.Lock()
 
     # ------------------------------------------------------------------
     def _get_or_create(self, name: str, factory) -> Metric:
-        metric = self._metrics.get(name)
-        if metric is None:
-            metric = factory(name)
-            self._metrics[name] = metric
-        elif not isinstance(metric, factory):
+        with self._lock:
+            metric = self._metrics.get(name)
+            if metric is None:
+                metric = factory(name)
+                self._metrics[name] = metric
+        if not isinstance(metric, factory):
             raise TypeError(
                 f"metric {name!r} already registered as {metric.kind}, "
                 f"not {factory.kind}"

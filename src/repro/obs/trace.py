@@ -16,7 +16,10 @@ is therefore one attribute lookup and one call — verified near-zero by
 ``benchmarks/test_obs_overhead.py``.
 
 Tracers are deliberately not thread-safe: one tracer traces one query
-at a time (the repo's query engine is single-threaded per workspace).
+at a time.  Concurrent execution (:mod:`repro.exec`) gives every task a
+private tracer and grafts the finished task roots into the driver's
+trace afterwards via :meth:`Tracer.adopt`, so no span stack is ever
+shared between threads.
 """
 
 from __future__ import annotations
@@ -173,6 +176,29 @@ class Tracer:
     def add_sink(self, sink) -> None:
         self._sinks.append(sink)
 
+    @property
+    def sinks(self) -> list:
+        """The attached sinks (shared list; mutate via :meth:`add_sink`)."""
+        return self._sinks
+
+    # ------------------------------------------------------------------
+    def adopt(self, span: Span) -> None:
+        """Graft a *finished* span tree into the trace.
+
+        The execution engine runs each task under a private tracer (so
+        concurrent tasks never contend on one span stack) and, after the
+        stable merge, adopts the finished task roots here in task order.
+        With a span open, the tree becomes its child; with no span open,
+        it is emitted to the sinks as a root of its own.
+        """
+        current = self.current
+        span.parent = current
+        if current is not None:
+            current.children.append(span)
+        else:
+            for sink in self._sinks:
+                sink.emit(span)
+
     # ------------------------------------------------------------------
     def span(self, name: str) -> _ActiveSpan:
         """A context manager opening span ``name`` under the current one."""
@@ -253,6 +279,13 @@ class NoopTracer:
 
     def on_page_write(self, source: str, pages: int) -> None:
         return None
+
+    def adopt(self, span: Span) -> None:
+        return None
+
+    @property
+    def sinks(self) -> list:
+        return []
 
     def add_sink(self, sink) -> None:
         raise TypeError(

@@ -25,6 +25,7 @@ here, on top of :mod:`repro.storage`:
 
 from repro.rtree.bulk import bulk_load
 from repro.rtree.entry import BranchEntry, LeafEntry
+from repro.rtree.frontier import DEFAULT_TASK_TARGET, expand_frontier
 from repro.rtree.join import intersection_join
 from repro.rtree.mnd_tree import MNDTree
 from repro.rtree.nn import (
@@ -43,7 +44,9 @@ from repro.rtree.window import window_query
 
 __all__ = [
     "BranchEntry",
+    "DEFAULT_TASK_TARGET",
     "DiskRTree",
+    "expand_frontier",
     "ReadOnlyTreeError",
     "save_rtree",
     "LeafEntry",

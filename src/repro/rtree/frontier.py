@@ -1,0 +1,74 @@
+"""Node-pair frontier extraction for parallel spatial joins.
+
+The NFC and MND methods are synchronized depth-first joins over two
+R-trees.  To parallelise them without changing what gets *charged*, the
+execution engine splits the top of the traversal into a **frontier**: a
+list of independent node-pair tasks whose concatenated sub-traversals
+cover exactly the pairs the serial recursion would visit, in exactly the
+serial order.
+
+:func:`expand_frontier` is the method-agnostic core.  It repeatedly
+expands the leftmost expandable item into its qualifying children —
+spliced in place, so the list stays in serial DFS order — and stops the
+moment the frontier reaches ``target`` items (or nothing can expand).
+Expanding one item at a time matters: a whole-pass expansion of a
+near-target frontier would overshoot deep into the trees and charge
+most of the join's reads on the driver, leaving the tasks nothing to
+parallelise.
+
+The caller's ``expand_item`` callback owns the join predicate and,
+crucially, the I/O: it must charge the child-node reads exactly where
+the serial recursion would (the serial join re-reads a child once per
+qualifying pair, and so does the frontier).  Page-read *totals* are
+therefore independent of the target — it only moves charges between the
+planning phase and the tasks — while the float-merge grouping of the
+downstream reduction is fixed by the frontier alone: byte-identical
+results at any worker count.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Optional, Sequence, TypeVar
+
+Item = TypeVar("Item")
+
+#: Default frontier size the engine aims for: enough tasks to keep a
+#: small pool busy and amortise per-task overhead, few enough that the
+#: per-task partial-result arrays stay cheap.
+DEFAULT_TASK_TARGET = 32
+
+
+def expand_frontier(
+    items: Sequence[Item],
+    expand_item: Callable[[Item], Optional[list[Item]]],
+    target: int = DEFAULT_TASK_TARGET,
+) -> list[Item]:
+    """Expand join items until the frontier is at least ``target`` wide.
+
+    ``expand_item`` returns the item's qualifying children in serial
+    visit order (possibly empty, when every child pair is pruned), or
+    None for an unexpandable item (e.g. a leaf-leaf pair).  The result
+    depends only on the items, the trees and ``target`` — never on
+    worker count or timing.
+    """
+    if target < 1:
+        raise ValueError("target must be >= 1")
+    frontier = list(items)
+    while len(frontier) < target:
+        # One left-to-right pass expanding items *without* descending
+        # into their freshly spliced children (the cursor skips them),
+        # so the frontier deepens level by level and the tasks stay
+        # balanced; the pass aborts the moment the target is reached.
+        cursor = 0
+        expanded_any = False
+        while cursor < len(frontier) and len(frontier) < target:
+            children = expand_item(frontier[cursor])
+            if children is None:
+                cursor += 1
+            else:
+                frontier[cursor : cursor + 1] = children
+                cursor += len(children)
+                expanded_any = True
+        if not expanded_any:
+            break
+    return frontier

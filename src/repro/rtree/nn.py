@@ -19,6 +19,7 @@ from typing import Any, Callable, Iterator, Optional
 from repro.geometry.point import Point
 from repro.geometry.rect import Rect
 from repro.rtree.rtree import RTree
+from repro.storage.stats import IOStats
 
 
 def incremental_nearest(
@@ -26,16 +27,19 @@ def incremental_nearest(
     query: Point,
     mbr_filter: Optional[Callable[[Rect], bool]] = None,
     payload_filter: Optional[Callable[[Any], bool]] = None,
+    stats: Optional[IOStats] = None,
 ) -> Iterator[tuple[float, Any]]:
     """Yield ``(distance, payload)`` pairs in increasing distance order.
 
     ``mbr_filter`` prunes subtrees (it must be *conservative*: return
     True whenever the subtree could hold a qualifying object), while
     ``payload_filter`` is the exact final test on data entries.
+    ``stats`` redirects the I/O charges (and span counters) to a
+    caller-private accounting, as required by parallel tasks.
     """
     if tree.num_entries == 0:
         return
-    tracer = tree.stats.tracer
+    tracer = (stats if stats is not None else tree.stats).tracer
     counter = itertools.count()  # tie-breaker: heap items are never compared
     # Heap items: (min possible distance, seq, is_data, object)
     heap: list[tuple[float, int, bool, Any]] = [(0.0, next(counter), False, None)]
@@ -46,7 +50,7 @@ def incremental_nearest(
             yield dist, obj
             continue
         tracer.count("nn.nodes")
-        node = (tree.read_node(tree.root_id) if obj is None else tree.read_node(obj))
+        node = tree.read_node(tree.root_id if obj is None else obj, stats=stats)
         if node.is_leaf:
             for entry in node.entries:
                 if mbr_filter is not None and not mbr_filter(entry.mbr):

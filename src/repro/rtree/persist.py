@@ -146,6 +146,9 @@ class DiskRTree:
         self.num_entries, self.height, flags = _META.unpack(meta)
         self.has_mnd = bool(flags & _FLAG_MND)
         self.root_id = self._file.root_page
+        # Read-only trees never mutate, so decoded-leaf caches keyed on
+        # (name, version) stay valid for the file's lifetime.
+        self.version = 0
 
     # ------------------------------------------------------------------
     # Decoding
@@ -173,10 +176,10 @@ class DiskRTree:
     # ------------------------------------------------------------------
     # RTree-compatible query interface
     # ------------------------------------------------------------------
-    def read_node(self, node_id: int) -> Node:
-        node = self._decode(node_id, self._pager.read(node_id))
+    def read_node(self, node_id: int, stats: Optional[IOStats] = None) -> Node:
+        node = self._decode(node_id, self._pager.read(node_id, stats=stats))
         self._reg_node_reads.inc()
-        tracer = self._pager.stats._tracer
+        tracer = (stats if stats is not None else self._pager.stats)._tracer
         if tracer is not None:
             tracer.count(self._leaf_read_key if node.is_leaf else self._branch_read_key)
         return node

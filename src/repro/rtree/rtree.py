@@ -66,21 +66,29 @@ class RTree:
         root.node_id = self.root_id
         self.height = 1
         self.num_entries = 0
+        # Mutation counter: bumped by insert/delete so version-keyed
+        # caches of decoded node contents (DecodedLeafCache) can detect
+        # staleness without the tree knowing who caches what.
+        self.version = 0
 
     # ------------------------------------------------------------------
     # Page plumbing
     # ------------------------------------------------------------------
-    def read_node(self, node_id: int) -> Node:
+    def read_node(self, node_id: int, stats: Optional[IOStats] = None) -> Node:
         """Fetch a node with I/O accounting — the query-time accessor.
 
         Besides the per-query :class:`IOStats` charge (made by the
         pager), the fetch bumps the process-wide ``rtree.node_reads``
         metric and — when a tracer is bound — a per-span leaf/branch
         counter, so profiles separate directory descent from leaf scans.
+
+        ``stats`` redirects the charge (and the leaf/branch span
+        counter) to a caller-private accounting; parallel tasks use this
+        so the engine can merge per-task partials determinately.
         """
-        node = self._pager.read(node_id)
+        node = self._pager.read(node_id, stats=stats)
         self._reg_node_reads.inc()
-        tracer = self._pager.stats._tracer
+        tracer = (stats if stats is not None else self._pager.stats)._tracer
         if tracer is not None:
             tracer.count(self._leaf_read_key if node.is_leaf else self._branch_read_key)
         return node
@@ -145,6 +153,7 @@ class RTree:
         """Insert one data entry (Guttman insert with quadratic splits)."""
         self._insert_at_level(LeafEntry(mbr, payload), 0)
         self.num_entries += 1
+        self.version += 1
 
     def _insert_at_level(self, entry: LeafEntry | BranchEntry, level: int) -> None:
         split = self._insert_rec(self.root_id, entry, level)
@@ -227,6 +236,7 @@ class RTree:
         if not found:
             return False
         self.num_entries -= 1
+        self.version += 1
         # Shrink the root while it is a single-child branch node.
         root = self.node(self.root_id)
         while not root.is_leaf and len(root.entries) == 1:

@@ -17,6 +17,7 @@ reproduces that environment in memory:
 
 from repro.storage.blockfile import BlockFile
 from repro.storage.buffer import LRUBufferPool
+from repro.storage.leafcache import DecodedLeafCache
 from repro.storage.pager import Pager
 from repro.storage.records import (
     CLIENT_RECORD,
@@ -32,6 +33,7 @@ from repro.storage.stats import IOStats
 __all__ = [
     "BlockFile",
     "CLIENT_RECORD",
+    "DecodedLeafCache",
     "IOStats",
     "LRUBufferPool",
     "MND_ENTRY",

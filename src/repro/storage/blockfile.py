@@ -60,9 +60,22 @@ class BlockFile:
         return self._pager.size_bytes
 
     # ------------------------------------------------------------------
-    def read_block(self, block_id: int) -> list[Any]:
-        """Read one block (one counted I/O)."""
-        return self._pager.read(block_id)
+    def read_block(
+        self, block_id: int, stats: Optional[IOStats] = None
+    ) -> list[Any]:
+        """Read one block (one counted I/O, charged to ``stats`` if given)."""
+        return self._pager.read(block_id, stats=stats)
+
+    def peek_block(self, block_id: int) -> list[Any]:
+        """Fetch a block *without* I/O accounting.
+
+        For re-visiting a block whose read was already charged once by
+        the owner of the traversal (the execution engine charges a
+        potential-location block at planning time, then the scan tasks
+        re-use it for free — mirroring the serial loop, which holds the
+        block in memory across the inner scan).
+        """
+        return self._pager.peek(block_id)
 
     def iter_blocks(self) -> Iterator[list[Any]]:
         """Scan the file front to back, one I/O per block."""

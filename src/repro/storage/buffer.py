@@ -8,13 +8,22 @@ but their ordering is preserved.
 
 from __future__ import annotations
 
+import threading
 from collections import OrderedDict
 
 from repro.obs.registry import REGISTRY
 
 
 class LRUBufferPool:
-    """Tracks which pages are resident, evicting least-recently-used."""
+    """Tracks which pages are resident, evicting least-recently-used.
+
+    Residency updates are guarded by a lock so concurrent accessors
+    cannot corrupt the LRU order or lose hit/miss counts.  Note that a
+    *warm* pool's hit pattern still depends on the global access order,
+    which is scheduler-dependent under concurrency — the execution
+    engine therefore refuses to parallelise workspaces with a pool
+    attached (see :mod:`repro.exec`).
+    """
 
     __slots__ = (
         "capacity",
@@ -23,6 +32,7 @@ class LRUBufferPool:
         "misses",
         "_reg_hits",
         "_reg_misses",
+        "_lock",
     )
 
     def __init__(self, capacity: int):
@@ -36,27 +46,35 @@ class LRUBufferPool:
         # the instance attributes keep the per-pool, per-run view.
         self._reg_hits = REGISTRY.counter("storage.buffer.hits")
         self._reg_misses = REGISTRY.counter("storage.buffer.misses")
+        self._lock = threading.Lock()
 
     def access(self, file_name: str, page_id: int) -> bool:
         """Register an access; returns True on a buffer hit (no disk I/O)."""
         key = (file_name, page_id)
-        if key in self._resident:
-            self._resident.move_to_end(key)
-            self.hits += 1
+        with self._lock:
+            if key in self._resident:
+                self._resident.move_to_end(key)
+                self.hits += 1
+                hit = True
+            else:
+                self.misses += 1
+                self._resident[key] = None
+                if len(self._resident) > self.capacity:
+                    self._resident.popitem(last=False)
+                hit = False
+        if hit:
             self._reg_hits.inc()
-            return True
-        self.misses += 1
-        self._reg_misses.inc()
-        self._resident[key] = None
-        if len(self._resident) > self.capacity:
-            self._resident.popitem(last=False)
-        return False
+        else:
+            self._reg_misses.inc()
+        return hit
 
     def invalidate(self, file_name: str, page_id: int) -> None:
-        self._resident.pop((file_name, page_id), None)
+        with self._lock:
+            self._resident.pop((file_name, page_id), None)
 
     def clear(self) -> None:
-        self._resident.clear()
+        with self._lock:
+            self._resident.clear()
 
     def __len__(self) -> int:
         return len(self._resident)

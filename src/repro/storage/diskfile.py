@@ -128,10 +128,14 @@ class DiskPager:
         self.buffer_pool = buffer_pool
         self._cache: dict[int, bytes] = {}
 
-    def read(self, page_id: int) -> bytes:
-        """Read a page, charging one I/O on a buffer miss."""
+    def read(self, page_id: int, stats: Optional[IOStats] = None) -> bytes:
+        """Read a page, charging one I/O on a buffer miss.
+
+        ``stats`` redirects the charge to a caller-private accounting
+        (parallel tasks); the default is the pager's shared stats.
+        """
         if self.buffer_pool is None or not self.buffer_pool.access(self.name, page_id):
-            self.stats.record_read(self.name)
+            (stats if stats is not None else self.stats).record_read(self.name)
         return self.file.read_page(page_id)
 
     def peek(self, page_id: int) -> bytes:

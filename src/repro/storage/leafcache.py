@@ -1,0 +1,101 @@
+"""Workspace-level cache of decoded leaf-node arrays.
+
+The join methods (NFC, MND) and the QVC window query evaluate leaf
+nodes with vectorised numpy kernels, which requires *decoding* a leaf's
+entry list into flat coordinate/weight arrays.  The paper charges the
+page **read**; the decode is a pure CPU artefact of our implementation.
+Historically each selector kept a private ``self._leaf_cache`` dict that
+was rebuilt per query and — in the MND case — never cleared, pinning
+decoded arrays on the selector for its lifetime.
+
+:class:`DecodedLeafCache` replaces those instance attributes with one
+workspace-owned cache:
+
+* keyed by ``(tree_name, node_id)``, so all methods and all queries over
+  the same workspace share one decode per leaf;
+* the page read is still charged by the caller *before* consulting the
+  cache — caching never changes ``io_total``;
+* versioned per tree: an R-tree bumps its ``version`` on every
+  insert/delete, and the cache drops a tree's entries wholesale when it
+  observes a new version (plus :meth:`invalidate_tree` / :meth:`clear`
+  for explicit control);
+* guarded by a lock so concurrent tasks of the execution engine can
+  share it safely.  Decodes are pure functions of immutable node
+  payloads, so a racing double-decode is benign — the lock only
+  protects the dict bookkeeping.
+"""
+
+from __future__ import annotations
+
+import threading
+from typing import Any, Callable
+
+
+class DecodedLeafCache:
+    """Shared, versioned cache of decoded leaf arrays."""
+
+    __slots__ = ("_entries", "_versions", "_lock", "hits", "misses")
+
+    def __init__(self) -> None:
+        self._entries: dict[tuple[str, int], Any] = {}
+        self._versions: dict[str, int] = {}
+        self._lock = threading.Lock()
+        self.hits = 0
+        self.misses = 0
+
+    # ------------------------------------------------------------------
+    def get(
+        self,
+        tree_name: str,
+        version: int,
+        node_id: int,
+        decode: Callable[[], Any],
+    ) -> Any:
+        """The decoded arrays for one leaf, decoding on first use.
+
+        ``version`` is the owning tree's current mutation counter; a
+        version change invalidates every cached leaf of that tree (node
+        ids are recycled by splits/merges, so per-node invalidation
+        would be unsound).
+        """
+        key = (tree_name, node_id)
+        with self._lock:
+            if self._versions.get(tree_name, version) != version:
+                self._drop_tree_locked(tree_name)
+            self._versions[tree_name] = version
+            cached = self._entries.get(key)
+            if cached is not None:
+                self.hits += 1
+                return cached
+            self.misses += 1
+        value = decode()
+        with self._lock:
+            # Keep the first decode if another task raced us (both are
+            # identical by construction).
+            return self._entries.setdefault(key, value)
+
+    # ------------------------------------------------------------------
+    def _drop_tree_locked(self, tree_name: str) -> None:
+        stale = [key for key in self._entries if key[0] == tree_name]
+        for key in stale:
+            del self._entries[key]
+
+    def invalidate_tree(self, tree_name: str) -> None:
+        """Explicitly drop every cached leaf of one tree."""
+        with self._lock:
+            self._drop_tree_locked(tree_name)
+            self._versions.pop(tree_name, None)
+
+    def clear(self) -> None:
+        with self._lock:
+            self._entries.clear()
+            self._versions.clear()
+
+    def __len__(self) -> int:
+        return len(self._entries)
+
+    def __repr__(self) -> str:
+        return (
+            f"DecodedLeafCache(size={len(self._entries)}, "
+            f"hits={self.hits}, misses={self.misses})"
+        )

@@ -71,10 +71,16 @@ class Pager:
         self._pages[page_id] = payload
         self.stats.record_write(self.name)
 
-    def read(self, page_id: int) -> Any:
-        """Read a page, charging one I/O unless the buffer pool hits."""
+    def read(self, page_id: int, stats: Optional[IOStats] = None) -> Any:
+        """Read a page, charging one I/O unless the buffer pool hits.
+
+        ``stats`` redirects the charge to a caller-private accounting
+        (used by the parallel execution engine so each task charges its
+        own :class:`IOStats` and the engine merges them determinately);
+        by default the pager's shared accounting is charged.
+        """
         if self.buffer_pool is None or not self.buffer_pool.access(self.name, page_id):
-            self.stats.record_read(self.name)
+            (stats if stats is not None else self.stats).record_read(self.name)
         return self._pages[page_id]
 
     def peek(self, page_id: int) -> Any:

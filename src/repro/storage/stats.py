@@ -88,6 +88,38 @@ class IOStats:
         self.reads.clear()
         self.writes.clear()
 
+    # ------------------------------------------------------------------
+    def merge(self, other: "IOStats") -> None:
+        """Fold another accounting into this one (integer addition).
+
+        Page counts are integers, so the merge is associative and
+        commutative: folding per-task partials in *any* order yields the
+        same totals as a serial run — the property the parallel
+        execution engine (:mod:`repro.exec`) relies on.  Registry
+        totals are not re-reported: the partials already fed the
+        process-wide counters when the reads were recorded.
+        """
+        self.reads.update(other.reads)
+        self.writes.update(other.writes)
+
+    def merge_counts(
+        self, reads: dict[str, int], writes: Optional[dict[str, int]] = None
+    ) -> None:
+        """Merge plain-dict partial counters (e.g. from a worker process).
+
+        Unlike :meth:`merge`, partials arriving as plain dicts crossed a
+        process boundary, so their reads were recorded against the
+        *child* process's registry; they are replayed into this
+        process's registry here to keep lifetime totals meaningful.
+        """
+        pages = sum(reads.values())
+        if pages:
+            self.reads.update(reads)
+            self._reg_reads.inc(pages)
+        if writes:
+            self.writes.update(writes)
+            self._reg_writes.inc(sum(writes.values()))
+
     def snapshot(self) -> dict[str, int]:
         """A plain-dict copy of the read counters (for reports/tests)."""
         return dict(self.reads)

@@ -1,0 +1,78 @@
+"""The ``parallel`` suite: registry wiring, ladder, and one real run.
+
+The full suite is deliberately sized for meaningful speedup numbers and
+takes a minute-plus; the recording test here therefore runs one method
+with one repeat — enough to exercise the whole path (engine ladder,
+determinism cross-check, profiled phase attribution, record shape)
+without making the test-suite slow.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.bench import (
+    DEFAULT_WORKER_LADDER,
+    PARALLEL_CONFIG,
+    get_suite,
+    run_suite,
+)
+from repro.bench.parallel import worker_ladder
+
+
+class TestRegistry:
+    def test_parallel_suite_is_registered(self):
+        suite = get_suite("parallel")
+        assert suite.runner is not None
+        assert suite.configs == ((None, PARALLEL_CONFIG),)
+        assert suite.seed() is not None
+
+    def test_plain_suites_reject_a_worker_count(self):
+        with pytest.raises(ValueError, match="worker"):
+            run_suite("smoke", workers=2)
+
+
+class TestWorkerLadder:
+    def test_default(self):
+        assert worker_ladder(None) == DEFAULT_WORKER_LADDER
+
+    def test_stretches_to_the_requested_maximum(self):
+        assert worker_ladder(8) == (1, 2, 4, 8)
+        assert worker_ladder(6) == (1, 2, 4, 6)
+        assert worker_ladder(1) == (1,)
+
+    def test_rejects_nonpositive(self):
+        with pytest.raises(ValueError, match="workers"):
+            worker_ladder(0)
+
+
+class TestRecording:
+    @pytest.fixture(scope="class")
+    def record(self):
+        return run_suite("parallel", repeats=1, methods=["NFC"])
+
+    def test_one_entry_per_ladder_point(self, record):
+        assert record.suite == "parallel"
+        assert [e.method for e in record.entries] == [
+            f"NFC@w{w}" for w in DEFAULT_WORKER_LADDER
+        ]
+        assert [e.x for e in record.entries] == [
+            float(w) for w in DEFAULT_WORKER_LADDER
+        ]
+
+    def test_io_metrics_identical_at_every_worker_count(self, record):
+        first = record.entries[0]
+        for entry in record.entries[1:]:
+            for metric in ("io_total", "index_reads", "data_reads", "index_pages"):
+                assert entry.metrics[metric] == first.metrics[metric]
+            assert entry.io_breakdown == first.io_breakdown
+
+    def test_entries_are_profiled_and_timed(self, record):
+        for entry in record.entries:
+            assert entry.phases
+            assert sum(
+                row["page_reads"] for row in entry.phases.values()
+            ) == entry.metrics["io_total"]
+            assert len(entry.elapsed_samples) == 1
+            assert entry.metrics["speedup"] > 0
+        assert record.entries[0].metrics["speedup"] == 1.0

@@ -1,0 +1,110 @@
+"""Determinism of parallel execution — the engine's hard requirement.
+
+For every method and every worker count (including the process
+executor), the engine must reproduce the serial run *exactly*: same
+selected location, bit-identical ``dr`` vector over all candidates,
+same ``io_total`` and the same per-structure read split.  A small
+``task_target`` forces real fan-out even on the small test instance, so
+these tests genuinely exercise the partial-result merge, not a
+degenerate single-task path.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core import METHODS, Workspace, make_selector
+from repro.exec import QueryEngine
+from repro.obs import InMemorySink, Tracer, phase_breakdown
+
+WORKER_COUNTS = (1, 2, 4)
+
+#: Small enough to split the test instance's joins into many tasks.
+TASK_TARGET = 4
+
+
+@pytest.fixture(scope="module")
+def ws():
+    from repro.datasets.generators import make_instance
+
+    return Workspace(make_instance(n_c=800, n_f=40, n_p=60, rng=11))
+
+
+def _reference(ws, method):
+    selector = make_selector(ws, method)
+    result = selector.select()
+    return {
+        "location": result.location.sid,
+        "dr": result.dr,
+        "dr_vector": selector.distance_reductions().copy(),
+        "io_total": result.io_total,
+        "io_reads": dict(result.io_reads),
+    }
+
+
+def _check(ws, method, reference, **engine_kwargs):
+    engine_kwargs.setdefault("task_target", TASK_TARGET)
+    with QueryEngine(ws, **engine_kwargs) as engine:
+        selector = make_selector(ws, method)
+        result = engine.run(selector)
+    assert result.location.sid == reference["location"]
+    assert result.dr == reference["dr"]  # bit-identical, not approx
+    assert np.array_equal(
+        selector.distance_reductions(), reference["dr_vector"]
+    )
+    assert result.io_total == reference["io_total"]
+    assert dict(result.io_reads) == reference["io_reads"]
+
+
+class TestThreadDeterminism:
+    @pytest.mark.parametrize("method", sorted(METHODS))
+    @pytest.mark.parametrize("workers", WORKER_COUNTS)
+    def test_matches_serial_exactly(self, ws, method, workers):
+        reference = _reference(ws, method)
+        _check(ws, method, reference, workers=workers, executor="thread")
+
+    @pytest.mark.parametrize("method", sorted(METHODS))
+    def test_realized_latency_changes_nothing_but_time(self, ws, method):
+        reference = _reference(ws, method)
+        _check(
+            ws, method, reference, workers=4, executor="thread",
+            realize_latency=True,
+        )
+
+
+class TestProcessDeterminism:
+    @pytest.mark.parametrize("method", sorted(METHODS))
+    def test_matches_serial_exactly(self, ws, method):
+        if "fork" not in __import__("multiprocessing").get_all_start_methods():
+            pytest.skip("process executor requires the fork start method")
+        reference = _reference(ws, method)
+        _check(ws, method, reference, workers=2, executor="process")
+
+
+class TestTraceInvariant:
+    @pytest.mark.parametrize("method", sorted(METHODS))
+    @pytest.mark.parametrize("workers", (1, 4))
+    def test_phase_reads_sum_to_io_total(self, ws, method, workers):
+        sink = InMemorySink()
+        ws.attach_tracer(Tracer([sink]))
+        try:
+            with QueryEngine(ws, workers=workers, task_target=TASK_TARGET) as eng:
+                result = eng.run(method)
+        finally:
+            ws.detach_tracer()
+        root = sink.last
+        assert root is not None
+        phases = phase_breakdown(root)
+        assert sum(row["page_reads"] for row in phases.values()) == result.io_total
+
+    def test_adopted_task_spans_appear_in_the_tree(self, ws):
+        sink = InMemorySink()
+        ws.attach_tracer(Tracer([sink]))
+        try:
+            with QueryEngine(ws, workers=4, task_target=TASK_TARGET) as eng:
+                eng.run("MND")
+        finally:
+            ws.detach_tracer()
+        names = {span.name for span in sink.last.walk()}
+        assert "mnd.join.task" in names

@@ -1,0 +1,110 @@
+"""The execution engine's API surface and serial equivalence.
+
+The determinism ladder (identical numbers at every worker count) lives
+in test_determinism.py; here we pin the contract around it: engine
+results at one worker are *exactly* the legacy ``select()`` numbers,
+batches preserve order and leave shared counters untouched, and the
+engine refuses configurations whose accounting could not be
+deterministic (buffer pools) or are simply invalid.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core import METHODS, Workspace, make_selector
+from repro.exec import QueryEngine, run_batch, run_query
+
+
+@pytest.fixture(scope="module")
+def ws(small_instance_module):
+    return Workspace(small_instance_module)
+
+
+@pytest.fixture(scope="module")
+def small_instance_module():
+    from repro.datasets.generators import make_instance
+
+    return make_instance(n_c=800, n_f=40, n_p=60, rng=11)
+
+
+def _fingerprint(result):
+    return (
+        result.method,
+        result.location.sid,
+        result.dr,
+        result.io_total,
+        dict(result.io_reads),
+        result.index_pages,
+    )
+
+
+class TestSerialEquivalence:
+    @pytest.mark.parametrize("method", sorted(METHODS))
+    def test_one_worker_matches_legacy_select(self, ws, method):
+        legacy = _fingerprint(make_selector(ws, method).select())
+        with QueryEngine(ws, workers=1) as engine:
+            engine_result = _fingerprint(engine.run(method))
+        assert engine_result == legacy
+
+    def test_run_query_wrapper(self, ws):
+        legacy = _fingerprint(make_selector(ws, "MND").select())
+        assert _fingerprint(run_query(ws, "MND")) == legacy
+
+    def test_accepts_prebuilt_selector(self, ws):
+        selector = make_selector(ws, "NFC")
+        with QueryEngine(ws, workers=2) as engine:
+            result = engine.run(selector)
+        assert _fingerprint(result) == _fingerprint(
+            make_selector(ws, "NFC").select()
+        )
+
+
+class TestBatch:
+    def test_results_in_input_order_with_private_accounting(self, ws):
+        expected = {m: _fingerprint(make_selector(ws, m).select()) for m in METHODS}
+        queries = ["MND", "SS", "MND", "QVC", "NFC"]
+        ws.reset_stats()
+        results = run_batch(ws, queries, workers=4)
+        assert [r.method for r in results] == queries
+        for query, result in zip(queries, results):
+            assert _fingerprint(result) == expected[query]
+        # Batch accounting is per-query; the workspace's shared counters
+        # never observed the batch at all.
+        assert ws.stats.total_reads == 0
+
+    def test_batch_of_one(self, ws):
+        (result,) = run_batch(ws, ["SS"], workers=2)
+        assert _fingerprint(result) == _fingerprint(make_selector(ws, "SS").select())
+
+
+class TestValidation:
+    def test_rejects_buffer_pool_workspaces(self, small_instance_module):
+        pooled = Workspace(small_instance_module, buffer_pool_pages=64)
+        with pytest.raises(ValueError, match="buffer"):
+            QueryEngine(pooled, workers=2)
+
+    def test_rejects_bad_worker_counts(self, ws):
+        with pytest.raises(ValueError, match="workers"):
+            QueryEngine(ws, workers=0)
+
+    def test_rejects_unknown_executors(self, ws):
+        with pytest.raises(ValueError, match="executor"):
+            QueryEngine(ws, workers=2, executor="greenlet")
+
+    def test_rejects_bad_task_targets(self, ws):
+        with pytest.raises(ValueError, match="task_target"):
+            QueryEngine(ws, workers=2, task_target=0)
+
+    def test_rejects_foreign_selectors(self, ws, small_instance_module):
+        other = Workspace(small_instance_module)
+        selector = make_selector(other, "MND")
+        with QueryEngine(ws, workers=2) as engine:
+            with pytest.raises(ValueError, match="workspace"):
+                engine.run(selector)
+
+    def test_close_is_idempotent(self, ws):
+        engine = QueryEngine(ws, workers=2)
+        engine.run("SS")
+        engine.close()
+        engine.close()

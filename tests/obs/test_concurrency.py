@@ -1,0 +1,106 @@
+"""Thread-safety of the shared observability/storage counters.
+
+The execution engine's threaded tasks share the metrics registry and
+(outside the engine) the buffer pool; a lost update would silently
+corrupt I/O accounting.  These tests hammer the shared structures from
+8 threads and assert *exact* totals — not approximate ones — so a data
+race shows up as a hard failure rather than flaky noise.  All
+assertions are on deltas, so the tests are safe under test
+parallelism themselves.
+"""
+
+from __future__ import annotations
+
+import threading
+from concurrent.futures import ThreadPoolExecutor
+
+from repro.obs import REGISTRY
+from repro.storage.buffer import LRUBufferPool
+from repro.storage.stats import IOStats
+
+THREADS = 8
+ROUNDS = 2_000
+
+
+def _hammer(fn) -> None:
+    """Run ``fn(worker_index)`` on THREADS threads, all released at once."""
+    barrier = threading.Barrier(THREADS)
+
+    def task(i: int) -> None:
+        barrier.wait()
+        fn(i)
+
+    with ThreadPoolExecutor(max_workers=THREADS) as pool:
+        for future in [pool.submit(task, i) for i in range(THREADS)]:
+            future.result()
+
+
+class TestRegistryCounters:
+    def test_concurrent_increments_are_exact(self):
+        counter = REGISTRY.counter("test.concurrency.counter")
+        before = counter.value
+        _hammer(lambda i: [counter.inc() for _ in range(ROUNDS)])
+        assert counter.value - before == THREADS * ROUNDS
+
+    def test_concurrent_weighted_increments_are_exact(self):
+        counter = REGISTRY.counter("test.concurrency.weighted")
+        before = counter.value
+        _hammer(lambda i: [counter.inc(3) for _ in range(ROUNDS)])
+        assert counter.value - before == THREADS * ROUNDS * 3
+
+
+class TestIOStats:
+    def test_private_stats_feed_exact_registry_totals(self):
+        # The engine's actual pattern: every task records into a
+        # *private* IOStats (per-query Counter dicts are not shared
+        # across threads), while all of them feed the one process-wide
+        # registry counter — which must not lose a single page.
+        reg = REGISTRY.counter("storage.page_reads")
+        before = reg.value
+        parts = [IOStats() for _ in range(THREADS)]
+        _hammer(lambda i: [parts[i].record_read("leaf") for _ in range(ROUNDS)])
+        assert all(p.total_reads == ROUNDS for p in parts)
+        assert reg.value - before == THREADS * ROUNDS
+
+    def test_ordered_merge_of_partials_is_exact(self):
+        parts = [IOStats() for _ in range(THREADS)]
+        _hammer(
+            lambda i: [parts[i].record_read(f"src{i % 2}") for _ in range(ROUNDS)]
+        )
+        total = IOStats()
+        for part in parts:  # the driver folds in fixed task order
+            total.merge(part)
+        assert total.total_reads == THREADS * ROUNDS
+        assert total.reads["src0"] == THREADS // 2 * ROUNDS
+        assert total.reads["src1"] == THREADS // 2 * ROUNDS
+
+
+class TestBufferPool:
+    def test_concurrent_access_totals_are_exact(self):
+        pool = LRUBufferPool(capacity=THREADS * 4)
+        hits_before = REGISTRY.counter("storage.buffer.hits").value
+        misses_before = REGISTRY.counter("storage.buffer.misses").value
+
+        def touch(i: int) -> None:
+            # Each thread loops over its own 4 resident pages: first 4
+            # accesses miss, the rest hit (capacity covers all threads).
+            for r in range(ROUNDS):
+                pool.access(f"file{i}", r % 4)
+
+        _hammer(touch)
+        assert pool.hits + pool.misses == THREADS * ROUNDS
+        assert pool.misses == THREADS * 4
+        assert pool.hits == THREADS * (ROUNDS - 4)
+        # The process-lifetime registry totals observed the same events.
+        delta_hits = REGISTRY.counter("storage.buffer.hits").value - hits_before
+        delta_misses = (
+            REGISTRY.counter("storage.buffer.misses").value - misses_before
+        )
+        assert delta_hits == pool.hits
+        assert delta_misses == pool.misses
+
+    def test_concurrent_eviction_never_corrupts_residency(self):
+        pool = LRUBufferPool(capacity=8)
+        _hammer(lambda i: [pool.access(f"file{i}", r) for r in range(ROUNDS)])
+        assert len(pool) <= 8
+        assert pool.hits + pool.misses == THREADS * ROUNDS

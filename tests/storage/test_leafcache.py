@@ -1,0 +1,112 @@
+"""The workspace-level decoded-leaf cache.
+
+Replaces the per-selector ``_leaf_cache`` dicts (the MND one was never
+cleared — a per-query memory leak); the cache is shared, versioned per
+tree, and never changes what gets *charged*: the page read happens
+before the cache is consulted.
+"""
+
+from __future__ import annotations
+
+import threading
+from concurrent.futures import ThreadPoolExecutor
+
+import pytest
+
+from repro.core import Workspace, make_selector
+from repro.storage import DecodedLeafCache
+
+
+class TestDecodedLeafCache:
+    def test_decodes_once_per_leaf(self):
+        cache = DecodedLeafCache()
+        calls = []
+        for _ in range(3):
+            value = cache.get("R_C", 0, 7, lambda: calls.append(1) or "decoded")
+        assert value == "decoded"
+        assert len(calls) == 1
+        assert cache.hits == 2 and cache.misses == 1
+        assert len(cache) == 1
+
+    def test_keys_are_per_tree_and_node(self):
+        cache = DecodedLeafCache()
+        assert cache.get("R_C", 0, 1, lambda: "a") == "a"
+        assert cache.get("R_C", 0, 2, lambda: "b") == "b"
+        assert cache.get("R_F", 0, 1, lambda: "c") == "c"
+        assert len(cache) == 3
+
+    def test_version_bump_drops_only_that_tree(self):
+        cache = DecodedLeafCache()
+        cache.get("R_C", 0, 1, lambda: "old")
+        cache.get("R_F", 0, 1, lambda: "other")
+        # Same node id, new tree version: the stale decode must not
+        # survive (node ids are recycled by splits/merges).
+        assert cache.get("R_C", 1, 1, lambda: "new") == "new"
+        assert cache.get("R_F", 0, 1, lambda: "BUG") == "other"
+
+    def test_invalidate_tree_and_clear(self):
+        cache = DecodedLeafCache()
+        cache.get("R_C", 0, 1, lambda: "a")
+        cache.get("R_F", 0, 1, lambda: "b")
+        cache.invalidate_tree("R_C")
+        assert cache.get("R_C", 0, 1, lambda: "a2") == "a2"
+        cache.clear()
+        assert len(cache) == 0
+
+    def test_concurrent_gets_return_one_value(self):
+        cache = DecodedLeafCache()
+        barrier = threading.Barrier(8)
+
+        def get(i: int):
+            barrier.wait()
+            return cache.get("R_C", 0, 1, lambda: object())
+
+        with ThreadPoolExecutor(max_workers=8) as pool:
+            values = list(pool.map(get, range(8)))
+        # A racing double-decode is benign, but every caller must see
+        # the same surviving object.
+        assert len({id(v) for v in values}) == 1
+
+
+class TestWorkspaceIntegration:
+    def test_queries_share_the_workspace_cache(self, small_workspace):
+        ws = small_workspace
+        assert len(ws.leaf_cache) == 0
+        first = make_selector(ws, "MND").select()
+        populated = len(ws.leaf_cache)
+        assert populated > 0
+        hits_before = ws.leaf_cache.hits
+        second = make_selector(ws, "MND").select()
+        # The second query decodes nothing new yet is charged the same
+        # page reads: caching decode work never changes io accounting.
+        assert len(ws.leaf_cache) == populated
+        assert ws.leaf_cache.hits > hits_before
+        assert second.io_total == first.io_total
+        assert second.dr == first.dr
+
+    def test_selectors_keep_no_private_leaf_cache(self, small_workspace):
+        for method in ("NFC", "MND"):
+            selector = make_selector(small_workspace, method)
+            selector.select()
+            assert not hasattr(selector, "_leaf_cache")
+
+    def test_explicit_invalidation_empties_the_cache(self, small_workspace):
+        ws = small_workspace
+        make_selector(ws, "MND").select()
+        assert len(ws.leaf_cache) > 0
+        ws.invalidate_leaf_cache()
+        assert len(ws.leaf_cache) == 0
+
+    def test_dynamic_updates_invalidate_stale_leaves(self, small_instance):
+        from repro.core.dynamic import DynamicWorkspace
+
+        ws = DynamicWorkspace(small_instance)
+        baseline = make_selector(ws, "MND").select()
+        ws.add_facility((500.0, 500.0))
+        updated = make_selector(ws, "MND").select()
+        # The new facility shrinks some dnn values; a stale cached leaf
+        # would have reproduced the old answer.
+        assert updated.dr <= baseline.dr
+        oracle = make_selector(Workspace(ws.instance), "MND").select()
+        assert updated.dr == pytest.approx(oracle.dr)
+        assert updated.location.sid == oracle.location.sid
