@@ -10,7 +10,8 @@ harness of :mod:`repro.experiments`:
   data page splits, per-phase breakdowns, median-of-k wall times, and
   an environment fingerprint;
 * :mod:`repro.bench.suites` — named suites (``smoke``, ``micro``,
-  ``fig10``/``fig11``/``fig12``) and the recorder that runs them;
+  ``parallel``, ``service``, ``fig10``/``fig11``/``fig12``) and the
+  recorder that runs them;
 * :mod:`repro.bench.compare` — noise-aware comparison: exact-match
   policy for deterministic page counts, relative tolerance for wall
   times, structured improved/unchanged/regressed verdicts;
@@ -66,6 +67,12 @@ from repro.bench.record import (
     environment_fingerprint,
     git_sha,
 )
+from repro.bench.service import (
+    PIPELINE_ROUNDS,
+    SERVICE_BATCH_WINDOW_S,
+    SERVICE_CONFIG,
+    run_service_suite,
+)
 from repro.bench.suites import (
     DEFAULT_REPEATS,
     SUITES,
@@ -90,8 +97,11 @@ __all__ = [
     "PARALLEL_CONFIG",
     "PARALLEL_IO_LATENCY_S",
     "PARALLEL_TASK_TARGET",
+    "PIPELINE_ROUNDS",
     "REGRESSED",
     "SCHEMA_VERSION",
+    "SERVICE_BATCH_WINDOW_S",
+    "SERVICE_CONFIG",
     "SUITES",
     "Suite",
     "TIMING_METRICS",
@@ -106,6 +116,7 @@ __all__ = [
     "load_history",
     "markdown_summary",
     "run_parallel_suite",
+    "run_service_suite",
     "run_suite",
     "sparkline",
     "suite_names",

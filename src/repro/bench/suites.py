@@ -82,6 +82,7 @@ def _sweep_suite(
 
 def _builtin_suites() -> dict[str, Suite]:
     from repro.bench.parallel import PARALLEL_CONFIG, run_parallel_suite
+    from repro.bench.service import SERVICE_CONFIG, run_service_suite
 
     return {
         "parallel": Suite(
@@ -90,6 +91,13 @@ def _builtin_suites() -> dict[str, Suite]:
             "ladder of worker counts, determinism enforced",
             configs=((None, PARALLEL_CONFIG),),
             runner=run_parallel_suite,
+        ),
+        "service": Suite(
+            name="service",
+            description="query service over the wire: cold/cached/"
+            "batched selections, parity enforced",
+            configs=((None, SERVICE_CONFIG),),
+            runner=run_service_suite,
         ),
         "smoke": Suite(
             name="smoke",

@@ -16,6 +16,9 @@ Subcommands::
     mindist bench run smoke --out BENCH_smoke.json
     mindist bench compare BENCH_smoke.json
     mindist bench report --last 20
+    mindist serve    --random 10000 500 500 --port 7733
+    mindist call     select --method MND --port 7733
+    mindist call     stats --port 7733
 
 ``query`` answers one min-dist location selection query; ``compare``
 runs all four methods side by side; ``profile`` runs a query under the
@@ -27,7 +30,9 @@ specific candidates would achieve; ``simulate`` drives the motivating
 application simulators; ``reproduce`` regenerates the *entire*
 evaluation (tables, CSVs and SVG figures) in one call; ``bench``
 records named benchmark suites, gates against committed baselines and
-renders the performance trajectory (see :mod:`repro.bench`).
+renders the performance trajectory (see :mod:`repro.bench`); ``serve``
+runs the long-lived async query service and ``call`` issues one
+request against it (see :mod:`repro.service`).
 """
 
 from __future__ import annotations
@@ -454,6 +459,206 @@ def _cmd_bench_suites(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_serve(args: argparse.Namespace) -> int:
+    import asyncio
+
+    from repro.core import DynamicWorkspace
+    from repro.service import QueryService, ServiceConfig
+
+    workspace = DynamicWorkspace(_instance_from_args(args))
+    config = ServiceConfig(
+        max_pending=args.max_pending,
+        batch_window_s=args.batch_window,
+        max_batch=args.max_batch,
+        workers=args.workers,
+        executor=args.executor,
+        default_timeout_s=args.timeout if args.timeout > 0 else None,
+        cache_entries=args.cache_entries,
+    )
+
+    async def _serve() -> None:
+        service = QueryService({args.name: workspace}, config)
+        host, port = await service.start(args.host, args.port)
+        print(
+            f"serving workspace {args.name!r} "
+            f"(n_c={workspace.n_c}, n_f={workspace.n_f}, n_p={workspace.n_p}) "
+            f"on {host}:{port}",
+            flush=True,
+        )
+        print(
+            f"  workers={config.workers} batch_window={config.batch_window_s}s "
+            f"max_pending={config.max_pending} cache={config.cache_entries}",
+            flush=True,
+        )
+        try:
+            await service.serve_forever()
+        except asyncio.CancelledError:
+            pass
+        finally:
+            print("draining ...", flush=True)
+            await service.shutdown(drain=True)
+            print("stopped", flush=True)
+
+    try:
+        asyncio.run(_serve())
+    except KeyboardInterrupt:
+        pass
+    return 0
+
+
+def _cmd_call(args: argparse.Namespace) -> int:
+    import json as _json
+
+    from repro.service import ServiceClient, ServiceError
+
+    try:
+        client = ServiceClient(args.host, args.port)
+    except OSError as exc:
+        print(f"error: cannot connect to {args.host}:{args.port}: {exc}",
+              file=sys.stderr)
+        return 2
+    try:
+        with client:
+            if args.operation == "select":
+                answer = client.select(
+                    args.method,
+                    workspace=args.workspace,
+                    timeout_s=args.timeout if args.timeout > 0 else None,
+                    no_cache=args.no_cache,
+                )
+                result = answer.result
+                origin = "cache" if answer.cached else (
+                    f"batch of {answer.batch_size}"
+                    if answer.batch_size
+                    else "engine"
+                )
+                print(
+                    f"best location: p{result.location.sid} at "
+                    f"({result.location.x:.4f}, {result.location.y:.4f})"
+                )
+                print(f"distance reduction: {result.dr:.4f}")
+                print(
+                    f"method={result.method}  I/Os={result.io_total}  "
+                    f"served from {origin}  "
+                    f"(workspace version {answer.data_version})"
+                )
+            elif args.operation == "evaluate":
+                ids = [int(v) for v in (args.ids or "0").split(",")]
+                for report in client.evaluate(ids, workspace=args.workspace):
+                    print(
+                        f"candidate p{report['sid']}: "
+                        f"influences {report['influence_count']} client(s), "
+                        f"dr={report['dr']:.4f}"
+                    )
+            elif args.operation == "update":
+                params: dict = {}
+                if args.point:
+                    params["point"] = [args.point[0], args.point[1]]
+                if args.cid is not None:
+                    params["cid"] = args.cid
+                if args.sid is not None:
+                    params["sid"] = args.sid
+                if args.weight is not None:
+                    params["weight"] = args.weight
+                report = client.update(
+                    args.action, workspace=args.workspace, **params
+                )
+                print(_json.dumps(report, indent=2, sort_keys=True))
+            else:  # stats / health
+                payload = (
+                    client.stats() if args.operation == "stats" else client.health()
+                )
+                print(_json.dumps(payload, indent=2, sort_keys=True))
+    except ServiceError as exc:
+        print(f"error [{exc.code}]: {exc}", file=sys.stderr)
+        return 1
+    except (OSError, ConnectionError) as exc:
+        print(f"error: connection failed: {exc}", file=sys.stderr)
+        return 2
+    return 0
+
+
+def _add_service_parsers(sub: argparse._SubParsersAction) -> None:
+    p_serve = sub.add_parser(
+        "serve", help="run the long-lived async query service"
+    )
+    _add_instance_args(p_serve)
+    p_serve.add_argument("--host", default="127.0.0.1", help="bind address")
+    p_serve.add_argument(
+        "--port", type=int, default=7733, help="bind port (0 = ephemeral)"
+    )
+    p_serve.add_argument(
+        "--name", default="default", help="name of the hosted workspace"
+    )
+    p_serve.add_argument(
+        "--max-pending",
+        type=int,
+        default=64,
+        help="admission bound: queued+in-flight requests before queue_full",
+    )
+    p_serve.add_argument(
+        "--batch-window",
+        type=float,
+        default=0.002,
+        help="seconds a micro-batch stays open collecting selections",
+    )
+    p_serve.add_argument(
+        "--max-batch", type=int, default=16, help="largest micro-batch"
+    )
+    p_serve.add_argument(
+        "--timeout",
+        type=float,
+        default=30.0,
+        help="default per-request deadline in seconds (0 = none)",
+    )
+    p_serve.add_argument(
+        "--cache-entries",
+        type=int,
+        default=1024,
+        help="result-cache capacity (0 disables caching)",
+    )
+    _add_worker_args(p_serve)
+    p_serve.set_defaults(func=_cmd_serve)
+
+    p_call = sub.add_parser("call", help="issue one request to a running service")
+    p_call.add_argument(
+        "operation", choices=["select", "evaluate", "update", "stats", "health"]
+    )
+    p_call.add_argument("--host", default="127.0.0.1")
+    p_call.add_argument("--port", type=int, default=7733)
+    p_call.add_argument("--workspace", default="default")
+    p_call.add_argument(
+        "--method", default="MND", choices=sorted(METHODS), help="select method"
+    )
+    p_call.add_argument(
+        "--timeout",
+        type=float,
+        default=0.0,
+        help="deadline in seconds (0 = server default)",
+    )
+    p_call.add_argument(
+        "--no-cache", action="store_true", help="bypass the result cache"
+    )
+    p_call.add_argument("--ids", help="evaluate: comma-separated candidate ids")
+    p_call.add_argument(
+        "--action",
+        default="add_client",
+        choices=["add_client", "remove_client", "add_facility", "remove_facility"],
+        help="update action",
+    )
+    p_call.add_argument(
+        "--point",
+        nargs=2,
+        type=float,
+        metavar=("X", "Y"),
+        help="update: coordinates for add actions",
+    )
+    p_call.add_argument("--cid", type=int, help="update: client id to remove")
+    p_call.add_argument("--sid", type=int, help="update: facility id to remove")
+    p_call.add_argument("--weight", type=float, help="update: client weight")
+    p_call.set_defaults(func=_cmd_call)
+
+
 def _add_bench_parser(sub: argparse._SubParsersAction) -> None:
     p_bench = sub.add_parser(
         "bench", help="record benchmark suites and gate against baselines"
@@ -636,6 +841,7 @@ def build_parser() -> argparse.ArgumentParser:
     p_stats.set_defaults(func=_cmd_stats)
 
     _add_bench_parser(sub)
+    _add_service_parsers(sub)
     return parser
 
 

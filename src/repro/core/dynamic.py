@@ -43,8 +43,21 @@ class DynamicWorkspace(Workspace):
     # Cache plumbing
     # ------------------------------------------------------------------
     def _invalidate(self, *names: str) -> None:
+        """Drop lazily-built structures and record the mutation.
+
+        Every update path (client arrival/departure, facility
+        opening/closing, radius moves) funnels through at least one
+        ``_invalidate`` call, so bumping the workspace data version here
+        guarantees no mutation can ever serve stale derived state: the
+        decoded-leaf cache is cleared (structural tree changes already
+        version it, but in-place ``client.dnn`` updates never touch an
+        R-tree) and version-keyed result caches — e.g. the query
+        service's — stop matching.  The clear is cheap: decodes rebuild
+        lazily, costing CPU only, never I/O.
+        """
         for name in names:
             self.__dict__.pop(name, None)
+        self.bump_data_version()
 
     def _refresh_client_arrays(self) -> None:
         self.client_xyd = np.array(
@@ -52,12 +65,6 @@ class DynamicWorkspace(Workspace):
         ).reshape(len(self.clients), 3)
         self.client_w = np.array([c.weight for c in self.clients], dtype=np.float64)
         self._invalidate("client_file", "data_bounds")
-        # Every client mutation funnels through here.  Structural tree
-        # changes already invalidate decoded leaves via tree versioning,
-        # but in-place ``client.dnn`` updates do not touch ``R_C`` — the
-        # explicit clear covers that path (and is cheap: decodes rebuild
-        # lazily, costing CPU only, never I/O).
-        self.invalidate_leaf_cache()
 
     # ------------------------------------------------------------------
     # Client updates

@@ -53,6 +53,25 @@ from repro.storage.stats import IOStats
 MethodLike = Union[str, LocationSelector]
 
 
+class BufferPoolWorkspaceError(ValueError):
+    """The workspace has an LRU buffer pool, which the engine refuses.
+
+    Warm-pool hit/miss state makes page charges depend on task
+    interleaving — exactly the non-determinism the engine exists to
+    exclude.  Typed (rather than a bare ``ValueError``) so hosting
+    layers such as :mod:`repro.service` can turn it into an actionable
+    configuration message instead of an opaque internal error.
+    """
+
+    def __init__(self, message: Optional[str] = None):
+        super().__init__(
+            message
+            or "parallel execution requires a workspace without a buffer "
+            "pool: LRU hit/miss state makes page charges depend on task "
+            "interleaving (run buffer-pool ablations on the serial path)"
+        )
+
+
 class QueryEngine:
     """Runs selection queries over one workspace on a worker pool.
 
@@ -93,11 +112,7 @@ class QueryEngine:
                 f"unknown executor {executor!r}; expected 'thread' or 'process'"
             )
         if getattr(workspace, "buffer_pool", None) is not None:
-            raise ValueError(
-                "parallel execution requires a workspace without a buffer "
-                "pool: LRU hit/miss state makes page charges depend on task "
-                "interleaving (run buffer-pool ablations on the serial path)"
-            )
+            raise BufferPoolWorkspaceError()
         if task_target is not None and task_target < 1:
             raise ValueError("task_target must be >= 1")
         self.ws = workspace

@@ -1,0 +1,154 @@
+"""Admission control: the bounded request queue of one workspace.
+
+A service that accepts every request eventually serves none of them
+well; the admission queue makes overload explicit instead.  Each hosted
+workspace owns one :class:`AdmissionQueue`:
+
+* **bounded** — at most ``max_pending`` requests may be admitted and
+  unfinished at once; a request beyond that is rejected *immediately*
+  with :class:`~repro.service.protocol.QueueFullError` (the client sees
+  ``queue_full`` and can back off), never silently buffered;
+* **deadlines** — an admitted request carries an optional deadline.
+  The connection handler stops waiting when it passes (the client gets
+  ``deadline_exceeded`` right away) and marks the ticket cancelled, so
+  the batcher skips it instead of spending engine time on an answer
+  nobody is waiting for;
+* **drainable** — :meth:`close` rejects new submissions while
+  :meth:`drain` waits for every admitted request to finish, which is
+  exactly the graceful-shutdown contract the server needs.
+
+Tickets resolve through an :class:`asyncio.Future` carrying either a
+response payload or a :class:`ServiceError`.
+"""
+
+from __future__ import annotations
+
+import asyncio
+from dataclasses import dataclass, field
+from typing import Any, Optional
+
+from repro.obs.registry import REGISTRY
+from repro.service.protocol import QueueFullError, ShuttingDownError
+
+
+@dataclass
+class Ticket:
+    """One admitted request travelling from connection to batcher."""
+
+    op: str
+    params: dict
+    future: "asyncio.Future[Any]"
+    enqueued_at: float
+    deadline: Optional[float] = None  # absolute loop time, None = no limit
+    cancelled: bool = False
+    meta: dict = field(default_factory=dict)
+
+    def expired(self, now: float) -> bool:
+        return self.deadline is not None and now >= self.deadline
+
+    def resolve(self, payload: Any) -> None:
+        """Deliver a response payload (idempotent once the waiter left)."""
+        if not self.future.done():
+            self.future.set_result(payload)
+
+    def fail(self, error: BaseException) -> None:
+        if not self.future.done():
+            self.future.set_exception(error)
+
+
+class AdmissionQueue:
+    """A bounded FIFO of tickets with explicit rejection."""
+
+    def __init__(self, name: str, max_pending: int):
+        if max_pending < 1:
+            raise ValueError("max_pending must be >= 1")
+        self.name = name
+        self.max_pending = max_pending
+        self._queue: asyncio.Queue[Ticket] = asyncio.Queue()
+        self._pending = 0  # admitted and not yet finished
+        self._closed = False
+        self._idle = asyncio.Event()
+        self._idle.set()
+        self._rejected_full = REGISTRY.counter("service.rejected.queue_full")
+        self._rejected_closed = REGISTRY.counter("service.rejected.shutting_down")
+        self._admitted = REGISTRY.counter("service.admitted")
+
+    # ------------------------------------------------------------------
+    @property
+    def pending(self) -> int:
+        """Requests admitted and not yet finished (queued + in flight)."""
+        return self._pending
+
+    @property
+    def depth(self) -> int:
+        """Requests waiting in the queue (not yet picked up)."""
+        return self._queue.qsize()
+
+    @property
+    def closed(self) -> bool:
+        return self._closed
+
+    # ------------------------------------------------------------------
+    def submit(self, ticket: Ticket) -> None:
+        """Admit ``ticket`` or raise the applicable typed rejection."""
+        if self._closed:
+            self._rejected_closed.inc()
+            raise ShuttingDownError(
+                f"workspace {self.name!r} is draining and accepts no new requests"
+            )
+        if self._pending >= self.max_pending:
+            self._rejected_full.inc()
+            raise QueueFullError(
+                f"workspace {self.name!r} admission queue is full "
+                f"({self.max_pending} pending); retry with backoff"
+            )
+        self._pending += 1
+        self._idle.clear()
+        self._admitted.inc()
+        self._queue.put_nowait(ticket)
+
+    async def get(self) -> Ticket:
+        """The next admitted ticket, FIFO."""
+        return await self._queue.get()
+
+    async def get_nowait_or_wait(self, timeout: float) -> Optional[Ticket]:
+        """The next ticket, or None once ``timeout`` elapses.
+
+        The batcher uses this to hold a micro-batch open for the rest of
+        its collection window.
+        """
+        if timeout <= 0:
+            try:
+                return self._queue.get_nowait()
+            except asyncio.QueueEmpty:
+                return None
+        try:
+            return await asyncio.wait_for(self._queue.get(), timeout)
+        except asyncio.TimeoutError:
+            return None
+
+    def finish(self, ticket: Ticket) -> None:
+        """Mark one admitted ticket complete (however it resolved)."""
+        self._pending -= 1
+        if self._pending <= 0:
+            self._pending = 0
+            self._idle.set()
+
+    # ------------------------------------------------------------------
+    def close(self) -> None:
+        """Stop admitting; already-admitted requests still run."""
+        self._closed = True
+
+    async def drain(self, timeout: Optional[float] = None) -> bool:
+        """Wait until every admitted request finished; False on timeout."""
+        try:
+            await asyncio.wait_for(self._idle.wait(), timeout)
+        except asyncio.TimeoutError:
+            return False
+        return True
+
+    def __repr__(self) -> str:
+        return (
+            f"AdmissionQueue({self.name!r}, pending={self._pending}/"
+            f"{self.max_pending}, closed={self._closed})"
+        )

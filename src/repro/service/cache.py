@@ -1,0 +1,119 @@
+"""The versioned result cache of the query service.
+
+Location-selection is a repeated, interactive workload: many concurrent
+requests ask the same question of the same dataset.  The cache stores
+finished ``select`` (and ``evaluate``) results keyed by
+
+    (workspace name, workspace ``data_version``, operation, params)
+
+so a repeated request is answered without touching the engine at all —
+and a :class:`~repro.core.dynamic.DynamicWorkspace` mutation, which
+bumps ``data_version``, makes every cached result for that workspace
+unreachable *by construction*.  There is no TTL to tune and no
+invalidation message to lose: staleness is impossible because the
+version is part of the key.  (:meth:`invalidate` additionally drops a
+workspace's dead-version entries eagerly, so mutation-heavy workloads
+do not wait for LRU pressure to reclaim them.)
+
+Hit/miss/eviction/invalidation counts are reported into the process
+:data:`~repro.obs.registry.REGISTRY` (``service.cache.*``), next to the
+storage layer's metrics, so one ``stats`` call shows how much of the
+offered load the cache absorbed.
+"""
+
+from __future__ import annotations
+
+import json
+import threading
+from collections import OrderedDict
+from typing import Any, Optional
+
+from repro.obs.registry import REGISTRY
+
+#: Default maximum number of cached results (LRU beyond this).
+DEFAULT_CAPACITY = 1024
+
+
+def params_key(params: dict) -> str:
+    """A canonical, hashable fingerprint of request parameters.
+
+    Sorted-key JSON, so two requests that differ only in key order (or
+    in fields that do not affect the answer and were already stripped by
+    the caller) produce the same cache key.
+    """
+    return json.dumps(params, sort_keys=True, separators=(",", ":"))
+
+
+class ResultCache:
+    """An LRU cache of finished results, keyed by workspace version."""
+
+    def __init__(self, capacity: int = DEFAULT_CAPACITY):
+        if capacity < 0:
+            raise ValueError("capacity must be >= 0")
+        self.capacity = capacity
+        self._entries: OrderedDict[tuple, Any] = OrderedDict()
+        self._lock = threading.Lock()
+        self.hits = REGISTRY.counter("service.cache.hits")
+        self.misses = REGISTRY.counter("service.cache.misses")
+        self.evictions = REGISTRY.counter("service.cache.evictions")
+        self.invalidations = REGISTRY.counter("service.cache.invalidations")
+
+    @staticmethod
+    def key(workspace: str, version: int, op: str, params: dict) -> tuple:
+        return (workspace, version, op, params_key(params))
+
+    # ------------------------------------------------------------------
+    def get(self, key: tuple) -> Optional[Any]:
+        """The cached value, refreshing its LRU position; None on miss."""
+        with self._lock:
+            value = self._entries.get(key)
+            if value is None:
+                self.misses.inc()
+                return None
+            self._entries.move_to_end(key)
+        self.hits.inc()
+        return value
+
+    def put(self, key: tuple, value: Any) -> None:
+        if self.capacity == 0:
+            return
+        with self._lock:
+            self._entries[key] = value
+            self._entries.move_to_end(key)
+            while len(self._entries) > self.capacity:
+                self._entries.popitem(last=False)
+                self.evictions.inc()
+
+    def invalidate(self, workspace: str, live_version: Optional[int] = None) -> int:
+        """Eagerly drop ``workspace``'s entries; returns the count.
+
+        With ``live_version`` given, entries recorded at exactly that
+        version survive (they are still correct); everything older goes.
+        Version keying already guarantees correctness without this —
+        the eager drop only reclaims memory promptly after mutations.
+        """
+        with self._lock:
+            stale = [
+                key
+                for key in self._entries
+                if key[0] == workspace
+                and (live_version is None or key[1] != live_version)
+            ]
+            for key in stale:
+                del self._entries[key]
+        if stale:
+            self.invalidations.inc(len(stale))
+        return len(stale)
+
+    def clear(self) -> None:
+        with self._lock:
+            self._entries.clear()
+
+    def __len__(self) -> int:
+        return len(self._entries)
+
+    def __repr__(self) -> str:
+        return (
+            f"ResultCache(size={len(self._entries)}, capacity={self.capacity}, "
+            f"hits={self.hits.value}, misses={self.misses.value})"
+        )

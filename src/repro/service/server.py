@@ -1,0 +1,706 @@
+"""The asyncio query service: admission, micro-batching, caching.
+
+:class:`QueryService` hosts one or more named workspaces behind a TCP
+server speaking the newline-delimited JSON protocol of
+:mod:`repro.service.protocol`.  Per hosted workspace:
+
+* an :class:`~repro.service.admission.AdmissionQueue` bounds how much
+  work may be outstanding (explicit ``queue_full`` rejection, per-
+  request deadlines, graceful drain);
+* a **micro-batcher** pulls admitted ``select`` tickets off the queue,
+  holds the batch open for a short collection window, coalesces
+  duplicate requests, and executes the whole batch through one
+  :meth:`~repro.exec.engine.QueryEngine.run_batch` call — so concurrent
+  requests share the engine's worker pool and the workspace's decoded-
+  leaf cache instead of queueing behind one another serially.  Results
+  are byte-identical to serial in-process ``select()`` at any worker
+  count (the engine's determinism contract), which is what makes the
+  result cache sound in the first place;
+* ``update`` tickets travel the *same* queue, so a mutation is strictly
+  ordered against the selections admitted around it: batch formation
+  stops at an update, the preceding batch executes, then the mutation
+  runs alone (bumping ``data_version``), then batching resumes.
+
+Finished results land in the shared version-keyed
+:class:`~repro.service.cache.ResultCache`; a repeated request at an
+unchanged ``data_version`` is answered on the connection handler
+without ever being admitted.
+
+Every request is handled as its own task, so a single connection may
+pipeline many requests (responses re-associate by ``id``) — that is
+also how one client makes a micro-batch happen on purpose.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import threading
+import time
+from dataclasses import dataclass
+from typing import Any, Optional
+
+from repro.core import METHODS
+from repro.core.dynamic import DynamicWorkspace
+from repro.core.evaluate import evaluate_location
+from repro.exec import BufferPoolWorkspaceError, QueryEngine
+from repro.obs.registry import REGISTRY
+from repro.service.admission import AdmissionQueue, Ticket
+from repro.service.cache import ResultCache
+from repro.service.protocol import (
+    OPERATIONS,
+    PROTOCOL_VERSION,
+    BadRequestError,
+    DeadlineExceededError,
+    ServiceError,
+    ShuttingDownError,
+    UnknownMethodError,
+    UnknownWorkspaceError,
+    UnsupportedError,
+    decode,
+    encode,
+    error_response,
+    ok_response,
+    selection_to_wire,
+)
+
+
+@dataclass(frozen=True)
+class ServiceConfig:
+    """Tunables of one :class:`QueryService`."""
+
+    #: Admission bound per workspace (queued + in-flight requests).
+    max_pending: int = 64
+    #: How long the batcher holds a micro-batch open after its first
+    #: ticket arrives.  Zero still batches whatever is already queued.
+    batch_window_s: float = 0.002
+    #: Largest micro-batch handed to one ``run_batch`` call.
+    max_batch: int = 16
+    #: Engine worker-pool size shared by each workspace's batches.
+    workers: int = 2
+    #: Engine executor kind (``"thread"`` or ``"process"``).
+    executor: str = "thread"
+    #: Deadline applied to requests that do not carry ``timeout_s``.
+    default_timeout_s: Optional[float] = 30.0
+    #: Result-cache capacity (entries, LRU beyond it); 0 disables.
+    cache_entries: int = 1024
+    #: How long :meth:`QueryService.shutdown` waits for the queues to
+    #: drain before abandoning stragglers.
+    drain_timeout_s: float = 10.0
+
+
+class WorkspaceHost:
+    """One hosted workspace: engine + admission queue + micro-batcher."""
+
+    def __init__(self, name: str, workspace, config: ServiceConfig, cache: ResultCache):
+        self.name = name
+        self.workspace = workspace
+        self.config = config
+        self.cache = cache
+        try:
+            self.engine = QueryEngine(
+                workspace, workers=config.workers, executor=config.executor
+            )
+        except BufferPoolWorkspaceError as exc:
+            raise BufferPoolWorkspaceError(
+                f"workspace {name!r} cannot be served: {exc}"
+            ) from None
+        self.queue = AdmissionQueue(name, config.max_pending)
+        self._task: Optional[asyncio.Task] = None
+        self._batches = REGISTRY.counter("service.batches")
+        self._batch_size = REGISTRY.histogram("service.batch.size")
+        self._coalesced = REGISTRY.counter("service.coalesced")
+        self._expired = REGISTRY.counter("service.expired")
+        self._latency = REGISTRY.histogram("service.select.latency_s")
+
+    # ------------------------------------------------------------------
+    @property
+    def data_version(self) -> int:
+        return getattr(self.workspace, "data_version", 0)
+
+    def start(self) -> None:
+        self._task = asyncio.get_running_loop().create_task(
+            self._batch_loop(), name=f"svc-batcher-{self.name}"
+        )
+
+    async def stop(self) -> None:
+        """Cancel the batcher and fail anything still queued."""
+        if self._task is not None:
+            self._task.cancel()
+            try:
+                await self._task
+            except asyncio.CancelledError:
+                pass
+            self._task = None
+        while True:
+            ticket = await self.queue.get_nowait_or_wait(0)
+            if ticket is None:
+                break
+            ticket.fail(
+                ShuttingDownError(
+                    f"workspace {self.name!r} shut down before this request ran"
+                )
+            )
+            self.queue.finish(ticket)
+        self.engine.close()
+
+    # ------------------------------------------------------------------
+    # The micro-batch loop
+    # ------------------------------------------------------------------
+    async def _batch_loop(self) -> None:
+        loop = asyncio.get_running_loop()
+        carried: Optional[Ticket] = None
+        while True:
+            ticket = carried if carried is not None else await self.queue.get()
+            carried = None
+            if self._discard_if_dead(ticket, loop.time()):
+                continue
+            if ticket.op != "select":
+                await self._run_single(ticket)
+                continue
+            batch = [ticket]
+            window_end = loop.time() + self.config.batch_window_s
+            while len(batch) < self.config.max_batch:
+                nxt = await self.queue.get_nowait_or_wait(window_end - loop.time())
+                if nxt is None:
+                    break
+                if self._discard_if_dead(nxt, loop.time()):
+                    continue
+                if nxt.op != "select":
+                    # A mutation: close the batch here so queue order is
+                    # preserved — selects admitted before it see the old
+                    # version, selects after it the new one.
+                    carried = nxt
+                    break
+                batch.append(nxt)
+            await self._run_selects(batch)
+
+    def _discard_if_dead(self, ticket: Ticket, now: float) -> bool:
+        """Retire a cancelled/expired ticket without executing it."""
+        if ticket.cancelled:
+            self.queue.finish(ticket)
+            return True
+        if ticket.expired(now):
+            ticket.fail(
+                DeadlineExceededError(
+                    f"request deadline passed after "
+                    f"{now - ticket.enqueued_at:.3f}s in the queue"
+                )
+            )
+            self._expired.inc()
+            self.queue.finish(ticket)
+            return True
+        return False
+
+    async def _run_selects(self, batch: list[Ticket]) -> None:
+        loop = asyncio.get_running_loop()
+        live = [t for t in batch if not self._discard_if_dead(t, loop.time())]
+        if not live:
+            return
+        version = self.data_version
+        # Coalesce duplicates: one engine execution answers every ticket
+        # asking the same question of the same snapshot.
+        groups: dict[tuple, list[Ticket]] = {}
+        for ticket in live:
+            key = self.cache.key(
+                self.name, version, "select", {"method": ticket.params["method"]}
+            )
+            groups.setdefault(key, []).append(ticket)
+        self._coalesced.inc(len(live) - len(groups))
+        keys = list(groups)
+        methods = [groups[key][0].params["method"] for key in keys]
+        started = loop.time()
+        try:
+            results = await asyncio.to_thread(self.engine.run_batch, methods)
+        except Exception as exc:  # noqa: BLE001 — surfaced to every caller
+            error = (
+                exc
+                if isinstance(exc, ServiceError)
+                else ServiceError(f"engine failure: {exc}")
+            )
+            for ticket in live:
+                ticket.fail(error)
+                self.queue.finish(ticket)
+            return
+        self._batches.inc()
+        self._batch_size.observe(len(live))
+        for key, result in zip(keys, results):
+            wire = selection_to_wire(result)
+            for ticket in groups[key]:
+                if not ticket.params.get("no_cache"):
+                    self.cache.put(key, wire)
+                ticket.resolve(
+                    {
+                        "result": wire,
+                        "cached": False,
+                        "batch_size": len(live),
+                        "data_version": version,
+                        "queue_wait_s": started - ticket.enqueued_at,
+                    }
+                )
+                self._latency.observe(loop.time() - ticket.enqueued_at)
+                self.queue.finish(ticket)
+
+    # ------------------------------------------------------------------
+    # Non-batched operations (updates, evaluations)
+    # ------------------------------------------------------------------
+    async def _run_single(self, ticket: Ticket) -> None:
+        try:
+            if ticket.op == "update":
+                payload = await asyncio.to_thread(self._apply_update, ticket.params)
+                # Keyed staleness already protects correctness; the
+                # eager drop reclaims the dead versions' memory now.
+                self.cache.invalidate(self.name, live_version=self.data_version)
+            elif ticket.op == "evaluate":
+                payload = await asyncio.to_thread(self._apply_evaluate, ticket.params)
+            else:
+                raise BadRequestError(f"unknown queued operation {ticket.op!r}")
+            ticket.resolve(payload)
+        except ServiceError as exc:
+            ticket.fail(exc)
+        except Exception as exc:  # noqa: BLE001 — surfaced to the caller
+            ticket.fail(ServiceError(f"{ticket.op} failure: {exc}"))
+        finally:
+            self.queue.finish(ticket)
+
+    def _apply_update(self, params: dict) -> dict:
+        ws = self.workspace
+        if not isinstance(ws, DynamicWorkspace):
+            raise UnsupportedError(
+                f"workspace {self.name!r} is static; serve a DynamicWorkspace "
+                "to accept updates"
+            )
+        action = params.get("action")
+        if action == "add_client":
+            point = _point_param(params)
+            client = ws.add_client(point, weight=float(params.get("weight", 1.0)))
+            detail: dict[str, Any] = {"cid": client.cid, "dnn": client.dnn}
+        elif action == "remove_client":
+            cid = params.get("cid")
+            matches = [c for c in ws.clients if c.cid == cid]
+            if not matches:
+                raise BadRequestError(f"no client with cid {cid!r}")
+            ws.remove_client(matches[0])
+            detail = {"cid": cid}
+        elif action == "add_facility":
+            point = _point_param(params)
+            site = ws.add_facility(point)
+            detail = {"sid": site.sid}
+        elif action == "remove_facility":
+            sid = params.get("sid")
+            matches = [s for s in ws.facilities if s.sid == sid]
+            if not matches:
+                raise BadRequestError(f"no facility with sid {sid!r}")
+            ws.remove_facility(matches[0])
+            detail = {"sid": sid}
+        else:
+            raise BadRequestError(
+                f"unknown update action {action!r}; expected add_client, "
+                "remove_client, add_facility or remove_facility"
+            )
+        detail.update(
+            {
+                "action": action,
+                "data_version": self.data_version,
+                "n_c": ws.n_c,
+                "n_f": ws.n_f,
+                "n_p": ws.n_p,
+            }
+        )
+        return {"result": detail, "data_version": self.data_version}
+
+    def _apply_evaluate(self, params: dict) -> dict:
+        ids = params.get("ids")
+        if not isinstance(ids, list) or not all(isinstance(i, int) for i in ids):
+            raise BadRequestError("evaluate needs 'ids': a list of candidate ids")
+        version = self.data_version
+        reports = []
+        for candidate in ids:
+            try:
+                report = evaluate_location(self.workspace, candidate)
+            except ValueError as exc:
+                raise BadRequestError(str(exc)) from None
+            reports.append(
+                {
+                    "sid": report.location.sid,
+                    "x": report.location.x,
+                    "y": report.location.y,
+                    "influence_count": report.influence_count,
+                    "dr": report.dr,
+                    "avg_nfd_before": report.avg_nfd_before,
+                    "avg_nfd_after": report.avg_nfd_after,
+                    "max_client_gain": report.max_client_gain,
+                }
+            )
+        payload = {"result": reports, "cached": False, "data_version": version}
+        key = self.cache.key(self.name, version, "evaluate", {"ids": ids})
+        self.cache.put(key, payload)
+        return payload
+
+    def describe(self) -> dict:
+        ws = self.workspace
+        return {
+            "n_c": ws.n_c,
+            "n_f": ws.n_f,
+            "n_p": ws.n_p,
+            "data_version": self.data_version,
+            "dynamic": isinstance(ws, DynamicWorkspace),
+            "pending": self.queue.pending,
+            "queue_depth": self.queue.depth,
+            "max_pending": self.queue.max_pending,
+            "engine_workers": self.engine.workers,
+        }
+
+
+def _point_param(params: dict) -> tuple[float, float]:
+    point = params.get("point")
+    if (
+        not isinstance(point, (list, tuple))
+        or len(point) != 2
+        or not all(isinstance(v, (int, float)) for v in point)
+    ):
+        raise BadRequestError("update needs 'point': [x, y]")
+    return (float(point[0]), float(point[1]))
+
+
+class QueryService:
+    """The long-lived service: hosts, dispatch and the TCP front end."""
+
+    def __init__(
+        self,
+        workspaces: dict[str, Any],
+        config: Optional[ServiceConfig] = None,
+    ):
+        if not workspaces:
+            raise ValueError("a service needs at least one named workspace")
+        self.config = config or ServiceConfig()
+        self.cache = ResultCache(self.config.cache_entries)
+        self.hosts = {
+            name: WorkspaceHost(name, ws, self.config, self.cache)
+            for name, ws in workspaces.items()
+        }
+        self._server: Optional[asyncio.base_events.Server] = None
+        self._draining = False
+        self._started_at = time.monotonic()
+        self._requests = {
+            op: REGISTRY.counter(f"service.requests.{op}") for op in OPERATIONS
+        }
+        self._connections = REGISTRY.gauge("service.connections")
+
+    # ------------------------------------------------------------------
+    # Lifecycle
+    # ------------------------------------------------------------------
+    async def start(self, host: str = "127.0.0.1", port: int = 0) -> tuple[str, int]:
+        """Bind the TCP server and start the batchers; returns the
+        actual (host, port) — pass port 0 for an ephemeral one."""
+        for workspace_host in self.hosts.values():
+            workspace_host.start()
+        self._server = await asyncio.start_server(self._handle_connection, host, port)
+        sockname = self._server.sockets[0].getsockname()
+        return sockname[0], sockname[1]
+
+    async def serve_forever(self) -> None:
+        if self._server is None:
+            raise RuntimeError("call start() before serve_forever()")
+        await self._server.serve_forever()
+
+    async def shutdown(self, drain: bool = True) -> None:
+        """Stop accepting, optionally drain, then tear everything down.
+
+        With ``drain=True`` (the default) every already-admitted request
+        still gets its response before the batchers stop; new requests
+        are rejected with ``shutting_down`` the moment the drain begins.
+        """
+        self._draining = True
+        for host in self.hosts.values():
+            host.queue.close()
+        if drain:
+            for host in self.hosts.values():
+                await host.queue.drain(self.config.drain_timeout_s)
+        for host in self.hosts.values():
+            await host.stop()
+        if self._server is not None:
+            self._server.close()
+            await self._server.wait_closed()
+            self._server = None
+
+    @property
+    def draining(self) -> bool:
+        return self._draining
+
+    # ------------------------------------------------------------------
+    # Connection plumbing
+    # ------------------------------------------------------------------
+    async def _handle_connection(
+        self, reader: asyncio.StreamReader, writer: asyncio.StreamWriter
+    ) -> None:
+        self._connections.inc()
+        write_lock = asyncio.Lock()
+        tasks: set[asyncio.Task] = set()
+        try:
+            while True:
+                line = await reader.readline()
+                if not line:
+                    break
+                if not line.strip():
+                    continue
+                # One task per request: pipelined requests on one
+                # connection run concurrently (and so can micro-batch).
+                task = asyncio.ensure_future(
+                    self._handle_line(line, writer, write_lock)
+                )
+                tasks.add(task)
+                task.add_done_callback(tasks.discard)
+        except (ConnectionError, asyncio.IncompleteReadError):
+            pass
+        finally:
+            if tasks:
+                await asyncio.gather(*tasks, return_exceptions=True)
+            writer.close()
+            try:
+                await writer.wait_closed()
+            except (ConnectionError, OSError):
+                pass
+            self._connections.dec()
+
+    async def _handle_line(
+        self,
+        line: bytes,
+        writer: asyncio.StreamWriter,
+        write_lock: asyncio.Lock,
+    ) -> None:
+        request_id: Any = None
+        try:
+            message = decode(line)
+            request_id = message.get("id")
+            response = await self.handle_request(message)
+        except ServiceError as exc:
+            response = error_response(request_id, exc)
+        except Exception as exc:  # noqa: BLE001 — protocol must answer
+            response = error_response(request_id, ServiceError(str(exc)))
+        async with write_lock:
+            try:
+                writer.write(encode(response))
+                await writer.drain()
+            except (ConnectionError, OSError):
+                pass  # the caller went away; nothing left to tell them
+
+    # ------------------------------------------------------------------
+    # Dispatch (also the in-process API the tests exercise directly)
+    # ------------------------------------------------------------------
+    async def handle_request(self, message: dict) -> dict:
+        """One request dict in, one response dict out."""
+        request_id = message.get("id")
+        op = message.get("op")
+        if op not in OPERATIONS:
+            raise BadRequestError(
+                f"unknown op {op!r}; expected one of {', '.join(OPERATIONS)}"
+            )
+        self._requests[op].inc()
+        if op == "health":
+            return ok_response(request_id, self._health())
+        if op == "stats":
+            return ok_response(request_id, self._stats())
+        host = self._resolve_host(message)
+        if op == "select":
+            return await self._handle_select(request_id, host, message)
+        if op == "evaluate":
+            params = {"ids": message.get("ids")}
+            cached = self.cache.get(
+                self.cache.key(host.name, host.data_version, "evaluate", params)
+            )
+            if cached is not None:
+                response = dict(cached)
+                response["cached"] = True
+                return ok_response(request_id, response["result"], **{
+                    k: v for k, v in response.items() if k != "result"
+                })
+            payload = await self._admit_and_wait(host, "evaluate", params, message)
+            return ok_response(request_id, payload["result"], **{
+                k: v for k, v in payload.items() if k != "result"
+            })
+        # op == "update"
+        params = {
+            k: v for k, v in message.items() if k not in ("id", "op", "workspace")
+        }
+        payload = await self._admit_and_wait(host, "update", params, message)
+        return ok_response(request_id, payload["result"], **{
+            k: v for k, v in payload.items() if k != "result"
+        })
+
+    def _resolve_host(self, message: dict) -> WorkspaceHost:
+        name = message.get("workspace", "default")
+        host = self.hosts.get(name)
+        if host is None:
+            raise UnknownWorkspaceError(
+                f"unknown workspace {name!r}; serving: {', '.join(sorted(self.hosts))}"
+            )
+        return host
+
+    async def _handle_select(
+        self, request_id: Any, host: WorkspaceHost, message: dict
+    ) -> dict:
+        method = message.get("method", "MND")
+        if not isinstance(method, str) or method.upper() not in METHODS:
+            raise UnknownMethodError(
+                f"unknown method {method!r}; expected one of "
+                f"{', '.join(sorted(METHODS))}"
+            )
+        method = method.upper()
+        no_cache = bool(message.get("no_cache", False))
+        if not no_cache:
+            key = self.cache.key(
+                host.name, host.data_version, "select", {"method": method}
+            )
+            cached = self.cache.get(key)
+            if cached is not None:
+                return ok_response(
+                    request_id,
+                    cached,
+                    cached=True,
+                    data_version=host.data_version,
+                )
+        payload = await self._admit_and_wait(
+            host, "select", {"method": method, "no_cache": no_cache}, message
+        )
+        return ok_response(request_id, payload["result"], **{
+            k: v for k, v in payload.items() if k != "result"
+        })
+
+    async def _admit_and_wait(
+        self, host: WorkspaceHost, op: str, params: dict, message: dict
+    ) -> dict:
+        """Admit one ticket and await its payload, enforcing the deadline."""
+        if self._draining:
+            raise ShuttingDownError("service is draining; request rejected")
+        loop = asyncio.get_running_loop()
+        timeout = message.get("timeout_s", self.config.default_timeout_s)
+        if timeout is not None:
+            timeout = float(timeout)
+        ticket = Ticket(
+            op=op,
+            params=params,
+            future=loop.create_future(),
+            enqueued_at=loop.time(),
+            deadline=None if timeout is None else loop.time() + timeout,
+        )
+        host.queue.submit(ticket)  # raises QueueFull / ShuttingDown
+        try:
+            if timeout is None:
+                return await ticket.future
+            return await asyncio.wait_for(ticket.future, timeout)
+        except asyncio.TimeoutError:
+            # The batcher retires the cancelled ticket when it reaches
+            # it; the caller hears about the deadline immediately.
+            ticket.cancelled = True
+            raise DeadlineExceededError(
+                f"{op} missed its {timeout:g}s deadline on "
+                f"workspace {host.name!r}"
+            ) from None
+
+    # ------------------------------------------------------------------
+    # Introspection
+    # ------------------------------------------------------------------
+    def _health(self) -> dict:
+        return {
+            "status": "draining" if self._draining else "serving",
+            "protocol": PROTOCOL_VERSION,
+            "uptime_s": time.monotonic() - self._started_at,
+            "workspaces": sorted(self.hosts),
+        }
+
+    def _stats(self) -> dict:
+        return {
+            "uptime_s": time.monotonic() - self._started_at,
+            "status": "draining" if self._draining else "serving",
+            "requests": {
+                op: counter.value for op, counter in self._requests.items()
+            },
+            "cache": {
+                "entries": len(self.cache),
+                "hits": self.cache.hits.value,
+                "misses": self.cache.misses.value,
+                "evictions": self.cache.evictions.value,
+                "invalidations": self.cache.invalidations.value,
+            },
+            "counters": REGISTRY.snapshot("service."),
+            "workspaces": {
+                name: host.describe() for name, host in sorted(self.hosts.items())
+            },
+        }
+
+
+# ----------------------------------------------------------------------
+# Threaded embedding (tests, benchmarks, notebooks)
+# ----------------------------------------------------------------------
+class ServiceHandle:
+    """A running service on a background thread; ``stop()`` tears it down."""
+
+    def __init__(self, thread: threading.Thread, box: dict):
+        self._thread = thread
+        self._box = box
+        self.host: str = box["host"]
+        self.port: int = box["port"]
+
+    @property
+    def service(self) -> QueryService:
+        return self._box["service"]
+
+    def stop(self, drain: bool = True, timeout: float = 15.0) -> None:
+        box = self._box
+        if self._thread.is_alive():
+            box["drain"] = drain
+            box["loop"].call_soon_threadsafe(box["stopped"].set)
+        self._thread.join(timeout)
+        if self._thread.is_alive():
+            raise RuntimeError("service thread did not stop in time")
+        error = box.get("error")
+        if error is not None:
+            raise error
+
+    def __enter__(self) -> "ServiceHandle":
+        return self
+
+    def __exit__(self, *exc: object) -> None:
+        self.stop()
+
+
+def serve_in_thread(
+    workspaces: dict[str, Any],
+    config: Optional[ServiceConfig] = None,
+    host: str = "127.0.0.1",
+    port: int = 0,
+) -> ServiceHandle:
+    """Run a :class:`QueryService` on a daemon thread; returns once it
+    is accepting connections (with the bound host/port filled in)."""
+    started = threading.Event()
+    box: dict = {}
+
+    def _run() -> None:
+        async def _main() -> None:
+            service = QueryService(workspaces, config)
+            try:
+                box["host"], box["port"] = await service.start(host, port)
+            except Exception as exc:  # noqa: BLE001 — reported to caller
+                box["error"] = exc
+                return
+            box["service"] = service
+            box["loop"] = asyncio.get_running_loop()
+            box["stopped"] = asyncio.Event()
+            started.set()
+            await box["stopped"].wait()
+            await service.shutdown(drain=box.get("drain", True))
+
+        try:
+            asyncio.run(_main())
+        except Exception as exc:  # noqa: BLE001 — reported to caller
+            box.setdefault("error", exc)
+        finally:
+            started.set()
+
+    thread = threading.Thread(target=_run, name="repro-service", daemon=True)
+    thread.start()
+    if not started.wait(30.0):
+        raise RuntimeError("service did not start within 30s")
+    if "error" in box:
+        raise box["error"]
+    return ServiceHandle(thread, box)

@@ -1,0 +1,77 @@
+"""The ``service`` suite: registry wiring and one real over-the-wire run.
+
+The committed baseline records the full configuration; the recording
+test here shrinks the dataset (the wire, batching and caching paths are
+size-independent) and runs two methods with one repeat so the whole
+pipeline — server boot, cold/cached facets, pipelined burst, parity
+enforcement — executes in a couple of seconds.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.bench import (
+    DETERMINISTIC_METRICS,
+    SERVICE_CONFIG,
+    get_suite,
+    run_suite,
+)
+from repro.bench.service import run_service_suite
+from repro.experiments.config import ExperimentConfig
+
+TINY = ExperimentConfig(n_c=300, n_f=15, n_p=20)
+
+
+class TestRegistry:
+    def test_service_suite_is_registered(self):
+        suite = get_suite("service")
+        assert suite.runner is run_service_suite
+        assert suite.configs == ((None, SERVICE_CONFIG),)
+        assert suite.seed() is not None
+
+    def test_rejects_nonpositive_repeats(self):
+        with pytest.raises(ValueError, match="repeats"):
+            run_service_suite(repeats=0)
+
+
+class TestRecording:
+    @pytest.fixture(scope="class")
+    def record(self):
+        import repro.bench.service as service_module
+
+        original = service_module.SERVICE_CONFIG
+        service_module.SERVICE_CONFIG = TINY
+        try:
+            return run_suite("service", repeats=1, methods=["SS", "MND"])
+        finally:
+            service_module.SERVICE_CONFIG = original
+
+    def test_one_gated_entry_per_method_plus_pipeline_row(self, record):
+        assert record.suite == "service"
+        assert [e.method for e in record.entries] == ["SS", "MND", "pipeline"]
+
+    def test_method_entries_carry_every_gated_metric(self, record):
+        for entry in record.entries[:2]:
+            for metric in DETERMINISTIC_METRICS:
+                assert metric in entry.metrics, (entry.method, metric)
+            assert entry.metrics["io_total"] > 0
+            assert entry.metrics["elapsed_s"] > 0
+            assert entry.metrics["cached_latency_s"] > 0
+            assert entry.io_breakdown  # per-structure split recorded
+
+    def test_pipeline_row_is_informational_only(self, record):
+        pipeline = record.entries[-1]
+        assert pipeline.method == "pipeline"
+        # No gated metric names: the comparator has nothing to pin, so
+        # throughput drift can never fail CI.
+        assert not set(pipeline.metrics) & set(DETERMINISTIC_METRICS)
+        assert pipeline.metrics["qps"] > 0
+        assert pipeline.metrics["requests"] == 6.0  # 2 methods * 3 rounds
+        assert pipeline.metrics["p99_s"] >= pipeline.metrics["p50_s"]
+
+    def test_round_trip_preserves_the_record(self, record):
+        from repro.bench import BenchRecord
+
+        clone = BenchRecord.loads(record.dumps())
+        assert clone.by_key().keys() == record.by_key().keys()

@@ -1,0 +1,88 @@
+"""``data_version``: every mutation path bumps it and drops decoded leaves.
+
+Version-keyed caches (the service's result cache) rely on one contract:
+*no* dataset mutation may leave ``data_version`` unchanged, and none may
+leave stale decoded leaf arrays behind.  All four ``DynamicWorkspace``
+update paths funnel through ``_invalidate``, which ends in
+``bump_data_version()`` — these tests pin that wiring.
+"""
+
+from __future__ import annotations
+
+from repro.core import METHODS, Workspace, make_selector
+from repro.core.dynamic import DynamicWorkspace
+from repro.datasets.generators import make_instance
+from repro.geometry.point import Point
+
+
+def fresh_ws(seed=141, n_c=400, n_f=20, n_p=30) -> DynamicWorkspace:
+    return DynamicWorkspace(make_instance(n_c, n_f, n_p, rng=seed))
+
+
+def warm_leaf_cache(ws) -> None:
+    """Run a query so decoded leaf arrays are actually cached."""
+    make_selector(ws, "MND").select()
+
+
+class TestStaticWorkspace:
+    def test_starts_at_version_zero(self, small_instance):
+        assert Workspace(small_instance).data_version == 0
+
+    def test_bump_is_monotonic_and_clears_leaves(self, small_instance):
+        ws = Workspace(small_instance)
+        warm_leaf_cache(ws)
+        assert len(ws.leaf_cache) > 0
+        ws.bump_data_version()
+        assert ws.data_version == 1
+        assert len(ws.leaf_cache) == 0
+        ws.bump_data_version()
+        assert ws.data_version == 2
+
+
+class TestDynamicMutationsBump:
+    def test_add_client(self):
+        ws = fresh_ws()
+        warm_leaf_cache(ws)
+        before = ws.data_version
+        ws.add_client(Point(123.4, 567.8))
+        assert ws.data_version > before
+        assert len(ws.leaf_cache) == 0
+
+    def test_remove_client(self):
+        ws = fresh_ws()
+        warm_leaf_cache(ws)
+        before = ws.data_version
+        ws.remove_client(ws.clients[7])
+        assert ws.data_version > before
+        assert len(ws.leaf_cache) == 0
+
+    def test_add_facility(self):
+        ws = fresh_ws()
+        warm_leaf_cache(ws)
+        before = ws.data_version
+        ws.add_facility(Point(200.0, 300.0))
+        assert ws.data_version > before
+        assert len(ws.leaf_cache) == 0
+
+    def test_remove_facility(self):
+        ws = fresh_ws()
+        warm_leaf_cache(ws)
+        before = ws.data_version
+        ws.remove_facility(ws.facilities[3])
+        assert ws.data_version > before
+        assert len(ws.leaf_cache) == 0
+
+
+class TestNoStaleLeavesServed:
+    def test_results_after_mutation_reflect_the_mutation(self):
+        """A query after an update must see the new data even though the
+        previous query populated the decoded-leaf cache."""
+        ws = fresh_ws()
+        before = {m: make_selector(ws, m).select().dr for m in METHODS}
+        # Drop a facility right on top of a client: dnn values change,
+        # so every method's best dr must change too.
+        target = Point(ws.clients[0].x, ws.clients[0].y)
+        ws.add_facility(target)
+        for method in METHODS:
+            after = make_selector(ws, method).select().dr
+            assert after != before[method] or after == 0.0

@@ -13,7 +13,8 @@ from __future__ import annotations
 import pytest
 
 from repro.core import METHODS, Workspace, make_selector
-from repro.exec import QueryEngine, run_batch, run_query
+from repro.datasets.generators import make_instance
+from repro.exec import BufferPoolWorkspaceError, QueryEngine, run_batch, run_query
 
 
 @pytest.fixture(scope="module")
@@ -78,11 +79,53 @@ class TestBatch:
         assert _fingerprint(result) == _fingerprint(make_selector(ws, "SS").select())
 
 
+class TestDegenerateInputs:
+    def test_empty_batch_returns_empty_list(self, ws):
+        assert run_batch(ws, [], workers=2) == []
+
+    def test_no_clients_selects_with_zero_reduction(self):
+        """|C| = 0: nothing to improve, but every method must still
+        answer (dr 0.0) instead of crashing inside the engine."""
+        empty_c = Workspace(make_instance(n_c=0, n_f=5, n_p=8, rng=3))
+        results = run_batch(empty_c, sorted(METHODS), workers=2)
+        assert [r.method for r in results] == sorted(METHODS)
+        for result in results:
+            assert result.dr == 0.0
+            assert result.location is not None
+
+    def test_single_candidate_is_the_answer_for_every_method(self):
+        """|P| = 1: the only candidate wins, with identical dr across
+        methods (they differ in pruning, not in the answer)."""
+        ws = Workspace(make_instance(n_c=100, n_f=5, n_p=1, rng=3))
+        results = run_batch(ws, sorted(METHODS), workers=2)
+        assert all(r.location.sid == 0 for r in results)
+        # Methods accumulate the same reduction in different orders, so
+        # cross-method agreement is approximate (within-method results
+        # stay bit-identical — that is the determinism suite's job).
+        for result in results[1:]:
+            assert result.dr == pytest.approx(results[0].dr)
+
+    def test_no_candidates_rejected_at_construction(self):
+        """|P| = 0 has no answer at all; the workspace refuses early so
+        the engine never sees it."""
+        with pytest.raises(ValueError, match="potential"):
+            Workspace(make_instance(n_c=100, n_f=5, n_p=0, rng=3))
+
+
 class TestValidation:
     def test_rejects_buffer_pool_workspaces(self, small_instance_module):
         pooled = Workspace(small_instance_module, buffer_pool_pages=64)
         with pytest.raises(ValueError, match="buffer"):
             QueryEngine(pooled, workers=2)
+
+    def test_buffer_pool_rejection_is_typed(self, small_instance_module):
+        """Callers (the service) catch the dedicated subclass, not a
+        bare ValueError they would have to string-match."""
+        pooled = Workspace(small_instance_module, buffer_pool_pages=64)
+        with pytest.raises(BufferPoolWorkspaceError) as excinfo:
+            QueryEngine(pooled, workers=2)
+        assert isinstance(excinfo.value, ValueError)  # backward compatible
+        assert "buffer" in str(excinfo.value)
 
     def test_rejects_bad_worker_counts(self, ws):
         with pytest.raises(ValueError, match="workers"):

@@ -102,3 +102,104 @@ class TestDiagnostics:
         ) == 0
         assert (tmp_path / "fig13.txt").exists()
         assert (tmp_path / "SUMMARY.md").exists()
+
+
+class TestWorkerArgs:
+    """``--workers`` / ``--executor`` on the parallel-capable commands."""
+
+    def test_defaults_are_serial_thread(self):
+        from repro.cli import build_parser
+
+        parser = build_parser()
+        for command in ("query", "profile"):
+            args = parser.parse_args([command, "--random", "200", "10", "10"])
+            assert args.workers == 1
+            assert args.executor == "thread"
+
+    def test_values_parse_on_query_and_profile(self):
+        from repro.cli import build_parser
+
+        parser = build_parser()
+        for command in ("query", "profile"):
+            args = parser.parse_args(
+                [command, "--random", "200", "10", "10",
+                 "--workers", "4", "--executor", "process"]
+            )
+            assert args.workers == 4
+            assert args.executor == "process"
+
+    def test_unknown_executor_rejected(self):
+        from repro.cli import build_parser
+
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(
+                ["query", "--random", "200", "10", "10", "--executor", "fiber"]
+            )
+
+    def test_parallel_query_runs_end_to_end(self, capsys):
+        assert main(
+            ["query", "--random", "300", "10", "12", "--seed", "3",
+             "--workers", "2", "--executor", "thread"]
+        ) == 0
+        assert "best location" in capsys.readouterr().out
+
+    def test_parallel_profile_runs_end_to_end(self, capsys):
+        assert main(
+            ["profile", "--random", "300", "10", "12", "--seed", "3",
+             "--workers", "2"]
+        ) == 0
+        out = capsys.readouterr().out
+        assert "I/O" in out or "span" in out
+
+
+class TestServiceCommands:
+    """``serve`` / ``call`` parse correctly (the live round-trip is
+    covered by tests/service/test_server.py and the CI smoke job)."""
+
+    def test_serve_flags_parse(self):
+        from repro.cli import build_parser
+
+        args = build_parser().parse_args(
+            ["serve", "--random", "500", "30", "40", "--port", "0",
+             "--max-pending", "8", "--batch-window", "0.01",
+             "--max-batch", "4", "--cache-entries", "16", "--workers", "2"]
+        )
+        assert args.command == "serve"
+        assert args.port == 0
+        assert args.max_pending == 8
+        assert args.batch_window == 0.01
+        assert args.max_batch == 4
+        assert args.cache_entries == 16
+        assert args.workers == 2
+
+    def test_call_flags_parse(self):
+        from repro.cli import build_parser
+
+        args = build_parser().parse_args(
+            ["call", "select", "--method", "MND", "--port", "7733",
+             "--no-cache", "--timeout", "5"]
+        )
+        assert args.command == "call"
+        assert args.operation == "select"
+        assert args.method == "MND"
+        assert args.no_cache is True
+        assert args.timeout == 5.0
+
+    def test_call_update_point_takes_two_floats(self):
+        from repro.cli import build_parser
+
+        args = build_parser().parse_args(
+            ["call", "update", "--action", "add_facility",
+             "--point", "250", "250"]
+        )
+        assert args.point == [250.0, 250.0]
+
+    def test_call_rejects_unknown_operations(self):
+        from repro.cli import build_parser
+
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["call", "reboot"])
+
+    def test_call_without_a_server_exits_2(self, capsys):
+        assert main(["call", "health", "--port", "1", "--host", "127.0.0.1"]) == 2
+        assert "cannot connect" in capsys.readouterr().err

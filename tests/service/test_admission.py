@@ -1,0 +1,146 @@
+"""Admission control: bounded queue, typed rejection, deadlines, drain."""
+
+from __future__ import annotations
+
+import asyncio
+
+import pytest
+
+from repro.service.admission import AdmissionQueue, Ticket
+from repro.service.protocol import QueueFullError, ServiceError, ShuttingDownError
+
+
+def run(coro):
+    return asyncio.run(coro)
+
+
+def make_ticket(loop, op="select", deadline=None) -> Ticket:
+    return Ticket(
+        op=op,
+        params={"method": "MND"},
+        future=loop.create_future(),
+        enqueued_at=loop.time(),
+        deadline=deadline,
+    )
+
+
+class TestBounds:
+    def test_rejects_beyond_max_pending(self):
+        async def scenario():
+            loop = asyncio.get_running_loop()
+            queue = AdmissionQueue("ws", max_pending=2)
+            queue.submit(make_ticket(loop))
+            queue.submit(make_ticket(loop))
+            with pytest.raises(QueueFullError, match="full"):
+                queue.submit(make_ticket(loop))
+            assert queue.pending == 2
+
+        run(scenario())
+
+    def test_finish_frees_a_slot(self):
+        async def scenario():
+            loop = asyncio.get_running_loop()
+            queue = AdmissionQueue("ws", max_pending=1)
+            first = make_ticket(loop)
+            queue.submit(first)
+            queue.finish(first)
+            queue.submit(make_ticket(loop))  # must not raise
+            assert queue.pending == 1
+
+        run(scenario())
+
+    def test_rejects_nonpositive_bound(self):
+        with pytest.raises(ValueError, match="max_pending"):
+            run(self._build(0))
+
+    @staticmethod
+    async def _build(bound):
+        AdmissionQueue("ws", max_pending=bound)
+
+
+class TestOrderingAndWindows:
+    def test_fifo(self):
+        async def scenario():
+            loop = asyncio.get_running_loop()
+            queue = AdmissionQueue("ws", max_pending=8)
+            tickets = [make_ticket(loop, op=f"op{i}") for i in range(3)]
+            for ticket in tickets:
+                queue.submit(ticket)
+            out = [await queue.get() for _ in tickets]
+            assert [t.op for t in out] == ["op0", "op1", "op2"]
+
+        run(scenario())
+
+    def test_window_wait_returns_none_when_empty(self):
+        async def scenario():
+            queue = AdmissionQueue("ws", max_pending=8)
+            assert await queue.get_nowait_or_wait(0) is None
+            assert await queue.get_nowait_or_wait(0.01) is None
+
+        run(scenario())
+
+    def test_window_wait_returns_a_late_arrival(self):
+        async def scenario():
+            loop = asyncio.get_running_loop()
+            queue = AdmissionQueue("ws", max_pending=8)
+            loop.call_later(0.01, queue.submit, make_ticket(loop, op="late"))
+            ticket = await queue.get_nowait_or_wait(1.0)
+            assert ticket is not None and ticket.op == "late"
+
+        run(scenario())
+
+
+class TestDeadlines:
+    def test_expiry_is_absolute_loop_time(self):
+        async def scenario():
+            loop = asyncio.get_running_loop()
+            now = loop.time()
+            ticket = make_ticket(loop, deadline=now + 10)
+            assert not ticket.expired(now)
+            assert ticket.expired(now + 10)
+            assert make_ticket(loop, deadline=None).expired(now + 1e9) is False
+
+        run(scenario())
+
+    def test_resolve_and_fail_are_idempotent(self):
+        async def scenario():
+            loop = asyncio.get_running_loop()
+            ticket = make_ticket(loop)
+            ticket.resolve({"answer": 1})
+            ticket.fail(ServiceError("too late"))  # must not clobber
+            ticket.resolve({"answer": 2})
+            assert await ticket.future == {"answer": 1}
+
+        run(scenario())
+
+
+class TestDrain:
+    def test_closed_queue_rejects_with_shutting_down(self):
+        async def scenario():
+            loop = asyncio.get_running_loop()
+            queue = AdmissionQueue("ws", max_pending=8)
+            queue.close()
+            with pytest.raises(ShuttingDownError, match="draining"):
+                queue.submit(make_ticket(loop))
+
+        run(scenario())
+
+    def test_drain_waits_for_the_last_ticket(self):
+        async def scenario():
+            loop = asyncio.get_running_loop()
+            queue = AdmissionQueue("ws", max_pending=8)
+            ticket = make_ticket(loop)
+            queue.submit(ticket)
+            queue.close()
+            assert await queue.drain(0.01) is False  # still pending
+            queue.finish(ticket)
+            assert await queue.drain(1.0) is True
+
+        run(scenario())
+
+    def test_drain_of_an_idle_queue_returns_immediately(self):
+        async def scenario():
+            queue = AdmissionQueue("ws", max_pending=8)
+            assert await queue.drain(0.01) is True
+
+        run(scenario())

@@ -1,0 +1,95 @@
+"""The versioned result cache: keying, LRU, invalidation by version."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.service.cache import ResultCache, params_key
+
+
+class TestKeying:
+    def test_param_order_does_not_matter(self):
+        a = ResultCache.key("ws", 0, "select", {"method": "MND", "k": 1})
+        b = ResultCache.key("ws", 0, "select", {"k": 1, "method": "MND"})
+        assert a == b
+
+    def test_version_is_part_of_the_key(self):
+        before = ResultCache.key("ws", 0, "select", {"method": "MND"})
+        after = ResultCache.key("ws", 1, "select", {"method": "MND"})
+        assert before != after
+
+    def test_workspace_and_op_separate_entries(self):
+        keys = {
+            ResultCache.key("a", 0, "select", {}),
+            ResultCache.key("b", 0, "select", {}),
+            ResultCache.key("a", 0, "evaluate", {}),
+        }
+        assert len(keys) == 3
+
+    def test_params_key_is_canonical_json(self):
+        assert params_key({"b": 2, "a": 1}) == '{"a":1,"b":2}'
+
+
+class TestLRU:
+    def test_get_miss_then_hit(self):
+        cache = ResultCache(capacity=4)
+        key = cache.key("ws", 0, "select", {"method": "SS"})
+        assert cache.get(key) is None
+        cache.put(key, {"dr": 1.0})
+        assert cache.get(key) == {"dr": 1.0}
+
+    def test_capacity_evicts_least_recently_used(self):
+        cache = ResultCache(capacity=2)
+        k1, k2, k3 = (
+            cache.key("ws", 0, "select", {"method": m})
+            for m in ("SS", "NFC", "MND")
+        )
+        cache.put(k1, 1)
+        cache.put(k2, 2)
+        cache.get(k1)  # refresh k1 so k2 is the LRU entry
+        cache.put(k3, 3)
+        assert cache.get(k1) == 1
+        assert cache.get(k2) is None
+        assert cache.get(k3) == 3
+
+    def test_zero_capacity_disables_storage(self):
+        cache = ResultCache(capacity=0)
+        key = cache.key("ws", 0, "select", {})
+        cache.put(key, 1)
+        assert cache.get(key) is None
+        assert len(cache) == 0
+
+    def test_negative_capacity_rejected(self):
+        with pytest.raises(ValueError, match="capacity"):
+            ResultCache(capacity=-1)
+
+
+class TestInvalidation:
+    def test_mutation_makes_old_entries_unreachable_by_construction(self):
+        """The version lives in the key: no lookup at the new version can
+        ever see a result computed at the old one."""
+        cache = ResultCache()
+        old = cache.key("ws", 3, "select", {"method": "MND"})
+        cache.put(old, "stale answer")
+        fresh = cache.key("ws", 4, "select", {"method": "MND"})
+        assert cache.get(fresh) is None
+
+    def test_invalidate_drops_dead_versions_only(self):
+        cache = ResultCache()
+        dead = cache.key("ws", 1, "select", {"method": "SS"})
+        live = cache.key("ws", 2, "select", {"method": "SS"})
+        other = cache.key("elsewhere", 1, "select", {"method": "SS"})
+        cache.put(dead, "old")
+        cache.put(live, "new")
+        cache.put(other, "untouched")
+        assert cache.invalidate("ws", live_version=2) == 1
+        assert cache.get(live) == "new"
+        assert cache.get(dead) is None
+        assert cache.get(other) == "untouched"
+
+    def test_invalidate_without_live_version_drops_everything(self):
+        cache = ResultCache()
+        for version in (1, 2, 3):
+            cache.put(cache.key("ws", version, "select", {}), version)
+        assert cache.invalidate("ws") == 3
+        assert len(cache) == 0

@@ -1,0 +1,207 @@
+"""End-to-end service tests over real TCP connections.
+
+The acceptance bar for the service is *answer transparency*: for every
+method, the ``p*`` and ``dr`` that come back over the wire — batched,
+cached or cache-cold — must be byte-identical to a serial in-process
+``select()`` on an identically-seeded workspace, and a workspace
+mutation between two identical requests must provably invalidate the
+cached result.
+"""
+
+from __future__ import annotations
+
+import threading
+
+import pytest
+
+from repro.core import METHODS, Workspace, make_selector
+from repro.core.dynamic import DynamicWorkspace
+from repro.core.evaluate import evaluate_location
+from repro.datasets.generators import make_instance
+from repro.service import (
+    DeadlineExceededError,
+    QueueFullError,
+    ServiceClient,
+    ServiceConfig,
+    UnknownMethodError,
+    UnknownWorkspaceError,
+    UnsupportedError,
+    serve_in_thread,
+)
+
+SEED = 11
+SIZES = dict(n_c=800, n_f=40, n_p=60)
+
+
+def fingerprint(result) -> tuple:
+    """Everything deterministic about a SelectionResult (timing excluded)."""
+    return (
+        result.method,
+        result.location.sid,
+        result.location.x,
+        result.location.y,
+        result.dr,
+        result.io_total,
+        dict(result.io_reads),
+        result.index_pages,
+    )
+
+
+@pytest.fixture(scope="module")
+def expected():
+    """Serial in-process answers on an identically-seeded workspace."""
+    reference = Workspace(make_instance(rng=SEED, **SIZES))
+    return {m: fingerprint(make_selector(reference, m).select()) for m in METHODS}
+
+
+@pytest.fixture(scope="module")
+def server():
+    """One service hosting a static and a dynamic workspace."""
+    handle = serve_in_thread(
+        {
+            "static": Workspace(make_instance(rng=SEED, **SIZES)),
+            "dyn": DynamicWorkspace(make_instance(rng=SEED, **SIZES)),
+        },
+        ServiceConfig(workers=2, batch_window_s=0.05),
+    )
+    with handle:
+        yield handle
+
+
+@pytest.fixture
+def client(server):
+    with ServiceClient(server.host, server.port) as c:
+        yield c
+
+
+class TestWireParity:
+    @pytest.mark.parametrize("method", sorted(METHODS))
+    def test_cache_cold_answer_is_byte_identical(self, client, expected, method):
+        answer = client.select(method, workspace="static", no_cache=True)
+        assert not answer.cached
+        assert fingerprint(answer.result) == expected[method]
+
+    def test_batched_answers_are_byte_identical(self, client, expected):
+        methods = sorted(METHODS)
+        answers = client.select_many(methods, workspace="static", no_cache=True)
+        for method, answer in zip(methods, answers):
+            assert fingerprint(answer.result) == expected[method]
+        # A pipelined burst within one window coalesces into one batch.
+        assert any(a.batch_size and a.batch_size > 1 for a in answers)
+
+    def test_cached_answers_are_byte_identical(self, client, expected):
+        for method in sorted(METHODS):
+            client.select(method, workspace="static")  # prime
+            answer = client.select(method, workspace="static")
+            assert answer.cached
+            assert fingerprint(answer.result) == expected[method]
+
+    def test_concurrent_clients_all_get_the_same_answer(self, server, expected):
+        failures: list[str] = []
+        lock = threading.Lock()
+
+        def worker(method: str) -> None:
+            try:
+                with ServiceClient(server.host, server.port) as c:
+                    answer = c.select(method, workspace="static", no_cache=True)
+                if fingerprint(answer.result) != expected[method]:
+                    with lock:
+                        failures.append(method)
+            except Exception as exc:  # noqa: BLE001 — reported below
+                with lock:
+                    failures.append(f"{method}: {exc}")
+
+        threads = [
+            threading.Thread(target=worker, args=(m,))
+            for m in sorted(METHODS) * 2
+        ]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join(60)
+        assert not failures
+
+    def test_evaluate_matches_in_process(self, client):
+        reference = Workspace(make_instance(rng=SEED, **SIZES))
+        local = evaluate_location(reference, 3)
+        (report,) = client.evaluate([3], workspace="static")
+        assert report["sid"] == local.location.sid
+        assert report["dr"] == local.dr
+        assert report["influence_count"] == local.influence_count
+
+
+class TestCacheInvalidation:
+    def test_mutation_between_identical_requests_invalidates(self, client):
+        """Prime the cache, mutate, and prove the repeat recomputed."""
+        before = client.select("MND", workspace="dyn")
+        primed = client.select("MND", workspace="dyn")
+        assert primed.cached
+        assert fingerprint(primed.result) == fingerprint(before.result)
+
+        report = client.update("add_facility", workspace="dyn", point=[250.0, 250.0])
+        assert report["data_version"] > before.data_version
+
+        after = client.select("MND", workspace="dyn")
+        assert not after.cached  # the cached entry became unreachable
+        assert after.data_version == report["data_version"]
+        # And the repeat at the *new* version caches again.
+        assert client.select("MND", workspace="dyn").cached
+
+    def test_update_rejected_on_static_workspaces(self, client):
+        with pytest.raises(UnsupportedError, match="static"):
+            client.update("add_facility", workspace="static", point=[1.0, 2.0])
+
+
+class TestTypedRejections:
+    def test_unknown_workspace(self, client):
+        with pytest.raises(UnknownWorkspaceError, match="nowhere"):
+            client.select("MND", workspace="nowhere")
+
+    def test_unknown_method(self, client):
+        with pytest.raises(UnknownMethodError, match="XXX"):
+            client.select("XXX", workspace="static")
+
+    def test_queue_full_is_explicit(self):
+        """A one-slot queue under a pipelined burst rejects loudly."""
+        ws = DynamicWorkspace(make_instance(rng=SEED, **SIZES))
+        config = ServiceConfig(max_pending=1, batch_window_s=0.25, workers=1)
+        with serve_in_thread({"default": ws}, config) as handle:
+            with ServiceClient(handle.host, handle.port) as c:
+                with pytest.raises(QueueFullError, match="full"):
+                    c.select_many(["MND"] * 6, no_cache=True)
+
+    def test_deadline_exceeded_cancels_the_wait(self):
+        """A deadline shorter than the batch window fires immediately."""
+        ws = Workspace(make_instance(rng=SEED, **SIZES))
+        config = ServiceConfig(batch_window_s=0.5, workers=1)
+        with serve_in_thread({"default": ws}, config) as handle:
+            with ServiceClient(handle.host, handle.port) as c:
+                with pytest.raises(DeadlineExceededError, match="deadline"):
+                    c.select("MND", timeout_s=0.05, no_cache=True)
+
+
+class TestIntrospection:
+    def test_health(self, client):
+        health = client.health()
+        assert health["status"] == "serving"
+        assert sorted(health["workspaces"]) == ["dyn", "static"]
+
+    def test_stats_reports_cache_and_queues(self, client, expected):
+        client.select("SS", workspace="static")
+        stats = client.stats()
+        assert set(stats["cache"]) >= {"hits", "misses", "entries"}
+        assert stats["requests"]["select"] >= 1
+        assert stats["workspaces"]["static"]["n_c"] == SIZES["n_c"]
+        assert stats["workspaces"]["static"]["max_pending"] == 64
+
+    def test_graceful_drain_answers_everything_admitted(self, expected):
+        """stop(drain=True) lets in-flight selections finish."""
+        ws = Workspace(make_instance(rng=SEED, **SIZES))
+        handle = serve_in_thread(
+            {"default": ws}, ServiceConfig(workers=1, batch_window_s=0.02)
+        )
+        with ServiceClient(handle.host, handle.port) as c:
+            answers = c.select_many(sorted(METHODS), no_cache=True)
+        handle.stop()  # raises if the drain hangs
+        for method, answer in zip(sorted(METHODS), answers):
+            assert fingerprint(answer.result) == expected[method]
