@@ -10,8 +10,8 @@ harness of :mod:`repro.experiments`:
   data page splits, per-phase breakdowns, median-of-k wall times, and
   an environment fingerprint;
 * :mod:`repro.bench.suites` — named suites (``smoke``, ``micro``,
-  ``parallel``, ``service``, ``fig10``/``fig11``/``fig12``) and the
-  recorder that runs them;
+  ``kernels``, ``parallel``, ``service``, ``fig10``/``fig11``/``fig12``)
+  and the recorder that runs them;
 * :mod:`repro.bench.compare` — noise-aware comparison: exact-match
   policy for deterministic page counts, relative tolerance for wall
   times, structured improved/unchanged/regressed verdicts;
@@ -50,6 +50,12 @@ from repro.bench.history import (
     markdown_summary,
     sparkline,
     trend_report,
+)
+from repro.bench.kernels import (
+    KERNELS_CONFIGS,
+    KERNELS_IO_LATENCY_S,
+    TARGET_SPEEDUP,
+    run_kernels_suite,
 )
 from repro.bench.parallel import (
     DEFAULT_WORKER_LADDER,
@@ -92,6 +98,8 @@ __all__ = [
     "DEFAULT_WORKER_LADDER",
     "DETERMINISTIC_METRICS",
     "IMPROVED",
+    "KERNELS_CONFIGS",
+    "KERNELS_IO_LATENCY_S",
     "MISSING",
     "NEW",
     "PARALLEL_CONFIG",
@@ -104,6 +112,7 @@ __all__ = [
     "SERVICE_CONFIG",
     "SUITES",
     "Suite",
+    "TARGET_SPEEDUP",
     "TIMING_METRICS",
     "UNCHANGED",
     "Verdict",
@@ -115,6 +124,7 @@ __all__ = [
     "history_row",
     "load_history",
     "markdown_summary",
+    "run_kernels_suite",
     "run_parallel_suite",
     "run_service_suite",
     "run_suite",

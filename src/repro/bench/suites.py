@@ -81,10 +81,20 @@ def _sweep_suite(
 
 
 def _builtin_suites() -> dict[str, Suite]:
+    from repro.bench.kernels import KERNELS_CONFIGS, run_kernels_suite
     from repro.bench.parallel import PARALLEL_CONFIG, run_parallel_suite
     from repro.bench.service import SERVICE_CONFIG, run_service_suite
 
     return {
+        "kernels": Suite(
+            name="kernels",
+            description="columnar kernel speedup vs the scalar backend, "
+            "bitwise result parity enforced",
+            configs=tuple(
+                (float(config.n_c), config) for config in KERNELS_CONFIGS
+            ),
+            runner=run_kernels_suite,
+        ),
         "parallel": Suite(
             name="parallel",
             description="execution-engine scaling: every method at a "

@@ -23,8 +23,10 @@ from typing import Optional
 
 import numpy as np
 
+from repro import kernels
 from repro.core.base import LocationSelector
 from repro.core.plan import StageSpec
+from repro.rtree.columns import branch_columns, leaf_client_columns, leaf_site_columns
 from repro.rtree.frontier import expand_frontier
 from repro.rtree.node import Node
 from repro.storage.stats import IOStats
@@ -84,29 +86,42 @@ class MaximumNFCDistance(LocationSelector):
             return None
         trace = stats.tracer
         trace.count("join.node_pairs")
+        cache = ws.leaf_cache
         out: list[JoinTask] = []
         if node_p.is_leaf:
-            mbr_p = node_p.mbr()
-            for e_c in node_c.entries:
-                if e_c.mbr.min_dist_rect(mbr_p) < e_c.mnd:
-                    ws.mnd_tree.read_node(e_c.child_id, stats=stats)
-                    out.append((p_id, e_c.child_id, e_c.mnd))
+            c_cols = branch_columns(ws.mnd_tree, node_c, cache)
+            descend = (
+                kernels.min_dist_rects_rect(c_cols.rects, node_p.mbr()) < c_cols.mnd
+            )
+            for j in np.flatnonzero(descend):
+                e_c = node_c.entries[j]
+                ws.mnd_tree.read_node(e_c.child_id, stats=stats)
+                out.append((p_id, e_c.child_id, e_c.mnd))
         elif node_c.is_leaf:
-            mbr_c = node_c.mbr()
-            for e_p in node_p.entries:
-                if mbr_c.min_dist_rect(e_p.mbr) < mnd_c:
-                    ws.r_p.read_node(e_p.child_id, stats=stats)
-                    out.append((e_p.child_id, c_id, mnd_c))
+            p_cols = branch_columns(ws.r_p, node_p, cache)
+            descend = (
+                kernels.min_dist_rects_rect(p_cols.rects, node_c.mbr()) < mnd_c
+            )
+            for i in np.flatnonzero(descend):
+                e_p = node_p.entries[i]
+                ws.r_p.read_node(e_p.child_id, stats=stats)
+                out.append((e_p.child_id, c_id, mnd_c))
         else:
-            pruned = 0
-            for e_p in node_p.entries:
-                for e_c in node_c.entries:
-                    if e_c.mbr.min_dist_rect(e_p.mbr) < e_c.mnd:
-                        ws.r_p.read_node(e_p.child_id, stats=stats)
-                        ws.mnd_tree.read_node(e_c.child_id, stats=stats)
-                        out.append((e_p.child_id, e_c.child_id, e_c.mnd))
-                    else:
-                        pruned += 1
+            p_cols = branch_columns(ws.r_p, node_p, cache)
+            c_cols = branch_columns(ws.mnd_tree, node_c, cache)
+            descend = (
+                kernels.pairwise_min_dist_rects(p_cols.rects, c_cols.rects)
+                < c_cols.mnd[None, :]
+            )
+            # argwhere is row-major, matching the serial nested-loop order
+            # so every child read is charged in the identical sequence.
+            for i, j in np.argwhere(descend):
+                e_p = node_p.entries[i]
+                e_c = node_c.entries[j]
+                ws.r_p.read_node(e_p.child_id, stats=stats)
+                ws.mnd_tree.read_node(e_c.child_id, stats=stats)
+                out.append((e_p.child_id, e_c.child_id, e_c.mnd))
+            pruned = descend.size - int(np.count_nonzero(descend))
             if pruned:
                 trace.count("join.pruned_pairs", pruned)
         return out
@@ -159,77 +174,74 @@ class MaximumNFCDistance(LocationSelector):
             stats = ws.stats
         trace = stats.tracer
         trace.count("join.node_pairs")
+        cache = ws.leaf_cache
         if node_p.is_leaf and node_c.is_leaf:
             # Pure-CPU candidate evaluation; the leaf page reads remain
             # attributed to the enclosing descent span.
             with trace.span("mnd.leaf_eval") as sp:
                 sp.count("candidates", len(node_p.entries))
-                cx, cy, dnn, w = self._leaf_arrays(node_c)
-                for e_p in node_p.entries:
-                    site = e_p.payload
-                    # For point entries minDist(e_c, e_p) is the exact
-                    # distance, and the leaf-level MND of a client is its
-                    # dnn — so the paper's line-11 test collapses to the
-                    # exact influence test dist < dnn.
-                    reduction = dnn - np.hypot(cx - site.x, cy - site.y)
-                    positive = reduction > 0.0
-                    if positive.any():
-                        dr[site.sid] += float((reduction[positive] * w[positive]).sum())
+                # For point entries minDist(e_c, e_p) is the exact
+                # distance, and the leaf-level MND of a client is its
+                # dnn — so the paper's line-11 test collapses to the
+                # exact influence test dist < dnn, i.e. the clipped
+                # weighted reduction kernel over the whole page pair.
+                p_cols = leaf_site_columns(ws.r_p, node_p, cache)
+                c_cols = leaf_client_columns(ws.mnd_tree, node_c, cache)
+                dr[p_cols.ids] += kernels.accumulate_reductions(
+                    p_cols.xs,
+                    p_cols.ys,
+                    c_cols.xs,
+                    c_cols.ys,
+                    c_cols.dnn,
+                    c_cols.weights,
+                )
         elif node_p.is_leaf:
-            mbr_p = node_p.mbr()
-            for e_c in node_c.entries:
-                if e_c.mbr.min_dist_rect(mbr_p) < e_c.mnd:
-                    self._join(
-                        node_p,
-                        ws.mnd_tree.read_node(e_c.child_id, stats=stats),
-                        e_c.mnd,
-                        dr,
-                        stats,
-                    )
+            c_cols = branch_columns(ws.mnd_tree, node_c, cache)
+            descend = (
+                kernels.min_dist_rects_rect(c_cols.rects, node_p.mbr()) < c_cols.mnd
+            )
+            for j in np.flatnonzero(descend):
+                e_c = node_c.entries[j]
+                self._join(
+                    node_p,
+                    ws.mnd_tree.read_node(e_c.child_id, stats=stats),
+                    e_c.mnd,
+                    dr,
+                    stats,
+                )
         elif node_c.is_leaf:
-            mbr_c = node_c.mbr()
-            for e_p in node_p.entries:
-                if mbr_c.min_dist_rect(e_p.mbr) < mnd_c:
-                    self._join(
-                        ws.r_p.read_node(e_p.child_id, stats=stats),
-                        node_c,
-                        mnd_c,
-                        dr,
-                        stats,
-                    )
+            p_cols = branch_columns(ws.r_p, node_p, cache)
+            descend = (
+                kernels.min_dist_rects_rect(p_cols.rects, node_c.mbr()) < mnd_c
+            )
+            for i in np.flatnonzero(descend):
+                self._join(
+                    ws.r_p.read_node(node_p.entries[i].child_id, stats=stats),
+                    node_c,
+                    mnd_c,
+                    dr,
+                    stats,
+                )
         else:
-            pruned = 0
-            for e_p in node_p.entries:
-                for e_c in node_c.entries:
-                    if e_c.mbr.min_dist_rect(e_p.mbr) < e_c.mnd:
-                        self._join(
-                            ws.r_p.read_node(e_p.child_id, stats=stats),
-                            ws.mnd_tree.read_node(e_c.child_id, stats=stats),
-                            e_c.mnd,
-                            dr,
-                            stats,
-                        )
-                    else:
-                        pruned += 1
+            p_cols = branch_columns(ws.r_p, node_p, cache)
+            c_cols = branch_columns(ws.mnd_tree, node_c, cache)
+            descend = (
+                kernels.pairwise_min_dist_rects(p_cols.rects, c_cols.rects)
+                < c_cols.mnd[None, :]
+            )
+            # Row-major argwhere keeps the serial nested-loop descent
+            # (and read-charge) order.
+            for i, j in np.argwhere(descend):
+                self._join(
+                    ws.r_p.read_node(node_p.entries[i].child_id, stats=stats),
+                    ws.mnd_tree.read_node(node_c.entries[j].child_id, stats=stats),
+                    node_c.entries[j].mnd,
+                    dr,
+                    stats,
+                )
+            pruned = descend.size - int(np.count_nonzero(descend))
             if pruned:
                 trace.count("join.pruned_pairs", pruned)
-
-    def _leaf_arrays(
-        self, node: Node
-    ) -> tuple[np.ndarray, np.ndarray, np.ndarray, np.ndarray]:
-        tree = self.ws.mnd_tree
-
-        def decode():
-            clients = [e.payload for e in node.entries]
-            n = len(clients)
-            return (
-                np.fromiter((c.x for c in clients), np.float64, n),
-                np.fromiter((c.y for c in clients), np.float64, n),
-                np.fromiter((c.dnn for c in clients), np.float64, n),
-                np.fromiter((c.weight for c in clients), np.float64, n),
-            )
-
-        return self.ws.leaf_cache.get(tree.name, tree.version, node.node_id, decode)
 
     # ------------------------------------------------------------------
     # Influence-set materialisation (library extension)
@@ -262,35 +274,48 @@ class MaximumNFCDistance(LocationSelector):
         out: dict[int, list[int]],
     ) -> None:
         ws = self.ws
+        cache = ws.leaf_cache
         if node_p.is_leaf and node_c.is_leaf:
-            cx, cy, dnn, __w = self._leaf_arrays(node_c)
-            ids = [e.payload.cid for e in node_c.entries]
-            for e_p in node_p.entries:
-                site = e_p.payload
-                influenced = np.nonzero(np.hypot(cx - site.x, cy - site.y) < dnn)[0]
-                if len(influenced):
-                    out[site.sid].extend(ids[i] for i in influenced)
+            p_cols = leaf_site_columns(ws.r_p, node_p, cache)
+            c_cols = leaf_client_columns(ws.mnd_tree, node_c, cache)
+            influenced = kernels.influence_matrix(
+                p_cols.xs, p_cols.ys, c_cols.xs, c_cols.ys, c_cols.dnn
+            )
+            cids = c_cols.ids.tolist()
+            for i, sid in enumerate(p_cols.ids.tolist()):
+                members = np.flatnonzero(influenced[i])
+                if len(members):
+                    out[sid].extend(cids[j] for j in members)
         elif node_p.is_leaf:
-            mbr_p = node_p.mbr()
-            for e_c in node_c.entries:
-                if e_c.mbr.min_dist_rect(mbr_p) < e_c.mnd:
-                    self._collect_join(
-                        node_p, ws.mnd_tree.read_node(e_c.child_id), e_c.mnd, out
-                    )
+            c_cols = branch_columns(ws.mnd_tree, node_c, cache)
+            descend = (
+                kernels.min_dist_rects_rect(c_cols.rects, node_p.mbr()) < c_cols.mnd
+            )
+            for j in np.flatnonzero(descend):
+                e_c = node_c.entries[j]
+                self._collect_join(
+                    node_p, ws.mnd_tree.read_node(e_c.child_id), e_c.mnd, out
+                )
         elif node_c.is_leaf:
-            mbr_c = node_c.mbr()
-            for e_p in node_p.entries:
-                if mbr_c.min_dist_rect(e_p.mbr) < mnd_c:
-                    self._collect_join(
-                        ws.r_p.read_node(e_p.child_id), node_c, mnd_c, out
-                    )
+            p_cols = branch_columns(ws.r_p, node_p, cache)
+            descend = (
+                kernels.min_dist_rects_rect(p_cols.rects, node_c.mbr()) < mnd_c
+            )
+            for i in np.flatnonzero(descend):
+                self._collect_join(
+                    ws.r_p.read_node(node_p.entries[i].child_id), node_c, mnd_c, out
+                )
         else:
-            for e_p in node_p.entries:
-                for e_c in node_c.entries:
-                    if e_c.mbr.min_dist_rect(e_p.mbr) < e_c.mnd:
-                        self._collect_join(
-                            ws.r_p.read_node(e_p.child_id),
-                            ws.mnd_tree.read_node(e_c.child_id),
-                            e_c.mnd,
-                            out,
-                        )
+            p_cols = branch_columns(ws.r_p, node_p, cache)
+            c_cols = branch_columns(ws.mnd_tree, node_c, cache)
+            descend = (
+                kernels.pairwise_min_dist_rects(p_cols.rects, c_cols.rects)
+                < c_cols.mnd[None, :]
+            )
+            for i, j in np.argwhere(descend):
+                self._collect_join(
+                    ws.r_p.read_node(node_p.entries[i].child_id),
+                    ws.mnd_tree.read_node(node_c.entries[j].child_id),
+                    node_c.entries[j].mnd,
+                    out,
+                )

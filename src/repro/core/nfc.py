@@ -27,8 +27,10 @@ from typing import Optional
 
 import numpy as np
 
+from repro import kernels
 from repro.core.base import LocationSelector
 from repro.core.plan import StageSpec
+from repro.rtree.columns import branch_columns, leaf_site_columns, nfc_leaf_columns
 from repro.rtree.frontier import expand_frontier
 from repro.rtree.node import Node
 from repro.storage.stats import IOStats
@@ -99,29 +101,33 @@ class NearestFacilityCircle(LocationSelector):
             return None
         trace = stats.tracer
         trace.count("join.node_pairs")
+        cache = ws.leaf_cache
         out: list[JoinTask] = []
         if node_p.is_leaf:
-            mbr_p = node_p.mbr()
-            for e_c in node_c.entries:
-                if e_c.mbr.intersects(mbr_p):
-                    ws.rnn_tree.read_node(e_c.child_id, stats=stats)
-                    out.append((pair[0], e_c.child_id))
+            c_cols = branch_columns(ws.rnn_tree, node_c, cache)
+            descend = kernels.rects_intersect_rect(c_cols.rects, node_p.mbr())
+            for j in np.flatnonzero(descend):
+                e_c = node_c.entries[j]
+                ws.rnn_tree.read_node(e_c.child_id, stats=stats)
+                out.append((pair[0], e_c.child_id))
         elif node_c.is_leaf:
-            mbr_c = node_c.mbr()
-            for e_p in node_p.entries:
-                if e_p.mbr.intersects(mbr_c):
-                    ws.r_p.read_node(e_p.child_id, stats=stats)
-                    out.append((e_p.child_id, pair[1]))
+            p_cols = branch_columns(ws.r_p, node_p, cache)
+            descend = kernels.rects_intersect_rect(p_cols.rects, node_c.mbr())
+            for i in np.flatnonzero(descend):
+                e_p = node_p.entries[i]
+                ws.r_p.read_node(e_p.child_id, stats=stats)
+                out.append((e_p.child_id, pair[1]))
         else:
-            pruned = 0
-            for e_p in node_p.entries:
-                for e_c in node_c.entries:
-                    if e_p.mbr.intersects(e_c.mbr):
-                        ws.r_p.read_node(e_p.child_id, stats=stats)
-                        ws.rnn_tree.read_node(e_c.child_id, stats=stats)
-                        out.append((e_p.child_id, e_c.child_id))
-                    else:
-                        pruned += 1
+            p_cols = branch_columns(ws.r_p, node_p, cache)
+            c_cols = branch_columns(ws.rnn_tree, node_c, cache)
+            descend = kernels.rect_intersect_matrix(p_cols.rects, c_cols.rects)
+            # Row-major argwhere keeps the serial nested-loop descent
+            # (and read-charge) order.
+            for i, j in np.argwhere(descend):
+                ws.r_p.read_node(node_p.entries[i].child_id, stats=stats)
+                ws.rnn_tree.read_node(node_c.entries[j].child_id, stats=stats)
+                out.append((node_p.entries[i].child_id, node_c.entries[j].child_id))
+            pruned = descend.size - int(np.count_nonzero(descend))
             if pruned:
                 trace.count("join.pruned_pairs", pruned)
         return out
@@ -172,68 +178,56 @@ class NearestFacilityCircle(LocationSelector):
             stats = ws.stats
         trace = stats.tracer
         trace.count("join.node_pairs")
+        cache = ws.leaf_cache
         if node_p.is_leaf and node_c.is_leaf:
             # Candidate evaluation is pure CPU (both leaves are already
             # in memory), so it gets its own span; the page reads stay
-            # attributed to the enclosing descent.
+            # attributed to the enclosing descent.  The NFC circles come
+            # back reconstructed from their square MBRs (lines 12–13 of
+            # Algorithm 4) with the radius in the ``dnn`` column, so the
+            # strict-containment test is the same clipped-reduction
+            # kernel every other method uses.
             with trace.span("nfc.leaf_eval") as sp:
                 sp.count("candidates", len(node_p.entries))
-                cx, cy, radius, w = self._leaf_arrays(node_c)
-                for e_p in node_p.entries:
-                    site = e_p.payload
-                    reduction = radius - np.hypot(cx - site.x, cy - site.y)
-                    positive = reduction > 0.0
-                    if positive.any():
-                        dr[site.sid] += float((reduction[positive] * w[positive]).sum())
+                p_cols = leaf_site_columns(ws.r_p, node_p, cache)
+                c_cols = nfc_leaf_columns(ws.rnn_tree, node_c, cache)
+                dr[p_cols.ids] += kernels.accumulate_reductions(
+                    p_cols.xs,
+                    p_cols.ys,
+                    c_cols.xs,
+                    c_cols.ys,
+                    c_cols.dnn,
+                    c_cols.weights,
+                )
         elif node_p.is_leaf:
-            mbr_p = node_p.mbr()
-            for e_c in node_c.entries:
-                if e_c.mbr.intersects(mbr_p):
-                    child = ws.rnn_tree.read_node(e_c.child_id, stats=stats)
-                    self._join(node_p, child, dr, stats)
+            c_cols = branch_columns(ws.rnn_tree, node_c, cache)
+            descend = kernels.rects_intersect_rect(c_cols.rects, node_p.mbr())
+            for j in np.flatnonzero(descend):
+                child = ws.rnn_tree.read_node(node_c.entries[j].child_id, stats=stats)
+                self._join(node_p, child, dr, stats)
         elif node_c.is_leaf:
-            mbr_c = node_c.mbr()
-            for e_p in node_p.entries:
-                if e_p.mbr.intersects(mbr_c):
-                    self._join(
-                        ws.r_p.read_node(e_p.child_id, stats=stats), node_c, dr, stats
-                    )
+            p_cols = branch_columns(ws.r_p, node_p, cache)
+            descend = kernels.rects_intersect_rect(p_cols.rects, node_c.mbr())
+            for i in np.flatnonzero(descend):
+                self._join(
+                    ws.r_p.read_node(node_p.entries[i].child_id, stats=stats),
+                    node_c,
+                    dr,
+                    stats,
+                )
         else:
-            pruned = 0
-            for e_p in node_p.entries:
-                for e_c in node_c.entries:
-                    if e_p.mbr.intersects(e_c.mbr):
-                        self._join(
-                            ws.r_p.read_node(e_p.child_id, stats=stats),
-                            ws.rnn_tree.read_node(e_c.child_id, stats=stats),
-                            dr,
-                            stats,
-                        )
-                    else:
-                        pruned += 1
+            p_cols = branch_columns(ws.r_p, node_p, cache)
+            c_cols = branch_columns(ws.rnn_tree, node_c, cache)
+            descend = kernels.rect_intersect_matrix(p_cols.rects, c_cols.rects)
+            # Row-major argwhere keeps the serial nested-loop descent
+            # (and read-charge) order.
+            for i, j in np.argwhere(descend):
+                self._join(
+                    ws.r_p.read_node(node_p.entries[i].child_id, stats=stats),
+                    ws.rnn_tree.read_node(node_c.entries[j].child_id, stats=stats),
+                    dr,
+                    stats,
+                )
+            pruned = descend.size - int(np.count_nonzero(descend))
             if pruned:
                 trace.count("join.pruned_pairs", pruned)
-
-    def _leaf_arrays(
-        self, node: Node
-    ) -> tuple[np.ndarray, np.ndarray, np.ndarray, np.ndarray]:
-        """Centres and radii of the NFCs in a leaf, reconstructed from
-        their square MBRs (lines 12–13 of Algorithm 4), plus the client
-        weights read from the records."""
-        tree = self.ws.rnn_tree
-
-        def decode():
-            n = len(node.entries)
-            cx = np.fromiter(
-                ((e.mbr.xmin + e.mbr.xmax) / 2.0 for e in node.entries), np.float64, n
-            )
-            cy = np.fromiter(
-                ((e.mbr.ymin + e.mbr.ymax) / 2.0 for e in node.entries), np.float64, n
-            )
-            radius = np.fromiter(
-                ((e.mbr.xmax - e.mbr.xmin) / 2.0 for e in node.entries), np.float64, n
-            )
-            w = np.fromiter((e.payload.weight for e in node.entries), np.float64, n)
-            return (cx, cy, radius, w)
-
-        return self.ws.leaf_cache.get(tree.name, tree.version, node.node_id, decode)

@@ -37,6 +37,7 @@ from typing import Optional
 
 import numpy as np
 
+from repro import kernels
 from repro.core.base import LocationSelector
 from repro.core.plan import StageSpec
 from repro.core.types import Site
@@ -44,8 +45,9 @@ from repro.geometry.halfplane import bisector_halfplane
 from repro.geometry.point import Point
 from repro.geometry.polygon import ConvexPolygon
 from repro.geometry.rect import Rect
+from repro.kernels.columnar import RectColumns
+from repro.rtree.columns import branch_columns, leaf_client_columns
 from repro.rtree.nn import incremental_nearest
-from repro.rtree.node import Node
 from repro.storage.stats import IOStats
 
 #: Potential locations per AIR task.  Fixed (worker-independent) so the
@@ -232,33 +234,23 @@ class QuasiVoronoiCell(LocationSelector):
         node = self.ws.r_c.read_node(node_id, stats=stats)
         trace = (stats if stats is not None else self.ws.stats).tracer
         trace.count("window.nodes")
+        cache = self.ws.leaf_cache
+        n = len(group)
         if node.is_leaf:
-            trace.count("window.leaf_evals", len(group))
-            cx, cy, dnn, w = self._leaf_arrays(node)
-            for pid, px, py, __ in group:
-                reduction = dnn - np.hypot(cx - px, cy - py)
-                positive = reduction > 0.0
-                if positive.any():
-                    dr[pid] += float((reduction[positive] * w[positive]).sum())
-            return
-        for entry in node.entries:
-            surviving = [g for g in group if g[3].intersects(entry.mbr)]
-            if surviving:
-                self._window_query(entry.child_id, surviving, dr, stats)
-
-    def _leaf_arrays(
-        self, node: Node
-    ) -> tuple[np.ndarray, np.ndarray, np.ndarray, np.ndarray]:
-        tree = self.ws.r_c
-
-        def decode():
-            clients = [e.payload for e in node.entries]
-            n = len(clients)
-            return (
-                np.fromiter((c.x for c in clients), np.float64, n),
-                np.fromiter((c.y for c in clients), np.float64, n),
-                np.fromiter((c.dnn for c in clients), np.float64, n),
-                np.fromiter((c.weight for c in clients), np.float64, n),
+            trace.count("window.leaf_evals", n)
+            c_cols = leaf_client_columns(self.ws.r_c, node, cache)
+            pids = np.fromiter((g[0] for g in group), np.intp, n)
+            px = np.fromiter((g[1] for g in group), np.float64, n)
+            py = np.fromiter((g[2] for g in group), np.float64, n)
+            dr[pids] += kernels.accumulate_reductions(
+                px, py, c_cols.xs, c_cols.ys, c_cols.dnn, c_cols.weights
             )
-
-        return self.ws.leaf_cache.get(tree.name, tree.version, node.node_id, decode)
+            return
+        airs = RectColumns.from_rects(g[3] for g in group)
+        node_cols = branch_columns(self.ws.r_c, node, cache)
+        overlap = kernels.rect_intersect_matrix(airs, node_cols.rects)
+        for j, entry in enumerate(node.entries):
+            rows = np.flatnonzero(overlap[:, j])
+            if len(rows):
+                surviving = [group[i] for i in rows]
+                self._window_query(entry.child_id, surviving, dr, stats)

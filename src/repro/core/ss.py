@@ -7,9 +7,11 @@ in the block.  With precomputed ``dnn`` this needs no index at all, but
 reads the client dataset ``n_p / C_m`` times — the I/O cost
 ``n_p * n_c / C_m^2`` of Table III.
 
-The per-block-pair distance computation is vectorised with numpy; this
-changes constants, not the I/O pattern or the asymptotic CPU cost, both
-of which the paper analyses.
+The per-block-pair distance computation goes through
+:func:`repro.kernels.accumulate_reductions` (the columnar batch kernel,
+cross-checked against its scalar twin); this changes constants, not the
+I/O pattern or the asymptotic CPU cost, both of which the paper
+analyses.
 
 The scan decomposes naturally for the execution engine: one task per
 ``(P-block, C-block)`` pair.  The driver charges each potential block
@@ -26,6 +28,7 @@ from typing import Optional
 
 import numpy as np
 
+from repro import kernels
 from repro.core.base import LocationSelector
 from repro.core.plan import StageSpec
 from repro.storage.stats import IOStats
@@ -82,13 +85,10 @@ class SequentialScan(LocationSelector):
         with stats.tracer.span("ss.client_pass") as sp:
             c_block = ws.client_file.read_block(c_id, stats=stats)
             sp.count("client_blocks")
-            cx = c_block[:, 0]
-            cy = c_block[:, 1]
-            dnn = c_block[:, 2]
-            w = c_block[:, 3]
-            # (block of P) x (block of C) pairwise distances.
-            d = np.hypot(px[:, None] - cx[None, :], py[:, None] - cy[None, :])
-            acc = (np.clip(dnn[None, :] - d, 0.0, None) * w[None, :]).sum(axis=1)
+            # (block of P) x (block of C) weighted clipped reductions.
+            acc = kernels.accumulate_reductions(
+                px, py, c_block[:, 0], c_block[:, 1], c_block[:, 2], c_block[:, 3]
+            )
         return offset, acc
 
     def _reduce_scan(

@@ -1,0 +1,114 @@
+"""Columnar views of R-tree nodes, cached in the workspace leaf cache.
+
+The join and window traversals of :mod:`repro.core` used to decode each
+leaf into ad-hoc array tuples inside the selectors.  This module is the
+single decode point for all of them: given a tree and a node, it
+returns the structure-of-arrays buffers of
+:mod:`repro.kernels.columnar`, memoized in a
+:class:`~repro.storage.leafcache.DecodedLeafCache` under the node's
+``(tree_name, node_id)`` key (leaf and branch nodes share one id space
+per tree, so the key space cannot collide).
+
+Decoding takes the fastest route available:
+
+* disk-backed trees (:class:`~repro.rtree.persist.DiskRTree`) expose
+  ``node_page_bytes``, so a whole page of packed records bulk-decodes
+  straight from bytes via :mod:`repro.kernels` — under the vector
+  backend that is one ``np.frombuffer`` instead of ``n`` unpacks;
+* in-memory trees decode from the node's entry objects.
+
+Both routes produce identical column values for the same logical
+records.  Crucially, **nothing here touches I/O accounting**: callers
+hand over nodes they already obtained through a charged ``read_node``
+(or an explicitly uncharged ``node``/``peek``), and ``node_page_bytes``
+peeks the page without charging — caching columns never changes
+``io_total``, which is what keeps the vector/scalar backends and any
+worker count byte-identical in the benches.
+"""
+
+from __future__ import annotations
+
+from typing import Any
+
+import numpy as np
+
+from repro import kernels
+from repro.kernels.columnar import (
+    BranchColumns,
+    ClientColumns,
+    RectColumns,
+    SiteColumns,
+)
+
+
+def _page_bytes(tree: Any, node_id: int):
+    """``(level, count, offset, data)`` for byte-backed trees, else None."""
+    reader = getattr(tree, "node_page_bytes", None)
+    if reader is None:
+        return None
+    return reader(node_id)
+
+
+def leaf_site_columns(tree: Any, node: Any, cache: Any) -> SiteColumns:
+    """Columns of the site records in one leaf of a potential-location tree."""
+
+    def decode() -> SiteColumns:
+        page = _page_bytes(tree, node.node_id)
+        if page is not None:
+            __, count, offset, data = page
+            return kernels.decode_site_columns(data, count, offset=offset)
+        return SiteColumns.from_sites([e.payload for e in node.entries])
+
+    return cache.get(tree.name, tree.version, node.node_id, decode)
+
+
+def leaf_client_columns(tree: Any, node: Any, cache: Any) -> ClientColumns:
+    """Columns of the client records in one leaf of ``R_C`` / ``R_C^m``.
+
+    Byte-backed pages carry no weight field and decode with unit
+    weights, exactly like their object decode through ``ClientCodec``.
+    """
+
+    def decode() -> ClientColumns:
+        page = _page_bytes(tree, node.node_id)
+        if page is not None:
+            __, count, offset, data = page
+            return kernels.decode_client_columns(data, count, offset=offset)
+        return ClientColumns.from_clients([e.payload for e in node.entries])
+
+    return cache.get(tree.name, tree.version, node.node_id, decode)
+
+
+def nfc_leaf_columns(tree: Any, node: Any, cache: Any) -> ClientColumns:
+    """NFC circles of one RNN-tree leaf: centers, radii (as ``dnn``), weights.
+
+    Reconstructed from the entries' square MBRs — lines 12–13 of the
+    paper's Algorithm 4 — not from the client records, so the float
+    values match the geometric reconstruction the join has always used.
+    """
+
+    def decode() -> ClientColumns:
+        entries = node.entries
+        n = len(entries)
+        rects = RectColumns.from_rects(e.mbr for e in entries)
+        ids = np.fromiter((e.payload.cid for e in entries), np.uint32, n)
+        weights = np.fromiter((e.payload.weight for e in entries), np.float64, n)
+        return kernels.circle_columns_from_rects(rects, ids, weights)
+
+    return cache.get(tree.name, tree.version, node.node_id, decode)
+
+
+def branch_columns(tree: Any, node: Any, cache: Any) -> BranchColumns:
+    """Columns of one internal node: MBRs, child ids, MNDs when present."""
+
+    def decode() -> BranchColumns:
+        page = _page_bytes(tree, node.node_id)
+        if page is not None:
+            __, count, offset, data = page
+            return kernels.decode_branch_columns(
+                data, count, with_mnd=bool(getattr(tree, "has_mnd", False)),
+                offset=offset,
+            )
+        return BranchColumns.from_entries(node.entries)
+
+    return cache.get(tree.name, tree.version, node.node_id, decode)

@@ -33,6 +33,7 @@ import struct
 from pathlib import Path
 from typing import Any, Callable, Optional
 
+from repro import kernels
 from repro.geometry.maxmindist import max_min_dist_region_rect
 from repro.geometry.rect import Rect
 from repro.rtree.entry import BranchEntry, LeafEntry
@@ -41,13 +42,7 @@ from repro.obs.registry import REGISTRY
 from repro.rtree.node import Node
 from repro.rtree.rtree import RTree
 from repro.storage.buffer import LRUBufferPool
-from repro.storage.codecs import (
-    BRANCH_MND_SIZE,
-    BRANCH_SIZE,
-    PayloadCodec,
-    decode_branch,
-    encode_branch,
-)
+from repro.storage.codecs import PayloadCodec, encode_branch
 from repro.storage.diskfile import DiskPager, PageFile, PageFileError
 from repro.storage.stats import IOStats
 
@@ -158,20 +153,49 @@ class DiskRTree:
         offset = _NODE_HEADER.size
         entries: list = []
         if level == 0:
-            step = self._codec.size
-            for __ in range(count):
-                payload = self._codec.decode(data[offset : offset + step])
-                entries.append(LeafEntry(self._leaf_mbr(payload), payload))
-                offset += step
+            decode_columns = getattr(self._codec, "decode_columns", None)
+            if decode_columns is not None:
+                cols = decode_columns(data, count, offset=offset)
+                leaf_mbr = self._leaf_mbr
+                entries = [
+                    LeafEntry(leaf_mbr(payload), payload)
+                    for payload in self._codec.objects_from_columns(cols)
+                ]
+            else:
+                step = self._codec.size
+                for __ in range(count):
+                    payload = self._codec.decode(data[offset : offset + step])
+                    entries.append(LeafEntry(self._leaf_mbr(payload), payload))
+                    offset += step
         else:
-            step = BRANCH_MND_SIZE if self.has_mnd else BRANCH_SIZE
-            for __ in range(count):
-                mbr, child, mnd = decode_branch(
-                    data[offset : offset + step], self.has_mnd
+            cols = kernels.decode_branch_columns(
+                data, count, with_mnd=self.has_mnd, offset=offset
+            )
+            rects = cols.rects
+            mnds = cols.mnd.tolist() if cols.mnd is not None else [None] * count
+            entries = [
+                BranchEntry(Rect(x1, y1, x2, y2), child, mnd)
+                for x1, y1, x2, y2, child, mnd in zip(
+                    rects.xmin.tolist(),
+                    rects.ymin.tolist(),
+                    rects.xmax.tolist(),
+                    rects.ymax.tolist(),
+                    cols.children.tolist(),
+                    mnds,
                 )
-                entries.append(BranchEntry(mbr, child, mnd))
-                offset += step
+            ]
         return Node(page_id, level, entries)
+
+    def node_page_bytes(self, node_id: int) -> tuple[int, int, int, bytes]:
+        """Raw page bytes of one node, **without** charging a read.
+
+        Returns ``(level, count, entries_offset, data)`` so columnar
+        consumers (:mod:`repro.rtree.columns`) can bulk-decode a page
+        that the caller has already paid for through ``read_node``.
+        """
+        data = self._pager.peek(node_id)
+        level, count = _NODE_HEADER.unpack_from(data)
+        return level, count, _NODE_HEADER.size, data
 
     # ------------------------------------------------------------------
     # RTree-compatible query interface

@@ -6,7 +6,19 @@ kind can be packed to/from the exact byte strings the layouts describe,
 which is what the on-disk persistence of :mod:`repro.rtree.persist`
 writes.  All values are little-endian; ids are unsigned 32-bit,
 coordinates and distances are IEEE-754 doubles — matching the field
-sizes in :mod:`repro.storage.records`.
+sizes in :mod:`repro.storage.records` and the columnar dtypes in
+:mod:`repro.kernels.columnar`.
+
+Besides the record-at-a-time ``encode``/``decode`` pair, the site and
+client codecs expose a bulk ``decode_columns`` that hands a whole page
+of records to :mod:`repro.kernels` in one call (a single ``frombuffer``
+under the vector backend), plus ``objects_from_columns`` for callers
+that still need payload objects.
+
+The ``Site``/``Client`` payload types live in :mod:`repro.core.types`,
+which transitively imports this module; their import sits at the bottom
+of the file (after every definition this module exports) to keep a
+fresh ``import repro.storage.codecs`` cycle-safe.
 """
 
 from __future__ import annotations
@@ -14,8 +26,10 @@ from __future__ import annotations
 import struct
 from typing import Any, Protocol, TypeVar
 
+from repro import kernels
 from repro.geometry.point import Point
 from repro.geometry.rect import Rect
+from repro.kernels.columnar import ClientColumns, SiteColumns
 
 T = TypeVar("T")
 
@@ -54,10 +68,19 @@ class SiteCodec:
         return self._fmt.pack(payload.sid, payload.x, payload.y)
 
     def decode(self, data: bytes) -> Any:
-        from repro.core.types import Site
-
         sid, x, y = self._fmt.unpack(data)
         return Site(sid, x, y)
+
+    def decode_columns(self, data: bytes, count: int, offset: int = 0) -> SiteColumns:
+        """Bulk-decode ``count`` consecutive records into columns."""
+        return kernels.decode_site_columns(data, count, offset=offset)
+
+    def objects_from_columns(self, cols: SiteColumns) -> list:
+        """Materialize payload objects from bulk-decoded columns."""
+        return [
+            Site(sid, x, y)
+            for sid, x, y in zip(cols.ids.tolist(), cols.xs.tolist(), cols.ys.tolist())
+        ]
 
 
 class ClientCodec:
@@ -70,10 +93,26 @@ class ClientCodec:
         return self._fmt.pack(payload.cid, payload.x, payload.y, payload.dnn)
 
     def decode(self, data: bytes) -> Any:
-        from repro.core.types import Client
-
         cid, x, y, dnn = self._fmt.unpack(data)
         return Client(cid, x, y, dnn)
+
+    def decode_columns(
+        self, data: bytes, count: int, offset: int = 0
+    ) -> ClientColumns:
+        """Bulk-decode ``count`` consecutive records into columns."""
+        return kernels.decode_client_columns(data, count, offset=offset)
+
+    def objects_from_columns(self, cols: ClientColumns) -> list:
+        """Materialize payload objects (unit weights, like ``decode``)."""
+        return [
+            Client(cid, x, y, dnn)
+            for cid, x, y, dnn in zip(
+                cols.ids.tolist(),
+                cols.xs.tolist(),
+                cols.ys.tolist(),
+                cols.dnn.tolist(),
+            )
+        ]
 
 
 _RECT = struct.Struct("<dddd")
@@ -108,3 +147,9 @@ def decode_branch(data: bytes, with_mnd: bool) -> tuple[Rect, int, float | None]
         return Rect(x1, y1, x2, y2), child, mnd
     x1, y1, x2, y2, child = _BRANCH.unpack(data)
     return Rect(x1, y1, x2, y2), child, None
+
+
+# Bottom-of-module on purpose: repro.core.types transitively imports this
+# module (core -> diskmode -> rtree.persist -> codecs), so the payload
+# types can only be bound after everything persist needs is defined.
+from repro.core.types import Client, Site  # noqa: E402

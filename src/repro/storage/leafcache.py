@@ -23,6 +23,13 @@ workspace-owned cache:
   share it safely.  Decodes are pure functions of immutable node
   payloads, so a racing double-decode is benign — the lock only
   protects the dict bookkeeping.
+
+Since the columnar kernels landed, the cached values are the
+structure-of-arrays buffers of :mod:`repro.kernels.columnar`
+(``SiteColumns``/``ClientColumns``) rather than ad-hoc array tuples.
+Each instance keeps local ``hits``/``misses`` attributes for tests and
+``repr`` and also reports into the process-wide obs registry as
+``leafcache.hits`` / ``leafcache.misses``.
 """
 
 from __future__ import annotations
@@ -30,11 +37,21 @@ from __future__ import annotations
 import threading
 from typing import Any, Callable
 
+from repro.obs.registry import REGISTRY
+
 
 class DecodedLeafCache:
     """Shared, versioned cache of decoded leaf arrays."""
 
-    __slots__ = ("_entries", "_versions", "_lock", "hits", "misses")
+    __slots__ = (
+        "_entries",
+        "_versions",
+        "_lock",
+        "hits",
+        "misses",
+        "_hits_metric",
+        "_misses_metric",
+    )
 
     def __init__(self) -> None:
         self._entries: dict[tuple[str, int], Any] = {}
@@ -42,6 +59,8 @@ class DecodedLeafCache:
         self._lock = threading.Lock()
         self.hits = 0
         self.misses = 0
+        self._hits_metric = REGISTRY.counter("leafcache.hits")
+        self._misses_metric = REGISTRY.counter("leafcache.misses")
 
     # ------------------------------------------------------------------
     def get(
@@ -66,8 +85,10 @@ class DecodedLeafCache:
             cached = self._entries.get(key)
             if cached is not None:
                 self.hits += 1
+                self._hits_metric.inc()
                 return cached
             self.misses += 1
+            self._misses_metric.inc()
         value = decode()
         with self._lock:
             # Keep the first decode if another task raced us (both are

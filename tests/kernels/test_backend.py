@@ -1,0 +1,61 @@
+"""The backend dispatch layer of :mod:`repro.kernels`."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro import kernels
+from repro.kernels import scalar, vector
+
+
+class TestDispatch:
+    def test_vector_is_the_default(self):
+        assert kernels.active_backend() == "vector"
+        assert kernels._impl() is vector
+
+    def test_available_backends(self):
+        assert kernels.available_backends() == ("scalar", "vector")
+
+    def test_set_backend_switches_dispatch(self):
+        kernels.set_backend("scalar")
+        try:
+            assert kernels.active_backend() == "scalar"
+            assert kernels._impl() is scalar
+        finally:
+            kernels.set_backend("vector")
+
+    def test_unknown_backend_is_rejected(self):
+        with pytest.raises(ValueError, match="unknown kernel backend"):
+            kernels.set_backend("cuda")
+        assert kernels.active_backend() == "vector"
+
+    def test_use_backend_restores_on_exit(self):
+        with kernels.use_backend("scalar"):
+            assert kernels.active_backend() == "scalar"
+        assert kernels.active_backend() == "vector"
+
+    def test_use_backend_restores_on_error(self):
+        with pytest.raises(RuntimeError):
+            with kernels.use_backend("scalar"):
+                raise RuntimeError("boom")
+        assert kernels.active_backend() == "vector"
+
+    def test_use_backend_nests(self):
+        with kernels.use_backend("scalar"):
+            with kernels.use_backend("vector"):
+                assert kernels.active_backend() == "vector"
+            assert kernels.active_backend() == "scalar"
+        assert kernels.active_backend() == "vector"
+
+    def test_dispatched_call_hits_the_active_backend(self):
+        px = np.array([0.0, 3.0])
+        py = np.array([0.0, 4.0])
+        expected = np.hypot(px - 1.0, py - 2.0).reshape(2, 1)
+        with kernels.use_backend("scalar"):
+            got = kernels.pairwise_distances(
+                px, py, np.array([1.0]), np.array([2.0])
+            )
+        assert np.array_equal(got, expected)
+        got = kernels.pairwise_distances(px, py, np.array([1.0]), np.array([2.0]))
+        assert np.array_equal(got, expected)

@@ -11,9 +11,12 @@ from __future__ import annotations
 import threading
 from concurrent.futures import ThreadPoolExecutor
 
+import numpy as np
 import pytest
 
 from repro.core import Workspace, make_selector
+from repro.kernels.columnar import BranchColumns, ClientColumns, SiteColumns
+from repro.obs.registry import REGISTRY
 from repro.storage import DecodedLeafCache
 
 
@@ -66,6 +69,78 @@ class TestDecodedLeafCache:
         # A racing double-decode is benign, but every caller must see
         # the same surviving object.
         assert len({id(v) for v in values}) == 1
+
+
+class TestColumnarValues:
+    """The cache serves structure-of-arrays buffers, exactly once."""
+
+    def test_queries_populate_columnar_buffers(self, small_workspace):
+        ws = small_workspace
+        make_selector(ws, "MND").select()
+        values = list(ws.leaf_cache._entries.values())
+        assert values
+        assert all(
+            isinstance(v, (SiteColumns, ClientColumns, BranchColumns))
+            for v in values
+        )
+        # Both leaf record kinds and branch entries are cached.
+        assert any(isinstance(v, ClientColumns) for v in values)
+        assert any(isinstance(v, BranchColumns) for v in values)
+
+    def test_version_bump_clears_cached_arrays(self):
+        cache = DecodedLeafCache()
+        stale = SiteColumns.from_sites([])
+        fresh = SiteColumns.from_sites([])
+        cache.get("R_C", 0, 1, lambda: stale)
+        assert cache.get("R_C", 1, 1, lambda: fresh) is fresh
+        assert stale not in cache._entries.values()
+        assert len(cache) == 1
+
+    def test_hits_and_misses_land_in_the_obs_registry(self, small_workspace):
+        ws = small_workspace
+        hits = REGISTRY.counter("leafcache.hits")
+        misses = REGISTRY.counter("leafcache.misses")
+        h0, m0 = hits.value, misses.value
+        make_selector(ws, "MND").select()
+        assert misses.value - m0 == ws.leaf_cache.misses
+        make_selector(ws, "MND").select()
+        # A warm second query registers hits without new misses.
+        assert hits.value > h0
+        assert hits.value - h0 == ws.leaf_cache.hits
+        assert misses.value - m0 == ws.leaf_cache.misses
+
+    def test_metrics_survive_registry_reset(self):
+        cache = DecodedLeafCache()
+        REGISTRY.reset()  # zeroes counters in place; handles stay bound
+        cache.get("R_C", 0, 1, lambda: SiteColumns.from_sites([]))
+        cache.get("R_C", 0, 1, lambda: SiteColumns.from_sites([]))
+        assert REGISTRY.counter("leafcache.misses").value >= 1
+        assert REGISTRY.counter("leafcache.hits").value >= 1
+
+    def test_eight_threads_read_exact_columns(self, small_workspace):
+        """Concurrent cache readers all see one buffer with the exact
+        serially-decoded contents."""
+        from repro.rtree.columns import leaf_client_columns
+
+        ws = small_workspace
+        tree = ws.r_c
+        node = tree.read_node(tree.root_id)
+        while not node.is_leaf:
+            node = tree.read_node(node.entries[0].child_id)
+
+        reference = leaf_client_columns(tree, node, DecodedLeafCache())
+        barrier = threading.Barrier(8)
+
+        def fetch(i: int):
+            barrier.wait()
+            return leaf_client_columns(tree, node, ws.leaf_cache)
+
+        with ThreadPoolExecutor(max_workers=8) as pool:
+            results = list(pool.map(fetch, range(8)))
+        assert len({id(r) for r in results}) == 1
+        got = results[0]
+        for field in ("ids", "xs", "ys", "dnn", "weights"):
+            assert np.array_equal(getattr(got, field), getattr(reference, field))
 
 
 class TestWorkspaceIntegration:
