@@ -10,11 +10,12 @@ harness of :mod:`repro.experiments`:
   data page splits, per-phase breakdowns, median-of-k wall times, and
   an environment fingerprint;
 * :mod:`repro.bench.suites` — named suites (``smoke``, ``micro``,
-  ``kernels``, ``parallel``, ``service``, ``fig10``/``fig11``/``fig12``)
-  and the recorder that runs them;
-* :mod:`repro.bench.compare` — noise-aware comparison: exact-match
-  policy for deterministic page counts, relative tolerance for wall
-  times, structured improved/unchanged/regressed verdicts;
+  ``kernels``, ``parallel``, ``service``, ``loadgen``,
+  ``fig10``/``fig11``/``fig12``) and the recorder that runs them;
+* :mod:`repro.bench.compare` — policy-driven comparison (schema v2):
+  exact/pinned policies for deterministic quantities (page counts,
+  planned request mixes), relative tolerance for wall times and rates,
+  structured improved/unchanged/regressed verdicts;
 * :mod:`repro.bench.history` — the append-only JSON-lines trajectory
   (``benchmarks/history.jsonl``) and its sparkline/markdown reports.
 
@@ -41,6 +42,7 @@ from repro.bench.compare import (
     ComparisonReport,
     Verdict,
     compare_records,
+    resolve_policies,
 )
 from repro.bench.history import (
     DEFAULT_HISTORY_PATH,
@@ -50,6 +52,14 @@ from repro.bench.history import (
     markdown_summary,
     sparkline,
     trend_report,
+)
+from repro.bench.loadgen import (
+    LOADGEN_CLOSED,
+    LOADGEN_DATASET,
+    LOADGEN_MODES,
+    LOADGEN_OPEN,
+    loadgen_metric_policies,
+    run_loadgen_suite,
 )
 from repro.bench.kernels import (
     KERNELS_CONFIGS,
@@ -66,10 +76,17 @@ from repro.bench.parallel import (
 )
 from repro.bench.record import (
     DETERMINISTIC_METRICS,
+    POLICIES,
+    POLICY_EXACT,
+    POLICY_INFO,
+    POLICY_PIN,
+    POLICY_RATE,
+    POLICY_TIME,
     SCHEMA_VERSION,
     TIMING_METRICS,
     BenchEntry,
     BenchRecord,
+    default_metric_policies,
     environment_fingerprint,
     git_sha,
 )
@@ -100,12 +117,22 @@ __all__ = [
     "IMPROVED",
     "KERNELS_CONFIGS",
     "KERNELS_IO_LATENCY_S",
+    "LOADGEN_CLOSED",
+    "LOADGEN_DATASET",
+    "LOADGEN_MODES",
+    "LOADGEN_OPEN",
     "MISSING",
     "NEW",
     "PARALLEL_CONFIG",
     "PARALLEL_IO_LATENCY_S",
     "PARALLEL_TASK_TARGET",
     "PIPELINE_ROUNDS",
+    "POLICIES",
+    "POLICY_EXACT",
+    "POLICY_INFO",
+    "POLICY_PIN",
+    "POLICY_RATE",
+    "POLICY_TIME",
     "REGRESSED",
     "SCHEMA_VERSION",
     "SERVICE_BATCH_WINDOW_S",
@@ -118,13 +145,17 @@ __all__ = [
     "Verdict",
     "append_history",
     "compare_records",
+    "default_metric_policies",
     "environment_fingerprint",
     "get_suite",
     "git_sha",
     "history_row",
     "load_history",
+    "loadgen_metric_policies",
     "markdown_summary",
+    "resolve_policies",
     "run_kernels_suite",
+    "run_loadgen_suite",
     "run_parallel_suite",
     "run_service_suite",
     "run_suite",

@@ -1,16 +1,27 @@
 """Noise-aware comparison of two benchmark records.
 
-Two policies, chosen per metric:
+Four policies, chosen per metric:
 
-* **exact** — page-read counts and index sizes are fully deterministic
-  given the dataset seed, so *any* increase is a regression and any
-  decrease an improvement; there is no tolerance to hide behind.
-* **relative tolerance** — wall times are noisy even after the
-  recorder's median-of-k smoothing, so they compare under a relative
-  tolerance (default ±25 %) and, by default, do not gate: a timing
-  verdict outside the tolerance is reported as improved/regressed but
-  only fails the comparison when the caller opts in (``gate_time``),
-  because CI machines differ from the baseline recorder's machine.
+* **exact** — fully deterministic quantities (page-read counts, index
+  sizes, the load generator's request counts and workload mix), so
+  *any* increase is a regression and any decrease an improvement; there
+  is no tolerance to hide behind.
+* **time** — wall times are noisy even after the recorder's median-of-k
+  smoothing, so they compare under a relative tolerance (default ±25 %)
+  and, by default, do not gate: a timing verdict outside the tolerance
+  is reported as improved/regressed but only fails the comparison when
+  the caller opts in (``gate_time``), because CI machines differ from
+  the baseline recorder's machine.
+* **rate** — like ``time`` but higher is better (throughput, cache hit
+  rate): a drop beyond the tolerance is the regression.
+* **info** — recorded for history only; the comparator skips it.
+* **pin** — directionless deterministic quantities (request counts, a
+  workload mix, a seed): *any* difference from the baseline is a gated
+  mismatch — there is no "improved" direction to escape through.
+
+Which metric gets which policy comes from the *record* (schema v2's
+``metric_policies``, declared by the suite that wrote it), falling back
+to the classic defaults for the page-count and wall-time metric names.
 
 The result is a structured verdict per (configuration, method, metric),
 an overall pass/fail, and renderers for terminals and CI logs.
@@ -23,8 +34,14 @@ from typing import Optional
 
 from repro.bench.record import (
     DETERMINISTIC_METRICS,
+    POLICY_EXACT,
+    POLICY_INFO,
+    POLICY_PIN,
+    POLICY_RATE,
+    POLICY_TIME,
     TIMING_METRICS,
     BenchRecord,
+    default_metric_policies,
 )
 
 #: Default relative tolerance for wall-time metrics.
@@ -155,6 +172,29 @@ class ComparisonReport:
         }
 
 
+def resolve_policies(baseline: BenchRecord, current: BenchRecord) -> dict[str, str]:
+    """The metric -> policy map governing one comparison.
+
+    Classic defaults first, then the current record's declarations, then
+    the baseline's — the committed baseline is the contract under test,
+    so its view of a metric wins a disagreement.
+    """
+    policies = default_metric_policies()
+    policies.update(current.metric_policies)
+    policies.update(baseline.metric_policies)
+    return policies
+
+
+def _metric_order(policies: dict[str, str], base: dict, cur: dict) -> list[str]:
+    """Stable comparison order: the classic metrics first (in their
+    historical order), then any suite-declared extras alphabetically."""
+    classic = [*DETERMINISTIC_METRICS, *TIMING_METRICS]
+    present = set(base) | set(cur)
+    ordered = [m for m in classic if m in policies and m in present]
+    extras = sorted(m for m in present if m in policies and m not in classic)
+    return ordered + extras
+
+
 def _timing_comparable(baseline_env: dict, current_env: dict) -> str:
     """A note when wall times were recorded on observably different
     environments (platform or Python build)."""
@@ -195,6 +235,7 @@ def compare_records(
         current_env=dict(current.environment),
     )
     env_note = _timing_comparable(baseline.environment, current.environment)
+    policies = resolve_policies(baseline, current)
 
     base_entries = baseline.by_key()
     cur_entries = current.by_key()
@@ -213,33 +254,41 @@ def compare_records(
                 )
             )
             continue
-        # Deterministic metrics: exact-match policy, gating.
-        for metric in DETERMINISTIC_METRICS:
+        for metric in _metric_order(policies, base.metrics, cur.metrics):
+            policy = policies[metric]
+            if policy == POLICY_INFO:
+                continue
             b, c = base.metrics.get(metric), cur.metrics.get(metric)
             if b is None or c is None:
                 continue
-            if c == b:
-                status = UNCHANGED
-            elif c < b:
-                status = IMPROVED
-            else:
-                status = REGRESSED
-            report.verdicts.append(
-                Verdict(
-                    config=config,
-                    method=method,
-                    metric=metric,
-                    status=status,
-                    baseline=b,
-                    current=c,
+            if policy in (POLICY_EXACT, POLICY_PIN):
+                # Deterministic: exact-match policy, gating.  Pinned
+                # metrics have no "better" direction, so any difference
+                # is a gated mismatch.
+                if c == b:
+                    status = UNCHANGED
+                elif policy == POLICY_PIN:
+                    status = REGRESSED
+                elif c < b:
+                    status = IMPROVED
+                else:
+                    status = REGRESSED
+                report.verdicts.append(
+                    Verdict(
+                        config=config,
+                        method=method,
+                        metric=metric,
+                        status=status,
+                        baseline=b,
+                        current=c,
+                        note="pinned" if policy == POLICY_PIN and c != b else "",
+                    )
                 )
-            )
-        # Timing metrics: relative tolerance, advisory unless opted in.
-        for metric in TIMING_METRICS:
-            b, c = base.metrics.get(metric), cur.metrics.get(metric)
-            if b is None or c is None:
                 continue
+            # time / rate: relative tolerance, advisory unless opted in.
             rel = (c - b) / b if b else 0.0
+            if policy == POLICY_RATE:
+                rel = -rel  # higher is better: a drop reads as a rise
             if abs(rel) <= time_tolerance:
                 status = UNCHANGED
             elif rel < 0:

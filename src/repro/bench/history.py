@@ -15,15 +15,35 @@ import json
 from pathlib import Path
 from typing import Optional, Sequence, Union
 
-from repro.bench.record import BenchRecord
+from repro.bench.record import POLICY_INFO, BenchRecord
 
 #: Default history location, relative to the repo root.
 DEFAULT_HISTORY_PATH = Path("benchmarks") / "history.jsonl"
 
-#: Metrics tracked in history rows (per-method totals across configs).
+#: Metrics tracked in history rows (per-method totals across configs)
+#: for records without their own metric-policy declaration.
 HISTORY_METRICS = ("io_total", "index_reads", "data_reads", "elapsed_s")
 
 _SPARK_CHARS = "▁▂▃▄▅▆▇█"
+
+
+def _tracked_metrics(record: BenchRecord) -> tuple[str, ...]:
+    """Which metrics a record's history row carries.
+
+    Records that declare schema-v2 metric policies (e.g. the ``loadgen``
+    suite, whose quantities are request counts and SLO rates, not page
+    reads) track every non-``info`` metric they declared; classic
+    records track the page-count/wall-time set.
+    """
+    if record.metric_policies:
+        return tuple(
+            sorted(
+                metric
+                for metric, policy in record.metric_policies.items()
+                if policy != POLICY_INFO
+            )
+        )
+    return HISTORY_METRICS
 
 
 def history_row(record: BenchRecord) -> dict:
@@ -38,7 +58,7 @@ def history_row(record: BenchRecord) -> dict:
         "methods": {
             method: {
                 metric: record.totals(metric).get(method, 0.0)
-                for metric in HISTORY_METRICS
+                for metric in _tracked_metrics(record)
             }
             for method in record.methods()
         },

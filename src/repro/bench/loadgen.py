@@ -1,0 +1,186 @@
+"""The ``loadgen`` benchmark suite: SLOs under generated load.
+
+One ephemeral service instance (the same micro dataset as the
+``service`` suite), two drives from :mod:`repro.loadgen` — a closed
+loop (fixed client count, back-to-back requests) and an open loop
+(Poisson arrivals at a target qps) — each with the default skewed
+select/evaluate/update mix.  One :class:`~repro.bench.record.BenchEntry`
+per mode, with schema-v2 metric policies splitting the record into:
+
+* **pinned** (gated, any drift fails) — the planned request counts and
+  workload mix: ``requests``, ``warmup_requests``, per-op counts,
+  per-method select counts, the plan ``seed`` and ``zipf_alpha``.  The
+  schedule is a pure function of ``(config, seed)`` and the runner
+  enforces plan fidelity, so these are exactly reproducible — a
+  mismatch means the generator's determinism contract broke;
+* **time** (tolerance-compared, advisory) — ``p50_s`` / ``p99_s`` /
+  ``p999_s`` request latency percentiles;
+* **rate** (tolerance-compared, advisory, higher is better) —
+  realised ``qps`` and the client-observed ``cache_hit_rate``;
+* **info** (history only) — pushback accounting: queue-full and
+  deadline-miss rates, recovered retries, run duration, the server's
+  own cache hit rate.
+
+Two behaviours are *enforced* while recording, not just recorded: every
+planned request must produce exactly one outcome (plan fidelity), and
+the drive must complete with **zero protocol errors** — pushback
+(``queue_full``, ``deadline_exceeded``) is legitimate under load, a
+``bad_request``/``internal``/``connection`` error is a bug and the
+recorder raises rather than writing a plausible-looking record.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Optional, Sequence
+
+from repro.bench.record import (
+    POLICY_INFO,
+    POLICY_PIN,
+    POLICY_RATE,
+    POLICY_TIME,
+    BenchEntry,
+    BenchRecord,
+    environment_fingerprint,
+)
+from repro.experiments.config import ExperimentConfig
+from repro.loadgen.config import LoadgenConfig
+
+#: The served dataset: the ``service`` suite's micro sizing — the SLOs
+#: being measured (admission, batching, caching, wire overhead) do not
+#: grow with the dataset, and the planned mix gates at any size.
+LOADGEN_DATASET = ExperimentConfig(n_c=2_000, n_f=100, n_p=100)
+
+#: Closed loop: 4 clients x (5 warmup + 25 measured) requests.
+LOADGEN_CLOSED = LoadgenConfig(mode="closed", timeout_s=10.0)
+
+#: Open loop: 150 qps Poisson arrivals, 0.4s ramp + 0.4s warmup +
+#: 1.2s measured window.
+LOADGEN_OPEN = LoadgenConfig(mode="open", timeout_s=10.0)
+
+#: The drives recorded per suite execution, in record order.
+LOADGEN_MODES = (LOADGEN_CLOSED, LOADGEN_OPEN)
+
+
+def loadgen_metric_policies(
+    methods: Sequence[str] = LOADGEN_CLOSED.methods,
+) -> dict[str, str]:
+    """The suite's schema-v2 metric -> policy declaration."""
+    policies = {
+        "requests": POLICY_PIN,
+        "warmup_requests": POLICY_PIN,
+        "selects": POLICY_PIN,
+        "evaluates": POLICY_PIN,
+        "updates": POLICY_PIN,
+        "seed": POLICY_PIN,
+        "zipf_alpha": POLICY_PIN,
+        "p50_s": POLICY_TIME,
+        "p99_s": POLICY_TIME,
+        "p999_s": POLICY_TIME,
+        "qps": POLICY_RATE,
+        "cache_hit_rate": POLICY_RATE,
+        "queue_full_rate": POLICY_INFO,
+        "deadline_miss_rate": POLICY_INFO,
+        "queue_full_retries": POLICY_INFO,
+        "completed_ok": POLICY_INFO,
+        "duration_s": POLICY_INFO,
+        "server_cache_hit_rate": POLICY_INFO,
+    }
+    for method in methods:
+        policies[f"selects_{method}"] = POLICY_PIN
+    return policies
+
+
+def loadgen_entry(config: LoadgenConfig, result) -> BenchEntry:
+    """One mode's drive as a bench entry (see the module docstring for
+    which metrics gate)."""
+    stats = result.stats
+    metrics = {
+        "requests": float(stats.requests),
+        "warmup_requests": float(stats.warmup_requests),
+        "selects": float(stats.selects),
+        "evaluates": float(stats.evaluates),
+        "updates": float(stats.updates),
+        "seed": float(config.seed),
+        "zipf_alpha": float(config.zipf_alpha),
+        "p50_s": stats.latency.p50_s,
+        "p99_s": stats.latency.p99_s,
+        "p999_s": stats.latency.p999_s,
+        "qps": stats.throughput_qps,
+        "cache_hit_rate": stats.cache_hit_rate,
+        "queue_full_rate": stats.queue_full_rate,
+        "deadline_miss_rate": stats.deadline_miss_rate,
+        "queue_full_retries": float(stats.queue_full_retries),
+        "completed_ok": float(stats.completed_ok),
+        "duration_s": stats.duration_s,
+    }
+    for method in config.methods:
+        metrics[f"selects_{method}"] = float(
+            result.planned["selects_by_method"].get(method, 0)
+        )
+    server_rate = result.server_cache_hit_rate()
+    if server_rate is not None:
+        metrics["server_cache_hit_rate"] = server_rate
+    return BenchEntry(
+        config=config.label(),
+        method=config.mode,
+        x=None,
+        metrics=metrics,
+        elapsed_samples=[stats.duration_s],
+    )
+
+
+def run_loadgen_suite(
+    repeats: int = 1,
+    methods: Optional[Sequence[str]] = None,
+    progress: Optional[Callable[[str], None]] = None,
+    workers: Optional[int] = None,
+) -> BenchRecord:
+    """Record one execution of the ``loadgen`` suite.
+
+    One drive already contains a hundred-plus latency samples per mode,
+    so ``repeats`` is accepted for runner-protocol compatibility and
+    recorded, but each mode is driven once.  ``workers`` sets the
+    service's engine worker count (default 2).  Raises on any plan-
+    fidelity or protocol-error violation (see module docstring).
+    """
+    from repro.loadgen.runner import run_loadgen, self_hosted
+
+    if repeats < 1:
+        raise ValueError("repeats must be >= 1")
+    configs = LOADGEN_MODES
+    if methods is not None:
+        configs = tuple(c.with_methods(methods) for c in configs)
+
+    record = BenchRecord(
+        suite="loadgen",
+        repeats=repeats,
+        environment=environment_fingerprint(dataset_seed=LOADGEN_DATASET.seed),
+        metric_policies=loadgen_metric_policies(configs[0].methods),
+    )
+    dataset = LOADGEN_DATASET
+    with self_hosted(
+        n_c=dataset.n_c,
+        n_f=dataset.n_f,
+        n_p=dataset.n_p,
+        seed=dataset.seed,
+        workers=workers if workers is not None else 2,
+    ) as handle:
+        for config in configs:
+            if progress is not None:
+                progress(f"driving {config.label()} ...")
+            result = run_loadgen(config, handle.host, handle.port)
+            if not result.plan_fidelity:
+                raise AssertionError(
+                    f"{config.mode}: planned "
+                    f"{result.planned['requests'] + result.planned['warmup_requests']}"
+                    f" requests but issued {result.issued} — the runner "
+                    "dropped or duplicated work"
+                )
+            if result.stats.protocol_errors:
+                raise AssertionError(
+                    f"{config.mode}: {result.stats.protocol_errors} protocol "
+                    f"error(s) during the drive ({result.stats.errors}) — "
+                    "pushback is legitimate, protocol errors are bugs"
+                )
+            record.entries.append(loadgen_entry(config, result))
+    return record

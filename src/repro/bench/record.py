@@ -10,6 +10,17 @@ two records comparable (or explains why they are not).
 The schema is versioned.  Readers refuse records from a *newer* schema
 than they understand; older versions are migrated forward here when the
 schema evolves, so committed baselines never go unreadable.
+
+Schema version 2 added **metric policies**: a record may declare, per
+metric name, how the comparator must treat it — ``exact`` (fully
+deterministic, any increase gates), ``time`` (lower is better, relative
+tolerance, advisory unless time-gating is requested), ``rate`` (higher
+is better, same tolerance/advisory treatment) or ``info`` (recorded but
+never compared).  Suites whose deterministic quantities are *not* page
+counts (the ``loadgen`` suite gates request counts and workload mix)
+declare them here instead of stretching the page-read metric list.
+Version-1 records migrate forward with an empty policy map, which
+leaves the classic defaults below in charge.
 """
 
 from __future__ import annotations
@@ -28,7 +39,7 @@ from repro.storage.records import PAGE_SIZE
 
 #: Bump on any backward-incompatible change to the JSON layout; add a
 #: migration in :func:`_migrate` alongside.
-SCHEMA_VERSION = 1
+SCHEMA_VERSION = 2
 
 #: Metrics whose values are fully determined by the dataset seed.  The
 #: comparator holds these to an exact-match policy; everything else
@@ -37,6 +48,31 @@ DETERMINISTIC_METRICS = ("io_total", "index_reads", "data_reads", "index_pages")
 
 #: Wall-time metrics (noise-aware comparison).
 TIMING_METRICS = ("elapsed_s",)
+
+# -- metric policies (schema v2) ---------------------------------------
+#: Deterministic: any increase is a gated regression, any decrease an
+#: improvement; no tolerance.
+POLICY_EXACT = "exact"
+#: Lower is better; relative tolerance; advisory unless time-gating.
+POLICY_TIME = "time"
+#: Higher is better; relative tolerance; advisory unless time-gating.
+POLICY_RATE = "rate"
+#: Recorded for history/reporting only; the comparator skips it.
+POLICY_INFO = "info"
+#: Pinned: *any* difference from the baseline is a gated mismatch.
+#: For quantities with no better/worse direction — request counts, a
+#: workload mix, a seed — where drift in either direction means the
+#: deterministic contract broke.
+POLICY_PIN = "pin"
+
+POLICIES = (POLICY_EXACT, POLICY_TIME, POLICY_RATE, POLICY_INFO, POLICY_PIN)
+
+
+def default_metric_policies() -> dict[str, str]:
+    """The classic pre-v2 policy assignment (page counts + wall time)."""
+    policies = {metric: POLICY_EXACT for metric in DETERMINISTIC_METRICS}
+    policies.update({metric: POLICY_TIME for metric in TIMING_METRICS})
+    return policies
 
 
 def git_sha(short: bool = True) -> str:
@@ -143,6 +179,9 @@ class BenchRecord:
     environment: dict = field(default_factory=dict)
     entries: list[BenchEntry] = field(default_factory=list)
     schema_version: int = SCHEMA_VERSION
+    #: Per-metric comparator policy overrides (see ``POLICY_*``).  Empty
+    #: means the classic defaults: page counts exact, wall times timed.
+    metric_policies: dict[str, str] = field(default_factory=dict)
 
     def by_key(self) -> dict[tuple[str, str], BenchEntry]:
         return {entry.key: entry for entry in self.entries}
@@ -171,6 +210,7 @@ class BenchRecord:
             "suite": self.suite,
             "repeats": self.repeats,
             "environment": self.environment,
+            "metric_policies": self.metric_policies,
             "entries": [entry.to_dict() for entry in self.entries],
         }
 
@@ -191,12 +231,22 @@ class BenchRecord:
                 f"unsupported benchmark schema version {version!r} "
                 f"(this build reads version {SCHEMA_VERSION})"
             )
+        policies = dict(data.get("metric_policies", {}))
+        unknown = sorted(
+            policy for policy in set(policies.values()) if policy not in POLICIES
+        )
+        if unknown:
+            raise ValueError(
+                f"unknown metric policy {', '.join(map(repr, unknown))}; "
+                f"expected one of {', '.join(POLICIES)}"
+            )
         return cls(
             suite=data["suite"],
             repeats=int(data.get("repeats", 1)),
             environment=dict(data.get("environment", {})),
             entries=[BenchEntry.from_dict(e) for e in data.get("entries", [])],
             schema_version=version,
+            metric_policies=policies,
         )
 
     @classmethod
@@ -211,7 +261,15 @@ class BenchRecord:
 def _migrate(data: dict) -> dict:
     """Migrate an older schema's dict forward to :data:`SCHEMA_VERSION`.
 
-    Version 1 is the first schema, so this is currently the identity;
-    future versions chain their upgrades here (1 -> 2 -> ...).
+    Upgrades chain (1 -> 2 -> ...), so a committed baseline written by
+    any earlier build stays readable forever.
     """
+    if data.get("schema_version") == 1:
+        # v1 -> v2: records gained an explicit metric-policy map.  An
+        # empty map keeps the classic defaults (page counts exact, wall
+        # times tolerance-compared) in force, which is exactly what v1
+        # records meant implicitly.
+        data = dict(data)
+        data["schema_version"] = 2
+        data.setdefault("metric_policies", {})
     return data

@@ -82,6 +82,7 @@ def _sweep_suite(
 
 def _builtin_suites() -> dict[str, Suite]:
     from repro.bench.kernels import KERNELS_CONFIGS, run_kernels_suite
+    from repro.bench.loadgen import LOADGEN_DATASET, run_loadgen_suite
     from repro.bench.parallel import PARALLEL_CONFIG, run_parallel_suite
     from repro.bench.service import SERVICE_CONFIG, run_service_suite
 
@@ -94,6 +95,14 @@ def _builtin_suites() -> dict[str, Suite]:
                 (float(config.n_c), config) for config in KERNELS_CONFIGS
             ),
             runner=run_kernels_suite,
+        ),
+        "loadgen": Suite(
+            name="loadgen",
+            description="load generator vs the query service: closed + "
+            "open loop SLOs, plan fidelity and zero protocol "
+            "errors enforced",
+            configs=((None, LOADGEN_DATASET),),
+            runner=run_loadgen_suite,
         ),
         "parallel": Suite(
             name="parallel",

@@ -19,6 +19,8 @@ Subcommands::
     mindist serve    --random 10000 500 500 --port 7733
     mindist call     select --method MND --port 7733
     mindist call     stats --port 7733
+    mindist loadgen  --mode both --report slo.md
+    mindist loadgen  --host 127.0.0.1 --port 7733 --mode open --qps 300
 
 ``query`` answers one min-dist location selection query; ``compare``
 runs all four methods side by side; ``profile`` runs a query under the
@@ -31,8 +33,10 @@ application simulators; ``reproduce`` regenerates the *entire*
 evaluation (tables, CSVs and SVG figures) in one call; ``bench``
 records named benchmark suites, gates against committed baselines and
 renders the performance trajectory (see :mod:`repro.bench`); ``serve``
-runs the long-lived async query service and ``call`` issues one
-request against it (see :mod:`repro.service`).
+runs the long-lived async query service, ``call`` issues one
+request against it (see :mod:`repro.service`) and ``loadgen`` drives it
+with deterministic skewed traffic and reports SLOs (see
+:mod:`repro.loadgen`).
 """
 
 from __future__ import annotations
@@ -386,9 +390,15 @@ def _cmd_bench_run(args: argparse.Namespace) -> int:
     if not args.no_history:
         path = append_history(record, args.history)
         print(f"appended to {path}")
-    for method, total in sorted(record.totals("io_total").items()):
-        elapsed = record.totals("elapsed_s").get(method, 0.0)
-        print(f"  {method:>4}  io={int(total):>7}  elapsed={elapsed:.3f}s")
+    io_totals = record.totals("io_total")
+    if any(io_totals.values()):
+        for method, total in sorted(io_totals.items()):
+            elapsed = record.totals("elapsed_s").get(method, 0.0)
+            print(f"  {method:>4}  io={int(total):>7}  elapsed={elapsed:.3f}s")
+    else:  # SLO-style suites (loadgen) have no page reads to sum
+        for method, qps in sorted(record.totals("qps").items()):
+            p99 = record.totals("p99_s").get(method, 0.0)
+            print(f"  {method:>6}  qps={qps:>7.1f}  p99={p99 * 1000:.1f}ms")
     return 0
 
 
@@ -509,13 +519,12 @@ def _cmd_serve(args: argparse.Namespace) -> int:
 def _cmd_call(args: argparse.Namespace) -> int:
     import json as _json
 
-    from repro.service import ServiceClient, ServiceError
+    from repro.service import ClientConnectionError, ServiceClient, ServiceError
 
     try:
         client = ServiceClient(args.host, args.port)
-    except OSError as exc:
-        print(f"error: cannot connect to {args.host}:{args.port}: {exc}",
-              file=sys.stderr)
+    except ClientConnectionError as exc:
+        print(f"error [{exc.code}]: {exc}", file=sys.stderr)
         return 2
     try:
         with client:
@@ -569,13 +578,294 @@ def _cmd_call(args: argparse.Namespace) -> int:
                     client.stats() if args.operation == "stats" else client.health()
                 )
                 print(_json.dumps(payload, indent=2, sort_keys=True))
+    except ClientConnectionError as exc:
+        # Mid-request transport death (reset, EOF): distinct exit code
+        # from a server-reported error, still no raw traceback.
+        print(f"error [{exc.code}]: {exc}", file=sys.stderr)
+        return 2
     except ServiceError as exc:
         print(f"error [{exc.code}]: {exc}", file=sys.stderr)
         return 1
-    except (OSError, ConnectionError) as exc:
-        print(f"error: connection failed: {exc}", file=sys.stderr)
-        return 2
     return 0
+
+
+def _cmd_loadgen(args: argparse.Namespace) -> int:
+    import json as _json
+    from contextlib import nullcontext
+
+    from repro.bench.loadgen import (
+        LOADGEN_CLOSED,
+        LOADGEN_DATASET,
+        loadgen_entry,
+        loadgen_metric_policies,
+    )
+    from repro.bench.record import BenchRecord, environment_fingerprint
+    from repro.loadgen import (
+        LoadgenConfig,
+        RetryPolicy,
+        SLOPolicy,
+        render_slo_report,
+        run_loadgen,
+        self_hosted,
+    )
+    from repro.service import ClientConnectionError, ServiceError
+
+    try:
+        select_f, evaluate_f, update_f = (float(v) for v in args.mix.split(","))
+    except ValueError:
+        print(f"error: --mix must be three floats, not {args.mix!r}",
+              file=sys.stderr)
+        return 2
+    shared = dict(
+        clients=args.clients,
+        requests_per_client=args.requests,
+        warmup_requests=args.warmup,
+        qps=args.qps,
+        measure_s=args.measure,
+        warmup_s=args.open_warmup,
+        ramp_s=args.ramp,
+        max_inflight=args.max_inflight,
+        methods=tuple(args.methods.split(","))
+        if args.methods
+        else LOADGEN_CLOSED.methods,
+        select_fraction=select_f,
+        evaluate_fraction=evaluate_f,
+        update_fraction=update_f,
+        zipf_alpha=args.alpha,
+        evaluate_keys=args.evaluate_keys,
+        timeout_s=args.timeout if args.timeout > 0 else None,
+        workspace=args.workspace,
+        retry=RetryPolicy(max_retries=args.max_retries),
+        seed=args.plan_seed,
+    )
+    modes = ["closed", "open"] if args.mode == "both" else [args.mode]
+    try:
+        configs = [LoadgenConfig(mode=mode, **shared) for mode in modes]
+    except ValueError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+
+    policy = SLOPolicy(
+        max_queue_full_rate=args.max_queue_full,
+        max_deadline_miss_rate=args.max_deadline_miss,
+        p99_target_s=args.p99 if args.p99 > 0 else None,
+        min_cache_hit_rate=args.min_cache_hit
+        if args.min_cache_hit > 0
+        else None,
+    )
+
+    if args.host is not None:
+        server = nullcontext()
+        host, port = args.host, args.port
+    else:
+        sizes = args.random or (
+            LOADGEN_DATASET.n_c,
+            LOADGEN_DATASET.n_f,
+            LOADGEN_DATASET.n_p,
+        )
+        server = self_hosted(
+            n_c=sizes[0],
+            n_f=sizes[1],
+            n_p=sizes[2],
+            seed=args.seed,
+            workspace=args.workspace,
+        )
+
+    drives: list[tuple[LoadgenConfig, object]] = []
+    try:
+        with server as handle:
+            if handle is not None:
+                host, port = handle.host, handle.port
+                print(f"self-hosting on {host}:{port}", file=sys.stderr)
+            for config in configs:
+                print(f"driving {config.label()} ...", file=sys.stderr)
+                drives.append((config, run_loadgen(config, host, port)))
+    except ClientConnectionError as exc:
+        print(f"error [{exc.code}]: {exc}", file=sys.stderr)
+        return 2
+    except (ServiceError, ValueError) as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+
+    status = 0
+    reports = []
+    for config, result in drives:
+        stats = result.stats
+        checks = policy.evaluate(stats)
+        reports.append(
+            render_slo_report(
+                config,
+                stats,
+                checks,
+                server_cache_hit_rate=result.server_cache_hit_rate(),
+                title=f"Load-generator SLO report — {config.mode} loop",
+            )
+        )
+        print(
+            f"{config.mode}: {stats.requests} measured "
+            f"(+{stats.warmup_requests} warmup), "
+            f"{stats.throughput_qps:.1f} req/s, "
+            f"p50 {stats.latency.p50_s * 1000:.1f}ms, "
+            f"p99 {stats.latency.p99_s * 1000:.1f}ms, "
+            f"cache hit rate {stats.cache_hit_rate:.2f}, "
+            f"queue-full rate {stats.queue_full_rate:.3f}"
+        )
+        if not result.plan_fidelity:
+            print(f"{config.mode}: FAIL plan fidelity "
+                  f"(issued {result.issued})", file=sys.stderr)
+            status = 1
+        for check in checks:
+            if not check.ok:
+                print(f"{config.mode}: FAIL {check.format()}", file=sys.stderr)
+                status = 1
+
+    if args.report:
+        with open(args.report, "w", encoding="utf-8") as stream:
+            stream.write("\n".join(reports))
+        print(f"wrote {args.report}")
+    if args.json:
+        payload = {config.mode: result.to_dict() for config, result in drives}
+        with open(args.json, "w", encoding="utf-8") as stream:
+            _json.dump(payload, stream, indent=2, sort_keys=True)
+            stream.write("\n")
+        print(f"wrote {args.json}")
+    if args.bench_out:
+        record = BenchRecord(
+            suite="loadgen",
+            repeats=1,
+            environment=environment_fingerprint(dataset_seed=args.seed),
+            metric_policies=loadgen_metric_policies(configs[0].methods),
+            entries=[
+                loadgen_entry(config, result) for config, result in drives
+            ],
+        )
+        record.write(args.bench_out)
+        print(f"wrote {args.bench_out} ({len(record.entries)} entries)")
+    return status
+
+
+def _add_loadgen_parser(sub: argparse._SubParsersAction) -> None:
+    p = sub.add_parser(
+        "loadgen",
+        help="drive a query service with deterministic skewed load and "
+        "report SLOs",
+    )
+    target = p.add_argument_group("target (default: self-host the bench "
+                                  "suite's dataset in-process)")
+    target.add_argument("--host", help="drive a live service at this address")
+    target.add_argument("--port", type=int, default=7733)
+    target.add_argument(
+        "--random",
+        nargs=3,
+        type=int,
+        metavar=("N_C", "N_F", "N_P"),
+        help="self-host a random instance of these sizes",
+    )
+    target.add_argument(
+        "--seed", type=int, default=20120401, help="self-hosted dataset seed"
+    )
+    shape = p.add_argument_group("load shape (defaults = the loadgen bench "
+                                 "suite, so a default run gates exactly)")
+    shape.add_argument(
+        "--mode", default="both", choices=["closed", "open", "both"]
+    )
+    shape.add_argument(
+        "--clients", type=int, default=4, help="closed loop: client threads"
+    )
+    shape.add_argument(
+        "--requests",
+        type=int,
+        default=25,
+        help="closed loop: measured requests per client",
+    )
+    shape.add_argument(
+        "--warmup",
+        type=int,
+        default=5,
+        help="closed loop: unmeasured leading requests per client",
+    )
+    shape.add_argument(
+        "--qps", type=float, default=150.0, help="open loop: target arrival rate"
+    )
+    shape.add_argument(
+        "--measure",
+        type=float,
+        default=1.2,
+        help="open loop: measured window seconds",
+    )
+    shape.add_argument(
+        "--open-warmup",
+        type=float,
+        default=0.4,
+        help="open loop: full-rate unmeasured seconds before measuring",
+    )
+    shape.add_argument(
+        "--ramp",
+        type=float,
+        default=0.4,
+        help="open loop: linear 0->qps ramp seconds",
+    )
+    shape.add_argument(
+        "--max-inflight",
+        type=int,
+        default=32,
+        help="open loop: concurrent in-flight bound",
+    )
+    shape.add_argument("--methods", help="comma-separated select methods, "
+                       "hottest first (Zipf rank order)")
+    shape.add_argument(
+        "--mix",
+        default="0.8,0.1,0.1",
+        help="select,evaluate,update fractions (sum to 1)",
+    )
+    shape.add_argument(
+        "--alpha", type=float, default=0.9, help="Zipf skew exponent"
+    )
+    shape.add_argument(
+        "--evaluate-keys",
+        type=int,
+        default=64,
+        help="Zipf keyspace size for evaluate candidate ids",
+    )
+    shape.add_argument(
+        "--timeout",
+        type=float,
+        default=10.0,
+        help="per-request deadline seconds (0 = server default)",
+    )
+    shape.add_argument(
+        "--max-retries",
+        type=int,
+        default=3,
+        help="bounded retries on queue_full pushback",
+    )
+    shape.add_argument("--workspace", default="default")
+    shape.add_argument(
+        "--plan-seed",
+        type=int,
+        default=20120401,
+        help="seeds arrivals, mix and key skew (the deterministic plan)",
+    )
+    slo = p.add_argument_group("SLO policy (protocol errors always gate at 0)")
+    slo.add_argument("--max-queue-full", type=float, default=0.05)
+    slo.add_argument("--max-deadline-miss", type=float, default=0.05)
+    slo.add_argument(
+        "--p99", type=float, default=0.0, help="p99 latency target seconds "
+        "(0 = unchecked)"
+    )
+    slo.add_argument(
+        "--min-cache-hit", type=float, default=0.0, help="minimum cache hit "
+        "rate (0 = unchecked)"
+    )
+    out = p.add_argument_group("outputs")
+    out.add_argument("--report", help="write the markdown SLO report here")
+    out.add_argument("--json", help="write the full result dict here")
+    out.add_argument(
+        "--bench-out",
+        help="write a loadgen BenchRecord here (comparable against "
+        "BENCH_loadgen.json with `mindist bench compare`)",
+    )
+    p.set_defaults(func=_cmd_loadgen)
 
 
 def _add_service_parsers(sub: argparse._SubParsersAction) -> None:
@@ -842,6 +1132,7 @@ def build_parser() -> argparse.ArgumentParser:
 
     _add_bench_parser(sub)
     _add_service_parsers(sub)
+    _add_loadgen_parser(sub)
     return parser
 
 

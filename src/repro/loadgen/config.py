@@ -1,0 +1,181 @@
+"""Load-generator configuration.
+
+One :class:`LoadgenConfig` describes a complete traffic experiment:
+the loop discipline (open vs. closed), the workload shape (operation
+mix, Zipf key skew, per-request deadlines), the phase structure
+(ramp / warmup / measure) and the retry policy of the client loops.
+
+Everything the *schedule* derives from a config is a pure function of
+``(config, seed)`` — see :mod:`repro.loadgen.schedule` — which is what
+lets the bench gate hold request counts and mix to an exact-match
+policy while latency and throughput stay advisory.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field, replace
+from typing import Optional
+
+#: The two loop disciplines.
+MODE_OPEN = "open"
+MODE_CLOSED = "closed"
+MODES = (MODE_OPEN, MODE_CLOSED)
+
+#: Phase tags carried by every planned request.
+PHASE_WARMUP = "warmup"
+PHASE_MEASURE = "measure"
+
+#: The operations the generator can issue, in mix order.
+OPS = ("select", "evaluate", "update")
+
+
+@dataclass(frozen=True)
+class RetryPolicy:
+    """Bounded retries with capped exponential backoff on ``queue_full``.
+
+    Only explicit ``queue_full`` rejections are retried — they are the
+    server *asking* for backoff.  Deadline misses and protocol errors
+    are terminal: retrying a request whose answer nobody awaits just
+    adds load to an already-struggling server.
+    """
+
+    max_retries: int = 3
+    backoff_base_s: float = 0.01
+    backoff_cap_s: float = 0.25
+
+    def __post_init__(self) -> None:
+        if self.max_retries < 0:
+            raise ValueError("max_retries must be >= 0")
+        if self.backoff_base_s < 0 or self.backoff_cap_s < 0:
+            raise ValueError("backoff durations must be >= 0")
+
+    def backoff_s(self, attempt: int) -> float:
+        """Sleep before retry ``attempt`` (1-based): capped exponential."""
+        if attempt < 1:
+            raise ValueError("attempt is 1-based")
+        return min(self.backoff_cap_s, self.backoff_base_s * (2 ** (attempt - 1)))
+
+
+@dataclass(frozen=True)
+class LoadgenConfig:
+    """Tunables of one load-generation run."""
+
+    #: Loop discipline: ``"closed"`` (fixed client count, each issuing
+    #: back-to-back) or ``"open"`` (Poisson arrivals at a target qps,
+    #: arrivals independent of completions).
+    mode: str = MODE_CLOSED
+
+    # -- closed loop ---------------------------------------------------
+    #: Concurrent clients, one connection and thread each.
+    clients: int = 4
+    #: Measured requests per client.
+    requests_per_client: int = 25
+    #: Unmeasured leading requests per client (cache/pool warm-up).
+    warmup_requests: int = 5
+
+    # -- open loop -----------------------------------------------------
+    #: Target arrival rate during warmup and measure.
+    qps: float = 150.0
+    #: Measured window length.
+    measure_s: float = 1.2
+    #: Full-rate, unmeasured window before measurement.
+    warmup_s: float = 0.4
+    #: Linear 0 -> qps ramp before warmup (arrivals thinned).
+    ramp_s: float = 0.4
+    #: Concurrent in-flight requests the sender pool allows.
+    max_inflight: int = 32
+
+    # -- workload shape ------------------------------------------------
+    #: Select methods, *rank order for the Zipf skew*: index 0 is the
+    #: hottest key.
+    methods: tuple[str, ...] = ("MND", "NFC", "SS", "QVC")
+    #: Operation mix (fractions of all requests; must sum to 1).
+    select_fraction: float = 0.80
+    evaluate_fraction: float = 0.10
+    update_fraction: float = 0.10
+    #: Zipf skew exponent over cache-able keys (0 = uniform).
+    zipf_alpha: float = 0.9
+    #: Zipf keyspace size for ``evaluate`` candidate ids.
+    evaluate_keys: int = 64
+
+    # -- per request ---------------------------------------------------
+    #: Deadline sent with every request (None = server default).
+    timeout_s: Optional[float] = 5.0
+    #: Hosted workspace name to drive.
+    workspace: str = "default"
+
+    # -- client loops --------------------------------------------------
+    retry: RetryPolicy = field(default_factory=RetryPolicy)
+
+    # -- determinism ---------------------------------------------------
+    #: Seeds the arrival process, the op mix and the Zipf draws; two
+    #: runs with the same (config, seed) plan identical request streams.
+    seed: int = 20120401
+
+    def __post_init__(self) -> None:
+        if self.mode not in MODES:
+            raise ValueError(f"mode must be one of {MODES}, not {self.mode!r}")
+        if self.clients < 1:
+            raise ValueError("clients must be >= 1")
+        if self.requests_per_client < 1:
+            raise ValueError("requests_per_client must be >= 1")
+        if self.warmup_requests < 0:
+            raise ValueError("warmup_requests must be >= 0")
+        if self.qps <= 0:
+            raise ValueError("qps must be > 0")
+        if self.measure_s <= 0:
+            raise ValueError("measure_s must be > 0")
+        if self.warmup_s < 0 or self.ramp_s < 0:
+            raise ValueError("warmup_s and ramp_s must be >= 0")
+        if self.max_inflight < 1:
+            raise ValueError("max_inflight must be >= 1")
+        if not self.methods:
+            raise ValueError("at least one select method is required")
+        mix = (
+            self.select_fraction,
+            self.evaluate_fraction,
+            self.update_fraction,
+        )
+        if any(f < 0 for f in mix):
+            raise ValueError("mix fractions must be >= 0")
+        if abs(sum(mix) - 1.0) > 1e-9:
+            raise ValueError(
+                f"mix fractions must sum to 1 (got {sum(mix):g}); "
+                "pass e.g. select=0.8, evaluate=0.1, update=0.1"
+            )
+        if self.zipf_alpha < 0:
+            raise ValueError("zipf_alpha must be >= 0")
+        if self.evaluate_keys < 1:
+            raise ValueError("evaluate_keys must be >= 1")
+        if self.timeout_s is not None and self.timeout_s <= 0:
+            raise ValueError("timeout_s must be > 0 (or None)")
+
+    # ------------------------------------------------------------------
+    def with_methods(self, methods) -> "LoadgenConfig":
+        """The same config over a subset of select methods."""
+        return replace(self, methods=tuple(methods))
+
+    def mix(self) -> dict[str, float]:
+        return {
+            "select": self.select_fraction,
+            "evaluate": self.evaluate_fraction,
+            "update": self.update_fraction,
+        }
+
+    def label(self) -> str:
+        """A compact identity string (the bench entry's config label)."""
+        if self.mode == MODE_CLOSED:
+            shape = (
+                f"clients={self.clients},"
+                f"reqs={self.requests_per_client}+{self.warmup_requests}w"
+            )
+        else:
+            shape = (
+                f"qps={self.qps:g},measure={self.measure_s:g}s,"
+                f"warmup={self.warmup_s:g}s,ramp={self.ramp_s:g}s"
+            )
+        return (
+            f"{self.mode}({shape},a={self.zipf_alpha:g},"
+            f"mix={self.select_fraction:g}/{self.evaluate_fraction:g}"
+            f"/{self.update_fraction:g},seed={self.seed})"
+        )

@@ -1,0 +1,194 @@
+"""The client request loop: issue, retry, account.
+
+:func:`execute_request` is the socket-free core every worker thread
+runs per planned request.  It talks to the server through a minimal
+*transport* (anything with ``send(planned) -> TransportReply``), which
+is what lets the retry/backoff and error-accounting logic be tested
+deterministically with an injected fake — in the spirit of a
+thread-pooled downloader's per-item retry loop.
+
+Outcome accounting is **typed**: every failure carries the protocol's
+machine-readable error code (``queue_full``, ``deadline_exceeded``,
+``connection``, ...), so the aggregator can tell admission-control
+pushback (expected under overload, bounded by the retry policy) from
+protocol errors (always a bug, gated to zero in the smoke check).
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass
+from typing import Callable, Optional, Protocol
+
+from repro.service.protocol import (
+    DeadlineExceededError,
+    QueueFullError,
+    ServiceError,
+)
+from repro.loadgen.config import RetryPolicy
+from repro.loadgen.schedule import PlannedRequest
+
+
+@dataclass(frozen=True)
+class TransportReply:
+    """What the transport learned from one successful round trip."""
+
+    cached: bool = False
+    batch_size: Optional[int] = None
+    data_version: Optional[int] = None
+
+
+class Transport(Protocol):
+    """One connection's sending surface (see :class:`ServiceTransport`)."""
+
+    def send(self, planned: PlannedRequest) -> TransportReply: ...
+
+
+@dataclass
+class RequestOutcome:
+    """Everything the aggregator needs to know about one request."""
+
+    planned: PlannedRequest
+    ok: bool
+    cached: bool = False
+    error_code: Optional[str] = None
+    attempts: int = 1
+    queue_full_retries: int = 0
+    #: First attempt start -> final resolution (includes backoff sleeps).
+    latency_s: float = 0.0
+    #: The final attempt's round trip alone.
+    service_latency_s: float = 0.0
+    #: Run-relative clock stamps (for throughput windows).
+    started_at: float = 0.0
+    finished_at: float = 0.0
+
+    @property
+    def deadline_missed(self) -> bool:
+        return self.error_code == DeadlineExceededError.code
+
+    @property
+    def queue_full_failure(self) -> bool:
+        """Rejected by admission control even after bounded retries."""
+        return self.error_code == QueueFullError.code
+
+
+def execute_request(
+    planned: PlannedRequest,
+    transport: Transport,
+    retry: RetryPolicy,
+    clock: Callable[[], float] = time.perf_counter,
+    sleep: Callable[[float], None] = time.sleep,
+) -> RequestOutcome:
+    """Issue one planned request with bounded ``queue_full`` retries.
+
+    ``clock`` and ``sleep`` are injectable so tests can drive the loop
+    with a virtual clock and assert the exact backoff sequence.
+    """
+    started = clock()
+    attempts = 0
+    queue_full_retries = 0
+    while True:
+        attempts += 1
+        attempt_started = clock()
+        try:
+            reply = transport.send(planned)
+        except QueueFullError:
+            if attempts <= retry.max_retries:
+                queue_full_retries += 1
+                sleep(retry.backoff_s(attempts))
+                continue
+            finished = clock()
+            return RequestOutcome(
+                planned=planned,
+                ok=False,
+                error_code=QueueFullError.code,
+                attempts=attempts,
+                queue_full_retries=queue_full_retries,
+                latency_s=finished - started,
+                service_latency_s=finished - attempt_started,
+                started_at=started,
+                finished_at=finished,
+            )
+        except ServiceError as exc:
+            # Terminal: deadline misses and protocol errors are not
+            # retried (see RetryPolicy's docstring).
+            finished = clock()
+            return RequestOutcome(
+                planned=planned,
+                ok=False,
+                error_code=exc.code,
+                attempts=attempts,
+                queue_full_retries=queue_full_retries,
+                latency_s=finished - started,
+                service_latency_s=finished - attempt_started,
+                started_at=started,
+                finished_at=finished,
+            )
+        finished = clock()
+        return RequestOutcome(
+            planned=planned,
+            ok=True,
+            cached=reply.cached,
+            attempts=attempts,
+            queue_full_retries=queue_full_retries,
+            latency_s=finished - started,
+            service_latency_s=finished - attempt_started,
+            started_at=started,
+            finished_at=finished,
+        )
+
+
+class ServiceTransport:
+    """A :class:`~repro.service.client.ServiceClient` as a transport.
+
+    One transport per worker thread (the underlying client serialises
+    whole calls).  ``n_p`` is the served workspace's potential-location
+    count, scraped from ``stats`` before the run; evaluate keys are
+    taken modulo it so one plan drives any dataset size.
+    """
+
+    def __init__(
+        self,
+        host: str,
+        port: int,
+        workspace: str = "default",
+        timeout_s: Optional[float] = None,
+        n_p: int = 1,
+    ):
+        # Imported here so the socket-free core stays importable (and
+        # testable) without the service stack.
+        from repro.service.client import ServiceClient
+
+        self._client = ServiceClient(host, port)
+        self.workspace = workspace
+        self.timeout_s = timeout_s
+        self.n_p = max(1, int(n_p))
+
+    def send(self, planned: PlannedRequest) -> TransportReply:
+        params: dict = {"workspace": self.workspace}
+        if self.timeout_s is not None:
+            params["timeout_s"] = self.timeout_s
+        if planned.op == "select":
+            params["method"] = planned.method
+        elif planned.op == "evaluate":
+            assert planned.evaluate_key is not None
+            params["ids"] = [planned.evaluate_key % self.n_p]
+        else:  # update
+            assert planned.point is not None
+            params["action"] = "add_client"
+            params["point"] = list(planned.point)
+        response = self._client.call(planned.op, **params)
+        return TransportReply(
+            cached=bool(response.get("cached", False)),
+            batch_size=response.get("batch_size"),
+            data_version=response.get("data_version"),
+        )
+
+    def close(self) -> None:
+        self._client.close()
+
+    def __enter__(self) -> "ServiceTransport":
+        return self
+
+    def __exit__(self, *exc: object) -> None:
+        self.close()

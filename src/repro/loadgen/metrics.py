@@ -1,0 +1,331 @@
+"""SLO accounting: latency percentiles, rates, policy checks, report.
+
+The aggregator folds a run's :class:`~repro.loadgen.loop.RequestOutcome`
+stream into one :class:`LoadgenStats`: deterministic counts (gated by
+the bench suite), latency percentiles p50/p99/p999, realised
+throughput, and the three service-level rates — queue-full, deadline
+miss, protocol error — plus the client-observed cache hit rate.
+
+:class:`SLOPolicy` turns those into explicit pass/fail checks, and
+:func:`render_slo_report` renders the whole run as the markdown SLO
+report CI uploads.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Optional, Sequence
+
+from repro.loadgen.config import PHASE_MEASURE, LoadgenConfig
+from repro.loadgen.loop import RequestOutcome
+from repro.service.protocol import (
+    DeadlineExceededError,
+    QueueFullError,
+)
+
+#: Error codes that count as *pushback*, not protocol failures.
+PUSHBACK_CODES = (QueueFullError.code, DeadlineExceededError.code)
+
+
+def percentile(sorted_samples: Sequence[float], q: float) -> float:
+    """The ``q``-quantile (0..1) of pre-sorted samples (nearest-rank)."""
+    if not sorted_samples:
+        return 0.0
+    if not 0.0 <= q <= 1.0:
+        raise ValueError("q must be in [0, 1]")
+    rank = int(q * len(sorted_samples))
+    return sorted_samples[min(rank, len(sorted_samples) - 1)]
+
+
+@dataclass(frozen=True)
+class LatencyStats:
+    """Percentiles of one latency sample set (seconds)."""
+
+    count: int = 0
+    p50_s: float = 0.0
+    p99_s: float = 0.0
+    p999_s: float = 0.0
+    mean_s: float = 0.0
+    max_s: float = 0.0
+
+    @classmethod
+    def from_samples(cls, samples: Sequence[float]) -> "LatencyStats":
+        if not samples:
+            return cls()
+        ordered = sorted(samples)
+        return cls(
+            count=len(ordered),
+            p50_s=percentile(ordered, 0.50),
+            p99_s=percentile(ordered, 0.99),
+            p999_s=percentile(ordered, 0.999),
+            mean_s=sum(ordered) / len(ordered),
+            max_s=ordered[-1],
+        )
+
+    def to_dict(self) -> dict:
+        return {
+            "count": self.count,
+            "p50_s": self.p50_s,
+            "p99_s": self.p99_s,
+            "p999_s": self.p999_s,
+            "mean_s": self.mean_s,
+            "max_s": self.max_s,
+        }
+
+
+@dataclass
+class LoadgenStats:
+    """One run's measured-phase accounting."""
+
+    mode: str
+    requests: int = 0  # measured requests issued
+    completed_ok: int = 0
+    warmup_requests: int = 0
+    selects: int = 0
+    evaluates: int = 0
+    updates: int = 0
+    select_cache_hits: int = 0
+    queue_full_failures: int = 0  # rejected even after bounded retries
+    queue_full_retries: int = 0  # retried-and-recovered pushback events
+    deadline_misses: int = 0
+    errors: dict[str, int] = field(default_factory=dict)  # by error code
+    latency: LatencyStats = field(default_factory=LatencyStats)
+    #: First measured issue -> last measured completion, seconds.
+    duration_s: float = 0.0
+
+    # -- rates ---------------------------------------------------------
+    @property
+    def throughput_qps(self) -> float:
+        return self.requests / self.duration_s if self.duration_s > 0 else 0.0
+
+    @property
+    def queue_full_rate(self) -> float:
+        return self.queue_full_failures / self.requests if self.requests else 0.0
+
+    @property
+    def deadline_miss_rate(self) -> float:
+        return self.deadline_misses / self.requests if self.requests else 0.0
+
+    @property
+    def protocol_errors(self) -> int:
+        """Failures that are bugs, not pushback (bad_request, internal,
+        connection, ...)."""
+        return sum(
+            count
+            for code, count in self.errors.items()
+            if code not in PUSHBACK_CODES
+        )
+
+    @property
+    def protocol_error_rate(self) -> float:
+        return self.protocol_errors / self.requests if self.requests else 0.0
+
+    @property
+    def cache_hit_rate(self) -> float:
+        """Client-observed: fraction of measured selects answered from
+        the service's result cache."""
+        return self.select_cache_hits / self.selects if self.selects else 0.0
+
+    def to_dict(self) -> dict:
+        return {
+            "mode": self.mode,
+            "requests": self.requests,
+            "completed_ok": self.completed_ok,
+            "warmup_requests": self.warmup_requests,
+            "selects": self.selects,
+            "evaluates": self.evaluates,
+            "updates": self.updates,
+            "select_cache_hits": self.select_cache_hits,
+            "queue_full_failures": self.queue_full_failures,
+            "queue_full_retries": self.queue_full_retries,
+            "deadline_misses": self.deadline_misses,
+            "errors": dict(self.errors),
+            "latency": self.latency.to_dict(),
+            "duration_s": self.duration_s,
+            "throughput_qps": self.throughput_qps,
+            "queue_full_rate": self.queue_full_rate,
+            "deadline_miss_rate": self.deadline_miss_rate,
+            "protocol_errors": self.protocol_errors,
+            "cache_hit_rate": self.cache_hit_rate,
+        }
+
+
+def aggregate_outcomes(
+    outcomes: Sequence[RequestOutcome], mode: str
+) -> LoadgenStats:
+    """Fold a run's outcomes into one :class:`LoadgenStats`.
+
+    Only measure-phase outcomes enter the counts, rates and latency
+    percentiles; warmup outcomes contribute their volume alone.
+    """
+    stats = LoadgenStats(mode=mode)
+    samples: list[float] = []
+    first_issue: Optional[float] = None
+    last_finish: Optional[float] = None
+    for outcome in outcomes:
+        if outcome.planned.phase != PHASE_MEASURE:
+            stats.warmup_requests += 1
+            continue
+        stats.requests += 1
+        stats.queue_full_retries += outcome.queue_full_retries
+        op = outcome.planned.op
+        if op == "select":
+            stats.selects += 1
+            if outcome.ok and outcome.cached:
+                stats.select_cache_hits += 1
+        elif op == "evaluate":
+            stats.evaluates += 1
+        else:
+            stats.updates += 1
+        if outcome.ok:
+            stats.completed_ok += 1
+        else:
+            code = outcome.error_code or "internal"
+            stats.errors[code] = stats.errors.get(code, 0) + 1
+            if outcome.queue_full_failure:
+                stats.queue_full_failures += 1
+            if outcome.deadline_missed:
+                stats.deadline_misses += 1
+        samples.append(outcome.latency_s)
+        if first_issue is None or outcome.started_at < first_issue:
+            first_issue = outcome.started_at
+        if last_finish is None or outcome.finished_at > last_finish:
+            last_finish = outcome.finished_at
+    stats.latency = LatencyStats.from_samples(samples)
+    if first_issue is not None and last_finish is not None:
+        stats.duration_s = max(0.0, last_finish - first_issue)
+    return stats
+
+
+# ----------------------------------------------------------------------
+# SLO policy
+# ----------------------------------------------------------------------
+@dataclass(frozen=True)
+class SLOCheck:
+    """One evaluated service-level objective."""
+
+    name: str
+    ok: bool
+    actual: float
+    limit: float
+
+    def format(self) -> str:
+        mark = "PASS" if self.ok else "FAIL"
+        return f"{mark}  {self.name}: {self.actual:.4g} (limit {self.limit:.4g})"
+
+
+@dataclass(frozen=True)
+class SLOPolicy:
+    """Thresholds a run must hold; ``None`` disables a check."""
+
+    max_protocol_error_rate: float = 0.0
+    max_queue_full_rate: Optional[float] = 0.05
+    max_deadline_miss_rate: Optional[float] = 0.05
+    p99_target_s: Optional[float] = None
+    min_cache_hit_rate: Optional[float] = None
+
+    def evaluate(self, stats: LoadgenStats) -> list[SLOCheck]:
+        checks = [
+            SLOCheck(
+                "protocol error rate",
+                stats.protocol_error_rate <= self.max_protocol_error_rate,
+                stats.protocol_error_rate,
+                self.max_protocol_error_rate,
+            )
+        ]
+        if self.max_queue_full_rate is not None:
+            checks.append(
+                SLOCheck(
+                    "queue-full rate",
+                    stats.queue_full_rate <= self.max_queue_full_rate,
+                    stats.queue_full_rate,
+                    self.max_queue_full_rate,
+                )
+            )
+        if self.max_deadline_miss_rate is not None:
+            checks.append(
+                SLOCheck(
+                    "deadline-miss rate",
+                    stats.deadline_miss_rate <= self.max_deadline_miss_rate,
+                    stats.deadline_miss_rate,
+                    self.max_deadline_miss_rate,
+                )
+            )
+        if self.p99_target_s is not None:
+            checks.append(
+                SLOCheck(
+                    "p99 latency (s)",
+                    stats.latency.p99_s <= self.p99_target_s,
+                    stats.latency.p99_s,
+                    self.p99_target_s,
+                )
+            )
+        if self.min_cache_hit_rate is not None:
+            checks.append(
+                SLOCheck(
+                    "cache hit rate (min)",
+                    stats.cache_hit_rate >= self.min_cache_hit_rate,
+                    stats.cache_hit_rate,
+                    self.min_cache_hit_rate,
+                )
+            )
+        return checks
+
+    def passed(self, stats: LoadgenStats) -> bool:
+        return all(check.ok for check in self.evaluate(stats))
+
+
+# ----------------------------------------------------------------------
+# Markdown SLO report
+# ----------------------------------------------------------------------
+def render_slo_report(
+    config: LoadgenConfig,
+    stats: LoadgenStats,
+    checks: Sequence[SLOCheck],
+    server_cache_hit_rate: Optional[float] = None,
+    title: str = "Load-generator SLO report",
+) -> str:
+    """The run as a self-contained markdown document."""
+    lines = [
+        f"# {title}",
+        "",
+        f"- config: `{config.label()}`",
+        f"- methods: {', '.join(config.methods)}",
+        f"- measured requests: {stats.requests} "
+        f"(+{stats.warmup_requests} warmup)  "
+        f"mix: {stats.selects} select / {stats.evaluates} evaluate / "
+        f"{stats.updates} update",
+        f"- duration: {stats.duration_s:.3f}s  "
+        f"throughput: {stats.throughput_qps:.1f} req/s",
+        "",
+        "| metric | value |",
+        "|---|---:|",
+        f"| p50 latency | {stats.latency.p50_s * 1000:.2f} ms |",
+        f"| p99 latency | {stats.latency.p99_s * 1000:.2f} ms |",
+        f"| p999 latency | {stats.latency.p999_s * 1000:.2f} ms |",
+        f"| max latency | {stats.latency.max_s * 1000:.2f} ms |",
+        f"| queue-full rate | {stats.queue_full_rate:.4f} |",
+        f"| queue-full retries (recovered) | {stats.queue_full_retries} |",
+        f"| deadline-miss rate | {stats.deadline_miss_rate:.4f} |",
+        f"| protocol errors | {stats.protocol_errors} |",
+        f"| cache hit rate (client-observed) | {stats.cache_hit_rate:.4f} |",
+    ]
+    if server_cache_hit_rate is not None:
+        lines.append(
+            f"| cache hit rate (server counters) | {server_cache_hit_rate:.4f} |"
+        )
+    if stats.errors:
+        lines.append("")
+        lines.append("Errors by code: " + ", ".join(
+            f"`{code}`×{count}" for code, count in sorted(stats.errors.items())
+        ))
+    lines.append("")
+    lines.append("## SLO checks")
+    lines.append("")
+    for check in checks:
+        lines.append(f"- {'✅' if check.ok else '❌'} {check.format()}")
+    lines.append("")
+    verdict = "PASS" if all(c.ok for c in checks) else "FAIL"
+    lines.append(f"**Overall: {verdict}**")
+    lines.append("")
+    return "\n".join(lines)

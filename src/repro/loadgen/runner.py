@@ -1,0 +1,256 @@
+"""Run a planned load against a live ``mindist serve`` instance.
+
+:func:`run_loadgen` drives real TCP connections:
+
+* **closed loop** — one daemon thread per configured client, each with
+  its own connection, walking its planned sequence back-to-back (the
+  next request leaves only when the previous answered);
+* **open loop** — a dispatcher thread replays the planned Poisson
+  arrival times, handing each request to a bounded sender pool with a
+  connection per pool thread; arrivals do not wait for completions, so
+  a slow server accumulates in-flight work exactly the way real
+  traffic would (bounded by ``max_inflight``).
+
+Both loops run :func:`~repro.loadgen.loop.execute_request` per planned
+request, so retries/backoff and typed error accounting are identical.
+The runner verifies *plan fidelity* — every planned request produced
+exactly one outcome — which is the invariant that lets the bench suite
+gate request counts and mix exactly.
+
+Service-side counters (``stats`` op: cache hits/misses, admission
+rejections) are scraped before and after the drive; the delta is the
+server's own view of the run, reported alongside the client-observed
+rates.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from concurrent.futures import ThreadPoolExecutor
+from dataclasses import dataclass, field
+from typing import Optional
+
+from repro.loadgen.config import MODE_CLOSED, LoadgenConfig
+from repro.loadgen.loop import RequestOutcome, ServiceTransport, execute_request
+from repro.loadgen.metrics import LoadgenStats, aggregate_outcomes
+from repro.loadgen.schedule import (
+    PlannedRequest,
+    closed_schedule,
+    open_schedule,
+    schedule_summary,
+)
+
+
+@dataclass
+class LoadgenResult:
+    """One completed run: plan, outcomes, stats and the server's view."""
+
+    config: LoadgenConfig
+    planned: dict  # schedule_summary() of the plan
+    stats: LoadgenStats
+    outcomes: list[RequestOutcome] = field(default_factory=list)
+    server_before: dict = field(default_factory=dict)
+    server_after: dict = field(default_factory=dict)
+    issued: int = 0  # outcomes produced (warmup + measure)
+
+    @property
+    def plan_fidelity(self) -> bool:
+        """Did every planned request produce exactly one outcome?"""
+        return self.issued == self.planned["requests"] + self.planned[
+            "warmup_requests"
+        ]
+
+    def server_cache_hit_rate(self) -> Optional[float]:
+        """Hit rate from the service's own counters over the run window."""
+        try:
+            before = self.server_before["cache"]
+            after = self.server_after["cache"]
+            hits = after["hits"] - before["hits"]
+            misses = after["misses"] - before["misses"]
+        except (KeyError, TypeError):
+            return None
+        total = hits + misses
+        return hits / total if total > 0 else None
+
+    def to_dict(self) -> dict:
+        return {
+            "config_label": self.config.label(),
+            "mode": self.config.mode,
+            "seed": self.config.seed,
+            "zipf_alpha": self.config.zipf_alpha,
+            "planned": self.planned,
+            "issued": self.issued,
+            "plan_fidelity": self.plan_fidelity,
+            "stats": self.stats.to_dict(),
+            "server_cache_hit_rate": self.server_cache_hit_rate(),
+        }
+
+
+def _scrape_stats(host: str, port: int) -> dict:
+    from repro.service.client import ServiceClient
+
+    with ServiceClient(host, port) as client:
+        return client.stats()
+
+
+def _workspace_n_p(stats: dict, workspace: str) -> int:
+    try:
+        return int(stats["workspaces"][workspace]["n_p"])
+    except (KeyError, TypeError, ValueError):
+        return 1
+
+
+def _run_closed(
+    config: LoadgenConfig, host: str, port: int, n_p: int
+) -> list[RequestOutcome]:
+    schedules = closed_schedule(config)
+    buckets: list[list[RequestOutcome]] = [[] for _ in schedules]
+    failures: list[BaseException] = []
+    lock = threading.Lock()
+
+    def _client_loop(index: int, sequence: list[PlannedRequest]) -> None:
+        try:
+            with ServiceTransport(
+                host,
+                port,
+                workspace=config.workspace,
+                timeout_s=config.timeout_s,
+                n_p=n_p,
+            ) as transport:
+                for planned in sequence:
+                    buckets[index].append(
+                        execute_request(planned, transport, config.retry)
+                    )
+        except BaseException as exc:  # noqa: BLE001 — re-raised below
+            with lock:
+                failures.append(exc)
+
+    threads = [
+        threading.Thread(
+            target=_client_loop,
+            args=(index, sequence),
+            name=f"loadgen-client-{index}",
+            daemon=True,
+        )
+        for index, sequence in enumerate(schedules)
+    ]
+    for thread in threads:
+        thread.start()
+    for thread in threads:
+        thread.join()
+    if failures:
+        raise RuntimeError(
+            f"{len(failures)} client loop(s) died; first: {failures[0]!r}"
+        ) from failures[0]
+    return [outcome for bucket in buckets for outcome in bucket]
+
+
+def _run_open(
+    config: LoadgenConfig, host: str, port: int, n_p: int
+) -> list[RequestOutcome]:
+    arrivals = open_schedule(config)
+    local = threading.local()
+    transports: list[ServiceTransport] = []
+    transports_lock = threading.Lock()
+
+    def _transport() -> ServiceTransport:
+        transport = getattr(local, "transport", None)
+        if transport is None:
+            transport = ServiceTransport(
+                host,
+                port,
+                workspace=config.workspace,
+                timeout_s=config.timeout_s,
+                n_p=n_p,
+            )
+            local.transport = transport
+            with transports_lock:
+                transports.append(transport)
+        return transport
+
+    def _send(planned: PlannedRequest) -> RequestOutcome:
+        return execute_request(planned, _transport(), config.retry)
+
+    outcomes: list[RequestOutcome] = []
+    start = time.perf_counter()
+    with ThreadPoolExecutor(
+        max_workers=config.max_inflight, thread_name_prefix="loadgen-open"
+    ) as pool:
+        futures = []
+        for planned in arrivals:
+            assert planned.at_s is not None
+            # Open loop: pace off the wall clock, never off completions.
+            delay = planned.at_s - (time.perf_counter() - start)
+            if delay > 0:
+                time.sleep(delay)
+            futures.append(pool.submit(_send, planned))
+        for future in futures:
+            outcomes.append(future.result())
+    for transport in transports:
+        transport.close()
+    return outcomes
+
+
+def run_loadgen(config: LoadgenConfig, host: str, port: int) -> LoadgenResult:
+    """Drive one planned load against the service at ``host:port``."""
+    before = _scrape_stats(host, port)
+    if config.workspace not in before.get("workspaces", {}):
+        served = ", ".join(sorted(before.get("workspaces", {}))) or "none"
+        raise ValueError(
+            f"service does not host workspace {config.workspace!r} "
+            f"(serving: {served})"
+        )
+    n_p = _workspace_n_p(before, config.workspace)
+    if config.mode == MODE_CLOSED:
+        outcomes = _run_closed(config, host, port, n_p)
+        planned = schedule_summary(
+            [req for client in closed_schedule(config) for req in client]
+        )
+    else:
+        outcomes = _run_open(config, host, port, n_p)
+        planned = schedule_summary(open_schedule(config))
+    after = _scrape_stats(host, port)
+    stats = aggregate_outcomes(outcomes, config.mode)
+    return LoadgenResult(
+        config=config,
+        planned=planned,
+        stats=stats,
+        outcomes=outcomes,
+        server_before=before,
+        server_after=after,
+        issued=len(outcomes),
+    )
+
+
+# ----------------------------------------------------------------------
+# Self-hosting (smoke, bench suite, CLI without a live server)
+# ----------------------------------------------------------------------
+def self_hosted(
+    n_c: int = 2_000,
+    n_f: int = 100,
+    n_p: int = 100,
+    seed: int = 20120401,
+    workspace: str = "default",
+    workers: int = 2,
+    max_pending: int = 64,
+    batch_window_s: float = 0.002,
+):
+    """A context manager serving a fresh dynamic workspace in-thread.
+
+    Yields the :class:`~repro.service.server.ServiceHandle`; use its
+    ``host``/``port`` with :func:`run_loadgen`.
+    """
+    from repro.core import DynamicWorkspace
+    from repro.datasets.generators import make_instance
+    from repro.service import ServiceConfig, serve_in_thread
+
+    instance = make_instance(n_c, n_f, n_p, rng=seed)
+    return serve_in_thread(
+        {workspace: DynamicWorkspace(instance)},
+        ServiceConfig(
+            workers=workers,
+            max_pending=max_pending,
+            batch_window_s=batch_window_s,
+        ),
+    )

@@ -1,0 +1,204 @@
+"""Deterministic request planning: arrivals, mix and key skew.
+
+The schedule is computed *before* any socket is opened, as a pure
+function of ``(config, seed)``:
+
+* **closed loop** — each client ``i`` gets its own request sequence
+  from a private ``Random(f"{seed}:client:{i}")`` stream, so the plan
+  is independent of thread interleaving and of how many clients finish
+  first;
+* **open loop** — one ``Random(f"{seed}:open")`` stream drives a
+  Poisson process at the target qps (exponential inter-arrival gaps);
+  arrivals inside the ramp window are *thinned* with acceptance
+  probability ``t / ramp_s``, which turns the homogeneous process into
+  a linear 0 → qps ramp without a second clock.
+
+Key skew reuses :class:`repro.datasets.zipf.ZipfSampler` (the Table IV
+sampler): select traffic draws a Zipf rank over the method list (rank 1
+— the config's first method — is the hottest cache key), ``evaluate``
+traffic draws candidate-id keys from a ``evaluate_keys``-sized Zipf
+keyspace.  Skewed key popularity is exactly what exercises the
+service's result cache and the batcher's duplicate coalescing.
+
+Python's ``random`` module is the Mersenne Twister with a stable
+string-seeding path, so the planned counts and mix are identical on
+every platform and Python version — which is why the bench suite can
+gate them with an exact-match policy.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass
+from typing import Optional
+
+from repro.datasets.zipf import ZipfSampler
+from repro.loadgen.config import (
+    MODE_CLOSED,
+    PHASE_MEASURE,
+    PHASE_WARMUP,
+    LoadgenConfig,
+)
+
+#: The paper's space domain; update points are drawn inside it.
+_DOMAIN = 1000.0
+
+
+@dataclass(frozen=True)
+class PlannedRequest:
+    """One request the generator will issue, fully decided in advance."""
+
+    client: int  # closed-loop client index (0 for open loop)
+    sequence: int  # position within the client's / the arrival stream
+    phase: str  # PHASE_WARMUP | PHASE_MEASURE
+    op: str  # "select" | "evaluate" | "update"
+    #: Open loop only: arrival offset from the run start, seconds.
+    at_s: Optional[float] = None
+    #: select: the method; also the cache key.
+    method: Optional[str] = None
+    #: evaluate: the Zipf-drawn candidate key (taken modulo the served
+    #: workspace's ``n_p`` at send time, so plans are dataset-agnostic).
+    evaluate_key: Optional[int] = None
+    #: update: the client point to add.
+    point: Optional[tuple[float, float]] = None
+
+    @property
+    def key(self) -> str:
+        """The cache-able identity this request hits (for skew stats)."""
+        if self.op == "select":
+            return f"select:{self.method}"
+        if self.op == "evaluate":
+            return f"evaluate:{self.evaluate_key}"
+        return "update"
+
+
+class _RequestPlanner:
+    """Draws ops and keys from one deterministic RNG stream."""
+
+    def __init__(self, config: LoadgenConfig, rng: random.Random):
+        self.config = config
+        self.rng = rng
+        self.method_zipf = ZipfSampler(len(config.methods), config.zipf_alpha, rng)
+        self.evaluate_zipf = ZipfSampler(config.evaluate_keys, config.zipf_alpha, rng)
+
+    def plan(
+        self,
+        client: int,
+        sequence: int,
+        phase: str,
+        at_s: Optional[float] = None,
+    ) -> PlannedRequest:
+        config, rng = self.config, self.rng
+        draw = rng.random()
+        if draw < config.select_fraction:
+            rank = self.method_zipf.sample()
+            return PlannedRequest(
+                client=client,
+                sequence=sequence,
+                phase=phase,
+                op="select",
+                at_s=at_s,
+                method=config.methods[rank - 1],
+            )
+        if draw < config.select_fraction + config.evaluate_fraction:
+            rank = self.evaluate_zipf.sample()
+            return PlannedRequest(
+                client=client,
+                sequence=sequence,
+                phase=phase,
+                op="evaluate",
+                at_s=at_s,
+                evaluate_key=rank - 1,
+            )
+        return PlannedRequest(
+            client=client,
+            sequence=sequence,
+            phase=phase,
+            op="update",
+            at_s=at_s,
+            point=(rng.uniform(0.0, _DOMAIN), rng.uniform(0.0, _DOMAIN)),
+        )
+
+
+def closed_schedule(config: LoadgenConfig) -> list[list[PlannedRequest]]:
+    """Per-client request sequences for a closed-loop run.
+
+    Client ``i``'s stream is seeded independently, so the plan does not
+    depend on how the threads interleave at run time.
+    """
+    schedules: list[list[PlannedRequest]] = []
+    for client in range(config.clients):
+        planner = _RequestPlanner(
+            config, random.Random(f"{config.seed}:client:{client}")
+        )
+        sequence: list[PlannedRequest] = []
+        total = config.warmup_requests + config.requests_per_client
+        for index in range(total):
+            phase = (
+                PHASE_WARMUP if index < config.warmup_requests else PHASE_MEASURE
+            )
+            sequence.append(planner.plan(client, index, phase))
+        schedules.append(sequence)
+    return schedules
+
+
+def open_schedule(config: LoadgenConfig) -> list[PlannedRequest]:
+    """The arrival stream for an open-loop run (sorted by ``at_s``).
+
+    A homogeneous Poisson process at ``config.qps`` runs over
+    ``ramp_s + warmup_s + measure_s``; ramp-window arrivals are thinned
+    with probability ``t / ramp_s`` to realise the linear ramp.  Ramp
+    and warmup arrivals are tagged ``warmup`` (issued, never measured).
+    """
+    rng = random.Random(f"{config.seed}:open")
+    planner = _RequestPlanner(config, rng)
+    total_s = config.ramp_s + config.warmup_s + config.measure_s
+    measure_from = config.ramp_s + config.warmup_s
+    arrivals: list[PlannedRequest] = []
+    t = 0.0
+    sequence = 0
+    while True:
+        t += rng.expovariate(config.qps)
+        if t >= total_s:
+            break
+        if t < config.ramp_s and rng.random() >= t / config.ramp_s:
+            continue  # thinned: the ramp is still below full rate here
+        phase = PHASE_MEASURE if t >= measure_from else PHASE_WARMUP
+        arrivals.append(planner.plan(0, sequence, phase, at_s=t))
+        sequence += 1
+    return arrivals
+
+
+def plan_requests(config: LoadgenConfig) -> list[PlannedRequest]:
+    """The full planned stream, flattened (closed: client-major)."""
+    if config.mode == MODE_CLOSED:
+        return [req for client in closed_schedule(config) for req in client]
+    return open_schedule(config)
+
+
+def schedule_summary(planned: list[PlannedRequest]) -> dict:
+    """Deterministic counts and mix of one plan.
+
+    This is exactly what the bench suite gates: measured request count,
+    per-op counts, per-method select counts and the warmup volume.  The
+    ``key_histogram`` (measure phase, most-popular first) is what the
+    skew tests assert Zipf shape on.
+    """
+    measured = [p for p in planned if p.phase == PHASE_MEASURE]
+    ops = {"select": 0, "evaluate": 0, "update": 0}
+    by_method: dict[str, int] = {}
+    histogram: dict[str, int] = {}
+    for req in measured:
+        ops[req.op] += 1
+        if req.op == "select" and req.method is not None:
+            by_method[req.method] = by_method.get(req.method, 0) + 1
+        histogram[req.key] = histogram.get(req.key, 0) + 1
+    return {
+        "requests": len(measured),
+        "warmup_requests": len(planned) - len(measured),
+        "ops": ops,
+        "selects_by_method": dict(sorted(by_method.items())),
+        "key_histogram": dict(
+            sorted(histogram.items(), key=lambda kv: (-kv[1], kv[0]))
+        ),
+    }

@@ -1,0 +1,101 @@
+"""Loadgen smoke check (run in CI as ``python -m repro.loadgen.smoke``).
+
+Boots an ephemeral server and fires a short closed-loop burst with the
+default skewed mix at it, then asserts the properties that make load
+generation a trustworthy adversary:
+
+1. **plan fidelity** — every planned request produced exactly one
+   outcome (no silent drops, no duplicates);
+2. **zero protocol errors** — pushback (``queue_full``,
+   ``deadline_exceeded``) is legitimate under load, but a
+   ``bad_request``/``internal``/``connection`` error means the
+   generator or the service is broken;
+3. **cache hits under skew** — the Zipf-skewed select stream must
+   actually land repeated keys in the service's result cache (that is
+   the workload property the generator exists to emulate);
+4. **bounded queue-full rate** — with the default admission bound the
+   burst must be mostly admitted; bounded retries absorb transient
+   pushback.
+
+Exits non-zero on the first violated invariant.
+"""
+
+from __future__ import annotations
+
+import sys
+
+from repro.loadgen.config import LoadgenConfig
+from repro.loadgen.metrics import SLOPolicy, render_slo_report
+from repro.loadgen.runner import run_loadgen, self_hosted
+
+SMOKE_SEED = 11
+SMOKE_SIZES = dict(n_c=800, n_f=40, n_p=60)
+
+#: A short, skewed closed-loop burst: 4 clients × (3 warmup + 20
+#: measured) requests, 80/10/10 select/evaluate/update mix, alpha 0.9.
+SMOKE_CONFIG = LoadgenConfig(
+    mode="closed",
+    clients=4,
+    requests_per_client=20,
+    warmup_requests=3,
+    zipf_alpha=0.9,
+    timeout_s=15.0,
+    seed=SMOKE_SEED,
+)
+
+#: The smoke bar: no protocol errors at all, a mostly-admitted burst,
+#: and the skew visibly warming the result cache.
+SMOKE_POLICY = SLOPolicy(
+    max_protocol_error_rate=0.0,
+    max_queue_full_rate=0.10,
+    max_deadline_miss_rate=0.10,
+    min_cache_hit_rate=1e-9,  # "nonzero", without guessing the exact rate
+)
+
+
+def main() -> int:
+    with self_hosted(seed=SMOKE_SEED, **SMOKE_SIZES) as handle:
+        print(f"loadgen smoke: serving on {handle.host}:{handle.port}")
+        result = run_loadgen(SMOKE_CONFIG, handle.host, handle.port)
+
+    stats = result.stats
+    checks = SMOKE_POLICY.evaluate(stats)
+    failures = [check.format() for check in checks if not check.ok]
+    if not result.plan_fidelity:
+        failures.append(
+            f"plan fidelity: planned "
+            f"{result.planned['requests'] + result.planned['warmup_requests']} "
+            f"requests but issued {result.issued}"
+        )
+
+    print(
+        f"loadgen smoke: {stats.requests} measured requests "
+        f"({stats.selects} select / {stats.evaluates} evaluate / "
+        f"{stats.updates} update), p50 {stats.latency.p50_s * 1000:.1f}ms, "
+        f"p99 {stats.latency.p99_s * 1000:.1f}ms, "
+        f"cache hit rate {stats.cache_hit_rate:.2f}, "
+        f"queue-full rate {stats.queue_full_rate:.2f}"
+    )
+    server_rate = result.server_cache_hit_rate()
+    if server_rate is not None:
+        print(f"loadgen smoke: server-side cache hit rate {server_rate:.2f}")
+
+    if failures:
+        for failure in failures:
+            print(f"FAIL: {failure}")
+        print()
+        print(
+            render_slo_report(
+                SMOKE_CONFIG, stats, checks, server_cache_hit_rate=server_rate
+            )
+        )
+        return 1
+    print(
+        "loadgen smoke: OK (plan fidelity, zero protocol errors, "
+        "cache hits under skew, bounded queue-full rate)"
+    )
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

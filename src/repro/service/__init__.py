@@ -37,6 +37,7 @@ from repro.service.client import ServiceClient, ServiceSelection
 from repro.service.protocol import (
     PROTOCOL_VERSION,
     BadRequestError,
+    ClientConnectionError,
     DeadlineExceededError,
     QueueFullError,
     ServiceError,
@@ -56,6 +57,7 @@ from repro.service.server import (
 __all__ = [
     "AdmissionQueue",
     "BadRequestError",
+    "ClientConnectionError",
     "DeadlineExceededError",
     "PROTOCOL_VERSION",
     "QueryService",

@@ -32,6 +32,7 @@ from typing import Any, Optional, Sequence
 
 from repro.core.types import SelectionResult
 from repro.service.protocol import (
+    ClientConnectionError,
     decode,
     encode,
     error_from_wire,
@@ -72,7 +73,14 @@ class ServiceClient:
     ):
         self.host = host
         self.port = port
-        self._sock = socket.create_connection((host, port), timeout=connect_timeout_s)
+        try:
+            self._sock = socket.create_connection(
+                (host, port), timeout=connect_timeout_s
+            )
+        except OSError as exc:
+            raise ClientConnectionError(
+                f"cannot connect to {host}:{port}: {exc}"
+            ) from exc
         self._sock.settimeout(io_timeout_s)
         self._file = self._sock.makefile("rwb")
         self._lock = threading.Lock()
@@ -105,15 +113,29 @@ class ServiceClient:
     def _read_response(self) -> dict:
         line = self._file.readline()
         if not line:
-            raise ConnectionError("service closed the connection")
+            raise ClientConnectionError(
+                "service closed the connection mid-request"
+            )
         return decode(line)
 
     def _roundtrip(self, message: dict) -> dict:
-        """Send one request; return its ``ok`` response or raise."""
+        """Send one request; return its ``ok`` response or raise.
+
+        Transport failures (reset, timeout, mid-request EOF) surface as
+        :class:`ClientConnectionError`, never a raw ``OSError``.
+        """
         with self._lock:
-            self._send(message)
-            self._file.flush()
-            response = self._read_response()
+            try:
+                self._send(message)
+                self._file.flush()
+                response = self._read_response()
+            except ClientConnectionError:
+                raise
+            except OSError as exc:
+                raise ClientConnectionError(
+                    f"connection to {self.host}:{self.port} failed "
+                    f"mid-request: {exc}"
+                ) from exc
         return _unwrap(response, expected_id=message["id"])
 
     def call(self, op: str, **params: Any) -> dict:
@@ -162,28 +184,38 @@ class ServiceClient:
         if not methods:
             return []
         with self._lock:
-            ids = []
-            for method in methods:
-                message: dict[str, Any] = {
-                    "id": self._take_id(),
-                    "op": "select",
-                    "workspace": workspace,
-                    "method": method,
-                }
-                if timeout_s is not None:
-                    message["timeout_s"] = timeout_s
-                if no_cache:
-                    message["no_cache"] = True
-                ids.append(message["id"])
-                self._send(message)
-            self._file.flush()
-            by_id: dict[Any, dict] = {}
-            for _ in ids:
-                response = self._read_response()
-                by_id[response.get("id")] = response
+            try:
+                ids = []
+                for method in methods:
+                    message: dict[str, Any] = {
+                        "id": self._take_id(),
+                        "op": "select",
+                        "workspace": workspace,
+                        "method": method,
+                    }
+                    if timeout_s is not None:
+                        message["timeout_s"] = timeout_s
+                    if no_cache:
+                        message["no_cache"] = True
+                    ids.append(message["id"])
+                    self._send(message)
+                self._file.flush()
+                by_id: dict[Any, dict] = {}
+                for _ in ids:
+                    response = self._read_response()
+                    by_id[response.get("id")] = response
+            except ClientConnectionError:
+                raise
+            except OSError as exc:
+                raise ClientConnectionError(
+                    f"connection to {self.host}:{self.port} failed "
+                    f"mid-pipeline: {exc}"
+                ) from exc
         missing = [i for i in ids if i not in by_id]
         if missing:
-            raise ConnectionError(f"no response for request id(s) {missing}")
+            raise ClientConnectionError(
+                f"no response for request id(s) {missing}"
+            )
         return [
             ServiceSelection.from_response(_unwrap(by_id[i], expected_id=i))
             for i in ids
@@ -212,7 +244,7 @@ class ServiceClient:
 
 def _unwrap(response: dict, expected_id: Any = None) -> dict:
     if expected_id is not None and response.get("id") != expected_id:
-        raise ConnectionError(
+        raise ClientConnectionError(
             f"response id {response.get('id')!r} does not match "
             f"request id {expected_id!r} (unpipelined call)"
         )

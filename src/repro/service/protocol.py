@@ -52,6 +52,11 @@ E_DEADLINE_EXCEEDED = "deadline_exceeded"
 E_SHUTTING_DOWN = "shutting_down"
 E_UNSUPPORTED = "unsupported"
 E_INTERNAL = "internal"
+#: Client-side only: the TCP connection itself failed (refused, reset,
+#: mid-request EOF, timed out).  Never sent by a server — there is no
+#: connection left to send it on — but carried by the same typed-error
+#: taxonomy so callers and the load generator account it uniformly.
+E_CONNECTION = "connection"
 
 
 class ServiceError(Exception):
@@ -100,6 +105,18 @@ class ShuttingDownError(ServiceError):
 
 class UnsupportedError(ServiceError):
     code = E_UNSUPPORTED
+
+
+class ClientConnectionError(ServiceError, ConnectionError):
+    """The transport failed under the client (refused, reset, EOF).
+
+    Subclasses :class:`ConnectionError` too, so pre-existing callers
+    that catch the builtin keep working; new callers get the typed
+    ``code`` (``"connection"``) the error taxonomy promises.  Not in
+    :data:`_ERROR_TYPES` on purpose: it never crosses the wire.
+    """
+
+    code = E_CONNECTION
 
 
 _ERROR_TYPES = {

@@ -1,0 +1,213 @@
+"""The ``loadgen`` suite: registry wiring, policy gating, one live run.
+
+The compare-policy tests are socket-free (hand-built records); the
+recording test shrinks the dataset and the drives so the whole pipeline
+— server boot, both loops, plan-fidelity enforcement, policy-tagged
+record — executes in a couple of seconds.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.bench import (
+    POLICY_INFO,
+    POLICY_PIN,
+    POLICY_RATE,
+    POLICY_TIME,
+    BenchEntry,
+    BenchRecord,
+    compare_records,
+    get_suite,
+    run_suite,
+)
+from repro.bench.loadgen import (
+    LOADGEN_DATASET,
+    LOADGEN_MODES,
+    loadgen_metric_policies,
+    run_loadgen_suite,
+)
+from repro.experiments.config import ExperimentConfig
+from repro.loadgen import LoadgenConfig
+
+
+def make_record(**overrides) -> BenchRecord:
+    metrics = {
+        "requests": 100.0,
+        "warmup_requests": 20.0,
+        "selects": 80.0,
+        "evaluates": 10.0,
+        "updates": 10.0,
+        "selects_MND": 40.0,
+        "seed": 20120401.0,
+        "zipf_alpha": 0.9,
+        "p50_s": 0.002,
+        "p99_s": 0.05,
+        "p999_s": 0.06,
+        "qps": 200.0,
+        "cache_hit_rate": 0.5,
+        "queue_full_rate": 0.01,
+    }
+    metrics.update(overrides)
+    return BenchRecord(
+        suite="loadgen",
+        repeats=1,
+        metric_policies=loadgen_metric_policies(methods=("MND",)),
+        entries=[
+            BenchEntry(config="closed(...)", method="closed", x=None, metrics=metrics)
+        ],
+    )
+
+
+class TestRegistry:
+    def test_loadgen_suite_is_registered(self):
+        suite = get_suite("loadgen")
+        assert suite.runner is run_loadgen_suite
+        assert suite.configs == ((None, LOADGEN_DATASET),)
+
+    def test_modes_cover_both_disciplines(self):
+        assert [c.mode for c in LOADGEN_MODES] == ["closed", "open"]
+
+    def test_rejects_nonpositive_repeats(self):
+        with pytest.raises(ValueError, match="repeats"):
+            run_loadgen_suite(repeats=0)
+
+
+class TestPolicies:
+    def test_counts_and_mix_are_pinned(self):
+        policies = loadgen_metric_policies()
+        for metric in (
+            "requests",
+            "warmup_requests",
+            "selects",
+            "evaluates",
+            "updates",
+            "seed",
+            "zipf_alpha",
+            "selects_MND",
+            "selects_QVC",
+        ):
+            assert policies[metric] == POLICY_PIN, metric
+
+    def test_latency_is_timed_rates_are_rates_pushback_is_info(self):
+        policies = loadgen_metric_policies()
+        assert policies["p99_s"] == POLICY_TIME
+        assert policies["qps"] == POLICY_RATE
+        assert policies["cache_hit_rate"] == POLICY_RATE
+        assert policies["queue_full_rate"] == POLICY_INFO
+        assert policies["deadline_miss_rate"] == POLICY_INFO
+
+
+class TestCompareGating:
+    def test_identical_records_pass(self):
+        report = compare_records(make_record(), make_record())
+        assert report.ok()
+
+    def test_round_trip_preserves_policies_and_gating(self):
+        baseline = make_record()
+        loaded = BenchRecord.loads(baseline.dumps())
+        assert loaded.schema_version == 2
+        assert loaded.metric_policies == baseline.metric_policies
+        assert compare_records(loaded, make_record()).ok()
+
+    @pytest.mark.parametrize("direction", [99.0, 101.0])
+    def test_any_request_count_drift_gates(self, direction):
+        report = compare_records(make_record(), make_record(requests=direction))
+        assert not report.ok()
+        [verdict] = report.regressions
+        assert verdict.metric == "requests"
+        assert verdict.note == "pinned"
+
+    def test_mix_drift_gates(self):
+        report = compare_records(
+            make_record(), make_record(selects=79.0, evaluates=11.0)
+        )
+        assert {v.metric for v in report.regressions} == {"selects", "evaluates"}
+
+    def test_per_method_select_drift_gates(self):
+        report = compare_records(make_record(), make_record(selects_MND=41.0))
+        assert [v.metric for v in report.regressions] == ["selects_MND"]
+
+    def test_latency_regressions_are_advisory_by_default(self):
+        report = compare_records(make_record(), make_record(p99_s=0.2))
+        assert report.ok()
+        slow = [v for v in report.verdicts if v.metric == "p99_s"]
+        assert slow and slow[0].status == "regressed" and not slow[0].gating
+
+    def test_latency_gates_when_opted_in(self):
+        report = compare_records(
+            make_record(), make_record(p99_s=0.2), gate_time=True
+        )
+        assert not report.ok()
+
+    def test_rate_metrics_regress_downward(self):
+        report = compare_records(make_record(), make_record(qps=100.0))
+        [qps] = [v for v in report.verdicts if v.metric == "qps"]
+        assert qps.status == "regressed" and not qps.gating
+        report = compare_records(make_record(), make_record(qps=400.0))
+        [qps] = [v for v in report.verdicts if v.metric == "qps"]
+        assert qps.status == "improved"
+
+    def test_info_metrics_never_produce_verdicts(self):
+        report = compare_records(
+            make_record(), make_record(queue_full_rate=0.9)
+        )
+        assert report.ok()
+        assert not [v for v in report.verdicts if v.metric == "queue_full_rate"]
+
+
+class TestRecording:
+    TINY_DATASET = ExperimentConfig(n_c=300, n_f=15, n_p=20)
+    TINY_MODES = (
+        LoadgenConfig(
+            mode="closed",
+            clients=2,
+            requests_per_client=4,
+            warmup_requests=1,
+            timeout_s=15.0,
+        ),
+        LoadgenConfig(
+            mode="open",
+            qps=60.0,
+            measure_s=0.3,
+            warmup_s=0.1,
+            ramp_s=0.1,
+            timeout_s=15.0,
+        ),
+    )
+
+    @pytest.fixture(scope="class")
+    def record(self):
+        import repro.bench.loadgen as loadgen_module
+
+        saved = loadgen_module.LOADGEN_DATASET, loadgen_module.LOADGEN_MODES
+        loadgen_module.LOADGEN_DATASET = self.TINY_DATASET
+        loadgen_module.LOADGEN_MODES = self.TINY_MODES
+        try:
+            return run_suite("loadgen", repeats=1)
+        finally:
+            loadgen_module.LOADGEN_DATASET, loadgen_module.LOADGEN_MODES = saved
+
+    def test_one_entry_per_mode(self, record):
+        assert record.suite == "loadgen"
+        assert [e.method for e in record.entries] == ["closed", "open"]
+
+    def test_entries_carry_the_pinned_workload(self, record):
+        for entry in record.entries:
+            assert entry.metrics["requests"] > 0
+            assert entry.metrics["selects"] + entry.metrics[
+                "evaluates"
+            ] + entry.metrics["updates"] == entry.metrics["requests"]
+            per_method = sum(
+                value
+                for metric, value in entry.metrics.items()
+                if metric.startswith("selects_")
+            )
+            assert per_method == entry.metrics["selects"]
+
+    def test_record_declares_policies_and_self_compares(self, record):
+        assert record.metric_policies["requests"] == POLICY_PIN
+        report = compare_records(
+            BenchRecord.loads(record.dumps()), record
+        )
+        assert report.ok()

@@ -203,3 +203,73 @@ class TestServiceCommands:
     def test_call_without_a_server_exits_2(self, capsys):
         assert main(["call", "health", "--port", "1", "--host", "127.0.0.1"]) == 2
         assert "cannot connect" in capsys.readouterr().err
+
+
+class TestLoadgenCommand:
+    """``loadgen`` parses with bench-suite defaults and runs end-to-end."""
+
+    def test_defaults_mirror_the_bench_suite(self):
+        from repro.bench.loadgen import LOADGEN_CLOSED, LOADGEN_OPEN
+        from repro.cli import build_parser
+
+        args = build_parser().parse_args(["loadgen"])
+        assert args.command == "loadgen"
+        assert args.mode == "both"
+        assert args.host is None  # self-host by default
+        assert (args.clients, args.requests, args.warmup) == (
+            LOADGEN_CLOSED.clients,
+            LOADGEN_CLOSED.requests_per_client,
+            LOADGEN_CLOSED.warmup_requests,
+        )
+        assert (args.qps, args.measure, args.ramp) == (
+            LOADGEN_OPEN.qps,
+            LOADGEN_OPEN.measure_s,
+            LOADGEN_OPEN.ramp_s,
+        )
+        assert args.mix == "0.8,0.1,0.1"
+        assert args.alpha == LOADGEN_OPEN.zipf_alpha
+        assert args.plan_seed == LOADGEN_OPEN.seed
+
+    def test_flags_parse(self):
+        from repro.cli import build_parser
+
+        args = build_parser().parse_args(
+            ["loadgen", "--mode", "open", "--qps", "40", "--measure", "0.5",
+             "--mix", "0.6,0.2,0.2", "--methods", "NFC,MND",
+             "--p99", "0.25", "--min-cache-hit", "0.1",
+             "--bench-out", "out.json"]
+        )
+        assert args.mode == "open"
+        assert args.qps == 40.0
+        assert args.methods == "NFC,MND"
+        assert args.p99 == 0.25
+        assert args.min_cache_hit == 0.1
+        assert args.bench_out == "out.json"
+
+    def test_rejects_unknown_mode(self):
+        from repro.cli import build_parser
+
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["loadgen", "--mode", "sideways"])
+
+    def test_self_hosted_run_writes_report_and_bench_record(
+        self, capsys, tmp_path
+    ):
+        from repro.bench import BenchRecord, compare_records
+
+        report = tmp_path / "slo.md"
+        bench = tmp_path / "bench.json"
+        assert main(
+            ["loadgen", "--random", "300", "15", "20", "--seed", "11",
+             "--mode", "closed", "--clients", "2", "--requests", "5",
+             "--warmup", "1", "--timeout", "15",
+             "--report", str(report), "--bench-out", str(bench)]
+        ) == 0
+        out = capsys.readouterr().out
+        assert "closed: 10 measured" in out and "p99" in out
+        assert "# Load-generator SLO report" in report.read_text()
+        record = BenchRecord.loads(bench.read_text())
+        assert record.suite == "loadgen"
+        assert record.metric_policies["requests"] == "pin"
+        assert record.entries[0].metrics["requests"] == 10.0
+        assert compare_records(record, record).ok()

@@ -1,0 +1,163 @@
+"""The client request loop, driven socket-free.
+
+A scripted transport and a virtual clock stand in for the service, so
+the bounded-retry/backoff behaviour and the typed error accounting are
+asserted exactly — down to the individual sleep durations.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.loadgen import (
+    PHASE_MEASURE,
+    PlannedRequest,
+    RetryPolicy,
+    TransportReply,
+    execute_request,
+)
+from repro.service.protocol import (
+    BadRequestError,
+    DeadlineExceededError,
+    QueueFullError,
+)
+
+PLANNED = PlannedRequest(
+    client=0, sequence=0, phase=PHASE_MEASURE, op="select", method="MND"
+)
+
+
+class VirtualTime:
+    """A clock that only moves when something sleeps."""
+
+    def __init__(self):
+        self.now = 0.0
+        self.sleeps: list[float] = []
+
+    def clock(self) -> float:
+        return self.now
+
+    def sleep(self, seconds: float) -> None:
+        self.sleeps.append(seconds)
+        self.now += seconds
+
+
+class ScriptedTransport:
+    """Answers each ``send`` from a script of exceptions and replies."""
+
+    def __init__(self, *script):
+        self.script = list(script)
+        self.sent = 0
+
+    def send(self, planned):
+        self.sent += 1
+        action = self.script.pop(0)
+        if isinstance(action, Exception):
+            raise action
+        return action
+
+
+class TestHappyPath:
+    def test_single_attempt_success(self):
+        time = VirtualTime()
+        outcome = execute_request(
+            PLANNED,
+            ScriptedTransport(TransportReply(cached=True)),
+            RetryPolicy(),
+            clock=time.clock,
+            sleep=time.sleep,
+        )
+        assert outcome.ok and outcome.cached
+        assert outcome.attempts == 1
+        assert outcome.queue_full_retries == 0
+        assert outcome.error_code is None
+        assert time.sleeps == []
+
+
+class TestQueueFullRetries:
+    def test_recovers_after_pushback_with_exact_backoff_sequence(self):
+        time = VirtualTime()
+        transport = ScriptedTransport(
+            QueueFullError("full"),
+            QueueFullError("full"),
+            TransportReply(),
+        )
+        retry = RetryPolicy(max_retries=3, backoff_base_s=0.01, backoff_cap_s=1.0)
+        outcome = execute_request(
+            PLANNED, transport, retry, clock=time.clock, sleep=time.sleep
+        )
+        assert outcome.ok
+        assert outcome.attempts == 3
+        assert outcome.queue_full_retries == 2
+        assert time.sleeps == [0.01, 0.02]  # base * 2**(attempt-1)
+        assert outcome.latency_s == pytest.approx(0.03)
+
+    def test_backoff_is_capped(self):
+        retry = RetryPolicy(max_retries=5, backoff_base_s=0.1, backoff_cap_s=0.25)
+        assert [retry.backoff_s(n) for n in (1, 2, 3, 4)] == [
+            0.1,
+            0.2,
+            0.25,
+            0.25,
+        ]
+
+    def test_bounded_retries_exhaust_to_a_typed_queue_full_failure(self):
+        time = VirtualTime()
+        transport = ScriptedTransport(*[QueueFullError("full")] * 4)
+        outcome = execute_request(
+            PLANNED,
+            transport,
+            RetryPolicy(max_retries=3),
+            clock=time.clock,
+            sleep=time.sleep,
+        )
+        assert not outcome.ok
+        assert outcome.error_code == QueueFullError.code
+        assert outcome.queue_full_failure
+        assert not outcome.deadline_missed
+        assert outcome.attempts == 4  # initial try + 3 retries
+        assert transport.sent == 4
+        assert len(time.sleeps) == 3
+
+    def test_zero_retries_fails_on_first_pushback(self):
+        outcome = execute_request(
+            PLANNED,
+            ScriptedTransport(QueueFullError("full")),
+            RetryPolicy(max_retries=0),
+        )
+        assert not outcome.ok and outcome.attempts == 1
+
+
+class TestTerminalErrors:
+    def test_deadline_miss_is_terminal_and_typed(self):
+        time = VirtualTime()
+        outcome = execute_request(
+            PLANNED,
+            ScriptedTransport(DeadlineExceededError("late")),
+            RetryPolicy(max_retries=3),
+            clock=time.clock,
+            sleep=time.sleep,
+        )
+        assert not outcome.ok
+        assert outcome.deadline_missed
+        assert not outcome.queue_full_failure
+        assert outcome.attempts == 1
+        assert time.sleeps == []  # never retried
+
+    def test_protocol_error_keeps_its_code(self):
+        outcome = execute_request(
+            PLANNED,
+            ScriptedTransport(BadRequestError("nope")),
+            RetryPolicy(),
+        )
+        assert outcome.error_code == BadRequestError.code
+
+
+class TestRetryPolicyValidation:
+    def test_rejects_negative_retries(self):
+        with pytest.raises(ValueError):
+            RetryPolicy(max_retries=-1)
+
+    def test_backoff_attempt_is_one_based(self):
+        with pytest.raises(ValueError):
+            RetryPolicy().backoff_s(0)

@@ -1,0 +1,196 @@
+"""SLO accounting: percentiles, aggregation, policy checks, report."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.loadgen import (
+    LatencyStats,
+    LoadgenConfig,
+    PHASE_MEASURE,
+    PHASE_WARMUP,
+    PlannedRequest,
+    RequestOutcome,
+    SLOPolicy,
+    aggregate_outcomes,
+    percentile,
+    render_slo_report,
+)
+from repro.service.protocol import (
+    BadRequestError,
+    DeadlineExceededError,
+    QueueFullError,
+)
+
+
+def outcome(
+    op="select",
+    phase=PHASE_MEASURE,
+    ok=True,
+    cached=False,
+    error=None,
+    latency=0.01,
+    started=0.0,
+    retries=0,
+):
+    planned = PlannedRequest(
+        client=0,
+        sequence=0,
+        phase=phase,
+        op=op,
+        method="MND" if op == "select" else None,
+        evaluate_key=1 if op == "evaluate" else None,
+        point=(1.0, 2.0) if op == "update" else None,
+    )
+    return RequestOutcome(
+        planned=planned,
+        ok=ok,
+        cached=cached,
+        error_code=error,
+        queue_full_retries=retries,
+        latency_s=latency,
+        started_at=started,
+        finished_at=started + latency,
+    )
+
+
+class TestPercentile:
+    def test_empty_is_zero(self):
+        assert percentile([], 0.99) == 0.0
+
+    def test_nearest_rank_bounds(self):
+        samples = [1.0, 2.0, 3.0, 4.0]
+        assert percentile(samples, 0.0) == 1.0
+        assert percentile(samples, 1.0) == 4.0
+        assert percentile(samples, 0.5) == 3.0
+
+    def test_rejects_out_of_range_quantiles(self):
+        with pytest.raises(ValueError):
+            percentile([1.0], 1.5)
+
+    def test_latency_stats_from_samples(self):
+        stats = LatencyStats.from_samples([0.03, 0.01, 0.02])
+        assert stats.count == 3
+        assert stats.p50_s == 0.02
+        assert stats.max_s == 0.03
+        assert stats.mean_s == pytest.approx(0.02)
+
+    def test_empty_latency_stats(self):
+        assert LatencyStats.from_samples([]).count == 0
+
+
+class TestAggregation:
+    def test_warmup_contributes_volume_only(self):
+        stats = aggregate_outcomes(
+            [outcome(phase=PHASE_WARMUP, latency=9.0), outcome(latency=0.01)],
+            mode="closed",
+        )
+        assert stats.requests == 1
+        assert stats.warmup_requests == 1
+        assert stats.latency.max_s == 0.01  # warmup sample excluded
+
+    def test_op_and_cache_accounting(self):
+        stats = aggregate_outcomes(
+            [
+                outcome(op="select", cached=True),
+                outcome(op="select", cached=False),
+                outcome(op="evaluate"),
+                outcome(op="update"),
+            ],
+            mode="closed",
+        )
+        assert (stats.selects, stats.evaluates, stats.updates) == (2, 1, 1)
+        assert stats.select_cache_hits == 1
+        assert stats.cache_hit_rate == 0.5
+        assert stats.completed_ok == 4
+
+    def test_pushback_vs_protocol_error_split(self):
+        stats = aggregate_outcomes(
+            [
+                outcome(ok=False, error=QueueFullError.code),
+                outcome(ok=False, error=DeadlineExceededError.code),
+                outcome(ok=False, error=BadRequestError.code),
+                outcome(),
+            ],
+            mode="closed",
+        )
+        assert stats.queue_full_failures == 1
+        assert stats.deadline_misses == 1
+        assert stats.protocol_errors == 1  # only bad_request
+        assert stats.queue_full_rate == 0.25
+        assert stats.deadline_miss_rate == 0.25
+        assert stats.protocol_error_rate == 0.25
+        assert stats.errors == {
+            QueueFullError.code: 1,
+            DeadlineExceededError.code: 1,
+            BadRequestError.code: 1,
+        }
+
+    def test_recovered_retries_are_counted_separately(self):
+        stats = aggregate_outcomes([outcome(retries=2)], mode="open")
+        assert stats.queue_full_retries == 2
+        assert stats.queue_full_failures == 0
+
+    def test_duration_and_throughput_span_issue_to_finish(self):
+        stats = aggregate_outcomes(
+            [outcome(started=0.0, latency=0.1), outcome(started=0.4, latency=0.1)],
+            mode="open",
+        )
+        assert stats.duration_s == pytest.approx(0.5)
+        assert stats.throughput_qps == pytest.approx(4.0)
+
+    def test_empty_run_has_zero_rates(self):
+        stats = aggregate_outcomes([], mode="closed")
+        assert stats.requests == 0
+        assert stats.throughput_qps == 0.0
+        assert stats.cache_hit_rate == 0.0
+
+
+class TestSLOPolicy:
+    def test_default_policy_passes_a_clean_run(self):
+        stats = aggregate_outcomes([outcome()], mode="closed")
+        assert SLOPolicy().passed(stats)
+
+    def test_protocol_errors_always_gate(self):
+        stats = aggregate_outcomes(
+            [outcome(ok=False, error=BadRequestError.code)], mode="closed"
+        )
+        checks = SLOPolicy().evaluate(stats)
+        failed = [c for c in checks if not c.ok]
+        assert [c.name for c in failed] == ["protocol error rate"]
+
+    def test_optional_checks_activate_when_set(self):
+        stats = aggregate_outcomes(
+            [outcome(cached=False, latency=0.5)], mode="closed"
+        )
+        policy = SLOPolicy(p99_target_s=0.1, min_cache_hit_rate=0.5)
+        names = {c.name: c.ok for c in policy.evaluate(stats)}
+        assert names["p99 latency (s)"] is False
+        assert names["cache hit rate (min)"] is False
+        assert not policy.passed(stats)
+
+    def test_disabled_checks_do_not_appear(self):
+        policy = SLOPolicy(
+            max_queue_full_rate=None, max_deadline_miss_rate=None
+        )
+        checks = policy.evaluate(aggregate_outcomes([], mode="closed"))
+        assert [c.name for c in checks] == ["protocol error rate"]
+
+
+class TestReport:
+    def test_report_carries_metrics_and_verdict(self):
+        config = LoadgenConfig()
+        stats = aggregate_outcomes(
+            [outcome(cached=True), outcome(ok=False, error=QueueFullError.code)],
+            mode="closed",
+        )
+        checks = SLOPolicy().evaluate(stats)
+        text = render_slo_report(
+            config, stats, checks, server_cache_hit_rate=0.25
+        )
+        assert "# Load-generator SLO report" in text
+        assert config.label() in text
+        assert "| p99 latency |" in text
+        assert "cache hit rate (server counters) | 0.2500" in text
+        assert f"`{QueueFullError.code}`×1" in text
+        assert "**Overall:" in text

@@ -1,0 +1,99 @@
+"""Live drives against an in-thread service (small and fast).
+
+The dataset is tiny on purpose: the properties under test — plan
+fidelity, typed accounting, stats scraping — do not depend on its
+size.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.loadgen import (
+    LoadgenConfig,
+    plan_requests,
+    run_loadgen,
+    schedule_summary,
+    self_hosted,
+)
+
+SEED = 11
+SIZES = dict(n_c=300, n_f=15, n_p=20)
+
+CLOSED = LoadgenConfig(
+    mode="closed",
+    clients=2,
+    requests_per_client=6,
+    warmup_requests=1,
+    timeout_s=15.0,
+    seed=SEED,
+)
+OPEN = LoadgenConfig(
+    mode="open",
+    qps=80.0,
+    measure_s=0.4,
+    warmup_s=0.1,
+    ramp_s=0.1,
+    timeout_s=15.0,
+    seed=SEED,
+)
+
+
+@pytest.fixture(scope="module")
+def server():
+    with self_hosted(seed=SEED, **SIZES) as handle:
+        yield handle
+
+
+class TestClosedLoop:
+    @pytest.fixture(scope="class")
+    def result(self, server):
+        return run_loadgen(CLOSED, server.host, server.port)
+
+    def test_plan_fidelity(self, result):
+        assert result.plan_fidelity
+        assert result.issued == 2 * 7
+
+    def test_counts_match_the_deterministic_plan(self, result):
+        planned = schedule_summary(plan_requests(CLOSED))
+        stats = result.stats
+        assert stats.requests == planned["requests"]
+        assert stats.warmup_requests == planned["warmup_requests"]
+        assert (stats.selects, stats.evaluates, stats.updates) == (
+            planned["ops"]["select"],
+            planned["ops"]["evaluate"],
+            planned["ops"]["update"],
+        )
+
+    def test_no_protocol_errors(self, result):
+        assert result.stats.protocol_errors == 0
+
+    def test_server_counters_are_scraped(self, result):
+        assert "cache" in result.server_before
+        assert "cache" in result.server_after
+        rate = result.server_cache_hit_rate()
+        assert rate is None or 0.0 <= rate <= 1.0
+
+    def test_result_dict_round_trips_to_json(self, result):
+        import json
+
+        payload = json.loads(json.dumps(result.to_dict()))
+        assert payload["plan_fidelity"] is True
+        assert payload["stats"]["requests"] == result.stats.requests
+
+
+class TestOpenLoop:
+    def test_open_drive_is_plan_faithful(self, server):
+        result = run_loadgen(OPEN, server.host, server.port)
+        assert result.plan_fidelity
+        assert result.stats.protocol_errors == 0
+        assert result.stats.duration_s > 0
+
+
+class TestValidation:
+    def test_unknown_workspace_is_rejected_before_driving(self, server):
+        from dataclasses import replace
+
+        config = replace(CLOSED, workspace="nope")
+        with pytest.raises(ValueError, match="nope"):
+            run_loadgen(config, server.host, server.port)

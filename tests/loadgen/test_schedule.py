@@ -1,0 +1,126 @@
+"""The deterministic plan: seeding, mix, skew and arrival shape.
+
+Everything here is socket-free — the schedule is a pure function of
+``(config, seed)``, and these tests pin exactly the properties the
+bench suite's pinned metrics rely on.
+"""
+
+from __future__ import annotations
+
+from dataclasses import replace
+
+import pytest
+
+from repro.loadgen import (
+    LoadgenConfig,
+    PHASE_MEASURE,
+    PHASE_WARMUP,
+    closed_schedule,
+    open_schedule,
+    plan_requests,
+    schedule_summary,
+)
+
+BIG = LoadgenConfig(clients=2, requests_per_client=500, warmup_requests=0)
+
+
+class TestClosedSchedule:
+    def test_same_config_plans_identical_streams(self):
+        config = LoadgenConfig(clients=3, requests_per_client=20)
+        assert closed_schedule(config) == closed_schedule(config)
+
+    def test_different_seed_plans_a_different_stream(self):
+        config = LoadgenConfig(clients=3, requests_per_client=20)
+        other = replace(config, seed=config.seed + 1)
+        assert closed_schedule(config) != closed_schedule(other)
+
+    def test_clients_get_independent_streams(self):
+        plans = closed_schedule(LoadgenConfig(clients=2, requests_per_client=50))
+        assert [p.op for p in plans[0]] != [p.op for p in plans[1]]
+
+    def test_per_client_volume_and_phases(self):
+        config = LoadgenConfig(
+            clients=3, requests_per_client=7, warmup_requests=2
+        )
+        for client, sequence in enumerate(closed_schedule(config)):
+            assert len(sequence) == 9
+            assert all(p.client == client for p in sequence)
+            assert [p.phase for p in sequence[:2]] == [PHASE_WARMUP] * 2
+            assert all(p.phase == PHASE_MEASURE for p in sequence[2:])
+
+    def test_mix_approximates_the_configured_fractions(self):
+        summary = schedule_summary(plan_requests(BIG))
+        assert summary["requests"] == 1000
+        assert summary["ops"]["select"] == pytest.approx(800, abs=60)
+        assert summary["ops"]["evaluate"] == pytest.approx(100, abs=40)
+        assert summary["ops"]["update"] == pytest.approx(100, abs=40)
+
+    def test_every_op_carries_its_payload(self):
+        for planned in plan_requests(BIG):
+            if planned.op == "select":
+                assert planned.method in BIG.methods
+            elif planned.op == "evaluate":
+                assert planned.evaluate_key is not None
+                assert 0 <= planned.evaluate_key < BIG.evaluate_keys
+            else:
+                x, y = planned.point
+                assert 0.0 <= x <= 1000.0 and 0.0 <= y <= 1000.0
+
+
+class TestZipfSkew:
+    def test_first_method_is_the_hottest_select_key(self):
+        summary = schedule_summary(
+            plan_requests(replace(BIG, zipf_alpha=1.2))
+        )
+        counts = summary["selects_by_method"]
+        hottest = max(counts, key=counts.get)
+        assert hottest == BIG.methods[0]
+        assert counts[BIG.methods[0]] > 2 * counts[BIG.methods[-1]]
+
+    def test_alpha_zero_flattens_the_histogram(self):
+        counts = schedule_summary(
+            plan_requests(replace(BIG, zipf_alpha=0.0))
+        )["selects_by_method"]
+        lo, hi = min(counts.values()), max(counts.values())
+        assert hi < 2 * lo  # uniform-ish, nothing dominates
+
+    def test_key_histogram_is_sorted_most_popular_first(self):
+        histogram = schedule_summary(plan_requests(BIG))["key_histogram"]
+        values = list(histogram.values())
+        assert values == sorted(values, reverse=True)
+
+
+class TestOpenSchedule:
+    CONFIG = LoadgenConfig(
+        mode="open", qps=500.0, measure_s=1.0, warmup_s=0.3, ramp_s=0.4
+    )
+
+    def test_deterministic_and_sorted(self):
+        arrivals = open_schedule(self.CONFIG)
+        assert arrivals == open_schedule(self.CONFIG)
+        stamps = [p.at_s for p in arrivals]
+        assert stamps == sorted(stamps)
+        assert all(0.0 <= t < 1.7 for t in stamps)
+
+    def test_measure_phase_starts_after_ramp_and_warmup(self):
+        for planned in open_schedule(self.CONFIG):
+            expected = PHASE_MEASURE if planned.at_s >= 0.7 else PHASE_WARMUP
+            assert planned.phase == expected
+
+    def test_ramp_thins_early_arrivals(self):
+        arrivals = open_schedule(self.CONFIG)
+        ramp_half = sum(1 for p in arrivals if p.at_s < 0.2)
+        full_rate = sum(1 for p in arrivals if 0.7 <= p.at_s < 0.9)
+        # The first half of the ramp runs at <= 25% of the full rate on
+        # average; an equal-length full-rate window must see far more.
+        assert full_rate > 2 * ramp_half
+
+    def test_volume_tracks_qps(self):
+        arrivals = open_schedule(self.CONFIG)
+        measured = sum(1 for p in arrivals if p.phase == PHASE_MEASURE)
+        assert measured == pytest.approx(500, rel=0.2)
+
+    def test_plan_requests_dispatches_on_mode(self):
+        assert plan_requests(self.CONFIG) == open_schedule(self.CONFIG)
+        closed = LoadgenConfig(clients=2, requests_per_client=3)
+        assert len(plan_requests(closed)) == 2 * (3 + closed.warmup_requests)
