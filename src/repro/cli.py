@@ -473,9 +473,20 @@ def _cmd_serve(args: argparse.Namespace) -> int:
     import asyncio
 
     from repro.core import DynamicWorkspace
-    from repro.service import QueryService, ServiceConfig
+    from repro.service import QueryService, ServiceConfig, TelemetryConfig
 
     workspace = DynamicWorkspace(_instance_from_args(args))
+    telemetry = TelemetryConfig(
+        enabled=not args.no_telemetry,
+        trace_buffer=args.trace_buffer,
+        slow_log=args.slow_log,
+        window_s=args.window,
+        access_log=args.access_log,
+        log_level=args.log_level,
+        snapshot_path=args.metrics_snapshots,
+        snapshot_interval_s=args.snapshot_interval,
+        metrics_port=args.metrics_port,
+    )
     config = ServiceConfig(
         max_pending=args.max_pending,
         batch_window_s=args.batch_window,
@@ -484,6 +495,7 @@ def _cmd_serve(args: argparse.Namespace) -> int:
         executor=args.executor,
         default_timeout_s=args.timeout if args.timeout > 0 else None,
         cache_entries=args.cache_entries,
+        telemetry=telemetry,
     )
 
     async def _serve() -> None:
@@ -500,6 +512,9 @@ def _cmd_serve(args: argparse.Namespace) -> int:
             f"max_pending={config.max_pending} cache={config.cache_entries}",
             flush=True,
         )
+        if service.metrics_address is not None:
+            mh, mp = service.metrics_address
+            print(f"  metrics on http://{mh}:{mp}/metrics", flush=True)
         try:
             await service.serve_forever()
         except asyncio.CancelledError:
@@ -573,9 +588,20 @@ def _cmd_call(args: argparse.Namespace) -> int:
                     args.action, workspace=args.workspace, **params
                 )
                 print(_json.dumps(report, indent=2, sort_keys=True))
+            elif args.operation == "metrics":
+                sys.stdout.write(client.metrics())
+            elif args.operation == "trace":
+                traces = client.trace(
+                    trace_id=args.trace_id,
+                    recent=args.recent,
+                    slow=args.slow,
+                )
+                print(_json.dumps(traces, indent=2, sort_keys=True))
             else:  # stats / health
                 payload = (
-                    client.stats() if args.operation == "stats" else client.health()
+                    client.stats(prefix=args.prefix)
+                    if args.operation == "stats"
+                    else client.health()
                 )
                 print(_json.dumps(payload, indent=2, sort_keys=True))
     except ClientConnectionError as exc:
@@ -587,6 +613,39 @@ def _cmd_call(args: argparse.Namespace) -> int:
         print(f"error [{exc.code}]: {exc}", file=sys.stderr)
         return 1
     return 0
+
+
+def _cmd_top(args: argparse.Namespace) -> int:
+    import time as _time
+
+    from repro.service import (
+        ClientConnectionError,
+        ServiceClient,
+        ServiceError,
+        render_top,
+    )
+
+    endpoint = f"{args.host}:{args.port}"
+    try:
+        with ServiceClient(args.host, args.port) as client:
+            while True:
+                screen = render_top(
+                    client.stats(), interval_s=args.interval, endpoint=endpoint
+                )
+                if args.once:
+                    sys.stdout.write(screen)
+                    return 0
+                # Clear + home, then repaint: a flicker-free poor man's
+                # curses that needs nothing beyond ANSI.
+                sys.stdout.write("\x1b[2J\x1b[H" + screen)
+                sys.stdout.flush()
+                _time.sleep(args.interval)
+    except KeyboardInterrupt:
+        print()
+        return 0
+    except (ClientConnectionError, ServiceError) as exc:
+        print(f"error [{exc.code}]: {exc}", file=sys.stderr)
+        return 2
 
 
 def _cmd_loadgen(args: argparse.Namespace) -> int:
@@ -698,6 +757,7 @@ def _cmd_loadgen(args: argparse.Namespace) -> int:
                 stats,
                 checks,
                 server_cache_hit_rate=result.server_cache_hit_rate(),
+                server_deltas=result.server_deltas(),
                 title=f"Load-generator SLO report — {config.mode} loop",
             )
         )
@@ -907,12 +967,71 @@ def _add_service_parsers(sub: argparse._SubParsersAction) -> None:
         default=1024,
         help="result-cache capacity (0 disables caching)",
     )
+    p_serve.add_argument(
+        "--access-log",
+        metavar="PATH",
+        help="write one JSON line per request to this file",
+    )
+    p_serve.add_argument(
+        "--log-level",
+        default="info",
+        choices=["debug", "info", "warning", "error"],
+        help="minimum severity written to the access log",
+    )
+    p_serve.add_argument(
+        "--trace-buffer",
+        type=int,
+        default=512,
+        help="finished request traces kept findable by trace_id",
+    )
+    p_serve.add_argument(
+        "--slow-log",
+        type=int,
+        default=32,
+        help="slowest traces retained regardless of buffer churn",
+    )
+    p_serve.add_argument(
+        "--window",
+        type=float,
+        default=60.0,
+        help="rolling-window span (seconds) of the live metrics",
+    )
+    p_serve.add_argument(
+        "--metrics-snapshots",
+        metavar="PATH",
+        help="append periodic JSON-lines registry snapshots to this file",
+    )
+    p_serve.add_argument(
+        "--snapshot-interval",
+        type=float,
+        default=10.0,
+        help="seconds between registry snapshots",
+    )
+    p_serve.add_argument(
+        "--metrics-port",
+        type=int,
+        help="serve plain-HTTP GET /metrics on this port (0 = ephemeral)",
+    )
+    p_serve.add_argument(
+        "--no-telemetry",
+        action="store_true",
+        help="disable request tracing and windowed metrics entirely",
+    )
     _add_worker_args(p_serve)
     p_serve.set_defaults(func=_cmd_serve)
 
     p_call = sub.add_parser("call", help="issue one request to a running service")
     p_call.add_argument(
-        "operation", choices=["select", "evaluate", "update", "stats", "health"]
+        "operation",
+        choices=[
+            "select",
+            "evaluate",
+            "update",
+            "stats",
+            "health",
+            "metrics",
+            "trace",
+        ],
     )
     p_call.add_argument("--host", default="127.0.0.1")
     p_call.add_argument("--port", type=int, default=7733)
@@ -946,7 +1065,36 @@ def _add_service_parsers(sub: argparse._SubParsersAction) -> None:
     p_call.add_argument("--cid", type=int, help="update: client id to remove")
     p_call.add_argument("--sid", type=int, help="update: facility id to remove")
     p_call.add_argument("--weight", type=float, help="update: client weight")
+    p_call.add_argument(
+        "--prefix",
+        help="stats: registry prefix ('' = the whole process registry)",
+    )
+    p_call.add_argument("--trace-id", help="trace: look up one trace by id")
+    p_call.add_argument(
+        "--recent", type=int, help="trace: list the N most recent traces"
+    )
+    p_call.add_argument(
+        "--slow", type=int, help="trace: list the N slowest traces"
+    )
     p_call.set_defaults(func=_cmd_call)
+
+    p_top = sub.add_parser(
+        "top", help="terminal live view of a running service"
+    )
+    p_top.add_argument("--host", default="127.0.0.1")
+    p_top.add_argument("--port", type=int, default=7733)
+    p_top.add_argument(
+        "--interval",
+        type=float,
+        default=2.0,
+        help="seconds between stats polls / repaints",
+    )
+    p_top.add_argument(
+        "--once",
+        action="store_true",
+        help="print one screen and exit (no clearing, no loop)",
+    )
+    p_top.set_defaults(func=_cmd_top)
 
 
 def _add_bench_parser(sub: argparse._SubParsersAction) -> None:

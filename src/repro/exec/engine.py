@@ -38,7 +38,7 @@ from __future__ import annotations
 import multiprocessing
 import time
 from concurrent.futures import Executor, ProcessPoolExecutor, ThreadPoolExecutor
-from typing import Optional, Sequence, Union
+from typing import Mapping, Optional, Sequence, Union
 
 import numpy as np
 
@@ -173,12 +173,19 @@ class QueryEngine:
             selector.task_target = self.task_target
         return selector
 
-    def run(self, method: MethodLike) -> SelectionResult:
+    def run(
+        self,
+        method: MethodLike,
+        tags: Optional[Mapping[str, str]] = None,
+    ) -> SelectionResult:
         """Answer one query; the parallel counterpart of ``select()``.
 
         Resets the workspace's shared I/O counters (like ``select()``)
         and produces the identical location, ``dr`` value and I/O
-        accounting at any worker count.
+        accounting at any worker count.  ``tags`` (e.g. a service
+        ``trace_id``) are stamped onto the query root span and every
+        per-task span when a tracer is attached; they never influence
+        execution or accounting.
         """
         selector = self._resolve(method)
         selector.prepare()
@@ -187,12 +194,18 @@ class QueryEngine:
         ws = self.ws
         ws.reset_stats()
         started = time.perf_counter()
-        with ws.tracer.span(f"query.{selector.name}"):
-            dr = self._execute(selector, ws.stats, ws.tracer)
+        with ws.tracer.span(f"query.{selector.name}") as root:
+            if tags and ws.tracer.enabled:
+                root.attrs.update(tags)
+            dr = self._execute(selector, ws.stats, ws.tracer, tags)
         wall = time.perf_counter() - started
         return self._package(selector, dr, ws.stats, wall)
 
-    def run_batch(self, queries: Sequence[MethodLike]) -> list[SelectionResult]:
+    def run_batch(
+        self,
+        queries: Sequence[MethodLike],
+        tags: Optional[Sequence[Optional[Mapping[str, str]]]] = None,
+    ) -> list[SelectionResult]:
         """Answer many queries concurrently over the shared workspace.
 
         Every query gets a *private* I/O accounting and trace (the
@@ -201,8 +214,15 @@ class QueryEngine:
         queries' tasks share one worker pool.  Results come back in
         input order, and — when a tracer is attached — each query's
         span tree is emitted to the workspace tracer's sinks in input
-        order as well.
+        order as well.  ``tags`` optionally supplies one attribute
+        mapping per query (``None`` entries allowed), stamped onto that
+        query's root and per-task spans — how the service correlates a
+        batch's span trees back to individual requests.
         """
+        if tags is not None and len(tags) != len(queries):
+            raise ValueError(
+                f"tags must match queries: got {len(tags)} for {len(queries)}"
+            )
         selectors = [self._resolve(q) for q in queries]
         for selector in selectors:  # build structures before fork/threads
             selector.prepare()
@@ -214,6 +234,7 @@ class QueryEngine:
 
         def _drive(i: int) -> None:
             selector = selectors[i]
+            qtags = tags[i] if tags is not None else None
             qstats = IOStats()
             qtracer: Tracer | None = None
             if traced:
@@ -222,10 +243,12 @@ class QueryEngine:
             started = time.perf_counter()
             if qtracer is not None:
                 with qtracer.span(f"query.{selector.name}") as root:
-                    dr = self._execute(selector, qstats, qtracer)
+                    if qtags:
+                        root.attrs.update(qtags)
+                    dr = self._execute(selector, qstats, qtracer, qtags)
                 roots[i] = root
             else:
-                dr = self._execute(selector, qstats, NOOP_TRACER)
+                dr = self._execute(selector, qstats, NOOP_TRACER, qtags)
             wall = time.perf_counter() - started
             results[i] = self._package(selector, dr, qstats, wall)
 
@@ -275,7 +298,11 @@ class QueryEngine:
         )
 
     def _execute(
-        self, selector: LocationSelector, stats: IOStats, tracer
+        self,
+        selector: LocationSelector,
+        stats: IOStats,
+        tracer,
+        tags: Optional[Mapping[str, str]] = None,
     ) -> np.ndarray:
         dr = np.zeros(self.ws.n_p, dtype=np.float64)
         latency = self.ws.io_latency_s if self.realize_latency else 0.0
@@ -288,7 +315,7 @@ class QueryEngine:
                     # The driver performs the pre-fanout reads itself.
                     time.sleep((stats.total_reads - before) * latency)
                 outs = self._run_tasks(
-                    selector, stage_index, stage, tasks, stats, tracer, latency
+                    selector, stage_index, stage, tasks, stats, tracer, latency, tags
                 )
                 carry = stage.reduce(outs, dr) if stage.reduce is not None else None
         return dr
@@ -302,6 +329,7 @@ class QueryEngine:
         stats: IOStats,
         tracer,
         latency: float,
+        tags: Optional[Mapping[str, str]] = None,
     ) -> list:
         if not tasks:
             return []
@@ -317,8 +345,12 @@ class QueryEngine:
                     time.sleep((stats.total_reads - before) * latency)
             return outs
         if self.executor == "thread":
-            return self._run_threaded(selector, stage, tasks, stats, tracer, latency)
-        return self._run_forked(selector, stage_index, stage, tasks, stats, tracer, latency)
+            return self._run_threaded(
+                selector, stage, tasks, stats, tracer, latency, tags
+            )
+        return self._run_forked(
+            selector, stage_index, stage, tasks, stats, tracer, latency, tags
+        )
 
     def _run_threaded(
         self,
@@ -328,6 +360,7 @@ class QueryEngine:
         stats: IOStats,
         tracer,
         latency: float,
+        tags: Optional[Mapping[str, str]] = None,
     ) -> list:
         kernel = getattr(selector, stage.kernel)
         traced = tracer.enabled
@@ -354,6 +387,8 @@ class QueryEngine:
         for out, tstats, span in results:
             stats.merge(tstats)
             if span is not None:
+                if tags:
+                    span.attrs.update(tags)
                 tracer.adopt(span)
             outs.append(out)
         return outs
@@ -367,6 +402,7 @@ class QueryEngine:
         stats: IOStats,
         tracer,
         latency: float,
+        tags: Optional[Mapping[str, str]] = None,
     ) -> list:
         if selector.name.upper() not in METHODS:
             raise ValueError(
@@ -382,7 +418,10 @@ class QueryEngine:
         for out, reads, writes, span_dict in results:
             stats.merge_counts(reads, writes)
             if span_dict is not None:
-                tracer.adopt(Span.from_dict(span_dict))
+                span = Span.from_dict(span_dict)
+                if tags:  # stamped driver-side: workers stay tag-agnostic
+                    span.attrs.update(tags)
+                tracer.adopt(span)
             outs.append(out)
         return outs
 

@@ -29,6 +29,17 @@ from repro.loadgen.config import RetryPolicy
 from repro.loadgen.schedule import PlannedRequest
 
 
+def plan_trace_id(planned: PlannedRequest) -> str:
+    """The deterministic trace id one planned request travels under.
+
+    Derived from the plan coordinates (phase, client, sequence) — never
+    stored *in* the plan — so attaching trace ids cannot drift the
+    pinned schedules the bench suite gates on, yet any request in a
+    report can be looked up in the server's trace buffer afterwards.
+    """
+    return f"lg-{planned.phase}-{planned.client}-{planned.sequence}"
+
+
 @dataclass(frozen=True)
 class TransportReply:
     """What the transport learned from one successful round trip."""
@@ -36,6 +47,8 @@ class TransportReply:
     cached: bool = False
     batch_size: Optional[int] = None
     data_version: Optional[int] = None
+    #: The id the server correlated this request's spans under.
+    trace_id: Optional[str] = None
 
 
 class Transport(Protocol):
@@ -61,6 +74,8 @@ class RequestOutcome:
     #: Run-relative clock stamps (for throughput windows).
     started_at: float = 0.0
     finished_at: float = 0.0
+    #: Server-correlated trace id (successful requests only).
+    trace_id: Optional[str] = None
 
     @property
     def deadline_missed(self) -> bool:
@@ -129,6 +144,7 @@ def execute_request(
             planned=planned,
             ok=True,
             cached=reply.cached,
+            trace_id=reply.trace_id,
             attempts=attempts,
             queue_full_retries=queue_full_retries,
             latency_s=finished - started,
@@ -165,7 +181,8 @@ class ServiceTransport:
         self.n_p = max(1, int(n_p))
 
     def send(self, planned: PlannedRequest) -> TransportReply:
-        params: dict = {"workspace": self.workspace}
+        trace_id = plan_trace_id(planned)
+        params: dict = {"workspace": self.workspace, "trace_id": trace_id}
         if self.timeout_s is not None:
             params["timeout_s"] = self.timeout_s
         if planned.op == "select":
@@ -182,6 +199,7 @@ class ServiceTransport:
             cached=bool(response.get("cached", False)),
             batch_size=response.get("batch_size"),
             data_version=response.get("data_version"),
+            trace_id=response.get("trace_id", trace_id),
         )
 
     def close(self) -> None:

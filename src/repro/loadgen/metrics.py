@@ -283,6 +283,7 @@ def render_slo_report(
     stats: LoadgenStats,
     checks: Sequence[SLOCheck],
     server_cache_hit_rate: Optional[float] = None,
+    server_deltas: Optional[dict] = None,
     title: str = "Load-generator SLO report",
 ) -> str:
     """The run as a self-contained markdown document."""
@@ -319,6 +320,22 @@ def render_slo_report(
         lines.append("Errors by code: " + ", ".join(
             f"`{code}`×{count}" for code, count in sorted(stats.errors.items())
         ))
+    # Counter movement only: duration aggregates (latency sums) are
+    # real deltas but read as noise in a table of event counts — the
+    # JSON result keeps them.
+    moved = {
+        key: value
+        for key, value in (server_deltas or {}).items()
+        if value and "latency_s" not in key
+    }
+    if moved:
+        lines.append("")
+        lines.append("## Server-side counter deltas")
+        lines.append("")
+        lines.append("| counter | Δ over run |")
+        lines.append("|---|---:|")
+        for key in sorted(moved):
+            lines.append(f"| `{key}` | {moved[key]:g} |")
     lines.append("")
     lines.append("## SLO checks")
     lines.append("")

@@ -73,6 +73,29 @@ class LoadgenResult:
         total = hits + misses
         return hits / total if total > 0 else None
 
+    def server_deltas(self) -> dict[str, float]:
+        """The server's own view of the run: per-counter deltas.
+
+        Flat numeric diffs of the ``requests``/``cache``/``counters``
+        stats sections between the before/after scrapes (``.mean`` keys
+        are averages, not monotone counters, so they are skipped).
+        Empty when either scrape is missing a section.
+        """
+        deltas: dict[str, float] = {}
+        for section in ("requests", "cache", "counters"):
+            before = self.server_before.get(section)
+            after = self.server_after.get(section)
+            if not isinstance(before, dict) or not isinstance(after, dict):
+                continue
+            for key, value in after.items():
+                if key.endswith(".mean") or not isinstance(value, (int, float)):
+                    continue
+                base = before.get(key, 0)
+                if not isinstance(base, (int, float)):
+                    continue
+                deltas[f"{section}.{key}"] = value - base
+        return deltas
+
     def to_dict(self) -> dict:
         return {
             "config_label": self.config.label(),
@@ -84,6 +107,7 @@ class LoadgenResult:
             "plan_fidelity": self.plan_fidelity,
             "stats": self.stats.to_dict(),
             "server_cache_hit_rate": self.server_cache_hit_rate(),
+            "server_deltas": self.server_deltas(),
         }
 
 

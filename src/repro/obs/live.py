@@ -1,0 +1,284 @@
+"""Live-service telemetry primitives: traces, slow log, access log.
+
+Where :mod:`repro.obs.trace` profiles *one query in-process*, this
+module holds what a long-running server needs to stay observable while
+requests cross threads and sockets:
+
+- :class:`RequestTrace` — one request's correlated record: the
+  ``trace_id`` the client chose (or the server minted), the op and
+  workspace, per-phase spans (admission wait, batch assembly, engine
+  execution, cache lookup) and the outcome.  The engine's full span
+  tree (:meth:`~repro.obs.trace.Span.to_dict`) can be grafted under
+  the ``execute`` span, so a single trace joins the wire-level view to
+  the per-task execution view;
+- :class:`TraceBuffer` — a bounded ring of finished traces, findable
+  by ``trace_id``;
+- :class:`SlowQueryLog` — the top-N slowest finished traces;
+- :class:`AccessLog` — one structured JSON line per request, written
+  atomically under a lock so concurrent handlers never tear a line;
+- :class:`SnapshotWriter` — periodic JSON-lines dumps of the registry's
+  lifetime and windowed views, for offline analysis.
+
+Everything here is thread-safe and allocation-light: a disabled
+telemetry layer costs one ``None`` check at the call sites.
+"""
+
+from __future__ import annotations
+
+import heapq
+import itertools
+import json
+import threading
+import time
+from collections import deque
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import IO, Any, Optional, Union
+
+from repro.obs.registry import MetricsRegistry
+
+#: Monotone source for server-minted trace ids (process-unique).
+_TRACE_COUNTER = itertools.count(1)
+
+#: Access-log severity order.
+LOG_LEVELS = {"debug": 10, "info": 20, "warning": 30, "error": 40}
+
+
+def mint_trace_id(prefix: str = "srv") -> str:
+    """A process-unique trace id for requests that did not carry one."""
+    return f"{prefix}-{next(_TRACE_COUNTER):08x}"
+
+
+@dataclass
+class RequestTrace:
+    """One request's correlated telemetry record."""
+
+    trace_id: str
+    op: str
+    workspace: Optional[str] = None
+    method: Optional[str] = None
+    request_id: Any = None
+    #: Wall-clock start (unix seconds) — for log correlation.
+    ts: float = field(default_factory=time.time)
+    #: Monotonic start — for duration arithmetic.
+    started: float = field(default_factory=time.perf_counter)
+    outcome: str = "pending"  # "ok" | protocol error code
+    cached: bool = False
+    batch_size: Optional[int] = None
+    queue_depth: Optional[int] = None
+    latency_s: float = 0.0
+    spans: list[dict] = field(default_factory=list)
+
+    def add_span(
+        self, name: str, elapsed_s: float, **extra: Any
+    ) -> None:
+        span = {"name": name, "elapsed_s": elapsed_s}
+        span.update(extra)
+        self.spans.append(span)
+
+    def finish(self, outcome: str = "ok") -> None:
+        self.outcome = outcome
+        self.latency_s = time.perf_counter() - self.started
+
+    def span_named(self, name: str) -> Optional[dict]:
+        for span in self.spans:
+            if span["name"] == name:
+                return span
+        return None
+
+    def to_dict(self) -> dict:
+        return {
+            "trace_id": self.trace_id,
+            "request_id": self.request_id,
+            "op": self.op,
+            "workspace": self.workspace,
+            "method": self.method,
+            "ts": self.ts,
+            "outcome": self.outcome,
+            "cached": self.cached,
+            "batch_size": self.batch_size,
+            "queue_depth": self.queue_depth,
+            "latency_s": self.latency_s,
+            "spans": list(self.spans),
+        }
+
+
+class TraceBuffer:
+    """A bounded, thread-safe ring of finished request traces."""
+
+    def __init__(self, capacity: int = 512):
+        if capacity < 1:
+            raise ValueError("capacity must be >= 1")
+        self.capacity = capacity
+        self._traces: deque[RequestTrace] = deque(maxlen=capacity)
+        self._lock = threading.Lock()
+
+    def record(self, trace: RequestTrace) -> None:
+        with self._lock:
+            self._traces.append(trace)
+
+    def find(self, trace_id: str) -> Optional[RequestTrace]:
+        """The newest finished trace with this id, if still buffered."""
+        with self._lock:
+            for trace in reversed(self._traces):
+                if trace.trace_id == trace_id:
+                    return trace
+        return None
+
+    def recent(self, n: int = 50) -> list[RequestTrace]:
+        """The most recent traces, newest first."""
+        with self._lock:
+            items = list(self._traces)
+        return list(reversed(items))[: max(0, n)]
+
+    def __len__(self) -> int:
+        with self._lock:
+            return len(self._traces)
+
+
+class SlowQueryLog:
+    """The top-N slowest finished traces (min-heap by latency)."""
+
+    def __init__(self, capacity: int = 32, min_latency_s: float = 0.0):
+        if capacity < 1:
+            raise ValueError("capacity must be >= 1")
+        self.capacity = capacity
+        self.min_latency_s = min_latency_s
+        self._heap: list[tuple[float, int, RequestTrace]] = []
+        self._seq = itertools.count()  # tie-break so traces never compare
+        self._lock = threading.Lock()
+
+    def offer(self, trace: RequestTrace) -> bool:
+        """Consider one finished trace; True if it entered the log."""
+        if trace.latency_s < self.min_latency_s:
+            return False
+        with self._lock:
+            entry = (trace.latency_s, next(self._seq), trace)
+            if len(self._heap) < self.capacity:
+                heapq.heappush(self._heap, entry)
+                return True
+            if trace.latency_s > self._heap[0][0]:
+                heapq.heapreplace(self._heap, entry)
+                return True
+        return False
+
+    def slowest(self, n: Optional[int] = None) -> list[RequestTrace]:
+        """The slowest traces, slowest first."""
+        with self._lock:
+            ordered = sorted(self._heap, key=lambda e: (-e[0], e[1]))
+        traces = [entry[2] for entry in ordered]
+        return traces if n is None else traces[: max(0, n)]
+
+    def __len__(self) -> int:
+        with self._lock:
+            return len(self._heap)
+
+
+class AccessLog:
+    """A structured JSON access log: one object per line, never torn.
+
+    Accepts a path (opened lazily, append mode) or an open text stream.
+    Every record is serialised *before* the lock is taken and written
+    with a single ``write()`` call under it, so lines from concurrent
+    handlers never interleave.  Records below ``level`` are dropped.
+    """
+
+    def __init__(
+        self,
+        target: Union[str, Path, IO[str]],
+        level: str = "info",
+    ):
+        if level not in LOG_LEVELS:
+            raise ValueError(
+                f"unknown log level {level!r}; expected one of "
+                f"{', '.join(LOG_LEVELS)}"
+            )
+        if isinstance(target, (str, Path)):
+            self._path: Optional[Path] = Path(target)
+            self._stream: Optional[IO[str]] = None
+            self._owns_stream = True
+        else:
+            self._path = None
+            self._stream = target
+            self._owns_stream = False
+        self.level = level
+        self._threshold = LOG_LEVELS[level]
+        self._lock = threading.Lock()
+
+    def write(self, record: dict, level: str = "info") -> None:
+        if LOG_LEVELS.get(level, 20) < self._threshold:
+            return
+        payload = dict(record)
+        payload.setdefault("ts", time.time())
+        payload["level"] = level
+        line = json.dumps(payload, separators=(",", ":"), sort_keys=True) + "\n"
+        with self._lock:
+            if self._stream is None:
+                assert self._path is not None
+                self._stream = self._path.open("a", encoding="utf-8")
+            self._stream.write(line)
+            self._stream.flush()
+
+    def close(self) -> None:
+        with self._lock:
+            if self._owns_stream and self._stream is not None:
+                self._stream.close()
+                self._stream = None
+
+    def __enter__(self) -> "AccessLog":
+        return self
+
+    def __exit__(self, *exc: object) -> None:
+        self.close()
+
+
+class SnapshotWriter:
+    """Periodic JSON-lines dumps of a registry's metric views.
+
+    Each :meth:`write_snapshot` call appends one line holding the
+    lifetime scalar snapshot and the windowed views (rates/quantiles)
+    at that instant — an offline-analysable time series without a
+    metrics database.  The caller owns the cadence (the service runs it
+    from an asyncio task); writes are locked like :class:`AccessLog`.
+    """
+
+    def __init__(
+        self,
+        target: Union[str, Path, IO[str]],
+        registry: MetricsRegistry,
+        prefix: str = "",
+    ):
+        if isinstance(target, (str, Path)):
+            self._path: Optional[Path] = Path(target)
+            self._stream: Optional[IO[str]] = None
+            self._owns_stream = True
+        else:
+            self._path = None
+            self._stream = target
+            self._owns_stream = False
+        self.registry = registry
+        self.prefix = prefix
+        self._lock = threading.Lock()
+
+    def write_snapshot(self, **extra: Any) -> dict:
+        """Append one snapshot line; returns the written payload."""
+        payload: dict[str, Any] = {
+            "ts": time.time(),
+            "metrics": self.registry.snapshot(self.prefix),
+            "windows": self.registry.window_snapshot(self.prefix),
+        }
+        payload.update(extra)
+        line = json.dumps(payload, separators=(",", ":"), sort_keys=True) + "\n"
+        with self._lock:
+            if self._stream is None:
+                assert self._path is not None
+                self._stream = self._path.open("a", encoding="utf-8")
+            self._stream.write(line)
+            self._stream.flush()
+        return payload
+
+    def close(self) -> None:
+        with self._lock:
+            if self._owns_stream and self._stream is not None:
+                self._stream.close()
+                self._stream = None

@@ -1,0 +1,370 @@
+"""OpenMetrics text exposition for the metrics registry.
+
+:func:`render_openmetrics` turns a
+:class:`~repro.obs.registry.MetricsRegistry` into the OpenMetrics text
+format (the Prometheus scrape format's standardised successor): one
+``# TYPE`` metadata line per metric family, samples with escaped
+labels, and the mandatory ``# EOF`` terminator.  Counters become
+OpenMetrics counters (``_total`` sample suffix), gauges become gauges,
+and histograms are exposed as **summaries** — the registry keeps raw
+reservoir samples rather than fixed buckets, so quantile samples
+(``{quantile="0.5"}`` ...) plus ``_count``/``_sum`` are the faithful
+rendering.
+
+Label convention: a registry metric named ``family{k=v,k2=v2}`` is one
+labelled sample of family ``family`` — that is how the live service
+metrics carry per-workspace and per-op labels through the flat
+registry namespace without touching the plain callers.  Names are
+sanitised to the exposition charset (dots become underscores).
+
+:func:`lint_openmetrics` is a dependency-free conformance checker over
+the rules that matter for scrapers (metadata before samples, no
+interleaved families, valid names/labels/values, ``# EOF``); CI runs it
+against a live server's ``metrics`` output so a formatting regression
+can never ship.
+"""
+
+from __future__ import annotations
+
+import math
+import re
+from typing import Iterable, Optional
+
+from repro.obs.registry import Counter, Gauge, Histogram, MetricsRegistry
+
+#: Quantiles exposed per histogram-as-summary family.
+SUMMARY_QUANTILES = (0.5, 0.9, 0.99)
+
+#: The content type a scrape endpoint should declare.
+CONTENT_TYPE = "application/openmetrics-text; version=1.0.0; charset=utf-8"
+
+_NAME_RE = re.compile(r"[a-zA-Z_:][a-zA-Z0-9_:]*\Z")
+_LABEL_NAME_RE = re.compile(r"[a-zA-Z_][a-zA-Z0-9_]*\Z")
+_SAMPLE_RE = re.compile(
+    r"(?P<name>[a-zA-Z_:][a-zA-Z0-9_:]*)"
+    r"(?:\{(?P<labels>[^}]*)\})?"
+    r" (?P<value>\S+)"
+    r"(?: (?P<timestamp>\S+))?\Z"
+)
+_LABEL_RE = re.compile(r'(?P<name>[a-zA-Z_][a-zA-Z0-9_]*)="(?P<value>(?:[^"\\]|\\.)*)"')
+
+
+def sanitize_name(name: str) -> str:
+    """A registry metric name as a legal exposition metric name."""
+    out = re.sub(r"[^a-zA-Z0-9_:]", "_", name)
+    if not out or not _NAME_RE.match(out):
+        out = "_" + out
+    return out
+
+
+def split_labels(name: str) -> tuple[str, dict[str, str]]:
+    """Split a ``family{k=v,...}`` registry name into (family, labels)."""
+    if not name.endswith("}") or "{" not in name:
+        return name, {}
+    family, _, inner = name.partition("{")
+    labels: dict[str, str] = {}
+    for part in inner[:-1].split(","):
+        if not part:
+            continue
+        key, _, value = part.partition("=")
+        labels[key.strip()] = value.strip()
+    return family, labels
+
+
+def labeled_name(family: str, **labels: str) -> str:
+    """The registry-name convention for one labelled sample.
+
+    >>> labeled_name("service.requests", op="select", workspace="default")
+    'service.requests{op=select,workspace=default}'
+    """
+    inner = ",".join(f"{k}={labels[k]}" for k in sorted(labels))
+    return f"{family}{{{inner}}}" if inner else family
+
+
+def _escape_label_value(value: str) -> str:
+    return value.replace("\\", "\\\\").replace('"', '\\"').replace("\n", "\\n")
+
+
+def _format_value(value: float) -> str:
+    if math.isinf(value):
+        return "+Inf" if value > 0 else "-Inf"
+    if math.isnan(value):
+        return "NaN"
+    if float(value).is_integer() and abs(value) < 1e15:
+        return str(int(value))
+    return repr(float(value))
+
+
+def _render_labels(labels: dict[str, str]) -> str:
+    if not labels:
+        return ""
+    inner = ",".join(
+        f'{sanitize_name(k)}="{_escape_label_value(str(v))}"'
+        for k, v in sorted(labels.items())
+    )
+    return "{" + inner + "}"
+
+
+def render_openmetrics(
+    registry: MetricsRegistry, prefix: str = ""
+) -> str:
+    """The registry's metrics (name-filtered by ``prefix``) as one
+    OpenMetrics text document, ``# EOF`` included."""
+    # Group labelled samples under their family, preserving metric kind.
+    families: dict[str, dict] = {}
+    for name in registry.names():
+        if not name.startswith(prefix):
+            continue
+        metric = registry.get(name)
+        if metric is None:
+            continue
+        family_name, labels = split_labels(name)
+        exposed = sanitize_name(family_name)
+        family = families.setdefault(
+            exposed, {"kind": metric.kind, "samples": []}
+        )
+        if family["kind"] != metric.kind:
+            # Same exposed family from two registry kinds (should not
+            # happen, but never emit an interleaved-type document).
+            exposed = f"{exposed}_{metric.kind}"
+            family = families.setdefault(
+                exposed, {"kind": metric.kind, "samples": []}
+            )
+        family["samples"].append((labels, metric))
+
+    lines: list[str] = []
+    for exposed in sorted(families):
+        family = families[exposed]
+        kind = family["kind"]
+        om_type = {"counter": "counter", "gauge": "gauge", "histogram": "summary"}[
+            kind
+        ]
+        lines.append(f"# TYPE {exposed} {om_type}")
+        for labels, metric in family["samples"]:
+            rendered = _render_labels(labels)
+            if isinstance(metric, Counter):
+                lines.append(
+                    f"{exposed}_total{rendered} {_format_value(metric.value)}"
+                )
+            elif isinstance(metric, Gauge):
+                lines.append(f"{exposed}{rendered} {_format_value(metric.value)}")
+            elif isinstance(metric, Histogram):
+                for q in SUMMARY_QUANTILES:
+                    q_labels = dict(labels)
+                    q_labels["quantile"] = repr(q)
+                    lines.append(
+                        f"{exposed}{_render_labels(q_labels)} "
+                        f"{_format_value(metric.quantile(q))}"
+                    )
+                lines.append(
+                    f"{exposed}_count{rendered} {_format_value(metric.count)}"
+                )
+                lines.append(f"{exposed}_sum{rendered} {_format_value(metric.sum)}")
+    lines.append("# EOF")
+    return "\n".join(lines) + "\n"
+
+
+# ----------------------------------------------------------------------
+# Conformance linting
+# ----------------------------------------------------------------------
+def _parse_value(raw: str) -> Optional[float]:
+    if raw in ("+Inf", "-Inf", "NaN"):
+        return {"+Inf": math.inf, "-Inf": -math.inf, "NaN": math.nan}[raw]
+    try:
+        return float(raw)
+    except ValueError:
+        return None
+
+
+def _family_of_sample(name: str, declared: dict[str, str]) -> Optional[str]:
+    """Which declared family a sample name belongs to (suffix-aware)."""
+    candidates = [name]
+    for suffix in ("_total", "_count", "_sum", "_created", "_bucket"):
+        if name.endswith(suffix):
+            candidates.append(name[: -len(suffix)])
+    for candidate in candidates:
+        if candidate in declared:
+            return candidate
+    return None
+
+
+def lint_openmetrics(text: str) -> list[str]:
+    """Conformance problems of one OpenMetrics text document.
+
+    An empty list means the document passes every check:
+
+    * ends with exactly one ``# EOF`` line, nothing after it;
+    * metric and label names match the exposition charset;
+    * every sample's family has a ``# TYPE`` declared *before* it, at
+      most once, and families are never interleaved;
+    * counter samples use the ``_total``/``_created`` suffixes, gauge
+      samples the bare family name, summary samples quantile labels in
+      ``[0, 1]`` or ``_count``/``_sum``;
+    * label syntax/escaping is valid and no (name, labelset) repeats;
+    * sample values parse as OpenMetrics floats.
+    """
+    problems: list[str] = []
+    if not text:
+        return ["document is empty"]
+    if not text.endswith("\n"):
+        problems.append("document must end with a newline")
+    lines = text.split("\n")
+    if lines and lines[-1] == "":
+        lines.pop()
+    if not lines or lines[-1] != "# EOF":
+        problems.append("document must end with the '# EOF' terminator")
+    declared: dict[str, str] = {}  # family -> type
+    finished: set[str] = set()  # families whose block already closed
+    seen_samples: set[tuple] = set()
+    current_family: Optional[str] = None
+    for lineno, line in enumerate(lines, start=1):
+        if line == "# EOF":
+            if lineno != len(lines):
+                problems.append(f"line {lineno}: content after '# EOF'")
+            break
+        if not line:
+            problems.append(f"line {lineno}: blank lines are not allowed")
+            continue
+        if line.startswith("#"):
+            parts = line.split(" ", 3)
+            if len(parts) < 3 or parts[0] != "#" or parts[1] not in (
+                "TYPE",
+                "HELP",
+                "UNIT",
+            ):
+                problems.append(f"line {lineno}: malformed comment {line!r}")
+                continue
+            family = parts[2]
+            if not _NAME_RE.match(family):
+                problems.append(f"line {lineno}: invalid family name {family!r}")
+                continue
+            if parts[1] == "TYPE":
+                if len(parts) != 4:
+                    problems.append(f"line {lineno}: TYPE needs a metric type")
+                    continue
+                if parts[3] not in (
+                    "counter",
+                    "gauge",
+                    "histogram",
+                    "summary",
+                    "info",
+                    "stateset",
+                    "unknown",
+                    "gaugehistogram",
+                ):
+                    problems.append(
+                        f"line {lineno}: unknown metric type {parts[3]!r}"
+                    )
+                if family in declared:
+                    problems.append(
+                        f"line {lineno}: duplicate TYPE for family {family!r}"
+                    )
+                if family in finished:
+                    problems.append(
+                        f"line {lineno}: family {family!r} is interleaved"
+                    )
+                declared[family] = parts[3] if len(parts) == 4 else "unknown"
+                if current_family is not None and current_family != family:
+                    finished.add(current_family)
+                current_family = family
+            continue
+        match = _SAMPLE_RE.match(line)
+        if match is None:
+            problems.append(f"line {lineno}: malformed sample line {line!r}")
+            continue
+        name = match.group("name")
+        family = _family_of_sample(name, declared)
+        if family is None:
+            problems.append(
+                f"line {lineno}: sample {name!r} has no preceding TYPE"
+            )
+            continue
+        if family in finished:
+            problems.append(f"line {lineno}: family {family!r} is interleaved")
+        if current_family is not None and family != current_family:
+            finished.add(current_family)
+        current_family = family
+        kind = declared[family]
+        labels = {}
+        raw_labels = match.group("labels")
+        if raw_labels is not None:
+            consumed = 0
+            for label_match in _LABEL_RE.finditer(raw_labels):
+                key = label_match.group("name")
+                if key in labels:
+                    problems.append(
+                        f"line {lineno}: duplicate label {key!r}"
+                    )
+                labels[key] = label_match.group("value")
+                consumed += len(label_match.group(0)) + 1  # +1 for the comma
+            if raw_labels and consumed < len(raw_labels):
+                problems.append(
+                    f"line {lineno}: malformed labels {raw_labels!r}"
+                )
+        if kind == "counter" and not (
+            name.endswith("_total") or name.endswith("_created")
+        ):
+            problems.append(
+                f"line {lineno}: counter sample {name!r} must end in _total"
+            )
+        if kind == "gauge" and name != family:
+            problems.append(
+                f"line {lineno}: gauge sample {name!r} must use the bare "
+                f"family name {family!r}"
+            )
+        if kind == "summary":
+            if name == family:
+                quantile = labels.get("quantile")
+                if quantile is None:
+                    problems.append(
+                        f"line {lineno}: summary sample needs a quantile label"
+                    )
+                else:
+                    parsed = _parse_value(quantile)
+                    if parsed is None or not 0.0 <= parsed <= 1.0:
+                        problems.append(
+                            f"line {lineno}: quantile {quantile!r} not in [0, 1]"
+                        )
+            elif not (name.endswith("_count") or name.endswith("_sum")
+                      or name.endswith("_created")):
+                problems.append(
+                    f"line {lineno}: unexpected summary sample {name!r}"
+                )
+        value = _parse_value(match.group("value"))
+        if value is None:
+            problems.append(
+                f"line {lineno}: value {match.group('value')!r} is not a float"
+            )
+        identity = (name, tuple(sorted(labels.items())))
+        if identity in seen_samples:
+            problems.append(
+                f"line {lineno}: duplicate sample {name!r} {labels!r}"
+            )
+        seen_samples.add(identity)
+    return problems
+
+
+def assert_openmetrics(text: str) -> None:
+    """Raise ``ValueError`` listing every conformance problem (if any)."""
+    problems = lint_openmetrics(text)
+    if problems:
+        raise ValueError(
+            "OpenMetrics conformance failed:\n  " + "\n  ".join(problems)
+        )
+
+
+def iter_samples(text: str) -> Iterable[tuple[str, dict[str, str], float]]:
+    """(name, labels, value) for every sample line of a document."""
+    for line in text.split("\n"):
+        if not line or line.startswith("#"):
+            continue
+        match = _SAMPLE_RE.match(line)
+        if match is None:
+            continue
+        labels = {
+            m.group("name"): m.group("value")
+            for m in _LABEL_RE.finditer(match.group("labels") or "")
+        }
+        value = _parse_value(match.group("value"))
+        if value is not None:
+            yield match.group("name"), labels, value

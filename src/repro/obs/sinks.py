@@ -14,6 +14,7 @@ the repo's needs:
 from __future__ import annotations
 
 import json
+import threading
 from pathlib import Path
 from typing import Callable, IO, Optional, Union
 
@@ -48,9 +49,15 @@ class JsonLinesSink:
     Accepts a path (opened lazily, append mode) or an open text stream.
     Each line is the nested :meth:`~repro.obs.trace.Span.to_dict` form;
     :func:`read_jsonl` round-trips it back into :class:`Span` trees.
+
+    Emission is thread-safe: the line is serialised *before* the lock
+    is taken and written with one ``write()`` call under it, so sinks
+    shared between concurrently-finishing tracers (one tracer per
+    worker, one shared sink — the service's layout) never interleave
+    or tear lines.
     """
 
-    __slots__ = ("_path", "_stream", "_owns_stream")
+    __slots__ = ("_path", "_stream", "_owns_stream", "_lock")
 
     def __init__(self, target: Union[str, Path, IO[str]]):
         if isinstance(target, (str, Path)):
@@ -61,19 +68,22 @@ class JsonLinesSink:
             self._path = None
             self._stream = target
             self._owns_stream = False
+        self._lock = threading.Lock()
 
     def emit(self, root: Span) -> None:
-        if self._stream is None:
-            assert self._path is not None
-            self._stream = self._path.open("a", encoding="utf-8")
-        json.dump(root.to_dict(), self._stream, separators=(",", ":"))
-        self._stream.write("\n")
-        self._stream.flush()
+        line = json.dumps(root.to_dict(), separators=(",", ":")) + "\n"
+        with self._lock:
+            if self._stream is None:
+                assert self._path is not None
+                self._stream = self._path.open("a", encoding="utf-8")
+            self._stream.write(line)
+            self._stream.flush()
 
     def close(self) -> None:
-        if self._owns_stream and self._stream is not None:
-            self._stream.close()
-            self._stream = None
+        with self._lock:
+            if self._owns_stream and self._stream is not None:
+                self._stream.close()
+                self._stream = None
 
     def __enter__(self) -> "JsonLinesSink":
         return self

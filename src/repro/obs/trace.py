@@ -33,7 +33,9 @@ class Span:
 
     ``reads``/``writes`` hold *self* page counts by structure name —
     pages charged while this span was innermost, excluding descendants.
-    ``counters`` holds custom counts reported the same way.
+    ``counters`` holds custom counts reported the same way.  ``attrs``
+    holds free-form string tags (e.g. a service ``trace_id``) attached
+    by hosting layers; empty attrs are omitted from the wire form.
     """
 
     __slots__ = (
@@ -43,6 +45,7 @@ class Span:
         "reads",
         "writes",
         "counters",
+        "attrs",
         "elapsed_s",
         "_started",
     )
@@ -54,6 +57,7 @@ class Span:
         self.reads: dict[str, int] = {}
         self.writes: dict[str, int] = {}
         self.counters: dict[str, int] = {}
+        self.attrs: dict[str, str] = {}
         self.elapsed_s = 0.0
         self._started = 0.0
 
@@ -103,7 +107,7 @@ class Span:
     # ------------------------------------------------------------------
     def to_dict(self) -> dict[str, Any]:
         """A JSON-serialisable nested representation of the subtree."""
-        return {
+        data = {
             "name": self.name,
             "elapsed_s": self.elapsed_s,
             "reads": dict(self.reads),
@@ -111,6 +115,9 @@ class Span:
             "counters": dict(self.counters),
             "children": [c.to_dict() for c in self.children],
         }
+        if self.attrs:  # omitted when empty: the common (untagged) case
+            data["attrs"] = dict(self.attrs)
+        return data
 
     @classmethod
     def from_dict(cls, data: dict[str, Any]) -> "Span":
@@ -122,6 +129,7 @@ class Span:
         span.counters = {
             str(k): int(v) for k, v in data.get("counters", {}).items()
         }
+        span.attrs = {str(k): str(v) for k, v in data.get("attrs", {}).items()}
         for child_data in data.get("children", []):
             child = cls.from_dict(child_data)
             child.parent = span

@@ -13,7 +13,11 @@ newline-delimited JSON protocol with
   the worker pool and the decoded-leaf cache across requests;
 * a **versioned result cache** — keyed by the workspace's
   ``data_version``, so a ``DynamicWorkspace`` mutation invalidates by
-  construction.
+  construction;
+* **live telemetry** — request tracing under client-assigned trace
+  ids, rolling-window metrics with an OpenMetrics exposition, a JSON
+  access log and the ``mindist top`` live view (see
+  :mod:`repro.service.telemetry`).
 
 Quick usage::
 
@@ -53,6 +57,8 @@ from repro.service.server import (
     WorkspaceHost,
     serve_in_thread,
 )
+from repro.service.telemetry import ServiceTelemetry, TelemetryConfig
+from repro.service.top import render_top
 
 __all__ = [
     "AdmissionQueue",
@@ -68,11 +74,14 @@ __all__ = [
     "ServiceError",
     "ServiceHandle",
     "ServiceSelection",
+    "ServiceTelemetry",
     "ShuttingDownError",
+    "TelemetryConfig",
     "Ticket",
     "UnknownMethodError",
     "UnknownWorkspaceError",
     "UnsupportedError",
     "WorkspaceHost",
+    "render_top",
     "serve_in_thread",
 ]

@@ -27,6 +27,7 @@ from __future__ import annotations
 
 import socket
 import threading
+import uuid
 from dataclasses import dataclass
 from typing import Any, Optional, Sequence
 
@@ -49,6 +50,9 @@ class ServiceSelection:
     data_version: int
     batch_size: Optional[int] = None
     queue_wait_s: Optional[float] = None
+    #: The id this request's server-side spans were correlated under
+    #: (client-assigned or server-minted); look it up with ``trace``.
+    trace_id: Optional[str] = None
 
     @classmethod
     def from_response(cls, response: dict) -> "ServiceSelection":
@@ -58,6 +62,7 @@ class ServiceSelection:
             data_version=int(response.get("data_version", 0)),
             batch_size=response.get("batch_size"),
             queue_wait_s=response.get("queue_wait_s"),
+            trace_id=response.get("trace_id"),
         )
 
 
@@ -85,6 +90,9 @@ class ServiceClient:
         self._file = self._sock.makefile("rwb")
         self._lock = threading.Lock()
         self._next_id = 0
+        #: Per-connection tag making auto-assigned trace ids unique
+        #: across clients without any coordination.
+        self._trace_tag = uuid.uuid4().hex[:12]
 
     # ------------------------------------------------------------------
     def close(self) -> None:
@@ -106,6 +114,9 @@ class ServiceClient:
     def _take_id(self) -> int:
         self._next_id += 1
         return self._next_id
+
+    def _mint_trace_id(self, request_id: int) -> str:
+        return f"c-{self._trace_tag}-{request_id}"
 
     def _send(self, message: dict) -> None:
         self._file.write(encode(message))
@@ -152,13 +163,21 @@ class ServiceClient:
         workspace: str = "default",
         timeout_s: Optional[float] = None,
         no_cache: bool = False,
+        trace_id: Optional[str] = None,
     ) -> ServiceSelection:
-        """Answer one min-dist location selection query over the wire."""
+        """Answer one min-dist location selection query over the wire.
+
+        Every request carries a ``trace_id`` — the caller's, or an
+        auto-assigned per-connection one — so server-side spans are
+        always recoverable via :meth:`trace`.
+        """
+        request_id = self._take_id()
         message: dict[str, Any] = {
-            "id": self._take_id(),
+            "id": request_id,
             "op": "select",
             "workspace": workspace,
             "method": method,
+            "trace_id": trace_id or self._mint_trace_id(request_id),
         }
         if timeout_s is not None:
             message["timeout_s"] = timeout_s
@@ -187,11 +206,13 @@ class ServiceClient:
             try:
                 ids = []
                 for method in methods:
+                    request_id = self._take_id()
                     message: dict[str, Any] = {
-                        "id": self._take_id(),
+                        "id": request_id,
                         "op": "select",
                         "workspace": workspace,
                         "method": method,
+                        "trace_id": self._mint_trace_id(request_id),
                     }
                     if timeout_s is not None:
                         message["timeout_s"] = timeout_s
@@ -235,11 +256,34 @@ class ServiceClient:
         )
         return response["result"]
 
-    def stats(self) -> dict:
-        return self.call("stats")["result"]
+    def stats(self, prefix: Optional[str] = None) -> dict:
+        """Service stats; ``prefix=""`` exposes the whole registry."""
+        if prefix is None:
+            return self.call("stats")["result"]
+        return self.call("stats", prefix=prefix)["result"]
 
     def health(self) -> dict:
         return self.call("health")["result"]
+
+    def metrics(self) -> str:
+        """The registry in OpenMetrics text exposition form."""
+        return self.call("metrics")["result"]["body"]
+
+    def trace(
+        self,
+        trace_id: Optional[str] = None,
+        recent: Optional[int] = None,
+        slow: Optional[int] = None,
+    ) -> list[dict]:
+        """Finished request traces: one by id, the slow log, or recent."""
+        params: dict[str, Any] = {}
+        if trace_id is not None:
+            params["trace_id"] = trace_id
+        elif slow is not None:
+            params["slow"] = slow
+        elif recent is not None:
+            params["recent"] = recent
+        return self.call("trace", **params)["result"]["traces"]
 
 
 def _unwrap(response: dict, expected_id: Any = None) -> dict:

@@ -18,7 +18,14 @@ Response shape::
 
 Operations: ``select`` (answer one query), ``evaluate`` (report on
 specific candidates), ``update`` (mutate a dynamic workspace),
-``stats`` (service counters) and ``health`` (liveness/drain state).
+``stats`` (service counters; optional ``prefix`` widens the registry
+view), ``health`` (liveness/drain state), ``metrics`` (OpenMetrics
+text exposition) and ``trace`` (look up finished request traces).
+
+Any request may carry a caller-chosen ``trace_id`` string; the server
+correlates its internal spans under it and echoes it on the response
+(minting one when absent), so a slow answer can be investigated after
+the fact with the ``trace`` op.
 
 Floats cross the wire through ``json``'s ``repr``-based formatting,
 which round-trips every finite IEEE-754 double exactly — so a ``dr``
@@ -39,7 +46,15 @@ from repro.core.types import SelectionResult, Site
 PROTOCOL_VERSION = 1
 
 #: The operations a server understands.
-OPERATIONS = ("select", "evaluate", "update", "stats", "health")
+OPERATIONS = (
+    "select",
+    "evaluate",
+    "update",
+    "stats",
+    "health",
+    "metrics",
+    "trace",
+)
 
 # ----------------------------------------------------------------------
 # Error codes

@@ -29,6 +29,14 @@ without ever being admitted.
 Every request is handled as its own task, so a single connection may
 pipeline many requests (responses re-associate by ``id``) — that is
 also how one client makes a micro-batch happen on purpose.
+
+Every request also runs under a :class:`~repro.obs.live.RequestTrace`
+(when :class:`~repro.service.telemetry.TelemetryConfig` is enabled, the
+default): the client's ``trace_id`` — or a server-minted one — is
+echoed on the response, correlated across the admission-wait, batch-
+assembly, engine-execution and cache-lookup spans, propagated into the
+engine's per-task span ``attrs``, and recoverable afterwards through
+the ``trace`` op.  Telemetry never changes what a query computes.
 """
 
 from __future__ import annotations
@@ -36,16 +44,20 @@ from __future__ import annotations
 import asyncio
 import threading
 import time
-from dataclasses import dataclass
+from dataclasses import dataclass, field
 from typing import Any, Optional
 
 from repro.core import METHODS
 from repro.core.dynamic import DynamicWorkspace
 from repro.core.evaluate import evaluate_location
 from repro.exec import BufferPoolWorkspaceError, QueryEngine
+from repro.obs.openmetrics import CONTENT_TYPE
 from repro.obs.registry import REGISTRY
+from repro.obs.sinks import CallbackSink
+from repro.obs.trace import Span, Tracer
 from repro.service.admission import AdmissionQueue, Ticket
 from repro.service.cache import ResultCache
+from repro.service.telemetry import ServiceTelemetry, TelemetryConfig
 from repro.service.protocol import (
     OPERATIONS,
     PROTOCOL_VERSION,
@@ -86,16 +98,26 @@ class ServiceConfig:
     #: How long :meth:`QueryService.shutdown` waits for the queues to
     #: drain before abandoning stragglers.
     drain_timeout_s: float = 10.0
+    #: Live-telemetry configuration (tracing, windows, exporters).
+    telemetry: TelemetryConfig = field(default_factory=TelemetryConfig)
 
 
 class WorkspaceHost:
     """One hosted workspace: engine + admission queue + micro-batcher."""
 
-    def __init__(self, name: str, workspace, config: ServiceConfig, cache: ResultCache):
+    def __init__(
+        self,
+        name: str,
+        workspace,
+        config: ServiceConfig,
+        cache: ResultCache,
+        telemetry: Optional[ServiceTelemetry] = None,
+    ):
         self.name = name
         self.workspace = workspace
         self.config = config
         self.cache = cache
+        self.telemetry = telemetry
         try:
             self.engine = QueryEngine(
                 workspace, workers=config.workers, executor=config.executor
@@ -104,6 +126,12 @@ class WorkspaceHost:
             raise BufferPoolWorkspaceError(
                 f"workspace {name!r} cannot be served: {exc}"
             ) from None
+        #: Engine span roots of the current batch, in query order.  Safe
+        #: as plain state: one batch runs at a time per workspace, and
+        #: the list is cleared before / drained after each run_batch.
+        self._roots: list[Span] = []
+        if telemetry is not None and telemetry.enabled:
+            workspace.attach_tracer(Tracer([CallbackSink(self._roots.append)]))
         self.queue = AdmissionQueue(name, config.max_pending)
         self._task: Optional[asyncio.Task] = None
         self._batches = REGISTRY.counter("service.batches")
@@ -152,6 +180,9 @@ class WorkspaceHost:
         while True:
             ticket = carried if carried is not None else await self.queue.get()
             carried = None
+            # When the ticket was picked off the queue: the boundary
+            # between its admission-wait and batch-assembly spans.
+            ticket.meta.setdefault("picked_at", loop.time())
             if self._discard_if_dead(ticket, loop.time()):
                 continue
             if ticket.op != "select":
@@ -163,6 +194,7 @@ class WorkspaceHost:
                 nxt = await self.queue.get_nowait_or_wait(window_end - loop.time())
                 if nxt is None:
                     break
+                nxt.meta.setdefault("picked_at", loop.time())
                 if self._discard_if_dead(nxt, loop.time()):
                     continue
                 if nxt.op != "select":
@@ -209,8 +241,35 @@ class WorkspaceHost:
         keys = list(groups)
         methods = [groups[key][0].params["method"] for key in keys]
         started = loop.time()
+        traced = self.telemetry is not None and self.telemetry.enabled
+        tags: Optional[list] = None
+        if traced:
+            # Admission wait ended when the batcher picked the ticket;
+            # everything between that and the engine call is assembly.
+            for ticket in live:
+                trace = ticket.meta.get("trace")
+                if trace is None:
+                    continue
+                picked = ticket.meta.get("picked_at", started)
+                trace.add_span("admission", picked - ticket.enqueued_at)
+                trace.add_span("batch", started - picked)
+            # One tag set per engine query: the first traced ticket of
+            # each coalesced group lends its id to the shared span tree.
+            tags = []
+            for key in keys:
+                group_traces = [
+                    t.meta["trace"]
+                    for t in groups[key]
+                    if t.meta.get("trace") is not None
+                ]
+                tags.append(
+                    {"trace_id": group_traces[0].trace_id}
+                    if group_traces
+                    else None
+                )
+            self._roots.clear()
         try:
-            results = await asyncio.to_thread(self.engine.run_batch, methods)
+            results = await asyncio.to_thread(self.engine.run_batch, methods, tags)
         except Exception as exc:  # noqa: BLE001 — surfaced to every caller
             error = (
                 exc
@@ -221,13 +280,28 @@ class WorkspaceHost:
                 ticket.fail(error)
                 self.queue.finish(ticket)
             return
+        execute_s = loop.time() - started
+        roots = list(self._roots) if traced else []
+        self._roots.clear()
         self._batches.inc()
         self._batch_size.observe(len(live))
-        for key, result in zip(keys, results):
+        for index, (key, result) in enumerate(zip(keys, results)):
             wire = selection_to_wire(result)
+            engine_tree = (
+                roots[index].to_dict() if index < len(roots) else None
+            )
             for ticket in groups[key]:
                 if not ticket.params.get("no_cache"):
                     self.cache.put(key, wire)
+                trace = ticket.meta.get("trace")
+                if trace is not None:
+                    trace.batch_size = len(live)
+                    extra: dict[str, Any] = {
+                        "coalesced_with": len(groups[key]) - 1
+                    }
+                    if engine_tree is not None:
+                        extra["engine"] = engine_tree
+                    trace.add_span("execute", execute_s, **extra)
                 ticket.resolve(
                     {
                         "result": wire,
@@ -244,6 +318,12 @@ class WorkspaceHost:
     # Non-batched operations (updates, evaluations)
     # ------------------------------------------------------------------
     async def _run_single(self, ticket: Ticket) -> None:
+        loop = asyncio.get_running_loop()
+        started = loop.time()
+        trace = ticket.meta.get("trace")
+        if trace is not None:
+            picked = ticket.meta.get("picked_at", started)
+            trace.add_span("admission", picked - ticket.enqueued_at)
         try:
             if ticket.op == "update":
                 payload = await asyncio.to_thread(self._apply_update, ticket.params)
@@ -254,6 +334,8 @@ class WorkspaceHost:
                 payload = await asyncio.to_thread(self._apply_evaluate, ticket.params)
             else:
                 raise BadRequestError(f"unknown queued operation {ticket.op!r}")
+            if trace is not None:
+                trace.add_span("execute", loop.time() - started)
             ticket.resolve(payload)
         except ServiceError as exc:
             ticket.fail(exc)
@@ -373,12 +455,19 @@ class QueryService:
         if not workspaces:
             raise ValueError("a service needs at least one named workspace")
         self.config = config or ServiceConfig()
+        # Telemetry first: it upgrades the shared registry metrics to
+        # their windowed variants *before* the cache, queues and hosts
+        # fetch handles, so their increments feed the rolling windows.
+        self.telemetry = ServiceTelemetry(self.config.telemetry)
         self.cache = ResultCache(self.config.cache_entries)
         self.hosts = {
-            name: WorkspaceHost(name, ws, self.config, self.cache)
+            name: WorkspaceHost(name, ws, self.config, self.cache, self.telemetry)
             for name, ws in workspaces.items()
         }
         self._server: Optional[asyncio.base_events.Server] = None
+        #: Bound (host, port) of the plain-HTTP metrics listener, once
+        #: started (None when the listener is not configured).
+        self.metrics_address: Optional[tuple[str, int]] = None
         self._draining = False
         self._started_at = time.monotonic()
         self._requests = {
@@ -395,6 +484,7 @@ class QueryService:
         for workspace_host in self.hosts.values():
             workspace_host.start()
         self._server = await asyncio.start_server(self._handle_connection, host, port)
+        self.metrics_address = await self.telemetry.start_exporters(host)
         sockname = self._server.sockets[0].getsockname()
         return sockname[0], sockname[1]
 
@@ -422,6 +512,8 @@ class QueryService:
             self._server.close()
             await self._server.wait_closed()
             self._server = None
+        await self.telemetry.stop_exporters()
+        self.metrics_address = None
 
     @property
     def draining(self) -> bool:
@@ -475,6 +567,9 @@ class QueryService:
             response = await self.handle_request(message)
         except ServiceError as exc:
             response = error_response(request_id, exc)
+            trace_id = getattr(exc, "trace_id", None)
+            if trace_id is not None:
+                response["trace_id"] = trace_id
         except Exception as exc:  # noqa: BLE001 — protocol must answer
             response = error_response(request_id, ServiceError(str(exc)))
         async with write_lock:
@@ -488,7 +583,30 @@ class QueryService:
     # Dispatch (also the in-process API the tests exercise directly)
     # ------------------------------------------------------------------
     async def handle_request(self, message: dict) -> dict:
-        """One request dict in, one response dict out."""
+        """One request dict in, one response dict out.
+
+        The whole request runs under one :class:`RequestTrace` (when
+        telemetry is on): successful responses echo its ``trace_id``,
+        failed ones carry it on the raised :class:`ServiceError` so the
+        connection handler can still echo it.
+        """
+        trace = self.telemetry.begin(message)
+        try:
+            response = await self._dispatch(message, trace)
+        except ServiceError as exc:
+            self.telemetry.finish(trace, outcome=exc.code)
+            if trace is not None:
+                exc.trace_id = trace.trace_id
+            raise
+        except Exception:
+            self.telemetry.finish(trace, outcome="internal")
+            raise
+        self.telemetry.finish(trace)
+        if trace is not None:
+            response.setdefault("trace_id", trace.trace_id)
+        return response
+
+    async def _dispatch(self, message: dict, trace) -> dict:
         request_id = message.get("id")
         op = message.get("op")
         if op not in OPERATIONS:
@@ -499,30 +617,51 @@ class QueryService:
         if op == "health":
             return ok_response(request_id, self._health())
         if op == "stats":
-            return ok_response(request_id, self._stats())
+            return ok_response(request_id, self._stats(message))
+        if op == "metrics":
+            return ok_response(
+                request_id,
+                {
+                    "content_type": CONTENT_TYPE,
+                    "body": self.telemetry.render_metrics(),
+                },
+            )
+        if op == "trace":
+            return ok_response(request_id, self.telemetry.trace_payload(message))
         host = self._resolve_host(message)
         if op == "select":
-            return await self._handle_select(request_id, host, message)
+            return await self._handle_select(request_id, host, message, trace)
         if op == "evaluate":
             params = {"ids": message.get("ids")}
+            started = time.perf_counter()
             cached = self.cache.get(
                 self.cache.key(host.name, host.data_version, "evaluate", params)
             )
+            if trace is not None:
+                trace.add_span(
+                    "cache", time.perf_counter() - started, hit=cached is not None
+                )
             if cached is not None:
+                if trace is not None:
+                    trace.cached = True
                 response = dict(cached)
                 response["cached"] = True
                 return ok_response(request_id, response["result"], **{
                     k: v for k, v in response.items() if k != "result"
                 })
-            payload = await self._admit_and_wait(host, "evaluate", params, message)
+            payload = await self._admit_and_wait(
+                host, "evaluate", params, message, trace
+            )
             return ok_response(request_id, payload["result"], **{
                 k: v for k, v in payload.items() if k != "result"
             })
         # op == "update"
         params = {
-            k: v for k, v in message.items() if k not in ("id", "op", "workspace")
+            k: v
+            for k, v in message.items()
+            if k not in ("id", "op", "workspace", "trace_id")
         }
-        payload = await self._admit_and_wait(host, "update", params, message)
+        payload = await self._admit_and_wait(host, "update", params, message, trace)
         return ok_response(request_id, payload["result"], **{
             k: v for k, v in payload.items() if k != "result"
         })
@@ -537,7 +676,7 @@ class QueryService:
         return host
 
     async def _handle_select(
-        self, request_id: Any, host: WorkspaceHost, message: dict
+        self, request_id: Any, host: WorkspaceHost, message: dict, trace=None
     ) -> dict:
         method = message.get("method", "MND")
         if not isinstance(method, str) or method.upper() not in METHODS:
@@ -546,13 +685,22 @@ class QueryService:
                 f"{', '.join(sorted(METHODS))}"
             )
         method = method.upper()
+        if trace is not None:
+            trace.method = method
         no_cache = bool(message.get("no_cache", False))
         if not no_cache:
             key = self.cache.key(
                 host.name, host.data_version, "select", {"method": method}
             )
+            started = time.perf_counter()
             cached = self.cache.get(key)
+            if trace is not None:
+                trace.add_span(
+                    "cache", time.perf_counter() - started, hit=cached is not None
+                )
             if cached is not None:
+                if trace is not None:
+                    trace.cached = True
                 return ok_response(
                     request_id,
                     cached,
@@ -560,14 +708,14 @@ class QueryService:
                     data_version=host.data_version,
                 )
         payload = await self._admit_and_wait(
-            host, "select", {"method": method, "no_cache": no_cache}, message
+            host, "select", {"method": method, "no_cache": no_cache}, message, trace
         )
         return ok_response(request_id, payload["result"], **{
             k: v for k, v in payload.items() if k != "result"
         })
 
     async def _admit_and_wait(
-        self, host: WorkspaceHost, op: str, params: dict, message: dict
+        self, host: WorkspaceHost, op: str, params: dict, message: dict, trace=None
     ) -> dict:
         """Admit one ticket and await its payload, enforcing the deadline."""
         if self._draining:
@@ -583,6 +731,9 @@ class QueryService:
             enqueued_at=loop.time(),
             deadline=None if timeout is None else loop.time() + timeout,
         )
+        if trace is not None:
+            trace.queue_depth = host.queue.depth
+            ticket.meta["trace"] = trace
         host.queue.submit(ticket)  # raises QueueFull / ShuttingDown
         try:
             if timeout is None:
@@ -608,7 +759,19 @@ class QueryService:
             "workspaces": sorted(self.hosts),
         }
 
-    def _stats(self) -> dict:
+    def _stats(self, message: Optional[dict] = None) -> dict:
+        """Service stats; ``prefix`` widens the registry view.
+
+        The default prefix ``"service."`` keeps the historical payload
+        shape; ``prefix: ""`` exposes the *whole* process registry —
+        pager, leaf-cache and exec counters included — and any other
+        prefix selects its slice.  ``window`` holds the rolling-window
+        views of every windowed metric under the same prefix.
+        """
+        message = message or {}
+        prefix = message.get("prefix", "service.")
+        if not isinstance(prefix, str):
+            raise BadRequestError("stats 'prefix' must be a string")
         return {
             "uptime_s": time.monotonic() - self._started_at,
             "status": "draining" if self._draining else "serving",
@@ -622,7 +785,8 @@ class QueryService:
                 "evictions": self.cache.evictions.value,
                 "invalidations": self.cache.invalidations.value,
             },
-            "counters": REGISTRY.snapshot("service."),
+            "counters": REGISTRY.snapshot(prefix),
+            "window": REGISTRY.window_snapshot(prefix),
             "workspaces": {
                 name: host.describe() for name, host in sorted(self.hosts.items())
             },

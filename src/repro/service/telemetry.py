@@ -1,0 +1,345 @@
+"""Live telemetry of the query service: traces, windows, exporters.
+
+:class:`ServiceTelemetry` is the one object the server consults about
+observability.  It owns
+
+* the bounded :class:`~repro.obs.live.TraceBuffer` and
+  :class:`~repro.obs.live.SlowQueryLog` of finished request traces;
+* the structured JSON :class:`~repro.obs.live.AccessLog` (one line per
+  request, written atomically);
+* the *windowed* upgrade of the service's registry metrics — counters
+  and histograms the admission queue, result cache and batcher already
+  report into are upgraded in place to their rolling-window variants,
+  plus per-``(op, workspace)`` labelled request counters/latency
+  histograms (``service.request.count{op=...,workspace=...}``) so a
+  live view can show per-workspace qps and windowed p99;
+* the OpenMetrics exposition (the ``metrics`` op and the optional
+  plain-HTTP ``/metrics`` listener) and the periodic JSON-lines
+  registry snapshot sink.
+
+**Ordering matters**: the telemetry object must be constructed *before*
+the admission queues, result cache and workspace hosts grab their
+metric handles — the in-place upgrade only feeds the rolling windows
+for handles fetched *after* it ran.  :class:`QueryService` constructs
+telemetry first for exactly this reason.
+
+Telemetry never changes what a query computes: trace ids ride in span
+``attrs`` and request envelopes only, so results (``dr`` vectors, I/O
+accounting) are byte-identical with telemetry on or off.
+"""
+
+from __future__ import annotations
+
+import asyncio
+from dataclasses import dataclass
+from pathlib import Path
+from typing import Optional, Union
+
+from repro.obs.live import (
+    AccessLog,
+    RequestTrace,
+    SlowQueryLog,
+    SnapshotWriter,
+    TraceBuffer,
+    mint_trace_id,
+)
+from repro.obs.openmetrics import CONTENT_TYPE, labeled_name, render_openmetrics
+from repro.obs.registry import (
+    REGISTRY,
+    MetricsRegistry,
+    WindowedCounter,
+    WindowedHistogram,
+)
+
+#: Ops that address a workspace (and so get a workspace label).
+_WORKSPACE_OPS = ("select", "evaluate", "update")
+
+#: Registry counters upgraded to windowed variants at telemetry start.
+_WINDOWED_COUNTERS = (
+    "service.admitted",
+    "service.rejected.queue_full",
+    "service.rejected.shutting_down",
+    "service.batches",
+    "service.coalesced",
+    "service.expired",
+    "service.cache.hits",
+    "service.cache.misses",
+    "service.cache.evictions",
+    "service.cache.invalidations",
+)
+
+#: Registry histograms upgraded to windowed variants at telemetry start.
+_WINDOWED_HISTOGRAMS = (
+    "service.select.latency_s",
+    "service.batch.size",
+)
+
+
+@dataclass(frozen=True)
+class TelemetryConfig:
+    """Tunables of one :class:`ServiceTelemetry`."""
+
+    #: Master switch: ``False`` keeps the plain (unwindowed) metrics and
+    #: skips all per-request trace work.
+    enabled: bool = True
+    #: Finished traces kept findable by ``trace_id`` (ring buffer).
+    trace_buffer: int = 512
+    #: Slowest finished traces kept regardless of buffer churn.
+    slow_log: int = 32
+    #: Traces faster than this never enter the slow log.
+    slow_log_min_s: float = 0.0
+    #: Rolling-window span of the windowed metrics.
+    window_s: float = 60.0
+    #: Ring granularity of the rolling windows.
+    window_buckets: int = 12
+    #: JSON access log destination (path); ``None`` disables it.
+    access_log: Optional[Union[str, Path]] = None
+    #: Minimum severity written to the access log.
+    log_level: str = "info"
+    #: JSON-lines registry snapshot destination; ``None`` disables it.
+    snapshot_path: Optional[Union[str, Path]] = None
+    #: Cadence of the snapshot task.
+    snapshot_interval_s: float = 10.0
+    #: Plain-HTTP ``GET /metrics`` port (0 = ephemeral); ``None``
+    #: disables the listener (the ``metrics`` op always works).
+    metrics_port: Optional[int] = None
+
+
+class ServiceTelemetry:
+    """Traces, windowed metrics and exporters for one service."""
+
+    def __init__(
+        self,
+        config: Optional[TelemetryConfig] = None,
+        registry: MetricsRegistry = REGISTRY,
+    ):
+        self.config = config or TelemetryConfig()
+        self.registry = registry
+        self.enabled = self.config.enabled
+        self.traces = TraceBuffer(self.config.trace_buffer)
+        self.slow = SlowQueryLog(
+            self.config.slow_log, self.config.slow_log_min_s
+        )
+        self.access_log: Optional[AccessLog] = None
+        if self.enabled and self.config.access_log is not None:
+            self.access_log = AccessLog(
+                self.config.access_log, level=self.config.log_level
+            )
+        self.snapshots: Optional[SnapshotWriter] = None
+        if self.enabled and self.config.snapshot_path is not None:
+            self.snapshots = SnapshotWriter(
+                self.config.snapshot_path, registry, prefix="service."
+            )
+        self._labeled: dict[tuple[str, str], tuple[WindowedCounter, WindowedHistogram]] = {}
+        self._http_server: Optional[asyncio.base_events.Server] = None
+        self._tasks: list[asyncio.Task] = []
+        if self.enabled:
+            self._upgrade_registry()
+
+    # ------------------------------------------------------------------
+    # Windowed metrics
+    # ------------------------------------------------------------------
+    def _upgrade_registry(self) -> None:
+        """Upgrade the service's shared metrics to windowed variants.
+
+        Runs before the queues/cache/hosts fetch their handles (see the
+        module docstring), so their increments feed the windows.
+        """
+        w, b = self.config.window_s, self.config.window_buckets
+        for name in _WINDOWED_COUNTERS:
+            self.registry.windowed_counter(name, window_s=w, buckets=b)
+        for name in _WINDOWED_HISTOGRAMS:
+            self.registry.windowed_histogram(name, window_s=w, buckets=b)
+
+    def request_metrics(
+        self, op: str, workspace: str
+    ) -> tuple[WindowedCounter, WindowedHistogram]:
+        """The labelled per-``(op, workspace)`` counter and latency
+        histogram (get-or-create, cached)."""
+        key = (op, workspace)
+        pair = self._labeled.get(key)
+        if pair is None:
+            w, b = self.config.window_s, self.config.window_buckets
+            pair = (
+                self.registry.windowed_counter(
+                    labeled_name("service.request.count", op=op, workspace=workspace),
+                    window_s=w,
+                    buckets=b,
+                ),
+                self.registry.windowed_histogram(
+                    labeled_name(
+                        "service.request.latency_s", op=op, workspace=workspace
+                    ),
+                    window_s=w,
+                    buckets=b,
+                ),
+            )
+            self._labeled[key] = pair
+        return pair
+
+    # ------------------------------------------------------------------
+    # Per-request lifecycle
+    # ------------------------------------------------------------------
+    def begin(self, message: dict) -> Optional[RequestTrace]:
+        """Open a trace for one decoded request (None when disabled).
+
+        The client's ``trace_id`` is honoured when present; otherwise
+        the server mints one, so every response can echo an id the
+        caller may look up later.
+        """
+        if not self.enabled:
+            return None
+        trace_id = message.get("trace_id")
+        if not isinstance(trace_id, str) or not trace_id:
+            trace_id = mint_trace_id()
+        op = str(message.get("op"))
+        workspace = message.get("workspace")
+        if workspace is None and op in _WORKSPACE_OPS:
+            workspace = "default"
+        return RequestTrace(
+            trace_id=trace_id,
+            op=op,
+            workspace=workspace,
+            method=message.get("method"),
+            request_id=message.get("id"),
+        )
+
+    def finish(self, trace: Optional[RequestTrace], outcome: str = "ok") -> None:
+        """Close a trace: buffer it, update windows, write the log line."""
+        if trace is None:
+            return
+        trace.finish(outcome)
+        self.traces.record(trace)
+        self.slow.offer(trace)
+        counter, latency = self.request_metrics(
+            trace.op, trace.workspace or "-"
+        )
+        counter.inc()
+        latency.observe(trace.latency_s)
+        if self.access_log is not None:
+            self.access_log.write(
+                trace.to_dict(), level="info" if outcome == "ok" else "warning"
+            )
+
+    # ------------------------------------------------------------------
+    # Exposition
+    # ------------------------------------------------------------------
+    def render_metrics(self, prefix: str = "") -> str:
+        """The registry in OpenMetrics text exposition form."""
+        return render_openmetrics(self.registry, prefix=prefix)
+
+    def trace_payload(self, message: dict) -> dict:
+        """Answer one ``trace`` op: by id, the slow log, or recent."""
+        if not self.enabled:
+            return {"enabled": False, "traces": []}
+        trace_id = message.get("trace_id")
+        if trace_id is not None:
+            found = self.traces.find(str(trace_id))
+            return {
+                "enabled": True,
+                "traces": [found.to_dict()] if found is not None else [],
+            }
+        if message.get("slow"):
+            limit = message["slow"]
+            limit = None if limit is True else int(limit)
+            return {
+                "enabled": True,
+                "traces": [t.to_dict() for t in self.slow.slowest(limit)],
+            }
+        n = int(message.get("recent", 20))
+        return {
+            "enabled": True,
+            "traces": [t.to_dict() for t in self.traces.recent(n)],
+        }
+
+    # ------------------------------------------------------------------
+    # Background exporters (run on the service's event loop)
+    # ------------------------------------------------------------------
+    async def start_exporters(
+        self, host: str = "127.0.0.1"
+    ) -> Optional[tuple[str, int]]:
+        """Start the snapshot task and the HTTP listener (if configured).
+
+        Returns the bound ``(host, port)`` of the metrics listener, or
+        ``None`` when no listener was requested.
+        """
+        address: Optional[tuple[str, int]] = None
+        if not self.enabled:
+            return None
+        if self.snapshots is not None:
+            self._tasks.append(
+                asyncio.get_running_loop().create_task(
+                    self._snapshot_loop(), name="svc-telemetry-snapshots"
+                )
+            )
+        if self.config.metrics_port is not None:
+            self._http_server = await asyncio.start_server(
+                self._serve_http, host, self.config.metrics_port
+            )
+            sockname = self._http_server.sockets[0].getsockname()
+            address = (sockname[0], sockname[1])
+        return address
+
+    async def _snapshot_loop(self) -> None:
+        assert self.snapshots is not None
+        while True:
+            await asyncio.sleep(self.config.snapshot_interval_s)
+            await asyncio.to_thread(self.snapshots.write_snapshot)
+
+    async def _serve_http(
+        self, reader: asyncio.StreamReader, writer: asyncio.StreamWriter
+    ) -> None:
+        """A deliberately minimal HTTP/1.0 responder for scrapers."""
+        try:
+            request_line = await reader.readline()
+            while True:  # drain headers; scrape requests carry no body
+                header = await reader.readline()
+                if not header or header in (b"\r\n", b"\n"):
+                    break
+            parts = request_line.decode("latin-1", "replace").split()
+            path = parts[1] if len(parts) > 1 else "/"
+            if path.split("?")[0] in ("/metrics", "/"):
+                body = self.render_metrics().encode("utf-8")
+                status, ctype = "200 OK", CONTENT_TYPE
+            else:
+                body = b"not found\n"
+                status, ctype = "404 Not Found", "text/plain; charset=utf-8"
+            head = (
+                f"HTTP/1.0 {status}\r\n"
+                f"Content-Type: {ctype}\r\n"
+                f"Content-Length: {len(body)}\r\n"
+                "Connection: close\r\n\r\n"
+            ).encode("latin-1")
+            writer.write(head + body)
+            await writer.drain()
+        except (ConnectionError, OSError):
+            pass
+        finally:
+            writer.close()
+            try:
+                await writer.wait_closed()
+            except (ConnectionError, OSError):
+                pass
+
+    async def stop_exporters(self) -> None:
+        """Cancel the snapshot task, close the listener and the logs."""
+        for task in self._tasks:
+            task.cancel()
+            try:
+                await task
+            except asyncio.CancelledError:
+                pass
+        self._tasks.clear()
+        if self._http_server is not None:
+            self._http_server.close()
+            await self._http_server.wait_closed()
+            self._http_server = None
+        if self.snapshots is not None:
+            # One final snapshot so short-lived runs still record data.
+            try:
+                self.snapshots.write_snapshot(final=True)
+            except OSError:
+                pass
+            self.snapshots.close()
+        if self.access_log is not None:
+            self.access_log.close()

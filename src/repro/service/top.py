@@ -1,0 +1,140 @@
+"""``mindist top``: a terminal live view of a running query service.
+
+The renderer is a pure function from one ``stats`` payload (the
+``stats`` op's result, default ``service.`` prefix) to a screenful of
+text, so it is testable without a terminal or a server.  The CLI loop
+around it polls ``stats`` every interval and repaints.
+
+What it shows:
+
+* the header — serving/draining state, uptime, windowed request rate
+  and cache hit rate over the service's rolling window;
+* one row per ``(workspace, op)`` — windowed qps and p50/p99 latency,
+  from the labelled ``service.request.*`` windowed metrics;
+* one row per hosted workspace — queue depth, pending, admission
+  bound, data version;
+* the lifetime counter footer (admitted / rejected / batches /
+  coalesced / expired), for orientation between windows.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Optional
+
+from repro.obs.openmetrics import split_labels
+
+#: The labelled metric families the per-op table is built from.
+_COUNT_FAMILY = "service.request.count"
+_LATENCY_FAMILY = "service.request.latency_s"
+
+
+def _fmt_duration(seconds: float) -> str:
+    seconds = int(seconds)
+    hours, rest = divmod(seconds, 3600)
+    minutes, secs = divmod(rest, 60)
+    if hours:
+        return f"{hours}h{minutes:02d}m{secs:02d}s"
+    if minutes:
+        return f"{minutes}m{secs:02d}s"
+    return f"{secs}s"
+
+
+def _fmt_ms(seconds: float) -> str:
+    return f"{seconds * 1000:.1f}"
+
+
+def _window_views(stats: dict) -> dict[str, dict]:
+    window = stats.get("window")
+    return window if isinstance(window, dict) else {}
+
+
+def _op_rows(stats: dict) -> list[dict[str, Any]]:
+    """One row per labelled (workspace, op) pair, sorted for stability."""
+    rows: dict[tuple[str, str], dict[str, Any]] = {}
+
+    def row(workspace: str, op: str) -> dict[str, Any]:
+        return rows.setdefault(
+            (workspace, op),
+            {"workspace": workspace, "op": op, "qps": 0.0, "p50": 0.0, "p99": 0.0},
+        )
+
+    for name, view in _window_views(stats).items():
+        family, labels = split_labels(name)
+        workspace = labels.get("workspace", "-")
+        op = labels.get("op", "?")
+        if family == _COUNT_FAMILY:
+            row(workspace, op)["qps"] = float(view.get("rate", 0.0))
+        elif family == _LATENCY_FAMILY:
+            entry = row(workspace, op)
+            entry["p50"] = float(view.get("p50", 0.0))
+            entry["p99"] = float(view.get("p99", 0.0))
+    return [rows[key] for key in sorted(rows)]
+
+
+def _window_cache_hit_rate(stats: dict) -> Optional[float]:
+    window = _window_views(stats)
+    hits = window.get("service.cache.hits", {}).get("total")
+    misses = window.get("service.cache.misses", {}).get("total")
+    if hits is None or misses is None or hits + misses == 0:
+        return None
+    return hits / (hits + misses)
+
+
+def render_top(
+    stats: dict,
+    interval_s: float = 2.0,
+    endpoint: str = "",
+) -> str:
+    """Render one ``stats`` payload as a live-view screen."""
+    lines: list[str] = []
+    status = stats.get("status", "?")
+    uptime = float(stats.get("uptime_s", 0.0))
+    rows = _op_rows(stats)
+    total_qps = sum(r["qps"] for r in rows)
+    hit_rate = _window_cache_hit_rate(stats)
+    where = f" {endpoint}" if endpoint else ""
+    lines.append(
+        f"mindist top{where} — {status}, up {_fmt_duration(uptime)}, "
+        f"refresh {interval_s:g}s"
+    )
+    lines.append(
+        f"window: {total_qps:.1f} req/s, cache hit rate "
+        + (f"{hit_rate:.2f}" if hit_rate is not None else "n/a")
+    )
+    lines.append("")
+    lines.append(f"{'WORKSPACE':<14} {'OP':<10} {'QPS':>8} {'P50MS':>8} {'P99MS':>8}")
+    if rows:
+        for r in rows:
+            lines.append(
+                f"{r['workspace']:<14} {r['op']:<10} {r['qps']:>8.1f} "
+                f"{_fmt_ms(r['p50']):>8} {_fmt_ms(r['p99']):>8}"
+            )
+    else:
+        lines.append("(no windowed request metrics yet — issue some requests)")
+    lines.append("")
+    workspaces = stats.get("workspaces", {})
+    if workspaces:
+        lines.append(
+            f"{'WORKSPACE':<14} {'QUEUE':>6} {'PENDING':>8} {'BOUND':>6} "
+            f"{'VERSION':>8} {'SIZE (c/f/p)':>16}"
+        )
+        for name in sorted(workspaces):
+            ws = workspaces[name]
+            size = f"{ws.get('n_c', 0)}/{ws.get('n_f', 0)}/{ws.get('n_p', 0)}"
+            lines.append(
+                f"{name:<14} {ws.get('queue_depth', 0):>6} "
+                f"{ws.get('pending', 0):>8} {ws.get('max_pending', 0):>6} "
+                f"{ws.get('data_version', 0):>8} {size:>16}"
+            )
+        lines.append("")
+    counters = stats.get("counters", {})
+    lines.append(
+        "lifetime: "
+        f"admitted={counters.get('service.admitted', 0):.0f} "
+        f"queue_full={counters.get('service.rejected.queue_full', 0):.0f} "
+        f"batches={counters.get('service.batches', 0):.0f} "
+        f"coalesced={counters.get('service.coalesced', 0):.0f} "
+        f"expired={counters.get('service.expired', 0):.0f} "
+        f"cache_hits={counters.get('service.cache.hits', 0):.0f}"
+    )
+    return "\n".join(lines) + "\n"

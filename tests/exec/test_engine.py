@@ -79,6 +79,60 @@ class TestBatch:
         assert _fingerprint(result) == _fingerprint(make_selector(ws, "SS").select())
 
 
+class TestTraceTags:
+    """Correlation tags thread through to every adopted span — and
+    change nothing about the answers."""
+
+    def _traced_ws(self, instance):
+        from repro.obs import InMemorySink, Tracer
+
+        ws = Workspace(instance)
+        sink = InMemorySink()
+        ws.attach_tracer(Tracer([sink]))
+        return ws, sink
+
+    @staticmethod
+    def _walk(span):
+        yield span
+        for child in span.children:
+            yield from TestTraceTags._walk(child)
+
+    def test_run_tags_root_and_task_spans(self, small_instance_module):
+        ws, sink = self._traced_ws(small_instance_module)
+        with QueryEngine(ws, workers=2) as engine:
+            result = engine.run("NFC", tags={"trace_id": "tag-1"})
+        root = sink.last
+        assert root.attrs == {"trace_id": "tag-1"}
+        tagged = [
+            s
+            for s in self._walk(root)
+            if s is not root and s.attrs.get("trace_id") == "tag-1"
+        ]
+        assert tagged  # adopted per-task spans carry the tag too
+        assert result.method == "NFC"
+
+    def test_run_batch_tags_align_per_query(self, small_instance_module):
+        ws, sink = self._traced_ws(small_instance_module)
+        with QueryEngine(ws, workers=2) as engine:
+            engine.run_batch(
+                ["MND", "SS"], tags=[{"trace_id": "a"}, None]
+            )
+        by_name = {root.name: root for root in sink.roots}
+        assert by_name["query.MND"].attrs == {"trace_id": "a"}
+        assert by_name["query.SS"].attrs == {}
+
+    def test_run_batch_rejects_misaligned_tags(self, ws):
+        with QueryEngine(ws, workers=2) as engine:
+            with pytest.raises(ValueError, match="tags"):
+                engine.run_batch(["MND", "SS"], tags=[{"trace_id": "a"}])
+
+    def test_tags_do_not_change_answers(self, ws):
+        with QueryEngine(ws, workers=1) as engine:
+            plain = _fingerprint(engine.run("MND"))
+            tagged = _fingerprint(engine.run("MND", tags={"trace_id": "x"}))
+        assert plain == tagged
+
+
 class TestDegenerateInputs:
     def test_empty_batch_returns_empty_list(self, ws):
         assert run_batch(ws, [], workers=2) == []

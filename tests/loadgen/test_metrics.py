@@ -194,3 +194,27 @@ class TestReport:
         assert "cache hit rate (server counters) | 0.2500" in text
         assert f"`{QueueFullError.code}`×1" in text
         assert "**Overall:" in text
+
+    def test_server_deltas_section_lists_moved_counters_only(self):
+        config = LoadgenConfig()
+        stats = aggregate_outcomes([outcome()], mode="closed")
+        checks = SLOPolicy().evaluate(stats)
+        deltas = {
+            "cache.hits": 12.0,
+            "counters.service.batches": 3.0,
+            "counters.service.expired": 0.0,  # unmoved: omitted
+            "counters.service.latency_s.sum": 1.25,  # duration: omitted
+        }
+        text = render_slo_report(config, stats, checks, server_deltas=deltas)
+        assert "## Server-side counter deltas" in text
+        assert "| `cache.hits` | 12 |" in text
+        assert "| `counters.service.batches` | 3 |" in text
+        assert "service.expired" not in text
+        assert "latency_s" not in text
+
+    def test_no_deltas_no_section(self):
+        config = LoadgenConfig()
+        stats = aggregate_outcomes([outcome()], mode="closed")
+        checks = SLOPolicy().evaluate(stats)
+        text = render_slo_report(config, stats, checks)
+        assert "Server-side counter deltas" not in text

@@ -80,6 +80,29 @@ class TestClosedLoop:
         payload = json.loads(json.dumps(result.to_dict()))
         assert payload["plan_fidelity"] is True
         assert payload["stats"]["requests"] == result.stats.requests
+        assert "server_deltas" in payload
+
+    def test_server_deltas_reflect_the_drive(self, result):
+        deltas = result.server_deltas()
+        # Every request this drive issued went through the request
+        # counters; the coalesced totals must cover the whole plan.
+        issued = sum(
+            value
+            for key, value in deltas.items()
+            if key.startswith("requests.")
+        )
+        assert issued >= result.issued
+        assert deltas["counters.service.admitted"] > 0
+        # Rates/averages never leak in as pseudo-counters.
+        assert not any(key.endswith(".mean") for key in deltas)
+
+    def test_outcomes_carry_plan_derived_trace_ids(self, result):
+        from repro.loadgen.loop import plan_trace_id
+
+        assert result.outcomes
+        for outcome in result.outcomes:
+            if outcome.ok:
+                assert outcome.trace_id == plan_trace_id(outcome.planned)
 
 
 class TestOpenLoop:

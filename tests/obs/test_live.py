@@ -1,0 +1,236 @@
+"""Live-service telemetry primitives: traces, slow log, access log,
+snapshots, and the rolling-window metric views (driven by fake clocks
+so every windowing assertion is deterministic)."""
+
+from __future__ import annotations
+
+import io
+import json
+
+import pytest
+
+from repro.obs.live import (
+    AccessLog,
+    RequestTrace,
+    SlowQueryLog,
+    SnapshotWriter,
+    TraceBuffer,
+    mint_trace_id,
+)
+from repro.obs.registry import (
+    MetricsRegistry,
+    RollingWindow,
+    WindowedCounter,
+    WindowedHistogram,
+)
+
+
+class FakeClock:
+    """A manually-advanced monotonic clock."""
+
+    def __init__(self, start: float = 1000.0):
+        self.now = start
+
+    def __call__(self) -> float:
+        return self.now
+
+    def advance(self, seconds: float) -> None:
+        self.now += seconds
+
+
+class TestMintTraceId:
+    def test_unique_and_prefixed(self):
+        ids = {mint_trace_id() for _ in range(100)}
+        assert len(ids) == 100
+        assert all(i.startswith("srv-") for i in ids)
+        assert mint_trace_id("gc").startswith("gc-")
+
+
+class TestRequestTrace:
+    def test_spans_and_finish(self):
+        trace = RequestTrace(trace_id="t-1", op="select", workspace="default")
+        trace.add_span("admission", 0.001, queue_depth=3)
+        trace.add_span("execute", 0.02, engine={"name": "query.MND"})
+        assert trace.span_named("admission")["queue_depth"] == 3
+        assert trace.span_named("missing") is None
+        trace.finish()
+        assert trace.outcome == "ok"
+        assert trace.latency_s > 0
+        data = trace.to_dict()
+        assert data["trace_id"] == "t-1"
+        assert [s["name"] for s in data["spans"]] == ["admission", "execute"]
+        # to_dict copies the span list — later mutation must not leak.
+        trace.add_span("late", 0.0)
+        assert len(data["spans"]) == 2
+
+    def test_error_outcome(self):
+        trace = RequestTrace(trace_id="t-2", op="select")
+        trace.finish(outcome="queue_full")
+        assert trace.outcome == "queue_full"
+
+
+def _finished(trace_id: str, latency_s: float) -> RequestTrace:
+    trace = RequestTrace(trace_id=trace_id, op="select")
+    trace.outcome = "ok"
+    trace.latency_s = latency_s
+    return trace
+
+
+class TestTraceBuffer:
+    def test_bounded_ring_evicts_oldest(self):
+        buffer = TraceBuffer(capacity=3)
+        for i in range(5):
+            buffer.record(_finished(f"t-{i}", 0.001))
+        assert len(buffer) == 3
+        assert buffer.find("t-0") is None
+        assert buffer.find("t-4") is not None
+
+    def test_find_returns_newest_with_id(self):
+        buffer = TraceBuffer(capacity=8)
+        first = _finished("dup", 0.001)
+        second = _finished("dup", 0.002)
+        buffer.record(first)
+        buffer.record(second)
+        assert buffer.find("dup") is second
+
+    def test_recent_is_newest_first(self):
+        buffer = TraceBuffer(capacity=8)
+        for i in range(4):
+            buffer.record(_finished(f"t-{i}", 0.001))
+        assert [t.trace_id for t in buffer.recent(2)] == ["t-3", "t-2"]
+
+    def test_capacity_validated(self):
+        with pytest.raises(ValueError):
+            TraceBuffer(capacity=0)
+
+
+class TestSlowQueryLog:
+    def test_keeps_top_n_slowest(self):
+        log = SlowQueryLog(capacity=3)
+        for i, latency in enumerate([0.01, 0.05, 0.02, 0.04, 0.03]):
+            log.offer(_finished(f"t-{i}", latency))
+        assert [t.latency_s for t in log.slowest()] == [0.05, 0.04, 0.03]
+        assert len(log) == 3
+
+    def test_min_latency_threshold(self):
+        log = SlowQueryLog(capacity=4, min_latency_s=0.01)
+        assert not log.offer(_finished("fast", 0.001))
+        assert log.offer(_finished("slow", 0.02))
+        assert len(log) == 1
+
+    def test_slowest_n_truncates(self):
+        log = SlowQueryLog(capacity=8)
+        for i in range(5):
+            log.offer(_finished(f"t-{i}", i / 100))
+        assert len(log.slowest(2)) == 2
+
+
+class TestAccessLog:
+    def test_writes_one_json_object_per_line(self):
+        stream = io.StringIO()
+        log = AccessLog(stream)
+        log.write({"op": "select", "outcome": "ok"})
+        log.write({"op": "stats", "outcome": "ok"})
+        lines = stream.getvalue().strip().splitlines()
+        assert len(lines) == 2
+        record = json.loads(lines[0])
+        assert record["op"] == "select"
+        assert record["level"] == "info"
+        assert "ts" in record
+
+    def test_level_filtering(self):
+        stream = io.StringIO()
+        log = AccessLog(stream, level="warning")
+        log.write({"op": "select"}, level="info")
+        log.write({"op": "select", "outcome": "queue_full"}, level="warning")
+        lines = stream.getvalue().strip().splitlines()
+        assert len(lines) == 1
+        assert json.loads(lines[0])["level"] == "warning"
+
+    def test_unknown_level_rejected(self):
+        with pytest.raises(ValueError):
+            AccessLog(io.StringIO(), level="loud")
+
+    def test_path_target_appends(self, tmp_path):
+        path = tmp_path / "access.jsonl"
+        with AccessLog(path) as log:
+            log.write({"op": "select"})
+        with AccessLog(path) as log:
+            log.write({"op": "stats"})
+        lines = path.read_text().strip().splitlines()
+        assert [json.loads(line)["op"] for line in lines] == ["select", "stats"]
+
+
+class TestSnapshotWriter:
+    def test_snapshot_line_has_metrics_and_windows(self):
+        registry = MetricsRegistry()
+        registry.counter("svc.requests").inc(3)
+        registry.windowed_counter("svc.admitted").inc(2)
+        stream = io.StringIO()
+        writer = SnapshotWriter(stream, registry)
+        payload = writer.write_snapshot(final=True)
+        line = json.loads(stream.getvalue().strip())
+        assert line == json.loads(json.dumps(payload))
+        assert line["metrics"]["svc.requests"] == 3.0
+        assert line["windows"]["svc.admitted"]["total"] == 2.0
+        assert line["final"] is True
+
+
+class TestRollingWindow:
+    def test_counts_decay_as_the_clock_advances(self):
+        clock = FakeClock()
+        window = RollingWindow(window_s=60.0, buckets=12, clock=clock)
+        window.add(5.0)
+        assert window.totals() == (1, 5.0)
+        clock.advance(30.0)
+        window.add(7.0)
+        assert window.totals() == (2, 12.0)
+        # The first observation ages out, the second survives.
+        clock.advance(45.0)
+        assert window.totals() == (1, 7.0)
+        clock.advance(60.0)
+        assert window.totals() == (0, 0.0)
+
+    def test_bucket_slot_recycled_across_epochs(self):
+        clock = FakeClock()
+        window = RollingWindow(window_s=10.0, buckets=2, clock=clock)
+        window.add(1.0)
+        clock.advance(10.0)  # same ring slot, newer epoch
+        window.add(2.0)
+        assert window.totals() == (1, 2.0)
+
+    def test_samples_tracked_per_bucket(self):
+        clock = FakeClock()
+        window = RollingWindow(window_s=10.0, buckets=2, clock=clock)
+        window.add(1.0, keep_sample=True)
+        window.add(2.0, keep_sample=True)
+        clock.advance(6.0)
+        window.add(3.0, keep_sample=True)
+        assert sorted(window.samples()) == [1.0, 2.0, 3.0]
+        clock.advance(6.0)
+        assert window.samples() == [3.0]
+
+
+class TestWindowedMetrics:
+    def test_counter_lifetime_vs_window(self):
+        clock = FakeClock()
+        counter = WindowedCounter("svc.admitted", window_s=60.0, clock=clock)
+        counter.inc(4)
+        clock.advance(90.0)
+        counter.inc(1)
+        assert counter.value == 5  # lifetime never decays
+        assert counter.window_total() == 1.0
+        assert counter.window_rate() == pytest.approx(1.0 / 60.0)
+
+    def test_histogram_window_snapshot_quantiles(self):
+        clock = FakeClock()
+        hist = WindowedHistogram("svc.latency", window_s=60.0, clock=clock)
+        for ms in (1.0, 2.0, 3.0, 4.0):
+            hist.observe(ms)
+        clock.advance(90.0)
+        hist.observe(10.0)
+        snap = hist.window_snapshot()
+        assert snap["count"] == 1.0
+        assert snap["p50"] == 10.0
+        assert snap["max"] == 10.0
+        assert hist.count == 5  # lifetime aggregate unaffected

@@ -1,0 +1,126 @@
+"""OpenMetrics exposition: rendering, the label convention, and the
+conformance linter (which CI also runs against a live scrape)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.obs.openmetrics import (
+    SUMMARY_QUANTILES,
+    assert_openmetrics,
+    iter_samples,
+    labeled_name,
+    lint_openmetrics,
+    render_openmetrics,
+    sanitize_name,
+    split_labels,
+)
+from repro.obs.registry import MetricsRegistry
+
+
+class TestLabelConvention:
+    def test_labeled_name_round_trips(self):
+        name = labeled_name("service.requests", op="select", workspace="a")
+        assert name == "service.requests{op=select,workspace=a}"
+        family, labels = split_labels(name)
+        assert family == "service.requests"
+        assert labels == {"op": "select", "workspace": "a"}
+
+    def test_no_labels_is_identity(self):
+        assert labeled_name("plain") == "plain"
+        assert split_labels("plain") == ("plain", {})
+
+    def test_sanitize_name(self):
+        assert sanitize_name("service.cache.hits") == "service_cache_hits"
+        assert sanitize_name("9lives") == "_9lives"
+
+
+@pytest.fixture
+def registry() -> MetricsRegistry:
+    reg = MetricsRegistry()
+    reg.counter("service.admitted").inc(7)
+    reg.gauge("service.queue.depth").set(3)
+    hist = reg.histogram("service.select.latency_s")
+    for value in (0.001, 0.002, 0.004):
+        hist.observe(value)
+    for op in ("select", "stats"):
+        reg.counter(labeled_name("service.request.count", op=op)).inc()
+    return reg
+
+
+class TestRenderOpenmetrics:
+    def test_document_is_conformant(self, registry):
+        text = render_openmetrics(registry)
+        assert lint_openmetrics(text) == []
+        assert_openmetrics(text)  # does not raise
+        assert text.endswith("# EOF\n")
+
+    def test_counter_gauge_summary_shapes(self, registry):
+        samples = {
+            (name, tuple(sorted(labels.items()))): value
+            for name, labels, value in iter_samples(render_openmetrics(registry))
+        }
+        assert samples[("service_admitted_total", ())] == 7
+        assert samples[("service_queue_depth", ())] == 3
+        assert samples[("service_select_latency_s_count", ())] == 3
+        for q in SUMMARY_QUANTILES:
+            key = ("service_select_latency_s", (("quantile", repr(q)),))
+            assert key in samples
+
+    def test_labeled_samples_grouped_under_one_family(self, registry):
+        text = render_openmetrics(registry)
+        assert text.count("# TYPE service_request_count counter") == 1
+        labelled = [
+            (labels["op"], value)
+            for name, labels, value in iter_samples(text)
+            if name == "service_request_count_total"
+        ]
+        assert sorted(labelled) == [("select", 1), ("stats", 1)]
+
+    def test_prefix_filters_families(self, registry):
+        registry.counter("other.counter").inc()
+        text = render_openmetrics(registry, prefix="service.")
+        assert "other_counter" not in text
+        assert lint_openmetrics(text) == []
+
+
+class TestLinter:
+    def test_missing_eof(self):
+        assert any(
+            "# EOF" in p
+            for p in lint_openmetrics("# TYPE a counter\na_total 1\n")
+        )
+
+    def test_sample_without_type(self):
+        assert any(
+            "no preceding TYPE" in p for p in lint_openmetrics("a_total 1\n# EOF\n")
+        )
+
+    def test_counter_sample_needs_total_suffix(self):
+        text = "# TYPE a counter\na 1\n# EOF\n"
+        assert any("_total" in p for p in lint_openmetrics(text))
+
+    def test_interleaved_families_flagged(self):
+        text = (
+            "# TYPE a gauge\na 1\n"
+            "# TYPE b gauge\nb 1\n"
+            "a 2\n# EOF\n"
+        )
+        problems = lint_openmetrics(text)
+        assert any("interleaved" in p or "duplicate" in p for p in problems)
+
+    def test_duplicate_sample_flagged(self):
+        text = "# TYPE a gauge\na 1\na 2\n# EOF\n"
+        assert any("duplicate sample" in p for p in lint_openmetrics(text))
+
+    def test_bad_quantile_flagged(self):
+        text = '# TYPE a summary\na{quantile="1.5"} 1\n# EOF\n'
+        assert any("quantile" in p for p in lint_openmetrics(text))
+
+    def test_non_float_value_flagged(self):
+        text = "# TYPE a gauge\na one\n# EOF\n"
+        assert any("not a float" in p for p in lint_openmetrics(text))
+
+    def test_assert_raises_with_every_problem(self):
+        with pytest.raises(ValueError, match="conformance failed"):
+            assert_openmetrics("a_total 1\n")

@@ -80,21 +80,22 @@ class TestHistogram:
         assert h.quantile(0.5) == 42.0
         assert h.quantile(1.0) == 42.0
 
-    def test_quantile_after_window_eviction(self):
-        # After count exceeds max_samples the window holds only recent
-        # observations: quantiles must follow the window, not history.
+    def test_reservoir_above_cap_stays_bounded_and_representative(self):
+        # Above max_samples the retained set is a uniform reservoir over
+        # the *whole* stream, never just the most recent burst.
         h = Histogram("h", max_samples=4)
         for v in (1.0, 2.0, 3.0, 4.0):
             h.observe(v)
         for v in (100.0, 200.0, 300.0, 400.0):
             h.observe(v)
         assert len(h._samples) == 4
-        assert set(h._samples) == {100.0, 200.0, 300.0, 400.0}
-        assert h.quantile(0.0) == 100.0
-        assert h.quantile(1.0) == 400.0
-        # Scalar aggregates still cover the evicted observations.
+        # Every retained sample is a real observation from the stream.
+        assert set(h._samples) <= {1.0, 2.0, 3.0, 4.0, 100.0, 200.0, 300.0, 400.0}
+        # Scalar aggregates still cover every observation exactly.
         assert h.min == 1.0
+        assert h.max == 400.0
         assert h.count == 8
+        assert h.sum == 1010.0
 
     def test_quantile_bounds_lower(self):
         h = Histogram("h")

@@ -1,0 +1,253 @@
+"""Live telemetry end-to-end over real TCP connections.
+
+The acceptance bar (mirroring the wire-parity suite): a client-assigned
+``trace_id`` must be recoverable from the server's trace buffer with
+admission / batch / engine-execution / cache-lookup spans — the engine
+span tree grafted in, its spans tagged with the same id — and turning
+telemetry on must leave every answer byte-identical to a serial
+in-process ``select()``.
+"""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro.core import METHODS, Workspace, make_selector
+from repro.core.dynamic import DynamicWorkspace
+from repro.datasets.generators import make_instance
+from repro.loadgen.config import RetryPolicy
+from repro.loadgen.loop import ServiceTransport, execute_request, plan_trace_id
+from repro.loadgen.schedule import PlannedRequest
+from repro.obs.openmetrics import CONTENT_TYPE, lint_openmetrics
+from repro.service import (
+    BadRequestError,
+    ServiceClient,
+    ServiceConfig,
+    TelemetryConfig,
+    UnknownMethodError,
+    render_top,
+    serve_in_thread,
+)
+
+SEED = 23
+SIZES = dict(n_c=600, n_f=30, n_p=50)
+
+
+def fingerprint(result) -> tuple:
+    return (
+        result.method,
+        result.location.sid,
+        result.location.x,
+        result.location.y,
+        result.dr,
+        result.io_total,
+        dict(result.io_reads),
+        result.index_pages,
+    )
+
+
+@pytest.fixture(scope="module")
+def expected():
+    reference = Workspace(make_instance(rng=SEED, **SIZES))
+    return {m: fingerprint(make_selector(reference, m).select()) for m in METHODS}
+
+
+@pytest.fixture(scope="module")
+def access_log_path(tmp_path_factory):
+    return tmp_path_factory.mktemp("telemetry") / "access.jsonl"
+
+
+@pytest.fixture(scope="module")
+def server(access_log_path):
+    handle = serve_in_thread(
+        {
+            "static": Workspace(make_instance(rng=SEED, **SIZES)),
+            "dyn": DynamicWorkspace(make_instance(rng=SEED, **SIZES)),
+        },
+        ServiceConfig(
+            workers=2,
+            batch_window_s=0.02,
+            telemetry=TelemetryConfig(access_log=str(access_log_path)),
+        ),
+    )
+    with handle:
+        yield handle
+
+
+@pytest.fixture
+def client(server):
+    with ServiceClient(server.host, server.port) as c:
+        yield c
+
+
+class TestTracePropagation:
+    def test_client_trace_id_recoverable_with_all_spans(self, client):
+        answer = client.select(
+            "MND", workspace="static", no_cache=True, trace_id="e2e-mnd-1"
+        )
+        assert answer.trace_id == "e2e-mnd-1"
+        (trace,) = client.trace(trace_id="e2e-mnd-1")
+        assert trace["outcome"] == "ok"
+        assert trace["op"] == "select"
+        assert trace["method"] == "MND"
+        names = [span["name"] for span in trace["spans"]]
+        assert names == ["admission", "batch", "execute"]
+        execute = trace["spans"][-1]
+        assert execute["elapsed_s"] >= 0
+
+    def test_engine_span_tree_is_tagged_with_the_trace_id(self, client):
+        client.select("NFC", workspace="static", no_cache=True, trace_id="e2e-msd-1")
+        (trace,) = client.trace(trace_id="e2e-msd-1")
+        engine = next(
+            span["engine"] for span in trace["spans"] if span["name"] == "execute"
+        )
+        assert engine["name"] == "query.NFC"
+        assert engine["attrs"]["trace_id"] == "e2e-msd-1"
+
+        # The per-task execution spans (deeper in the tree) carry the
+        # same correlation tag.
+        def walk(span):
+            yield span
+            for child in span.get("children", []):
+                yield from walk(child)
+
+        tagged_tasks = [
+            span
+            for span in walk(engine)
+            if span is not engine
+            and span.get("attrs", {}).get("trace_id") == "e2e-msd-1"
+        ]
+        assert tagged_tasks
+
+    def test_auto_minted_ids_always_present(self, client):
+        answer = client.select("MND", workspace="static")
+        assert answer.trace_id is not None
+        assert answer.trace_id.startswith("c-")
+        assert client.trace(trace_id=answer.trace_id)
+
+    def test_cached_select_records_a_cache_hit_span(self, client):
+        client.select("MND", workspace="static")  # prime
+        answer = client.select("MND", workspace="static", trace_id="e2e-cached")
+        assert answer.cached
+        (trace,) = client.trace(trace_id="e2e-cached")
+        assert trace["cached"] is True
+        cache_span = next(s for s in trace["spans"] if s["name"] == "cache")
+        assert cache_span["hit"] is True
+
+    def test_error_outcomes_are_traced_and_echoed(self, client):
+        with pytest.raises(UnknownMethodError):
+            client.call(
+                "select", workspace="static", method="NOPE", trace_id="e2e-err"
+            )
+        (trace,) = client.trace(trace_id="e2e-err")
+        assert trace["outcome"] == UnknownMethodError.code
+
+    def test_recent_and_slow_views(self, client):
+        client.select("MND", workspace="static")
+        recent = client.trace(recent=5)
+        assert recent and all("trace_id" in t for t in recent)
+        slow = client.trace(slow=3)
+        assert len(slow) <= 3
+        latencies = [t["latency_s"] for t in slow]
+        assert latencies == sorted(latencies, reverse=True)
+
+
+class TestLoadgenTraceIds:
+    def test_planned_request_trace_round_trips(self, server):
+        planned = PlannedRequest(
+            client=0, sequence=7, phase="measure", op="select", method="MND"
+        )
+        with ServiceTransport(
+            server.host, server.port, workspace="static"
+        ) as transport:
+            outcome = execute_request(planned, transport, RetryPolicy())
+        assert outcome.ok
+        assert outcome.trace_id == plan_trace_id(planned) == "lg-measure-0-7"
+        with ServiceClient(server.host, server.port) as probe:
+            (trace,) = probe.trace(trace_id="lg-measure-0-7")
+        assert trace["op"] == "select"
+        assert trace["outcome"] == "ok"
+
+
+class TestMetricsOp:
+    def test_exposition_is_conformant_and_labeled(self, client):
+        client.select("MND", workspace="static")
+        body = client.metrics()
+        assert lint_openmetrics(body) == []
+        assert "# TYPE service_request_count counter" in body
+        assert 'op="select"' in body and 'workspace="static"' in body
+
+    def test_content_type_declared(self, client):
+        response = client.call("metrics")
+        assert response["result"]["content_type"] == CONTENT_TYPE
+
+
+class TestStatsOp:
+    def test_default_prefix_is_service_scoped(self, client):
+        stats = client.stats()
+        assert stats["counters"]
+        assert all(name.startswith("service.") for name in stats["counters"])
+        assert isinstance(stats["window"], dict)
+
+    def test_empty_prefix_exposes_the_whole_registry(self, client):
+        client.select("MND", workspace="static", no_cache=True)
+        stats = client.stats(prefix="")
+        assert any(not n.startswith("service.") for n in stats["counters"])
+
+    def test_window_views_cover_labeled_request_metrics(self, client):
+        client.select("MND", workspace="static")
+        window = client.stats()["window"]
+        assert any(n.startswith("service.request.count{") for n in window)
+        assert any(n.startswith("service.request.latency_s{") for n in window)
+
+    def test_bad_prefix_rejected(self, client):
+        with pytest.raises(BadRequestError):
+            client.call("stats", prefix=7)
+
+
+class TestRenderTop:
+    def test_renders_live_stats_payload(self, client):
+        client.select("MND", workspace="static")
+        screen = render_top(client.stats(), interval_s=1.0, endpoint="test:0")
+        assert "mindist top test:0" in screen
+        assert "static" in screen and "dyn" in screen
+        assert "select" in screen
+        assert "lifetime:" in screen
+
+
+class TestAccessLog:
+    def test_requests_logged_as_standalone_json(self, server, client, access_log_path):
+        client.select("MND", workspace="static", trace_id="e2e-logged")
+        records = [
+            json.loads(line)
+            for line in access_log_path.read_text().strip().splitlines()
+        ]
+        assert records
+        mine = [r for r in records if r.get("trace_id") == "e2e-logged"]
+        assert mine and mine[0]["op"] == "select"
+        assert mine[0]["outcome"] == "ok"
+
+
+class TestTelemetryOffParity:
+    def test_answers_identical_with_telemetry_disabled(self, expected):
+        handle = serve_in_thread(
+            {"static": Workspace(make_instance(rng=SEED, **SIZES))},
+            ServiceConfig(
+                workers=2,
+                batch_window_s=0.02,
+                telemetry=TelemetryConfig(enabled=False),
+            ),
+        )
+        with handle:
+            with ServiceClient(handle.host, handle.port) as c:
+                for method in sorted(METHODS):
+                    answer = c.select(method, workspace="static", no_cache=True)
+                    assert fingerprint(answer.result) == expected[method]
+                    assert answer.trace_id is None
+
+    def test_answers_identical_with_telemetry_enabled(self, client, expected):
+        for method in sorted(METHODS):
+            answer = client.select(method, workspace="static", no_cache=True)
+            assert fingerprint(answer.result) == expected[method]
