@@ -74,6 +74,13 @@ from repro.bench.parallel import (
     PARALLEL_TASK_TARGET,
     run_parallel_suite,
 )
+from repro.bench.scale import (
+    SCALE_BACKENDS,
+    SCALE_IO_LATENCY_S,
+    SCALE_RUNGS,
+    SCALE_TARGET_SPEEDUP,
+    run_scale_suite,
+)
 from repro.bench.record import (
     DETERMINISTIC_METRICS,
     POLICIES,
@@ -134,6 +141,10 @@ __all__ = [
     "POLICY_RATE",
     "POLICY_TIME",
     "REGRESSED",
+    "SCALE_BACKENDS",
+    "SCALE_IO_LATENCY_S",
+    "SCALE_RUNGS",
+    "SCALE_TARGET_SPEEDUP",
     "SCHEMA_VERSION",
     "SERVICE_BATCH_WINDOW_S",
     "SERVICE_CONFIG",
@@ -157,6 +168,7 @@ __all__ = [
     "run_kernels_suite",
     "run_loadgen_suite",
     "run_parallel_suite",
+    "run_scale_suite",
     "run_service_suite",
     "run_suite",
     "sparkline",

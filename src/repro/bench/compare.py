@@ -215,8 +215,15 @@ def compare_records(
     current: BenchRecord,
     time_tolerance: float = DEFAULT_TIME_TOLERANCE,
     gate_time: bool = False,
+    subset: bool = False,
 ) -> ComparisonReport:
     """Compare ``current`` against ``baseline``, metric by metric.
+
+    With ``subset``, baseline entries absent from the current run are
+    reported but do not gate — for deliberately partial reruns, like CI
+    recording only the smallest rung of the ``scale`` ladder against
+    the committed full-ladder baseline.  Entries the current run *does*
+    cover still gate exactly.
 
     Raises ``ValueError`` when the records are not comparable at all
     (different suites — the configurations would not line up).
@@ -250,7 +257,9 @@ def compare_records(
                     method=method,
                     metric="*",
                     status=MISSING,
-                    note="entry absent from the current run",
+                    gating=not subset,
+                    note="entry absent from the current run"
+                    + (" (subset mode: not gated)" if subset else ""),
                 )
             )
             continue

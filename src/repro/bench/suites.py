@@ -84,6 +84,7 @@ def _builtin_suites() -> dict[str, Suite]:
     from repro.bench.kernels import KERNELS_CONFIGS, run_kernels_suite
     from repro.bench.loadgen import LOADGEN_DATASET, run_loadgen_suite
     from repro.bench.parallel import PARALLEL_CONFIG, run_parallel_suite
+    from repro.bench.scale import SCALE_RUNGS, config_for_rung, run_scale_suite
     from repro.bench.service import SERVICE_CONFIG, run_service_suite
 
     return {
@@ -110,6 +111,14 @@ def _builtin_suites() -> dict[str, Suite]:
             "ladder of worker counts, determinism enforced",
             configs=((None, PARALLEL_CONFIG),),
             runner=run_parallel_suite,
+        ),
+        "scale": Suite(
+            name="scale",
+            description="storage backends (file / mmap / mmap+columnar) "
+            "at client-count rungs, bitwise result parity "
+            "vs memory enforced",
+            configs=tuple((float(n), config_for_rung(n)) for n in SCALE_RUNGS),
+            runner=run_scale_suite,
         ),
         "service": Suite(
             name="service",
@@ -163,6 +172,7 @@ def run_suite(
     methods: Optional[Sequence[str]] = None,
     progress: Optional[Callable[[str], None]] = None,
     workers: Optional[int] = None,
+    rungs: Optional[Sequence[int]] = None,
 ) -> BenchRecord:
     """Record one execution of ``suite``.
 
@@ -173,13 +183,19 @@ def run_suite(
     plausible-looking record.
 
     ``workers`` is only meaningful for suites with their own runner
-    (``parallel``, where it stretches the worker ladder).
+    (``parallel``, where it stretches the worker ladder); ``rungs``
+    only for the ``scale`` suite, where it overrides the client-count
+    ladder (CI records the smallest rung only).
     """
     if isinstance(suite, str):
         suite = get_suite(suite)
+    if rungs is not None and suite.name != "scale":
+        raise ValueError(f"suite {suite.name!r} does not take a rung ladder")
     if suite.runner is not None:
+        kwargs = {} if rungs is None else {"rungs": rungs}
         return suite.runner(
-            repeats=repeats, methods=methods, progress=progress, workers=workers
+            repeats=repeats, methods=methods, progress=progress, workers=workers,
+            **kwargs,
         )
     if workers is not None:
         raise ValueError(f"suite {suite.name!r} does not take a worker count")

@@ -377,12 +377,17 @@ def _cmd_bench_run(args: argparse.Namespace) -> int:
     from repro.bench import append_history, run_suite
 
     methods = args.methods.split(",") if args.methods else None
+    rungs = (
+        [int(r) for r in args.rungs.split(",")] if getattr(args, "rungs", None)
+        else None
+    )
     record = run_suite(
         args.suite,
         repeats=args.repeats,
         methods=methods,
         progress=lambda line: print(line, file=sys.stderr),
         workers=args.workers,
+        rungs=rungs,
     )
     out = args.out or f"BENCH_{record.suite}.json"
     record.write(out)
@@ -431,6 +436,7 @@ def _cmd_bench_compare(args: argparse.Namespace) -> int:
         current,
         time_tolerance=args.time_tolerance,
         gate_time=args.gate_time,
+        subset=args.subset,
     )
     print(report.format(verbose=args.verbose))
     if args.json:
@@ -1097,6 +1103,100 @@ def _add_service_parsers(sub: argparse._SubParsersAction) -> None:
     p_top.set_defaults(func=_cmd_top)
 
 
+def _cmd_pages_info(args: argparse.Namespace) -> int:
+    import struct as _struct
+
+    from repro.storage.diskfile import (
+        COLUMNAR_VERSION,
+        PageFile,
+        PageFileError,
+    )
+
+    try:
+        with PageFile(args.file).open() as pf:
+            meta = bytes(pf.read_page(0))
+            # An R-tree meta page is <IIB> (entries, height, mnd flag); a
+            # block-file meta page is <QII> (records, per-block, ncols).
+            # Both are heuristics for display only — the header is the
+            # sole source of truth for paging.
+            rtree_meta = _struct.unpack_from("<IIB", meta)
+            block_meta = _struct.unpack_from("<QII", meta)
+            print(f"file:         {args.file}")
+            print(
+                f"format:       v{pf.format_version} "
+                f"({'columns (SoA)' if pf.format_version == COLUMNAR_VERSION else 'rows (AoS)'})"
+            )
+            print(f"page size:    {pf.page_size}")
+            print(f"pages:        {pf.num_pages}")
+            print(f"root page:    {pf.root_page}")
+            entries, height, flags = rtree_meta
+            print(
+                f"as r-tree:    num_entries={entries} height={height} "
+                f"mnd={'yes' if flags & 1 else 'no'}"
+            )
+            records, per_block, ncols = block_meta
+            print(
+                f"as blockfile: num_records={records} "
+                f"records_per_block={per_block} ncols={ncols}"
+            )
+    except PageFileError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+    return 0
+
+
+def _cmd_pages_convert(args: argparse.Namespace) -> int:
+    from repro.rtree.persist import convert_page_file
+    from repro.storage.codecs import ClientCodec, SiteCodec
+    from repro.storage.diskblocks import convert_block_file
+    from repro.storage.diskfile import PageFileError
+
+    try:
+        if args.codec == "block":
+            pages = convert_block_file(args.src, args.dst, args.to)
+        else:
+            codec = ClientCodec() if args.codec == "client" else SiteCodec()
+            pages = convert_page_file(args.src, args.dst, codec, args.to)
+    except (PageFileError, ValueError, OSError) as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+    print(f"wrote {args.dst} ({pages} pages, leaf format {args.to})")
+    return 0
+
+
+def _add_pages_parser(sub: argparse._SubParsersAction) -> None:
+    p_pages = sub.add_parser(
+        "pages", help="inspect and convert on-disk page files"
+    )
+    pages_sub = p_pages.add_subparsers(dest="pages_command", required=True)
+
+    p_info = pages_sub.add_parser(
+        "info", help="print a page file's header and metadata page"
+    )
+    p_info.add_argument("file", help="path to a .pages file")
+    p_info.set_defaults(func=_cmd_pages_info)
+
+    p_conv = pages_sub.add_parser(
+        "convert", help="rewrite a page file between row (v1) and "
+        "columnar (v2) leaf encodings"
+    )
+    p_conv.add_argument("src", help="source .pages file")
+    p_conv.add_argument("dst", help="destination .pages file")
+    p_conv.add_argument(
+        "--codec",
+        required=True,
+        choices=("client", "site", "block"),
+        help="leaf payload kind: client/site r-tree, or a flat block file",
+    )
+    p_conv.add_argument(
+        "--to",
+        required=True,
+        choices=("rows", "columns"),
+        help="target leaf encoding",
+    )
+    p_conv.set_defaults(func=_cmd_pages_convert)
+
+
 def _add_bench_parser(sub: argparse._SubParsersAction) -> None:
     p_bench = sub.add_parser(
         "bench", help="record benchmark suites and gate against baselines"
@@ -1132,6 +1232,11 @@ def _add_bench_parser(sub: argparse._SubParsersAction) -> None:
         help="stretch the worker ladder (suites with a runner, "
         "e.g. parallel)",
     )
+    p_run.add_argument(
+        "--rungs",
+        help="comma-separated client-count rungs for the scale suite, "
+        "e.g. 100000 (default: the full ladder)",
+    )
     p_run.set_defaults(func=_cmd_bench_run)
 
     p_cmp = bench_sub.add_parser(
@@ -1159,6 +1264,12 @@ def _add_bench_parser(sub: argparse._SubParsersAction) -> None:
         action="store_true",
         help="fail on wall-time regressions too (deterministic I/O "
         "metrics always gate)",
+    )
+    p_cmp.add_argument(
+        "--subset",
+        action="store_true",
+        help="current run may cover only part of the baseline; entries "
+        "it does cover still gate exactly (CI's single-rung scale check)",
     )
     p_cmp.add_argument(
         "--verbose", action="store_true", help="list unchanged verdicts too"
@@ -1278,6 +1389,7 @@ def build_parser() -> argparse.ArgumentParser:
     _add_instance_args(p_stats)
     p_stats.set_defaults(func=_cmd_stats)
 
+    _add_pages_parser(sub)
     _add_bench_parser(sub)
     _add_service_parsers(sub)
     _add_loadgen_parser(sub)

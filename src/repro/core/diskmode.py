@@ -1,70 +1,230 @@
 """Running queries against persisted (on-disk) indexes.
 
-``persist_indexes`` freezes a workspace's MND-method structures
-(``R_C^m`` and ``R_P``) into binary page files; ``DiskWorkspace``
-reopens them read-only and duck-types just enough of
-:class:`~repro.core.workspace.Workspace` for the MND method to run
-unmodified — every node fetched is decoded from real file bytes and
-counted as an I/O, making this the closest simulation of the paper's
-disk-resident setting.
+``persist_indexes`` freezes a workspace's query structures into binary
+page files; ``DiskWorkspace`` reopens them read-only and duck-types
+enough of :class:`~repro.core.workspace.Workspace` for all four paper
+methods (SS, QVC, NFC, MND) to run unmodified — every node or block
+fetched is decoded from real file bytes and counted as an I/O, making
+this the closest simulation of the paper's disk-resident setting.
+
+Persisted per workspace (``manifest.json`` records the layout):
+
+========================  ==========================================
+``r_c_m.pages``           ``R_C^m`` — MND-augmented client tree
+``r_p.pages``             ``R_P`` — potential-location tree
+``r_c.pages``             ``R_C`` — client point tree (QVC)
+``r_f.pages``             ``R_F`` — facility tree (QVC)
+``r_c_n.pages``           ``R_C^n`` — RNN-tree over NFCs (NFC)
+``file_c.pages``          the flat client file (SS)
+``file_p.pages``          the flat potential file (SS, QVC)
+========================  ==========================================
+
+Three backends serve the same files with identical answers and
+identical I/O accounting (see ``repro.bench.scale`` for the
+measurements):
+
+* ``DiskWorkspace(..., mapped=False)`` over v1 (row) files — per-read
+  ``seek``/``read`` syscalls, packed-record decode;
+* ``mapped=True`` over v1 — zero-copy ``mmap`` views, packed decode;
+* ``mapped=True`` over v2 (``leaf_format="columns"``) files — zero-copy
+  views *and* zero decode: leaf pages are already the column blocks the
+  batch kernels consume.
 
 Typical flow::
 
-    paths = persist_indexes(ws, directory)
-    frozen = DiskWorkspace(paths, stats=IOStats())
+    paths = persist_indexes(ws, directory, leaf_format="columns")
+    frozen = DiskWorkspace(paths, stats=IOStats(), mapped=True)
     result = MaximumNFCDistance(frozen).select()   # answers from disk
 """
 
 from __future__ import annotations
 
-from dataclasses import dataclass
+import json
+from dataclasses import dataclass, fields
+from functools import cached_property
 from pathlib import Path
 from typing import Optional
 
+import numpy as np
+
 from repro.core.types import Site
 from repro.core.workspace import Workspace
+from repro.geometry.circle import Circle
+from repro.geometry.point import Point
+from repro.geometry.rect import Rect
 from repro.obs.trace import NOOP_TRACER, Tracer
 from repro.rtree.persist import DiskRTree, save_rtree
 from repro.storage.buffer import LRUBufferPool
 from repro.storage.codecs import ClientCodec, SiteCodec
+from repro.storage.diskblocks import DiskBlockFile, save_block_file
 from repro.storage.leafcache import DecodedLeafCache
+from repro.storage.records import CLIENT_RECORD, POINT_RECORD, PAGE_SIZE
 from repro.storage.stats import IOStats
+
+MANIFEST_NAME = "manifest.json"
 
 
 @dataclass(frozen=True)
 class PersistedIndexes:
-    """File locations of a frozen query workspace."""
+    """File locations of a frozen query workspace.
+
+    The first four fields are the original MND-only persistence; the
+    optional tail (default ``None``) is the full-workspace layout that
+    lets every method run from disk.  A ``DiskWorkspace`` over an
+    MND-only record still supports the MND method — touching any other
+    structure raises with a pointer to ``persist_indexes``.
+    """
 
     directory: Path
     mnd_tree_path: Path
     r_p_path: Path
     n_p: int
+    r_c_path: Optional[Path] = None
+    r_f_path: Optional[Path] = None
+    rnn_tree_path: Optional[Path] = None
+    client_file_path: Optional[Path] = None
+    potential_file_path: Optional[Path] = None
+    n_c: Optional[int] = None
+    n_f: Optional[int] = None
+    #: Effective data bounds ``(xmin, ymin, xmax, ymax)`` — the QVC
+    #: clipping domain.  JSON float repr round-trips doubles exactly.
+    bounds: Optional[tuple[float, float, float, float]] = None
+    #: Leaf/block encoding of every page file: "rows" (v1) or "columns" (v2).
+    leaf_format: str = "rows"
 
 
-def persist_indexes(ws: Workspace, directory: str | Path) -> PersistedIndexes:
-    """Serialise the MND method's indexes to ``directory``."""
+_PATH_FIELDS = (
+    "mnd_tree_path",
+    "r_p_path",
+    "r_c_path",
+    "r_f_path",
+    "rnn_tree_path",
+    "client_file_path",
+    "potential_file_path",
+)
+
+
+def persist_indexes(
+    ws: Workspace,
+    directory: str | Path,
+    leaf_format: str = "rows",
+    full: bool = True,
+) -> PersistedIndexes:
+    """Serialise a workspace's query structures to ``directory``.
+
+    With ``full`` (the default) every structure the four methods touch
+    is written, plus a ``manifest.json`` so :func:`load_persisted` can
+    reopen the directory without the source workspace; ``full=False``
+    reproduces the original MND-only pair.  ``leaf_format="columns"``
+    writes v2 (structure-of-arrays) leaf and block pages throughout.
+    """
     directory = Path(directory)
     directory.mkdir(parents=True, exist_ok=True)
     mnd_path = directory / "r_c_m.pages"
     r_p_path = directory / "r_p.pages"
-    save_rtree(ws.mnd_tree, mnd_path, ClientCodec())
-    save_rtree(ws.r_p, r_p_path, SiteCodec())
-    return PersistedIndexes(
+    save_rtree(ws.mnd_tree, mnd_path, ClientCodec(), leaf_format=leaf_format)
+    save_rtree(ws.r_p, r_p_path, SiteCodec(), leaf_format=leaf_format)
+    if not full:
+        return PersistedIndexes(
+            directory=directory,
+            mnd_tree_path=mnd_path,
+            r_p_path=r_p_path,
+            n_p=ws.n_p,
+            leaf_format=leaf_format,
+        )
+    r_c_path = directory / "r_c.pages"
+    r_f_path = directory / "r_f.pages"
+    rnn_path = directory / "r_c_n.pages"
+    file_c_path = directory / "file_c.pages"
+    file_p_path = directory / "file_p.pages"
+    save_rtree(ws.r_c, r_c_path, ClientCodec(), leaf_format=leaf_format)
+    save_rtree(ws.r_f, r_f_path, SiteCodec(), leaf_format=leaf_format)
+    save_rtree(ws.rnn_tree, rnn_path, ClientCodec(), leaf_format=leaf_format)
+    # Block capacities are the *logical* per-page record counts of the
+    # in-memory layouts, which pins block counts (and io_total) to the
+    # memory workspace exactly.
+    client_matrix = np.column_stack([ws.client_xyd, ws.client_w])
+    save_block_file(
+        file_c_path,
+        client_matrix,
+        CLIENT_RECORD.capacity(PAGE_SIZE),
+        block_format=leaf_format,
+    )
+    save_block_file(
+        file_p_path,
+        ws.potential_xy,
+        POINT_RECORD.capacity(PAGE_SIZE),
+        block_format=leaf_format,
+    )
+    bounds = ws.data_bounds
+    indexes = PersistedIndexes(
         directory=directory,
         mnd_tree_path=mnd_path,
         r_p_path=r_p_path,
         n_p=ws.n_p,
+        r_c_path=r_c_path,
+        r_f_path=r_f_path,
+        rnn_tree_path=rnn_path,
+        client_file_path=file_c_path,
+        potential_file_path=file_p_path,
+        n_c=ws.n_c,
+        n_f=ws.n_f,
+        bounds=(bounds.xmin, bounds.ymin, bounds.xmax, bounds.ymax),
+        leaf_format=leaf_format,
     )
+    _write_manifest(indexes)
+    return indexes
+
+
+def _write_manifest(indexes: PersistedIndexes) -> None:
+    payload = {}
+    for field in fields(PersistedIndexes):
+        value = getattr(indexes, field.name)
+        if field.name == "directory":
+            continue
+        if field.name in _PATH_FIELDS and value is not None:
+            value = Path(value).name  # manifest stays relocatable
+        if isinstance(value, tuple):
+            value = list(value)
+        payload[field.name] = value
+    (indexes.directory / MANIFEST_NAME).write_text(
+        json.dumps(payload, indent=2) + "\n"
+    )
+
+
+def load_persisted(directory: str | Path) -> PersistedIndexes:
+    """Reopen a persisted directory from its ``manifest.json``."""
+    directory = Path(directory)
+    manifest = directory / MANIFEST_NAME
+    if not manifest.exists():
+        raise FileNotFoundError(
+            f"{manifest}: no manifest — was this directory written by "
+            "persist_indexes(..., full=True)?"
+        )
+    payload = json.loads(manifest.read_text())
+    kwargs = {"directory": directory}
+    for field in fields(PersistedIndexes):
+        if field.name == "directory":
+            continue
+        value = payload.get(field.name)
+        if field.name in _PATH_FIELDS and value is not None:
+            value = directory / value
+        if field.name == "bounds" and value is not None:
+            value = tuple(value)
+        kwargs[field.name] = value
+    return PersistedIndexes(**kwargs)
 
 
 class DiskWorkspace:
     """A read-only workspace view over persisted indexes.
 
-    Exposes the attributes the MND method touches: ``mnd_tree``,
-    ``r_p``, ``potentials``, ``n_p``, ``stats``, ``io_latency_s`` and
-    ``reset_stats``.  Mutating accessors do not exist; building other
-    methods' structures is deliberately unsupported (persist those
-    separately if needed).
+    Exposes every attribute the four methods touch — trees, flat files,
+    ``potentials``, ``data_bounds``, ``stats``, ``leaf_cache``,
+    ``io_latency_s`` — with each structure opened lazily on first use
+    (the MND pair eagerly, to keep the original validation behaviour).
+    ``mapped=True`` serves every page file through one ``mmap`` each
+    (zero-copy reads); accounting is identical either way.  Mutating
+    accessors do not exist.
     """
 
     def __init__(
@@ -73,11 +233,14 @@ class DiskWorkspace:
         stats: Optional[IOStats] = None,
         buffer_pool: Optional[LRUBufferPool] = None,
         io_latency_s: float = Workspace.DEFAULT_IO_LATENCY_S,
+        mapped: bool = False,
     ):
+        self.indexes = indexes
         self.stats = stats or IOStats()
         self.tracer = NOOP_TRACER
         self.buffer_pool = buffer_pool
         self.io_latency_s = io_latency_s
+        self.mapped = mapped
         self.leaf_cache = DecodedLeafCache()
         self.mnd_tree = DiskRTree(
             "R_C^m",
@@ -86,9 +249,15 @@ class DiskWorkspace:
             self.stats,
             buffer_pool,
             radius_of=lambda c: c.dnn,
+            mapped=mapped,
         )
         self.r_p = DiskRTree(
-            "R_P", indexes.r_p_path, SiteCodec(), self.stats, buffer_pool
+            "R_P",
+            indexes.r_p_path,
+            SiteCodec(),
+            self.stats,
+            buffer_pool,
+            mapped=mapped,
         )
         # Rebuild the candidate table from the R_P leaves (ids are the
         # original candidate ids, so ordering by id restores it).
@@ -101,9 +270,109 @@ class DiskWorkspace:
                 f"metadata promises {indexes.n_p}"
             )
 
+    # ------------------------------------------------------------------
+    # Lazily opened structures (QVC / NFC / SS)
+    # ------------------------------------------------------------------
+    def _require(self, path: Optional[Path], what: str) -> Path:
+        if path is None:
+            raise ValueError(
+                f"persisted workspace at {self.indexes.directory} carries no "
+                f"{what}; re-persist with persist_indexes(..., full=True)"
+            )
+        return path
+
+    @cached_property
+    def r_c(self) -> DiskRTree:
+        """``R_C``: the client point tree (QVC)."""
+        return DiskRTree(
+            "R_C",
+            self._require(self.indexes.r_c_path, "R_C tree"),
+            ClientCodec(),
+            self.stats,
+            self.buffer_pool,
+            mapped=self.mapped,
+        )
+
+    @cached_property
+    def r_f(self) -> DiskRTree:
+        """``R_F``: the facility tree (QVC quadrant NN queries)."""
+        return DiskRTree(
+            "R_F",
+            self._require(self.indexes.r_f_path, "R_F tree"),
+            SiteCodec(),
+            self.stats,
+            self.buffer_pool,
+            mapped=self.mapped,
+        )
+
+    @cached_property
+    def rnn_tree(self) -> DiskRTree:
+        """``R_C^n``: the RNN-tree over NFC circles (NFC method).
+
+        Leaf entry MBRs are the squares around each client's NFC —
+        reconstructed from the payload on decode (v1) or from the
+        columns (v2, ``leaf_shape="circle"``), bit-identical to the
+        in-memory tree.
+        """
+        return DiskRTree(
+            "R_C^n",
+            self._require(self.indexes.rnn_tree_path, "RNN-tree"),
+            ClientCodec(),
+            self.stats,
+            self.buffer_pool,
+            leaf_mbr=lambda c: Circle(Point(c.x, c.y), c.dnn).mbr(),
+            mapped=self.mapped,
+            leaf_shape="circle",
+        )
+
+    @cached_property
+    def client_file(self) -> DiskBlockFile:
+        """``file.C``: the flat client file of the SS scan."""
+        return DiskBlockFile(
+            "file.C",
+            self._require(self.indexes.client_file_path, "client block file"),
+            self.stats,
+            self.buffer_pool,
+            mapped=self.mapped,
+        )
+
+    @cached_property
+    def potential_file(self) -> DiskBlockFile:
+        """``file.P``: the flat potential-location file (SS, QVC)."""
+        return DiskBlockFile(
+            "file.P",
+            self._require(self.indexes.potential_file_path, "potential block file"),
+            self.stats,
+            self.buffer_pool,
+            mapped=self.mapped,
+        )
+
+    @cached_property
+    def data_bounds(self) -> Rect:
+        """The effective clipping domain (QVC), from the manifest."""
+        if self.indexes.bounds is None:
+            raise ValueError(
+                f"persisted workspace at {self.indexes.directory} carries no "
+                "data bounds; re-persist with persist_indexes(..., full=True)"
+            )
+        return Rect(*self.indexes.bounds)
+
+    # ------------------------------------------------------------------
     @property
     def n_p(self) -> int:
         return len(self.potentials)
+
+    @property
+    def n_c(self) -> int:
+        if self.indexes.n_c is None:
+            raise ValueError("persisted workspace predates full persistence")
+        return self.indexes.n_c
+
+    @property
+    def n_f(self) -> int:
+        if self.indexes.n_f is None:
+            raise ValueError("persisted workspace predates full persistence")
+        return self.indexes.n_f
 
     def reset_stats(self) -> None:
         self.stats.reset()
@@ -124,6 +393,11 @@ class DiskWorkspace:
     def close(self) -> None:
         self.mnd_tree.close()
         self.r_p.close()
+        # Only structures that were actually opened.
+        for attr in ("r_c", "r_f", "rnn_tree", "client_file", "potential_file"):
+            opened = self.__dict__.get(attr)
+            if opened is not None:
+                opened.close()
 
     def __enter__(self) -> "DiskWorkspace":
         return self

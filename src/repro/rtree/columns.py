@@ -11,10 +11,14 @@ per tree, so the key space cannot collide).
 
 Decoding takes the fastest route available:
 
-* disk-backed trees (:class:`~repro.rtree.persist.DiskRTree`) expose
-  ``node_page_bytes``, so a whole page of packed records bulk-decodes
-  straight from bytes via :mod:`repro.kernels` — under the vector
-  backend that is one ``np.frombuffer`` instead of ``n`` unpacks;
+* column-encoded disk trees (v2 page files, see
+  :mod:`repro.storage.soa`) expose ``leaf_columns`` — the page *is*
+  the columns, so "decoding" is zero-copy view construction;
+* row-encoded disk trees (:class:`~repro.rtree.persist.DiskRTree` over
+  v1 files) expose ``node_page_bytes``, so a whole page of packed
+  records bulk-decodes straight from bytes via :mod:`repro.kernels` —
+  under the vector backend that is one ``np.frombuffer`` instead of
+  ``n`` unpacks;
 * in-memory trees decode from the node's entry objects.
 
 Both routes produce identical column values for the same logical
@@ -49,10 +53,31 @@ def _page_bytes(tree: Any, node_id: int):
     return reader(node_id)
 
 
+def _column_leaf(tree: Any, node: Any):
+    """Zero-copy payload columns for v2 leaves, else None.
+
+    A :class:`~repro.rtree.persist.ColumnLeafNode` carries the column
+    views it was decoded from, so the common case costs one attribute
+    read.  ``leaf_columns`` (on ``DiskRTree``) answers None for
+    row-encoded files, so this is also the guard that keeps v2 pages
+    out of the packed-row bulk decoders below.
+    """
+    cols = getattr(node, "columns", None)
+    if cols is not None:
+        return cols
+    reader = getattr(tree, "leaf_columns", None)
+    if reader is None:
+        return None
+    return reader(node.node_id)
+
+
 def leaf_site_columns(tree: Any, node: Any, cache: Any) -> SiteColumns:
     """Columns of the site records in one leaf of a potential-location tree."""
 
     def decode() -> SiteColumns:
+        cols = _column_leaf(tree, node)
+        if cols is not None:
+            return cols
         page = _page_bytes(tree, node.node_id)
         if page is not None:
             __, count, offset, data = page
@@ -70,6 +95,9 @@ def leaf_client_columns(tree: Any, node: Any, cache: Any) -> ClientColumns:
     """
 
     def decode() -> ClientColumns:
+        cols = _column_leaf(tree, node)
+        if cols is not None:
+            return cols
         page = _page_bytes(tree, node.node_id)
         if page is not None:
             __, count, offset, data = page
@@ -85,9 +113,21 @@ def nfc_leaf_columns(tree: Any, node: Any, cache: Any) -> ClientColumns:
     Reconstructed from the entries' square MBRs — lines 12–13 of the
     paper's Algorithm 4 — not from the client records, so the float
     values match the geometric reconstruction the join has always used.
+    The columnar fast path builds those same square rects from the
+    ``xs``/``ys``/``dnn`` columns before the circle reconstruction, so
+    its floats are bit-identical to the entry-object route.
     """
 
     def decode() -> ClientColumns:
+        cols = _column_leaf(tree, node)
+        if cols is not None:
+            rects = RectColumns(
+                xmin=cols.xs - cols.dnn,
+                ymin=cols.ys - cols.dnn,
+                xmax=cols.xs + cols.dnn,
+                ymax=cols.ys + cols.dnn,
+            )
+            return kernels.circle_columns_from_rects(rects, cols.ids, cols.weights)
         entries = node.entries
         n = len(entries)
         rects = RectColumns.from_rects(e.mbr for e in entries)

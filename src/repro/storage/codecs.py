@@ -30,6 +30,7 @@ from repro import kernels
 from repro.geometry.point import Point
 from repro.geometry.rect import Rect
 from repro.kernels.columnar import ClientColumns, SiteColumns
+from repro.storage import soa
 
 T = TypeVar("T")
 
@@ -75,6 +76,14 @@ class SiteCodec:
         """Bulk-decode ``count`` consecutive records into columns."""
         return kernels.decode_site_columns(data, count, offset=offset)
 
+    def encode_soa(self, cols: SiteColumns) -> bytes:
+        """The v2 (structure-of-arrays) image of the same records."""
+        return soa.encode_site_columns(cols)
+
+    def decode_soa(self, data, count: int, offset: int = 0) -> SiteColumns:
+        """Zero-copy column views of a v2 page (see :mod:`repro.storage.soa`)."""
+        return soa.decode_site_columns_soa(data, count, offset=offset)
+
     def objects_from_columns(self, cols: SiteColumns) -> list:
         """Materialize payload objects from bulk-decoded columns."""
         return [
@@ -101,6 +110,14 @@ class ClientCodec:
     ) -> ClientColumns:
         """Bulk-decode ``count`` consecutive records into columns."""
         return kernels.decode_client_columns(data, count, offset=offset)
+
+    def encode_soa(self, cols: ClientColumns) -> bytes:
+        """The v2 (structure-of-arrays) image of the same records."""
+        return soa.encode_client_columns(cols)
+
+    def decode_soa(self, data, count: int, offset: int = 0) -> ClientColumns:
+        """Zero-copy column views of a v2 page (unit weights)."""
+        return soa.decode_client_columns_soa(data, count, offset=offset)
 
     def objects_from_columns(self, cols: ClientColumns) -> list:
         """Materialize payload objects (unit weights, like ``decode``)."""

@@ -73,3 +73,106 @@ class TestDiskMode:
         bad = replace(persisted, n_p=persisted.n_p + 5)
         with pytest.raises(ValueError, match="promises"):
             DiskWorkspace(bad)
+
+
+@pytest.fixture(scope="module")
+def full_dirs(mem_ws, tmp_path_factory):
+    """One v1 and one v2 full persist shared across the parity tests."""
+    base = tmp_path_factory.mktemp("full")
+    v1 = persist_indexes(mem_ws, base / "v1", full=True)
+    v2 = persist_indexes(mem_ws, base / "v2", leaf_format="columns", full=True)
+    return v1, v2
+
+
+def run_method(ws, method):
+    from repro.core.registry import make_selector
+
+    ws.invalidate_leaf_cache()
+    sel = make_selector(ws, method)
+    result = sel.select()
+    return result, sel.distance_reductions()
+
+
+class TestFullPersistence:
+    def test_all_files_exist(self, full_dirs):
+        v1, __ = full_dirs
+        for attr in (
+            "mnd_tree_path",
+            "r_p_path",
+            "r_c_path",
+            "r_f_path",
+            "rnn_tree_path",
+            "client_file_path",
+            "potential_file_path",
+        ):
+            path = getattr(v1, attr)
+            assert path is not None and path.exists(), attr
+
+    def test_manifest_round_trip(self, full_dirs):
+        from repro.core.diskmode import load_persisted
+
+        v1, __ = full_dirs
+        loaded = load_persisted(v1.directory)
+        assert loaded == v1
+
+    def test_manifest_missing(self, tmp_path):
+        from repro.core.diskmode import load_persisted
+
+        with pytest.raises(FileNotFoundError):
+            load_persisted(tmp_path)
+
+    def test_leaf_format_recorded(self, full_dirs):
+        v1, v2 = full_dirs
+        assert v1.leaf_format == "rows"
+        assert v2.leaf_format == "columns"
+
+    def test_counts_and_bounds(self, mem_ws, full_dirs):
+        v1, __ = full_dirs
+        with DiskWorkspace(v1) as frozen:
+            assert frozen.n_c == mem_ws.n_c
+            assert frozen.n_f == mem_ws.n_f
+            assert frozen.n_p == mem_ws.n_p
+            assert frozen.data_bounds == mem_ws.data_bounds
+
+    def test_mnd_only_persist_rejects_other_methods(self, mem_ws, tmp_path):
+        slim = persist_indexes(mem_ws, tmp_path / "slim", full=False)
+        with DiskWorkspace(slim) as frozen:
+            run_method(frozen, "MND")  # the eager pair is always there
+            for method in ("SS", "QVC", "NFC"):
+                with pytest.raises(ValueError, match="re-persist"):
+                    run_method(frozen, method)
+
+
+class TestAllMethodsParity:
+    """Memory vs file vs mmap vs mmap+columnar, byte-identical everything."""
+
+    @pytest.mark.parametrize("method", ["SS", "QVC", "NFC", "MND"])
+    def test_serial_parity(self, mem_ws, full_dirs, method):
+        v1, v2 = full_dirs
+        ref, ref_dr = run_method(mem_ws, method)
+        backends = [
+            (v1, False, "file"),
+            (v1, True, "mmap"),
+            (v2, True, "mmap+columnar"),
+        ]
+        for persisted, mapped, label in backends:
+            with DiskWorkspace(persisted, mapped=mapped) as frozen:
+                got, got_dr = run_method(frozen, method)
+            assert got.location.sid == ref.location.sid, label
+            assert got.dr == ref.dr, label
+            assert got.io_total == ref.io_total, label
+            assert dict(got.io_reads) == dict(ref.io_reads), label
+            np.testing.assert_array_equal(got_dr, ref_dr, err_msg=label)
+
+    @pytest.mark.parametrize("method", ["SS", "QVC", "NFC", "MND"])
+    def test_engine_parallel_parity(self, mem_ws, full_dirs, method):
+        from repro.exec.engine import QueryEngine
+
+        __, v2 = full_dirs
+        ref, __ref_dr = run_method(mem_ws, method)
+        with DiskWorkspace(v2, mapped=True) as frozen:
+            engine = QueryEngine(frozen, workers=2, executor="thread")
+            got = engine.run(method)
+        assert got.location.sid == ref.location.sid
+        assert got.dr == ref.dr
+        assert got.io_total == ref.io_total

@@ -229,3 +229,186 @@ class TestRNNTreeOnDisk:
             mem_hits = sorted(c.cid for c in window_query(tree, q))
             disk_hits = sorted(c.cid for c in window_query(disk, q))
             assert disk_hits == mem_hits
+
+
+class TestColumnarLeaves:
+    """v2 page files: structure-of-arrays leaves, lazy entries, converter."""
+
+    def make_site_tree(self, n=300, seed=20):
+        rng = random.Random(seed)
+        sites = [
+            Site(i, rng.uniform(0, 1000), rng.uniform(0, 1000)) for i in range(n)
+        ]
+        tree = RTree("t", IOStats(), max_leaf_entries=16, max_branch_entries=16)
+        bulk_load(tree, [(Rect(s.x, s.y, s.x, s.y), s) for s in sites])
+        return tree, sites
+
+    def make_client_tree(self, n=250, seed=21):
+        rng = random.Random(seed)
+        clients = [
+            Client(i, rng.uniform(0, 1000), rng.uniform(0, 1000), rng.uniform(0, 40))
+            for i in range(n)
+        ]
+        tree = MNDTree(
+            "m",
+            IOStats(),
+            radius_of=lambda c: c.dnn,
+            max_leaf_entries=16,
+            max_branch_entries=16,
+        )
+        bulk_load(tree, [(Rect(c.x, c.y, c.x, c.y), c) for c in clients])
+        return tree, clients
+
+    @pytest.mark.parametrize("mapped", [False, True], ids=["file", "mmap"])
+    def test_site_v2_round_trip(self, tmp_path, mapped):
+        tree, sites = self.make_site_tree()
+        path = tmp_path / "v2.pages"
+        save_rtree(tree, path, SiteCodec(), leaf_format="columns")
+        with DiskRTree("d", path, SiteCodec(), IOStats(), mapped=mapped) as disk:
+            assert disk.leaf_format == "columns"
+            assert len(disk) == len(sites)
+            got = sorted(e.payload for e in disk.iter_leaf_entries())
+            assert got == sorted(sites)
+
+    def test_v2_queries_and_io_match_v1(self, tmp_path):
+        tree, __ = self.make_site_tree(seed=22)
+        v1, v2 = tmp_path / "v1.pages", tmp_path / "v2.pages"
+        save_rtree(tree, v1, SiteCodec())
+        save_rtree(tree, v2, SiteCodec(), leaf_format="columns")
+        w = Rect(200, 150, 600, 700)
+        s1, s2 = IOStats(), IOStats()
+        with DiskRTree("d", v1, SiteCodec(), s1) as d1, DiskRTree(
+            "d", v2, SiteCodec(), s2, mapped=True
+        ) as d2:
+            assert sorted(s.sid for s in window_query(d2, w)) == sorted(
+                s.sid for s in window_query(d1, w)
+            )
+            assert s2.snapshot() == s1.snapshot()
+
+    def test_mnd_v2_round_trip(self, tmp_path):
+        tree, __ = self.make_client_tree()
+        path = tmp_path / "mnd2.pages"
+        save_rtree(tree, path, ClientCodec(), leaf_format="columns")
+        with DiskRTree(
+            "d", path, ClientCodec(), IOStats(), radius_of=lambda c: c.dnn
+        ) as disk:
+            assert disk.has_mnd
+            assert disk.root_mnd() == pytest.approx(tree.root_mnd())
+
+    def test_column_mbrs_bit_identical_point_and_circle(self, tmp_path):
+        """A v2 leaf's vectorised MBR equals the sequential Rect union
+        of its entry MBRs for both leaf shapes."""
+        from repro.geometry.circle import Circle
+        from repro.rtree.rnn_tree import build_rnn_tree
+
+        tree, clients = self.make_client_tree(seed=23)
+        point_path = tmp_path / "p.pages"
+        save_rtree(tree, point_path, ClientCodec(), leaf_format="columns")
+        with DiskRTree(
+            "d", point_path, ClientCodec(), IOStats(), radius_of=lambda c: c.dnn
+        ) as disk:
+            order = list(tree.iter_nodes())
+            leaves = [
+                (i + 1, n) for i, n in enumerate(order) if n.is_leaf and n.entries
+            ]
+            assert leaves  # sanity: tree has leaves
+            for page_id, mem_node in leaves:
+                assert disk.node(page_id).mbr() == mem_node.mbr()
+
+        rnn = build_rnn_tree(
+            "rnn",
+            IOStats(),
+            clients,
+            point_of=lambda c: Point(c.x, c.y),
+            dnn_of=lambda c: c.dnn,
+        )
+        circle_path = tmp_path / "c.pages"
+        save_rtree(rnn, circle_path, ClientCodec(), leaf_format="columns")
+        leaf_mbr = lambda c: Circle(Point(c.x, c.y), c.dnn).mbr()
+        with DiskRTree(
+            "d",
+            circle_path,
+            ClientCodec(),
+            IOStats(),
+            leaf_mbr=leaf_mbr,
+            leaf_shape="circle",
+        ) as disk:
+            order = list(rnn.iter_nodes())
+            for i, mem_node in enumerate(order):
+                if not mem_node.is_leaf:
+                    continue
+                assert disk.node(i + 1).mbr() == mem_node.mbr()
+
+    def test_lazy_entries_defer_materialisation(self, tmp_path):
+        tree, __ = self.make_site_tree(n=100, seed=24)
+        path = tmp_path / "lazy.pages"
+        save_rtree(tree, path, SiteCodec(), leaf_format="columns")
+        with DiskRTree("d", path, SiteCodec(), IOStats(), mapped=True) as disk:
+            order = list(tree.iter_nodes())
+            leaf_page = next(
+                i + 1 for i, n in enumerate(order) if n.is_leaf and n.entries
+            )
+            node = disk.node(leaf_page)
+            lazy = node.entries
+            # len()/bool() work without building Entry objects
+            assert len(lazy) == len(order[leaf_page - 1].entries)
+            assert bool(lazy)
+            assert lazy._items is None
+            first = lazy[0]
+            assert lazy._items is not None  # indexing materialises
+            assert first.payload == order[leaf_page - 1].entries[0].payload
+
+    def test_empty_column_leaf_mbr_raises(self):
+        from repro.rtree.persist import ColumnLeafNode, _LazyEntries
+
+        node = ColumnLeafNode(
+            7, _LazyEntries(0, list), lambda: (_ for _ in ()).throw(AssertionError)
+        )
+        with pytest.raises(ValueError, match="no entries"):
+            node.mbr()
+
+    def test_leaf_columns_api(self, tmp_path):
+        tree, __ = self.make_site_tree(n=80, seed=25)
+        v1, v2 = tmp_path / "v1.pages", tmp_path / "v2.pages"
+        save_rtree(tree, v1, SiteCodec())
+        save_rtree(tree, v2, SiteCodec(), leaf_format="columns")
+        order = list(tree.iter_nodes())
+        leaf_page = next(i + 1 for i, n in enumerate(order) if n.is_leaf)
+        with DiskRTree("d", v1, SiteCodec(), IOStats()) as d1:
+            assert d1.leaf_columns(leaf_page) is None  # v1: no column blocks
+        with DiskRTree("d", v2, SiteCodec(), IOStats()) as d2:
+            cols = d2.leaf_columns(leaf_page)
+            assert cols is not None
+            mem_ids = sorted(e.payload.sid for e in order[leaf_page - 1].entries)
+            assert sorted(cols.ids.tolist()) == mem_ids
+            if tree.height > 1:
+                branch_page = next(
+                    i + 1 for i, n in enumerate(order) if not n.is_leaf
+                )
+                with pytest.raises(PageFileError, match="not a leaf"):
+                    d2.leaf_columns(branch_page)
+
+    def test_converter_round_trip_byte_exact(self, tmp_path):
+        from repro.rtree.persist import convert_page_file
+
+        tree, __ = self.make_client_tree(seed=26)
+        v1 = tmp_path / "v1.pages"
+        v2 = tmp_path / "v2.pages"
+        rt = tmp_path / "rt.pages"
+        save_rtree(tree, v1, ClientCodec())
+        convert_page_file(v1, v2, ClientCodec(), "columns")
+        convert_page_file(v2, rt, ClientCodec(), "rows")
+        assert rt.read_bytes() == v1.read_bytes()
+        direct = tmp_path / "direct.pages"
+        save_rtree(tree, direct, ClientCodec(), leaf_format="columns")
+        assert direct.read_bytes() == v2.read_bytes()
+
+    def test_rowonly_codec_rejects_columns(self, tmp_path):
+        tree = build_point_tree(random_points(30, seed=27))
+        with pytest.raises(ValueError, match="no columnar encoding"):
+            save_rtree(tree, tmp_path / "x.pages", PointCodec(), leaf_format="columns")
+
+    def test_unknown_leaf_format_rejected(self, tmp_path):
+        tree = build_point_tree(random_points(10, seed=28))
+        with pytest.raises(ValueError, match="leaf format"):
+            save_rtree(tree, tmp_path / "x.pages", PointCodec(), leaf_format="zigzag")

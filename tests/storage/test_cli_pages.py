@@ -1,0 +1,134 @@
+"""End-to-end tests of `mindist pages info|convert`."""
+
+from __future__ import annotations
+
+import random
+
+import numpy as np
+import pytest
+
+from repro.cli import main
+from repro.core.types import Client
+from repro.rtree.bulk import bulk_load
+from repro.rtree.rtree import RTree
+from repro.storage.codecs import ClientCodec
+from repro.storage.diskblocks import save_block_file
+from repro.storage.stats import IOStats
+
+
+@pytest.fixture()
+def client_tree_path(tmp_path):
+    from repro.geometry.rect import Rect
+    from repro.rtree.persist import save_rtree
+
+    rng = random.Random(33)
+    clients = [
+        Client(i, rng.uniform(0, 1000), rng.uniform(0, 1000), rng.uniform(0, 20))
+        for i in range(120)
+    ]
+    tree = RTree("t", IOStats(), max_leaf_entries=16, max_branch_entries=16)
+    bulk_load(tree, [(Rect(c.x, c.y, c.x, c.y), c) for c in clients])
+    path = tmp_path / "clients.pages"
+    save_rtree(tree, path, ClientCodec())
+    return path
+
+
+class TestInfo:
+    def test_info_on_v1_rtree(self, client_tree_path, capsys):
+        assert main(["pages", "info", str(client_tree_path)]) == 0
+        out = capsys.readouterr().out
+        assert "format:       v1 (rows (AoS))" in out
+        assert "page size:    4096" in out
+        assert "num_entries=120" in out
+
+    def test_info_on_converted_v2(self, client_tree_path, tmp_path, capsys):
+        v2 = tmp_path / "v2.pages"
+        assert (
+            main(
+                [
+                    "pages", "convert",
+                    str(client_tree_path), str(v2),
+                    "--codec", "client",
+                    "--to", "columns",
+                ]
+            )
+            == 0
+        )
+        assert "wrote" in capsys.readouterr().out
+        assert main(["pages", "info", str(v2)]) == 0
+        assert "v2 (columns (SoA))" in capsys.readouterr().out
+
+    def test_info_on_block_file(self, tmp_path, capsys):
+        path = tmp_path / "blocks.pages"
+        save_block_file(path, np.ones((300, 2)), 204)
+        assert main(["pages", "info", str(path)]) == 0
+        out = capsys.readouterr().out
+        assert "num_records=300" in out
+        assert "records_per_block=204" in out
+
+    def test_info_missing_file_exits_2(self, tmp_path, capsys):
+        assert main(["pages", "info", str(tmp_path / "nope.pages")]) == 2
+        assert "error" in capsys.readouterr().err
+
+
+class TestConvert:
+    def test_round_trip_via_cli_is_byte_exact(
+        self, client_tree_path, tmp_path, capsys
+    ):
+        v2 = tmp_path / "v2.pages"
+        back = tmp_path / "back.pages"
+        for src, dst, to in (
+            (client_tree_path, v2, "columns"),
+            (v2, back, "rows"),
+        ):
+            assert (
+                main(
+                    [
+                        "pages", "convert",
+                        str(src), str(dst),
+                        "--codec", "client",
+                        "--to", to,
+                    ]
+                )
+                == 0
+            )
+        capsys.readouterr()
+        assert back.read_bytes() == client_tree_path.read_bytes()
+
+    def test_block_convert(self, tmp_path, capsys):
+        rng = np.random.default_rng(5)
+        matrix = rng.random((300, 4))
+        v1 = tmp_path / "v1.pages"
+        v2 = tmp_path / "v2.pages"
+        save_block_file(v1, matrix, 146)
+        assert (
+            main(
+                [
+                    "pages", "convert",
+                    str(v1), str(v2),
+                    "--codec", "block",
+                    "--to", "columns",
+                ]
+            )
+            == 0
+        )
+        assert "leaf format columns" in capsys.readouterr().out
+        from repro.storage.diskblocks import DiskBlockFile
+
+        with DiskBlockFile("file.C", v2, IOStats(), mapped=True) as f:
+            np.testing.assert_array_equal(f.peek_block(0)[:, 3], matrix[:146, 3])
+
+    def test_convert_error_exits_2(self, tmp_path, capsys):
+        missing = tmp_path / "nope.pages"
+        assert (
+            main(
+                [
+                    "pages", "convert",
+                    str(missing), str(tmp_path / "out.pages"),
+                    "--codec", "client",
+                    "--to", "columns",
+                ]
+            )
+            == 2
+        )
+        assert "error" in capsys.readouterr().err

@@ -1,0 +1,145 @@
+"""Tests for the on-disk page files: error paths, mmap parity, versions."""
+
+import numpy as np
+import pytest
+
+from repro.storage.buffer import LRUBufferPool
+from repro.storage.diskfile import (
+    COLUMNAR_VERSION,
+    FORMAT_VERSION,
+    HEADER_SIZE,
+    DiskPager,
+    MappedPageFile,
+    PageFile,
+    PageFileError,
+    open_page_file,
+)
+from repro.storage.stats import IOStats
+
+
+def make_file(path, pages=None, root=0, version=FORMAT_VERSION, page_size=256):
+    if pages is None:
+        pages = [bytes([i]) * 16 for i in range(4)]
+    pf = PageFile(path, page_size=page_size)
+    pf.create(pages, root, version)
+    return path
+
+
+class TestPageFileErrors:
+    def test_missing_file(self, tmp_path):
+        with pytest.raises(PageFileError, match="no such page file"):
+            PageFile(tmp_path / "nope.pages").open()
+
+    def test_truncated_mid_file(self, tmp_path):
+        path = make_file(tmp_path / "t.pages")
+        data = path.read_bytes()
+        path.write_bytes(data[: HEADER_SIZE + 100])  # half of page 0
+        with pytest.raises(PageFileError, match="header promises"):
+            PageFile(path).open()
+
+    def test_trailing_bytes_rejected(self, tmp_path):
+        path = make_file(tmp_path / "t.pages")
+        path.write_bytes(path.read_bytes() + b"\x00" * 7)
+        with pytest.raises(PageFileError, match="7 trailing byte"):
+            PageFile(path).open()
+        with pytest.raises(PageFileError, match="trailing"):
+            MappedPageFile(path).open()
+
+    def test_out_of_range_page_id(self, tmp_path):
+        path = make_file(tmp_path / "t.pages")
+        for cls in (PageFile, MappedPageFile):
+            with cls(path).open() as pf:
+                with pytest.raises(PageFileError, match="out of range"):
+                    pf.read_page(4)
+                with pytest.raises(PageFileError, match="out of range"):
+                    pf.read_page(-1)
+
+    def test_read_before_open(self, tmp_path):
+        path = make_file(tmp_path / "t.pages")
+        for cls in (PageFile, MappedPageFile):
+            with pytest.raises(PageFileError, match="not open"):
+                cls(path).read_page(0)
+
+    def test_read_after_close(self, tmp_path):
+        path = make_file(tmp_path / "t.pages")
+        for cls in (PageFile, MappedPageFile):
+            pf = cls(path).open()
+            pf.close()
+            with pytest.raises(PageFileError, match="not open"):
+                pf.read_page(0)
+
+    def test_unsupported_write_version(self, tmp_path):
+        with pytest.raises(PageFileError, match="format version"):
+            PageFile(tmp_path / "t.pages").create([b"x"], 0, 99)
+
+
+class TestMappedParity:
+    def test_pages_byte_identical(self, tmp_path):
+        pages = [bytes([i]) * 100 for i in range(5)]
+        path = make_file(tmp_path / "t.pages", pages, root=2)
+        with PageFile(path).open() as plain, MappedPageFile(path).open() as mapped:
+            assert mapped.num_pages == plain.num_pages == 5
+            assert mapped.root_page == plain.root_page == 2
+            for i in range(5):
+                assert bytes(mapped.read_page(i)) == plain.read_page(i)
+
+    def test_mapped_page_is_zero_copy_view(self, tmp_path):
+        path = make_file(tmp_path / "t.pages")
+        with MappedPageFile(path).open() as mapped:
+            page = mapped.read_page(1)
+            assert isinstance(page, memoryview)
+            # numpy builds views straight over the map, no copies
+            arr = np.frombuffer(page, dtype=np.uint8, count=16)
+            assert not arr.flags.owndata
+            assert arr.tolist() == [1] * 16
+
+    def test_close_tolerates_outstanding_views(self, tmp_path):
+        path = make_file(tmp_path / "t.pages")
+        mapped = MappedPageFile(path).open()
+        arr = np.frombuffer(mapped.read_page(0), dtype=np.uint8, count=16)
+        mapped.close()  # must not raise BufferError
+        assert arr[0] == 0  # the view stays readable until collected
+
+    def test_format_version_survives_reopen(self, tmp_path):
+        path = make_file(tmp_path / "t.pages", version=COLUMNAR_VERSION)
+        for opener in (PageFile, MappedPageFile):
+            with opener(path).open() as pf:
+                assert pf.format_version == COLUMNAR_VERSION
+
+    def test_factory_picks_backend(self, tmp_path):
+        path = make_file(tmp_path / "t.pages")
+        plain = open_page_file(path, mapped=False)
+        mapped = open_page_file(path, mapped=True)
+        try:
+            assert type(plain) is PageFile
+            assert type(mapped) is MappedPageFile
+        finally:
+            plain.close()
+            mapped.close()
+
+
+class TestDiskPagerAccounting:
+    def test_charges_identical_across_backends(self, tmp_path):
+        path = make_file(tmp_path / "t.pages")
+        reads = [0, 1, 1, 2, 0, 3, 1]
+        snapshots = []
+        for mapped in (False, True):
+            stats = IOStats()
+            pool = LRUBufferPool(2)
+            pager = DiskPager("T", open_page_file(path, mapped=mapped), stats, pool)
+            for page_id in reads:
+                pager.read(page_id)
+            pager.peek(0)  # never charged
+            snapshots.append(dict(stats.snapshot()))
+            pager.file.close()
+        assert snapshots[0] == snapshots[1]
+
+    def test_private_stats_redirect(self, tmp_path):
+        path = make_file(tmp_path / "t.pages")
+        shared, private = IOStats(), IOStats()
+        pager = DiskPager("T", open_page_file(path), shared)
+        pager.read(0)
+        pager.read(1, stats=private)
+        assert shared.snapshot() == {"T": 1}
+        assert private.snapshot() == {"T": 1}
+        pager.file.close()
