@@ -86,6 +86,7 @@ def _builtin_suites() -> dict[str, Suite]:
     from repro.bench.parallel import PARALLEL_CONFIG, run_parallel_suite
     from repro.bench.scale import SCALE_RUNGS, config_for_rung, run_scale_suite
     from repro.bench.service import SERVICE_CONFIG, run_service_suite
+    from repro.bench.shard import SHARD_CONFIG, run_shard_suite
 
     return {
         "kernels": Suite(
@@ -126,6 +127,14 @@ def _builtin_suites() -> dict[str, Suite]:
             "batched selections, parity enforced",
             configs=((None, SERVICE_CONFIG),),
             runner=run_service_suite,
+        ),
+        "shard": Suite(
+            name="shard",
+            description="scatter-gather at 1/2/4 shards plus a TCP "
+            "coordinator pass, byte-identical merge vs the "
+            "serial tile-order reference enforced",
+            configs=((None, SHARD_CONFIG),),
+            runner=run_shard_suite,
         ),
         "smoke": Suite(
             name="smoke",

@@ -21,6 +21,11 @@ Subcommands::
     mindist call     stats --port 7733
     mindist loadgen  --mode both --report slo.md
     mindist loadgen  --host 127.0.0.1 --port 7733 --mode open --qps 300
+    mindist shard    partition --random 10000 500 500 --tiles 4 --out tiles/
+    mindist shard    serve tiles/ --shard-id 0 --shards 2 --port 7801
+    mindist shard    serve tiles/ --coordinator --peer 127.0.0.1:7801 \
+                     --peer 127.0.0.1:7802 --port 7733
+    mindist shard    call select --method MND --port 7733
 
 ``query`` answers one min-dist location selection query; ``compare``
 runs all four methods side by side; ``profile`` runs a query under the
@@ -34,9 +39,12 @@ evaluation (tables, CSVs and SVG figures) in one call; ``bench``
 records named benchmark suites, gates against committed baselines and
 renders the performance trajectory (see :mod:`repro.bench`); ``serve``
 runs the long-lived async query service, ``call`` issues one
-request against it (see :mod:`repro.service`) and ``loadgen`` drives it
+request against it (see :mod:`repro.service`), ``loadgen`` drives it
 with deterministic skewed traffic and reports SLOs (see
-:mod:`repro.loadgen`).
+:mod:`repro.loadgen`) and ``shard`` partitions a dataset into tile
+workspaces, serves them as a shard fleet and fronts the fleet with a
+scatter-gather coordinator whose merged answers are byte-identical to
+the unsharded reference (see :mod:`repro.shard`).
 """
 
 from __future__ import annotations
@@ -543,7 +551,11 @@ def _cmd_call(args: argparse.Namespace) -> int:
     from repro.service import ClientConnectionError, ServiceClient, ServiceError
 
     try:
-        client = ServiceClient(args.host, args.port)
+        client = ServiceClient(
+            args.host,
+            args.port,
+            connect_retries=getattr(args, "connect_retries", 0),
+        )
     except ClientConnectionError as exc:
         print(f"error [{exc.code}]: {exc}", file=sys.stderr)
         return 2
@@ -1082,6 +1094,12 @@ def _add_service_parsers(sub: argparse._SubParsersAction) -> None:
     p_call.add_argument(
         "--slow", type=int, help="trace: list the N slowest traces"
     )
+    p_call.add_argument(
+        "--connect-retries",
+        type=int,
+        default=0,
+        help="bounded reconnect attempts before giving up on the service",
+    )
     p_call.set_defaults(func=_cmd_call)
 
     p_top = sub.add_parser(
@@ -1101,6 +1119,251 @@ def _add_service_parsers(sub: argparse._SubParsersAction) -> None:
         help="print one screen and exit (no clearing, no loop)",
     )
     p_top.set_defaults(func=_cmd_top)
+
+
+def _cmd_shard_partition(args: argparse.Namespace) -> int:
+    from repro.shard import partition_workspace, write_partition
+
+    ws = Workspace(_instance_from_args(args))
+    try:
+        partition = partition_workspace(ws, args.tiles, scheme=args.scheme)
+    except ValueError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+    manifest = write_partition(partition, args.out)
+    print(
+        f"partitioned n_c={ws.n_c} into {partition.n_tiles} {args.scheme} "
+        f"tile(s); facilities (n_f={ws.n_f}) and potentials (n_p={ws.n_p}) "
+        "replicated into every tile"
+    )
+    for tile in partition.plan.tiles:
+        x0, y0, x1, y1 = tile.bounds
+        print(
+            f"  tile {tile.tile_id:4d}: {tile.n_c:6d} clients  "
+            f"[{x0:9.2f},{y0:9.2f}] .. [{x1:9.2f},{y1:9.2f}]"
+        )
+    print(f"wrote {manifest}")
+    return 0
+
+
+def _cmd_shard_serve(args: argparse.Namespace) -> int:
+    import asyncio
+
+    from repro.service import QueryService, ServiceConfig
+    from repro.shard import ShardTopology, load_partition
+    from repro.shard.coordinator import ShardCoordinator, tile_workspace_name
+    from repro.shard.executor import assign_tiles
+
+    try:
+        partition = load_partition(args.dir)
+    except (OSError, ValueError, KeyError) as exc:
+        print(f"error: cannot load partition {args.dir}: {exc}", file=sys.stderr)
+        return 2
+    config = ServiceConfig(workers=args.workers)
+
+    if args.coordinator:
+        if not args.peer:
+            print(
+                "error: --coordinator needs one --peer HOST:PORT per shard "
+                "(in shard-id order)",
+                file=sys.stderr,
+            )
+            return 2
+        peers = []
+        for peer in args.peer:
+            host_part, _, port_part = peer.rpartition(":")
+            if not host_part or not port_part.isdigit():
+                print(f"error: --peer {peer!r} is not HOST:PORT", file=sys.stderr)
+                return 2
+            peers.append((host_part, int(port_part)))
+        try:
+            topology = ShardTopology.from_partition(partition, peers)
+        except ValueError as exc:
+            print(f"error: {exc}", file=sys.stderr)
+            return 2
+        service = ShardCoordinator(
+            topology, config, connect_retries=args.connect_retries
+        )
+        banner = (
+            f"coordinating {topology.n_tiles} tile(s) over "
+            f"{len(topology.shards)} shard(s): "
+            + ", ".join(f"{h}:{p}" for h, p in peers)
+        )
+    else:
+        try:
+            groups = assign_tiles(partition.n_tiles, args.shards)
+        except ValueError as exc:
+            print(f"error: {exc}", file=sys.stderr)
+            return 2
+        if not 0 <= args.shard_id < args.shards:
+            print(
+                f"error: --shard-id must be in [0, {args.shards})",
+                file=sys.stderr,
+            )
+            return 2
+        tile_ids = groups[args.shard_id]
+        workspaces = {
+            tile_workspace_name(t): partition.load_tile(t, mode=args.mode)
+            for t in tile_ids
+        }
+        service = QueryService(workspaces, config)
+        banner = (
+            f"shard {args.shard_id}/{args.shards} hosting tile(s) "
+            f"{', '.join(str(t) for t in tile_ids)} ({args.mode} mode)"
+        )
+
+    async def _serve() -> None:
+        host, port = await service.start(args.host, args.port)
+        print(f"{banner}", flush=True)
+        print(f"listening on {host}:{port}", flush=True)
+        try:
+            await service.serve_forever()
+        except asyncio.CancelledError:
+            pass
+        finally:
+            print("draining ...", flush=True)
+            await service.shutdown(drain=True)
+            print("stopped", flush=True)
+
+    try:
+        asyncio.run(_serve())
+    except KeyboardInterrupt:
+        pass
+    return 0
+
+
+def _cmd_shard_call(args: argparse.Namespace) -> int:
+    import json as _json
+
+    from repro.service import ClientConnectionError, ServiceClient, ServiceError
+
+    try:
+        client = ServiceClient(
+            args.host, args.port, connect_retries=args.connect_retries
+        )
+    except ClientConnectionError as exc:
+        print(f"error [{exc.code}]: {exc}", file=sys.stderr)
+        return 2
+    try:
+        with client:
+            if args.operation == "select":
+                answer = client.select(args.method, no_cache=args.no_cache)
+                result = answer.result
+                print(
+                    f"best location: p{result.location.sid} at "
+                    f"({result.location.x:.4f}, {result.location.y:.4f})"
+                )
+                print(f"distance reduction: {result.dr:.4f}")
+                print(
+                    f"method={result.method}  I/Os={result.io_total}  "
+                    f"served from {'cache' if answer.cached else 'shards'}  "
+                    f"(coordinator version {answer.data_version})"
+                )
+            else:  # stats / health
+                payload = (
+                    client.stats()
+                    if args.operation == "stats"
+                    else client.health()
+                )
+                print(_json.dumps(payload, indent=2, sort_keys=True))
+    except ClientConnectionError as exc:
+        print(f"error [{exc.code}]: {exc}", file=sys.stderr)
+        return 2
+    except ServiceError as exc:
+        print(f"error [{exc.code}]: {exc}", file=sys.stderr)
+        return 1
+    return 0
+
+
+def _add_shard_parser(sub: argparse._SubParsersAction) -> None:
+    p_shard = sub.add_parser(
+        "shard",
+        help="partition a dataset into tiles, serve a shard fleet, and "
+        "front it with an exact scatter-gather coordinator",
+    )
+    shard_sub = p_shard.add_subparsers(dest="shard_command", required=True)
+
+    p_part = shard_sub.add_parser(
+        "partition", help="split a dataset into persisted tile workspaces"
+    )
+    _add_instance_args(p_part)
+    p_part.add_argument(
+        "--tiles", type=int, default=4, help="fixed tile count (the merge "
+        "order; independent of how many shards serve them)"
+    )
+    p_part.add_argument(
+        "--scheme",
+        default="str",
+        choices=["str", "grid"],
+        help="spatial partitioning scheme",
+    )
+    p_part.add_argument(
+        "--out", required=True, help="directory for the shard workspaces"
+    )
+    p_part.set_defaults(func=_cmd_shard_partition)
+
+    p_sserve = shard_sub.add_parser(
+        "serve", help="serve a shard's tiles, or coordinate a shard fleet"
+    )
+    p_sserve.add_argument("dir", help="partition directory (shards.json)")
+    p_sserve.add_argument("--host", default="127.0.0.1")
+    p_sserve.add_argument(
+        "--port", type=int, default=7733, help="bind port (0 = ephemeral)"
+    )
+    p_sserve.add_argument(
+        "--workers", type=int, default=1, help="engine workers per workspace"
+    )
+    p_sserve.add_argument(
+        "--shards", type=int, default=1, help="shard role: fleet size"
+    )
+    p_sserve.add_argument(
+        "--shard-id", type=int, default=0, help="shard role: this shard's id"
+    )
+    p_sserve.add_argument(
+        "--mode",
+        default="dynamic",
+        choices=["dynamic", "disk"],
+        help="shard role: rebuild tiles in memory (accepts updates) or "
+        "serve the persisted page files",
+    )
+    p_sserve.add_argument(
+        "--coordinator",
+        action="store_true",
+        help="coordinator role: scatter-gather over --peer shard servers",
+    )
+    p_sserve.add_argument(
+        "--peer",
+        action="append",
+        metavar="HOST:PORT",
+        help="coordinator role: one per shard, in shard-id order",
+    )
+    p_sserve.add_argument(
+        "--connect-retries",
+        type=int,
+        default=1,
+        help="coordinator role: reconnect attempts per shard call",
+    )
+    p_sserve.set_defaults(func=_cmd_shard_serve)
+
+    p_scall = shard_sub.add_parser(
+        "call", help="issue one request to a shard coordinator"
+    )
+    p_scall.add_argument("operation", choices=["select", "stats", "health"])
+    p_scall.add_argument("--host", default="127.0.0.1")
+    p_scall.add_argument("--port", type=int, default=7733)
+    p_scall.add_argument(
+        "--method", default="MND", choices=sorted(METHODS), help="select method"
+    )
+    p_scall.add_argument(
+        "--no-cache", action="store_true", help="bypass the result cache"
+    )
+    p_scall.add_argument(
+        "--connect-retries",
+        type=int,
+        default=0,
+        help="bounded reconnect attempts before giving up",
+    )
+    p_scall.set_defaults(func=_cmd_shard_call)
 
 
 def _cmd_pages_info(args: argparse.Namespace) -> int:
@@ -1393,6 +1656,7 @@ def build_parser() -> argparse.ArgumentParser:
     _add_bench_parser(sub)
     _add_service_parsers(sub)
     _add_loadgen_parser(sub)
+    _add_shard_parser(sub)
     return parser
 
 

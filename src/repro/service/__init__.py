@@ -45,6 +45,7 @@ from repro.service.protocol import (
     DeadlineExceededError,
     QueueFullError,
     ServiceError,
+    ShardUnavailableError,
     ShuttingDownError,
     UnknownMethodError,
     UnknownWorkspaceError,
@@ -75,6 +76,7 @@ __all__ = [
     "ServiceHandle",
     "ServiceSelection",
     "ServiceTelemetry",
+    "ShardUnavailableError",
     "ShuttingDownError",
     "TelemetryConfig",
     "Ticket",

@@ -27,6 +27,7 @@ from __future__ import annotations
 
 import socket
 import threading
+import time
 import uuid
 from dataclasses import dataclass
 from typing import Any, Optional, Sequence
@@ -75,17 +76,37 @@ class ServiceClient:
         port: int = 7733,
         connect_timeout_s: float = 10.0,
         io_timeout_s: Optional[float] = 60.0,
+        connect_retries: int = 0,
+        retry_delay_s: float = 0.1,
     ):
+        """Connect eagerly; raises :class:`ClientConnectionError` on failure.
+
+        ``connect_retries`` bounds *re*-attempts after a refused/failed
+        connect (0 = the historical single attempt), each preceded by a
+        ``retry_delay_s`` pause — enough for a server that is still
+        binding its port, or a shard coordinator waiting out a shard
+        restart, without ever hanging on one that never comes up.
+        """
+        if connect_retries < 0:
+            raise ValueError("connect_retries must be >= 0")
         self.host = host
         self.port = port
-        try:
-            self._sock = socket.create_connection(
-                (host, port), timeout=connect_timeout_s
-            )
-        except OSError as exc:
+        last_error: Optional[OSError] = None
+        for attempt in range(connect_retries + 1):
+            if attempt:
+                time.sleep(retry_delay_s)
+            try:
+                self._sock = socket.create_connection(
+                    (host, port), timeout=connect_timeout_s
+                )
+                break
+            except OSError as exc:
+                last_error = exc
+        else:
             raise ClientConnectionError(
-                f"cannot connect to {host}:{port}: {exc}"
-            ) from exc
+                f"cannot connect to {host}:{port} after "
+                f"{connect_retries + 1} attempt(s): {last_error}"
+            ) from last_error
         self._sock.settimeout(io_timeout_s)
         self._file = self._sock.makefile("rwb")
         self._lock = threading.Lock()
@@ -241,6 +262,20 @@ class ServiceClient:
             ServiceSelection.from_response(_unwrap(by_id[i], expected_id=i))
             for i in ids
         ]
+
+    def partials(
+        self,
+        method: str = "MND",
+        workspace: str = "default",
+        trace_id: Optional[str] = None,
+    ) -> dict:
+        """One workspace's full ``dr`` vector + I/O snapshot (the
+        scatter half of a shard coordinator's merge); returns the whole
+        response so callers see ``data_version`` and ``cached`` too."""
+        params: dict[str, Any] = {"workspace": workspace, "method": method}
+        if trace_id is not None:
+            params["trace_id"] = trace_id
+        return self.call("partials", **params)
 
     def evaluate(
         self, ids: Sequence[int], workspace: str = "default"

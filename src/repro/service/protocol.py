@@ -20,7 +20,10 @@ Operations: ``select`` (answer one query), ``evaluate`` (report on
 specific candidates), ``update`` (mutate a dynamic workspace),
 ``stats`` (service counters; optional ``prefix`` widens the registry
 view), ``health`` (liveness/drain state), ``metrics`` (OpenMetrics
-text exposition) and ``trace`` (look up finished request traces).
+text exposition), ``trace`` (look up finished request traces) and
+``partials`` (one workspace's full ``dr`` vector plus I/O snapshot —
+the scatter half of the shard coordinator's exact merge, see
+:mod:`repro.shard`).
 
 Any request may carry a caller-chosen ``trace_id`` string; the server
 correlates its internal spans under it and echoes it on the response
@@ -54,6 +57,7 @@ OPERATIONS = (
     "health",
     "metrics",
     "trace",
+    "partials",
 )
 
 # ----------------------------------------------------------------------
@@ -67,6 +71,10 @@ E_DEADLINE_EXCEEDED = "deadline_exceeded"
 E_SHUTTING_DOWN = "shutting_down"
 E_UNSUPPORTED = "unsupported"
 E_INTERNAL = "internal"
+#: A shard coordinator could not reach (or lost) one of its shard
+#: servers mid-scatter.  The coordinator never serves a partial answer:
+#: the whole request fails with this code until the shard rejoins.
+E_SHARD_UNAVAILABLE = "shard_unavailable"
 #: Client-side only: the TCP connection itself failed (refused, reset,
 #: mid-request EOF, timed out).  Never sent by a server — there is no
 #: connection left to send it on — but carried by the same typed-error
@@ -122,6 +130,12 @@ class UnsupportedError(ServiceError):
     code = E_UNSUPPORTED
 
 
+class ShardUnavailableError(ServiceError):
+    """A scatter-gather fan-out lost a shard (see :mod:`repro.shard`)."""
+
+    code = E_SHARD_UNAVAILABLE
+
+
 class ClientConnectionError(ServiceError, ConnectionError):
     """The transport failed under the client (refused, reset, EOF).
 
@@ -144,6 +158,7 @@ _ERROR_TYPES = {
         DeadlineExceededError,
         ShuttingDownError,
         UnsupportedError,
+        ShardUnavailableError,
     )
 }
 

@@ -47,7 +47,7 @@ import time
 from dataclasses import dataclass, field
 from typing import Any, Optional
 
-from repro.core import METHODS
+from repro.core import METHODS, make_selector
 from repro.core.dynamic import DynamicWorkspace
 from repro.core.evaluate import evaluate_location
 from repro.exec import BufferPoolWorkspaceError, QueryEngine
@@ -332,6 +332,8 @@ class WorkspaceHost:
                 self.cache.invalidate(self.name, live_version=self.data_version)
             elif ticket.op == "evaluate":
                 payload = await asyncio.to_thread(self._apply_evaluate, ticket.params)
+            elif ticket.op == "partials":
+                payload = await asyncio.to_thread(self._apply_partials, ticket.params)
             else:
                 raise BadRequestError(f"unknown queued operation {ticket.op!r}")
             if trace is not None:
@@ -401,6 +403,12 @@ class WorkspaceHost:
                 report = evaluate_location(self.workspace, candidate)
             except ValueError as exc:
                 raise BadRequestError(str(exc)) from None
+            # Additive companions of the averages, so a shard
+            # coordinator can fold per-tile reports exactly (sums in
+            # tile order, averages recomputed from the folded sums).
+            # evaluate_location derives its averages from exactly these
+            # sums, so recomputing them here is bit-faithful.
+            nfd_before = float(self.workspace.client_xyd[:, 2].sum())
             reports.append(
                 {
                     "sid": report.location.sid,
@@ -411,10 +419,47 @@ class WorkspaceHost:
                     "avg_nfd_before": report.avg_nfd_before,
                     "avg_nfd_after": report.avg_nfd_after,
                     "max_client_gain": report.max_client_gain,
+                    "n_c": self.workspace.n_c,
+                    "nfd_sum_before": nfd_before,
+                    "nfd_sum_after": nfd_before - report.dr,
                 }
             )
         payload = {"result": reports, "cached": False, "data_version": version}
         key = self.cache.key(self.name, version, "evaluate", {"ids": ids})
+        self.cache.put(key, payload)
+        return payload
+
+    def _apply_partials(self, params: dict) -> dict:
+        """One method's full ``dr`` vector plus I/O snapshot.
+
+        The scatter half of the shard coordinator's exact merge
+        (:mod:`repro.shard.merge`): the engine runs the method over this
+        workspace alone and the *whole* distance-reduction vector
+        crosses the wire (floats round-trip exactly), so the
+        coordinator's tile-order fold reproduces the serial reference
+        bit for bit.  Generic — any hosted workspace can answer it.
+        """
+        method = params["method"]
+        version = self.data_version
+        selector = make_selector(self.workspace, method)
+        result = self.engine.run(selector)
+        dr = selector.distance_reductions()
+        payload = {
+            "result": {
+                "method": result.method,
+                "tile_id": getattr(self.workspace, "tile_id", -1),
+                "n_p": len(dr),
+                "dr": [float(v) for v in dr],
+                "io_total": result.io_total,
+                "io_reads": dict(result.io_reads),
+                "index_pages": result.index_pages,
+                "elapsed_s": result.elapsed_s,
+                "cpu_s": result.cpu_s,
+            },
+            "cached": False,
+            "data_version": version,
+        }
+        key = self.cache.key(self.name, version, "partials", {"method": method})
         self.cache.put(key, payload)
         return payload
 
@@ -631,6 +676,8 @@ class QueryService:
         host = self._resolve_host(message)
         if op == "select":
             return await self._handle_select(request_id, host, message, trace)
+        if op == "partials":
+            return await self._handle_partials(request_id, host, message, trace)
         if op == "evaluate":
             params = {"ids": message.get("ids")}
             started = time.perf_counter()
@@ -709,6 +756,42 @@ class QueryService:
                 )
         payload = await self._admit_and_wait(
             host, "select", {"method": method, "no_cache": no_cache}, message, trace
+        )
+        return ok_response(request_id, payload["result"], **{
+            k: v for k, v in payload.items() if k != "result"
+        })
+
+    async def _handle_partials(
+        self, request_id: Any, host: WorkspaceHost, message: dict, trace=None
+    ) -> dict:
+        method = message.get("method", "MND")
+        if not isinstance(method, str) or method.upper() not in METHODS:
+            raise UnknownMethodError(
+                f"unknown method {method!r}; expected one of "
+                f"{', '.join(sorted(METHODS))}"
+            )
+        method = method.upper()
+        if trace is not None:
+            trace.method = method
+        key = self.cache.key(
+            host.name, host.data_version, "partials", {"method": method}
+        )
+        started = time.perf_counter()
+        cached = self.cache.get(key)
+        if trace is not None:
+            trace.add_span(
+                "cache", time.perf_counter() - started, hit=cached is not None
+            )
+        if cached is not None:
+            if trace is not None:
+                trace.cached = True
+            response = dict(cached)
+            response["cached"] = True
+            return ok_response(request_id, response["result"], **{
+                k: v for k, v in response.items() if k != "result"
+            })
+        payload = await self._admit_and_wait(
+            host, "partials", {"method": method}, message, trace
         )
         return ok_response(request_id, payload["result"], **{
             k: v for k, v in payload.items() if k != "result"

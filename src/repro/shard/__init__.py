@@ -1,0 +1,78 @@
+"""Sharded scatter-gather workspaces with an exact deterministic merge.
+
+One logical dataset, many shard workspaces, one byte-identical answer —
+the PR-3 determinism contract lifted one level up:
+
+* the **partitioner** (:mod:`repro.shard.partition`) splits the clients
+  into a fixed number of spatial *tiles* — the unit of decomposition is
+  the tile, never the shard count, exactly as the execution engine's
+  task decomposition is independent of its worker count;
+* the **scatter-gather executor** (:mod:`repro.shard.executor`) computes
+  one full ``dr`` vector per tile through
+  :class:`~repro.exec.engine.QueryEngine` and folds tiles in fixed
+  global tile order (:mod:`repro.shard.merge`), so p*, the merged ``dr``
+  vector, ``io_total`` and the per-structure read splits are
+  byte-identical at any shard count;
+* the **coordinator** (:mod:`repro.shard.coordinator`) fronts a fleet of
+  shard servers over the existing TCP protocol, fanning every request
+  out with :class:`~repro.service.client.ServiceClient` and degrading
+  with a typed ``shard_unavailable`` error when a shard is down.
+"""
+
+from repro.shard.coordinator import (
+    CoordinatorHandle,
+    ShardCoordinator,
+    ShardLink,
+    ShardTopology,
+    serve_coordinator_in_thread,
+)
+from repro.shard.executor import (
+    ScatterGatherExecutor,
+    assign_tiles,
+    compute_partial,
+    serial_reference,
+)
+from repro.shard.merge import (
+    TilePartial,
+    merge_evaluate_reports,
+    merge_partials,
+    partial_from_wire,
+    partial_to_wire,
+)
+from repro.shard.partition import (
+    SHARDS_MANIFEST,
+    PersistedPartition,
+    ShardPartition,
+    TilePlan,
+    TileSpec,
+    TileWorkspace,
+    load_partition,
+    partition_workspace,
+    write_partition,
+)
+
+__all__ = [
+    "CoordinatorHandle",
+    "PersistedPartition",
+    "SHARDS_MANIFEST",
+    "ScatterGatherExecutor",
+    "ShardCoordinator",
+    "ShardLink",
+    "ShardPartition",
+    "ShardTopology",
+    "TilePartial",
+    "TilePlan",
+    "TileSpec",
+    "TileWorkspace",
+    "assign_tiles",
+    "compute_partial",
+    "load_partition",
+    "merge_evaluate_reports",
+    "merge_partials",
+    "partial_from_wire",
+    "partial_to_wire",
+    "partition_workspace",
+    "serial_reference",
+    "serve_coordinator_in_thread",
+    "write_partition",
+]

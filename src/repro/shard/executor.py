@@ -1,0 +1,136 @@
+"""The in-process scatter-gather executor over a tile partition.
+
+``serial_reference`` is *the* reference every sharded deployment must
+match: one thread, tiles visited in global tile order, partials folded
+as they complete.  :class:`ScatterGatherExecutor` runs the same tiles
+grouped onto K simulated shards (one thread per shard, each walking its
+contiguous tile range in order) and merges the collected partials in
+the same global tile order — identical inputs, identical fold, so the
+answer is byte-identical at any K by construction.
+"""
+
+from __future__ import annotations
+
+from concurrent.futures import ThreadPoolExecutor
+from typing import Sequence
+
+from repro.core import make_selector
+from repro.core.types import SelectionResult, Site
+from repro.exec import QueryEngine
+from repro.shard.merge import TilePartial, merge_partials
+from repro.shard.partition import ShardPartition
+
+
+def assign_tiles(n_tiles: int, n_shards: int) -> tuple[tuple[int, ...], ...]:
+    """Contiguous, balanced tile ranges for ``n_shards`` shards.
+
+    Earlier shards take the larger ranges; concatenating the groups in
+    shard order reproduces the global tile order exactly.
+    """
+    if n_shards < 1:
+        raise ValueError("n_shards must be >= 1")
+    if n_shards > n_tiles:
+        raise ValueError(
+            f"cannot place {n_tiles} tiles on {n_shards} shards without "
+            "leaving a shard empty"
+        )
+    base, extra = divmod(n_tiles, n_shards)
+    groups = []
+    at = 0
+    for shard in range(n_shards):
+        size = base + (1 if shard < extra else 0)
+        groups.append(tuple(range(at, at + size)))
+        at += size
+    return tuple(groups)
+
+
+def compute_partial(
+    workspace, tile_id: int, method: str, workers: int = 1
+) -> TilePartial:
+    """One tile's full partial for one method, via the query engine.
+
+    The engine's own determinism contract makes the partial independent
+    of ``workers``, so shard-internal parallelism never perturbs the
+    merged answer.
+    """
+    selector = make_selector(workspace, method)
+    with QueryEngine(workspace, workers=workers) as engine:
+        result = engine.run(selector)
+    return TilePartial(
+        tile_id=tile_id,
+        method=result.method,
+        dr=selector.distance_reductions(),
+        io_total=result.io_total,
+        io_reads=dict(result.io_reads),
+        index_pages=result.index_pages,
+        elapsed_s=result.elapsed_s,
+        cpu_s=result.cpu_s,
+    )
+
+
+def serial_reference(
+    partition: ShardPartition, method: str, workers: int = 1
+) -> SelectionResult:
+    """The unsharded reference: every tile in order, one after another."""
+    partials = [
+        compute_partial(tile, tile.tile_id, method, workers=workers)
+        for tile in partition.tiles
+    ]
+    return merge_partials(partials, partition.potentials)
+
+
+class ScatterGatherExecutor:
+    """Scatter a query across K simulated shards, gather exactly.
+
+    Each shard is one thread walking its contiguous tile range in tile
+    order; the gathered partials merge in global tile order.  Tiles are
+    plain workspaces, so K=1 with one worker degenerates to
+    :func:`serial_reference` — the tests and the bench recorder hold
+    every K to that reference byte for byte.
+    """
+
+    def __init__(
+        self,
+        partition: ShardPartition,
+        n_shards: int = 1,
+        workers_per_shard: int = 1,
+    ):
+        self.partition = partition
+        self.groups = assign_tiles(partition.n_tiles, n_shards)
+        self.workers_per_shard = workers_per_shard
+
+    @property
+    def n_shards(self) -> int:
+        return len(self.groups)
+
+    def scatter(self, method: str) -> list[TilePartial]:
+        """All tile partials for one method, one thread per shard."""
+
+        def _shard(tile_ids: Sequence[int]) -> list[TilePartial]:
+            return [
+                compute_partial(
+                    self.partition.tiles[tile_id],
+                    tile_id,
+                    method,
+                    workers=self.workers_per_shard,
+                )
+                for tile_id in tile_ids
+            ]
+
+        if self.n_shards == 1:
+            per_shard = [_shard(self.groups[0])]
+        else:
+            with ThreadPoolExecutor(
+                max_workers=self.n_shards, thread_name_prefix="repro-shard"
+            ) as pool:
+                per_shard = list(pool.map(_shard, self.groups))
+        return [partial for shard in per_shard for partial in shard]
+
+    def run(self, method: str) -> SelectionResult:
+        """One merged selection (byte-identical at any shard count)."""
+        return merge_partials(self.scatter(method), self.partition.potentials)
+
+    def run_with_potentials(
+        self, method: str, potentials: Sequence[Site]
+    ) -> SelectionResult:
+        return merge_partials(self.scatter(method), potentials)

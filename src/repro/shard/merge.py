@@ -1,0 +1,204 @@
+"""The exact deterministic merge of per-tile partial results.
+
+A tile's partial is its **full** ``dr`` vector over the replicated
+candidate table plus its I/O snapshot.  The merge folds partials in
+fixed global tile order:
+
+* ``dr_total`` starts at zeros and accumulates one tile vector at a
+  time — the *same* float addition sequence no matter how many shards
+  computed the partials, so the merged vector is byte-identical to the
+  serial tile-order reference at any shard count;
+* per-structure read counters are integers and fold exactly, with the
+  structure-key order fixed by first appearance in tile order;
+* p* is the ``argmax`` of the merged vector (ties resolve to the
+  smallest candidate id, matching
+  :meth:`~repro.core.base.LocationSelector.select`).
+
+The wire converters round-trip every float exactly (JSON ``repr``
+formatting — see :mod:`repro.service.protocol`), so a partial fetched
+from a shard server over TCP merges bit-for-bit like an in-process one.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Sequence
+
+import numpy as np
+
+from repro.core.types import SelectionResult, Site
+
+
+@dataclass(frozen=True)
+class TilePartial:
+    """One tile's contribution to one method's answer."""
+
+    tile_id: int
+    method: str
+    #: Full distance-reduction vector over the replicated candidates.
+    dr: np.ndarray
+    io_total: int
+    io_reads: dict[str, int]
+    index_pages: int
+    elapsed_s: float
+    cpu_s: float
+
+    @property
+    def n_p(self) -> int:
+        return len(self.dr)
+
+
+def partial_to_wire(partial: TilePartial) -> dict:
+    """A :class:`TilePartial` as a JSON-safe dict (exact floats)."""
+    return {
+        "tile_id": partial.tile_id,
+        "method": partial.method,
+        "n_p": partial.n_p,
+        "dr": [float(v) for v in partial.dr],
+        "io_total": partial.io_total,
+        "io_reads": dict(partial.io_reads),
+        "index_pages": partial.index_pages,
+        "elapsed_s": partial.elapsed_s,
+        "cpu_s": partial.cpu_s,
+    }
+
+
+def partial_from_wire(data: dict, tile_id: int | None = None) -> TilePartial:
+    """The inverse of :func:`partial_to_wire` (exact round-trip).
+
+    ``tile_id`` overrides the payload's (shard servers answer the
+    ``partials`` op without knowing their workspace's tile id; the
+    coordinator knows it from the routing table).
+    """
+    dr = np.array([float(v) for v in data["dr"]], dtype=np.float64)
+    if len(dr) != int(data["n_p"]):
+        raise ValueError(
+            f"partial carries {len(dr)} dr values but promises {data['n_p']}"
+        )
+    return TilePartial(
+        tile_id=int(data["tile_id"]) if tile_id is None else tile_id,
+        method=str(data["method"]),
+        dr=dr,
+        io_total=int(data["io_total"]),
+        io_reads={str(k): int(v) for k, v in data["io_reads"].items()},
+        index_pages=int(data["index_pages"]),
+        elapsed_s=float(data["elapsed_s"]),
+        cpu_s=float(data["cpu_s"]),
+    )
+
+
+def merge_partials(
+    partials: Sequence[TilePartial], potentials: Sequence[Site]
+) -> SelectionResult:
+    """Fold tile partials, in tile order, into one selection result.
+
+    Expects exactly one partial per tile of one method; the caller
+    passes them in any order and the fold re-sorts by ``tile_id`` — the
+    merge sequence is a property of the *partition*, never of which
+    shard delivered which partial first.
+
+    ``elapsed_s`` / ``cpu_s`` are summed in tile order: the serial-
+    equivalent cost, which keeps the merged numbers comparable to the
+    unsharded reference (wall-clock overlap is a deployment property,
+    reported by the bench suite, not by the merged result).
+    """
+    if not partials:
+        raise ValueError("nothing to merge: no tile partials")
+    ordered = sorted(partials, key=lambda p: p.tile_id)
+    seen = [p.tile_id for p in ordered]
+    if len(set(seen)) != len(seen):
+        raise ValueError(f"duplicate tile partials: {seen}")
+    methods = {p.method for p in ordered}
+    if len(methods) != 1:
+        raise ValueError(f"cannot merge partials of different methods: {methods}")
+    n_p = ordered[0].n_p
+    if any(p.n_p != n_p for p in ordered):
+        raise ValueError("tile partials disagree on the candidate count")
+    if n_p != len(potentials):
+        raise ValueError(
+            f"partials score {n_p} candidates, the table holds {len(potentials)}"
+        )
+
+    dr_total = np.zeros(n_p, dtype=np.float64)
+    io_reads: dict[str, int] = {}
+    io_total = 0
+    index_pages = 0
+    elapsed_s = 0.0
+    cpu_s = 0.0
+    for partial in ordered:
+        dr_total += partial.dr
+        io_total += partial.io_total
+        index_pages += partial.index_pages
+        elapsed_s += partial.elapsed_s
+        cpu_s += partial.cpu_s
+        for source, pages in partial.io_reads.items():
+            io_reads[source] = io_reads.get(source, 0) + pages
+    best = int(np.argmax(dr_total))  # ties resolve to the smallest id
+    return SelectionResult(
+        method=ordered[0].method,
+        location=potentials[best],
+        dr=float(dr_total[best]),
+        elapsed_s=elapsed_s,
+        cpu_s=cpu_s,
+        io_total=io_total,
+        io_reads=io_reads,
+        index_pages=index_pages,
+    )
+
+
+def merged_distance_reductions(partials: Sequence[TilePartial]) -> np.ndarray:
+    """The merged ``dr`` vector alone (same fold as the full merge)."""
+    ordered = sorted(partials, key=lambda p: p.tile_id)
+    dr_total = np.zeros(ordered[0].n_p, dtype=np.float64)
+    for partial in ordered:
+        dr_total += partial.dr
+    return dr_total
+
+
+def merge_evaluate_reports(
+    per_tile: Sequence[Sequence[dict]],
+) -> list[dict]:
+    """Fold per-tile ``evaluate`` reports into whole-dataset reports.
+
+    Each inner sequence is one tile's report list (same candidates, same
+    order), carrying the additive fields the service emits alongside the
+    averages: ``n_c``, ``nfd_sum_before``, ``nfd_sum_after``.  Sums fold
+    in tile order; averages are recomputed from the folded sums, so the
+    merged report is identical at any shard count (averages regroup the
+    division, so they match the *tile-order* fold, the same reference
+    the select path uses).
+    """
+    if not per_tile:
+        raise ValueError("nothing to merge: no tile reports")
+    ordered = list(per_tile)
+    width = len(ordered[0])
+    if any(len(reports) != width for reports in ordered):
+        raise ValueError("tiles disagree on the evaluated candidate list")
+    merged: list[dict] = []
+    for slot in range(width):
+        rows = [reports[slot] for reports in ordered]
+        first = rows[0]
+        n_c = sum(int(r["n_c"]) for r in rows)
+        dr = 0.0
+        before = 0.0
+        after = 0.0
+        for r in rows:  # fixed tile order: deterministic float fold
+            dr += float(r["dr"])
+            before += float(r["nfd_sum_before"])
+            after += float(r["nfd_sum_after"])
+        merged.append(
+            {
+                "sid": first["sid"],
+                "x": first["x"],
+                "y": first["y"],
+                "influence_count": sum(int(r["influence_count"]) for r in rows),
+                "dr": dr,
+                "n_c": n_c,
+                "nfd_sum_before": before,
+                "nfd_sum_after": after,
+                "avg_nfd_before": before / n_c if n_c else 0.0,
+                "avg_nfd_after": after / n_c if n_c else 0.0,
+                "max_client_gain": max(float(r["max_client_gain"]) for r in rows),
+            }
+        )
+    return merged

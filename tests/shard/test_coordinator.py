@@ -1,0 +1,214 @@
+"""Coordinator over real TCP: parity, caching, routing, failure paths.
+
+One module-scoped fleet (two shard servers + a coordinator over a
+four-tile partition) backs the happy-path tests; the failure tests boot
+their own fleet so killing a shard cannot poison later tests.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core import METHODS, Workspace
+from repro.experiments.config import ExperimentConfig
+from repro.service import ServiceClient, ServiceConfig, serve_in_thread
+from repro.service.client import ClientConnectionError
+from repro.service.protocol import ServiceError, ShardUnavailableError
+from repro.shard.coordinator import (
+    ShardTopology,
+    serve_coordinator_in_thread,
+    tile_workspace_name,
+)
+from repro.shard.executor import assign_tiles, serial_reference
+from repro.shard.partition import partition_workspace
+
+CONFIG = ExperimentConfig(n_c=400, n_f=30, n_p=40)
+N_TILES = 4
+N_SHARDS = 2
+
+
+def fingerprint(result):
+    return (
+        result.location.sid,
+        result.location.x,
+        result.location.y,
+        result.dr,
+        result.io_total,
+        dict(result.io_reads),
+        result.index_pages,
+    )
+
+
+def start_fleet(partition, groups):
+    """Boot shard servers for ``groups`` plus a coordinator over them."""
+    shard_handles = []
+    for group in groups:
+        workspaces = {
+            tile_workspace_name(t): partition.tiles[t] for t in group
+        }
+        shard_handles.append(serve_in_thread(workspaces, ServiceConfig(workers=1)))
+    topology = ShardTopology.from_partition(
+        partition, [(h.host, h.port) for h in shard_handles]
+    )
+    coordinator = serve_coordinator_in_thread(topology)
+    return shard_handles, coordinator
+
+
+@pytest.fixture(scope="module")
+def partition():
+    return partition_workspace(Workspace(CONFIG.instance()), N_TILES)
+
+
+@pytest.fixture(scope="module")
+def expected(partition):
+    return {m: fingerprint(serial_reference(partition, m)) for m in METHODS}
+
+
+@pytest.fixture(scope="module")
+def fleet(partition):
+    groups = assign_tiles(N_TILES, N_SHARDS)
+    shard_handles, coordinator = start_fleet(partition, groups)
+    try:
+        yield coordinator
+    finally:
+        coordinator.stop()
+        for handle in shard_handles:
+            handle.stop()
+
+
+@pytest.fixture()
+def client(fleet):
+    with ServiceClient(fleet.host, fleet.port) as c:
+        yield c
+
+
+@pytest.mark.parametrize("method", sorted(METHODS))
+def test_tcp_answers_match_the_serial_reference(client, expected, method):
+    response = client.select(method, no_cache=True)
+    assert fingerprint(response.result) == expected[method]
+
+
+def test_repeat_select_hits_the_coordinator_cache(client, expected):
+    cold = client.select("MND")
+    warm = client.select("MND")
+    assert warm.cached
+    assert fingerprint(warm.result) == expected["MND"]
+    assert warm.data_version == cold.data_version
+
+
+def test_unknown_method_and_workspace_raise_typed_errors(client):
+    with pytest.raises(ServiceError) as excinfo:
+        client.select("XYZ")
+    assert excinfo.value.code == "unknown_method"
+    with pytest.raises(ServiceError) as excinfo:
+        client.select("MND", workspace="nope")
+    assert excinfo.value.code == "unknown_workspace"
+
+
+def test_shards_never_serve_merged_partials_endpoint(client):
+    with pytest.raises(ServiceError) as excinfo:
+        client.partials("MND")
+    assert excinfo.value.code == "bad_request"
+
+
+def test_evaluate_merges_per_tile_reports(client, partition):
+    reports = client.evaluate([0, 1])
+    assert [r["sid"] for r in reports] == [0, 1]
+    n_c = sum(t.n_c for t in partition.tiles)
+    assert all(r["n_c"] == n_c for r in reports)
+
+
+def test_update_routes_bumps_version_and_invalidates(client, expected):
+    before = client.select("MND")
+    added = client.update("add_client", point=[250.0, 250.0])
+    assert added["data_version"] == before.data_version + 1
+    assert "tile_id" in added
+    after = client.select("MND")
+    assert not after.cached, "post-update select must miss the cache"
+    assert after.data_version == added["data_version"]
+
+    removed = client.update("remove_client", cid=added["cid"])
+    assert removed["data_version"] == added["data_version"] + 1
+    restored = client.select("MND")
+    assert fingerprint(restored.result) == expected["MND"]
+
+
+def test_remove_unknown_client_is_a_bad_request(client):
+    with pytest.raises(ServiceError) as excinfo:
+        client.update("remove_client", cid=10**9)
+    assert excinfo.value.code == "bad_request"
+
+
+def test_facility_updates_broadcast_to_every_tile(client, expected):
+    added = client.update("add_facility", point=[10.0, 10.0])
+    assert added["broadcast_tiles"] == N_TILES
+    client.update("remove_facility", sid=added["sid"])
+    restored = client.select("NFC", no_cache=True)
+    assert fingerprint(restored.result) == expected["NFC"]
+
+
+def test_one_trace_spans_coordinator_and_shards(client):
+    client.select("SS", no_cache=True, trace_id="graft-test")
+    traces = client.trace(trace_id="graft-test")
+    assert traces, "coordinator kept no trace"
+    shards = traces[0].get("shards", {})
+    assert set(shards) == {"shard-0", "shard-1"}
+    for spans in shards.values():
+        assert spans, "shard hop recorded no spans"
+
+
+def test_health_and_stats_report_the_fleet(client):
+    health = client.health()
+    assert health["status"] == "serving"
+    assert health["role"] == "coordinator"
+    assert len(health["shards"]) == N_SHARDS
+    stats = client.stats()
+    assert stats["role"] == "coordinator"
+    assert all(s["connected"] for s in stats["shards"].values())
+
+
+def test_killed_shard_yields_typed_error_then_rejoins(partition):
+    groups = assign_tiles(N_TILES, N_SHARDS)
+    shard_handles, coordinator = start_fleet(partition, groups)
+    try:
+        with ServiceClient(coordinator.host, coordinator.port) as client:
+            baseline = fingerprint(client.select("SS", no_cache=True).result)
+
+            port0 = shard_handles[0].port
+            shard_handles[0].stop()
+            with pytest.raises(ShardUnavailableError):
+                client.select("SS", no_cache=True, timeout_s=10.0)
+            assert client.health()["status"] == "degraded"
+
+            # Same port, fresh server: the lazy links reconnect on the
+            # next call with no coordinator restart.
+            workspaces = {
+                tile_workspace_name(t): partition.tiles[t] for t in groups[0]
+            }
+            shard_handles[0] = serve_in_thread(
+                workspaces, ServiceConfig(workers=1), port=port0
+            )
+            rejoined = client.select("SS", no_cache=True)
+            assert fingerprint(rejoined.result) == baseline
+            assert client.health()["status"] == "serving"
+    finally:
+        coordinator.stop()
+        for handle in shard_handles:
+            try:
+                handle.stop()
+            except RuntimeError:
+                pass
+
+
+def test_connect_retries_reject_negative_and_bound_attempts():
+    with pytest.raises(ValueError):
+        ServiceClient("127.0.0.1", 1, connect_retries=-1)
+    with pytest.raises(ClientConnectionError) as excinfo:
+        ServiceClient("127.0.0.1", 1, connect_timeout_s=0.5)
+    assert "1 attempt(s)" in str(excinfo.value)
+    with pytest.raises(ClientConnectionError) as excinfo:
+        ServiceClient(
+            "127.0.0.1", 1, connect_timeout_s=0.5,
+            connect_retries=2, retry_delay_s=0.01,
+        )
+    assert "3 attempt(s)" in str(excinfo.value)

@@ -1,0 +1,160 @@
+"""Merge semantics: fixed fold order, exact wire round trips.
+
+The merge is the determinism contract's hinge: partials fold in global
+tile order no matter the order they arrive in, ties break to the
+smallest potential id, I/O counters fold additively, and a partial that
+crossed the wire merges to the same bytes as one that never left the
+process.
+"""
+
+from __future__ import annotations
+
+import json
+
+import numpy as np
+import pytest
+
+from repro.shard.merge import (
+    TilePartial,
+    merge_evaluate_reports,
+    merge_partials,
+    merged_distance_reductions,
+    partial_from_wire,
+    partial_to_wire,
+)
+from repro.core.types import Site
+
+POTENTIALS = [Site(0, 0.0, 0.0), Site(1, 1.0, 1.0), Site(2, 2.0, 2.0)]
+
+
+def make_partial(tile_id: int, dr, method: str = "MND", **overrides):
+    defaults = dict(
+        io_total=10 * (tile_id + 1),
+        io_reads={"R_C": 4 * (tile_id + 1), "R_P": 1},
+        index_pages=5,
+        elapsed_s=0.25,
+        cpu_s=0.2,
+    )
+    defaults.update(overrides)
+    return TilePartial(
+        tile_id=tile_id,
+        method=method,
+        dr=np.asarray(dr, dtype=np.float64),
+        **defaults,
+    )
+
+
+def test_merge_is_order_independent():
+    partials = [
+        make_partial(0, [1.0, 2.0, 3.0]),
+        make_partial(1, [0.5, 0.25, 0.125]),
+        make_partial(2, [10.0, 0.0, 1.0]),
+    ]
+    forward = merge_partials(partials, POTENTIALS)
+    backward = merge_partials(list(reversed(partials)), POTENTIALS)
+    assert forward.location == backward.location
+    assert forward.dr == backward.dr
+    assert forward.io_total == backward.io_total
+    assert forward.io_reads == backward.io_reads
+
+
+def test_merge_folds_in_tile_order_bit_for_bit():
+    # Floating-point addition is order-sensitive; the contract pins the
+    # fold to ascending tile id, so the reference fold is reproducible.
+    rng = np.random.default_rng(3)
+    vectors = [rng.random(5) for _ in range(4)]
+    partials = [make_partial(i, v) for i, v in enumerate(vectors)]
+    total = np.zeros(5)
+    for v in vectors:
+        total += v
+    merged = merged_distance_reductions(
+        sorted(partials, key=lambda p: -p.tile_id)
+    )
+    assert np.array_equal(merged, total)
+
+
+def test_winner_is_argmax_with_smallest_id_tiebreak():
+    partials = [make_partial(0, [5.0, 5.0, 1.0])]
+    result = merge_partials(partials, POTENTIALS)
+    assert result.location.sid == 0  # tie at 5.0 -> smaller id wins
+
+
+def test_io_counters_fold_additively():
+    partials = [make_partial(0, [1.0, 0.0, 0.0]), make_partial(1, [0.0, 1.0, 0.0])]
+    result = merge_partials(partials, POTENTIALS)
+    assert result.io_total == 10 + 20
+    assert result.io_reads == {"R_C": 4 + 8, "R_P": 2}
+    assert result.index_pages == 10
+
+
+def test_merge_rejects_bad_inputs():
+    with pytest.raises(ValueError):
+        merge_partials([], POTENTIALS)
+    with pytest.raises(ValueError):
+        merge_partials(
+            [make_partial(0, [1.0, 2.0, 3.0]), make_partial(0, [1.0, 2.0, 3.0])],
+            POTENTIALS,
+        )
+    with pytest.raises(ValueError):
+        merge_partials(
+            [
+                make_partial(0, [1.0, 2.0, 3.0]),
+                make_partial(1, [1.0, 2.0, 3.0], method="SS"),
+            ],
+            POTENTIALS,
+        )
+    with pytest.raises(ValueError):
+        merge_partials([make_partial(0, [1.0, 2.0])], POTENTIALS)
+
+
+def test_wire_round_trip_is_exact():
+    # Awkward floats on purpose: json's repr round-trips every finite
+    # double, so the reconstructed dr must be bit-identical.
+    dr = np.array([0.1, 1 / 3, 1e-300, 123456.789e-7])
+    partial = make_partial(2, dr)
+    wire = json.loads(json.dumps(partial_to_wire(partial)))
+    back = partial_from_wire(wire)
+    assert back.tile_id == 2
+    assert back.method == partial.method
+    assert np.array_equal(back.dr, partial.dr)
+    assert back.io_total == partial.io_total
+    assert back.io_reads == partial.io_reads
+    assert back.index_pages == partial.index_pages
+
+
+def test_wire_tile_id_override_and_length_check():
+    partial = make_partial(1, [1.0, 2.0])
+    wire = partial_to_wire(partial)
+    assert partial_from_wire(wire, tile_id=7).tile_id == 7
+    wire["n_p"] = 3
+    with pytest.raises(ValueError):
+        partial_from_wire(wire)
+
+
+def test_evaluate_reports_fold_exactly():
+    tile_a = [
+        {
+            "sid": 5, "x": 1.0, "y": 2.0, "influence_count": 3,
+            "dr": 10.0, "max_client_gain": 4.0, "n_c": 2,
+            "nfd_sum_before": 30.0, "nfd_sum_after": 20.0,
+            "avg_nfd_before": 15.0, "avg_nfd_after": 10.0,
+        }
+    ]
+    tile_b = [
+        {
+            "sid": 5, "x": 1.0, "y": 2.0, "influence_count": 1,
+            "dr": 2.0, "max_client_gain": 6.0, "n_c": 3,
+            "nfd_sum_before": 12.0, "nfd_sum_after": 10.0,
+            "avg_nfd_before": 4.0, "avg_nfd_after": 10.0 / 3.0,
+        }
+    ]
+    merged = merge_evaluate_reports([tile_a, tile_b])
+    assert len(merged) == 1
+    report = merged[0]
+    assert report["sid"] == 5
+    assert report["influence_count"] == 4
+    assert report["dr"] == 12.0
+    assert report["n_c"] == 5
+    assert report["max_client_gain"] == 6.0
+    assert report["avg_nfd_before"] == (30.0 + 12.0) / 5
+    assert report["avg_nfd_after"] == (20.0 + 10.0) / 5
