@@ -81,6 +81,7 @@ def _sweep_suite(
 
 
 def _builtin_suites() -> dict[str, Suite]:
+    from repro.bench.churn import CHURN_MICRO, run_churn_suite
     from repro.bench.kernels import KERNELS_CONFIGS, run_kernels_suite
     from repro.bench.loadgen import LOADGEN_DATASET, run_loadgen_suite
     from repro.bench.parallel import PARALLEL_CONFIG, run_parallel_suite
@@ -89,6 +90,15 @@ def _builtin_suites() -> dict[str, Suite]:
     from repro.bench.shard import SHARD_CONFIG, run_shard_suite
 
     return {
+        "churn": Suite(
+            name="churn",
+            description="write path under load: incremental maintenance "
+            "speedup vs per-mutation rebuild (>= 10x and rebuild "
+            "parity enforced) plus a warm-cache service stream "
+            "(>= 50% select hit rate enforced)",
+            configs=((None, CHURN_MICRO),),
+            runner=run_churn_suite,
+        ),
         "kernels": Suite(
             name="kernels",
             description="columnar kernel speedup vs the scalar backend, "

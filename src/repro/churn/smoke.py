@@ -1,0 +1,168 @@
+"""Churn smoke check (run in CI as ``python -m repro.churn.smoke``).
+
+Two stages, exits non-zero on the first violated invariant:
+
+1. **maintenance parity** — a scripted, deterministic stream of ~40
+   interleaved mutations (client arrivals/departures, facility
+   openings/closures, including removing records the stream itself
+   added) runs against a :class:`DynamicWorkspace` whose trees were all
+   built *before* the stream, so every structure is maintained in
+   place.  Afterwards :func:`repro.churn.verify_parity` must pass — the
+   maintained state bit-identical to a from-scratch rebuild, answers
+   byte-identical where the computation is shape-free — and the
+   maintainer's own self-check must agree with a fresh grid join;
+
+2. **warm cache under writes** — against a live service over TCP, a
+   mutation whose affected region covers no potential site (a client
+   arriving exactly on a facility: its NFC is a point) must report
+   ``select_changed: false`` and leave the select cache warm, while a
+   mutation whose NFC box does cover a potential must report
+   ``select_changed: true`` and retire it.  The region clock's epochs
+   and the cache survival rate are read back through ``stats`` to prove
+   the telemetry surface agrees.
+"""
+
+from __future__ import annotations
+
+import random
+import sys
+
+from repro.churn.parity import verify_parity
+from repro.core import METHODS, DynamicWorkspace, make_selector
+from repro.datasets import make_instance
+from repro.service import ServiceClient, ServiceConfig, serve_in_thread
+
+SMOKE_SEED = 7
+SMOKE_STREAM_SEED = 11
+SMOKE_MUTATIONS = 40
+
+
+def scripted_stream(ws: DynamicWorkspace, mutations: int, seed: int) -> dict:
+    """Apply a deterministic interleaved mutation stream; returns counts."""
+    rng = random.Random(seed)
+    counts = {
+        "add_client": 0,
+        "remove_client": 0,
+        "add_facility": 0,
+        "remove_facility": 0,
+    }
+    for _ in range(mutations):
+        roll = rng.random()
+        if roll < 0.40:
+            ws.add_client((rng.uniform(0.0, 1000.0), rng.uniform(0.0, 1000.0)))
+            counts["add_client"] += 1
+        elif roll < 0.60 and ws.n_c > 10:
+            ws.remove_client(rng.choice(ws.clients))
+            counts["remove_client"] += 1
+        elif roll < 0.85:
+            ws.add_facility((rng.uniform(0.0, 1000.0), rng.uniform(0.0, 1000.0)))
+            counts["add_facility"] += 1
+        elif ws.n_f > 2:
+            ws.remove_facility(rng.choice(ws.facilities))
+            counts["remove_facility"] += 1
+    return counts
+
+
+def check_maintenance_parity() -> list[str]:
+    failures: list[str] = []
+    ws = DynamicWorkspace(make_instance(400, 20, 30, rng=SMOKE_SEED))
+    # Build every index first so the whole stream exercises in-place
+    # maintenance, never a lazy rebuild.
+    for method in sorted(METHODS):
+        make_selector(ws, method).select()
+    counts = scripted_stream(ws, SMOKE_MUTATIONS, SMOKE_STREAM_SEED)
+    print(f"churn smoke: applied {SMOKE_MUTATIONS} mutations {counts}")
+    try:
+        verify_parity(ws)
+    except AssertionError as exc:
+        failures.append(str(exc))
+    if not ws.maintainer.verify():
+        failures.append("maintainer self-check disagrees with a fresh grid join")
+    applied = sum(counts.values())
+    if ws.region_clock.epoch != applied:
+        failures.append(
+            f"region clock saw {ws.region_clock.epoch} mutations, "
+            f"expected {applied}"
+        )
+    return failures
+
+
+def check_warm_cache() -> list[str]:
+    failures: list[str] = []
+    ws = DynamicWorkspace(make_instance(400, 20, 30, rng=SMOKE_SEED))
+    handle = serve_in_thread({"default": ws}, ServiceConfig(workers=1))
+    try:
+        with ServiceClient(handle.host, handle.port) as client:
+            cold = client.select("MND")
+            if cold.cached:
+                failures.append("first select claimed a cache hit")
+            if not client.select("MND").cached:
+                failures.append("repeat select missed the cache")
+
+            # A client arriving exactly on a facility has dnn = 0: its
+            # affected region is a single point, which covers no
+            # potential site — the cached selection must survive.
+            on_facility = [ws.facilities[0].x, ws.facilities[0].y]
+            disjoint = client.update("add_client", point=on_facility)
+            if disjoint.get("select_changed") is not False:
+                failures.append(
+                    "zero-radius add_client reported select_changed="
+                    f"{disjoint.get('select_changed')!r}, expected False"
+                )
+            warm = client.select("MND")
+            if not warm.cached:
+                failures.append("disjoint mutation dropped the warm select cache")
+
+            # A client arriving on a potential site has that site inside
+            # its NFC box by construction — the cache must be retired.
+            on_potential = [ws.potentials[0].x, ws.potentials[0].y]
+            covering = client.update("add_client", point=on_potential)
+            if covering.get("select_changed") is not True:
+                failures.append(
+                    "potential-covering add_client reported select_changed="
+                    f"{covering.get('select_changed')!r}, expected True"
+                )
+            if client.select("MND").cached:
+                failures.append("covering mutation served a stale cached select")
+
+            stats = client.stats()
+            workspace = stats.get("workspaces", {}).get("default", {})
+            clock = workspace.get("region_clock") or {}
+            if clock.get("epoch") != 2:
+                failures.append(
+                    f"stats region clock epoch {clock.get('epoch')!r}, expected 2"
+                )
+            if clock.get("select_epoch") != 1:
+                failures.append(
+                    f"stats select_epoch {clock.get('select_epoch')!r}, "
+                    "expected 1 (only the covering mutation bumps it)"
+                )
+            survival = workspace.get("cache_survival")
+            if survival is None or not survival > 0.0:
+                failures.append(
+                    f"cache_survival {survival!r}, expected > 0 (the disjoint "
+                    "mutation kept entries alive)"
+                )
+    finally:
+        handle.stop()
+    return failures
+
+
+def main() -> int:
+    failures = check_maintenance_parity()
+    print("churn smoke: post-stream rebuild parity checked")
+    failures += check_warm_cache()
+    print("churn smoke: live-service warm cache + region clock checked")
+    if failures:
+        for failure in failures:
+            print(f"FAIL: {failure}")
+        return 1
+    print(
+        "churn smoke: OK (incremental maintenance matches a rebuild; "
+        "disjoint writes keep the select cache warm)"
+    )
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -681,6 +681,7 @@ def _cmd_loadgen(args: argparse.Namespace) -> int:
         LoadgenConfig,
         RetryPolicy,
         SLOPolicy,
+        parse_mix,
         render_slo_report,
         run_loadgen,
         self_hosted,
@@ -688,10 +689,9 @@ def _cmd_loadgen(args: argparse.Namespace) -> int:
     from repro.service import ClientConnectionError, ServiceError
 
     try:
-        select_f, evaluate_f, update_f = (float(v) for v in args.mix.split(","))
-    except ValueError:
-        print(f"error: --mix must be three floats, not {args.mix!r}",
-              file=sys.stderr)
+        select_f, evaluate_f, update_f = parse_mix(args.mix)
+    except ValueError as exc:
+        print(f"error: {exc}", file=sys.stderr)
         return 2
     shared = dict(
         clients=args.clients,
@@ -894,7 +894,10 @@ def _add_loadgen_parser(sub: argparse._SubParsersAction) -> None:
     shape.add_argument(
         "--mix",
         default="0.8,0.1,0.1",
-        help="select,evaluate,update fractions (sum to 1)",
+        help="select,evaluate,update fractions (sum to 1), or a named "
+        "profile: read-heavy, mixed, churn, write-only (churn is the "
+        "write-heavy shape whose SLO report shows how much of the "
+        "result cache survives mutations)",
     )
     shape.add_argument(
         "--alpha", type=float, default=0.9, help="Zipf skew exponent"

@@ -71,7 +71,14 @@ class FacilityGrid:
                 break
             for i, j in self._ring_cells(qi, qj, ring):
                 for p in self._cells.get((i, j), ()):
-                    d_sq = (p[0] - q[0]) ** 2 + (p[1] - q[1]) ** 2
+                    # Squared via multiplication, not ``** 2``: libm's
+                    # pow(x, 2.0) is not correctly rounded on every
+                    # platform, while the product is — this keeps the
+                    # join bit-identical to the vectorised (numpy)
+                    # incremental maintenance paths.
+                    dx = p[0] - q[0]
+                    dy = p[1] - q[1]
+                    d_sq = dx * dx + dy * dy
                     if d_sq < best_sq:
                         best_sq = d_sq
                         best = p
@@ -96,7 +103,9 @@ class FacilityGrid:
                 break
             for i, j in self._ring_cells(qi, qj, ring):
                 for p in self._cells.get((i, j), ()):
-                    d_sq = (p[0] - q[0]) ** 2 + (p[1] - q[1]) ** 2
+                    dx = p[0] - q[0]
+                    dy = p[1] - q[1]
+                    d_sq = dx * dx + dy * dy  # mul, not ** 2 (see nearest)
                     if len(best) < 2:
                         best.append((d_sq, p))
                         best.sort(key=lambda t: t[0])

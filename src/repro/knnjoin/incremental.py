@@ -8,13 +8,26 @@ implements that contract:
   updates exactly the clients whose NFC contains the new facility;
 * removing a facility invalidates only the clients it served — those are
   detected by distance equality and recomputed against the remaining
-  facilities via the grid join.
+  facilities via the grid join;
+* clients arrive and depart too (``add_client``/``remove_client``): an
+  arrival costs one grid NN lookup, a departure one row deletion.
+
+**Bit-exactness.** Every distance here uses the grid join's formula —
+``sqrt(dx*dx + dy*dy)`` over IEEE doubles (see
+:meth:`FacilityGrid.nearest`) — *not* ``hypot``, which rounds
+differently in the last ulp.  Subtraction, squaring, addition and
+``sqrt`` are all correctly rounded, and ``sqrt`` is monotone, so the
+minimum over facilities commutes with the square root: the maintained
+``dnn`` vector is bit-identical to a from-scratch
+:func:`~repro.knnjoin.grid.nn_join_grid` at every step.  The churn
+engine's rebuild-parity guarantee (``repro.churn``) rests on exactly
+this property.
 """
 
 from __future__ import annotations
 
 import math
-from typing import Iterable, Sequence
+from typing import Iterable, Optional, Sequence
 
 import numpy as np
 
@@ -24,21 +37,41 @@ from repro.knnjoin.grid import FacilityGrid
 _EPS = 1e-9
 
 
+def _distances(cx: np.ndarray, cy: np.ndarray, f: Point) -> np.ndarray:
+    """Vectorised client-to-``f`` distances, grid-formula-exact."""
+    dx = cx - f[0]
+    dy = cy - f[1]
+    return np.sqrt(dx * dx + dy * dy)
+
+
 class DnnMaintainer:
     """Owns the ``dnn(c, F)`` vector and keeps it exact under updates."""
 
-    def __init__(self, clients: Sequence[Point], facilities: Iterable[Point]):
+    def __init__(
+        self,
+        clients: Sequence[Point],
+        facilities: Iterable[Point],
+        dnn: Optional[Sequence[float]] = None,
+    ):
         self._cx = np.fromiter((c[0] for c in clients), dtype=np.float64)
         self._cy = np.fromiter((c[1] for c in clients), dtype=np.float64)
         self._facilities: list[Point] = [Point(*f) for f in facilities]
         if not self._facilities:
             raise ValueError("DnnMaintainer requires at least one facility")
-        grid = FacilityGrid(self._facilities)
-        self._dnn = np.fromiter(
-            (grid.nearest_distance(Point(x, y)) for x, y in zip(self._cx, self._cy)),
-            dtype=np.float64,
-            count=len(self._cx),
-        )
+        self._grid = FacilityGrid(self._facilities)
+        if dnn is not None:
+            if len(dnn) != len(self._cx):
+                raise ValueError("dnn length does not match the client count")
+            self._dnn = np.asarray(dnn, dtype=np.float64).copy()
+        else:
+            self._dnn = np.fromiter(
+                (
+                    self._grid.nearest_distance(Point(x, y))
+                    for x, y in zip(self._cx, self._cy)
+                ),
+                dtype=np.float64,
+                count=len(self._cx),
+            )
 
     # ------------------------------------------------------------------
     @property
@@ -59,19 +92,57 @@ class DnnMaintainer:
         return len(self._dnn)
 
     # ------------------------------------------------------------------
-    def add_facility(self, f: Point) -> int:
-        """Insert a facility; returns how many clients' NFD shrank."""
+    # Client updates
+    # ------------------------------------------------------------------
+    def add_client(self, p: Point) -> float:
+        """A client arrives: one grid NN lookup, one appended row.
+        Returns the new client's ``dnn``."""
+        p = Point(*p)
+        dnn = self._grid.nearest_distance(p)
+        self._cx = np.append(self._cx, p[0])
+        self._cy = np.append(self._cy, p[1])
+        self._dnn = np.append(self._dnn, dnn)
+        return dnn
+
+    def remove_client(self, index: int) -> None:
+        """A client departs: drop its row (positional index)."""
+        self._cx = np.delete(self._cx, index)
+        self._cy = np.delete(self._cy, index)
+        self._dnn = np.delete(self._dnn, index)
+
+    # ------------------------------------------------------------------
+    # Facility updates
+    # ------------------------------------------------------------------
+    def open_facility(
+        self, f: Point
+    ) -> tuple[np.ndarray, np.ndarray, np.ndarray]:
+        """Insert a facility; returns ``(indices, old_dnn, new_dnn)`` for
+        exactly the clients whose NFD shrank (strict ``<`` — a facility
+        on the NFC boundary changes nothing, matching the paper's strict
+        containment)."""
         f = Point(*f)
         self._facilities.append(f)
-        dist = np.hypot(self._cx - f[0], self._cy - f[1])
-        affected = dist < self._dnn
-        self._dnn[affected] = dist[affected]
-        return int(affected.sum())
+        self._grid = FacilityGrid(self._facilities)
+        dist = _distances(self._cx, self._cy, f)
+        affected = np.flatnonzero(dist < self._dnn)
+        old = self._dnn[affected].copy()
+        new = dist[affected]
+        self._dnn[affected] = new
+        return affected, old, new
 
-    def remove_facility(self, f: Point) -> int:
-        """Remove one occurrence of a facility; returns how many clients
-        had to be recomputed.  Raises if it is the last facility or not
-        present."""
+    def close_facility(
+        self, f: Point
+    ) -> tuple[np.ndarray, np.ndarray, np.ndarray]:
+        """Remove one occurrence of a facility; returns
+        ``(indices, old_dnn, new_dnn)`` for the clients it served.
+
+        Raises if it is the last facility or not present.  Served
+        clients are detected by exact distance equality (the maintained
+        vector uses the same formula, so the realising facility matches
+        bit-for-bit) widened by ``_EPS`` for externally-seeded vectors;
+        a co-located duplicate facility keeps serving them, which the
+        grid recomputation handles naturally.
+        """
         f = Point(*f)
         try:
             self._facilities.remove(f)
@@ -80,18 +151,27 @@ class DnnMaintainer:
         if not self._facilities:
             self._facilities.append(f)
             raise ValueError("cannot remove the last facility")
-        dist = np.hypot(self._cx - f[0], self._cy - f[1])
-        # Clients whose NFD was realised by the removed facility.  A
-        # duplicate facility at the same spot keeps serving them, which
-        # the recomputation handles naturally.
-        stale = np.abs(dist - self._dnn) <= _EPS
-        if stale.any():
-            grid = FacilityGrid(self._facilities)
-            for idx in np.nonzero(stale)[0]:
-                self._dnn[idx] = grid.nearest_distance(
-                    Point(float(self._cx[idx]), float(self._cy[idx]))
-                )
-        return int(stale.sum())
+        self._grid = FacilityGrid(self._facilities)
+        dist = _distances(self._cx, self._cy, f)
+        stale = np.flatnonzero(np.abs(dist - self._dnn) <= _EPS)
+        old = self._dnn[stale].copy()
+        for idx in stale:
+            self._dnn[idx] = self._grid.nearest_distance(
+                Point(float(self._cx[idx]), float(self._cy[idx]))
+            )
+        return stale, old, self._dnn[stale].copy()
+
+    def add_facility(self, f: Point) -> int:
+        """Insert a facility; returns how many clients' NFD shrank."""
+        affected, __, __ = self.open_facility(f)
+        return int(len(affected))
+
+    def remove_facility(self, f: Point) -> int:
+        """Remove one occurrence of a facility; returns how many clients
+        had to be recomputed.  Raises if it is the last facility or not
+        present."""
+        stale, __, __ = self.close_facility(f)
+        return int(len(stale))
 
     # ------------------------------------------------------------------
     def verify(self) -> bool:

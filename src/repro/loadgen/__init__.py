@@ -39,6 +39,7 @@ regression-gated history.
 """
 
 from repro.loadgen.config import (
+    MIX_PROFILES,
     MODE_CLOSED,
     MODE_OPEN,
     MODES,
@@ -47,6 +48,7 @@ from repro.loadgen.config import (
     PHASE_WARMUP,
     LoadgenConfig,
     RetryPolicy,
+    parse_mix,
 )
 from repro.loadgen.loop import (
     RequestOutcome,
@@ -78,6 +80,7 @@ __all__ = [
     "LoadgenConfig",
     "LoadgenResult",
     "LoadgenStats",
+    "MIX_PROFILES",
     "MODES",
     "MODE_CLOSED",
     "MODE_OPEN",
@@ -96,6 +99,7 @@ __all__ = [
     "closed_schedule",
     "execute_request",
     "open_schedule",
+    "parse_mix",
     "percentile",
     "plan_requests",
     "render_slo_report",

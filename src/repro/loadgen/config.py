@@ -28,6 +28,41 @@ PHASE_MEASURE = "measure"
 #: The operations the generator can issue, in mix order.
 OPS = ("select", "evaluate", "update")
 
+#: Named (select, evaluate, update) mixes, expressible on the CLI as
+#: ``--mix <name>``.  ``churn`` is the region-clock stress shape: a
+#: write-heavy stream whose cache hit rate shows how much of the result
+#: cache survives mutations (see ``repro.churn``).
+MIX_PROFILES: dict[str, tuple[float, float, float]] = {
+    "read-heavy": (0.80, 0.10, 0.10),
+    "mixed": (0.50, 0.20, 0.30),
+    "churn": (0.30, 0.10, 0.60),
+    "write-only": (0.00, 0.00, 1.00),
+}
+
+
+def parse_mix(spec: str) -> tuple[float, float, float]:
+    """``--mix`` parser: a profile name from :data:`MIX_PROFILES` or
+    three comma-separated fractions (select, evaluate, update).
+
+    Raises :class:`ValueError` with the available profile names on
+    anything else; fraction validation itself stays with
+    :class:`LoadgenConfig`.
+    """
+    profile = MIX_PROFILES.get(spec.strip().lower())
+    if profile is not None:
+        return profile
+    parts = spec.split(",")
+    try:
+        if len(parts) != 3:
+            raise ValueError
+        select_f, evaluate_f, update_f = (float(v) for v in parts)
+    except ValueError:
+        raise ValueError(
+            f"--mix must be three floats or one of "
+            f"{', '.join(sorted(MIX_PROFILES))}; got {spec!r}"
+        ) from None
+    return select_f, evaluate_f, update_f
+
 
 @dataclass(frozen=True)
 class RetryPolicy:

@@ -70,6 +70,11 @@ class RTree:
         # caches of decoded node contents (DecodedLeafCache) can detect
         # staleness without the tree knowing who caches what.
         self.version = 0
+        # Scoped invalidation: a bound DecodedLeafCache receives the
+        # exact node ids each mutation dirties (and immediate drops for
+        # freed pages), so its other decodes survive the version bump.
+        self._leaf_cache = None
+        self._dirty: set[int] = set()
 
     # ------------------------------------------------------------------
     # Page plumbing
@@ -109,11 +114,70 @@ class RTree:
         else:
             node = Node(-1, level, [])
             node.node_id = self._pager.allocate(node)
+        self._mark_dirty(node.node_id)
         return node
 
     def _free_node(self, node_id: int) -> None:
         self._pager._pages[node_id] = None
         self._free_pages.append(node_id)
+        # Drop the decode *now*: the page id recycles, and a later
+        # occupant must never inherit a stale cached decode.
+        if self._leaf_cache is not None:
+            self._leaf_cache.drop_node(self.name, node_id)
+            self._dirty.discard(node_id)
+
+    # ------------------------------------------------------------------
+    # Scoped leaf-cache invalidation
+    # ------------------------------------------------------------------
+    def bind_leaf_cache(self, cache) -> None:
+        """Report mutation-dirtied node ids to ``cache`` from now on.
+
+        Binding opts the tree into the cache's *tracked* mode: version
+        bumps stop clearing the tree's decodes wholesale, because every
+        insert/delete flushes the precise set of nodes whose entry lists
+        (or parent entries) changed, and freed pages drop immediately.
+        """
+        self._leaf_cache = cache
+        cache.track(self.name)
+
+    def _mark_dirty(self, node_id: int) -> None:
+        if self._leaf_cache is not None:
+            self._dirty.add(node_id)
+
+    def _flush_dirty(self) -> None:
+        if self._leaf_cache is not None and self._dirty:
+            self._leaf_cache.note_dirty(self.name, self._dirty)
+            self._dirty.clear()
+
+    def touch_data_entries(self, items) -> None:
+        """Invalidate the decodes of the leaves holding the given
+        ``(mbr, payload)`` data entries.
+
+        For payloads mutated *in place* (a client's ``dnn`` column moves
+        without its point moving): no insert/delete runs, so no version
+        bump or dirty mark would happen on its own.  One version bump
+        covers the batch.
+        """
+        for mbr, payload in items:
+            leaf_id = self._find_leaf(self.root_id, mbr, payload)
+            if leaf_id is not None:
+                self._mark_dirty(leaf_id)
+        self.version += 1
+        self._flush_dirty()
+
+    def _find_leaf(self, node_id: int, mbr: Rect, payload: Any) -> Optional[int]:
+        node = self.node(node_id)
+        if node.is_leaf:
+            for entry in node.entries:
+                if entry.mbr == mbr and entry.payload == payload:
+                    return node.node_id
+            return None
+        for entry in node.entries:
+            if entry.mbr.contains_rect(mbr):
+                found = self._find_leaf(entry.child_id, mbr, payload)
+                if found is not None:
+                    return found
+        return None
 
     @property
     def num_nodes(self) -> int:
@@ -154,6 +218,7 @@ class RTree:
         self._insert_at_level(LeafEntry(mbr, payload), 0)
         self.num_entries += 1
         self.version += 1
+        self._flush_dirty()
 
     def _insert_at_level(self, entry: LeafEntry | BranchEntry, level: int) -> None:
         split = self._insert_rec(self.root_id, entry, level)
@@ -164,6 +229,9 @@ class RTree:
         self, node_id: int, entry: LeafEntry | BranchEntry, target_level: int
     ) -> Optional[BranchEntry]:
         node = self.node(node_id)
+        # Every node on the descent path changes: either its entry list
+        # (append/split) or a child entry's MBR/augmentation (refresh).
+        self._mark_dirty(node_id)
         if node.level == target_level:
             node.entries.append(entry)
         else:
@@ -247,6 +315,7 @@ class RTree:
             root = self.node(self.root_id)
         for orphan in orphans:
             self._insert_at_level(orphan, 0)
+        self._flush_dirty()
         return True
 
     def _delete_rec(
@@ -257,6 +326,7 @@ class RTree:
             for idx, entry in enumerate(node.entries):
                 if entry.mbr == mbr and entry.payload == payload:
                     del node.entries[idx]
+                    self._mark_dirty(node_id)
                     return True
             return False
         for idx, entry in enumerate(node.entries):
@@ -264,6 +334,9 @@ class RTree:
                 continue
             if not self._delete_rec(entry.child_id, mbr, payload, orphans):
                 continue
+            # This node changes either way: the child's entry is dropped
+            # (dissolve) or refreshed (MBR/augmentation tightening).
+            self._mark_dirty(node_id)
             child = self.node(entry.child_id)
             if len(child.entries) < self._min_entries(child):
                 # Dissolve the underflowing child: salvage its data

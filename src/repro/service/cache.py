@@ -7,13 +7,22 @@ finished ``select`` (and ``evaluate``) results keyed by
     (workspace name, workspace ``data_version``, operation, params)
 
 so a repeated request is answered without touching the engine at all —
-and a :class:`~repro.core.dynamic.DynamicWorkspace` mutation, which
-bumps ``data_version``, makes every cached result for that workspace
-unreachable *by construction*.  There is no TTL to tune and no
-invalidation message to lose: staleness is impossible because the
-version is part of the key.  (:meth:`invalidate` additionally drops a
-workspace's dead-version entries eagerly, so mutation-heavy workloads
-do not wait for LRU pressure to reclaim them.)
+and a mutation, which bumps the governing version, makes every cached
+result it could have changed unreachable *by construction*.  There is
+no TTL to tune and no invalidation message to lose: staleness is
+impossible because the version is part of the key.
+
+For a :class:`~repro.core.dynamic.DynamicWorkspace` the "version" is
+no longer the all-or-nothing ``data_version`` but the region clock's
+per-operation sub-epoch (:class:`~repro.core.regions.RegionClock`):
+``select``/``partials`` answers key on ``select_epoch`` (bumped only
+when a mutation's affected region covers a potential location) and
+``evaluate`` on ``evaluate_epoch`` (bumped when any client state
+changed) — so a spatially disjoint mutation leaves the matching cached
+answers *live*, not just lazily reclaimed.  :meth:`invalidate` takes
+the per-op live versions, eagerly drops only the entries whose epoch
+moved, and reports how many survived, which feeds the per-workspace
+cache-survival gauge in ``describe()``/``mindist top``.
 
 Hit/miss/eviction/invalidation counts are reported into the process
 :data:`~repro.obs.registry.REGISTRY` (``service.cache.*``), next to the
@@ -84,26 +93,42 @@ class ResultCache:
                 self._entries.popitem(last=False)
                 self.evictions.inc()
 
-    def invalidate(self, workspace: str, live_version: Optional[int] = None) -> int:
-        """Eagerly drop ``workspace``'s entries; returns the count.
+    def invalidate(
+        self,
+        workspace: str,
+        live_version: Optional[int] = None,
+        live_versions: Optional[dict[str, int]] = None,
+    ) -> tuple[int, int]:
+        """Eagerly drop ``workspace``'s dead entries; returns
+        ``(dropped, survived)``.
 
-        With ``live_version`` given, entries recorded at exactly that
-        version survive (they are still correct); everything older goes.
-        Version keying already guarantees correctness without this —
-        the eager drop only reclaims memory promptly after mutations.
+        ``live_versions`` maps an operation name to the version still
+        current for that op (the region clock's sub-epochs): an entry
+        survives when its key version equals its op's live version —
+        i.e. when the mutation's region provably could not change its
+        answer.  ``live_version`` is the legacy single-version form
+        (applies to every op).  With neither, everything for the
+        workspace goes.  Version keying already guarantees correctness
+        without this — the eager drop only reclaims memory promptly
+        after mutations; the survivor count is what makes cache warmth
+        under churn observable.
         """
+
+        def alive(key: tuple) -> bool:
+            if live_versions is not None:
+                live = live_versions.get(key[2], live_version)
+            else:
+                live = live_version
+            return live is not None and key[1] == live
+
         with self._lock:
-            stale = [
-                key
-                for key in self._entries
-                if key[0] == workspace
-                and (live_version is None or key[1] != live_version)
-            ]
+            mine = [key for key in self._entries if key[0] == workspace]
+            stale = [key for key in mine if not alive(key)]
             for key in stale:
                 del self._entries[key]
         if stale:
             self.invalidations.inc(len(stale))
-        return len(stale)
+        return len(stale), len(mine) - len(stale)
 
     def clear(self) -> None:
         with self._lock:

@@ -23,8 +23,14 @@ server speaking the newline-delimited JSON protocol of
 
 Finished results land in the shared version-keyed
 :class:`~repro.service.cache.ResultCache`; a repeated request at an
-unchanged ``data_version`` is answered on the connection handler
-without ever being admitted.
+unchanged version is answered on the connection handler without ever
+being admitted.  For a :class:`DynamicWorkspace` the governing version
+is not ``data_version`` but the region clock's per-operation sub-epoch
+(:class:`~repro.core.regions.RegionClock`): a mutation whose affected
+region misses every potential location leaves ``select``/``partials``
+answers cached, and a facility mutation that changes no client leaves
+``evaluate`` answers cached too — the cache stays *warm* under
+spatially disjoint churn instead of starting cold after every write.
 
 Every request is handled as its own task, so a single connection may
 pipeline many requests (responses re-associate by ``id``) — that is
@@ -139,11 +145,31 @@ class WorkspaceHost:
         self._coalesced = REGISTRY.counter("service.coalesced")
         self._expired = REGISTRY.counter("service.expired")
         self._latency = REGISTRY.histogram("service.select.latency_s")
+        #: Cumulative result-cache entries dropped / kept alive across
+        #: this workspace's mutations — the observable cache warmth.
+        self._cache_dropped = 0
+        self._cache_survived = 0
 
     # ------------------------------------------------------------------
     @property
     def data_version(self) -> int:
         return getattr(self.workspace, "data_version", 0)
+
+    def version_for(self, op: str) -> int:
+        """The cache-key version governing ``op``'s answers.
+
+        Dynamic workspaces expose the region clock's per-op sub-epoch;
+        static workspaces (no clock) fall back to ``data_version``.
+        """
+        clock = getattr(self.workspace, "region_clock", None)
+        if clock is not None:
+            return clock.version_for(op)
+        return self.data_version
+
+    def live_versions(self) -> dict[str, int]:
+        return {
+            op: self.version_for(op) for op in ("select", "partials", "evaluate")
+        }
 
     def start(self) -> None:
         self._task = asyncio.get_running_loop().create_task(
@@ -229,12 +255,13 @@ class WorkspaceHost:
         if not live:
             return
         version = self.data_version
+        key_version = self.version_for("select")
         # Coalesce duplicates: one engine execution answers every ticket
         # asking the same question of the same snapshot.
         groups: dict[tuple, list[Ticket]] = {}
         for ticket in live:
             key = self.cache.key(
-                self.name, version, "select", {"method": ticket.params["method"]}
+                self.name, key_version, "select", {"method": ticket.params["method"]}
             )
             groups.setdefault(key, []).append(ticket)
         self._coalesced.inc(len(live) - len(groups))
@@ -328,8 +355,15 @@ class WorkspaceHost:
             if ticket.op == "update":
                 payload = await asyncio.to_thread(self._apply_update, ticket.params)
                 # Keyed staleness already protects correctness; the
-                # eager drop reclaims the dead versions' memory now.
-                self.cache.invalidate(self.name, live_version=self.data_version)
+                # eager drop reclaims the dead epochs' memory now, and
+                # the survivor count makes cache warmth observable.
+                dropped, survived = self.cache.invalidate(
+                    self.name,
+                    live_version=self.data_version,
+                    live_versions=self.live_versions(),
+                )
+                self._cache_dropped += dropped
+                self._cache_survived += survived
             elif ticket.op == "evaluate":
                 payload = await asyncio.to_thread(self._apply_evaluate, ticket.params)
             elif ticket.op == "partials":
@@ -354,6 +388,8 @@ class WorkspaceHost:
                 "to accept updates"
             )
         action = params.get("action")
+        clock = getattr(ws, "region_clock", None)
+        before = clock.snapshot() if clock is not None else None
         if action == "add_client":
             point = _point_param(params)
             client = ws.add_client(point, weight=float(params.get("weight", 1.0)))
@@ -390,6 +426,17 @@ class WorkspaceHost:
                 "n_p": ws.n_p,
             }
         )
+        if clock is not None and before is not None:
+            after = clock.snapshot()
+            # Which answer classes this mutation actually aged — a shard
+            # coordinator folds these flags into its own logical epochs.
+            detail["select_changed"] = (
+                after["select_epoch"] != before["select_epoch"]
+            )
+            detail["evaluate_changed"] = (
+                after["evaluate_epoch"] != before["evaluate_epoch"]
+            )
+            detail["region"] = after["last_region"]
         return {"result": detail, "data_version": self.data_version}
 
     def _apply_evaluate(self, params: dict) -> dict:
@@ -425,7 +472,9 @@ class WorkspaceHost:
                 }
             )
         payload = {"result": reports, "cached": False, "data_version": version}
-        key = self.cache.key(self.name, version, "evaluate", {"ids": ids})
+        key = self.cache.key(
+            self.name, self.version_for("evaluate"), "evaluate", {"ids": ids}
+        )
         self.cache.put(key, payload)
         return payload
 
@@ -459,13 +508,15 @@ class WorkspaceHost:
             "cached": False,
             "data_version": version,
         }
-        key = self.cache.key(self.name, version, "partials", {"method": method})
+        key = self.cache.key(
+            self.name, self.version_for("partials"), "partials", {"method": method}
+        )
         self.cache.put(key, payload)
         return payload
 
     def describe(self) -> dict:
         ws = self.workspace
-        return {
+        info = {
             "n_c": ws.n_c,
             "n_f": ws.n_f,
             "n_p": ws.n_p,
@@ -476,6 +527,14 @@ class WorkspaceHost:
             "max_pending": self.queue.max_pending,
             "engine_workers": self.engine.workers,
         }
+        clock = getattr(ws, "region_clock", None)
+        if clock is not None:
+            info["region_clock"] = clock.snapshot()
+        retained = self._cache_dropped + self._cache_survived
+        info["cache_survival"] = (
+            self._cache_survived / retained if retained else None
+        )
+        return info
 
 
 def _point_param(params: dict) -> tuple[float, float]:
@@ -682,7 +741,9 @@ class QueryService:
             params = {"ids": message.get("ids")}
             started = time.perf_counter()
             cached = self.cache.get(
-                self.cache.key(host.name, host.data_version, "evaluate", params)
+                self.cache.key(
+                    host.name, host.version_for("evaluate"), "evaluate", params
+                )
             )
             if trace is not None:
                 trace.add_span(
@@ -737,7 +798,7 @@ class QueryService:
         no_cache = bool(message.get("no_cache", False))
         if not no_cache:
             key = self.cache.key(
-                host.name, host.data_version, "select", {"method": method}
+                host.name, host.version_for("select"), "select", {"method": method}
             )
             started = time.perf_counter()
             cached = self.cache.get(key)
@@ -774,7 +835,7 @@ class QueryService:
         if trace is not None:
             trace.method = method
         key = self.cache.key(
-            host.name, host.data_version, "partials", {"method": method}
+            host.name, host.version_for("partials"), "partials", {"method": method}
         )
         started = time.perf_counter()
         cached = self.cache.get(key)

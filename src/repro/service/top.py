@@ -12,7 +12,9 @@ What it shows:
 * one row per ``(workspace, op)`` — windowed qps and p50/p99 latency,
   from the labelled ``service.request.*`` windowed metrics;
 * one row per hosted workspace — queue depth, pending, admission
-  bound, data version;
+  bound, data version, the region clock's select epoch and the cache
+  survival rate under mutations (how much of the result cache outlived
+  this workspace's writes — ``-`` before any mutation retired entries);
 * the lifetime counter footer (admitted / rejected / batches /
   coalesced / expired), for orientation between windows.
 """
@@ -116,15 +118,20 @@ def render_top(
     if workspaces:
         lines.append(
             f"{'WORKSPACE':<14} {'QUEUE':>6} {'PENDING':>8} {'BOUND':>6} "
-            f"{'VERSION':>8} {'SIZE (c/f/p)':>16}"
+            f"{'VERSION':>8} {'EPOCH':>6} {'SURV':>6} {'SIZE (c/f/p)':>16}"
         )
         for name in sorted(workspaces):
             ws = workspaces[name]
             size = f"{ws.get('n_c', 0)}/{ws.get('n_f', 0)}/{ws.get('n_p', 0)}"
+            clock = ws.get("region_clock") or {}
+            epoch = clock.get("select_epoch", "-")
+            survival = ws.get("cache_survival")
+            surv = f"{survival:.2f}" if survival is not None else "-"
             lines.append(
                 f"{name:<14} {ws.get('queue_depth', 0):>6} "
                 f"{ws.get('pending', 0):>8} {ws.get('max_pending', 0):>6} "
-                f"{ws.get('data_version', 0):>8} {size:>16}"
+                f"{ws.get('data_version', 0):>8} {epoch!s:>6} {surv:>6} "
+                f"{size:>16}"
             )
         lines.append("")
     counters = stats.get("counters", {})

@@ -15,12 +15,17 @@ count.
 * ``evaluate`` — fanned to every tile, additive report fields folded in
   tile order;
 * ``update`` — ``add_client`` routes by point to the owning tile,
-  ``remove_client`` probes tiles in tile order (cids are globally
-  unique, so at most one tile answers), facility changes broadcast to
-  every tile sequentially in tile order (facilities are replicated, so
-  sids stay aligned across tiles).  Every successful update bumps the
-  coordinator's *logical* ``data_version``, which keys the result cache
-  — invalidation by construction, exactly like a single workspace;
+  ``remove_client`` routes by cid through the partition plan's
+  directory (original cids) or the tile-stride congruence (minted
+  cids), falling back to a tile-order probe only when the topology
+  carries no directory; facility changes broadcast to every tile
+  sequentially in tile order (facilities are replicated, so sids stay
+  aligned across tiles).  Every successful update bumps the
+  coordinator's *logical* ``data_version``; the shards' region clocks
+  report back ``select_changed``/``evaluate_changed`` flags, which
+  advance the coordinator's own per-operation epochs — the result
+  cache keys on those, so a spatially disjoint mutation on one tile
+  leaves the fleet-wide cached answers warm;
 * any transport failure to a shard surfaces as a typed
   ``shard_unavailable`` error — the coordinator never serves a partial
   answer — and the failed link reconnects lazily on the next request,
@@ -33,6 +38,7 @@ count.
 from __future__ import annotations
 
 import asyncio
+import json
 import threading
 import time
 from dataclasses import dataclass
@@ -63,7 +69,7 @@ from repro.shard.merge import (
     merge_partials,
     partial_from_wire,
 )
-from repro.shard.partition import PersistedPartition, TilePlan
+from repro.shard.partition import TILE_MANIFEST, PersistedPartition, TilePlan
 
 
 def tile_workspace_name(tile_id: int) -> str:
@@ -90,6 +96,13 @@ class ShardTopology:
     shards: tuple[ShardSpec, ...]
     #: The single logical workspace name the coordinator serves.
     workspace: str = "default"
+    #: Original cid -> owning tile, from the partition plan.  Fresh cids
+    #: minted after partitioning are ``>= cid_stride_base`` and congruent
+    #: to their tile id modulo the tile count, so together these two
+    #: fields route any existing cid without probing.  ``None`` (a
+    #: hand-built topology) falls back to the tile-order probe.
+    cid_tiles: Optional[dict] = None
+    cid_stride_base: Optional[int] = None
 
     @classmethod
     def from_partition(
@@ -112,11 +125,27 @@ class ShardTopology:
             potentials = tuple(partition.potential_sites())
         else:
             potentials = tuple(partition.potentials)
+        cid_tiles: dict[int, int] = {}
+        if hasattr(partition, "tiles") and hasattr(partition, "cid_stride_base"):
+            # In-memory ShardPartition: the tile workspaces are here.
+            for tile in partition.tiles:
+                for client in tile.clients:
+                    cid_tiles[int(client.cid)] = tile.tile_id
+        elif hasattr(partition, "tile_dir"):
+            # PersistedPartition: each tile's sidecar lists its cids.
+            for tile_id in range(partition.n_tiles):
+                sidecar = json.loads(
+                    (partition.tile_dir(tile_id) / TILE_MANIFEST).read_text()
+                )
+                for cid in sidecar["cids"]:
+                    cid_tiles[int(cid)] = tile_id
         return cls(
             plan=partition.plan,
             potentials=potentials,
             shards=shards,
             workspace=workspace,
+            cid_tiles=cid_tiles or None,
+            cid_stride_base=getattr(partition, "cid_stride_base", None),
         )
 
     @property
@@ -236,6 +265,14 @@ class ShardCoordinator(QueryService):
         #: The logical dataset version: bumped on every successful
         #: update, so version-keyed cache entries die by construction.
         self.data_version = 0
+        #: Per-operation logical epochs, advanced by the shard-reported
+        #: ``select_changed``/``evaluate_changed`` flags: a mutation
+        #: that provably changed no answer of a class leaves that
+        #: class's cached fleet-wide results live.
+        self.select_epoch = 0
+        self.evaluate_epoch = 0
+        self._cache_dropped = 0
+        self._cache_survived = 0
         self.links = {
             shard.name: ShardLink(
                 shard,
@@ -348,7 +385,7 @@ class ShardCoordinator(QueryService):
             trace.method = method
         no_cache = bool(message.get("no_cache", False))
         key = self.cache.key(
-            self.topology.workspace, self.data_version, "select", {"method": method}
+            self.topology.workspace, self.select_epoch, "select", {"method": method}
         )
         if not no_cache:
             started = time.perf_counter()
@@ -399,7 +436,7 @@ class ShardCoordinator(QueryService):
             raise BadRequestError("evaluate needs 'ids': a list of candidate ids")
         version = self.data_version
         key = self.cache.key(
-            self.topology.workspace, version, "evaluate", {"ids": ids}
+            self.topology.workspace, self.evaluate_epoch, "evaluate", {"ids": ids}
         )
         cached = self.cache.get(key)
         if cached is not None:
@@ -444,6 +481,10 @@ class ShardCoordinator(QueryService):
             )
             return response["result"]
 
+        # A shard that predates region clocks reports no flags; assume
+        # the conservative "everything changed".
+        select_changed = True
+        evaluate_changed = True
         if action == "add_client":
             point = message.get("point")
             if (
@@ -458,34 +499,59 @@ class ShardCoordinator(QueryService):
                 params["weight"] = message["weight"]
             detail = await asyncio.to_thread(_tile_update, tile_id, **params)
             detail["tile_id"] = tile_id
+            select_changed = bool(detail.get("select_changed", True))
+            evaluate_changed = bool(detail.get("evaluate_changed", True))
         elif action == "remove_client":
             cid = message.get("cid")
-            detail = None
-            # Cids are globally unique, so at most one tile answers;
-            # probe in fixed tile order for a deterministic search.
-            for tile_id in range(self.topology.n_tiles):
+            tile_id = self._route_cid(cid) if isinstance(cid, int) else None
+            if tile_id is not None:
+                # Routed through the partition plan: the owning tile is
+                # known, and cids are never reused, so a miss there is
+                # terminal — no other tile can hold this client.
                 try:
-                    detail = await asyncio.to_thread(
-                        _tile_update, tile_id, cid=cid
-                    )
-                    detail["tile_id"] = tile_id
-                    break
+                    detail = await asyncio.to_thread(_tile_update, tile_id, cid=cid)
                 except BadRequestError:
-                    continue
-            if detail is None:
-                raise BadRequestError(f"no client with cid {cid!r} on any tile")
+                    raise BadRequestError(
+                        f"no client with cid {cid!r} on any tile"
+                    ) from None
+                detail["tile_id"] = tile_id
+            else:
+                # No cid directory (hand-built topology): probe in fixed
+                # tile order — cids are globally unique, so at most one
+                # tile answers.
+                detail = None
+                for tile_id in range(self.topology.n_tiles):
+                    try:
+                        detail = await asyncio.to_thread(
+                            _tile_update, tile_id, cid=cid
+                        )
+                        detail["tile_id"] = tile_id
+                        break
+                    except BadRequestError:
+                        continue
+                if detail is None:
+                    raise BadRequestError(
+                        f"no client with cid {cid!r} on any tile"
+                    )
+            select_changed = bool(detail.get("select_changed", True))
+            evaluate_changed = bool(detail.get("evaluate_changed", True))
         elif action in ("add_facility", "remove_facility"):
             # Facilities are replicated: broadcast sequentially in tile
             # order so every tile applies the same mutation in the same
-            # sequence and sids stay aligned fleet-wide.
+            # sequence and sids stay aligned fleet-wide.  The flags OR
+            # across tiles: one affected tile ages the fleet answer.
             params = {
                 k: v
                 for k, v in message.items()
                 if k not in ("id", "op", "workspace", "action", "trace_id")
             }
             detail = None
+            select_changed = False
+            evaluate_changed = False
             for tile_id in range(self.topology.n_tiles):
                 detail = await asyncio.to_thread(_tile_update, tile_id, **params)
+                select_changed |= bool(detail.get("select_changed", True))
+                evaluate_changed |= bool(detail.get("evaluate_changed", True))
             assert detail is not None
             detail["broadcast_tiles"] = self.topology.n_tiles
         else:
@@ -494,11 +560,41 @@ class ShardCoordinator(QueryService):
                 "remove_client, add_facility or remove_facility"
             )
         self.data_version += 1
-        self.cache.invalidate(
-            self.topology.workspace, live_version=self.data_version
+        if select_changed:
+            self.select_epoch += 1
+        if evaluate_changed:
+            self.evaluate_epoch += 1
+        dropped, survived = self.cache.invalidate(
+            self.topology.workspace,
+            live_version=self.data_version,
+            live_versions={
+                "select": self.select_epoch,
+                "evaluate": self.evaluate_epoch,
+            },
         )
+        self._cache_dropped += dropped
+        self._cache_survived += survived
         detail["data_version"] = self.data_version
+        detail["select_changed"] = select_changed
+        detail["evaluate_changed"] = evaluate_changed
         return ok_response(request_id, detail, data_version=self.data_version)
+
+    def _route_cid(self, cid: int) -> Optional[int]:
+        """The owning tile of ``cid`` per the partition plan, or None
+        when this topology carries no cid directory."""
+        topo = self.topology
+        base = topo.cid_stride_base
+        if base is not None and cid >= base:
+            # Minted ids are congruent to their tile id mod n_tiles.
+            return (cid - base) % topo.n_tiles
+        if topo.cid_tiles:
+            tile = topo.cid_tiles.get(cid)
+            if tile is None and base is not None:
+                # The directory plus the stride cover every cid ever
+                # issued: this one never existed.
+                raise BadRequestError(f"no client with cid {cid!r} on any tile")
+            return tile
+        return None
 
     # ------------------------------------------------------------------
     # Introspection
@@ -541,6 +637,12 @@ class ShardCoordinator(QueryService):
         payload = super()._stats(message)
         payload["role"] = "coordinator"
         payload["data_version"] = self.data_version
+        payload["select_epoch"] = self.select_epoch
+        payload["evaluate_epoch"] = self.evaluate_epoch
+        retained = self._cache_dropped + self._cache_survived
+        payload["cache_survival"] = (
+            self._cache_survived / retained if retained else None
+        )
         payload["shards"] = {
             shard.name: {
                 "address": [shard.host, shard.port],

@@ -140,13 +140,18 @@ def check_coordinator(persisted, groups, handles, expected: dict) -> list[str]:
                 failures.append("fan-out did not graft shard traces")
 
             # Update routing: add bumps the version, remove restores it.
+            # Whether the select cache survives is the shard's region
+            # clock's call: a mutation whose NFC region covers no
+            # potential legitimately keeps serving the cached answer.
             before_version = client.select("MND").data_version
             added = client.update("add_client", point=[250.0, 250.0])
             if added["data_version"] <= before_version:
                 failures.append("add_client did not bump data_version")
             stale = client.select("MND")
-            if stale.cached:
+            if added.get("select_changed", True) and stale.cached:
                 failures.append("post-update select served stale cache")
+            if not added.get("select_changed", True) and not stale.cached:
+                failures.append("disjoint add_client dropped the warm cache")
             client.update("remove_client", cid=added["cid"])
             restored = client.select("MND")
             if _fingerprint(restored.result) != expected["MND"]:

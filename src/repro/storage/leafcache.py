@@ -19,6 +19,13 @@ workspace-owned cache:
   insert/delete, and the cache drops a tree's entries wholesale when it
   observes a new version (plus :meth:`invalidate_tree` / :meth:`clear`
   for explicit control);
+* **scoped invalidation for tracked trees**: a tree that binds the
+  cache (``RTree.bind_leaf_cache``) reports exactly the node ids its
+  mutations dirtied (:meth:`note_dirty`) and drops freed node ids at
+  free time (:meth:`drop_node` — which makes node-id recycling sound),
+  so a version change on a *tracked* tree keeps every untouched decode
+  instead of clearing the tree wholesale.  Under a mutation stream the
+  cache stays warm everywhere the mutation didn't reach;
 * guarded by a lock so concurrent tasks of the execution engine can
   share it safely.  Decodes are pure functions of immutable node
   payloads, so a racing double-decode is benign — the lock only
@@ -46,6 +53,7 @@ class DecodedLeafCache:
     __slots__ = (
         "_entries",
         "_versions",
+        "_tracked",
         "_lock",
         "hits",
         "misses",
@@ -56,11 +64,33 @@ class DecodedLeafCache:
     def __init__(self) -> None:
         self._entries: dict[tuple[str, int], Any] = {}
         self._versions: dict[str, int] = {}
+        self._tracked: set[str] = set()
         self._lock = threading.Lock()
         self.hits = 0
         self.misses = 0
         self._hits_metric = REGISTRY.counter("leafcache.hits")
         self._misses_metric = REGISTRY.counter("leafcache.misses")
+
+    # ------------------------------------------------------------------
+    def track(self, tree_name: str) -> None:
+        """Opt a tree into scoped invalidation: its version bumps no
+        longer clear the tree wholesale, because the tree promises to
+        report every dirtied node via :meth:`note_dirty` and every freed
+        node via :meth:`drop_node`."""
+        with self._lock:
+            self._tracked.add(tree_name)
+
+    def note_dirty(self, tree_name: str, node_ids) -> None:
+        """Drop exactly the decodes a mutation invalidated."""
+        with self._lock:
+            for node_id in node_ids:
+                self._entries.pop((tree_name, node_id), None)
+
+    def drop_node(self, tree_name: str, node_id: int) -> None:
+        """Drop one node's decode the moment its page is freed (node
+        ids are recycled, so this must happen before reuse)."""
+        with self._lock:
+            self._entries.pop((tree_name, node_id), None)
 
     # ------------------------------------------------------------------
     def get(
@@ -73,13 +103,19 @@ class DecodedLeafCache:
         """The decoded arrays for one leaf, decoding on first use.
 
         ``version`` is the owning tree's current mutation counter; a
-        version change invalidates every cached leaf of that tree (node
-        ids are recycled by splits/merges, so per-node invalidation
-        would be unsound).
+        version change invalidates every cached leaf of that tree —
+        unless the tree is *tracked* (see :meth:`track`), in which case
+        the dirty notifications already dropped the stale decodes and
+        everything else is still exact.  (For untracked trees node ids
+        recycled by splits/merges make per-node invalidation unsound,
+        hence the wholesale drop.)
         """
         key = (tree_name, node_id)
         with self._lock:
-            if self._versions.get(tree_name, version) != version:
+            if (
+                self._versions.get(tree_name, version) != version
+                and tree_name not in self._tracked
+            ):
                 self._drop_tree_locked(tree_name)
             self._versions[tree_name] = version
             cached = self._entries.get(key)

@@ -1,0 +1,118 @@
+"""Unit tests for the region clock and its closed-box coverage test."""
+
+import numpy as np
+import pytest
+
+from repro.core.regions import RegionClock, region_covers_any
+from repro.geometry.rect import Rect
+
+
+class TestRegionCoversAny:
+    def test_interior_point_is_covered(self):
+        region = Rect(0.0, 0.0, 10.0, 10.0)
+        assert region_covers_any(region, np.array([[5.0, 5.0]]))
+
+    def test_boundary_point_is_covered(self):
+        """Closed boxes: a potential exactly on the NFC bounding box
+        edge counts as covered (the NFC test is strict, the box is a
+        conservative over-approximation)."""
+        region = Rect(0.0, 0.0, 10.0, 10.0)
+        assert region_covers_any(region, np.array([[10.0, 0.0]]))
+        assert region_covers_any(region, np.array([[0.0, 10.0]]))
+
+    def test_outside_point_is_not_covered(self):
+        region = Rect(0.0, 0.0, 10.0, 10.0)
+        points = np.array([[10.000001, 5.0], [-0.1, 5.0], [5.0, 11.0]])
+        assert not region_covers_any(region, points)
+
+    def test_any_semantics(self):
+        region = Rect(0.0, 0.0, 1.0, 1.0)
+        points = np.array([[5.0, 5.0], [0.5, 0.5]])
+        assert region_covers_any(region, points)
+
+    def test_empty_point_set(self):
+        region = Rect(0.0, 0.0, 1.0, 1.0)
+        assert not region_covers_any(region, np.empty((0, 2)))
+
+    def test_degenerate_point_region(self):
+        region = Rect(3.0, 4.0, 3.0, 4.0)
+        assert region_covers_any(region, np.array([[3.0, 4.0]]))
+        assert not region_covers_any(region, np.array([[3.0, 4.0001]]))
+
+
+class TestRegionClock:
+    def test_starts_at_zero(self):
+        clock = RegionClock()
+        assert (clock.epoch, clock.select_epoch, clock.evaluate_epoch) == (
+            0,
+            0,
+            0,
+        )
+
+    def test_every_mutation_bumps_epoch(self):
+        clock = RegionClock()
+        clock.advance(None, affects_select=False, affects_evaluate=False)
+        assert clock.epoch == 1
+        assert clock.select_epoch == 0
+        assert clock.evaluate_epoch == 0
+
+    def test_sub_epochs_bump_independently(self):
+        clock = RegionClock()
+        region = Rect(0.0, 0.0, 1.0, 1.0)
+        clock.advance(region, affects_select=True, affects_evaluate=False)
+        clock.advance(region, affects_select=False, affects_evaluate=True)
+        assert clock.epoch == 2
+        assert clock.select_epoch == 1
+        assert clock.evaluate_epoch == 1
+
+    def test_version_for_routes_ops(self):
+        clock = RegionClock()
+        clock.advance(
+            Rect(0.0, 0.0, 1.0, 1.0),
+            affects_select=True,
+            affects_evaluate=True,
+        )
+        clock.advance(None, affects_select=False, affects_evaluate=False)
+        assert clock.version_for("select") == clock.select_epoch == 1
+        assert clock.version_for("partials") == clock.select_epoch
+        assert clock.version_for("evaluate") == clock.evaluate_epoch == 1
+        assert clock.version_for("anything-else") == clock.epoch == 2
+
+    def test_snapshot_is_json_safe(self):
+        clock = RegionClock()
+        clock.advance(
+            Rect(1.0, 2.0, 3.0, 4.0),
+            affects_select=True,
+            affects_evaluate=False,
+        )
+        snap = clock.snapshot()
+        assert snap["epoch"] == 1
+        assert snap["select_epoch"] == 1
+        assert snap["evaluate_epoch"] == 0
+        assert snap["last_region"] == [1.0, 2.0, 3.0, 4.0]
+        import json
+
+        json.dumps(snap)
+
+
+class TestWorkspaceIntegration:
+    @pytest.fixture()
+    def ws(self):
+        from repro.core import DynamicWorkspace
+        from repro.datasets import make_instance
+
+        return DynamicWorkspace(make_instance(80, 6, 10, rng=3))
+
+    def test_disjoint_mutation_keeps_select_epoch(self, ws):
+        """A client arriving exactly on a facility has a point region:
+        no potential is covered, so only the broad epoch moves."""
+        site = ws.facilities[0]
+        ws.add_client((site.x, site.y))
+        assert ws.region_clock.epoch == 1
+        assert ws.region_clock.select_epoch == 0
+        assert ws.region_clock.evaluate_epoch == 1  # membership changed
+
+    def test_covering_mutation_bumps_select_epoch(self, ws):
+        spot = ws.potentials[0]
+        ws.add_client((spot.x, spot.y))
+        assert ws.region_clock.select_epoch == 1

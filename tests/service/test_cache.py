@@ -82,7 +82,7 @@ class TestInvalidation:
         cache.put(dead, "old")
         cache.put(live, "new")
         cache.put(other, "untouched")
-        assert cache.invalidate("ws", live_version=2) == 1
+        assert cache.invalidate("ws", live_version=2) == (1, 1)
         assert cache.get(live) == "new"
         assert cache.get(dead) is None
         assert cache.get(other) == "untouched"
@@ -91,5 +91,31 @@ class TestInvalidation:
         cache = ResultCache()
         for version in (1, 2, 3):
             cache.put(cache.key("ws", version, "select", {}), version)
-        assert cache.invalidate("ws") == 3
+        assert cache.invalidate("ws") == (3, 0)
         assert len(cache) == 0
+
+    def test_live_versions_keep_each_op_on_its_own_epoch(self):
+        """Region-clock sub-epochs: a mutation that aged evaluate but
+        not select drops only the evaluate entries."""
+        cache = ResultCache()
+        sel = cache.key("ws", 5, "select", {"method": "SS"})
+        ev = cache.key("ws", 2, "evaluate", {"ids": [0]})
+        cache.put(sel, "sel")
+        cache.put(ev, "ev")
+        dropped, survived = cache.invalidate(
+            "ws", live_version=0, live_versions={"select": 5, "evaluate": 3}
+        )
+        assert (dropped, survived) == (1, 1)
+        assert cache.get(sel) == "sel"
+        assert cache.get(ev) is None
+
+    def test_live_versions_fall_back_to_live_version_for_other_ops(self):
+        cache = ResultCache()
+        known = cache.key("ws", 7, "select", {})
+        other = cache.key("ws", 4, "trace", {})
+        cache.put(known, "s")
+        cache.put(other, "t")
+        dropped, survived = cache.invalidate(
+            "ws", live_version=4, live_versions={"select": 7}
+        )
+        assert (dropped, survived) == (0, 2)

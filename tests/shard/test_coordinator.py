@@ -13,8 +13,14 @@ from repro.core import METHODS, Workspace
 from repro.experiments.config import ExperimentConfig
 from repro.service import ServiceClient, ServiceConfig, serve_in_thread
 from repro.service.client import ClientConnectionError
-from repro.service.protocol import ServiceError, ShardUnavailableError
+from repro.service.protocol import (
+    BadRequestError,
+    ServiceError,
+    ShardUnavailableError,
+)
 from repro.shard.coordinator import (
+    ShardCoordinator,
+    ShardSpec,
     ShardTopology,
     serve_coordinator_in_thread,
     tile_workspace_name,
@@ -198,6 +204,74 @@ def test_killed_shard_yields_typed_error_then_rejoins(partition):
                 handle.stop()
             except RuntimeError:
                 pass
+
+
+class TestCidRouting:
+    """``_route_cid``: the directory + stride congruence replace the
+    old fleet-wide probe for every cid the partition ever issued."""
+
+    def _coordinator(self, partition, **overrides):
+        defaults = dict(
+            plan=partition.plan,
+            potentials=(),
+            shards=(
+                ShardSpec("shard-0", "127.0.0.1", 1, (0, 1)),
+                ShardSpec("shard-1", "127.0.0.1", 2, (2, 3)),
+            ),
+        )
+        defaults.update(overrides)
+        # Never started: _route_cid needs only the topology.
+        return ShardCoordinator(ShardTopology(**defaults))
+
+    def test_original_cids_route_through_the_directory(self, partition):
+        coord = self._coordinator(
+            partition, cid_tiles={7: 2, 9: 1}, cid_stride_base=100
+        )
+        assert coord._route_cid(7) == 2
+        assert coord._route_cid(9) == 1
+
+    def test_minted_cids_route_by_stride_congruence(self, partition):
+        coord = self._coordinator(partition, cid_tiles={0: 0}, cid_stride_base=100)
+        for k in range(2 * N_TILES):
+            assert coord._route_cid(100 + k) == k % N_TILES
+
+    def test_never_issued_cid_is_rejected_without_probing(self, partition):
+        """Directory + stride together cover every cid ever issued, so
+        a cid in neither is terminal at the coordinator."""
+        coord = self._coordinator(partition, cid_tiles={7: 2}, cid_stride_base=100)
+        with pytest.raises(BadRequestError):
+            coord._route_cid(8)
+
+    def test_hand_built_topology_falls_back_to_the_probe(self, partition):
+        coord = self._coordinator(partition, cid_tiles=None, cid_stride_base=None)
+        assert coord._route_cid(5) is None
+
+    def test_directory_without_stride_defers_unknown_cids(self, partition):
+        """No stride base means minted cids are unroutable: a directory
+        miss falls back to the probe instead of rejecting."""
+        coord = self._coordinator(partition, cid_tiles={7: 2}, cid_stride_base=None)
+        assert coord._route_cid(7) == 2
+        assert coord._route_cid(99) is None
+
+
+def test_minted_cid_removal_routes_to_the_owning_tile(client, partition):
+    added = client.update("add_client", point=[321.0, 123.0])
+    assert added["cid"] >= partition.cid_stride_base
+    assert (added["cid"] - partition.cid_stride_base) % N_TILES == added["tile_id"]
+    removed = client.update("remove_client", cid=added["cid"])
+    assert removed["tile_id"] == added["tile_id"]
+
+
+def test_original_cid_removal_routes_through_the_directory(client, partition, expected):
+    victim = partition.tiles[0].clients[0]
+    removed = client.update("remove_client", cid=victim.cid)
+    assert removed["tile_id"] == 0
+    # Restore the population (the re-added client gets a minted cid, so
+    # compare answers, not io fingerprints: insertion order may differ).
+    client.update("add_client", point=[victim.x, victim.y], weight=victim.weight)
+    restored = client.select("MND", no_cache=True)
+    assert restored.result.dr == expected["MND"][3]
+    assert restored.result.location.sid == expected["MND"][0]
 
 
 def test_connect_retries_reject_negative_and_bound_attempts():

@@ -71,6 +71,53 @@ class TestDecodedLeafCache:
         assert len({id(v) for v in values}) == 1
 
 
+class TestScopedInvalidation:
+    """Tracked trees: mutations drop exactly the dirtied decodes."""
+
+    def test_tracked_tree_survives_version_bump(self):
+        cache = DecodedLeafCache()
+        cache.track("R_C")
+        cache.get("R_C", 0, 1, lambda: "warm")
+        # A new tree version no longer drops the whole tree wholesale —
+        # the tree reports its dirty nodes itself.
+        assert cache.get("R_C", 1, 1, lambda: "BUG") == "warm"
+
+    def test_untracked_tree_keeps_wholesale_semantics(self):
+        cache = DecodedLeafCache()
+        cache.get("R_C", 0, 1, lambda: "old")
+        assert cache.get("R_C", 1, 1, lambda: "new") == "new"
+
+    def test_note_dirty_drops_exactly_those_nodes(self):
+        cache = DecodedLeafCache()
+        cache.track("R_C")
+        cache.get("R_C", 0, 1, lambda: "a")
+        cache.get("R_C", 0, 2, lambda: "b")
+        cache.get("R_F", 0, 1, lambda: "f")
+        cache.note_dirty("R_C", [1])
+        assert cache.get("R_C", 1, 1, lambda: "a2") == "a2"
+        assert cache.get("R_C", 1, 2, lambda: "BUG") == "b"
+        assert cache.get("R_F", 0, 1, lambda: "BUG") == "f"
+
+    def test_drop_node_covers_id_recycling(self):
+        cache = DecodedLeafCache()
+        cache.track("R_C")
+        cache.get("R_C", 0, 3, lambda: "freed")
+        cache.drop_node("R_C", 3)
+        assert cache.get("R_C", 0, 3, lambda: "recycled") == "recycled"
+
+    def test_mutations_keep_untouched_decodes_warm(self, small_instance):
+        """The integration contract: a single insert into a bound tree
+        must not empty the whole decoded-leaf cache."""
+        from repro.core.dynamic import DynamicWorkspace
+
+        ws = DynamicWorkspace(small_instance)
+        make_selector(ws, "MND").select()
+        populated = len(ws.leaf_cache)
+        assert populated > 0
+        ws.add_client((500.0, 500.0))
+        assert len(ws.leaf_cache) > 0
+
+
 class TestColumnarValues:
     """The cache serves structure-of-arrays buffers, exactly once."""
 
